@@ -1,0 +1,47 @@
+// Shared helpers for the benchmark binaries.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/standard_registry.h"
+#include "hw/machine.h"
+#include "substrate/substrate.h"
+#include "util/types.h"
+
+namespace lateral::bench {
+
+inline hw::Vendor& vendor() {
+  static hw::Vendor v(/*seed=*/0xBE7C4, /*key_bits=*/512);
+  return v;
+}
+
+inline std::unique_ptr<hw::Machine> make_machine(const std::string& name) {
+  hw::MachineConfig config;
+  config.name = name;
+  return std::make_unique<hw::Machine>(config, vendor(), to_bytes("bench-rom"));
+}
+
+inline substrate::SubstrateRegistry& registry() {
+  static substrate::SubstrateRegistry r = core::make_standard_registry();
+  return r;
+}
+
+inline substrate::DomainSpec tc_spec(const std::string& name,
+                                     std::size_t pages = 2) {
+  substrate::DomainSpec spec;
+  spec.name = name;
+  spec.kind = substrate::DomainKind::trusted_component;
+  spec.image = {name, to_bytes("code:" + name)};
+  spec.memory_pages = pages;
+  return spec;
+}
+
+inline substrate::DomainSpec legacy_spec(const std::string& name,
+                                         std::size_t pages = 4) {
+  auto spec = tc_spec(name, pages);
+  spec.kind = substrate::DomainKind::legacy;
+  return spec;
+}
+
+}  // namespace lateral::bench

@@ -1,0 +1,180 @@
+// FIG3 — Smart meter appliance <-> utility server (paper Fig. 3, §III-C).
+//
+// Claims regenerated:
+//  * distributed attestation across heterogeneous substrates (TrustZone
+//    meter, SGX server) establishes a mutually verified channel;
+//  * the handshake is a one-time cost dominated by attestation signatures;
+//  * per-reading protection overhead is bounded (crypto per record), so
+//    protected telemetry throughput stays within a small factor of plain.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/attestation.h"
+#include "net/network.h"
+#include "net/secure_channel.h"
+#include "util/table.h"
+
+using namespace lateral;
+using namespace lateral::bench;
+
+namespace {
+
+struct Scenario {
+  std::unique_ptr<hw::Machine> meter_machine;
+  std::unique_ptr<hw::Machine> server_machine;
+  std::unique_ptr<substrate::IsolationSubstrate> tz;
+  std::unique_ptr<substrate::IsolationSubstrate> sgx;
+  substrate::DomainId metering = 0;
+  substrate::DomainId anonymizer = 0;
+  std::unique_ptr<core::AttestationVerifier> meter_verifier;
+  std::unique_ptr<core::AttestationVerifier> utility_verifier;
+};
+
+Scenario make_scenario() {
+  Scenario s;
+  s.meter_machine = make_machine("meter");
+  s.server_machine = make_machine("server");
+  s.tz = *registry().create("trustzone", *s.meter_machine);
+  s.sgx = *registry().create("sgx", *s.server_machine);
+  s.metering = *s.tz->create_domain(tc_spec("metering"));
+  s.anonymizer = *s.sgx->create_domain(tc_spec("anonymizer"));
+
+  s.meter_verifier =
+      std::make_unique<core::AttestationVerifier>(to_bytes("mv"));
+  s.meter_verifier->add_trusted_root(vendor().root_public_key());
+  s.meter_verifier->expect_measurement(
+      "anonymizer", tc_spec("anonymizer").image.measurement());
+  s.utility_verifier =
+      std::make_unique<core::AttestationVerifier>(to_bytes("uv"));
+  s.utility_verifier->add_trusted_root(vendor().root_public_key());
+  s.utility_verifier->expect_measurement(
+      "metering", tc_spec("metering").image.measurement());
+  return s;
+}
+
+void run_report() {
+  std::printf("== FIG3: smart-meter <-> utility-server scenario ==\n\n");
+
+  Scenario s = make_scenario();
+  net::SecureChannelEndpoint meter(
+      net::Role::initiator, to_bytes("m"),
+      net::ProverConfig{s.tz.get(), s.metering},
+      net::VerifierConfig{s.meter_verifier.get(), "anonymizer"});
+  net::SecureChannelEndpoint utility(
+      net::Role::responder, to_bytes("u"),
+      net::ProverConfig{s.sgx.get(), s.anonymizer},
+      net::VerifierConfig{s.utility_verifier.get(), "metering"});
+
+  // --- Handshake cost (one-time) -------------------------------------------
+  const Cycles meter_before = s.meter_machine->now();
+  const Cycles server_before = s.server_machine->now();
+  auto msg1 = *meter.start();
+  auto msg2 = *utility.handle_msg1(msg1);
+  auto msg3 = *meter.handle_msg2(msg2);
+  (void)utility.handle_msg3(msg3);
+  const Cycles meter_handshake = s.meter_machine->now() - meter_before;
+  const Cycles server_handshake = s.server_machine->now() - server_before;
+
+  util::Table handshake({"phase", "meter cycles (TrustZone)",
+                         "server cycles (SGX)"});
+  handshake.add_row({"mutual attested handshake",
+                     util::fmt_cycles(meter_handshake),
+                     util::fmt_cycles(server_handshake)});
+  std::printf("%s\n", handshake.render().c_str());
+
+  // --- Per-reading cost: protected vs plain ---------------------------------
+  const Bytes reading = to_bytes("usage:03.217kWh;t=1719791234;tariff=A2");
+  // Both modes pay the radio: wake + DMA + per-byte transmission. This is
+  // what actually dominates a battery-powered meter's budget.
+  constexpr Cycles kRadioWake = 5'000;
+  constexpr Cycles kRadioPer16Bytes = 40;
+  util::Table per_reading(
+      {"mode", "meter cycles/reading", "relative", "wire bytes"});
+  Cycles plain_total = 0;
+
+  // Plain: copy + radio, no protection.
+  {
+    const Cycles before = s.meter_machine->now();
+    const int kReadings = 64;
+    for (int i = 0; i < kReadings; ++i) {
+      s.meter_machine->charge(0, s.meter_machine->costs().memcpy_per_16_bytes,
+                              reading.size());
+      s.meter_machine->charge(kRadioWake, kRadioPer16Bytes, reading.size());
+    }
+    plain_total = (s.meter_machine->now() - before) / kReadings;
+    per_reading.add_row({"plaintext (no protection)",
+                         util::fmt_cycles(plain_total), "1.00x",
+                         std::to_string(reading.size())});
+  }
+
+  // Protected: AES-CTR + HMAC record through the secure channel; charge the
+  // software crypto cost on the meter.
+  {
+    const Cycles before = s.meter_machine->now();
+    const int kReadings = 64;
+    std::size_t wire_size = 0;
+    for (int i = 0; i < kReadings; ++i) {
+      s.meter_machine->charge(
+          0, s.meter_machine->costs().sw_aes_per_16_bytes, reading.size());
+      s.meter_machine->charge(
+          0, s.meter_machine->costs().sw_sha_per_64_bytes / 4, reading.size());
+      auto record = *meter.seal_record(reading);
+      wire_size = record.size();
+      s.meter_machine->charge(kRadioWake, kRadioPer16Bytes, wire_size);
+      (void)utility.open_record(record);
+    }
+    const Cycles protected_cost = (s.meter_machine->now() - before) / kReadings;
+    per_reading.add_row(
+        {"attested+encrypted channel", util::fmt_cycles(protected_cost),
+         util::fmt_ratio(static_cast<double>(protected_cost) /
+                         static_cast<double>(std::max<Cycles>(plain_total, 1))),
+         std::to_string(wire_size)});
+  }
+  std::printf("%s\n", per_reading.render().c_str());
+
+  // --- Amortization: how many readings until the handshake is noise? --------
+  util::Table amort({"readings sent", "handshake share of total cost"});
+  const Cycles per_protected = 1 + s.meter_machine->costs().sw_aes_per_16_bytes *
+                                      ((reading.size() + 15) / 16);
+  for (const std::uint64_t n : {1ULL, 10ULL, 100ULL, 1000ULL, 10000ULL}) {
+    const double share =
+        static_cast<double>(meter_handshake) /
+        static_cast<double>(meter_handshake + n * per_protected);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f%%", share * 100.0);
+    amort.add_row({std::to_string(n), buf});
+  }
+  std::printf("%s\n", amort.render().c_str());
+  std::printf("shape: handshake is expensive (two quote signatures) but\n");
+  std::printf("one-time; steady-state protection is a small constant factor.\n\n");
+}
+
+void BM_SealRecordWallClock(benchmark::State& state) {
+  Scenario s = make_scenario();
+  net::SecureChannelEndpoint meter(net::Role::initiator, to_bytes("m"),
+                                   std::nullopt, std::nullopt);
+  net::SecureChannelEndpoint utility(net::Role::responder, to_bytes("u"),
+                                     std::nullopt, std::nullopt);
+  auto msg1 = *meter.start();
+  auto msg2 = *utility.handle_msg1(msg1);
+  auto msg3 = *meter.handle_msg2(msg2);
+  (void)utility.handle_msg3(msg3);
+  const Bytes reading(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto record = meter.seal_record(reading);
+    benchmark::DoNotOptimize(utility.open_record(*record));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SealRecordWallClock)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

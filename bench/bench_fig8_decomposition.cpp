@@ -1,0 +1,185 @@
+// FIG8 — The price of lateral thinking (paper §III-E "Potential
+// Roadblocks").
+//
+// "Platform security by extensive communication control causes things to
+// not work that would have worked without it" — and it costs cycles: every
+// component hop is a reference-monitor crossing. This bench runs the SAME
+// mail workload twice:
+//   * monolithic: the engines called directly in one protection domain
+//     (the vertical design of Fig. 1 left);
+//   * decomposed: the full MailClient assembly, once per substrate.
+// The overhead factor is the paper's trade: what you pay for containment.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "mail/client.h"
+#include "microkernel/microkernel.h"
+#include "util/table.h"
+
+using namespace lateral;
+using namespace lateral::bench;
+
+namespace {
+
+constexpr int kMails = 16;
+
+void deliver_workload(mail::ImapServer& server) {
+  for (int i = 0; i < kMails; ++i) {
+    (void)server.deliver(
+        "INBOX",
+        mail::make_message("peer@example", "alice@example",
+                           "subject " + std::to_string(i),
+                           "<p>body of message <b>" + std::to_string(i) +
+                               "</b> with some text to render</p>"));
+  }
+}
+
+struct WorkloadCost {
+  Cycles sync = 0;
+  Cycles read_all = 0;
+  Cycles compose = 0;
+};
+
+/// Monolithic: engines in one domain; storage still goes through VPFS (the
+/// crypto is a property of the storage design, not of decomposition).
+WorkloadCost run_monolithic() {
+  auto machine = make_machine("fig8-mono");
+  microkernel::Microkernel kernel(*machine, substrate::SubstrateConfig{});
+  auto blob = *kernel.create_domain(tc_spec("monolith", 16));
+
+  mail::ImapServer server("alice", "token123");
+  deliver_workload(server);
+  mail::ImapClient imap([&server](const std::string& line) {
+    return Result<std::string>(server.handle(line));
+  });
+  legacy::LegacyFilesystem disk;
+  auto fs = vpfs::Vpfs::format(disk, kernel, blob, "/m", to_bytes("k"));
+  mail::MailStore store(std::move(*fs));
+  (void)store.create_folder("INBOX");
+  (void)store.create_folder("Sent");
+  mail::HtmlRenderer renderer;
+  mail::AddressBook book;
+  (void)book.add("bob", "bob@example");
+
+  WorkloadCost cost;
+  (void)imap.login("alice", "token123");
+
+  Cycles t0 = machine->now();
+  const std::size_t remote = *imap.select("INBOX");
+  for (std::size_t i = 0; i < remote; ++i) {
+    auto message = *imap.fetch(i);
+    (void)store.store("INBOX", message);
+  }
+  (void)store.sync();
+  cost.sync = machine->now() - t0;
+
+  t0 = machine->now();
+  for (int i = 0; i < kMails; ++i) {
+    auto message = *store.load("INBOX", static_cast<std::size_t>(i));
+    benchmark::DoNotOptimize(renderer.render(message.body));
+  }
+  cost.read_all = machine->now() - t0;
+
+  t0 = machine->now();
+  for (int i = 0; i < 4; ++i) {
+    const std::string address = *book.lookup("bob");
+    const auto message = mail::make_message("me@example", address, "re",
+                                            "short reply body");
+    (void)imap.append("Sent", message);
+    (void)store.store("Sent", message);
+  }
+  cost.compose = machine->now() - t0;
+  return cost;
+}
+
+WorkloadCost run_decomposed(const std::string& substrate_name,
+                            hw::Machine& machine,
+                            substrate::IsolationSubstrate& substrate) {
+  (void)substrate_name;
+  mail::ImapServer server("alice", "token123");
+  deliver_workload(server);
+  legacy::LegacyFilesystem disk;
+  auto client = mail::MailClient::create({.substrate = &substrate,
+                                          .disk = &disk,
+                                          .server = &server,
+                                          .vpfs_seed = to_bytes("k")});
+  if (!client) return {};
+
+  WorkloadCost cost;
+  (void)(*client)->login("alice", "token123");
+
+  Cycles t0 = machine.now();
+  (void)(*client)->sync_inbox();
+  cost.sync = machine.now() - t0;
+
+  t0 = machine.now();
+  for (int i = 0; i < kMails; ++i)
+    benchmark::DoNotOptimize((*client)->read_mail(static_cast<std::size_t>(i)));
+  cost.read_all = machine.now() - t0;
+
+  (void)(*client)->add_contact("bob", "bob@example");
+  t0 = machine.now();
+  for (int i = 0; i < 4; ++i)
+    (void)(*client)->compose("bob", "re", "short reply body");
+  cost.compose = machine.now() - t0;
+  return cost;
+}
+
+void run_report() {
+  std::printf("== FIG8: the price of decomposition (mail workload) ==\n");
+  std::printf("(simulated cycles; %d mails synced+read, 4 composed)\n\n",
+              kMails);
+
+  const WorkloadCost mono = run_monolithic();
+  util::Table table({"design", "sync", "read all", "compose", "sync overhead"});
+  table.add_row({"monolithic (direct calls)", util::fmt_cycles(mono.sync),
+                 util::fmt_cycles(mono.read_all),
+                 util::fmt_cycles(mono.compose), "1.00x"});
+
+  for (const char* name : {"microkernel", "trustzone", "sgx"}) {
+    auto machine = make_machine(std::string("fig8-") + name);
+    auto substrate = *registry().create(name, *machine);
+    const WorkloadCost cost = run_decomposed(name, *machine, *substrate);
+    table.add_row({std::string("decomposed on ") + name,
+                   util::fmt_cycles(cost.sync),
+                   util::fmt_cycles(cost.read_all),
+                   util::fmt_cycles(cost.compose),
+                   util::fmt_ratio(static_cast<double>(cost.sync) /
+                                   static_cast<double>(mono.sync))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("shape: decomposition costs a bounded constant factor that\n");
+  std::printf("tracks the substrate's invocation price (FIG2); the crypto\n");
+  std::printf("in VPFS dominates the storage-heavy ops either way — the\n");
+  std::printf("'benefits clearly outweigh these difficulties' (§III-E).\n\n");
+}
+
+void BM_DecomposedReadWallClock(benchmark::State& state) {
+  auto machine = make_machine("fig8-wall");
+  auto substrate = *registry().create("microkernel", *machine);
+  mail::ImapServer server("alice", "token123");
+  deliver_workload(server);
+  legacy::LegacyFilesystem disk;
+  auto client = mail::MailClient::create({.substrate = substrate.get(),
+                                          .disk = &disk,
+                                          .server = &server,
+                                          .vpfs_seed = to_bytes("k")});
+  (void)(*client)->login("alice", "token123");
+  (void)(*client)->sync_inbox();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*client)->read_mail(i++ % kMails));
+  }
+}
+BENCHMARK(BM_DecomposedReadWallClock);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

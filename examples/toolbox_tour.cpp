@@ -1,0 +1,144 @@
+// toolbox_tour — the reusable trusted components in one scenario.
+//
+// Paper §III-C: "these use cases ... will likely appear in many
+// applications and should be provided as reusable components." This example
+// chains them: a device boots (secure vs authenticated launch), logs into a
+// service without any password (attestation-backed tokens), stores its
+// state through a generic trusted wrapper on a hostile OS, and reports
+// readings over a federated attested link into a k-anonymizing aggregator
+// behind a rate-limiting gateway.
+#include <cstdio>
+
+#include "lateral.h"
+
+using namespace lateral;
+
+int main() {
+  hw::Vendor vendor(/*seed=*/77);
+
+  // --- 1. Launch policies (core/launch) --------------------------------------
+  crypto::HmacDrbg owner_drbg(to_bytes("device-owner"));
+  const crypto::RsaKeyPair owner = crypto::RsaKeyPair::generate(owner_drbg, 512);
+  std::vector<core::BootStage> chain;
+  for (const char* stage : {"bootloader", "kernel", "metering-app"}) {
+    core::BootStage s;
+    s.name = stage;
+    s.image = {stage, to_bytes(std::string("code-of-") + stage)};
+    s.signature = crypto::rsa_sign(owner, s.image.code);
+    chain.push_back(std::move(s));
+  }
+  auto secure = core::run_secure_boot(owner.pub, chain);
+  std::printf("secure boot of signed chain: %s (%zu stages)\n",
+              secure.booted ? "booted" : "refused", secure.stages_run);
+  chain[1].image.code = to_bytes("code-of-kernel-with-rootkit");
+  auto evil = core::run_secure_boot(owner.pub, chain);
+  std::printf("secure boot of tampered chain: refused at stage %zu (%s)\n",
+              evil.stages_run, evil.refusal.c_str());
+
+  // --- 2. The device and the service ------------------------------------------
+  hw::Machine device(hw::MachineConfig{.name = "meter"}, vendor,
+                     to_bytes("device-rom"));
+  auto registry = core::make_standard_registry();
+  auto tz = *registry.create("trustzone", device);
+  substrate::DomainSpec metering_spec;
+  metering_spec.name = "metering";
+  metering_spec.image = {"metering", to_bytes("metering v2.1")};
+  metering_spec.memory_pages = 2;
+  auto metering = *tz->create_domain(metering_spec);
+
+  core::AttestationVerifier service_verifier(to_bytes("service"));
+  service_verifier.add_trusted_root(vendor.root_public_key());
+  service_verifier.expect_measurement("metering",
+                                      metering_spec.image.measurement());
+
+  // --- 3. Password-less login (toolbox/authenticator) -------------------------
+  toolbox::PasswordlessAuthenticator auth(service_verifier, "metering",
+                                          to_bytes("service-token-key"));
+  const Bytes nonce = auth.begin();
+  auto quote = core::respond_to_challenge(*tz, metering, nonce,
+                                          to_bytes("lateral.toolbox.login.v1"));
+  auto token = auth.complete(*quote, nonce);
+  std::printf("password-less login: %s (token %zu bytes)\n",
+              token ? "accepted" : "refused",
+              token ? token->token.size() : 0);
+  const bool valid_before = auth.validate(token->token).ok();
+  const bool revoked = auth.revoke(token->serial).ok();
+  const bool valid_after = auth.validate(token->token).ok();
+  std::printf("token validates: %s; after revocation: %s\n",
+              valid_before ? "yes" : "no",
+              (revoked && !valid_after) ? "rejected" : "STILL VALID (bug)");
+
+  // --- 4. Trusted wrapper over a hostile OS (toolbox/trusted_wrapper) --------
+  legacy::LegacyOs cloud("cloud-os");
+  (void)toolbox::TrustedStore::register_backend(cloud);
+  toolbox::TrustedStore store(cloud, to_bytes("device-store-key"));
+  (void)store.put("calibration", to_bytes("factor=1.000"));
+  cloud.compromise(legacy::MaliciousMode::tamper_replies);
+  auto tampered = store.get("calibration");
+  std::printf("compromised OS serves calibration: %s\n",
+              tampered ? "ACCEPTED (bug!)"
+                       : std::string(errc_name(tampered.error())).c_str());
+
+  // --- 5. Federated attested reporting (net/federation) -----------------------
+  hw::Machine server(hw::MachineConfig{.name = "aggregator"}, vendor,
+                     to_bytes("server-rom"));
+  auto sgx = *registry.create("sgx", server);
+  substrate::DomainSpec anon_spec;
+  anon_spec.name = "anonymizer";
+  anon_spec.image = {"anonymizer", to_bytes("anonymizer v1.0")};
+  anon_spec.memory_pages = 2;
+  auto anonymizer_domain = *sgx->create_domain(anon_spec);
+
+  core::AttestationVerifier device_verifier(to_bytes("device-v"));
+  device_verifier.add_trusted_root(vendor.root_public_key());
+  device_verifier.expect_measurement("anonymizer",
+                                     anon_spec.image.measurement());
+
+  net::SimNetwork network;
+  (void)network.register_endpoint("meter");
+  (void)network.register_endpoint("aggregator");
+  auto link = net::establish_link(
+      network, "meter", "aggregator", std::nullopt,
+      net::VerifierConfig{&device_verifier, "anonymizer"},
+      net::ProverConfig{sgx.get(), anonymizer_domain}, std::nullopt);
+  if (!link) {
+    std::printf("federated link failed\n");
+    return 1;
+  }
+  std::printf("federated link up: meter verified the anonymizer enclave\n");
+
+  // The aggregator side: k-anonymizer behind a gateway.
+  toolbox::Anonymizer aggregator(/*k=*/3);
+  toolbox::Gateway gateway({.allowed_hosts = {"aggregator"},
+                            .bucket_capacity_bytes = 4096,
+                            .refill_bytes_per_megacycle = 1024});
+  (void)(*link)->responder_dispatcher().register_method(
+      "report", [&](BytesView payload) -> Result<Bytes> {
+        // payload = "<household> <bucket> <kwh*1000>"
+        std::uint64_t household = 0, bucket = 0, milli = 0;
+        if (std::sscanf(to_string(payload).c_str(), "%lu %lu %lu", &household,
+                        &bucket, &milli) != 3)
+          return Errc::invalid_argument;
+        if (!gateway.admit(household, "aggregator", payload.size(), 0).ok())
+          return Errc::exhausted;
+        (void)aggregator.ingest({.household = household,
+                                 .bucket = bucket,
+                                 .kwh = static_cast<double>(milli) / 1000.0});
+        return Bytes{};
+      });
+
+  for (std::uint64_t household : {17u, 18u, 19u}) {
+    const std::string report =
+        std::to_string(household) + " 0 " + std::to_string(2000 + household);
+    (void)(*link)->proxy().call("report", to_bytes(report));
+  }
+  auto aggregate = aggregator.aggregate(0);
+  std::printf("aggregate released with %zu contributors, mean %.3f kWh\n",
+              aggregate ? aggregate->contributors : 0,
+              aggregate ? aggregate->mean_kwh : 0.0);
+  std::printf("individual curve query: %s\n",
+              std::string(errc_name(
+                  aggregator.analyst_query_household_curve(17).error()))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// two_androids — the Simko3 "Merkel-Phone" from §II-B.
+//
+// "This approach was used on ARM hardware to implement Simko3 ... a
+// smartphone that is based on the L4Re system. The phone offers two Android
+// systems side by side on the same phone, allowing the user to separate
+// private and business use within one device. This separation is
+// accomplished by running two virtual machines, each running its own
+// instance of Android."
+//
+// We build the phone twice to show the paper's §II-C argument that
+// "address space walls are just as impenetrable" as virtual machine walls:
+// once as TrustZone + hypervisor, once as a microkernel hosting two
+// paravirtualized legacy OSes. The security outcome is identical; the
+// TCB and invocation costs differ.
+#include <cstdio>
+
+#include "gui/secure_gui.h"
+#include "microkernel/microkernel.h"
+#include "trustzone/trustzone.h"
+#include "util/table.h"
+
+using namespace lateral;
+
+namespace {
+
+substrate::DomainSpec android_spec(const std::string& name) {
+  substrate::DomainSpec spec;
+  spec.name = name;
+  spec.kind = substrate::DomainKind::legacy;
+  spec.image = {name + "-image", to_bytes("android-system:" + name)};
+  spec.memory_pages = 8;
+  return spec;
+}
+
+/// Run the separation scenario on any substrate; returns (leak_blocked,
+/// cross_write_blocked).
+std::pair<bool, bool> run_scenario(substrate::IsolationSubstrate& substrate,
+                                   const char* label) {
+  auto personal = *substrate.create_domain(android_spec("android-personal"));
+  auto business = *substrate.create_domain(android_spec("android-business"));
+
+  (void)substrate.write_memory(personal, personal, 0,
+                               to_bytes("private: vacation photos"));
+  (void)substrate.write_memory(business, business, 0,
+                               to_bytes("business: merger documents"));
+
+  // The personal Android gets rooted by a malicious app.
+  (void)substrate.mark_compromised(personal);
+  const bool leak_blocked =
+      !substrate.read_memory(personal, business, 0, 26).ok();
+  const bool write_blocked =
+      !substrate.write_memory(personal, business, 0, to_bytes("ransom"))
+           .ok();
+
+  std::printf("%s: rooted personal Android reads business data: %s; "
+              "tampers with it: %s\n",
+              label, leak_blocked ? "blocked" : "LEAKED",
+              write_blocked ? "blocked" : "TAMPERED");
+  return {leak_blocked, write_blocked};
+}
+
+}  // namespace
+
+int main() {
+  hw::Vendor vendor(/*seed=*/31337);
+
+  // --- Variant A: TrustZone + hypervisor ------------------------------------
+  hw::Machine phone_a(hw::MachineConfig{.name = "simko3-tz"}, vendor,
+                      to_bytes("phone-rom"));
+  trustzone::TrustZone tz(phone_a, substrate::SubstrateConfig{},
+                          trustzone::TrustZoneOptions{.hypervisor = true});
+  run_scenario(tz, "TrustZone+hypervisor");
+
+  // --- Variant B: microkernel with two paravirtualized VMs ------------------
+  hw::Machine phone_b(hw::MachineConfig{.name = "simko3-l4"}, vendor,
+                      to_bytes("phone-rom"));
+  microkernel::Microkernel l4(phone_b, substrate::SubstrateConfig{});
+  run_scenario(l4, "L4-microkernel      ");
+
+  // --- 'Is virtualization better?' — the §II-C comparison -------------------
+  const substrate::IsolationSubstrate& tz_api = tz;
+  const substrate::IsolationSubstrate& l4_api = l4;
+  util::Table table({"variant", "TCB LoC", "cross-VM message (64 B)"});
+  table.add_row({"TrustZone+hypervisor", std::to_string(tz.info().tcb_loc),
+                 util::fmt_cycles(tz_api.message_cost(64))});
+  table.add_row({"L4 microkernel", std::to_string(l4.info().tcb_loc),
+                 util::fmt_cycles(l4_api.message_cost(64))});
+  std::printf("\n%s", table.render().c_str());
+  std::printf("\nSame walls, different plumbing: the paper's point that the\n"
+              "'kernel vs hypervisor' naming is an academic discussion —\n"
+              "but TCB size and invocation cost are real engineering\n"
+              "trade-offs the unified interface lets you choose between.\n\n");
+
+  // --- Secure GUI so the user always knows which world is focused -----------
+  gui::SecureGui screen(72, 20);
+  auto personal_ui = screen.create_session(
+      "personal", gui::TrustLevel::legacy, gui::Rect{0, 1, 36, 18});
+  auto business_ui = screen.create_session(
+      "business", gui::TrustLevel::legacy, gui::Rect{36, 1, 36, 18});
+  if (personal_ui && business_ui) {
+    (void)screen.set_focus(*personal_ui);
+    std::printf("focus personal  -> indicator: %s\n",
+                screen.indicator_text().c_str());
+    (void)screen.set_focus(*business_ui);
+    std::printf("focus business  -> indicator: %s\n",
+                screen.indicator_text().c_str());
+  }
+  return 0;
+}

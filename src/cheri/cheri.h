@@ -1,0 +1,94 @@
+// CHERI-style capability substrate (paper §III-D: "The research community
+// even discusses architectures with hardware capabilities to enable even
+// more fine-grained disaggregation of authority. The CHERI capability
+// system is implemented as a modified MIPS CPU, using guarded pointers as
+// capabilities.").
+//
+// All domains share ONE physical address space; isolation comes from
+// guarded pointers: every memory access must present a capability whose
+// bounds and permissions the (simulated) CPU checks on each use.
+// Capabilities are unforgeable — they can only be obtained by derivation
+// (monotonic narrowing) from a domain's root capability, and cross-domain
+// invocation seals the caller's authority.
+//
+// Consequences faithfully reproduced:
+//  * invocation is nearly free (a protected call gate, no address-space
+//    switch) — the cheapest row of the FIG2 table;
+//  * object-granular sharing: a domain can hand a peer a capability to one
+//    buffer without exposing anything else;
+//  * no attestation/sealing: CHERI provides memory safety, not a hardware
+//    identity (the PolicyChecker therefore refuses physical-bus manifests);
+//  * memory is plaintext DRAM: no defence against the physical attacker.
+#pragma once
+
+#include <map>
+
+#include "substrate/registry.h"
+#include "substrate/substrate.h"
+
+namespace lateral::cheri {
+
+/// A guarded pointer: bounds + permissions. Unforgeable by construction —
+/// instances only come from Cheri::root_capability / derive / grant.
+struct Capability {
+  std::uint64_t base = 0;
+  std::uint64_t length = 0;
+  bool read = false;
+  bool write = false;
+  /// Tag bit: valid capabilities only come from the CPU's derivation rules;
+  /// anything constructed from raw bytes has tag = false and is rejected.
+  bool tag = false;
+};
+
+class Cheri final : public substrate::IsolationSubstrate {
+ public:
+  Cheri(hw::Machine& machine, substrate::SubstrateConfig config);
+
+  const substrate::SubstrateInfo& info() const override;
+
+  // Unified-interface memory access: the actor's implicit root capability
+  // for its own allocation is used; cross-domain access has no capability
+  // and faults.
+  Result<Bytes> read_memory(substrate::DomainId actor,
+                            substrate::DomainId target, std::uint64_t offset,
+                            std::size_t len) override;
+  Status write_memory(substrate::DomainId actor, substrate::DomainId target,
+                      std::uint64_t offset, BytesView data) override;
+
+  // --- CHERI-specific fine-grained sharing ---------------------------------
+  /// The domain's root capability covering its whole allocation.
+  Result<Capability> root_capability(substrate::DomainId domain) const;
+
+  /// Derive a narrower capability (monotonicity: bounds within parent,
+  /// permissions a subset). Errc::access_denied on widening attempts.
+  Result<Capability> derive(const Capability& parent, std::uint64_t offset,
+                            std::uint64_t length, bool read, bool write) const;
+
+  /// Load/store through an explicit capability (any holder may use it —
+  /// possession is authority).
+  Result<Bytes> cap_load(const Capability& cap, std::uint64_t offset,
+                         std::size_t len);
+  Status cap_store(const Capability& cap, std::uint64_t offset,
+                   BytesView data);
+
+ protected:
+  Status admit_domain(const substrate::DomainSpec& spec) const override;
+  Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
+  void release_memory(substrate::DomainId id, DomainRecord& record) override;
+  Cycles message_cost(std::size_t len) const override;
+  Cycles attest_cost() const override;
+
+ private:
+  struct Allocation {
+    hw::PhysAddr base = 0;
+    std::size_t pages = 0;
+  };
+
+  substrate::SubstrateInfo info_;
+  hw::FrameAllocator frames_;
+  std::map<substrate::DomainId, Allocation> allocations_;
+};
+
+Status register_factory(substrate::SubstrateRegistry& registry);
+
+}  // namespace lateral::cheri

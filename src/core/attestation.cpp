@@ -1,0 +1,77 @@
+#include "core/attestation.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace lateral::core {
+
+AttestationVerifier::AttestationVerifier(BytesView drbg_seed)
+    : drbg_(drbg_seed) {}
+
+void AttestationVerifier::add_trusted_root(const crypto::RsaPublicKey& root) {
+  roots_.push_back(root);
+}
+
+void AttestationVerifier::expect_measurement(const std::string& logical_name,
+                                             const crypto::Digest& measurement) {
+  expectations_[logical_name] = measurement;
+}
+
+Bytes AttestationVerifier::make_challenge() {
+  Bytes nonce = drbg_.generate(32);
+  outstanding_nonces_.push_back(nonce);
+  return nonce;
+}
+
+Bytes bound_user_data(BytesView nonce, BytesView context) {
+  return crypto::digest_bytes(crypto::Sha256::hash2(nonce, context));
+}
+
+Status AttestationVerifier::verify(const std::string& logical_name,
+                                   BytesView quote_wire, BytesView nonce,
+                                   BytesView context) {
+  // Freshness: the nonce must be one we issued and not yet consumed.
+  const auto nonce_it =
+      std::find_if(outstanding_nonces_.begin(), outstanding_nonces_.end(),
+                   [&](const Bytes& n) { return ct_equal(n, nonce); });
+  if (nonce_it == outstanding_nonces_.end())
+    return Errc::verification_failed;
+
+  auto quote = substrate::Quote::deserialize(quote_wire);
+  if (!quote) return Errc::invalid_argument;
+
+  // Chain of custody: some trusted vendor endorsed the signing device.
+  bool chained = false;
+  for (const crypto::RsaPublicKey& root : roots_) {
+    if (quote->verify(root).ok()) {
+      chained = true;
+      break;
+    }
+  }
+  if (!chained) return Errc::verification_failed;
+
+  // Binding: the quote covers exactly this challenge and context.
+  if (!ct_equal(quote->user_data, bound_user_data(nonce, context)))
+    return Errc::verification_failed;
+
+  // Code identity: refuse to talk to a manipulated instance.
+  const auto expect_it = expectations_.find(logical_name);
+  if (expect_it == expectations_.end()) return Errc::verification_failed;
+  if (!ct_equal(crypto::digest_view(quote->measurement),
+                crypto::digest_view(expect_it->second)))
+    return Errc::verification_failed;
+
+  outstanding_nonces_.erase(nonce_it);  // consume: no replay
+  return Status::success();
+}
+
+Result<Bytes> respond_to_challenge(substrate::IsolationSubstrate& substrate,
+                                   substrate::DomainId domain, BytesView nonce,
+                                   BytesView context) {
+  auto quote = substrate.attest(domain, bound_user_data(nonce, context));
+  if (!quote) return quote.error();
+  return quote->serialize();
+}
+
+}  // namespace lateral::core

@@ -1,0 +1,62 @@
+// Challenge-response attestation protocol (paper §II-D, §III-C).
+//
+// The smart-meter flow of Fig. 3: before the meter sends readings, it
+// verifies "the code identity of the data anonymizer component" — a fresh
+// nonce prevents replay, the quote binds (nonce || context) to the device
+// endorsement chain, and the verifier checks both the chain and the
+// expected measurement ("the signature of the known-good anonymizer").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "crypto/hmac.h"
+#include "substrate/quote.h"
+#include "substrate/substrate.h"
+#include "util/result.h"
+
+namespace lateral::core {
+
+/// The challenger side: issues nonces and verifies quotes.
+class AttestationVerifier {
+ public:
+  explicit AttestationVerifier(BytesView drbg_seed);
+
+  /// Register a vendor root we accept quotes chained to.
+  void add_trusted_root(const crypto::RsaPublicKey& root);
+
+  /// Register a known-good code identity under a logical name
+  /// (e.g. "anonymizer" -> SHA-256 of the audited open-source build).
+  void expect_measurement(const std::string& logical_name,
+                          const crypto::Digest& measurement);
+
+  /// Produce a fresh challenge nonce.
+  Bytes make_challenge();
+
+  /// Verify a serialized quote against a previously issued challenge:
+  ///  1. the quote chain verifies under one of the trusted roots,
+  ///  2. quote.user_data == H(nonce || context) — fresh and bound,
+  ///  3. the measurement matches the expectation for logical_name.
+  /// The nonce is consumed: a second verification with it fails (replay).
+  Status verify(const std::string& logical_name, BytesView quote_wire,
+                BytesView nonce, BytesView context);
+
+ private:
+  crypto::HmacDrbg drbg_;
+  std::vector<crypto::RsaPublicKey> roots_;
+  std::map<std::string, crypto::Digest> expectations_;
+  std::vector<Bytes> outstanding_nonces_;
+};
+
+/// The prover side: answer a challenge with a quote over H(nonce || context).
+/// `context` binds the quote to its use (e.g. a DH public key), preventing
+/// relay to a different session.
+Result<Bytes> respond_to_challenge(substrate::IsolationSubstrate& substrate,
+                                   substrate::DomainId domain, BytesView nonce,
+                                   BytesView context);
+
+/// The user_data a verifier expects for (nonce, context).
+Bytes bound_user_data(BytesView nonce, BytesView context);
+
+}  // namespace lateral::core

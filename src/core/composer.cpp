@@ -1,0 +1,195 @@
+#include "core/composer.h"
+
+#include <algorithm>
+
+#include "core/policy.h"
+
+namespace lateral::core {
+
+Assembly::ChannelKey Assembly::key_of(const std::string& x,
+                                      const std::string& y) {
+  return (x < y) ? ChannelKey{x, y} : ChannelKey{y, x};
+}
+
+Result<const Assembly::Component*> Assembly::component(
+    const std::string& name) const {
+  const auto it = components_.find(name);
+  if (it == components_.end()) return Errc::no_such_domain;
+  return &it->second;
+}
+
+Result<const Assembly::ChannelInfo*> Assembly::channel_between(
+    const std::string& x, const std::string& y) const {
+  const auto it = channels_.find(key_of(x, y));
+  if (it == channels_.end()) return Errc::no_such_channel;
+  return &it->second;
+}
+
+Status Assembly::set_behavior(const std::string& name,
+                              substrate::IsolationSubstrate::Handler handler) {
+  const auto it = components_.find(name);
+  if (it == components_.end()) return Errc::no_such_domain;
+  return it->second.substrate->set_handler(it->second.domain,
+                                           std::move(handler));
+}
+
+Result<Bytes> Assembly::invoke(const std::string& from, const std::string& to,
+                               BytesView data) {
+  const auto from_it = components_.find(from);
+  const auto to_it = components_.find(to);
+  if (from_it == components_.end() || to_it == components_.end())
+    return Errc::no_such_domain;
+
+  auto chan = channel_between(from, to);
+  if (enforce_manifest_ && !chan) {
+    // POLA at the framework level: the manifests declared no such channel,
+    // so the composer never created one.
+    return Errc::policy_violation;
+  }
+  if (!chan) return Errc::no_such_channel;
+
+  // Same-substrate channels go through the substrate's reference monitor.
+  return (*chan)->substrate->call(from_it->second.domain, (*chan)->id, data);
+}
+
+Status Assembly::send(const std::string& from, const std::string& to,
+                      BytesView data) {
+  const auto from_it = components_.find(from);
+  if (from_it == components_.end() || !components_.contains(to))
+    return Errc::no_such_domain;
+  auto chan = channel_between(from, to);
+  if (enforce_manifest_ && !chan) return Errc::policy_violation;
+  if (!chan) return Errc::no_such_channel;
+  return (*chan)->substrate->send(from_it->second.domain, (*chan)->id, data);
+}
+
+Result<substrate::Message> Assembly::receive(const std::string& at,
+                                             const std::string& from) {
+  const auto at_it = components_.find(at);
+  if (at_it == components_.end() || !components_.contains(from))
+    return Errc::no_such_domain;
+  auto chan = channel_between(at, from);
+  if (!chan) return Errc::no_such_channel;
+  return (*chan)->substrate->receive(at_it->second.domain, (*chan)->id);
+}
+
+Result<std::uint64_t> Assembly::badge_of(const std::string& from,
+                                         const std::string& to) const {
+  auto chan = channel_between(from, to);
+  if (!chan) return chan.error();
+  const ChannelKey key = key_of(from, to);
+  return (key.a == from) ? (*chan)->badge_a : (*chan)->badge_b;
+}
+
+Status Assembly::compromise(const std::string& name) {
+  const auto it = components_.find(name);
+  if (it == components_.end()) return Errc::no_such_domain;
+  return it->second.substrate->mark_compromised(it->second.domain);
+}
+
+TrustGraph Assembly::trust_graph() const {
+  return TrustGraph::from_manifests(manifests_);
+}
+
+std::vector<std::string> Assembly::component_names() const {
+  std::vector<std::string> names;
+  names.reserve(components_.size());
+  for (const auto& [name, component] : components_) names.push_back(name);
+  return names;
+}
+
+SystemComposer::SystemComposer(
+    std::map<std::string, substrate::IsolationSubstrate*> substrates)
+    : substrates_(std::move(substrates)) {}
+
+Result<std::unique_ptr<Assembly>> SystemComposer::compose(
+    const std::vector<Manifest>& manifests) {
+  diagnostics_ = validate(manifests);
+
+  // Policy pass: every component must land on a substrate that defends its
+  // declared attacker model and offers the features it needs.
+  for (const Manifest& m : manifests) {
+    const auto sub_it = substrates_.find(m.substrate_name);
+    if (sub_it == substrates_.end()) {
+      diagnostics_.push_back(m.name + ": unknown substrate '" +
+                             m.substrate_name + "'");
+      continue;
+    }
+    const PolicyVerdict verdict = check(m, sub_it->second->info());
+    for (const std::string& reason : verdict.missing)
+      diagnostics_.push_back(m.name + ": " + reason);
+  }
+  if (!diagnostics_.empty()) return Errc::policy_violation;
+
+  auto assembly = std::make_unique<Assembly>();
+  assembly->manifests_ = manifests;
+
+  // On any failure below, tear down every domain created so far: a failed
+  // composition must not leak half an application into the substrates.
+  auto unwind = [&assembly] {
+    for (const auto& [name, component] : assembly->components_)
+      (void)component.substrate->destroy_domain(component.domain);
+  };
+
+  for (const Manifest& m : manifests) {
+    substrate::IsolationSubstrate* sub = substrates_.at(m.substrate_name);
+    substrate::DomainSpec spec;
+    spec.name = m.name;
+    spec.kind = m.kind;
+    // Deterministic placeholder image; scenarios that care about specific
+    // measurements (attestation tests) create domains directly instead.
+    spec.image.name = m.name;
+    spec.image.code = to_bytes("lateral.component:" + m.name);
+    spec.memory_pages = m.memory_pages;
+    spec.time_share_permille = m.time_share_permille;
+    auto domain = sub->create_domain(spec);
+    if (!domain) {
+      diagnostics_.push_back(m.name + ": create_domain failed: " +
+                             std::string(errc_name(domain.error())));
+      unwind();
+      return Errc::policy_violation;
+    }
+    Assembly::Component component;
+    component.manifest = m;
+    component.substrate = sub;
+    component.domain = *domain;
+    assembly->components_.emplace(m.name, component);
+  }
+
+  // Channel wiring: exactly the declared pairs, once each.
+  for (const Manifest& m : manifests) {
+    for (const std::string& peer : m.channels) {
+      const Assembly::ChannelKey key = Assembly::key_of(m.name, peer);
+      if (assembly->channels_.contains(key)) continue;
+      const Assembly::Component& ca = assembly->components_.at(key.a);
+      const Assembly::Component& cb = assembly->components_.at(key.b);
+      if (ca.substrate != cb.substrate) {
+        diagnostics_.push_back(
+            "channel " + key.a + "<->" + key.b +
+            ": components on different substrates; connect them with "
+            "net::SecureChannel instead");
+        unwind();
+        return Errc::policy_violation;
+      }
+      auto channel = ca.substrate->create_channel(ca.domain, cb.domain);
+      if (!channel) {
+        diagnostics_.push_back("channel " + key.a + "<->" + key.b +
+                               " failed: " +
+                               std::string(errc_name(channel.error())));
+        unwind();  // destroying the domains also reaps their channels
+        return Errc::policy_violation;
+      }
+      Assembly::ChannelInfo info;
+      info.id = *channel;
+      info.substrate = ca.substrate;
+      info.badge_a = ca.substrate->endpoint_badge(*channel, ca.domain)
+                         .value_or(0);
+      info.badge_b = cb.substrate->endpoint_badge(*channel, cb.domain)
+                         .value_or(0);
+      assembly->channels_.emplace(key, info);
+    }
+  }
+  return assembly;
+}
+
+}  // namespace lateral::core

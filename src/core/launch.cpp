@@ -1,0 +1,49 @@
+#include "core/launch.h"
+
+namespace lateral::core {
+
+BootOutcome run_secure_boot(const crypto::RsaPublicKey& owner_key,
+                            const std::vector<BootStage>& stages) {
+  BootOutcome outcome;
+  for (const BootStage& stage : stages) {
+    if (!crypto::rsa_verify(owner_key, stage.image.code, stage.signature)
+             .ok()) {
+      outcome.refusal = "stage '" + stage.name + "' is not correctly signed";
+      return outcome;  // halt: nothing after this stage runs
+    }
+    outcome.log.push_back(stage.image.measurement());
+    outcome.stages_run++;
+  }
+  outcome.booted = true;
+  return outcome;
+}
+
+BootOutcome run_authenticated_boot(tpm::PcrBank& pcrs, std::size_t pcr_index,
+                                   const std::vector<BootStage>& stages) {
+  BootOutcome outcome;
+  for (const BootStage& stage : stages) {
+    const crypto::Digest measurement = stage.image.measurement();
+    // Measure BEFORE execute: the stage cannot lie about itself because the
+    // previous (already-measured) stage extends the PCR.
+    if (const Status s = pcrs.extend(pcr_index, measurement); !s.ok()) {
+      outcome.refusal = "PCR extend failed";
+      return outcome;
+    }
+    outcome.log.push_back(measurement);
+    outcome.stages_run++;
+  }
+  outcome.booted = true;  // nothing is ever refused, only recorded
+  return outcome;
+}
+
+crypto::Digest expected_pcr_after_boot(const std::vector<BootStage>& stages) {
+  crypto::Digest pcr{};
+  for (const BootStage& stage : stages) {
+    pcr = crypto::Sha256::hash2(
+        crypto::digest_view(pcr),
+        crypto::digest_view(stage.image.measurement()));
+  }
+  return pcr;
+}
+
+}  // namespace lateral::core

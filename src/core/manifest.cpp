@@ -1,0 +1,168 @@
+#include "core/manifest.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace lateral::core {
+namespace {
+
+std::vector<std::string> tokenize_line(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    if (token.starts_with('#')) break;  // comment until end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+std::optional<substrate::AttackerModel> parse_attacker(
+    const std::string& word) {
+  using substrate::AttackerModel;
+  if (word == "remote_network") return AttackerModel::remote_network;
+  if (word == "local_software") return AttackerModel::local_software;
+  if (word == "physical_bus") return AttackerModel::physical_bus;
+  if (word == "physical_intrusion") return AttackerModel::physical_intrusion;
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
+  std::vector<Manifest> manifests;
+  std::optional<Manifest> current;
+
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize_line(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "component") {
+      if (current) return Errc::invalid_argument;  // nested component
+      if (tokens.size() != 3 || tokens[2] != "{")
+        return Errc::invalid_argument;
+      current.emplace();
+      current->name = tokens[1];
+      continue;
+    }
+    if (tokens[0] == "}") {
+      if (!current || tokens.size() != 1) return Errc::invalid_argument;
+      manifests.push_back(std::move(*current));
+      current.reset();
+      continue;
+    }
+    if (!current) return Errc::invalid_argument;  // directive outside block
+
+    const std::string& key = tokens[0];
+    auto need_arg = [&]() -> bool { return tokens.size() == 2; };
+
+    if (key == "kind") {
+      if (!need_arg()) return Errc::invalid_argument;
+      if (tokens[1] == "trusted")
+        current->kind = substrate::DomainKind::trusted_component;
+      else if (tokens[1] == "legacy")
+        current->kind = substrate::DomainKind::legacy;
+      else
+        return Errc::invalid_argument;
+    } else if (key == "substrate") {
+      if (!need_arg()) return Errc::invalid_argument;
+      current->substrate_name = tokens[1];
+    } else if (key == "pages") {
+      if (!need_arg()) return Errc::invalid_argument;
+      current->memory_pages = std::stoul(tokens[1]);
+    } else if (key == "share") {
+      if (!need_arg()) return Errc::invalid_argument;
+      current->time_share_permille =
+          static_cast<std::uint32_t>(std::stoul(tokens[1]));
+    } else if (key == "attacker") {
+      if (!need_arg()) return Errc::invalid_argument;
+      const auto model = parse_attacker(tokens[1]);
+      if (!model) return Errc::invalid_argument;
+      current->attacker = *model;
+    } else if (key == "channel") {
+      if (!need_arg()) return Errc::invalid_argument;
+      current->channels.push_back(tokens[1]);
+    } else if (key == "trusts") {
+      if (!need_arg()) return Errc::invalid_argument;
+      current->trusts.push_back(tokens[1]);
+    } else if (key == "seal") {
+      if (tokens.size() != 1) return Errc::invalid_argument;
+      current->needs_sealing = true;
+    } else if (key == "attest") {
+      if (tokens.size() != 1) return Errc::invalid_argument;
+      current->needs_attestation = true;
+    } else if (key == "assets") {
+      if (!need_arg()) return Errc::invalid_argument;
+      current->asset_value = std::stod(tokens[1]);
+    } else if (key == "loc") {
+      if (!need_arg()) return Errc::invalid_argument;
+      current->loc = std::stoull(tokens[1]);
+    } else {
+      return Errc::invalid_argument;  // unknown directive
+    }
+  }
+  if (current) return Errc::invalid_argument;  // unterminated block
+  return manifests;
+}
+
+std::string to_text(const std::vector<Manifest>& manifests) {
+  std::ostringstream out;
+  for (const Manifest& m : manifests) {
+    out << "component " << m.name << " {\n";
+    out << "  kind "
+        << (m.kind == substrate::DomainKind::trusted_component ? "trusted"
+                                                               : "legacy")
+        << "\n";
+    out << "  substrate " << m.substrate_name << "\n";
+    out << "  pages " << m.memory_pages << "\n";
+    out << "  share " << m.time_share_permille << "\n";
+    out << "  attacker " << substrate::attacker_model_name(m.attacker) << "\n";
+    for (const std::string& channel : m.channels)
+      out << "  channel " << channel << "\n";
+    for (const std::string& peer : m.trusts) out << "  trusts " << peer << "\n";
+    if (m.needs_sealing) out << "  seal\n";
+    if (m.needs_attestation) out << "  attest\n";
+    out << "  assets " << m.asset_value << "\n";
+    out << "  loc " << m.loc << "\n";
+    out << "}\n";
+  }
+  return out.str();
+}
+
+std::vector<std::string> validate(const std::vector<Manifest>& manifests) {
+  std::vector<std::string> problems;
+  std::set<std::string> names;
+  for (const Manifest& m : manifests) {
+    if (m.name.empty()) problems.push_back("component with empty name");
+    if (!names.insert(m.name).second)
+      problems.push_back("duplicate component name: " + m.name);
+    if (m.memory_pages == 0)
+      problems.push_back(m.name + ": zero memory pages");
+  }
+  for (const Manifest& m : manifests) {
+    for (const std::string& peer : m.channels) {
+      if (!names.contains(peer))
+        problems.push_back(m.name + ": channel to unknown component " + peer);
+      if (peer == m.name)
+        problems.push_back(m.name + ": channel to itself");
+    }
+    for (const std::string& peer : m.trusts) {
+      if (!names.contains(peer))
+        problems.push_back(m.name + ": trusts unknown component " + peer);
+      // Trusting a peer's replies only makes sense if you can talk to it.
+      if (peer != m.name &&
+          std::find(m.channels.begin(), m.channels.end(), peer) ==
+              m.channels.end())
+        problems.push_back(m.name + ": trusts " + peer +
+                           " without a declared channel");
+    }
+  }
+  return problems;
+}
+
+}  // namespace lateral::core

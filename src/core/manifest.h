@@ -1,0 +1,80 @@
+// Component manifests (paper §III-A).
+//
+// "The unified interface should be part of a larger programming framework,
+// where developers can describe the required communication channels to
+// other components. Such a manifest enables the isolation substrate to
+// establish just the needed channels and block all other communication,
+// thereby promoting a POLA design mentality for the entire system."
+//
+// A Manifest declares everything the composer needs: component kind, the
+// substrate it should run on, its memory/time budget, the attacker model it
+// must be protected against, the channels it needs, which peers' replies it
+// consumes un-vetted (trust edges for containment analysis), and bookkeeping
+// for TCB accounting. Manifests can be built in code or parsed from a small
+// text format so that "separation is built right into the development
+// workflow".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "substrate/isolation.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::core {
+
+struct Manifest {
+  std::string name;
+  substrate::DomainKind kind = substrate::DomainKind::trusted_component;
+  /// Substrate the component should be placed on ("microkernel", "sgx", ...).
+  std::string substrate_name = "microkernel";
+  std::size_t memory_pages = 4;
+  std::uint32_t time_share_permille = 100;
+  /// Strongest attacker this component must withstand.
+  substrate::AttackerModel attacker =
+      substrate::AttackerModel::remote_network;
+  /// Peers this component needs a channel to (POLA: and nothing else).
+  std::vector<std::string> channels;
+  /// Peers whose replies this component consumes WITHOUT a trusted wrapper:
+  /// compromise of such a peer spreads here (containment analysis edge).
+  std::vector<std::string> trusts;
+  /// Does the component need sealing / attestation from its substrate?
+  bool needs_sealing = false;
+  bool needs_attestation = false;
+  /// Value of the assets (secrets, authority) this component holds; the
+  /// containment metric weighs compromises by this.
+  double asset_value = 1.0;
+  /// Estimated implementation size, for TCB accounting.
+  std::uint64_t loc = 1000;
+};
+
+/// Parse a manifest bundle from the text DSL. Format:
+///
+///   # comment
+///   component tls {
+///     kind trusted            # or: legacy
+///     substrate sgx
+///     pages 8
+///     share 100
+///     attacker physical_bus   # remote_network|local_software|...
+///     channel imap            # may repeat
+///     trusts storage          # may repeat
+///     seal                    # flag
+///     attest                  # flag
+///     assets 10.0
+///     loc 4500
+///   }
+///
+/// Errc::invalid_argument with parse position context on malformed input.
+Result<std::vector<Manifest>> parse_manifests(std::string_view text);
+
+/// Render manifests back to the DSL (round-trip tested).
+std::string to_text(const std::vector<Manifest>& manifests);
+
+/// Cross-manifest validation: channel/trust targets exist, names unique,
+/// trusts ⊆ channels ∪ {self}. Returns the problems found (empty = valid).
+std::vector<std::string> validate(const std::vector<Manifest>& manifests);
+
+}  // namespace lateral::core

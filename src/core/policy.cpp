@@ -1,0 +1,86 @@
+#include "core/policy.h"
+
+#include <algorithm>
+
+namespace lateral::core {
+
+using substrate::AttackerModel;
+using substrate::Feature;
+using substrate::Features;
+
+Features required_features(AttackerModel model) {
+  // §II-D's incremental requirements:
+  //   remote/local  -> basic access control (spatial isolation)
+  //   physical_bus  -> + memory placement control / encryption
+  //   physical_intrusion -> + trust anchor with launch policy
+  Features required = static_cast<Features>(Feature::spatial_isolation);
+  switch (model) {
+    case AttackerModel::remote_network:
+    case AttackerModel::local_software:
+      break;
+    case AttackerModel::physical_bus:
+      required = required | Feature::memory_encryption;
+      break;
+    case AttackerModel::physical_intrusion:
+      required = required | Feature::memory_encryption |
+                 Feature::sealed_storage | Feature::attestation;
+      break;
+  }
+  return required;
+}
+
+PolicyVerdict check(const Manifest& manifest,
+                    const substrate::SubstrateInfo& info) {
+  PolicyVerdict verdict;
+
+  if (!info.defends(manifest.attacker)) {
+    verdict.missing.push_back(
+        info.name + " does not defend against attacker model '" +
+        std::string(substrate::attacker_model_name(manifest.attacker)) + "'");
+  }
+
+  Features needed = required_features(manifest.attacker);
+  if (manifest.needs_sealing) needed = needed | Feature::sealed_storage;
+  if (manifest.needs_attestation) needed = needed | Feature::attestation;
+  if (manifest.kind == substrate::DomainKind::legacy)
+    needed = needed | Feature::legacy_hosting;
+
+  struct Named {
+    Feature f;
+    const char* name;
+  };
+  static constexpr Named kNames[] = {
+      {Feature::spatial_isolation, "spatial_isolation"},
+      {Feature::memory_encryption, "memory_encryption"},
+      {Feature::sealed_storage, "sealed_storage"},
+      {Feature::attestation, "attestation"},
+      {Feature::legacy_hosting, "legacy_hosting"},
+  };
+  for (const auto& [f, name] : kNames) {
+    if (has_feature(needed, f) && !has_feature(info.features, f))
+      verdict.missing.push_back(info.name + " lacks feature '" +
+                                std::string(name) + "'");
+  }
+
+  verdict.satisfied = verdict.missing.empty();
+  return verdict;
+}
+
+std::vector<std::string> suitable_substrates(
+    const Manifest& manifest,
+    const std::vector<substrate::SubstrateInfo>& candidates) {
+  std::vector<const substrate::SubstrateInfo*> fitting;
+  for (const auto& info : candidates)
+    if (check(manifest, info).satisfied) fitting.push_back(&info);
+  std::sort(fitting.begin(), fitting.end(),
+            [](const auto* a, const auto* b) {
+              if (a->tcb_loc != b->tcb_loc) return a->tcb_loc < b->tcb_loc;
+              return a->name < b->name;
+            });
+  std::vector<std::string> names;
+  names.reserve(fitting.size());
+  for (const auto* info : fitting) names.push_back(info->name);
+  return names;
+}
+
+}  // namespace lateral::core

@@ -1,0 +1,41 @@
+// PolicyChecker: which hardware features does an attacker model require,
+// and does a given substrate satisfy a manifest? (paper §II-D)
+//
+// The paper identifies "four incremental hardware requirements to address
+// different attacker models: basic access control ... memory placement
+// control and memory encryption ... a trust anchor ... a secret with
+// restricted access." required_features() encodes exactly that table;
+// check() applies it so that substrate choices are "made deliberately and
+// not based on fashionability of a new hardware feature".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/manifest.h"
+#include "substrate/substrate.h"
+
+namespace lateral::core {
+
+/// Features a substrate must offer to withstand the given attacker model
+/// (cumulative: stronger models include weaker models' requirements).
+substrate::Features required_features(substrate::AttackerModel model);
+
+struct PolicyVerdict {
+  bool satisfied = false;
+  /// Human-readable reasons for a rejection (empty when satisfied).
+  std::vector<std::string> missing;
+};
+
+/// Check one manifest against one substrate.
+PolicyVerdict check(const Manifest& manifest,
+                    const substrate::SubstrateInfo& info);
+
+/// From a set of candidate substrates, the ones that satisfy the manifest —
+/// cheapest-TCB first, the deliberate choice the paper argues for (a bigger
+/// substrate than needed "may unnecessarily increase the attack surface").
+std::vector<std::string> suitable_substrates(
+    const Manifest& manifest,
+    const std::vector<substrate::SubstrateInfo>& candidates);
+
+}  // namespace lateral::core

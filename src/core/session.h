@@ -1,0 +1,53 @@
+// SessionDemux: badge-based session demultiplexing (paper §III-D
+// "Confused Deputy").
+//
+// "Capabilities bundle communication right and context identification in
+// one entity and are therefore an important programming tool to prevent
+// confused deputy issues." A multi-client trusted component keys its
+// per-client state on the substrate-minted badge of the invocation — never
+// on identifiers the client supplies. The class also offers the UNSAFE
+// client-claimed lookup so tests and the fig6 ablation can demonstrate the
+// attack the safe path prevents.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "substrate/isolation.h"
+#include "util/result.h"
+
+namespace lateral::core {
+
+template <typename SessionT>
+class SessionDemux {
+ public:
+  /// Session for the invoking client, keyed by the unforgeable badge the
+  /// substrate attached to the invocation. Creates the session on first use.
+  SessionT& session_for(const substrate::Invocation& invocation) {
+    return sessions_[invocation.badge];
+  }
+
+  /// Session by badge value (e.g. when pre-provisioning client state).
+  SessionT& session_by_badge(std::uint64_t badge) { return sessions_[badge]; }
+
+  /// UNSAFE: look up a session by an identifier the *client* claimed in its
+  /// message payload. This is the confused-deputy bug: a malicious client
+  /// claims another client's id and the deputy exercises the wrong session's
+  /// authority. Kept for the ablation experiment; never use in real handlers.
+  Result<SessionT*> unsafe_session_by_claimed_id(std::uint64_t claimed_id) {
+    const auto it = sessions_.find(claimed_id);
+    if (it == sessions_.end()) return Errc::invalid_argument;
+    return &it->second;
+  }
+
+  bool has_session(std::uint64_t badge) const {
+    return sessions_.contains(badge);
+  }
+  std::size_t session_count() const { return sessions_.size(); }
+  void erase(std::uint64_t badge) { sessions_.erase(badge); }
+
+ private:
+  std::map<std::uint64_t, SessionT> sessions_;
+};
+
+}  // namespace lateral::core

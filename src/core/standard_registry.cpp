@@ -1,0 +1,29 @@
+#include "core/standard_registry.h"
+
+#include "cheri/cheri.h"
+#include "ftpm/ftpm.h"
+#include "microkernel/microkernel.h"
+#include "noc/noc.h"
+#include "sep/sep.h"
+#include "sgx/sgx.h"
+#include "tpm/tpm.h"
+#include "trustzone/trustzone.h"
+#include "util/result.h"
+
+namespace lateral::core {
+
+substrate::SubstrateRegistry make_standard_registry() {
+  substrate::SubstrateRegistry registry;
+  if (!microkernel::register_factory(registry).ok() ||
+      !trustzone::register_factory(registry).ok() ||
+      !sgx::register_factory(registry).ok() ||
+      !tpm::register_factory(registry).ok() ||
+      !ftpm::register_factory(registry).ok() ||
+      !sep::register_factory(registry).ok() ||
+      !cheri::register_factory(registry).ok() ||
+      !noc::register_factory(registry).ok())
+    throw Error("make_standard_registry: duplicate registration");
+  return registry;
+}
+
+}  // namespace lateral::core

@@ -1,0 +1,12 @@
+// Standard substrate registry with all five built-in isolation technologies.
+#pragma once
+
+#include "substrate/registry.h"
+
+namespace lateral::core {
+
+/// Registry containing "microkernel", "trustzone", "sgx", "tpm", "ftpm",
+/// "sep" and "cheri".
+substrate::SubstrateRegistry make_standard_registry();
+
+}  // namespace lateral::core

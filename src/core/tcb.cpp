@@ -1,0 +1,53 @@
+#include "core/tcb.h"
+
+namespace lateral::core {
+
+std::vector<TcbReport> tcb_of_manifests(
+    const std::vector<Manifest>& manifests,
+    const std::map<std::string, std::uint64_t>& substrate_loc_by_name) {
+  std::map<std::string, const Manifest*> by_name;
+  for (const Manifest& m : manifests) by_name[m.name] = &m;
+
+  // Reverse view of the propagation graph: who does `m` depend on? The
+  // trust graph edge u -> v means "compromise of u spreads to v", i.e.
+  // v trusts u, i.e. u is in v's TCB.
+  const TrustGraph graph = TrustGraph::from_manifests(manifests);
+
+  std::vector<TcbReport> reports;
+  reports.reserve(manifests.size());
+  for (const Manifest& m : manifests) {
+    TcbReport report;
+    report.component = m.name;
+    report.own_loc = m.loc;
+    const auto sub_it = substrate_loc_by_name.find(m.substrate_name);
+    report.substrate_loc =
+        sub_it == substrate_loc_by_name.end() ? 0 : sub_it->second;
+
+    // Transitive closure of peers m trusts: walk `trusts` edges outward.
+    std::vector<std::string> frontier(m.trusts.begin(), m.trusts.end());
+    std::map<std::string, bool> seen;
+    seen[m.name] = true;
+    while (!frontier.empty()) {
+      const std::string peer = std::move(frontier.back());
+      frontier.pop_back();
+      if (seen[peer]) continue;
+      seen[peer] = true;
+      const auto it = by_name.find(peer);
+      if (it == by_name.end()) continue;
+      report.trusted_peer_loc += it->second->loc;
+      for (const std::string& next : it->second->trusts)
+        frontier.push_back(next);
+    }
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+std::uint64_t monolithic_tcb(const std::vector<Manifest>& manifests,
+                             std::uint64_t substrate_loc) {
+  std::uint64_t total = substrate_loc;
+  for (const Manifest& m : manifests) total += m.loc;
+  return total;
+}
+
+}  // namespace lateral::core

@@ -1,0 +1,44 @@
+// TCB accounting (paper §II-A, §III-B).
+//
+// "We say that the isolation substrate constitutes the component's Trusted
+// Computing Base." In practice a component's TCB is its own code, its
+// substrate, and — transitively — every component whose replies it consumes
+// without a trusted wrapper. TAB2 uses this to compare the decomposed email
+// client against its monolithic counterfactual.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/manifest.h"
+#include "core/trust_graph.h"
+#include "substrate/isolation.h"
+#include "util/result.h"
+
+namespace lateral::core {
+
+struct TcbReport {
+  std::string component;
+  std::uint64_t own_loc = 0;
+  std::uint64_t substrate_loc = 0;
+  std::uint64_t trusted_peer_loc = 0;  // transitive `trusts` closure
+  std::uint64_t total() const {
+    return own_loc + substrate_loc + trusted_peer_loc;
+  }
+};
+
+/// Per-component TCB of a horizontal design described by manifests.
+/// `substrate_loc_by_name` maps substrate names to their TCB LoC (from
+/// SubstrateInfo::tcb_loc).
+std::vector<TcbReport> tcb_of_manifests(
+    const std::vector<Manifest>& manifests,
+    const std::map<std::string, std::uint64_t>& substrate_loc_by_name);
+
+/// TCB of the monolithic counterfactual: every subsystem trusts the whole
+/// blob, so each component's TCB is the sum of ALL components plus the
+/// (single) substrate under the blob.
+std::uint64_t monolithic_tcb(const std::vector<Manifest>& manifests,
+                             std::uint64_t substrate_loc);
+
+}  // namespace lateral::core

@@ -1,0 +1,96 @@
+#include "core/trust_graph.h"
+
+#include <sstream>
+
+#include "core/manifest.h"
+
+namespace lateral::core {
+
+Status TrustGraph::add_node(const std::string& name, double asset_value) {
+  if (name.empty() || asset_value < 0) return Errc::invalid_argument;
+  const auto [it, inserted] = nodes_.emplace(name, asset_value);
+  (void)it;
+  return inserted ? Status::success() : Status(Errc::invalid_argument);
+}
+
+Status TrustGraph::add_propagation_edge(const std::string& from,
+                                        const std::string& to) {
+  if (!nodes_.contains(from) || !nodes_.contains(to))
+    return Errc::invalid_argument;
+  edges_[from].insert(to);
+  return Status::success();
+}
+
+Result<std::set<std::string>> TrustGraph::compromised_set(
+    const std::string& start) const {
+  if (!nodes_.contains(start)) return Errc::invalid_argument;
+  std::set<std::string> seen{start};
+  std::vector<std::string> frontier{start};
+  while (!frontier.empty()) {
+    const std::string node = std::move(frontier.back());
+    frontier.pop_back();
+    const auto it = edges_.find(node);
+    if (it == edges_.end()) continue;
+    for (const std::string& next : it->second)
+      if (seen.insert(next).second) frontier.push_back(next);
+  }
+  return seen;
+}
+
+Result<double> TrustGraph::compromised_value(const std::string& start) const {
+  auto set = compromised_set(start);
+  if (!set) return set.error();
+  double value = 0;
+  for (const std::string& node : *set) value += nodes_.at(node);
+  return value;
+}
+
+double TrustGraph::total_value() const {
+  double total = 0;
+  for (const auto& [name, value] : nodes_) total += value;
+  return total;
+}
+
+double TrustGraph::containment() const {
+  if (nodes_.empty()) return 0.0;
+  const double total = total_value();
+  if (total == 0) return 0.0;
+  double accumulated = 0;
+  for (const auto& [name, value] : nodes_)
+    accumulated += *compromised_value(name) / total;
+  return accumulated / static_cast<double>(nodes_.size());
+}
+
+std::string TrustGraph::to_dot() const {
+  std::ostringstream out;
+  out << "digraph trust {\n";
+  for (const auto& [name, value] : nodes_)
+    out << "  \"" << name << "\" [label=\"" << name << " (" << value
+        << ")\"];\n";
+  for (const auto& [from, targets] : edges_)
+    for (const std::string& to : targets)
+      out << "  \"" << from << "\" -> \"" << to << "\";\n";
+  out << "}\n";
+  return out.str();
+}
+
+TrustGraph TrustGraph::from_manifests(const std::vector<Manifest>& manifests) {
+  TrustGraph graph;
+  for (const Manifest& m : manifests) (void)graph.add_node(m.name, m.asset_value);
+  for (const Manifest& m : manifests)
+    for (const std::string& trusted_peer : m.trusts)
+      (void)graph.add_propagation_edge(trusted_peer, m.name);
+  return graph;
+}
+
+TrustGraph TrustGraph::monolithic_counterfactual(
+    const std::vector<Manifest>& manifests) {
+  TrustGraph graph;
+  for (const Manifest& m : manifests) (void)graph.add_node(m.name, m.asset_value);
+  for (const Manifest& a : manifests)
+    for (const Manifest& b : manifests)
+      if (a.name != b.name) (void)graph.add_propagation_edge(a.name, b.name);
+  return graph;
+}
+
+}  // namespace lateral::core

@@ -1,0 +1,69 @@
+// Trust graph and compromise-containment analysis (paper Fig. 1, §I, §III-B).
+//
+// Nodes are components (or colocated subsystems); a directed edge u -> v
+// means "compromise of u spreads to v". In a vertical/monolithic design all
+// subsystems share one protection domain, so the propagation graph is
+// complete; in a horizontal design, edges exist only where a component
+// consumes another's output without a trusted wrapper.
+//
+// containment() quantifies the paper's core claim: "a subversion of one
+// component can often be contained and does not infect other components."
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::core {
+
+struct Manifest;
+
+class TrustGraph {
+ public:
+  /// Add a component carrying assets worth `asset_value`.
+  Status add_node(const std::string& name, double asset_value = 1.0);
+
+  /// Compromise of `from` spreads to `to`.
+  Status add_propagation_edge(const std::string& from, const std::string& to);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  bool has_node(const std::string& name) const { return nodes_.contains(name); }
+
+  /// All nodes reachable from `start` (including start) along propagation
+  /// edges — the blast radius of one exploited component.
+  Result<std::set<std::string>> compromised_set(const std::string& start) const;
+
+  /// Asset value captured when `start` is exploited.
+  Result<double> compromised_value(const std::string& start) const;
+
+  double total_value() const;
+
+  /// The containment metric: expected fraction of total asset value an
+  /// attacker captures when exploiting a uniformly random component.
+  /// 1.0 = monolithic worst case, ->1/n for perfectly isolated components
+  /// of equal value.
+  double containment() const;
+
+  /// Graphviz rendering for documentation and debugging.
+  std::string to_dot() const;
+
+  /// Build the propagation graph of a horizontal design from manifests:
+  /// one node per component, edges along `trusts` declarations (v trusts u
+  /// => compromise of u spreads to v).
+  static TrustGraph from_manifests(const std::vector<Manifest>& manifests);
+
+  /// The vertical/monolithic counterfactual of the same manifests: all
+  /// components colocate in one protection domain (complete digraph).
+  static TrustGraph monolithic_counterfactual(
+      const std::vector<Manifest>& manifests);
+
+ private:
+  std::map<std::string, double> nodes_;                       // name -> value
+  std::map<std::string, std::set<std::string>> edges_;        // from -> to*
+};
+
+}  // namespace lateral::core

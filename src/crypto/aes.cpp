@@ -1,0 +1,188 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace lateral::crypto {
+namespace {
+
+// Forward S-box, generated from the AES polynomial; standard constants.
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                    0x20, 0x40, 0x80, 0x1b, 0x36};
+
+std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1b : 0x00));
+}
+
+std::uint32_t sub_word(std::uint32_t w) {
+  return (std::uint32_t(kSbox[(w >> 24) & 0xFF]) << 24) |
+         (std::uint32_t(kSbox[(w >> 16) & 0xFF]) << 16) |
+         (std::uint32_t(kSbox[(w >> 8) & 0xFF]) << 8) |
+         std::uint32_t(kSbox[w & 0xFF]);
+}
+
+std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
+
+}  // namespace
+
+Aes128::Aes128(const Aes128Key& key) {
+  for (int i = 0; i < 4; ++i) {
+    round_keys_[i] = (std::uint32_t(key[4 * i]) << 24) |
+                     (std::uint32_t(key[4 * i + 1]) << 16) |
+                     (std::uint32_t(key[4 * i + 2]) << 8) |
+                     std::uint32_t(key[4 * i + 3]);
+  }
+  for (int i = 4; i < 44; ++i) {
+    std::uint32_t temp = round_keys_[i - 1];
+    if (i % 4 == 0)
+      temp = sub_word(rot_word(temp)) ^ (std::uint32_t(kRcon[i / 4 - 1]) << 24);
+    round_keys_[i] = round_keys_[i - 4] ^ temp;
+  }
+}
+
+void Aes128::encrypt_block(AesBlock& block) const {
+  std::uint8_t s[16];
+  std::memcpy(s, block.data(), 16);
+
+  auto add_round_key = [&](int round) {
+    for (int c = 0; c < 4; ++c) {
+      const std::uint32_t rk = round_keys_[4 * round + c];
+      s[4 * c] ^= static_cast<std::uint8_t>(rk >> 24);
+      s[4 * c + 1] ^= static_cast<std::uint8_t>(rk >> 16);
+      s[4 * c + 2] ^= static_cast<std::uint8_t>(rk >> 8);
+      s[4 * c + 3] ^= static_cast<std::uint8_t>(rk);
+    }
+  };
+  auto sub_bytes = [&] {
+    for (auto& b : s) b = kSbox[b];
+  };
+  auto shift_rows = [&] {
+    std::uint8_t t[16];
+    std::memcpy(t, s, 16);
+    for (int r = 1; r < 4; ++r)
+      for (int c = 0; c < 4; ++c) s[4 * c + r] = t[4 * ((c + r) % 4) + r];
+  };
+  auto mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = &s[4 * c];
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+      col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+      col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+      col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round < 10; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+
+  std::memcpy(block.data(), s, 16);
+}
+
+Bytes aes128_ctr(const Aes128Key& key, std::uint64_t nonce, BytesView data) {
+  const Aes128 cipher(key);
+  Bytes out(data.begin(), data.end());
+  AesBlock counter_block{};
+  for (int i = 0; i < 8; ++i)
+    counter_block[i] = static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+
+  std::uint64_t counter = 0;
+  for (std::size_t offset = 0; offset < out.size(); offset += 16) {
+    AesBlock keystream = counter_block;
+    for (int i = 0; i < 8; ++i)
+      keystream[8 + i] = static_cast<std::uint8_t>(counter >> (56 - 8 * i));
+    cipher.encrypt_block(keystream);
+    const std::size_t n = std::min<std::size_t>(16, out.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= keystream[i];
+    ++counter;
+  }
+  return out;
+}
+
+Aead::Aead(BytesView key_material) {
+  const Bytes keys = hkdf(to_bytes("lateral.aead.v1"), key_material,
+                          to_bytes("enc+mac"), 48);
+  std::memcpy(enc_key_.data(), keys.data(), 16);
+  mac_key_.assign(keys.begin() + 16, keys.end());
+}
+
+std::array<std::uint8_t, 16> Aead::compute_tag(std::uint64_t nonce,
+                                               BytesView aad,
+                                               BytesView ciphertext) const {
+  Hmac mac(mac_key_);
+  std::uint8_t nonce_be[8];
+  for (int i = 0; i < 8; ++i)
+    nonce_be[i] = static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  mac.update(BytesView(nonce_be, 8));
+  // Length-prefix the AAD so (aad, ct) boundaries are unambiguous.
+  std::uint8_t aad_len_be[8];
+  const std::uint64_t alen = aad.size();
+  for (int i = 0; i < 8; ++i)
+    aad_len_be[i] = static_cast<std::uint8_t>(alen >> (56 - 8 * i));
+  mac.update(BytesView(aad_len_be, 8));
+  mac.update(aad);
+  mac.update(ciphertext);
+  const Digest full = mac.finish();
+  std::array<std::uint8_t, 16> tag;
+  std::memcpy(tag.data(), full.data(), 16);
+  return tag;
+}
+
+SealedBox Aead::seal(std::uint64_t nonce, BytesView aad,
+                     BytesView plaintext) const {
+  SealedBox box;
+  box.nonce = nonce;
+  box.ciphertext = aes128_ctr(enc_key_, nonce, plaintext);
+  box.tag = compute_tag(nonce, aad, box.ciphertext);
+  return box;
+}
+
+Result<Bytes> Aead::open(const SealedBox& box, BytesView aad) const {
+  const auto expected = compute_tag(box.nonce, aad, box.ciphertext);
+  if (!ct_equal(BytesView(expected.data(), expected.size()),
+                BytesView(box.tag.data(), box.tag.size())))
+    return Errc::verification_failed;
+  return aes128_ctr(enc_key_, box.nonce, box.ciphertext);
+}
+
+Result<Aes128Key> key_from_bytes(BytesView material) {
+  if (material.size() < 16) return Errc::crypto_failure;
+  Aes128Key key;
+  std::memcpy(key.data(), material.data(), 16);
+  return key;
+}
+
+}  // namespace lateral::crypto

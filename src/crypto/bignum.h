@@ -1,0 +1,114 @@
+// Arbitrary-precision unsigned integer arithmetic, from scratch.
+//
+// Backs the RSA signatures used for attestation quotes and vendor
+// certificate chains, and the finite-field Diffie-Hellman key exchange of
+// net::SecureChannel. Little-endian 32-bit limbs, 64-bit intermediates;
+// division is Knuth Algorithm D.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::crypto {
+
+class HmacDrbg;
+
+class Bignum {
+ public:
+  /// Zero.
+  Bignum() = default;
+
+  /// From a machine word.
+  explicit Bignum(std::uint64_t value);
+
+  /// From big-endian bytes (network/key format).
+  static Bignum from_bytes(BytesView big_endian);
+
+  /// From a hex string (no 0x prefix). Errc::invalid_argument on bad chars.
+  static Result<Bignum> from_hex(std::string_view hex);
+
+  /// Big-endian byte representation, no leading zero bytes (empty for 0).
+  Bytes to_bytes() const;
+
+  /// Big-endian bytes left-padded with zeros to exactly `width` bytes.
+  /// Errc::invalid_argument if the value does not fit.
+  Result<Bytes> to_bytes_padded(std::size_t width) const;
+
+  std::string to_hex() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+
+  /// Value of bit i (0 = least significant).
+  bool bit(std::size_t i) const;
+
+  std::strong_ordering operator<=>(const Bignum& other) const;
+  bool operator==(const Bignum& other) const = default;
+
+  Bignum operator+(const Bignum& rhs) const;
+  /// Subtraction requires *this >= rhs (unsigned); throws Error otherwise.
+  Bignum operator-(const Bignum& rhs) const;
+  Bignum operator*(const Bignum& rhs) const;
+  Bignum operator<<(std::size_t bits) const;
+  Bignum operator>>(std::size_t bits) const;
+
+  struct DivMod;
+  /// Throws Error on division by zero.
+  DivMod divmod(const Bignum& divisor) const;
+  Bignum operator/(const Bignum& rhs) const;
+  Bignum operator%(const Bignum& rhs) const;
+
+  /// (this * rhs) mod m.
+  Bignum mulmod(const Bignum& rhs, const Bignum& m) const;
+
+  /// this^exponent mod m (square-and-multiply). m must be nonzero.
+  Bignum powmod(const Bignum& exponent, const Bignum& m) const;
+
+  /// Greatest common divisor.
+  static Bignum gcd(Bignum a, Bignum b);
+
+  /// Modular inverse; Errc::crypto_failure when gcd(this, m) != 1.
+  Result<Bignum> invmod(const Bignum& m) const;
+
+  /// Miller-Rabin probabilistic primality test with `rounds` random bases
+  /// drawn from `drbg` (plus a deterministic base-2 round).
+  bool is_probable_prime(HmacDrbg& drbg, int rounds = 32) const;
+
+  /// Uniform random value in [0, bound) using rejection sampling.
+  static Bignum random_below(HmacDrbg& drbg, const Bignum& bound);
+
+  /// Random value with exactly `bits` bits (top bit set).
+  static Bignum random_bits(HmacDrbg& drbg, std::size_t bits);
+
+  /// Generate a random probable prime with exactly `bits` bits.
+  static Bignum generate_prime(HmacDrbg& drbg, std::size_t bits);
+
+ private:
+  void trim();
+  static Bignum from_limbs(std::vector<std::uint32_t> limbs);
+
+  // Little-endian limbs; no trailing zero limbs (canonical form).
+  std::vector<std::uint32_t> limbs_;
+};
+
+struct Bignum::DivMod {
+  Bignum quotient;
+  Bignum remainder;
+};
+
+inline Bignum Bignum::operator/(const Bignum& rhs) const {
+  return divmod(rhs).quotient;
+}
+inline Bignum Bignum::operator%(const Bignum& rhs) const {
+  return divmod(rhs).remainder;
+}
+
+}  // namespace lateral::crypto

@@ -1,0 +1,38 @@
+// Finite-field Diffie-Hellman key agreement (classic MODP group).
+//
+// net::SecureChannel derives its session keys from a DH exchange whose
+// public values are bound to attestation quotes, so a man-in-the-middle
+// cannot splice itself between a verified component and its peer.
+#pragma once
+
+#include "crypto/bignum.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::crypto {
+
+class HmacDrbg;
+
+/// A DH group (prime modulus p, generator g).
+struct DhGroup {
+  Bignum p;
+  Bignum g;
+
+  /// RFC 2409 Oakley Group 1 (768-bit MODP). Simulation-scale default.
+  static const DhGroup& oakley1();
+};
+
+struct DhKeyPair {
+  Bignum private_key;  // x
+  Bignum public_key;   // g^x mod p
+
+  static DhKeyPair generate(const DhGroup& group, HmacDrbg& drbg);
+};
+
+/// Compute the shared secret g^(xy) mod p from our private key and the
+/// peer's public value. Errc::crypto_failure on degenerate peer values
+/// (0, 1, p-1) which would collapse the key space.
+Result<Bytes> dh_shared_secret(const DhGroup& group, const Bignum& private_key,
+                               const Bignum& peer_public);
+
+}  // namespace lateral::crypto

@@ -1,0 +1,55 @@
+// HMAC-SHA256 (RFC 2104), HKDF (RFC 5869) and HMAC-DRBG (SP 800-90A).
+//
+// HMAC authenticates channel records and VPFS blocks; HKDF derives session
+// and sealing keys; HMAC-DRBG is the deterministic cryptographic randomness
+// source used inside protocols (seedable, so tests are reproducible).
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/types.h"
+
+namespace lateral::crypto {
+
+/// One-shot HMAC-SHA256.
+Digest hmac_sha256(BytesView key, BytesView message);
+
+/// Incremental HMAC context.
+class Hmac {
+ public:
+  explicit Hmac(BytesView key);
+  void update(BytesView data);
+  Digest finish();
+
+ private:
+  Sha256 inner_;
+  std::array<std::uint8_t, 64> opad_key_;
+};
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Digest hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand: derive `length` bytes from a PRK and context info.
+Bytes hkdf_expand(const Digest& prk, BytesView info, std::size_t length);
+
+/// Convenience: extract-then-expand.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t length);
+
+/// Deterministic random bit generator per SP 800-90A (HMAC_DRBG, SHA-256).
+class HmacDrbg {
+ public:
+  explicit HmacDrbg(BytesView seed);
+
+  /// Generate n pseudo-random bytes.
+  Bytes generate(std::size_t n);
+
+  /// Mix additional entropy into the state.
+  void reseed(BytesView entropy);
+
+ private:
+  void update_state(BytesView provided);
+
+  Bytes key_;  // K
+  Bytes v_;    // V
+};
+
+}  // namespace lateral::crypto

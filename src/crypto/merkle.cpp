@@ -1,0 +1,80 @@
+#include "crypto/merkle.h"
+
+namespace lateral::crypto {
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Digest MerkleTree::leaf_hash(BytesView data) {
+  const std::uint8_t tag = 0x00;
+  Sha256 ctx;
+  ctx.update(BytesView(&tag, 1));
+  ctx.update(data);
+  return ctx.finish();
+}
+
+Digest MerkleTree::node_hash(const Digest& left, const Digest& right) {
+  const std::uint8_t tag = 0x01;
+  Sha256 ctx;
+  ctx.update(BytesView(&tag, 1));
+  ctx.update(digest_view(left));
+  ctx.update(digest_view(right));
+  return ctx.finish();
+}
+
+MerkleTree::MerkleTree(std::size_t leaf_count)
+    : leaf_count_(leaf_count), padded_(next_pow2(std::max<std::size_t>(leaf_count, 1))) {
+  nodes_.resize(2 * padded_);
+  const Digest empty_leaf = leaf_hash({});
+  for (std::size_t i = 0; i < padded_; ++i) nodes_[padded_ + i] = empty_leaf;
+  for (std::size_t i = padded_ - 1; i >= 1; --i)
+    nodes_[i] = node_hash(nodes_[2 * i], nodes_[2 * i + 1]);
+}
+
+Status MerkleTree::update_leaf(std::size_t index, BytesView data) {
+  if (index >= leaf_count_) return Errc::invalid_argument;
+  std::size_t node = padded_ + index;
+  nodes_[node] = leaf_hash(data);
+  node /= 2;
+  while (node >= 1) {
+    nodes_[node] = node_hash(nodes_[2 * node], nodes_[2 * node + 1]);
+    node /= 2;
+  }
+  return Status::success();
+}
+
+Digest MerkleTree::root() const { return nodes_[1]; }
+
+Result<MerkleTree::Proof> MerkleTree::prove(std::size_t index) const {
+  if (index >= leaf_count_) return Errc::invalid_argument;
+  Proof proof;
+  proof.index = index;
+  std::size_t node = padded_ + index;
+  while (node > 1) {
+    proof.siblings.push_back(nodes_[node ^ 1]);
+    node /= 2;
+  }
+  return proof;
+}
+
+Status MerkleTree::verify(const Digest& root, BytesView data,
+                          const Proof& proof) {
+  Digest current = leaf_hash(data);
+  std::size_t index = proof.index;
+  for (const Digest& sibling : proof.siblings) {
+    current = (index & 1) ? node_hash(sibling, current)
+                          : node_hash(current, sibling);
+    index >>= 1;
+  }
+  if (!ct_equal(digest_view(current), digest_view(root)))
+    return Errc::verification_failed;
+  return Status::success();
+}
+
+}  // namespace lateral::crypto

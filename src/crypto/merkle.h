@@ -1,0 +1,53 @@
+// Binary Merkle hash tree with incremental leaf updates and inclusion proofs.
+//
+// vpfs authenticates every file block against a tree whose root is sealed by
+// the isolation substrate; the TPM backend uses trees for its boot log and
+// the attestation protocol for multi-measurement quotes.
+#pragma once
+
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::crypto {
+
+class MerkleTree {
+ public:
+  /// An empty tree over `leaf_count` zero-initialized leaves.
+  /// Leaf hashes are H(0x00 || data); interior nodes H(0x01 || left || right)
+  /// (domain separation prevents leaf/node confusion attacks).
+  explicit MerkleTree(std::size_t leaf_count);
+
+  std::size_t leaf_count() const { return leaf_count_; }
+
+  /// Replace leaf `index` with the hash of `data` and update the O(log n)
+  /// path to the root. Errc::invalid_argument when out of range.
+  Status update_leaf(std::size_t index, BytesView data);
+
+  /// Current root hash.
+  Digest root() const;
+
+  /// Inclusion proof for leaf `index`: sibling hashes bottom-up.
+  struct Proof {
+    std::size_t index = 0;
+    std::vector<Digest> siblings;
+  };
+  Result<Proof> prove(std::size_t index) const;
+
+  /// Verify that `data` is the leaf at `proof.index` of the tree with the
+  /// given root.
+  static Status verify(const Digest& root, BytesView data, const Proof& proof);
+
+  /// Hash for an individual leaf (exposed for external verification code).
+  static Digest leaf_hash(BytesView data);
+  static Digest node_hash(const Digest& left, const Digest& right);
+
+ private:
+  std::size_t leaf_count_;
+  std::size_t padded_;           // leaves padded to a power of two
+  std::vector<Digest> nodes_;    // 1-indexed heap layout; nodes_[1] is root
+};
+
+}  // namespace lateral::crypto

@@ -1,0 +1,114 @@
+#include "crypto/rsa.h"
+
+#include "crypto/hmac.h"
+
+namespace lateral::crypto {
+namespace {
+
+constexpr std::uint64_t kPublicExponent = 65537;
+
+void append_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+Result<std::uint32_t> read_u32(BytesView wire, std::size_t& offset) {
+  if (offset + 4 > wire.size()) return Errc::invalid_argument;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | wire[offset++];
+  return v;
+}
+
+/// EMSA-PKCS1-v1_5-style encoding: 0x00 0x01 FF..FF 0x00 || DER-ish prefix ||
+/// SHA-256(m). We use a fixed ASCII marker instead of the ASN.1 DigestInfo —
+/// the structure (fixed padding, full-width message representative) is what
+/// the security argument needs.
+Result<Bignum> encode_message(BytesView message, std::size_t em_len) {
+  static const char kMarker[] = "sha256:";
+  const Digest digest = Sha256::hash(message);
+  const std::size_t t_len = sizeof(kMarker) - 1 + digest.size();
+  if (em_len < t_len + 11) return Errc::crypto_failure;  // key too small
+  Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), em_len - t_len - 3, 0xFF);
+  em.push_back(0x00);
+  em.insert(em.end(), kMarker, kMarker + sizeof(kMarker) - 1);
+  em.insert(em.end(), digest.begin(), digest.end());
+  return Bignum::from_bytes(em);
+}
+
+}  // namespace
+
+Digest RsaPublicKey::fingerprint() const { return Sha256::hash(serialize()); }
+
+Bytes RsaPublicKey::serialize() const {
+  Bytes out;
+  const Bytes n_bytes = n.to_bytes();
+  const Bytes e_bytes = e.to_bytes();
+  append_u32(out, static_cast<std::uint32_t>(n_bytes.size()));
+  out.insert(out.end(), n_bytes.begin(), n_bytes.end());
+  append_u32(out, static_cast<std::uint32_t>(e_bytes.size()));
+  out.insert(out.end(), e_bytes.begin(), e_bytes.end());
+  return out;
+}
+
+Result<RsaPublicKey> RsaPublicKey::deserialize(BytesView wire) {
+  std::size_t offset = 0;
+  auto n_len = read_u32(wire, offset);
+  if (!n_len) return n_len.error();
+  if (offset + *n_len > wire.size()) return Errc::invalid_argument;
+  const Bignum n = Bignum::from_bytes(wire.subspan(offset, *n_len));
+  offset += *n_len;
+  auto e_len = read_u32(wire, offset);
+  if (!e_len) return e_len.error();
+  if (offset + *e_len > wire.size()) return Errc::invalid_argument;
+  const Bignum e = Bignum::from_bytes(wire.subspan(offset, *e_len));
+  offset += *e_len;
+  if (offset != wire.size()) return Errc::invalid_argument;
+  if (n.is_zero() || e.is_zero()) return Errc::invalid_argument;
+  return RsaPublicKey{n, e};
+}
+
+RsaKeyPair RsaKeyPair::generate(HmacDrbg& drbg, std::size_t modulus_bits) {
+  if (modulus_bits < 384)
+    throw Error("RsaKeyPair: modulus must be at least 384 bits");
+  const Bignum e(kPublicExponent);
+  for (;;) {
+    const Bignum p = Bignum::generate_prime(drbg, modulus_bits / 2);
+    const Bignum q = Bignum::generate_prime(drbg, modulus_bits - modulus_bits / 2);
+    if (p == q) continue;
+    const Bignum n = p * q;
+    const Bignum phi = (p - Bignum(1)) * (q - Bignum(1));
+    if (Bignum::gcd(e, phi) != Bignum(1)) continue;
+    auto d = e.invmod(phi);
+    if (!d) continue;
+    return RsaKeyPair{RsaPublicKey{n, e}, std::move(*d)};
+  }
+}
+
+Bytes rsa_sign(const RsaKeyPair& key, BytesView message) {
+  const std::size_t em_len = (key.pub.n.bit_length() + 7) / 8;
+  auto em = encode_message(message, em_len);
+  if (!em) throw Error("rsa_sign: modulus too small for encoding");
+  const Bignum sig = em->powmod(key.d, key.pub.n);
+  auto padded = sig.to_bytes_padded(em_len);
+  if (!padded) throw Error("rsa_sign: signature width error");
+  return *padded;
+}
+
+Status rsa_verify(const RsaPublicKey& key, BytesView message,
+                  BytesView signature) {
+  const std::size_t em_len = (key.n.bit_length() + 7) / 8;
+  if (signature.size() != em_len) return Errc::verification_failed;
+  const Bignum sig = Bignum::from_bytes(signature);
+  if (sig >= key.n) return Errc::verification_failed;
+  const Bignum recovered = sig.powmod(key.e, key.n);
+  auto expected = encode_message(message, em_len);
+  if (!expected) return Errc::crypto_failure;
+  if (recovered != *expected) return Errc::verification_failed;
+  return Status::success();
+}
+
+}  // namespace lateral::crypto

@@ -1,0 +1,48 @@
+// RSA signatures (PKCS#1 v1.5-style padding over SHA-256), from scratch.
+//
+// Attestation quotes, vendor certificate chains and launch-policy code
+// signing all use these signatures. Key sizes are configurable: tests use
+// 512-bit keys for speed, root/vendor keys default to 1024 bits. These
+// parameters are simulation-scale, not deployment advice.
+#pragma once
+
+#include "crypto/bignum.h"
+#include "crypto/sha256.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::crypto {
+
+class HmacDrbg;
+
+struct RsaPublicKey {
+  Bignum n;  // modulus
+  Bignum e;  // public exponent (65537)
+
+  /// Stable fingerprint: SHA-256 of the serialized key.
+  Digest fingerprint() const;
+
+  /// Wire serialization (length-prefixed n and e).
+  Bytes serialize() const;
+  static Result<RsaPublicKey> deserialize(BytesView wire);
+
+  bool operator==(const RsaPublicKey&) const = default;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  Bignum d;  // private exponent
+
+  /// Generate a fresh key pair with an n of `modulus_bits`.
+  static RsaKeyPair generate(HmacDrbg& drbg, std::size_t modulus_bits);
+};
+
+/// Sign SHA-256(message) with PKCS#1 v1.5-style padding.
+Bytes rsa_sign(const RsaKeyPair& key, BytesView message);
+
+/// Verify a signature over `message`. Status with
+/// Errc::verification_failed on mismatch.
+Status rsa_verify(const RsaPublicKey& key, BytesView message,
+                  BytesView signature);
+
+}  // namespace lateral::crypto

@@ -1,0 +1,130 @@
+#include "gui/secure_gui.h"
+
+#include <algorithm>
+
+namespace lateral::gui {
+
+SecureGui::SecureGui(int width, int height)
+    : width_(width),
+      height_(height),
+      cells_(static_cast<std::size_t>(width * height), ' '),
+      owners_(static_cast<std::size_t>(width * height), 0) {
+  if (width < 16 || height < 2)
+    throw Error("SecureGui: screen too small for an indicator strip");
+  render_indicator();
+}
+
+Result<SessionId> SecureGui::create_session(const std::string& label,
+                                            TrustLevel trust, Rect viewport) {
+  if (label.empty()) return Errc::invalid_argument;
+  for (const auto& [id, session] : sessions_) {
+    if (session.label == label) return Errc::invalid_argument;  // spoof guard
+    if (session.viewport.overlaps(viewport)) return Errc::invalid_argument;
+  }
+  // Row 0 belongs to the server alone.
+  if (viewport.y < 1 || viewport.x < 0 ||
+      viewport.x + viewport.width > width_ ||
+      viewport.y + viewport.height > height_ || viewport.width <= 0 ||
+      viewport.height <= 0)
+    return Errc::invalid_argument;
+
+  const SessionId id = next_session_++;
+  sessions_.emplace(id, Session{label, trust, viewport, {}});
+  return id;
+}
+
+Status SecureGui::destroy_session(SessionId session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Errc::no_such_domain;
+  // Clear the viewport.
+  for (int y = it->second.viewport.y;
+       y < it->second.viewport.y + it->second.viewport.height; ++y) {
+    for (int x = it->second.viewport.x;
+         x < it->second.viewport.x + it->second.viewport.width; ++x) {
+      cells_[static_cast<std::size_t>(y * width_ + x)] = ' ';
+      owners_[static_cast<std::size_t>(y * width_ + x)] = 0;
+    }
+  }
+  sessions_.erase(it);
+  if (focus_ == session) {
+    focus_.reset();
+    render_indicator();
+  }
+  return Status::success();
+}
+
+Status SecureGui::draw_text(SessionId session, int x, int y,
+                            const std::string& text) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Errc::no_such_domain;
+  const Rect& vp = it->second.viewport;
+  // Coordinates are viewport-relative; the whole run must fit inside.
+  const int abs_x = vp.x + x;
+  const int abs_y = vp.y + y;
+  if (x < 0 || y < 0 || abs_y >= vp.y + vp.height ||
+      abs_x + static_cast<int>(text.size()) > vp.x + vp.width)
+    return Errc::access_denied;  // includes every indicator-spoof attempt
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    cells_[static_cast<std::size_t>(abs_y * width_ + abs_x) + i] = text[i];
+    owners_[static_cast<std::size_t>(abs_y * width_ + abs_x) + i] = session;
+  }
+  return Status::success();
+}
+
+Status SecureGui::set_focus(SessionId session) {
+  if (!sessions_.contains(session)) return Errc::no_such_domain;
+  focus_ = session;
+  render_indicator();
+  return Status::success();
+}
+
+Status SecureGui::inject_key(char key) {
+  if (!focus_) return Errc::would_block;
+  sessions_.at(*focus_).input_queue.push_back(static_cast<std::uint8_t>(key));
+  return Status::success();
+}
+
+Result<Bytes> SecureGui::read_input(SessionId session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Errc::no_such_domain;
+  Bytes out = std::move(it->second.input_queue);
+  it->second.input_queue.clear();
+  return out;
+}
+
+void SecureGui::render_indicator() {
+  std::string text;
+  if (focus_) {
+    const Session& session = sessions_.at(*focus_);
+    text = std::string("[ ") +
+           (session.trust == TrustLevel::trusted ? "GREEN" : "RED") + " | " +
+           session.label + " ]";
+  } else {
+    text = "[ --- | no focus ]";
+  }
+  text.resize(static_cast<std::size_t>(width_), ' ');
+  for (int x = 0; x < width_; ++x) {
+    cells_[static_cast<std::size_t>(x)] = text[static_cast<std::size_t>(x)];
+    owners_[static_cast<std::size_t>(x)] = 0;  // server-owned
+  }
+}
+
+std::string SecureGui::indicator_text() const {
+  std::string row = row_text(0);
+  // Trim trailing padding for readability.
+  while (!row.empty() && row.back() == ' ') row.pop_back();
+  return row;
+}
+
+std::string SecureGui::row_text(int y) const {
+  if (y < 0 || y >= height_) return {};
+  return std::string(cells_.begin() + static_cast<long>(y) * width_,
+                     cells_.begin() + (static_cast<long>(y) + 1) * width_);
+}
+
+SessionId SecureGui::owner_at(int x, int y) const {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return 0;
+  return owners_[static_cast<std::size_t>(y * width_ + x)];
+}
+
+}  // namespace lateral::gui

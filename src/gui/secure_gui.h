@@ -1,0 +1,102 @@
+// Secure GUI server (paper §III-D "Secure Path to the User"; Feske &
+// Helmuth's Nitpicker, ACSAC'05).
+//
+// "When multiple components in the system can interact with the user, it
+// can be important to securely indicate which one is currently active.
+// Otherwise, it is the user who falls victim to a confused deputy attack by
+// the system, which can be used for phishing. ... Very obvious indication
+// of a secure mode, like a simple traffic-light display may be advisable."
+//
+// The server owns a character framebuffer. Row 0 is the trusted indicator
+// strip: only the server draws there, showing the focused session's label
+// and a traffic light (green = trusted component focused, red = legacy).
+// Clients draw exclusively inside their own assigned viewport, and input
+// events are routed only to the focused session — a background session can
+// neither spoof the indicator nor sniff keystrokes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::gui {
+
+using SessionId = std::uint32_t;
+
+enum class TrustLevel : std::uint8_t { trusted, legacy };
+
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+  bool contains(int px, int py) const {
+    return px >= x && px < x + width && py >= y && py < y + height;
+  }
+  bool overlaps(const Rect& other) const {
+    return x < other.x + other.width && other.x < x + width &&
+           y < other.y + other.height && other.y < y + height;
+  }
+};
+
+class SecureGui {
+ public:
+  SecureGui(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Create a session with a unique label and a viewport. The viewport must
+  /// not intersect the indicator row or another session's viewport.
+  Result<SessionId> create_session(const std::string& label, TrustLevel trust,
+                                   Rect viewport);
+  Status destroy_session(SessionId session);
+
+  /// Client drawing: strictly clipped to the session's own viewport;
+  /// attempts to touch anything else are refused, not clipped silently —
+  /// a spoofing attempt is a signal.
+  Status draw_text(SessionId session, int x, int y, const std::string& text);
+
+  /// Focus switching is a trusted operation (think secure attention key).
+  Status set_focus(SessionId session);
+  std::optional<SessionId> focused() const { return focus_; }
+
+  /// Keyboard input: routed to the focused session only.
+  Status inject_key(char key);
+  /// Drain the input queue of a session (only its own).
+  Result<Bytes> read_input(SessionId session);
+
+  /// The trusted indicator strip (row 0) as text, rendered by the server:
+  /// "[ GREEN | label ]" or "[ RED | label ]".
+  std::string indicator_text() const;
+
+  /// A full-row screenshot for tests.
+  std::string row_text(int y) const;
+
+  /// Who owns the cell at (x, y)? 0 = server/background.
+  SessionId owner_at(int x, int y) const;
+
+ private:
+  struct Session {
+    std::string label;
+    TrustLevel trust = TrustLevel::legacy;
+    Rect viewport;
+    Bytes input_queue;
+  };
+
+  void render_indicator();
+
+  int width_;
+  int height_;
+  std::vector<char> cells_;
+  std::vector<SessionId> owners_;
+  std::map<SessionId, Session> sessions_;
+  std::optional<SessionId> focus_;
+  SessionId next_session_ = 1;
+};
+
+}  // namespace lateral::gui

@@ -1,0 +1,50 @@
+#include "hw/attacker.h"
+
+#include <algorithm>
+
+namespace lateral::hw {
+
+Result<Bytes> PhysicalAttacker::probe(PhysAddr addr, std::size_t len) const {
+  Bytes out;
+  if (const Status s = machine_.memory().raw_read(addr, len, out); !s.ok())
+    return s.error();
+  return out;
+}
+
+Status PhysicalAttacker::tamper(PhysAddr addr, BytesView data) {
+  return machine_.memory().raw_write(addr, data);
+}
+
+std::vector<PhysAddr> PhysicalAttacker::scan(Range range,
+                                             BytesView needle) const {
+  std::vector<PhysAddr> hits;
+  if (needle.empty() || range.size() < needle.size()) return hits;
+  Bytes haystack;
+  if (!machine_.memory().raw_read(range.begin, range.size(), haystack).ok())
+    return hits;
+  auto it = haystack.begin();
+  for (;;) {
+    it = std::search(it, haystack.end(), needle.begin(), needle.end());
+    if (it == haystack.end()) break;
+    hits.push_back(range.begin +
+                   static_cast<PhysAddr>(std::distance(haystack.begin(), it)));
+    ++it;
+  }
+  return hits;
+}
+
+Status PhysicalAttacker::flip_random_bits(Range range, std::size_t count,
+                                          util::Xoshiro& rng) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const PhysAddr addr = range.begin + rng.below(range.size());
+    Bytes byte;
+    if (const Status s = machine_.memory().raw_read(addr, 1, byte); !s.ok())
+      return s;
+    byte[0] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    if (const Status s = machine_.memory().raw_write(addr, byte); !s.ok())
+      return s;
+  }
+  return Status::success();
+}
+
+}  // namespace lateral::hw

@@ -1,0 +1,45 @@
+// Physical bus attacker.
+//
+// Models the paper's strongest attacker class short of chip decapsulation
+// (§II-D "Physical Exposure of Data"): off-chip wires are accessible, so
+// DRAM can be read and altered, while on-chip SRAM, ROM and fuses are
+// shielded by tamper-resistant packaging.
+//
+// Experiments use this to show which substrates keep secrets confidential
+// (SGX/SEP encrypt before data leaves the die) and which do not (plain
+// MMU isolation).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/machine.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace lateral::hw {
+
+class PhysicalAttacker {
+ public:
+  explicit PhysicalAttacker(Machine& machine) : machine_(machine) {}
+
+  /// Probe DRAM. Fails (access_denied) only for on-chip regions.
+  Result<Bytes> probe(PhysAddr addr, std::size_t len) const;
+
+  /// Overwrite DRAM content (cold-boot / interposer attack).
+  Status tamper(PhysAddr addr, BytesView data);
+
+  /// Scan a range for a byte pattern (e.g. a known key or plaintext
+  /// fragment). Returns the offsets of all matches.
+  std::vector<PhysAddr> scan(Range range, BytesView needle) const;
+
+  /// Flip `count` random bits in the range (rowhammer-style corruption).
+  Status flip_random_bits(Range range, std::size_t count, util::Xoshiro& rng);
+
+ private:
+  Machine& machine_;
+};
+
+}  // namespace lateral::hw

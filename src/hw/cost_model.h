@@ -1,0 +1,63 @@
+// Cycle-cost model of the simulated machine.
+//
+// Every substrate operation advances the machine clock by one of these
+// constants, so benchmark results are deterministic and reproducible.
+// The constants are calibrated to the order of magnitude of published
+// measurements (L4 IPC papers, SGX ECALL microbenchmarks, TPM command
+// latencies) — the *ratios* between substrates are the experimental signal,
+// not the absolute values. See EXPERIMENTS.md for the calibration notes.
+#pragma once
+
+#include "util/types.h"
+
+namespace lateral::hw {
+
+struct CostModel {
+  // --- Microkernel (seL4/L4Re class) ---
+  Cycles syscall = 150;                  // kernel entry/exit
+  Cycles context_switch = 700;           // address-space switch
+  Cycles ipc_one_way = 750;              // send+switch+receive, small message
+  Cycles ipc_per_16_bytes = 4;           // message copy
+
+  // --- ARM TrustZone ---
+  Cycles smc_world_switch = 3500;        // secure monitor call, one direction
+  Cycles tz_secure_os_dispatch = 1200;   // secure-world OS demultiplexing
+
+  // --- Intel SGX ---
+  Cycles sgx_eenter = 4000;
+  Cycles sgx_eexit = 4000;
+  Cycles sgx_ocall_extra = 2000;         // stack switch + edge routines
+  Cycles epc_crypt_per_16_bytes = 40;    // memory-encryption engine
+  Cycles sgx_ereport = 3000;             // local attestation report
+
+  // --- TPM (discrete chip on a slow bus) ---
+  Cycles tpm_command_base = 3'000'000;   // any command: LPC bus + firmware
+  Cycles tpm_per_byte = 300;             // payload transfer
+  Cycles tpm_sign_extra = 9'000'000;     // RSA inside the chip
+
+  // --- Apple SEP / HSM-style coprocessor ---
+  Cycles sep_mailbox_round_trip = 30'000;
+  Cycles sep_inline_crypt_per_16_bytes = 8;  // dedicated inline engine
+
+  // --- Generic hardware ---
+  Cycles memcpy_per_16_bytes = 2;
+  Cycles dma_setup = 500;
+  Cycles dma_per_page = 250;
+  Cycles page_table_update = 60;
+
+  // --- Software crypto (used when a substrate lacks an engine) ---
+  Cycles sw_aes_per_16_bytes = 160;
+  Cycles sw_sha_per_64_bytes = 600;
+  Cycles sw_rsa_sign = 12'000'000;       // 1024-bit private-key op
+  Cycles sw_rsa_verify = 300'000;        // e = 65537
+  Cycles sw_dh_exp = 8'000'000;
+
+  // --- Scheduling ---
+  Cycles timer_tick = 10'000;            // preemption grain
+  Cycles partition_switch = 2'000;       // time-partition flush (incl. cache)
+
+  /// The default model shared by most tests and benches.
+  static const CostModel& standard();
+};
+
+}  // namespace lateral::hw

@@ -1,0 +1,67 @@
+#include "hw/iommu.h"
+
+#include "hw/machine.h"
+
+namespace lateral::hw {
+
+Status Iommu::map(DeviceId dev, PhysAddr page, std::size_t pages,
+                  bool writable) {
+  if (page % kPageSize != 0) return Errc::invalid_argument;
+  auto& table = tables_[dev];
+  for (std::size_t i = 0; i < pages; ++i)
+    table[page + i * kPageSize] = Entry{writable};
+  return Status::success();
+}
+
+Status Iommu::unmap(DeviceId dev, PhysAddr page, std::size_t pages) {
+  if (page % kPageSize != 0) return Errc::invalid_argument;
+  const auto it = tables_.find(dev);
+  if (it == tables_.end()) return Errc::invalid_argument;
+  for (std::size_t i = 0; i < pages; ++i)
+    it->second.erase(page + i * kPageSize);
+  return Status::success();
+}
+
+Status Iommu::check(DeviceId dev, PhysAddr addr, std::size_t len,
+                    bool is_write) const {
+  if (mode_ == Mode::disabled) return Status::success();
+  const auto table_it = tables_.find(dev);
+  if (table_it == tables_.end()) return Errc::access_denied;
+  const auto& table = table_it->second;
+  for (PhysAddr page = addr & ~(std::uint64_t(kPageSize) - 1);
+       page < addr + len; page += kPageSize) {
+    const auto it = table.find(page);
+    if (it == table.end()) return Errc::access_denied;
+    if (is_write && !it->second.writable) return Errc::access_denied;
+  }
+  return Status::success();
+}
+
+Device::Device(DeviceId id, std::string name, Machine& machine, Iommu& iommu)
+    : id_(id), name_(std::move(name)), machine_(machine), iommu_(iommu) {}
+
+Result<Bytes> Device::dma_read(PhysAddr addr, std::size_t len) {
+  machine_.advance(machine_.costs().dma_setup +
+                   machine_.costs().dma_per_page * ((len + kPageSize - 1) / kPageSize));
+  if (const Status s = iommu_.check(id_, addr, len, /*is_write=*/false);
+      !s.ok())
+    return s.error();
+  Bytes out;
+  // DMA bypasses CPU-side checks (secure_only, owner tags) by design — the
+  // IOMMU is the only line of defence. It still cannot reach on-chip memory.
+  if (const Status s = machine_.memory().raw_read(addr, len, out); !s.ok())
+    return s.error();
+  return out;
+}
+
+Status Device::dma_write(PhysAddr addr, BytesView data) {
+  machine_.advance(machine_.costs().dma_setup +
+                   machine_.costs().dma_per_page *
+                       ((data.size() + kPageSize - 1) / kPageSize));
+  if (const Status s = iommu_.check(id_, addr, data.size(), /*is_write=*/true);
+      !s.ok())
+    return s;
+  return machine_.memory().raw_write(addr, data);
+}
+
+}  // namespace lateral::hw

@@ -1,0 +1,75 @@
+// IOMMU and DMA-capable devices.
+//
+// The paper (§II-D): "peripheral devices are also capable of direct DRAM
+// access ... IOMMUs control memory access by the device the same way MMUs
+// control memory access by the CPU." A Device performs DMA through the
+// machine's IOMMU; without a mapping, the transfer is refused — with the
+// IOMMU absent or permissive, a malicious driver can overwrite anything
+// off-chip (the attack the fig6 ablation demonstrates).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "hw/memory.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::hw {
+
+class Machine;
+
+using DeviceId = std::uint32_t;
+
+/// Page-granular DMA permission table, per device.
+class Iommu {
+ public:
+  enum class Mode {
+    disabled,    // all DMA allowed (legacy platforms)
+    enforcing,   // only mapped pages allowed
+  };
+
+  explicit Iommu(Mode mode) : mode_(mode) {}
+
+  Mode mode() const { return mode_; }
+  void set_mode(Mode mode) { mode_ = mode; }
+
+  /// Allow device `dev` to DMA into [page, page+pages).
+  Status map(DeviceId dev, PhysAddr page, std::size_t pages, bool writable);
+  Status unmap(DeviceId dev, PhysAddr page, std::size_t pages);
+
+  /// Check a DMA access. Errc::access_denied when not mapped.
+  Status check(DeviceId dev, PhysAddr addr, std::size_t len,
+               bool is_write) const;
+
+ private:
+  struct Entry {
+    bool writable = false;
+  };
+  Mode mode_;
+  std::map<DeviceId, std::map<PhysAddr, Entry>> tables_;
+};
+
+/// A DMA-capable peripheral. Its *driver* runs in some domain; a compromised
+/// driver issues arbitrary DMA through this interface.
+class Device {
+ public:
+  Device(DeviceId id, std::string name, Machine& machine, Iommu& iommu);
+
+  DeviceId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// DMA transfers; both directions are checked by the IOMMU.
+  Result<Bytes> dma_read(PhysAddr addr, std::size_t len);
+  Status dma_write(PhysAddr addr, BytesView data);
+
+ private:
+  DeviceId id_;
+  std::string name_;
+  Machine& machine_;
+  Iommu& iommu_;
+};
+
+}  // namespace lateral::hw

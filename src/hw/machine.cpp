@@ -1,0 +1,70 @@
+#include "hw/machine.h"
+
+#include "crypto/hmac.h"
+
+namespace lateral::hw {
+
+const CostModel& CostModel::standard() {
+  static const CostModel model{};
+  return model;
+}
+
+FuseBank::FuseBank(crypto::Aes128Key device_key,
+                   crypto::RsaKeyPair endorsement_key, Bytes endorsement_cert)
+    : device_key_(device_key),
+      endorsement_key_(std::move(endorsement_key)),
+      endorsement_cert_(std::move(endorsement_cert)) {}
+
+BootRom::BootRom(Bytes image)
+    : image_(std::move(image)), measurement_(crypto::Sha256::hash(image_)) {}
+
+Vendor::Vendor(std::uint64_t seed, std::size_t key_bits) {
+  Bytes seed_bytes(8);
+  for (int i = 0; i < 8; ++i)
+    seed_bytes[i] = static_cast<std::uint8_t>(seed >> (8 * i));
+  drbg_ = std::make_unique<crypto::HmacDrbg>(seed_bytes);
+  root_ = crypto::RsaKeyPair::generate(*drbg_, key_bits);
+}
+
+FuseBank Vendor::manufacture_fuses() {
+  crypto::Aes128Key device_key{};
+  const Bytes dk = drbg_->generate(device_key.size());
+  std::copy(dk.begin(), dk.end(), device_key.begin());
+
+  // Device endorsement keys are small for simulation speed; the chain of
+  // custody (vendor root signs endorsement pub) is what the protocols need.
+  crypto::RsaKeyPair ek = crypto::RsaKeyPair::generate(*drbg_, 512);
+  Bytes cert = crypto::rsa_sign(root_, ek.pub.serialize());
+  return FuseBank(device_key, std::move(ek), std::move(cert));
+}
+
+Machine::Machine(MachineConfig config, Vendor& vendor, Bytes boot_rom_image)
+    : config_(std::move(config)),
+      costs_(CostModel::standard()),
+      memory_(1 * kPageSize + config_.sram_bytes + config_.dram_bytes),
+      fuses_(vendor.manufacture_fuses()),
+      boot_rom_(std::move(boot_rom_image)) {
+  // Layout: [rom | sram | dram].
+  PhysAddr cursor = 0;
+  auto rom = memory_.add_region("rom", cursor, kPageSize,
+                                {.on_chip = true, .read_only = true});
+  if (!rom) throw Error("Machine: rom region setup failed");
+  cursor += kPageSize;
+
+  auto sram = memory_.add_region("sram", cursor, config_.sram_bytes,
+                                 {.on_chip = true});
+  if (!sram) throw Error("Machine: sram region setup failed");
+  sram_ = *sram;
+  cursor += config_.sram_bytes;
+
+  auto dram = memory_.add_region("dram", cursor, config_.dram_bytes, {});
+  if (!dram) throw Error("Machine: dram region setup failed");
+  dram_ = *dram;
+
+  // Place the boot ROM image (truncated to the ROM page if oversized).
+  const std::size_t rom_len =
+      std::min<std::size_t>(boot_rom_.image().size(), kPageSize);
+  memory_.load(0, boot_rom_.image().subspan(0, rom_len));
+}
+
+}  // namespace lateral::hw

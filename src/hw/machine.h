@@ -1,0 +1,128 @@
+// The simulated machine: clock, physical memory, fuse bank, boot ROM.
+//
+// A Machine is the unit a substrate is instantiated on. Distributed
+// scenarios (smart meter <-> utility server) create several machines and
+// connect them through net::SimNetwork.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+#include "hw/cost_model.h"
+#include "hw/memory.h"
+#include "util/types.h"
+
+namespace lateral::hw {
+
+/// Keys fused into the silicon at manufacturing time. Only reachable by
+/// substrate code holding a SecurityState::secure / on-die execution
+/// context — the substrates gate access; the bank itself is on-chip.
+class FuseBank {
+ public:
+  FuseBank(crypto::Aes128Key device_key, crypto::RsaKeyPair endorsement_key,
+           Bytes endorsement_cert);
+
+  /// Per-device symmetric key (TrustZone-style fused AES key).
+  const crypto::Aes128Key& device_key() const { return device_key_; }
+
+  /// Device endorsement key pair (TPM EK / SGX provisioning-key analogue).
+  const crypto::RsaKeyPair& endorsement_key() const { return endorsement_key_; }
+
+  /// Vendor signature over the endorsement public key: the root of every
+  /// attestation chain.
+  BytesView endorsement_cert() const { return endorsement_cert_; }
+
+ private:
+  crypto::Aes128Key device_key_;
+  crypto::RsaKeyPair endorsement_key_;
+  Bytes endorsement_cert_;
+};
+
+/// Immutable first-stage boot code with its measurement. The trust anchor
+/// for secure/authenticated boot: its hash cannot change after manufacture.
+class BootRom {
+ public:
+  explicit BootRom(Bytes image);
+  BytesView image() const { return image_; }
+  const crypto::Digest& measurement() const { return measurement_; }
+
+ private:
+  Bytes image_;
+  crypto::Digest measurement_;
+};
+
+/// Hardware vendor: owns the root signing key and endorses device fuses.
+/// One Vendor typically signs many machines (like Intel or a TPM CA).
+class Vendor {
+ public:
+  explicit Vendor(std::uint64_t seed, std::size_t key_bits = 1024);
+
+  const crypto::RsaPublicKey& root_public_key() const { return root_.pub; }
+
+  /// Manufacture a fuse bank: generate device keys and sign the endorsement.
+  FuseBank manufacture_fuses();
+
+ private:
+  crypto::RsaKeyPair root_;
+  std::unique_ptr<crypto::HmacDrbg> drbg_;
+};
+
+struct MachineConfig {
+  std::string name = "machine";
+  std::size_t dram_bytes = 16 * 1024 * 1024;
+  std::size_t sram_bytes = 256 * 1024;  // on-chip scratchpad
+};
+
+class Machine {
+ public:
+  /// Builds memory with three standard regions:
+  ///   "rom"  (on-chip, read-only), "sram" (on-chip), "dram" (off-chip).
+  Machine(MachineConfig config, Vendor& vendor, Bytes boot_rom_image);
+
+  const std::string& name() const { return config_.name; }
+
+  PhysicalMemory& memory() { return memory_; }
+  const PhysicalMemory& memory() const { return memory_; }
+
+  const FuseBank& fuses() const { return fuses_; }
+  const BootRom& boot_rom() const { return boot_rom_; }
+  const CostModel& costs() const { return costs_; }
+
+  /// DRAM range available for substrate use.
+  Range dram() const { return dram_; }
+  Range sram() const { return sram_; }
+
+  /// Simulated clock.
+  Cycles now() const { return clock_; }
+  void advance(Cycles cycles) { clock_ += cycles; }
+
+  /// Charge a data-dependent cost: base + per_16B * ceil(len/16).
+  void charge(Cycles base, Cycles per_16_bytes, std::size_t len) {
+    clock_ += base + per_16_bytes * ((len + 15) / 16);
+  }
+
+  /// On-chip monotonic counter (TPM NV counter analogue). Trusted wrappers
+  /// use it to detect rollback of sealed state: a physical attacker can
+  /// replay old DRAM/disk content but cannot decrement this counter.
+  std::uint64_t nv_counter() const { return nv_counter_; }
+  std::uint64_t nv_counter_increment() { return ++nv_counter_; }
+
+ private:
+  MachineConfig config_;
+  CostModel costs_;
+  PhysicalMemory memory_;
+  FuseBank fuses_;
+  BootRom boot_rom_;
+  Range dram_{};
+  Range sram_{};
+  Cycles clock_ = 0;
+  std::uint64_t nv_counter_ = 0;
+};
+
+}  // namespace lateral::hw

@@ -1,0 +1,176 @@
+#include "legacy/filesystem.h"
+
+#include <algorithm>
+
+namespace lateral::legacy {
+
+LegacyFilesystem::File* LegacyFilesystem::find(const std::string& path) {
+  const auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+const LegacyFilesystem::File* LegacyFilesystem::find(
+    const std::string& path) const {
+  const auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+Status LegacyFilesystem::create(const std::string& path) {
+  if (path.empty()) return Errc::invalid_argument;
+  const auto [it, inserted] = files_.emplace(path, File{});
+  (void)it;
+  return inserted ? Status::success() : Status(Errc::invalid_argument);
+}
+
+bool LegacyFilesystem::exists(const std::string& path) const {
+  return files_.contains(path);
+}
+
+Result<std::size_t> LegacyFilesystem::size(const std::string& path) const {
+  const File* file = find(path);
+  if (!file) return Errc::io_error;
+  return file->size;
+}
+
+Status LegacyFilesystem::remove(const std::string& path) {
+  return files_.erase(path) ? Status::success() : Status(Errc::io_error);
+}
+
+Status LegacyFilesystem::rename(const std::string& from,
+                                const std::string& to) {
+  const auto it = files_.find(from);
+  if (it == files_.end()) return Errc::io_error;
+  if (files_.contains(to)) return Errc::invalid_argument;
+  files_.emplace(to, std::move(it->second));
+  files_.erase(it);
+  return Status::success();
+}
+
+Status LegacyFilesystem::truncate(const std::string& path,
+                                  std::size_t new_size) {
+  File* file = find(path);
+  if (!file) return Errc::io_error;
+  file->size = new_size;
+  const std::size_t blocks_needed = (new_size + kBlockSize - 1) / kBlockSize;
+  file->blocks.resize(blocks_needed);
+  for (auto& block : file->blocks)
+    if (block.size() != kBlockSize) block.resize(kBlockSize, 0);
+  return Status::success();
+}
+
+std::vector<std::string> LegacyFilesystem::list(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, file] : files_)
+    if (path.starts_with(prefix)) out.push_back(path);
+  return out;
+}
+
+Status LegacyFilesystem::write(const std::string& path, std::size_t offset,
+                               BytesView data) {
+  File* file = find(path);
+  if (!file) return Errc::io_error;
+  stats_.writes++;
+  stats_.bytes_written += data.size();
+  if (drop_writes_) return Status::success();  // lies about durability
+
+  const std::size_t end = offset + data.size();
+  if (end > file->size) {
+    file->size = end;
+    const std::size_t blocks_needed = (end + kBlockSize - 1) / kBlockSize;
+    while (file->blocks.size() < blocks_needed)
+      file->blocks.emplace_back(kBlockSize, 0);
+  }
+  std::size_t cursor = offset;
+  while (!data.empty()) {
+    const std::size_t block = cursor / kBlockSize;
+    const std::size_t in_block = cursor % kBlockSize;
+    const std::size_t n = std::min(data.size(), kBlockSize - in_block);
+    std::copy(data.begin(), data.begin() + static_cast<long>(n),
+              file->blocks[block].begin() + static_cast<long>(in_block));
+    data = data.subspan(n);
+    cursor += n;
+  }
+  return Status::success();
+}
+
+Result<Bytes> LegacyFilesystem::read(const std::string& path,
+                                     std::size_t offset,
+                                     std::size_t len) const {
+  const File* file = find(path);
+  if (!file) return Errc::io_error;
+  if (fail_reads_) return Errc::io_error;
+  stats_.reads++;
+  if (offset >= file->size) return Bytes{};
+  len = std::min(len, file->size - offset);
+  stats_.bytes_read += len;
+
+  Bytes out;
+  out.reserve(len);
+  std::size_t cursor = offset;
+  std::size_t remaining = len;
+  while (remaining > 0) {
+    const std::size_t block = cursor / kBlockSize;
+    const std::size_t in_block = cursor % kBlockSize;
+    const std::size_t n = std::min(remaining, kBlockSize - in_block);
+    const Bytes& b = file->blocks[block];
+    out.insert(out.end(), b.begin() + static_cast<long>(in_block),
+               b.begin() + static_cast<long>(in_block + n));
+    cursor += n;
+    remaining -= n;
+  }
+  return out;
+}
+
+Status LegacyFilesystem::corrupt_random_bit(const std::string& path,
+                                            util::Xoshiro& rng) {
+  File* file = find(path);
+  if (!file || file->size == 0) return Errc::io_error;
+  const std::size_t byte_index = rng.below(file->size);
+  const std::size_t block = byte_index / kBlockSize;
+  const std::size_t in_block = byte_index % kBlockSize;
+  file->blocks[block][in_block] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+  return Status::success();
+}
+
+Status LegacyFilesystem::tamper_block(const std::string& path,
+                                      std::size_t block_index,
+                                      BytesView content) {
+  File* file = find(path);
+  if (!file || block_index >= file->blocks.size()) return Errc::io_error;
+  Bytes& block = file->blocks[block_index];
+  const std::size_t n = std::min(content.size(), block.size());
+  std::copy(content.begin(), content.begin() + static_cast<long>(n),
+            block.begin());
+  return Status::success();
+}
+
+Status LegacyFilesystem::snapshot(const std::string& path) {
+  const File* file = find(path);
+  if (!file) return Errc::io_error;
+  snapshots_[path] = *file;
+  return Status::success();
+}
+
+Status LegacyFilesystem::rollback(const std::string& path) {
+  const auto it = snapshots_.find(path);
+  if (it == snapshots_.end()) return Errc::io_error;
+  files_[path] = it->second;
+  return Status::success();
+}
+
+Result<Bytes> LegacyFilesystem::snoop(const std::string& path) const {
+  const File* file = find(path);
+  if (!file) return Errc::io_error;
+  Bytes out;
+  out.reserve(file->size);
+  std::size_t remaining = file->size;
+  for (const Bytes& block : file->blocks) {
+    const std::size_t n = std::min(remaining, block.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<long>(n));
+    remaining -= n;
+  }
+  return out;
+}
+
+}  // namespace lateral::legacy

@@ -1,0 +1,86 @@
+// Simulated legacy file system stack.
+//
+// The paper (§III-D "Trusted Reuse"): file system stacks "comprise in the
+// order of tens of thousands of lines of code and are therefore likely to
+// contain exploitable weaknesses. Thus, trusted components should not rely
+// on file system code to maintain data integrity or confidentiality."
+//
+// This class IS that untrusted stack: a block-oriented in-memory filesystem
+// that works correctly until an experiment injects misbehaviour — silent
+// bit corruption, block-level tampering, replay of stale content, dropped
+// writes, or plain snooping. vpfs::Vpfs wraps it so none of that matters.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace lateral::legacy {
+
+constexpr std::size_t kBlockSize = 4096;
+
+struct FsStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+class LegacyFilesystem {
+ public:
+  LegacyFilesystem() = default;
+
+  // --- Normal interface ---------------------------------------------------
+  Status create(const std::string& path);
+  bool exists(const std::string& path) const;
+  Result<std::size_t> size(const std::string& path) const;
+  Status remove(const std::string& path);
+  Status rename(const std::string& from, const std::string& to);
+  Status truncate(const std::string& path, std::size_t new_size);
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Write extends the file as needed.
+  Status write(const std::string& path, std::size_t offset, BytesView data);
+  Result<Bytes> read(const std::string& path, std::size_t offset,
+                     std::size_t len) const;
+
+  const FsStats& stats() const { return stats_; }
+
+  // --- Misbehaviour injection (the "assumed compromised" part) -------------
+  /// Flip one random bit inside the file (silent media corruption).
+  Status corrupt_random_bit(const std::string& path, util::Xoshiro& rng);
+  /// Overwrite a whole block with attacker-chosen bytes.
+  Status tamper_block(const std::string& path, std::size_t block_index,
+                      BytesView content);
+  /// Capture current content to later serve stale data (rollback attack).
+  Status snapshot(const std::string& path);
+  Status rollback(const std::string& path);
+  /// When set, write() claims success but changes nothing.
+  void set_drop_writes(bool drop) { drop_writes_ = drop; }
+  /// When set, every read() fails with io_error.
+  void set_fail_reads(bool fail) { fail_reads_ = fail; }
+  /// Raw peek at stored bytes — what a compromised FS stack can exfiltrate.
+  Result<Bytes> snoop(const std::string& path) const;
+
+ private:
+  struct File {
+    std::vector<Bytes> blocks;  // each kBlockSize except possibly the last
+    std::size_t size = 0;
+  };
+
+  File* find(const std::string& path);
+  const File* find(const std::string& path) const;
+
+  std::map<std::string, File> files_;
+  std::map<std::string, File> snapshots_;
+  mutable FsStats stats_;
+  bool drop_writes_ = false;
+  bool fail_reads_ = false;
+};
+
+}  // namespace lateral::legacy

@@ -1,0 +1,35 @@
+#include "legacy/legacy_os.h"
+
+namespace lateral::legacy {
+
+LegacyOs::LegacyOs(std::string name) : name_(std::move(name)) {}
+
+Status LegacyOs::register_service(const std::string& service,
+                                  Service handler) {
+  if (service.empty() || !handler) return Errc::invalid_argument;
+  const auto [it, inserted] = services_.emplace(service, std::move(handler));
+  (void)it;
+  return inserted ? Status::success() : Status(Errc::invalid_argument);
+}
+
+Result<Bytes> LegacyOs::call_service(const std::string& service,
+                                     BytesView request) {
+  const auto it = services_.find(service);
+  if (it == services_.end()) return Errc::invalid_argument;
+
+  if (mode_ == MaliciousMode::refuse_service) return Errc::io_error;
+  if (mode_ == MaliciousMode::leak_requests)
+    attacker_log_.emplace_back(request.begin(), request.end());
+
+  Result<Bytes> reply = it->second(request);
+  if (!reply) return reply;
+
+  if (mode_ == MaliciousMode::tamper_replies && !reply->empty()) {
+    // Deterministic corruption: flip a bit in the middle of the reply. A
+    // caller without a trusted wrapper will happily consume this.
+    (*reply)[reply->size() / 2] ^= 0x40;
+  }
+  return reply;
+}
+
+}  // namespace lateral::legacy

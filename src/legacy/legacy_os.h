@@ -1,0 +1,64 @@
+// Simulated legacy operating system / monolithic codebase.
+//
+// Paper §II-A: "legacy code is considered not trustworthy and assumed to be
+// compromised." A LegacyOs bundles the services a trusted component might
+// want to reuse (file system, name service, arbitrary registered services)
+// behind one dispatch surface, plus an explicit compromise switch. Once
+// compromised, every service misbehaves according to the selected mode —
+// exactly the adversary VPFS-style trusted wrappers must survive.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "legacy/filesystem.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::legacy {
+
+/// How a compromised legacy OS misbehaves.
+enum class MaliciousMode : std::uint8_t {
+  honest,          // not compromised
+  tamper_replies,  // flips bytes in every service reply
+  leak_requests,   // records all request payloads for the attacker
+  refuse_service,  // denial of service
+};
+
+class LegacyOs {
+ public:
+  using Service = std::function<Result<Bytes>(BytesView request)>;
+
+  explicit LegacyOs(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// The (untrusted) file system stack this OS offers.
+  LegacyFilesystem& filesystem() { return fs_; }
+  const LegacyFilesystem& filesystem() const { return fs_; }
+
+  /// Register a named service (e.g. "dns", "time", "render").
+  Status register_service(const std::string& service, Service handler);
+
+  /// Invoke a service. Replies pass through the compromise filter: callers
+  /// that don't vet replies inherit whatever the attacker injected.
+  Result<Bytes> call_service(const std::string& service, BytesView request);
+
+  // --- Compromise model ----------------------------------------------------
+  void compromise(MaliciousMode mode) { mode_ = mode; }
+  bool is_compromised() const { return mode_ != MaliciousMode::honest; }
+  MaliciousMode mode() const { return mode_; }
+
+  /// Everything a leak_requests attacker has captured so far.
+  const std::vector<Bytes>& attacker_log() const { return attacker_log_; }
+
+ private:
+  std::string name_;
+  LegacyFilesystem fs_;
+  std::map<std::string, Service> services_;
+  MaliciousMode mode_ = MaliciousMode::honest;
+  std::vector<Bytes> attacker_log_;
+};
+
+}  // namespace lateral::legacy

@@ -1,0 +1,33 @@
+#include "mail/addressbook.h"
+
+namespace lateral::mail {
+
+Status AddressBook::add(const std::string& name, const std::string& address) {
+  if (name.empty() || address.find('@') == std::string::npos)
+    return Errc::invalid_argument;
+  contacts_[name] = address;
+  return Status::success();
+}
+
+Result<std::string> AddressBook::lookup(const std::string& name) const {
+  const auto it = contacts_.find(name);
+  if (it == contacts_.end()) return Errc::invalid_argument;
+  return it->second;
+}
+
+Status AddressBook::remove(const std::string& name) {
+  return contacts_.erase(name) ? Status::success()
+                               : Status(Errc::invalid_argument);
+}
+
+std::vector<std::string> AddressBook::complete(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = contacts_.lower_bound(prefix); it != contacts_.end(); ++it) {
+    if (it->first.rfind(prefix, 0) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace lateral::mail

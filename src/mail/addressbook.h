@@ -1,0 +1,31 @@
+// AddressBook — "highly personal data such as user dictionaries ... or
+// auto correction based on phrases and names previously used" (paper
+// §III-C). Holds contacts and serves prefix completion; in the decomposed
+// client it runs in its own domain so nothing but the composer UI path can
+// reach it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace lateral::mail {
+
+class AddressBook {
+ public:
+  Status add(const std::string& name, const std::string& address);
+  Result<std::string> lookup(const std::string& name) const;
+  Status remove(const std::string& name);
+  std::size_t size() const { return contacts_.size(); }
+
+  /// Names starting with `prefix` (the autocompletion the input method
+  /// consumes), sorted.
+  std::vector<std::string> complete(const std::string& prefix) const;
+
+ private:
+  std::map<std::string, std::string> contacts_;
+};
+
+}  // namespace lateral::mail

@@ -1,0 +1,86 @@
+// MailClient — the fully decomposed mail application of paper §III-C,
+// assembled on one isolation substrate.
+//
+//   ui ── imap ── tls ──(exclusive NIC)── remote ImapServer
+//    ├─── render          (HTML sanitizer; exploitable by crafted mail)
+//    ├─── addressbook     (contacts + completion)
+//    └─── storage         (MailStore on VPFS over an untrusted disk)
+//
+// Every box is a substrate domain; every edge is a manifest-declared
+// channel; everything else is refused by POLA. The UI component drives the
+// others through substrate invocations only — exactly the "horizontal
+// aggregate of communicating components" of Fig. 1.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/composer.h"
+#include "legacy/filesystem.h"
+#include "mail/addressbook.h"
+#include "mail/imap.h"
+#include "mail/input_method.h"
+#include "mail/mailstore.h"
+#include "mail/render.h"
+#include "substrate/substrate.h"
+
+namespace lateral::mail {
+
+struct MailClientConfig {
+  substrate::IsolationSubstrate* substrate = nullptr;
+  /// The untrusted local disk the storage component wraps with VPFS.
+  legacy::LegacyFilesystem* disk = nullptr;
+  /// The provider's mailbox service; only the tls component can reach it
+  /// (it "has exclusive access to the device driver of the network card").
+  ImapServer* server = nullptr;
+  Bytes vpfs_seed;
+};
+
+class MailClient {
+ public:
+  static Result<std::unique_ptr<MailClient>> create(MailClientConfig config);
+
+  // --- User-facing operations (all routed through the ui component) -------
+  Status login(const std::string& user, const std::string& token);
+  /// Fetch all inbox messages from the server into local storage; returns
+  /// how many are stored locally afterwards.
+  Result<std::size_t> sync_inbox();
+  /// Render a locally stored inbox message for display.
+  Result<std::string> read_mail(std::size_t index);
+  Status add_contact(const std::string& name, const std::string& address);
+  Result<std::vector<std::string>> complete_recipient(
+      const std::string& prefix);
+  /// Compose to a contact (addressbook lookup), send (APPEND to the
+  /// server's Sent folder), store a local copy, and feed the text to the
+  /// input method's dictionary ("auto correction based on phrases
+  /// previously used").
+  Status compose(const std::string& contact, const std::string& subject,
+                 const std::string& body);
+  /// Search local mail bodies/subjects.
+  Result<std::vector<std::size_t>> search(const std::string& needle);
+  /// Word suggestions from the input-method component's dictionary.
+  Result<std::vector<std::string>> suggest_word(const std::string& prefix);
+  /// Autocorrect one word against the dictionary.
+  Result<std::string> autocorrect(const std::string& word);
+
+  // --- Introspection for experiments ---------------------------------------
+  core::Assembly& assembly() { return *assembly_; }
+  bool renderer_compromised() const { return renderer_.is_compromised(); }
+  /// Ask the substrate to flag the renderer domain (after an exploit).
+  Status flag_renderer_compromised();
+
+ private:
+  MailClient() = default;
+
+  MailClientConfig config_;
+  std::unique_ptr<core::Assembly> assembly_;
+  // Component engines (the "code" running inside each domain).
+  std::unique_ptr<ImapClient> imap_engine_;
+  HtmlRenderer renderer_;
+  AddressBook addressbook_;
+  InputMethod input_method_;
+  std::unique_ptr<MailStore> store_;
+};
+
+}  // namespace lateral::mail

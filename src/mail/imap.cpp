@@ -1,0 +1,160 @@
+#include "mail/imap.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace lateral::mail {
+namespace {
+
+/// Split "COMMAND arg1 arg2" -> tokens; the remainder after the first
+/// newline (if any) is returned separately as the payload.
+struct Parsed {
+  std::vector<std::string> tokens;
+  std::string payload;
+};
+
+Parsed parse_request(const std::string& request) {
+  Parsed out;
+  const std::size_t newline = request.find('\n');
+  const std::string command_line =
+      newline == std::string::npos ? request : request.substr(0, newline);
+  if (newline != std::string::npos) out.payload = request.substr(newline + 1);
+  std::istringstream stream(command_line);
+  std::string token;
+  while (stream >> token) out.tokens.push_back(token);
+  return out;
+}
+
+}  // namespace
+
+ImapServer::ImapServer(std::string user, std::string token)
+    : expected_user_(std::move(user)), expected_token_(std::move(token)) {
+  folders_["INBOX"];  // every account has an inbox
+}
+
+Status ImapServer::deliver(const std::string& folder, const Message& message) {
+  folders_[folder].push_back(message);
+  return Status::success();
+}
+
+std::string ImapServer::handle(const std::string& request) {
+  const Parsed parsed = parse_request(request);
+  if (parsed.tokens.empty()) return "NO empty request";
+  const std::string& command = parsed.tokens[0];
+
+  if (command == "LOGIN") {
+    if (parsed.tokens.size() != 3) return "NO syntax";
+    if (parsed.tokens[1] != expected_user_ ||
+        parsed.tokens[2] != expected_token_)
+      return "NO bad credentials";
+    logged_in_ = true;
+    return "OK";
+  }
+  if (!logged_in_) return "NO not logged in";
+
+  if (command == "LIST") {
+    std::string names;
+    for (const auto& [name, messages] : folders_) {
+      if (!names.empty()) names += ",";
+      names += name;
+    }
+    return "OK " + names;
+  }
+  if (command == "SELECT") {
+    if (parsed.tokens.size() != 2) return "NO syntax";
+    const auto it = folders_.find(parsed.tokens[1]);
+    if (it == folders_.end()) return "NO no such folder";
+    selected_ = parsed.tokens[1];
+    return "OK " + std::to_string(it->second.size());
+  }
+  if (command == "FETCH") {
+    if (parsed.tokens.size() != 2 || selected_.empty()) return "NO syntax";
+    const std::size_t index = std::strtoull(parsed.tokens[1].c_str(), nullptr, 10);
+    const auto& messages = folders_[selected_];
+    if (index >= messages.size()) return "NO no such message";
+    return "OK\n" + messages[index].to_wire();
+  }
+  if (command == "APPEND") {
+    if (parsed.tokens.size() != 2) return "NO syntax";
+    auto message = parse_message(parsed.payload);
+    if (!message) return "NO unparseable message";
+    folders_[parsed.tokens[1]].push_back(*message);
+    return "OK " + std::to_string(folders_[parsed.tokens[1]].size() - 1);
+  }
+  if (command == "EXPUNGE") {
+    if (parsed.tokens.size() != 2 || selected_.empty()) return "NO syntax";
+    const std::size_t index = std::strtoull(parsed.tokens[1].c_str(), nullptr, 10);
+    auto& messages = folders_[selected_];
+    if (index >= messages.size()) return "NO no such message";
+    messages.erase(messages.begin() + static_cast<long>(index));
+    return "OK";
+  }
+  if (command == "LOGOUT") {
+    logged_in_ = false;
+    selected_.clear();
+    return "OK";
+  }
+  return "NO unknown command";
+}
+
+ImapClient::ImapClient(Exchange exchange) : exchange_(std::move(exchange)) {
+  if (!exchange_) throw Error("ImapClient needs an exchange function");
+}
+
+Result<std::string> ImapClient::ok_payload(const std::string& request) {
+  auto reply = exchange_(request);
+  if (!reply) return reply.error();
+  if (reply->rfind("OK", 0) != 0) return Errc::io_error;  // server said NO
+  // Payload follows "OK " on the same line, or after "OK\n".
+  if (reply->size() <= 2) return std::string{};
+  if ((*reply)[2] == '\n') return reply->substr(3);
+  return reply->substr(3);
+}
+
+Status ImapClient::login(const std::string& user, const std::string& token) {
+  auto payload = ok_payload("LOGIN " + user + " " + token);
+  return payload ? Status::success() : Status(payload.error());
+}
+
+Result<std::size_t> ImapClient::select(const std::string& folder) {
+  auto payload = ok_payload("SELECT " + folder);
+  if (!payload) return payload.error();
+  return static_cast<std::size_t>(std::strtoull(payload->c_str(), nullptr, 10));
+}
+
+Result<std::vector<std::string>> ImapClient::list_folders() {
+  auto payload = ok_payload("LIST");
+  if (!payload) return payload.error();
+  std::vector<std::string> folders;
+  std::istringstream stream(*payload);
+  std::string name;
+  while (std::getline(stream, name, ',')) folders.push_back(name);
+  return folders;
+}
+
+Result<Message> ImapClient::fetch(std::size_t index) {
+  auto payload = ok_payload("FETCH " + std::to_string(index));
+  if (!payload) return payload.error();
+  // The component must vet server data: a malformed message is an error
+  // reported to the caller, never blindly passed on.
+  return parse_message(*payload);
+}
+
+Result<std::size_t> ImapClient::append(const std::string& folder,
+                                       const Message& message) {
+  auto payload = ok_payload("APPEND " + folder + "\n" + message.to_wire());
+  if (!payload) return payload.error();
+  return static_cast<std::size_t>(std::strtoull(payload->c_str(), nullptr, 10));
+}
+
+Status ImapClient::expunge(std::size_t index) {
+  auto payload = ok_payload("EXPUNGE " + std::to_string(index));
+  return payload ? Status::success() : Status(payload.error());
+}
+
+Status ImapClient::logout() {
+  auto payload = ok_payload("LOGOUT");
+  return payload ? Status::success() : Status(payload.error());
+}
+
+}  // namespace lateral::mail

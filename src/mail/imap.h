@@ -1,0 +1,72 @@
+// IMAP-ish mailbox protocol: a line-based server (the remote mail service)
+// and a client engine (the component that speaks the "complex protocols
+// such as IMAP" the paper's mail client must understand).
+//
+// Commands (one per request, text):
+//   LOGIN <user> <token>      -> OK | NO
+//   SELECT <folder>           -> OK <count>
+//   LIST                      -> OK <folder,folder,...>
+//   FETCH <n>                 -> OK <message wire format...>
+//   APPEND <folder> <wire...> -> OK <n>
+//   EXPUNGE <n>               -> OK
+//   LOGOUT                    -> OK
+// Replies start with "OK" or "NO <reason>".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mail/message.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::mail {
+
+/// The remote mailbox service (runs at the provider; untrusted from the
+/// client's perspective).
+class ImapServer {
+ public:
+  ImapServer(std::string user, std::string token);
+
+  /// Process one command line (without trailing newline).
+  std::string handle(const std::string& request);
+
+  /// Provider-side management: deliver a new message into a folder.
+  Status deliver(const std::string& folder, const Message& message);
+
+  bool logged_in() const { return logged_in_; }
+
+ private:
+  std::string expected_user_;
+  std::string expected_token_;
+  bool logged_in_ = false;
+  std::string selected_;
+  std::map<std::string, std::vector<Message>> folders_;
+};
+
+/// The client-side protocol engine. Stateless about transport: the caller
+/// supplies `exchange`, a function that sends one request line and returns
+/// the reply (typically across a SecureChannel).
+class ImapClient {
+ public:
+  using Exchange = std::function<Result<std::string>(const std::string&)>;
+
+  explicit ImapClient(Exchange exchange);
+
+  Status login(const std::string& user, const std::string& token);
+  Result<std::size_t> select(const std::string& folder);
+  Result<std::vector<std::string>> list_folders();
+  Result<Message> fetch(std::size_t index);
+  Result<std::size_t> append(const std::string& folder,
+                             const Message& message);
+  Status expunge(std::size_t index);
+  Status logout();
+
+ private:
+  Result<std::string> ok_payload(const std::string& request);
+  Exchange exchange_;
+};
+
+}  // namespace lateral::mail

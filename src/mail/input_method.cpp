@@ -1,0 +1,92 @@
+#include "mail/input_method.h"
+
+#include <algorithm>
+
+namespace lateral::mail {
+namespace {
+
+bool is_word_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '\'';
+}
+
+std::string lower(std::string s) {
+  for (char& c : s)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 32);
+  return s;
+}
+
+}  // namespace
+
+void InputMethod::learn(const std::string& text) {
+  std::string word;
+  for (const char c : text) {
+    if (is_word_char(c)) {
+      word.push_back(c);
+    } else if (!word.empty()) {
+      dictionary_[lower(word)]++;
+      word.clear();
+    }
+  }
+  if (!word.empty()) dictionary_[lower(word)]++;
+}
+
+std::vector<std::string> InputMethod::suggest(const std::string& prefix,
+                                              std::size_t limit) const {
+  const std::string p = lower(prefix);
+  std::vector<std::pair<std::string, std::uint64_t>> matches;
+  for (auto it = dictionary_.lower_bound(p); it != dictionary_.end(); ++it) {
+    if (it->first.rfind(p, 0) != 0) break;
+    matches.push_back(*it);
+  }
+  std::stable_sort(matches.begin(), matches.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < matches.size() && i < limit; ++i)
+    out.push_back(matches[i].first);
+  return out;
+}
+
+bool InputMethod::within_edit_distance_one(const std::string& a,
+                                           const std::string& b) {
+  if (a == b) return true;
+  const std::size_t la = a.size(), lb = b.size();
+  if (la > lb + 1 || lb > la + 1) return false;
+  if (la == lb) {
+    int diffs = 0;
+    for (std::size_t i = 0; i < la; ++i)
+      if (a[i] != b[i] && ++diffs > 1) return false;
+    return true;
+  }
+  // One insertion: iterate the longer, allow one skip.
+  const std::string& longer = la > lb ? a : b;
+  const std::string& shorter = la > lb ? b : a;
+  std::size_t i = 0, j = 0;
+  bool skipped = false;
+  while (i < longer.size() && j < shorter.size()) {
+    if (longer[i] == shorter[j]) {
+      ++i;
+      ++j;
+    } else {
+      if (skipped) return false;
+      skipped = true;
+      ++i;
+    }
+  }
+  return true;
+}
+
+std::string InputMethod::autocorrect(const std::string& word) const {
+  const std::string w = lower(word);
+  if (dictionary_.contains(w)) return w;
+  const std::pair<const std::string, std::uint64_t>* best = nullptr;
+  for (const auto& entry : dictionary_) {
+    if (!within_edit_distance_one(w, entry.first)) continue;
+    if (!best || entry.second > best->second) best = &entry;
+  }
+  return best ? best->first : word;
+}
+
+}  // namespace lateral::mail

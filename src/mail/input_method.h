@@ -1,0 +1,41 @@
+// InputMethod — typing assistance with a personal dictionary.
+//
+// Paper §III-C: "Any of these input methods can greatly benefit from highly
+// personal data such as user dictionaries for spell checking, training
+// datasets for voice recognition, or auto correction based on phrases and
+// names previously used. ... Access to such data should be restricted to
+// the input method code only." In the decomposed client this engine runs in
+// its own domain; only the ui channel reaches it, so a compromised renderer
+// can't slurp the dictionary (which reveals everything the user ever typed).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace lateral::mail {
+
+class InputMethod {
+ public:
+  /// Learn every word of a typed text (frequency-weighted).
+  void learn(const std::string& text);
+
+  /// Words starting with `prefix`, most frequent first (ties: lexicographic).
+  std::vector<std::string> suggest(const std::string& prefix,
+                                   std::size_t limit = 3) const;
+
+  /// Autocorrect: returns the exact word if known, else the most frequent
+  /// dictionary word within edit distance 1, else the input unchanged.
+  std::string autocorrect(const std::string& word) const;
+
+  std::size_t vocabulary() const { return dictionary_.size(); }
+
+ private:
+  static bool within_edit_distance_one(const std::string& a,
+                                       const std::string& b);
+  std::map<std::string, std::uint64_t> dictionary_;  // word -> frequency
+};
+
+}  // namespace lateral::mail

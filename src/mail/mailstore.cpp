@@ -1,0 +1,128 @@
+#include "mail/mailstore.h"
+
+#include <sstream>
+
+namespace lateral::mail {
+
+MailStore::MailStore(std::unique_ptr<vpfs::Vpfs> fs) : fs_(std::move(fs)) {
+  if (!fs_) throw Error("MailStore needs a VPFS");
+  // Recover the id counter from existing folders after a remount.
+  for (const std::string& name : fs_->list()) {
+    if (name.rfind("msg/", 0) != 0) continue;
+    const std::uint64_t id =
+        std::strtoull(name.c_str() + 4, nullptr, 10);
+    next_id_ = std::max(next_id_, id + 1);
+  }
+}
+
+std::string MailStore::index_path(const std::string& folder) const {
+  return "folder/" + folder;
+}
+
+std::string MailStore::message_path(const std::string& folder,
+                                    std::uint64_t id) const {
+  (void)folder;  // messages are stored flat; folders reference them by id
+  return "msg/" + std::to_string(id);
+}
+
+Status MailStore::create_folder(const std::string& folder) {
+  if (folder.empty() || folder.find('/') != std::string::npos)
+    return Errc::invalid_argument;
+  if (fs_->exists(index_path(folder))) return Errc::invalid_argument;
+  return fs_->create(index_path(folder));
+}
+
+std::vector<std::string> MailStore::folders() const {
+  std::vector<std::string> out;
+  for (const std::string& name : fs_->list())
+    if (name.rfind("folder/", 0) == 0) out.push_back(name.substr(7));
+  return out;
+}
+
+Result<std::vector<std::uint64_t>> MailStore::read_index(
+    const std::string& folder) const {
+  if (!fs_->exists(index_path(folder))) return Errc::invalid_argument;
+  auto size = fs_->size(index_path(folder));
+  if (!size) return size.error();
+  auto raw = fs_->read(index_path(folder), 0, *size);
+  if (!raw) return raw.error();
+  std::vector<std::uint64_t> ids;
+  std::istringstream stream(to_string(*raw));
+  std::string line;
+  while (std::getline(stream, line))
+    if (!line.empty()) ids.push_back(std::strtoull(line.c_str(), nullptr, 10));
+  return ids;
+}
+
+Status MailStore::write_index(const std::string& folder,
+                              const std::vector<std::uint64_t>& ids) {
+  std::ostringstream out;
+  for (const std::uint64_t id : ids) out << id << "\n";
+  const std::string text = out.str();
+  // Rewrite from scratch: remove + recreate keeps the file compact.
+  if (fs_->exists(index_path(folder)))
+    if (const Status s = fs_->remove(index_path(folder)); !s.ok()) return s;
+  if (const Status s = fs_->create(index_path(folder)); !s.ok()) return s;
+  return fs_->write(index_path(folder), 0, to_bytes(text));
+}
+
+Result<std::size_t> MailStore::store(const std::string& folder,
+                                     const Message& message) {
+  auto ids = read_index(folder);
+  if (!ids) return ids.error();
+  const std::uint64_t id = next_id_++;
+  const std::string path = message_path(folder, id);
+  if (const Status s = fs_->create(path); !s.ok()) return s.error();
+  if (const Status s = fs_->write(path, 0, to_bytes(message.to_wire()));
+      !s.ok())
+    return s.error();
+  ids->push_back(id);
+  if (const Status s = write_index(folder, *ids); !s.ok()) return s.error();
+  return ids->size() - 1;
+}
+
+Result<Message> MailStore::load(const std::string& folder, std::size_t index) {
+  auto ids = read_index(folder);
+  if (!ids) return ids.error();
+  if (index >= ids->size()) return Errc::invalid_argument;
+  const std::string path = message_path(folder, (*ids)[index]);
+  auto size = fs_->size(path);
+  if (!size) return size.error();
+  auto raw = fs_->read(path, 0, *size);
+  if (!raw) return raw.error();
+  return parse_message(to_string(*raw));
+}
+
+Result<std::size_t> MailStore::count(const std::string& folder) const {
+  auto ids = read_index(folder);
+  if (!ids) return ids.error();
+  return ids->size();
+}
+
+Status MailStore::remove(const std::string& folder, std::size_t index) {
+  auto ids = read_index(folder);
+  if (!ids) return ids.error();
+  if (index >= ids->size()) return Errc::invalid_argument;
+  (void)fs_->remove(message_path(folder, (*ids)[index]));
+  ids->erase(ids->begin() + static_cast<long>(index));
+  return write_index(folder, *ids);
+}
+
+Result<std::vector<std::size_t>> MailStore::search(const std::string& folder,
+                                                   const std::string& needle) {
+  auto total = count(folder);
+  if (!total) return total.error();
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < *total; ++i) {
+    auto message = load(folder, i);
+    if (!message) return message.error();
+    if (message->subject().find(needle) != std::string::npos ||
+        message->body.find(needle) != std::string::npos)
+      hits.push_back(i);
+  }
+  return hits;
+}
+
+Status MailStore::sync() { return fs_->sync(); }
+
+}  // namespace lateral::mail

@@ -1,0 +1,55 @@
+// MailStore — the storage component of the decomposed mail client.
+//
+// Folders and messages live in a VPFS instance, so the untrusted legacy
+// file system below never sees plaintext mail, folder names or message
+// counts in the clear, and tampering/rollback is detected (paper §III-D:
+// "a mail client needs to store messages in the file system, and organize
+// them in folders, search them").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mail/message.h"
+#include "util/result.h"
+#include "vpfs/vpfs.h"
+
+namespace lateral::mail {
+
+class MailStore {
+ public:
+  /// Takes ownership of a mounted/just-formatted VPFS.
+  explicit MailStore(std::unique_ptr<vpfs::Vpfs> fs);
+
+  Status create_folder(const std::string& folder);
+  std::vector<std::string> folders() const;
+
+  /// Store a message; returns its index within the folder.
+  Result<std::size_t> store(const std::string& folder, const Message& message);
+  Result<Message> load(const std::string& folder, std::size_t index);
+  Result<std::size_t> count(const std::string& folder) const;
+  Status remove(const std::string& folder, std::size_t index);
+
+  /// Case-sensitive substring search over subjects and bodies of a folder;
+  /// returns matching indices.
+  Result<std::vector<std::size_t>> search(const std::string& folder,
+                                          const std::string& needle);
+
+  /// Commit everything durably.
+  Status sync();
+
+ private:
+  std::string index_path(const std::string& folder) const;
+  std::string message_path(const std::string& folder, std::uint64_t id) const;
+  /// The folder index file holds one message-id per line (monotonic ids;
+  /// removal rewrites the index but keeps ids stable).
+  Result<std::vector<std::uint64_t>> read_index(const std::string& folder) const;
+  Status write_index(const std::string& folder,
+                     const std::vector<std::uint64_t>& ids);
+
+  std::unique_ptr<vpfs::Vpfs> fs_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace lateral::mail

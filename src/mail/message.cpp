@@ -1,0 +1,86 @@
+#include "mail/message.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lateral::mail {
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c + 32);
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0, end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t' ||
+                         s[end - 1] == '\r'))
+    --end;
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::optional<std::string> Message::header(const std::string& name) const {
+  const std::string needle = lower(name);
+  for (const auto& [key, value] : headers)
+    if (key == needle) return value;
+  return std::nullopt;
+}
+
+std::string Message::to_wire() const {
+  std::ostringstream out;
+  for (const auto& [key, value] : headers) out << key << ": " << value << "\n";
+  out << "\n" << body;
+  return out.str();
+}
+
+Result<Message> parse_message(std::string_view wire) {
+  Message message;
+  std::istringstream stream{std::string(wire)};
+  std::string line;
+  bool in_headers = true;
+
+  while (in_headers && std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) {
+      in_headers = false;
+      break;
+    }
+    if (line[0] == ' ' || line[0] == '\t') {
+      // Folded continuation of the previous header.
+      if (message.headers.empty()) return Errc::invalid_argument;
+      message.headers.back().second += " " + trim(line);
+      continue;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0)
+      return Errc::invalid_argument;
+    message.headers.emplace_back(lower(trim(line.substr(0, colon))),
+                                 trim(line.substr(colon + 1)));
+  }
+
+  // The rest is the body, verbatim.
+  std::string body;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    body += line;
+    body += '\n';
+  }
+  if (!body.empty() && wire.size() > 0 && wire.back() != '\n')
+    body.pop_back();  // getline added a newline the input did not have
+  message.body = std::move(body);
+  return message;
+}
+
+Message make_message(const std::string& from, const std::string& to,
+                     const std::string& subject, const std::string& body) {
+  Message message;
+  message.headers = {{"from", from}, {"to", to}, {"subject", subject}};
+  message.body = body;
+  return message;
+}
+
+}  // namespace lateral::mail

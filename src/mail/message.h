@@ -1,0 +1,47 @@
+// RFC 822-style message parsing (header block + body).
+//
+// Part of the decomposed mail application of paper §III-C. Parsing network
+// data is exactly the work the paper wants isolated ("Code that handles
+// data received from the network such as file format detection and
+// rendering should be isolated, because it is exposed to attacks from the
+// Internet") — so this parser is written to be *driven from inside* the
+// imap/render components, and its tests feed it adversarial input.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::mail {
+
+struct Message {
+  /// Header fields in order of appearance (names lower-cased; values
+  /// trimmed; continuation lines folded).
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First value of a header (lower-case name), if present.
+  std::optional<std::string> header(const std::string& name) const;
+
+  std::string from() const { return header("from").value_or(""); }
+  std::string to() const { return header("to").value_or(""); }
+  std::string subject() const { return header("subject").value_or(""); }
+
+  /// Serialize back to wire format (headers, blank line, body).
+  std::string to_wire() const;
+};
+
+/// Parse a message. Tolerates CRLF and LF. Errc::invalid_argument for
+/// structurally broken header blocks (a header line without ':', a
+/// continuation line before any header).
+Result<Message> parse_message(std::string_view wire);
+
+/// Build a simple message.
+Message make_message(const std::string& from, const std::string& to,
+                     const std::string& subject, const std::string& body);
+
+}  // namespace lateral::mail

@@ -1,0 +1,56 @@
+#include "mail/render.h"
+
+namespace lateral::mail {
+
+std::string HtmlRenderer::render(const std::string& html) {
+  // The "vulnerability": a crafted comment takes over the component.
+  if (html.find(kExploitMarker) != std::string::npos) compromised_ = true;
+  if (compromised_) return "[renderer owned by attacker]";
+
+  std::string out;
+  out.reserve(html.size());
+  bool in_tag = false;
+  for (std::size_t i = 0; i < html.size(); ++i) {
+    const char c = html[i];
+    if (c == '<') {
+      in_tag = true;
+      continue;
+    }
+    if (c == '>') {
+      in_tag = false;
+      continue;
+    }
+    if (in_tag) continue;
+
+    if (c == '&') {
+      if (html.compare(i, 4, "&lt;") == 0) {
+        out += '<';
+        i += 3;
+        continue;
+      }
+      if (html.compare(i, 4, "&gt;") == 0) {
+        out += '>';
+        i += 3;
+        continue;
+      }
+      if (html.compare(i, 5, "&amp;") == 0) {
+        out += '&';
+        i += 4;
+        continue;
+      }
+    }
+    // Collapse whitespace runs.
+    if (c == '\n' || c == '\t' || c == ' ') {
+      if (!out.empty() && out.back() != ' ') out += ' ';
+      continue;
+    }
+    out += c;
+  }
+  // Trim.
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  std::size_t begin = 0;
+  while (begin < out.size() && out[begin] == ' ') ++begin;
+  return out.substr(begin);
+}
+
+}  // namespace lateral::mail

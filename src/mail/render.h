@@ -1,0 +1,37 @@
+// HtmlRenderer — the network-data-facing component of the mail client.
+//
+// "An application that reads from the network and parses HTML can be
+// subverted" (paper §I). This renderer sanitizes HTML-ish mail bodies to
+// plain text — and, deliberately, carries a classic parsing bug: an input
+// containing the marker sequence `<!--PWNED-->` models a crafted mail that
+// exploits a memory-safety hole in the tag parser. Once triggered, the
+// renderer is attacker-controlled (is_compromised()) and every later
+// render returns attacker output.
+//
+// The point of the decomposed architecture is that this does NOT matter
+// much: the integration tests and the email_client example compromise the
+// renderer and watch the substrate confine it.
+#pragma once
+
+#include <string>
+
+#include "util/result.h"
+
+namespace lateral::mail {
+
+class HtmlRenderer {
+ public:
+  /// Strip tags, decode the three common entities, collapse whitespace.
+  /// After a successful exploit, returns attacker-chosen output instead.
+  std::string render(const std::string& html);
+
+  bool is_compromised() const { return compromised_; }
+
+  /// The marker a crafted mail uses to trigger the bug.
+  static constexpr const char* kExploitMarker = "<!--PWNED-->";
+
+ private:
+  bool compromised_ = false;
+};
+
+}  // namespace lateral::mail

@@ -1,0 +1,116 @@
+// Microkernel isolation substrate (seL4/L4Re class; paper §II-B
+// "Operating-System-Based Separation").
+//
+// Spatial isolation by MMU-backed address spaces over DRAM frames; temporal
+// isolation by a budgeted scheduler (optionally strictly partitioned);
+// capability IPC with kernel-minted badges; IOMMU-filtered device DMA; and
+// paravirtualized hosting of entire legacy OSes (DomainKind::legacy, the
+// L4Android pattern).
+//
+// Defends remote and local-software attackers. Does NOT defend physical bus
+// probing: domain memory lives in off-chip DRAM as plaintext — exactly the
+// limitation §II-D attributes to plain MMU isolation.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "hw/iommu.h"
+#include "microkernel/scheduler.h"
+#include "substrate/registry.h"
+#include "substrate/substrate.h"
+
+namespace lateral::microkernel {
+
+class Microkernel final : public substrate::IsolationSubstrate {
+ public:
+  Microkernel(hw::Machine& machine, substrate::SubstrateConfig config,
+              SchedulingPolicy policy = SchedulingPolicy::work_conserving);
+
+  const substrate::SubstrateInfo& info() const override;
+
+  Result<Bytes> read_memory(substrate::DomainId actor,
+                            substrate::DomainId target, std::uint64_t offset,
+                            std::size_t len) override;
+  Status write_memory(substrate::DomainId actor, substrate::DomainId target,
+                      std::uint64_t offset, BytesView data) override;
+
+  /// Physical frames backing a domain (tests use this to demonstrate what a
+  /// physical attacker can read from DRAM).
+  Result<std::vector<hw::PhysAddr>> domain_frames(
+      substrate::DomainId domain) const;
+
+  Scheduler& scheduler() { return scheduler_; }
+  hw::Iommu& iommu() { return iommu_; }
+
+  /// Create a DMA-capable device on this machine's bus.
+  hw::Device make_device(const std::string& name);
+
+  /// Grant a driver domain the right to DMA into its *own* frames only:
+  /// the kernel programs the IOMMU with the domain's frame list.
+  Status grant_dma(substrate::DomainId driver, const hw::Device& device,
+                   bool writable);
+
+  // --- Memory grants (L4-style map/grant of pages between tasks) ----------
+  /// Map `pages` pages of `owner`'s address space starting at page index
+  /// `first_page` into `grantee`'s rights (read, optionally write). The
+  /// grantee then accesses them via read_granted/write_granted. Explicit,
+  /// inspectable, revocable — capability semantics, not ambient sharing.
+  Status grant_memory(substrate::DomainId owner, substrate::DomainId grantee,
+                      std::size_t first_page, std::size_t pages,
+                      bool writable);
+  /// Revoke every grant from `owner` to `grantee`.
+  Status revoke_memory(substrate::DomainId owner,
+                       substrate::DomainId grantee);
+  /// Granted access paths; access_denied without a covering grant.
+  Result<Bytes> read_granted(substrate::DomainId grantee,
+                             substrate::DomainId owner, std::uint64_t offset,
+                             std::size_t len);
+  Status write_granted(substrate::DomainId grantee,
+                       substrate::DomainId owner, std::uint64_t offset,
+                       BytesView data);
+
+ protected:
+  Status admit_domain(const substrate::DomainSpec& spec) const override;
+  Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
+  void release_memory(substrate::DomainId id, DomainRecord& record) override;
+  Cycles message_cost(std::size_t len) const override;
+  Cycles attest_cost() const override;
+
+ private:
+  struct AddressSpace {
+    std::vector<hw::PhysAddr> frames;  // virtual page i -> frames[i]
+  };
+
+  /// Translate (domain, offset, len) to a frame-local access plan; denies
+  /// out-of-range accesses (page-fault analogue).
+  Result<AddressSpace*> space_of(substrate::DomainId id);
+
+  struct MemoryGrant {
+    std::size_t first_page = 0;
+    std::size_t pages = 0;
+    bool writable = false;
+  };
+
+  /// Covering grant lookup; nullptr when the range is not fully granted.
+  const MemoryGrant* find_grant(substrate::DomainId grantee,
+                                substrate::DomainId owner,
+                                std::uint64_t offset, std::size_t len,
+                                bool write) const;
+
+  substrate::SubstrateInfo info_;
+  hw::FrameAllocator frames_;
+  std::map<substrate::DomainId, AddressSpace> spaces_;
+  /// (owner, grantee) -> grants.
+  std::map<std::pair<substrate::DomainId, substrate::DomainId>,
+           std::vector<MemoryGrant>>
+      grants_;
+  Scheduler scheduler_;
+  hw::Iommu iommu_;
+  hw::DeviceId next_device_ = 1;
+};
+
+/// Register the "microkernel" factory.
+Status register_factory(substrate::SubstrateRegistry& registry);
+
+}  // namespace lateral::microkernel

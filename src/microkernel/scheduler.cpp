@@ -1,0 +1,73 @@
+#include "microkernel/scheduler.h"
+
+namespace lateral::microkernel {
+
+Status Scheduler::add_domain(substrate::DomainId id,
+                             std::uint32_t share_permille) {
+  if (share_permille == 0) return Errc::invalid_argument;
+  const auto [it, inserted] = entries_.emplace(id, Entry{share_permille, 0});
+  (void)it;
+  return inserted ? Status::success() : Status(Errc::invalid_argument);
+}
+
+Status Scheduler::remove_domain(substrate::DomainId id) {
+  return entries_.erase(id) ? Status::success()
+                            : Status(Errc::no_such_domain);
+}
+
+Status Scheduler::set_demand(substrate::DomainId id, Cycles demand) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return Errc::no_such_domain;
+  it->second.demand = demand;
+  return Status::success();
+}
+
+std::map<substrate::DomainId, Cycles> Scheduler::run_epoch(
+    Cycles epoch_cycles) {
+  std::map<substrate::DomainId, Cycles> granted;
+  if (entries_.empty()) return granted;
+
+  std::uint64_t total_share = 0;
+  for (const auto& [id, entry] : entries_) total_share += entry.share_permille;
+
+  // First pass: everyone gets min(slice, demand).
+  Cycles leftover = 0;
+  std::map<substrate::DomainId, Cycles> unmet;
+  for (const auto& [id, entry] : entries_) {
+    const Cycles slice = epoch_cycles * entry.share_permille / total_share;
+    const Cycles grant = std::min(slice, entry.demand);
+    granted[id] = grant;
+    leftover += slice - grant;
+    if (entry.demand > slice) unmet[id] = entry.demand - slice;
+  }
+
+  if (policy_ == SchedulingPolicy::fixed_partition) {
+    // Strict partitions: yielded time idles; nothing is redistributed, so
+    // one domain's behaviour is invisible in another's grant.
+    return granted;
+  }
+
+  // Work-conserving: redistribute leftover to unmet demand, share-weighted.
+  // Iterate because a grant may be capped by its domain's remaining demand.
+  while (leftover > 0 && !unmet.empty()) {
+    std::uint64_t unmet_share = 0;
+    for (const auto& [id, want] : unmet)
+      unmet_share += entries_[id].share_permille;
+    Cycles distributed = 0;
+    for (auto it = unmet.begin(); it != unmet.end();) {
+      const Cycles offer = std::max<Cycles>(
+          1, leftover * entries_[it->first].share_permille / unmet_share);
+      const Cycles take = std::min(offer, it->second);
+      granted[it->first] += take;
+      it->second -= take;
+      distributed += take;
+      it = (it->second == 0) ? unmet.erase(it) : std::next(it);
+      if (distributed >= leftover) break;
+    }
+    if (distributed == 0) break;  // cannot place any more
+    leftover -= std::min(leftover, distributed);
+  }
+  return granted;
+}
+
+}  // namespace lateral::microkernel

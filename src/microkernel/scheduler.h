@@ -1,0 +1,54 @@
+// Deterministic CPU scheduler with two policies (paper §II-C):
+//
+//  * work_conserving — classic budget round-robin: CPU time a domain leaves
+//    unused is donated to other runnable domains. Efficient, but the donation
+//    is a timing covert channel: a sender modulates its demand, a receiver
+//    observes how much extra time it gets.
+//  * fixed_partition — strict time partitioning ("interference-free
+//    scheduling"): each domain gets exactly its slice; unused time idles.
+//    The covert channel's bandwidth drops to zero (bench_fig7_covert).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "substrate/isolation.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::microkernel {
+
+enum class SchedulingPolicy : std::uint8_t {
+  work_conserving,
+  fixed_partition,
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulingPolicy policy) : policy_(policy) {}
+
+  SchedulingPolicy policy() const { return policy_; }
+  void set_policy(SchedulingPolicy policy) { policy_ = policy; }
+
+  /// Register a domain with a share (permille of each epoch).
+  Status add_domain(substrate::DomainId id, std::uint32_t share_permille);
+  Status remove_domain(substrate::DomainId id);
+
+  /// How many cycles the domain wants in the next epoch. A domain that
+  /// yields sets a demand below its slice.
+  Status set_demand(substrate::DomainId id, Cycles demand);
+
+  /// Run one scheduling epoch of `epoch_cycles`; returns cycles granted per
+  /// domain. Deterministic: same shares + demands => same grants.
+  std::map<substrate::DomainId, Cycles> run_epoch(Cycles epoch_cycles);
+
+ private:
+  struct Entry {
+    std::uint32_t share_permille = 0;
+    Cycles demand = 0;
+  };
+  SchedulingPolicy policy_;
+  std::map<substrate::DomainId, Entry> entries_;
+};
+
+}  // namespace lateral::microkernel

@@ -1,0 +1,93 @@
+#include "net/federation.h"
+
+namespace lateral::net {
+namespace {
+
+/// Receive the next datagram for `endpoint`, or io_error if the network
+/// dropped it (a MITM may do that; the handshake then simply fails).
+Result<Bytes> next_payload(SimNetwork& network, const std::string& endpoint) {
+  auto datagram = network.receive(endpoint);
+  if (!datagram) return Errc::io_error;
+  return datagram->payload;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<FederatedLink>> establish_link(
+    SimNetwork& network, const std::string& initiator_endpoint,
+    const std::string& responder_endpoint,
+    std::optional<ProverConfig> initiator_prover,
+    std::optional<VerifierConfig> initiator_verifier,
+    std::optional<ProverConfig> responder_prover,
+    std::optional<VerifierConfig> responder_verifier) {
+  auto link = std::unique_ptr<FederatedLink>(new FederatedLink());
+  link->network_ = &network;
+  link->initiator_endpoint_ = initiator_endpoint;
+  link->responder_endpoint_ = responder_endpoint;
+
+  link->initiator_channel_ = std::make_unique<SecureChannelEndpoint>(
+      Role::initiator, to_bytes("fed.i:" + initiator_endpoint),
+      initiator_prover, initiator_verifier);
+  link->responder_.channel = std::make_unique<SecureChannelEndpoint>(
+      Role::responder, to_bytes("fed.r:" + responder_endpoint),
+      responder_prover, responder_verifier);
+
+  // The three-message handshake, across the (possibly hostile) network.
+  auto msg1 = link->initiator_channel_->start();
+  if (!msg1) return msg1.error();
+  if (const Status s = network.send(initiator_endpoint, responder_endpoint,
+                                    *msg1);
+      !s.ok())
+    return s.error();
+  auto msg1_rx = next_payload(network, responder_endpoint);
+  if (!msg1_rx) return msg1_rx.error();
+
+  auto msg2 = link->responder_.channel->handle_msg1(*msg1_rx);
+  if (!msg2) return msg2.error();
+  if (const Status s = network.send(responder_endpoint, initiator_endpoint,
+                                    *msg2);
+      !s.ok())
+    return s.error();
+  auto msg2_rx = next_payload(network, initiator_endpoint);
+  if (!msg2_rx) return msg2_rx.error();
+
+  auto msg3 = link->initiator_channel_->handle_msg2(*msg2_rx);
+  if (!msg3) return msg3.error();
+  if (const Status s = network.send(initiator_endpoint, responder_endpoint,
+                                    *msg3);
+      !s.ok())
+    return s.error();
+  auto msg3_rx = next_payload(network, responder_endpoint);
+  if (!msg3_rx) return msg3_rx.error();
+  if (const Status s = link->responder_.channel->handle_msg3(*msg3_rx);
+      !s.ok())
+    return s.error();
+
+  // RPC plumbing: the proxy's transport pushes a record through the
+  // network, lets the responder dispatch it, and carries the reply back.
+  link->responder_.dispatcher =
+      std::make_unique<RemoteDispatcher>(*link->responder_.channel);
+  auto* raw = link.get();
+  link->proxy_ = std::make_unique<RemoteProxy>(
+      *link->initiator_channel_,
+      [raw](BytesView record) -> Result<Bytes> {
+        if (const Status s = raw->network_->send(raw->initiator_endpoint_,
+                                                 raw->responder_endpoint_,
+                                                 record);
+            !s.ok())
+          return s.error();
+        auto request = next_payload(*raw->network_, raw->responder_endpoint_);
+        if (!request) return request.error();
+        auto reply = raw->responder_.dispatcher->handle(*request);
+        if (!reply) return reply.error();
+        if (const Status s = raw->network_->send(raw->responder_endpoint_,
+                                                 raw->initiator_endpoint_,
+                                                 *reply);
+            !s.ok())
+          return s.error();
+        return next_payload(*raw->network_, raw->initiator_endpoint_);
+      });
+  return link;
+}
+
+}  // namespace lateral::net

@@ -1,0 +1,65 @@
+// Federation: establish an attested component-to-component link between
+// two machines over a SimNetwork, and pump synchronous RPC across it.
+//
+// This packages the Fig. 3 wiring pattern (handshake message exchange +
+// RemoteProxy/RemoteDispatcher) into one call, so distributed scenarios
+// read like the paper's prose: "configure communication relationships
+// between them" — across machine boundaries.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/network.h"
+#include "net/remote.h"
+#include "net/secure_channel.h"
+#include "util/result.h"
+
+namespace lateral::net {
+
+/// One side of an established federated link.
+struct LinkSite {
+  std::unique_ptr<SecureChannelEndpoint> channel;
+  std::unique_ptr<RemoteDispatcher> dispatcher;
+};
+
+/// An established bidirectional link. The initiator calls remote methods
+/// through `proxy`; the responder registers methods on its dispatcher.
+/// (Symmetric RPC would use a second link in the opposite direction.)
+class FederatedLink {
+ public:
+  RemoteProxy& proxy() { return *proxy_; }
+  RemoteDispatcher& responder_dispatcher() { return *responder_.dispatcher; }
+
+  SecureChannelEndpoint& initiator_channel() { return *initiator_channel_; }
+  SecureChannelEndpoint& responder_channel() { return *responder_.channel; }
+
+ private:
+  friend Result<std::unique_ptr<FederatedLink>> establish_link(
+      SimNetwork&, const std::string&, const std::string&,
+      std::optional<ProverConfig>, std::optional<VerifierConfig>,
+      std::optional<ProverConfig>, std::optional<VerifierConfig>);
+
+  FederatedLink() = default;
+
+  SimNetwork* network_ = nullptr;
+  std::string initiator_endpoint_;
+  std::string responder_endpoint_;
+  std::unique_ptr<SecureChannelEndpoint> initiator_channel_;
+  LinkSite responder_;
+  std::unique_ptr<RemoteProxy> proxy_;
+};
+
+/// Run the three-message attested handshake between two (registered)
+/// network endpoints and return the established link. Each side may attest
+/// itself (prover) and/or require the peer's code identity (verifier).
+/// Errc::verification_failed when either side refuses the other.
+Result<std::unique_ptr<FederatedLink>> establish_link(
+    SimNetwork& network, const std::string& initiator_endpoint,
+    const std::string& responder_endpoint,
+    std::optional<ProverConfig> initiator_prover,
+    std::optional<VerifierConfig> initiator_verifier,
+    std::optional<ProverConfig> responder_prover,
+    std::optional<VerifierConfig> responder_verifier);
+
+}  // namespace lateral::net

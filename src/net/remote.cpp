@@ -1,0 +1,101 @@
+#include "net/remote.h"
+
+namespace lateral::net {
+namespace {
+
+// Request: [u16 method_len | method | payload]
+// Reply:   [u8 errc | payload (on success)]
+
+Bytes encode_request(const std::string& method, BytesView payload) {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(method.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(method.size()));
+  out.insert(out.end(), method.begin(), method.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+struct DecodedRequest {
+  std::string method;
+  Bytes payload;
+};
+
+Result<DecodedRequest> decode_request(BytesView plain) {
+  if (plain.size() < 2) return Errc::invalid_argument;
+  const std::size_t method_len = (std::size_t(plain[0]) << 8) | plain[1];
+  if (plain.size() < 2 + method_len) return Errc::invalid_argument;
+  DecodedRequest out;
+  out.method.assign(plain.begin() + 2,
+                    plain.begin() + 2 + static_cast<long>(method_len));
+  out.payload.assign(plain.begin() + 2 + static_cast<long>(method_len),
+                     plain.end());
+  return out;
+}
+
+Bytes encode_reply(Errc error, BytesView payload) {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(error));
+  if (error == Errc::ok)
+    out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace
+
+RemoteDispatcher::RemoteDispatcher(SecureChannelEndpoint& channel)
+    : channel_(channel) {
+  if (!channel.established())
+    throw Error("RemoteDispatcher needs an established channel");
+}
+
+Status RemoteDispatcher::register_method(const std::string& name,
+                                         Method handler) {
+  if (name.empty() || !handler) return Errc::invalid_argument;
+  const auto [it, inserted] = methods_.emplace(name, std::move(handler));
+  (void)it;
+  return inserted ? Status::success() : Status(Errc::invalid_argument);
+}
+
+Result<Bytes> RemoteDispatcher::handle(BytesView request_record) {
+  auto plain = channel_.open_record(request_record);
+  if (!plain) return plain.error();  // unauthentic: do not even reply
+
+  auto request = decode_request(*plain);
+  Bytes reply_plain;
+  if (!request) {
+    reply_plain = encode_reply(Errc::invalid_argument, {});
+  } else {
+    const auto it = methods_.find(request->method);
+    if (it == methods_.end()) {
+      reply_plain = encode_reply(Errc::invalid_argument, {});
+    } else {
+      Result<Bytes> result = it->second(request->payload);
+      reply_plain = result ? encode_reply(Errc::ok, *result)
+                           : encode_reply(result.error(), {});
+    }
+  }
+  return channel_.seal_record(reply_plain);
+}
+
+RemoteProxy::RemoteProxy(SecureChannelEndpoint& channel, Transport transport)
+    : channel_(channel), transport_(std::move(transport)) {
+  if (!transport_) throw Error("RemoteProxy needs a transport");
+}
+
+Result<Bytes> RemoteProxy::call(const std::string& method, BytesView payload) {
+  auto record = channel_.seal_record(encode_request(method, payload));
+  if (!record) return record.error();
+
+  auto reply_record = transport_(*record);
+  if (!reply_record) return reply_record.error();
+
+  auto reply = channel_.open_record(*reply_record);
+  if (!reply) return reply.error();
+  if (reply->empty()) return Errc::invalid_argument;
+
+  const Errc remote_error = static_cast<Errc>((*reply)[0]);
+  if (remote_error != Errc::ok) return remote_error;
+  return Bytes(reply->begin() + 1, reply->end());
+}
+
+}  // namespace lateral::net

@@ -1,0 +1,66 @@
+// Remote component invocation over a SecureChannel.
+//
+// The paper (§I): "our envisioned architecture also extends across the
+// network, allowing trusted component interaction in distributed systems";
+// and (§III-D): reusable components "can even form distributed confidence
+// domains across machine boundaries."
+//
+// RemoteDispatcher exposes a component's methods on the server side of an
+// established SecureChannelEndpoint; RemoteProxy invokes them from the
+// client side. Requests and replies ride the channel's AEAD records, so
+// everything the channel guarantees (peer code identity, confidentiality,
+// integrity, ordering, replay protection) extends to the RPC layer —
+// including error returns: a refusal travels back as data, not as an
+// unauthenticated network artifact.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/secure_channel.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::net {
+
+/// Server side: dispatches incoming records to registered methods.
+class RemoteDispatcher {
+ public:
+  using Method = std::function<Result<Bytes>(BytesView request)>;
+
+  /// `channel` must already be established; the dispatcher borrows it.
+  explicit RemoteDispatcher(SecureChannelEndpoint& channel);
+
+  Status register_method(const std::string& name, Method handler);
+
+  /// Process one sealed request record and produce the sealed reply record.
+  /// Errc::verification_failed when the request record fails channel
+  /// authentication (the caller should drop the connection).
+  Result<Bytes> handle(BytesView request_record);
+
+ private:
+  SecureChannelEndpoint& channel_;
+  std::map<std::string, Method> methods_;
+};
+
+/// Client side: seals requests and opens replies.
+class RemoteProxy {
+ public:
+  /// `transport` delivers a sealed request record to the peer and returns
+  /// the sealed reply record (e.g. two SimNetwork hops).
+  using Transport = std::function<Result<Bytes>(BytesView record)>;
+
+  RemoteProxy(SecureChannelEndpoint& channel, Transport transport);
+
+  /// Invoke a remote method. Remote refusals come back as their original
+  /// error codes; transport/authentication problems surface as
+  /// verification_failed / io_error.
+  Result<Bytes> call(const std::string& method, BytesView payload);
+
+ private:
+  SecureChannelEndpoint& channel_;
+  Transport transport_;
+};
+
+}  // namespace lateral::net

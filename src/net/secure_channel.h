@@ -1,0 +1,100 @@
+// SecureChannel: the "TLS component" of the paper's email-client example and
+// the meter<->utility link of Fig. 3.
+//
+// A three-message handshake over an untrusted network (net::SimNetwork):
+//
+//   msg1  I -> R : dh_pub_i || nonce_i
+//   msg2  R -> I : dh_pub_r || nonce_r || quote_R            (optional)
+//   msg3  I -> R : quote_I                                    (optional)
+//
+// Each quote is produced by the sender's isolation substrate and binds
+// H(peer_nonce || dh_pub_i || dh_pub_r) — so verifying a quote proves the
+// *attested code identity* is the one holding the DH key for THIS session.
+// A man in the middle cannot splice: substituting either DH half breaks the
+// binding, and it cannot forge quotes without fused device keys.
+//
+// Either side may require attestation of its peer (mutual in the smart
+// meter scenario: the meter verifies the SGX anonymizer, the utility
+// verifies the TrustZone metering component).
+//
+// Records are AES-128-CTR + HMAC (encrypt-then-MAC) with per-direction
+// monotonic sequence numbers: tampering, reordering and replay all surface
+// as Errc::verification_failed.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/attestation.h"
+#include "crypto/aes.h"
+#include "crypto/dh.h"
+#include "crypto/hmac.h"
+#include "substrate/substrate.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::net {
+
+/// This endpoint's ability to attest itself.
+struct ProverConfig {
+  substrate::IsolationSubstrate* substrate = nullptr;
+  substrate::DomainId domain = substrate::kInvalidDomain;
+};
+
+/// This endpoint's requirements on the peer.
+struct VerifierConfig {
+  core::AttestationVerifier* verifier = nullptr;
+  std::string expected_peer;  // logical name registered with the verifier
+};
+
+enum class Role : std::uint8_t { initiator, responder };
+
+class SecureChannelEndpoint {
+ public:
+  SecureChannelEndpoint(Role role, BytesView drbg_seed,
+                        std::optional<ProverConfig> prover,
+                        std::optional<VerifierConfig> verifier);
+
+  // --- Handshake (drive according to role) --------------------------------
+  /// Initiator: produce msg1.
+  Result<Bytes> start();
+  /// Responder: consume msg1, produce msg2.
+  Result<Bytes> handle_msg1(BytesView msg1);
+  /// Initiator: consume msg2 (verifies the responder's quote when a
+  /// verifier is configured), produce msg3.
+  Result<Bytes> handle_msg2(BytesView msg2);
+  /// Responder: consume msg3 (verifies the initiator's quote when
+  /// required). Channel is established afterwards.
+  Status handle_msg3(BytesView msg3);
+
+  bool established() const { return established_; }
+
+  // --- Record layer ---------------------------------------------------------
+  Result<Bytes> seal_record(BytesView plaintext);
+  Result<Bytes> open_record(BytesView wire);
+
+ private:
+  Status derive_keys();
+
+  Role role_;
+  crypto::HmacDrbg drbg_;
+  std::optional<ProverConfig> prover_;
+  std::optional<VerifierConfig> verifier_;
+
+  crypto::DhKeyPair dh_{};
+  crypto::Bignum peer_dh_;
+  Bytes nonce_local_;   // challenge we issued to the peer
+  Bytes nonce_peer_;    // challenge the peer issued to us
+  Bytes dh_i_wire_;     // initiator public value, wire form
+  Bytes dh_r_wire_;
+
+  std::optional<crypto::Aead> aead_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_ = 0;
+  bool established_ = false;
+};
+
+/// The attestation context string both sides bind quotes to.
+Bytes handshake_context(BytesView dh_i_wire, BytesView dh_r_wire);
+
+}  // namespace lateral::net

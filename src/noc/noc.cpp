@@ -1,0 +1,151 @@
+#include "noc/noc.h"
+
+#include <cmath>
+
+namespace lateral::noc {
+
+using substrate::AttackerModel;
+using substrate::ChannelId;
+using substrate::ChannelSpec;
+using substrate::DomainId;
+using substrate::Feature;
+
+NocFabric::NocFabric(hw::Machine& machine, substrate::SubstrateConfig config)
+    : IsolationSubstrate(machine, std::move(config)), frames_(machine.dram()) {
+  info_.name = "noc";
+  info_.features = Feature::spatial_isolation | Feature::temporal_isolation |
+                   Feature::covert_channel_mitigation |
+                   Feature::concurrent_domains | Feature::sealed_storage |
+                   Feature::attestation;
+  // The M3 kernel runs on its own tile and is tiny; the DTU is simple
+  // hardware. Temporal isolation is structural: every domain owns a whole
+  // core, so there is no scheduler to leak through.
+  info_.tcb_loc = 6'000;
+  info_.defends_against = {AttackerModel::remote_network,
+                           AttackerModel::local_software};
+}
+
+const substrate::SubstrateInfo& NocFabric::info() const { return info_; }
+
+Status NocFabric::admit_domain(const substrate::DomainSpec& spec) const {
+  // Legacy OSes expect an MMU and paging; application tiles have neither.
+  if (spec.kind == substrate::DomainKind::legacy) return Errc::not_supported;
+  if (spec.memory_pages == 0) return Errc::invalid_argument;
+  return Status::success();
+}
+
+Status NocFabric::attach_memory(DomainId id, DomainRecord& record) {
+  auto base = frames_.allocate(record.spec.memory_pages);
+  if (!base) return base.error();
+  Tile tile;
+  tile.grid_x = next_tile_index_ % kGridWidth;
+  tile.grid_y = next_tile_index_ / kGridWidth;
+  ++next_tile_index_;
+  tile.memory_base = *base;
+  tile.pages = record.spec.memory_pages;
+
+  BytesView code = record.spec.image.code;
+  const std::size_t n = std::min(code.size(), tile.pages * hw::kPageSize);
+  machine_.memory().load(tile.memory_base, code.subspan(0, n));
+  tiles_.emplace(id, tile);
+  return Status::success();
+}
+
+void NocFabric::release_memory(DomainId id, DomainRecord& record) {
+  (void)record;
+  const auto it = tiles_.find(id);
+  if (it == tiles_.end()) return;
+  (void)frames_.free(it->second.memory_base, it->second.pages);
+  tiles_.erase(it);
+}
+
+Result<Bytes> NocFabric::read_memory(DomainId actor, DomainId target,
+                                     std::uint64_t offset, std::size_t len) {
+  const auto actor_it = tiles_.find(actor);
+  if (actor_it == tiles_.end()) return Errc::no_such_domain;
+  // There is no load/store path between tiles at all.
+  if (actor != target) return Errc::access_denied;
+  const Tile& tile = actor_it->second;
+  if (offset + len > tile.pages * hw::kPageSize || offset + len < offset)
+    return Errc::access_denied;
+  machine_.charge(0, machine_.costs().memcpy_per_16_bytes, len);
+  Bytes out;
+  if (const Status s =
+          machine_.memory().raw_read(tile.memory_base + offset, len, out);
+      !s.ok())
+    return s.error();
+  return out;
+}
+
+Status NocFabric::write_memory(DomainId actor, DomainId target,
+                               std::uint64_t offset, BytesView data) {
+  const auto actor_it = tiles_.find(actor);
+  if (actor_it == tiles_.end()) return Errc::no_such_domain;
+  if (actor != target) return Errc::access_denied;
+  const Tile& tile = actor_it->second;
+  if (offset + data.size() > tile.pages * hw::kPageSize ||
+      offset + data.size() < offset)
+    return Errc::access_denied;
+  machine_.charge(0, machine_.costs().memcpy_per_16_bytes, data.size());
+  return machine_.memory().raw_write(tile.memory_base + offset, data);
+}
+
+Result<ChannelId> NocFabric::create_channel(DomainId a, DomainId b,
+                                            const ChannelSpec& spec) {
+  const auto a_it = tiles_.find(a);
+  const auto b_it = tiles_.find(b);
+  if (a_it == tiles_.end() || b_it == tiles_.end())
+    return Errc::no_such_domain;
+  // The kernel tile programs one DTU endpoint per side; the tables are
+  // small and fixed.
+  if (a_it->second.endpoints_used >= kEndpointsPerTile ||
+      b_it->second.endpoints_used >= kEndpointsPerTile)
+    return Errc::exhausted;
+  auto channel = IsolationSubstrate::create_channel(a, b, spec);
+  if (!channel) return channel;
+  a_it->second.endpoints_used++;
+  b_it->second.endpoints_used++;
+  return channel;
+}
+
+Result<std::size_t> NocFabric::endpoints_used(DomainId domain) const {
+  const auto it = tiles_.find(domain);
+  if (it == tiles_.end()) return Errc::no_such_domain;
+  return it->second.endpoints_used;
+}
+
+Result<std::size_t> NocFabric::hop_distance(DomainId a, DomainId b) const {
+  const auto a_it = tiles_.find(a);
+  const auto b_it = tiles_.find(b);
+  if (a_it == tiles_.end() || b_it == tiles_.end())
+    return Errc::no_such_domain;
+  const auto dx = (a_it->second.grid_x > b_it->second.grid_x)
+                      ? a_it->second.grid_x - b_it->second.grid_x
+                      : b_it->second.grid_x - a_it->second.grid_x;
+  const auto dy = (a_it->second.grid_y > b_it->second.grid_y)
+                      ? a_it->second.grid_y - b_it->second.grid_y
+                      : b_it->second.grid_y - a_it->second.grid_y;
+  return dx + dy;
+}
+
+Cycles NocFabric::message_cost(std::size_t len) const {
+  // DTU setup + average route latency + per-flit transfer. No kernel entry
+  // on either side: the DTU does the work, which is why M3 messaging beats
+  // syscall-based IPC on small messages.
+  constexpr Cycles kDtuSetup = 80;
+  constexpr Cycles kAvgRoute = 6 * 4;  // ~4 hops x 6 cycles
+  return kDtuSetup + kAvgRoute + 4 * ((len + 15) / 16);
+}
+
+Cycles NocFabric::attest_cost() const {
+  return message_cost(64);  // a message to the kernel tile
+}
+
+Status register_factory(substrate::SubstrateRegistry& registry) {
+  return registry.register_factory(
+      "noc", [](hw::Machine& machine, const substrate::SubstrateConfig& config) {
+        return std::make_unique<NocFabric>(machine, config);
+      });
+}
+
+}  // namespace lateral::noc

@@ -1,0 +1,86 @@
+// NoC/M3-style manycore isolation substrate (paper §II-B: "network-on-chip-
+// based message isolation, which is used in research systems for
+// heterogeneous manycores" — Asmussen et al., M3, ASPLOS'16).
+//
+// Every domain occupies its own tile: a core plus tile-local memory that no
+// other tile can address at all. The only way off a tile is through DTU
+// (data transfer unit) send endpoints, which a privileged kernel tile
+// configures. Isolation therefore does not rely on an MMU or on CPU
+// privilege levels on the application tiles — the *interconnect* enforces
+// it, which is why M3 can isolate cores that have no protection hardware.
+//
+// Faithful consequences:
+//  * cross-tile memory access is impossible by construction (there is no
+//    load/store path, only messages);
+//  * channel endpoints are DTU slots: a fixed, small number per tile —
+//    exceeding them is a hard error (kEndpointsPerTile);
+//  * messages pay NoC latency per hop plus per-flit transfer;
+//  * tile-local memory is on-package SRAM for scratchpad tiles: we model
+//    tiles' memory in DRAM but give the substrate no memory-encryption
+//    claim — a physical attacker with package access reads it; the
+//    substrate defends remote + local-software models.
+#pragma once
+
+#include <map>
+
+#include "substrate/registry.h"
+#include "substrate/substrate.h"
+
+namespace lateral::noc {
+
+/// DTU endpoints available per tile (M3's EP table is small and fixed).
+constexpr std::size_t kEndpointsPerTile = 8;
+
+class NocFabric final : public substrate::IsolationSubstrate {
+ public:
+  NocFabric(hw::Machine& machine, substrate::SubstrateConfig config);
+
+  const substrate::SubstrateInfo& info() const override;
+
+  Result<Bytes> read_memory(substrate::DomainId actor,
+                            substrate::DomainId target, std::uint64_t offset,
+                            std::size_t len) override;
+  Status write_memory(substrate::DomainId actor, substrate::DomainId target,
+                      std::uint64_t offset, BytesView data) override;
+
+  /// Channels consume one DTU endpoint on each side; creation fails with
+  /// exhausted when a tile's endpoint table is full.
+  Result<substrate::ChannelId> create_channel(
+      substrate::DomainId a, substrate::DomainId b,
+      const substrate::ChannelSpec& spec = {}) override;
+
+  /// Endpoints in use on a domain's tile.
+  Result<std::size_t> endpoints_used(substrate::DomainId domain) const;
+
+  /// Manhattan hop distance between two domains' tiles (cost model detail,
+  /// exposed for tests).
+  Result<std::size_t> hop_distance(substrate::DomainId a,
+                                   substrate::DomainId b) const;
+
+ protected:
+  Status admit_domain(const substrate::DomainSpec& spec) const override;
+  Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
+  void release_memory(substrate::DomainId id, DomainRecord& record) override;
+  Cycles message_cost(std::size_t len) const override;
+  Cycles attest_cost() const override;
+
+ private:
+  struct Tile {
+    std::size_t grid_x = 0;
+    std::size_t grid_y = 0;
+    hw::PhysAddr memory_base = 0;
+    std::size_t pages = 0;
+    std::size_t endpoints_used = 0;
+  };
+
+  static constexpr std::size_t kGridWidth = 8;
+
+  substrate::SubstrateInfo info_;
+  hw::FrameAllocator frames_;
+  std::map<substrate::DomainId, Tile> tiles_;
+  std::size_t next_tile_index_ = 0;
+};
+
+Status register_factory(substrate::SubstrateRegistry& registry);
+
+}  // namespace lateral::noc

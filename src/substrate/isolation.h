@@ -1,0 +1,156 @@
+// Vocabulary types of the unified isolation interface (paper §II-D, §III-A).
+//
+// The paper's central abstraction: different isolation technologies
+// (microkernel, TrustZone, SGX, TPM, SEP) are "instances of a common
+// pattern" that differ in which hardware features they provide and which
+// attacker models they defend against. These enums make those differences
+// explicit and machine-checkable (core::PolicyChecker).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/types.h"
+
+namespace lateral::substrate {
+
+/// Attacker models in increasing strength (paper §II-D "Summary").
+enum class AttackerModel : std::uint8_t {
+  remote_network,      // exploits reachable over the network only
+  local_software,      // controls other (legacy) software on the machine
+  physical_bus,        // probes/alters off-chip wires and DRAM
+  physical_intrusion,  // additionally manipulates boot code before launch
+};
+
+constexpr std::string_view attacker_model_name(AttackerModel m) {
+  switch (m) {
+    case AttackerModel::remote_network: return "remote_network";
+    case AttackerModel::local_software: return "local_software";
+    case AttackerModel::physical_bus: return "physical_bus";
+    case AttackerModel::physical_intrusion: return "physical_intrusion";
+  }
+  return "unknown";
+}
+
+/// Launch policies implemented by a trust anchor (paper §II-D "Secure
+/// Launch"): secure boot *rejects* unsigned code; authenticated boot *logs*
+/// measurements for later attestation; late launch does either after the
+/// system is already running.
+enum class LaunchPolicy : std::uint8_t {
+  none,
+  secure_boot,
+  authenticated_boot,
+};
+
+constexpr std::string_view launch_policy_name(LaunchPolicy p) {
+  switch (p) {
+    case LaunchPolicy::none: return "none";
+    case LaunchPolicy::secure_boot: return "secure_boot";
+    case LaunchPolicy::authenticated_boot: return "authenticated_boot";
+  }
+  return "unknown";
+}
+
+/// Isolation-substrate feature flags (paper §II-B/§II-D).
+enum class Feature : std::uint32_t {
+  spatial_isolation = 1u << 0,        // basic access control to memory
+  temporal_isolation = 1u << 1,       // starvation prevention / budgets
+  covert_channel_mitigation = 1u << 2,// interference-free scheduling
+  concurrent_domains = 1u << 3,       // >2 isolated domains at once
+  legacy_hosting = 1u << 4,           // can run an entire legacy OS
+  memory_encryption = 1u << 5,        // data leaves the die encrypted
+  sealed_storage = 1u << 6,           // bind secrets to code identity
+  attestation = 1u << 7,              // prove code identity to a remote party
+  late_launch = 1u << 8,              // launch trusted code after boot
+  io_isolation = 1u << 9,             // IOMMU-filtered device DMA
+};
+
+using Features = std::uint32_t;
+
+constexpr Features operator|(Feature a, Feature b) {
+  return static_cast<Features>(a) | static_cast<Features>(b);
+}
+constexpr Features operator|(Features a, Feature b) {
+  return a | static_cast<Features>(b);
+}
+constexpr bool has_feature(Features set, Feature f) {
+  return (set & static_cast<Features>(f)) != 0;
+}
+
+std::string features_to_string(Features set);
+
+/// Static description of a substrate implementation.
+struct SubstrateInfo {
+  std::string name;
+  Features features = 0;
+  /// TCB size estimate in lines of code — the hardware+software a trusted
+  /// component must rely on. Values follow the magnitudes the literature
+  /// reports (seL4 ~10 kLoC, TrustZone secure OS tens of kLoC, SGX
+  /// microcode "thousands", TPM firmware, SEP kernel). Used by TAB1/TAB2.
+  std::uint64_t tcb_loc = 0;
+  std::vector<AttackerModel> defends_against;
+
+  bool defends(AttackerModel m) const {
+    for (const AttackerModel d : defends_against)
+      if (d == m) return true;
+    return false;
+  }
+};
+
+/// Domain identity within one substrate instance.
+using DomainId = std::uint64_t;
+/// Communication channel between two domains.
+using ChannelId = std::uint64_t;
+
+constexpr DomainId kInvalidDomain = 0;
+
+enum class DomainKind : std::uint8_t {
+  trusted_component,
+  legacy,  // assumed-compromised monolithic codebase / entire OS
+};
+
+/// Executable image of a domain. The measurement (code identity) is the
+/// SHA-256 of the image bytes — the simulation analogue of MRENCLAVE /
+/// PCR extension / secure-world image hashing.
+struct Image {
+  std::string name;
+  Bytes code;
+
+  crypto::Digest measurement() const { return crypto::Sha256::hash(code); }
+};
+
+struct DomainSpec {
+  std::string name;
+  DomainKind kind = DomainKind::trusted_component;
+  Image image;
+  std::size_t memory_pages = 4;
+  /// Scheduling share in permille for substrates with temporal isolation.
+  std::uint32_t time_share_permille = 100;
+  /// Code signature (by the platform owner key) — required by secure_boot.
+  Bytes image_signature;
+};
+
+struct ChannelSpec {
+  std::size_t max_message_bytes = 4096;
+};
+
+/// A queued message as seen by the receiver. `badge` is minted by the
+/// substrate at channel-creation time and identifies the sending endpoint
+/// unforgeably — the capability-design answer to the confused deputy
+/// (paper §III-D "Confused Deputy").
+struct Message {
+  std::uint64_t badge = 0;
+  Bytes data;
+};
+
+/// A synchronous invocation delivered to a domain's handler.
+struct Invocation {
+  ChannelId channel = 0;
+  std::uint64_t badge = 0;
+  BytesView data;
+};
+
+}  // namespace lateral::substrate

@@ -1,0 +1,44 @@
+// Attestation quotes (paper §II-D "Attestation").
+//
+// A quote cryptographically binds a domain's code identity (measurement) and
+// caller-chosen user data (e.g. the hash of a DH public key) to a device
+// secret whose public half is endorsed by the hardware vendor. Verification
+// therefore establishes the chain:
+//     vendor root key -> device endorsement key -> (measurement, user_data)
+#pragma once
+
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+#include "substrate/isolation.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::substrate {
+
+struct Quote {
+  std::string substrate_name;     // which technology produced it
+  crypto::Digest measurement{};   // code identity of the attested domain
+  Bytes user_data;                // caller-bound payload (nonce, key hash...)
+  crypto::RsaPublicKey ek_pub;    // device endorsement public key
+  Bytes ek_cert;                  // vendor root signature over ek_pub
+  Bytes signature;                // EK signature over the quote body
+
+  /// The byte string the EK signs.
+  Bytes signed_body() const;
+
+  Bytes serialize() const;
+  static Result<Quote> deserialize(BytesView wire);
+
+  /// Verify the full chain against a vendor root key. Checks:
+  ///  1. vendor root signed ek_pub (endorsement certificate),
+  ///  2. ek signed (substrate_name || measurement || user_data).
+  Status verify(const crypto::RsaPublicKey& vendor_root) const;
+};
+
+/// Produce a quote with the given device endorsement key. Substrates call
+/// this; applications only verify.
+Quote make_quote(const std::string& substrate_name,
+                 const crypto::Digest& measurement, BytesView user_data,
+                 const crypto::RsaKeyPair& ek, BytesView ek_cert);
+
+}  // namespace lateral::substrate

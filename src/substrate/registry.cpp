@@ -1,0 +1,32 @@
+#include "substrate/registry.h"
+
+namespace lateral::substrate {
+
+Status SubstrateRegistry::register_factory(const std::string& name,
+                                           Factory factory) {
+  if (name.empty() || !factory) return Errc::invalid_argument;
+  const auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  (void)it;
+  return inserted ? Status::success() : Status(Errc::invalid_argument);
+}
+
+Result<std::unique_ptr<IsolationSubstrate>> SubstrateRegistry::create(
+    const std::string& name, hw::Machine& machine,
+    const SubstrateConfig& config) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) return Errc::invalid_argument;
+  return it->second(machine, config);
+}
+
+std::vector<std::string> SubstrateRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+bool SubstrateRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+}  // namespace lateral::substrate

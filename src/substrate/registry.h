@@ -1,0 +1,41 @@
+// Substrate registry: name -> factory.
+//
+// Lets composition code (core::SystemComposer, the conformance test suite)
+// pick an isolation technology by name — the paper's "developers hand-pick
+// an isolation mechanism ... based on the required attacker model".
+// Backends register themselves via register_factory(); core provides
+// make_standard_registry() with all five built-in technologies.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "substrate/substrate.h"
+#include "util/result.h"
+
+namespace lateral::substrate {
+
+class SubstrateRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<IsolationSubstrate>(
+      hw::Machine&, const SubstrateConfig&)>;
+
+  /// Errc::invalid_argument when the name is already taken.
+  Status register_factory(const std::string& name, Factory factory);
+
+  /// Instantiate a substrate by name on the given machine.
+  Result<std::unique_ptr<IsolationSubstrate>> create(
+      const std::string& name, hw::Machine& machine,
+      const SubstrateConfig& config = {}) const;
+
+  std::vector<std::string> names() const;
+  bool contains(const std::string& name) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace lateral::substrate

@@ -1,0 +1,285 @@
+#include "substrate/substrate.h"
+
+#include <algorithm>
+
+#include "crypto/hmac.h"
+
+namespace lateral::substrate {
+
+IsolationSubstrate::IsolationSubstrate(hw::Machine& machine,
+                                       SubstrateConfig config)
+    : machine_(machine), config_(std::move(config)) {
+  if (config_.launch_policy == LaunchPolicy::secure_boot && !config_.owner_key)
+    throw Error("secure_boot requires an owner code-signing key");
+}
+
+IsolationSubstrate::DomainRecord* IsolationSubstrate::find_domain(DomainId id) {
+  const auto it = domains_.find(id);
+  return it == domains_.end() ? nullptr : &it->second;
+}
+
+const IsolationSubstrate::DomainRecord* IsolationSubstrate::find_domain(
+    DomainId id) const {
+  const auto it = domains_.find(id);
+  return it == domains_.end() ? nullptr : &it->second;
+}
+
+IsolationSubstrate::ChannelRecord* IsolationSubstrate::find_channel(
+    ChannelId id) {
+  const auto it = channels_.find(id);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+Result<DomainId> IsolationSubstrate::create_domain(const DomainSpec& spec) {
+  if (spec.name.empty() || spec.image.code.empty())
+    return Errc::invalid_argument;
+
+  // Launch policy first: the trust anchor refuses unsigned code (secure
+  // boot) before any resources are committed, or records what it launches
+  // (authenticated boot).
+  if (config_.launch_policy == LaunchPolicy::secure_boot) {
+    if (const Status s = crypto::rsa_verify(*config_.owner_key,
+                                            spec.image.code,
+                                            spec.image_signature);
+        !s.ok())
+      return Errc::verification_failed;
+  }
+  if (const Status s = admit_domain(spec); !s.ok()) return s.error();
+
+  const DomainId id = next_domain_++;
+  DomainRecord record;
+  record.spec = spec;
+  record.measurement = spec.image.measurement();
+  if (const Status s = attach_memory(id, record); !s.ok()) return s.error();
+
+  if (config_.launch_policy == LaunchPolicy::authenticated_boot)
+    boot_log_.push_back(record.measurement);
+
+  domains_.emplace(id, std::move(record));
+  return id;
+}
+
+Status IsolationSubstrate::destroy_domain(DomainId domain) {
+  const auto it = domains_.find(domain);
+  if (it == domains_.end()) return Errc::no_such_domain;
+  release_memory(domain, it->second);
+  // Tear down every channel the domain participates in; POLA means no
+  // dangling rights survive the domain.
+  for (auto chan_it = channels_.begin(); chan_it != channels_.end();) {
+    if (chan_it->second.a == domain || chan_it->second.b == domain)
+      chan_it = channels_.erase(chan_it);
+    else
+      ++chan_it;
+  }
+  domains_.erase(it);
+  return Status::success();
+}
+
+std::vector<DomainId> IsolationSubstrate::domains() const {
+  std::vector<DomainId> out;
+  out.reserve(domains_.size());
+  for (const auto& [id, record] : domains_) out.push_back(id);
+  return out;
+}
+
+Result<DomainSpec> IsolationSubstrate::domain_spec(DomainId domain) const {
+  const DomainRecord* record = find_domain(domain);
+  if (!record) return Errc::no_such_domain;
+  return record->spec;
+}
+
+Result<ChannelId> IsolationSubstrate::create_channel(DomainId a, DomainId b,
+                                                     const ChannelSpec& spec) {
+  if (!find_domain(a) || !find_domain(b)) return Errc::no_such_domain;
+  if (a == b) return Errc::invalid_argument;
+  const ChannelId id = next_channel_++;
+  ChannelRecord record;
+  record.a = a;
+  record.b = b;
+  record.badge_a = next_badge_++;
+  record.badge_b = next_badge_++;
+  record.spec = spec;
+  channels_.emplace(id, std::move(record));
+  return id;
+}
+
+Result<std::uint64_t> IsolationSubstrate::endpoint_badge(
+    ChannelId channel, DomainId endpoint) const {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end()) return Errc::no_such_channel;
+  if (endpoint == it->second.a) return it->second.badge_a;
+  if (endpoint == it->second.b) return it->second.badge_b;
+  return Errc::access_denied;
+}
+
+Status IsolationSubstrate::set_handler(DomainId domain, Handler handler) {
+  DomainRecord* record = find_domain(domain);
+  if (!record) return Errc::no_such_domain;
+  record->handler = std::move(handler);
+  return Status::success();
+}
+
+Status IsolationSubstrate::send(DomainId actor, ChannelId channel,
+                                BytesView data) {
+  ChannelRecord* chan = find_channel(channel);
+  if (!chan) return Errc::no_such_channel;
+  if (actor != chan->a && actor != chan->b) return Errc::access_denied;
+  if (!find_domain(actor)) return Errc::no_such_domain;
+  if (data.size() > chan->spec.max_message_bytes)
+    return Errc::invalid_argument;
+
+  machine_.advance(message_cost(data.size()));
+  const bool from_a = (actor == chan->a);
+  Message msg;
+  msg.badge = from_a ? chan->badge_a : chan->badge_b;
+  msg.data.assign(data.begin(), data.end());
+  (from_a ? chan->to_b : chan->to_a).push_back(std::move(msg));
+  return Status::success();
+}
+
+Result<Message> IsolationSubstrate::receive(DomainId actor, ChannelId channel) {
+  ChannelRecord* chan = find_channel(channel);
+  if (!chan) return Errc::no_such_channel;
+  if (actor != chan->a && actor != chan->b) return Errc::access_denied;
+  auto& queue = (actor == chan->a) ? chan->to_a : chan->to_b;
+  if (queue.empty()) return Errc::would_block;
+  Message msg = std::move(queue.front());
+  queue.erase(queue.begin());
+  machine_.advance(message_cost(msg.data.size()));
+  return msg;
+}
+
+Result<Bytes> IsolationSubstrate::call(DomainId actor, ChannelId channel,
+                                       BytesView data) {
+  ChannelRecord* chan = find_channel(channel);
+  if (!chan) return Errc::no_such_channel;
+  if (actor != chan->a && actor != chan->b) return Errc::access_denied;
+  if (data.size() > chan->spec.max_message_bytes)
+    return Errc::invalid_argument;
+  const DomainId callee = (actor == chan->a) ? chan->b : chan->a;
+  DomainRecord* callee_record = find_domain(callee);
+  if (!callee_record) return Errc::no_such_domain;
+  if (!callee_record->handler) return Errc::would_block;
+  if (const Status s = pre_call(actor, callee); !s.ok()) return s.error();
+
+  // Round trip: request transfer + reply transfer.
+  machine_.advance(message_cost(data.size()));
+  Invocation invocation;
+  invocation.channel = channel;
+  invocation.badge = (actor == chan->a) ? chan->badge_a : chan->badge_b;
+  invocation.data = data;
+  Result<Bytes> reply = callee_record->handler(invocation);
+  machine_.advance(message_cost(reply.ok() ? reply.value().size() : 0));
+  return reply;
+}
+
+Status IsolationSubstrate::pre_call(DomainId actor, DomainId callee) {
+  (void)actor;
+  (void)callee;
+  return Status::success();
+}
+
+Result<crypto::Digest> IsolationSubstrate::measurement(DomainId domain) const {
+  const DomainRecord* record = find_domain(domain);
+  if (!record) return Errc::no_such_domain;
+  return record->measurement;
+}
+
+Result<Quote> IsolationSubstrate::attest(DomainId actor, BytesView user_data) {
+  const DomainRecord* record = find_domain(actor);
+  if (!record) return Errc::no_such_domain;
+  if (!has_feature(info().features, Feature::attestation))
+    return Errc::not_supported;
+  machine_.advance(attest_cost() + machine_.costs().sw_rsa_sign);
+  return make_quote(info().name, record->measurement, user_data,
+                    machine_.fuses().endorsement_key(),
+                    machine_.fuses().endorsement_cert());
+}
+
+crypto::Aead IsolationSubstrate::sealing_aead(
+    const crypto::Digest& measurement) const {
+  // Sealing key = HKDF(device fuse key, code measurement). Same code on the
+  // same device derives the same key; anything else cannot.
+  Bytes ikm(machine_.fuses().device_key().begin(),
+            machine_.fuses().device_key().end());
+  const Bytes key_material =
+      crypto::hkdf(crypto::digest_bytes(measurement), ikm,
+                   to_bytes("lateral.seal.v1"), 32);
+  return crypto::Aead(key_material);
+}
+
+Result<Bytes> IsolationSubstrate::seal(DomainId actor, BytesView plaintext) {
+  const DomainRecord* record = find_domain(actor);
+  if (!record) return Errc::no_such_domain;
+  if (!has_feature(info().features, Feature::sealed_storage))
+    return Errc::not_supported;
+  machine_.charge(0, machine_.costs().sw_aes_per_16_bytes, plaintext.size());
+
+  const crypto::Aead aead = sealing_aead(record->measurement);
+  const crypto::SealedBox box = aead.seal(seal_nonce_++, {}, plaintext);
+  Bytes out;
+  for (int i = 7; i >= 0; --i)
+    out.push_back(static_cast<std::uint8_t>(box.nonce >> (8 * i)));
+  out.insert(out.end(), box.tag.begin(), box.tag.end());
+  out.insert(out.end(), box.ciphertext.begin(), box.ciphertext.end());
+  return out;
+}
+
+Result<Bytes> IsolationSubstrate::unseal(DomainId actor, BytesView sealed) {
+  const DomainRecord* record = find_domain(actor);
+  if (!record) return Errc::no_such_domain;
+  if (!has_feature(info().features, Feature::sealed_storage))
+    return Errc::not_supported;
+  if (sealed.size() < 24) return Errc::invalid_argument;
+  machine_.charge(0, machine_.costs().sw_aes_per_16_bytes, sealed.size());
+
+  crypto::SealedBox box;
+  for (int i = 0; i < 8; ++i) box.nonce = (box.nonce << 8) | sealed[i];
+  std::copy(sealed.begin() + 8, sealed.begin() + 24, box.tag.begin());
+  box.ciphertext.assign(sealed.begin() + 24, sealed.end());
+
+  const crypto::Aead aead = sealing_aead(record->measurement);
+  auto plain = aead.open(box, {});
+  if (!plain) return Errc::verification_failed;
+  return std::move(*plain);
+}
+
+Status IsolationSubstrate::mark_compromised(DomainId domain) {
+  DomainRecord* record = find_domain(domain);
+  if (!record) return Errc::no_such_domain;
+  record->compromised = true;
+  return Status::success();
+}
+
+bool IsolationSubstrate::is_compromised(DomainId domain) const {
+  const DomainRecord* record = find_domain(domain);
+  return record && record->compromised;
+}
+
+std::string features_to_string(Features set) {
+  struct Named {
+    Feature f;
+    const char* name;
+  };
+  static constexpr Named kNames[] = {
+      {Feature::spatial_isolation, "spatial"},
+      {Feature::temporal_isolation, "temporal"},
+      {Feature::covert_channel_mitigation, "covert-mitig"},
+      {Feature::concurrent_domains, "concurrent"},
+      {Feature::legacy_hosting, "legacy-os"},
+      {Feature::memory_encryption, "mem-enc"},
+      {Feature::sealed_storage, "seal"},
+      {Feature::attestation, "attest"},
+      {Feature::late_launch, "late-launch"},
+      {Feature::io_isolation, "iommu"},
+  };
+  std::string out;
+  for (const auto& [f, name] : kNames) {
+    if (!has_feature(set, f)) continue;
+    if (!out.empty()) out += ",";
+    out += name;
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace lateral::substrate

@@ -1,0 +1,168 @@
+// IsolationSubstrate — the unified interface to isolation technologies.
+//
+// This is the paper's §III-A proposal made concrete: "This interface should
+// do for isolation mechanisms what POSIX did for the UNIX system call
+// interface: allow application code to be independent of the underlying
+// implementation." Application code (core::SystemComposer, the examples)
+// programs against this interface; the five backends (microkernel,
+// trustzone, sgx, tpm, sep) implement it with their technology's
+// capabilities, costs and restrictions.
+//
+// Every operation names the *acting* domain. The substrate is the reference
+// monitor: it verifies that the actor holds the right to perform the
+// operation, which is exactly what keeps a compromised component confined.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/aes.h"
+#include "crypto/rsa.h"
+#include "hw/machine.h"
+#include "substrate/isolation.h"
+#include "substrate/quote.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::substrate {
+
+/// Configuration common to all substrate instances.
+struct SubstrateConfig {
+  LaunchPolicy launch_policy = LaunchPolicy::none;
+  /// Platform-owner code-signing key; required when launch_policy is
+  /// secure_boot (images must carry a signature by this key).
+  std::optional<crypto::RsaPublicKey> owner_key;
+};
+
+class IsolationSubstrate {
+ public:
+  /// The behaviour of a domain when synchronously invoked. Handlers model
+  /// the component's code; returning an Errc models a refused request.
+  using Handler = std::function<Result<Bytes>(const Invocation&)>;
+
+  virtual ~IsolationSubstrate() = default;
+
+  IsolationSubstrate(const IsolationSubstrate&) = delete;
+  IsolationSubstrate& operator=(const IsolationSubstrate&) = delete;
+
+  virtual const SubstrateInfo& info() const = 0;
+  hw::Machine& machine() { return machine_; }
+  const hw::Machine& machine() const { return machine_; }
+  LaunchPolicy launch_policy() const { return config_.launch_policy; }
+
+  // --- Domain lifecycle -------------------------------------------------
+  virtual Result<DomainId> create_domain(const DomainSpec& spec);
+  virtual Status destroy_domain(DomainId domain);
+  std::vector<DomainId> domains() const;
+  Result<DomainSpec> domain_spec(DomainId domain) const;
+
+  // --- Communication (POLA: only explicitly created channels exist) ------
+  virtual Result<ChannelId> create_channel(DomainId a, DomainId b,
+                                           const ChannelSpec& spec = {});
+  Status set_handler(DomainId domain, Handler handler);
+  /// Asynchronous message to the peer endpoint.
+  Status send(DomainId actor, ChannelId channel, BytesView data);
+  /// Dequeue the next message for `actor` on `channel`; would_block if none.
+  Result<Message> receive(DomainId actor, ChannelId channel);
+  /// Synchronous invocation of the peer's handler (service invocation in the
+  /// structural template of Fig. 2).
+  Result<Bytes> call(DomainId actor, ChannelId channel, BytesView data);
+  /// The badge minted for `endpoint`'s end of the channel — what the peer
+  /// sees when `endpoint` sends. Composition code uses this to configure
+  /// badge-based access-control lists (SessionDemux).
+  Result<std::uint64_t> endpoint_badge(ChannelId channel,
+                                       DomainId endpoint) const;
+
+  // --- Memory -----------------------------------------------------------
+  /// Access target memory as `actor`. The reference-monitor check is the
+  /// heart of spatial isolation: actor != target is denied on every
+  /// substrate (unless the substrate's model permits it, e.g. TrustZone's
+  /// secure world reading the normal world).
+  virtual Result<Bytes> read_memory(DomainId actor, DomainId target,
+                                    std::uint64_t offset, std::size_t len) = 0;
+  virtual Status write_memory(DomainId actor, DomainId target,
+                              std::uint64_t offset, BytesView data) = 0;
+
+  // --- Code identity, attestation, sealing -------------------------------
+  Result<crypto::Digest> measurement(DomainId domain) const;
+  /// Quote binding (measurement, user_data) to the device endorsement key.
+  virtual Result<Quote> attest(DomainId actor, BytesView user_data);
+  /// Encrypt data such that only the same code identity on the same device
+  /// can recover it.
+  virtual Result<Bytes> seal(DomainId actor, BytesView plaintext);
+  virtual Result<Bytes> unseal(DomainId actor, BytesView sealed);
+
+  // --- Authenticated-boot log --------------------------------------------
+  /// Measurement log of every domain launched (authenticated_boot policy).
+  const std::vector<crypto::Digest>& boot_log() const { return boot_log_; }
+
+  /// Cycle cost of a one-way message of `len` bytes on this substrate
+  /// (public so composition layers can charge bridged channels honestly).
+  virtual Cycles message_cost(std::size_t len) const = 0;
+
+  // --- Experiment hooks ---------------------------------------------------
+  /// Flag a domain as attacker-controlled. The substrate keeps enforcing
+  /// its isolation; the flag drives containment analysis and lets tests
+  /// swap in attacker behaviour.
+  Status mark_compromised(DomainId domain);
+  bool is_compromised(DomainId domain) const;
+
+ protected:
+  IsolationSubstrate(hw::Machine& machine, SubstrateConfig config);
+
+  struct DomainRecord {
+    DomainSpec spec;
+    crypto::Digest measurement{};
+    Handler handler;
+    bool compromised = false;
+    /// Backend-specific memory handle (frame base, enclave tag, ...).
+    std::uint64_t backend_cookie = 0;
+  };
+
+  struct ChannelRecord {
+    DomainId a = kInvalidDomain;
+    DomainId b = kInvalidDomain;
+    std::uint64_t badge_a = 0;  // identifies endpoint a when it sends
+    std::uint64_t badge_b = 0;
+    ChannelSpec spec;
+    std::vector<Message> to_a;  // queue of messages awaiting a
+    std::vector<Message> to_b;
+  };
+
+  // Backend hooks -----------------------------------------------------------
+  /// Validate substrate-specific restrictions (e.g. TrustZone hosts exactly
+  /// one legacy world; the TPM never hosts a legacy OS).
+  virtual Status admit_domain(const DomainSpec& spec) const = 0;
+  /// Allocate backing memory; set record.backend_cookie. Called after
+  /// admit_domain and launch-policy checks passed.
+  virtual Status attach_memory(DomainId id, DomainRecord& record) = 0;
+  virtual void release_memory(DomainId id, DomainRecord& record) = 0;
+  /// Extra cost charged by attest() on top of the signature itself.
+  virtual Cycles attest_cost() const = 0;
+  /// Invoked before a synchronous call is delivered; lets a backend impose
+  /// serialization semantics (the TPM's Flicker-style late launch switches
+  /// the single active session here). Default: allow.
+  virtual Status pre_call(DomainId actor, DomainId callee);
+
+  // Shared helpers ------------------------------------------------------------
+  DomainRecord* find_domain(DomainId id);
+  const DomainRecord* find_domain(DomainId id) const;
+  ChannelRecord* find_channel(ChannelId id);
+  /// Sealing key bound to device + code identity.
+  crypto::Aead sealing_aead(const crypto::Digest& measurement) const;
+
+  hw::Machine& machine_;
+  SubstrateConfig config_;
+  std::map<DomainId, DomainRecord> domains_;
+  std::map<ChannelId, ChannelRecord> channels_;
+  std::vector<crypto::Digest> boot_log_;
+  DomainId next_domain_ = 1;
+  ChannelId next_channel_ = 1;
+  std::uint64_t next_badge_ = 0x1000;
+  std::uint64_t seal_nonce_ = 1;
+};
+
+}  // namespace lateral::substrate

@@ -1,0 +1,84 @@
+// Anonymizer — the reusable trusted component of the smart-meter scenario
+// (paper §III-C: "the smart meter component wants to ensure the server will
+// only use the data for billing purposes and afterwards stores only
+// anonymized aggregates for long-term analysis. ... the utility provider
+// could open the source code of the anonymizer for third-party auditing").
+//
+// This is that open-source component: it ingests per-household readings,
+// answers *billing* queries for individual accounts (its one legitimate
+// per-household purpose), and releases analytics only as k-anonymous
+// aggregates — a bucket is published only once at least k distinct
+// households contributed to it. Anything finer is refused by code, not by
+// promise: "users can rely on engineered privacy instead of blind belief."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::toolbox {
+
+struct Reading {
+  std::uint64_t household = 0;
+  std::uint64_t bucket = 0;  // e.g. hour-of-day or billing period
+  double kwh = 0.0;
+};
+
+struct Aggregate {
+  std::uint64_t bucket = 0;
+  std::size_t contributors = 0;
+  double total_kwh = 0.0;
+  double mean_kwh = 0.0;
+};
+
+class Anonymizer {
+ public:
+  /// k = minimum distinct households per published aggregate.
+  explicit Anonymizer(std::size_t k);
+
+  std::size_t k() const { return k_; }
+
+  Status ingest(const Reading& reading);
+  std::size_t readings_ingested() const { return ingested_; }
+
+  /// Billing total for one household (the purpose the data was sent for).
+  Result<double> billing_total(std::uint64_t household) const;
+
+  /// Aggregate for a bucket; Errc::access_denied while fewer than k
+  /// distinct households contributed (the k-anonymity gate).
+  Result<Aggregate> aggregate(std::uint64_t bucket) const;
+
+  /// All buckets currently releasable under the k-anonymity policy.
+  std::vector<Aggregate> releasable_aggregates() const;
+
+  /// Per-household analytics access does not exist: the only per-household
+  /// API is billing_total. This probe models a curious analyst asking for a
+  /// single household's load curve and is always refused.
+  Status analyst_query_household_curve(std::uint64_t household) const;
+
+  /// End-of-period retention: drop per-household detail, keep only the
+  /// releasable aggregates ("afterwards stores only anonymized aggregates
+  /// for long-term analysis"). Unreleasable buckets are discarded entirely.
+  void retain_only_aggregates();
+  bool has_per_household_data() const { return !per_household_.empty(); }
+  const std::vector<Aggregate>& retained() const { return retained_; }
+
+ private:
+  struct Bucket {
+    std::set<std::uint64_t> households;
+    double total_kwh = 0.0;
+  };
+
+  std::size_t k_;
+  std::size_t ingested_ = 0;
+  std::map<std::uint64_t, double> per_household_;  // household -> kWh total
+  std::map<std::uint64_t, Bucket> buckets_;
+  std::vector<Aggregate> retained_;
+};
+
+}  // namespace lateral::toolbox

@@ -1,0 +1,39 @@
+#include "toolbox/gateway.h"
+
+namespace lateral::toolbox {
+
+Gateway::Gateway(GatewayPolicy policy) : policy_(std::move(policy)) {}
+
+Status Gateway::admit(std::uint64_t badge, const std::string& host,
+                      std::size_t bytes, Cycles now) {
+  if (!policy_.allowed_hosts.contains(host)) {
+    stats_.blocked_host++;
+    return Errc::access_denied;
+  }
+
+  ClientBucket& bucket = buckets_[badge];
+  if (!bucket.initialized) {
+    bucket.tokens = policy_.bucket_capacity_bytes;
+    bucket.last_refill = now;
+    bucket.initialized = true;
+  }
+  if (now > bucket.last_refill) {
+    const Cycles elapsed = now - bucket.last_refill;
+    const std::uint64_t refill =
+        elapsed / 1'000'000 * policy_.refill_bytes_per_megacycle;
+    if (refill > 0) {
+      bucket.tokens =
+          std::min(policy_.bucket_capacity_bytes, bucket.tokens + refill);
+      bucket.last_refill = now;
+    }
+  }
+  if (bucket.tokens < bytes) {
+    stats_.throttled++;
+    return Errc::exhausted;
+  }
+  bucket.tokens -= bytes;
+  stats_.forwarded++;
+  return Status::success();
+}
+
+}  // namespace lateral::toolbox

@@ -1,0 +1,57 @@
+// Generic trusted wrapper for legacy service reuse (paper §II-A
+// "Communication": "the trusted component must be considerate not to leak
+// information and must carefully vet the reply. Cryptography may help to
+// satisfy these requirements." and §III-D "Trusted Reuse": "Such an
+// interface must be protected by a trusted wrapper").
+//
+// VPFS is the file-system-shaped instance of this idea; TrustedStore is the
+// minimal key-value-shaped one: a put/get store over an untrusted
+// legacy::LegacyOs service where every value is encrypted and MACed before
+// it crosses the trust boundary, and every reply is vetted on the way back.
+#pragma once
+
+#include <string>
+
+#include "crypto/aes.h"
+#include "legacy/legacy_os.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::toolbox {
+
+struct WrapperStats {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t vetoed_replies = 0;  // tampered/forged replies rejected
+};
+
+class TrustedStore {
+ public:
+  /// `os` must offer a "kv-put" service (request: key || 0x00 || value,
+  /// reply: empty) and a "kv-get" service (request: key, reply: value).
+  /// Both services are untrusted; register_backend() installs an honest
+  /// in-memory implementation for convenience.
+  TrustedStore(legacy::LegacyOs& os, BytesView key_material);
+
+  /// Install honest kv services backed by the OS's filesystem.
+  static Status register_backend(legacy::LegacyOs& os);
+
+  Status put(const std::string& key, BytesView value);
+
+  /// Errc::tamper_detected when the legacy side served a modified, stale
+  /// or forged value.
+  Result<Bytes> get(const std::string& key);
+
+  const WrapperStats& stats() const { return stats_; }
+
+ private:
+  legacy::LegacyOs& os_;
+  crypto::Aead aead_;
+  std::uint64_t nonce_ = 1;
+  /// Anti-rollback: remember the latest nonce stored per key; a stale but
+  /// authentic ciphertext is still refused.
+  std::map<std::string, std::uint64_t> latest_nonce_;
+  WrapperStats stats_;
+};
+
+}  // namespace lateral::toolbox

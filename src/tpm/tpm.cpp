@@ -1,0 +1,227 @@
+#include "tpm/tpm.h"
+
+#include "crypto/hmac.h"
+
+namespace lateral::tpm {
+
+using substrate::AttackerModel;
+using substrate::DomainId;
+using substrate::DomainKind;
+using substrate::Feature;
+
+Tpm::Tpm(hw::Machine& machine, substrate::SubstrateConfig config)
+    : IsolationSubstrate(machine, std::move(config)),
+      sram_frames_(machine.sram()) {
+  info_.name = "tpm";
+  info_.features = Feature::spatial_isolation | Feature::sealed_storage |
+                   Feature::attestation | Feature::late_launch;
+  info_.tcb_loc = 15'000;  // chip firmware + DRTM microcode
+  info_.defends_against = {AttackerModel::remote_network,
+                           AttackerModel::local_software,
+                           AttackerModel::physical_bus,
+                           AttackerModel::physical_intrusion};
+
+  // CRTM: the unchangeable first boot step measures the boot ROM into PCR0
+  // before anything else runs (authenticated boot).
+  (void)pcr_extend(0, machine_.boot_rom().measurement());
+}
+
+const substrate::SubstrateInfo& Tpm::info() const { return info_; }
+
+Status Tpm::admit_domain(const substrate::DomainSpec& spec) const {
+  // Fixed-function chip: no legacy hosting, and only small components fit
+  // in chip memory.
+  if (spec.kind == DomainKind::legacy) return Errc::not_supported;
+  if (spec.memory_pages == 0 || spec.memory_pages > 8)
+    return Errc::exhausted;
+  return Status::success();
+}
+
+Status Tpm::attach_memory(DomainId id, DomainRecord& record) {
+  ChipSpace space;
+  space.frames.reserve(record.spec.memory_pages);
+  for (std::size_t i = 0; i < record.spec.memory_pages; ++i) {
+    auto frame = sram_frames_.allocate(1);
+    if (!frame) {
+      for (const hw::PhysAddr f : space.frames) (void)sram_frames_.free(f, 1);
+      return frame.error();
+    }
+    space.frames.push_back(*frame);
+  }
+  BytesView code = record.spec.image.code;
+  for (std::size_t i = 0; i < space.frames.size() && !code.empty(); ++i) {
+    const std::size_t n = std::min<std::size_t>(hw::kPageSize, code.size());
+    machine_.memory().load(space.frames[i], code.subspan(0, n));
+    code = code.subspan(n);
+  }
+  spaces_.emplace(id, std::move(space));
+  return Status::success();
+}
+
+void Tpm::release_memory(DomainId id, DomainRecord& record) {
+  (void)record;
+  const auto it = spaces_.find(id);
+  if (it == spaces_.end()) return;
+  for (const hw::PhysAddr frame : it->second.frames)
+    (void)sram_frames_.free(frame, 1);
+  spaces_.erase(it);
+  if (active_ == id) active_ = substrate::kInvalidDomain;
+}
+
+Result<Bytes> Tpm::read_memory(DomainId actor, DomainId target,
+                               std::uint64_t offset, std::size_t len) {
+  if (actor != target) return Errc::access_denied;
+  const auto it = spaces_.find(target);
+  if (it == spaces_.end()) return Errc::no_such_domain;
+  const ChipSpace& space = it->second;
+  if (offset + len > space.frames.size() * hw::kPageSize ||
+      offset + len < offset)
+    return Errc::access_denied;
+
+  machine_.charge(machine_.costs().tpm_command_base,
+                  machine_.costs().tpm_per_byte * 16, len);
+  Bytes out;
+  out.reserve(len);
+  while (len > 0) {
+    const std::size_t page = offset / hw::kPageSize;
+    const std::size_t in_page = offset % hw::kPageSize;
+    const std::size_t n = std::min(len, hw::kPageSize - in_page);
+    Bytes chunk = machine_.memory().dump(space.frames[page] + in_page, n);
+    out.insert(out.end(), chunk.begin(), chunk.end());
+    offset += n;
+    len -= n;
+  }
+  return out;
+}
+
+Status Tpm::write_memory(DomainId actor, DomainId target, std::uint64_t offset,
+                         BytesView data) {
+  if (actor != target) return Errc::access_denied;
+  const auto it = spaces_.find(target);
+  if (it == spaces_.end()) return Errc::no_such_domain;
+  const ChipSpace& space = it->second;
+  if (offset + data.size() > space.frames.size() * hw::kPageSize ||
+      offset + data.size() < offset)
+    return Errc::access_denied;
+
+  machine_.charge(machine_.costs().tpm_command_base,
+                  machine_.costs().tpm_per_byte * 16, data.size());
+  while (!data.empty()) {
+    const std::size_t page = offset / hw::kPageSize;
+    const std::size_t in_page = offset % hw::kPageSize;
+    const std::size_t n = std::min(data.size(), hw::kPageSize - in_page);
+    machine_.memory().load(space.frames[page] + in_page, data.subspan(0, n));
+    data = data.subspan(n);
+    offset += n;
+  }
+  return Status::success();
+}
+
+Status Tpm::pcr_extend(std::size_t index, const crypto::Digest& digest) {
+  machine_.advance(machine_.costs().tpm_command_base);
+  return pcrs_.extend(index, digest);
+}
+
+Result<crypto::Digest> Tpm::pcr_read(std::size_t index) const {
+  return pcrs_.read(index);
+}
+
+crypto::Digest Tpm::pcr_composite(
+    const std::vector<std::size_t>& selection) const {
+  return pcrs_.composite(selection);
+}
+
+Result<substrate::Quote> Tpm::quote_pcrs(
+    const std::vector<std::size_t>& selection, BytesView nonce) {
+  for (const std::size_t index : selection)
+    if (index >= kNumPcrs) return Errc::invalid_argument;
+  machine_.advance(machine_.costs().tpm_command_base +
+                   machine_.costs().tpm_sign_extra);
+  return substrate::make_quote("tpm", pcr_composite(selection), nonce,
+                               machine_.fuses().endorsement_key(),
+                               machine_.fuses().endorsement_cert());
+}
+
+Result<Bytes> Tpm::seal_to_pcrs(const std::vector<std::size_t>& selection,
+                                BytesView plaintext) {
+  for (const std::size_t index : selection)
+    if (index >= kNumPcrs) return Errc::invalid_argument;
+  machine_.advance(machine_.costs().tpm_command_base);
+
+  // Sealing key binds device key and current PCR composite.
+  const crypto::Aead aead = sealing_aead(pcr_composite(selection));
+  const crypto::SealedBox box = aead.seal(seal_pcr_nonce_++, {}, plaintext);
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(selection.size()));
+  for (const std::size_t index : selection)
+    out.push_back(static_cast<std::uint8_t>(index));
+  for (int i = 7; i >= 0; --i)
+    out.push_back(static_cast<std::uint8_t>(box.nonce >> (8 * i)));
+  out.insert(out.end(), box.tag.begin(), box.tag.end());
+  out.insert(out.end(), box.ciphertext.begin(), box.ciphertext.end());
+  return out;
+}
+
+Result<Bytes> Tpm::unseal_pcrs(BytesView sealed) {
+  machine_.advance(machine_.costs().tpm_command_base);
+  if (sealed.size() < 1) return Errc::invalid_argument;
+  const std::size_t sel_len = sealed[0];
+  if (sealed.size() < 1 + sel_len + 8 + 16) return Errc::invalid_argument;
+  std::vector<std::size_t> selection;
+  for (std::size_t i = 0; i < sel_len; ++i) {
+    if (sealed[1 + i] >= kNumPcrs) return Errc::invalid_argument;
+    selection.push_back(sealed[1 + i]);
+  }
+  std::size_t offset = 1 + sel_len;
+  crypto::SealedBox box;
+  for (int i = 0; i < 8; ++i)
+    box.nonce = (box.nonce << 8) | sealed[offset + i];
+  offset += 8;
+  std::copy(sealed.begin() + static_cast<long>(offset),
+            sealed.begin() + static_cast<long>(offset + 16), box.tag.begin());
+  offset += 16;
+  box.ciphertext.assign(sealed.begin() + static_cast<long>(offset),
+                        sealed.end());
+
+  const crypto::Aead aead = sealing_aead(pcr_composite(selection));
+  auto plain = aead.open(box, {});
+  if (!plain) return Errc::verification_failed;  // PCR state changed
+  return std::move(*plain);
+}
+
+Status Tpm::pre_call(DomainId actor, DomainId callee) {
+  (void)actor;
+  const auto it = spaces_.find(callee);
+  if (it == spaces_.end()) return Errc::no_such_domain;
+  if (active_ != callee) {
+    // Late launch: stop everything, reset the DRTM PCR, measure the new
+    // component, transfer control. Mutual isolation between components
+    // comes from their distinct measured identities, not concurrency.
+    const DomainRecord* record = find_domain(callee);
+    if (!record) return Errc::no_such_domain;
+    machine_.advance(machine_.costs().tpm_command_base * 2);
+    (void)pcrs_.drtm_reset();  // PCR reset (only DRTM can)
+    if (const Status s = pcr_extend(kDrtmPcr, record->measurement); !s.ok())
+      return s;
+    active_ = callee;
+  }
+  return Status::success();
+}
+
+Cycles Tpm::message_cost(std::size_t len) const {
+  return machine_.costs().tpm_command_base +
+         machine_.costs().tpm_per_byte * len;
+}
+
+Cycles Tpm::attest_cost() const {
+  return machine_.costs().tpm_command_base + machine_.costs().tpm_sign_extra;
+}
+
+Status register_factory(substrate::SubstrateRegistry& registry) {
+  return registry.register_factory(
+      "tpm", [](hw::Machine& machine, const substrate::SubstrateConfig& config) {
+        return std::make_unique<Tpm>(machine, config);
+      });
+}
+
+}  // namespace lateral::tpm

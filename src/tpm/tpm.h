@@ -1,0 +1,84 @@
+// TPM isolation substrate (paper §II-B "Trusted Platform Module").
+//
+// Models a discrete TPM chip plus the late-launch (DRTM) path:
+//  * PCR bank with extend-only semantics; PCR0 holds the CRTM measurement
+//    of the machine's boot ROM (authenticated boot, §II-D);
+//  * quote = device-key signature over the PCR composite and caller nonce;
+//  * sealing binds secrets to PCR state — change the boot chain and
+//    unsealing fails;
+//  * trusted components run via late launch, Flicker-style: they are
+//    mutually isolated by distinct cryptographic identities but CANNOT run
+//    concurrently — invoking a different component pays a full late-launch
+//    context switch;
+//  * component state lives on-chip: a physical bus attacker gets nothing;
+//  * everything is slow: each interaction is a command over a slow bus to
+//    chip firmware (the invocation-cost experiment's outlier, by design);
+//  * no legacy hosting — legacy code runs on the main CPU, outside this
+//    substrate.
+#pragma once
+
+#include "substrate/registry.h"
+#include "substrate/substrate.h"
+#include "tpm/pcr_bank.h"
+
+namespace lateral::tpm {
+
+class Tpm final : public substrate::IsolationSubstrate {
+ public:
+  Tpm(hw::Machine& machine, substrate::SubstrateConfig config);
+
+  const substrate::SubstrateInfo& info() const override;
+
+  Result<Bytes> read_memory(substrate::DomainId actor,
+                            substrate::DomainId target, std::uint64_t offset,
+                            std::size_t len) override;
+  Status write_memory(substrate::DomainId actor, substrate::DomainId target,
+                      std::uint64_t offset, BytesView data) override;
+
+  // --- PCR interface ------------------------------------------------------
+  /// PCR_Extend: pcr = H(pcr || digest).
+  Status pcr_extend(std::size_t index, const crypto::Digest& digest);
+  Result<crypto::Digest> pcr_read(std::size_t index) const;
+  /// Composite hash over a PCR selection (what quotes sign).
+  crypto::Digest pcr_composite(const std::vector<std::size_t>& selection) const;
+
+  /// TPM_Quote: sign (composite, nonce) with the endorsement key.
+  Result<substrate::Quote> quote_pcrs(const std::vector<std::size_t>& selection,
+                                      BytesView nonce);
+
+  /// Seal data to the *current* value of the selected PCRs.
+  Result<Bytes> seal_to_pcrs(const std::vector<std::size_t>& selection,
+                             BytesView plaintext);
+  /// Unseal succeeds only if the selected PCRs still match sealing time.
+  Result<Bytes> unseal_pcrs(BytesView sealed);
+
+  /// Which component is currently late-launched (kInvalidDomain if none).
+  substrate::DomainId active_component() const { return active_; }
+
+ protected:
+  Status admit_domain(const substrate::DomainSpec& spec) const override;
+  Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
+  void release_memory(substrate::DomainId id, DomainRecord& record) override;
+  Cycles message_cost(std::size_t len) const override;
+  Cycles attest_cost() const override;
+  /// Flicker semantics: switching the invoked component performs a full
+  /// late launch (stop everything, reset the DRTM PCR, measure, start).
+  Status pre_call(substrate::DomainId actor,
+                  substrate::DomainId callee) override;
+
+ private:
+  struct ChipSpace {
+    std::vector<hw::PhysAddr> frames;  // on-chip SRAM pages
+  };
+
+  substrate::SubstrateInfo info_;
+  hw::FrameAllocator sram_frames_;
+  std::map<substrate::DomainId, ChipSpace> spaces_;
+  PcrBank pcrs_;
+  substrate::DomainId active_ = substrate::kInvalidDomain;
+  std::uint64_t seal_pcr_nonce_ = 1;
+};
+
+Status register_factory(substrate::SubstrateRegistry& registry);
+
+}  // namespace lateral::tpm

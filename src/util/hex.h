@@ -1,0 +1,18 @@
+// Hex encoding/decoding for digests, keys and diagnostics.
+#pragma once
+
+#include <string>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::util {
+
+/// Lower-case hex string of a byte buffer.
+std::string to_hex(BytesView data);
+
+/// Parse a hex string (upper or lower case). Errc::invalid_argument on
+/// odd length or non-hex characters.
+Result<Bytes> from_hex(std::string_view hex);
+
+}  // namespace lateral::util

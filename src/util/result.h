@@ -1,0 +1,128 @@
+// Result<T> / Errc: expected-style error handling for *anticipated* security
+// outcomes. In an isolation library, "access denied" and "verification
+// failed" are normal data-flow results, not exceptional conditions, so they
+// travel in the return value. Exceptions (lateral::Error) are reserved for
+// contract violations and programmer misuse.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace lateral {
+
+/// Error codes for anticipated failures across all subsystems.
+enum class Errc {
+  ok = 0,
+  access_denied,        // reference monitor refused the operation
+  no_such_domain,       // domain id not known to the substrate
+  no_such_channel,      // channel id not known / not granted
+  invalid_argument,     // malformed input from an (untrusted) caller
+  verification_failed,  // signature / MAC / measurement mismatch
+  tamper_detected,      // integrity check on stored/transit data failed
+  not_supported,        // substrate lacks the requested capability
+  exhausted,            // out of simulated resource (memory, slots, budget)
+  busy,                 // substrate is single-threaded for this op (e.g. late launch)
+  compromised,          // operation refused because the domain is flagged compromised
+  would_block,          // no message available / peer not ready
+  policy_violation,     // manifest/POLA policy check failed
+  crypto_failure,       // low-level crypto error (bad key size etc.)
+  io_error,             // simulated storage failure
+};
+
+/// Human-readable name for an error code.
+constexpr std::string_view errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::access_denied: return "access_denied";
+    case Errc::no_such_domain: return "no_such_domain";
+    case Errc::no_such_channel: return "no_such_channel";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::verification_failed: return "verification_failed";
+    case Errc::tamper_detected: return "tamper_detected";
+    case Errc::not_supported: return "not_supported";
+    case Errc::exhausted: return "exhausted";
+    case Errc::busy: return "busy";
+    case Errc::compromised: return "compromised";
+    case Errc::would_block: return "would_block";
+    case Errc::policy_violation: return "policy_violation";
+    case Errc::crypto_failure: return "crypto_failure";
+    case Errc::io_error: return "io_error";
+  }
+  return "unknown";
+}
+
+/// Exception for contract violations (misuse of the library itself).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Minimal expected<T, Errc>. Either holds a value or an error code.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Errc error) : state_(error) {                     // NOLINT(google-explicit-constructor)
+    if (error == Errc::ok)
+      throw Error("Result<T> constructed from Errc::ok without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  Errc error() const { return ok() ? Errc::ok : std::get<Errc>(state_); }
+
+  /// Access the value; throws on misuse (calling value() on an error).
+  T& value() & {
+    check();
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    check();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    check();
+    return std::get<T>(std::move(state_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void check() const {
+    if (!ok())
+      throw Error(std::string("Result::value() on error: ") +
+                  std::string(errc_name(std::get<Errc>(state_))));
+  }
+  std::variant<T, Errc> state_;
+};
+
+/// Result<void> analogue: success or an error code.
+class [[nodiscard]] Status {
+ public:
+  Status() : error_(Errc::ok) {}
+  Status(Errc error) : error_(error) {}  // NOLINT(google-explicit-constructor)
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return error_ == Errc::ok; }
+  explicit operator bool() const { return ok(); }
+  Errc error() const { return error_; }
+
+ private:
+  Errc error_;
+};
+
+}  // namespace lateral

@@ -1,0 +1,62 @@
+#include "util/rng.h"
+
+namespace lateral::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Xoshiro::Xoshiro(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+  // Avoid the all-zero state, which xoshiro cannot leave.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro::below(std::uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Xoshiro::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Bytes Xoshiro::bytes(std::size_t n) {
+  Bytes out(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::uint64_t v = next();
+    for (int k = 0; k < 8 && i < n; ++k, ++i) {
+      out[i] = static_cast<std::uint8_t>(v & 0xFF);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+}  // namespace lateral::util

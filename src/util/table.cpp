@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/result.h"
+
+namespace lateral::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw Error("Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw Error("Table row arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      out << (c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(width[c], '-') << (c + 1 == header_.size() ? "\n" : "  ");
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt_cycles(unsigned long long cycles) {
+  // Group digits for readability: 1234567 -> "1,234,567".
+  std::string digits = std::to_string(cycles);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fmt_ratio(double r) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2) << r << "x";
+  return out.str();
+}
+
+}  // namespace lateral::util

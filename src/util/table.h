@@ -1,0 +1,34 @@
+// Plain-text table rendering for benchmark reports.
+//
+// Every bench binary prints the rows of the experiment it regenerates
+// (see EXPERIMENTS.md) in a fixed-width table so results can be compared
+// against the paper's qualitative claims at a glance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lateral::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a separator under the header.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used across benches.
+std::string fmt_cycles(unsigned long long cycles);
+std::string fmt_ratio(double r);
+
+}  // namespace lateral::util

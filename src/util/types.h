@@ -1,0 +1,40 @@
+// Common vocabulary types shared by every lateral subsystem.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lateral {
+
+/// Owning byte buffer. All payloads, keys, digests and wire messages use this.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view of bytes.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Simulated clock value, in CPU cycles of the simulated machine.
+using Cycles = std::uint64_t;
+
+/// Convert a string literal / std::string into a byte buffer.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Convert bytes back to a std::string (for human-readable payloads).
+inline std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Constant-time byte comparison; returns true when equal.
+/// Used wherever secrets or MACs are compared, so the simulation's trusted
+/// components follow the same discipline real ones must.
+inline bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace lateral

@@ -1,0 +1,160 @@
+// AES-128 against FIPS 197 / NIST SP 800-38A vectors; CTR mode and the
+// encrypt-then-MAC AEAD construction.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace lateral::crypto {
+namespace {
+
+Bytes unhex(const std::string& hex) {
+  auto r = util::from_hex(hex);
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+Aes128Key key_of(const std::string& hex) {
+  const Bytes raw = unhex(hex);
+  Aes128Key key{};
+  std::copy(raw.begin(), raw.end(), key.begin());
+  return key;
+}
+
+// FIPS 197 Appendix C.1.
+TEST(Aes128, Fips197Vector) {
+  const Aes128Key key = key_of("000102030405060708090a0b0c0d0e0f");
+  AesBlock block{};
+  const Bytes pt = unhex("00112233445566778899aabbccddeeff");
+  std::copy(pt.begin(), pt.end(), block.begin());
+  Aes128(key).encrypt_block(block);
+  EXPECT_EQ(util::to_hex(BytesView(block.data(), block.size())),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+// FIPS 197 Appendix B.
+TEST(Aes128, Fips197AppendixB) {
+  const Aes128Key key = key_of("2b7e151628aed2a6abf7158809cf4f3c");
+  AesBlock block{};
+  const Bytes pt = unhex("3243f6a8885a308d313198a2e0370734");
+  std::copy(pt.begin(), pt.end(), block.begin());
+  Aes128(key).encrypt_block(block);
+  EXPECT_EQ(util::to_hex(BytesView(block.data(), block.size())),
+            "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(AesCtr, RoundTripsArbitraryLengths) {
+  const Aes128Key key = key_of("000102030405060708090a0b0c0d0e0f");
+  util::Xoshiro rng(3);
+  for (const std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 4096u}) {
+    const Bytes plain = rng.bytes(len);
+    const Bytes ct = aes128_ctr(key, 99, plain);
+    EXPECT_EQ(aes128_ctr(key, 99, ct), plain) << "len=" << len;
+    if (len >= 16) {
+      EXPECT_NE(ct, plain);
+    }
+  }
+}
+
+TEST(AesCtr, DifferentNoncesDifferentStreams) {
+  const Aes128Key key = key_of("000102030405060708090a0b0c0d0e0f");
+  const Bytes plain(64, 0);
+  EXPECT_NE(aes128_ctr(key, 1, plain), aes128_ctr(key, 2, plain));
+}
+
+TEST(AesCtr, KeystreamIsNotPlaintextDependent) {
+  // CTR XORs a keystream: ct(a) XOR ct(b) == a XOR b for same key/nonce.
+  const Aes128Key key = key_of("2b7e151628aed2a6abf7158809cf4f3c");
+  util::Xoshiro rng(5);
+  const Bytes a = rng.bytes(48), b = rng.bytes(48);
+  const Bytes ca = aes128_ctr(key, 7, a), cb = aes128_ctr(key, 7, b);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(ca[i] ^ cb[i], a[i] ^ b[i]);
+}
+
+TEST(Aead, SealOpenRoundTrip) {
+  const Aead aead(to_bytes("key material"));
+  const SealedBox box = aead.seal(1, to_bytes("aad"), to_bytes("payload"));
+  auto open = aead.open(box, to_bytes("aad"));
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(to_string(*open), "payload");
+}
+
+TEST(Aead, DetectsCiphertextTampering) {
+  const Aead aead(to_bytes("key material"));
+  SealedBox box = aead.seal(1, {}, to_bytes("payload"));
+  box.ciphertext[0] ^= 0x01;
+  EXPECT_EQ(aead.open(box, {}).error(), Errc::verification_failed);
+}
+
+TEST(Aead, DetectsTagTampering) {
+  const Aead aead(to_bytes("key material"));
+  SealedBox box = aead.seal(1, {}, to_bytes("payload"));
+  box.tag[5] ^= 0x80;
+  EXPECT_EQ(aead.open(box, {}).error(), Errc::verification_failed);
+}
+
+TEST(Aead, DetectsNonceTampering) {
+  const Aead aead(to_bytes("key material"));
+  SealedBox box = aead.seal(1, {}, to_bytes("payload"));
+  box.nonce = 2;
+  EXPECT_EQ(aead.open(box, {}).error(), Errc::verification_failed);
+}
+
+TEST(Aead, DetectsAadMismatch) {
+  const Aead aead(to_bytes("key material"));
+  const SealedBox box = aead.seal(1, to_bytes("context-a"), to_bytes("data"));
+  EXPECT_EQ(aead.open(box, to_bytes("context-b")).error(),
+            Errc::verification_failed);
+}
+
+TEST(Aead, EmptyPlaintextStillAuthenticated) {
+  const Aead aead(to_bytes("key material"));
+  SealedBox box = aead.seal(4, to_bytes("aad"), {});
+  ASSERT_TRUE(aead.open(box, to_bytes("aad")).ok());
+  box.tag[0] ^= 1;
+  EXPECT_FALSE(aead.open(box, to_bytes("aad")).ok());
+}
+
+TEST(Aead, DifferentKeyMaterialCannotOpen) {
+  const Aead a(to_bytes("key-1")), b(to_bytes("key-2"));
+  const SealedBox box = a.seal(1, {}, to_bytes("data"));
+  EXPECT_FALSE(b.open(box, {}).ok());
+}
+
+TEST(Aead, AadLengthConfusionResisted) {
+  // (aad="ab", pt starts "c...") must not collide with (aad="a", pt "bc..."):
+  // the AAD is length-prefixed in the MAC input.
+  const Aead aead(to_bytes("key"));
+  const SealedBox box = aead.seal(1, to_bytes("ab"), to_bytes("xyz"));
+  EXPECT_FALSE(aead.open(box, to_bytes("a")).ok());
+}
+
+TEST(KeyFromBytes, RequiresSixteenBytes) {
+  EXPECT_FALSE(key_from_bytes(Bytes(15, 1)).ok());
+  auto key = key_from_bytes(Bytes(16, 1));
+  ASSERT_TRUE(key.ok());
+  auto longer = key_from_bytes(Bytes(32, 1));
+  ASSERT_TRUE(longer.ok());
+  EXPECT_EQ(*key, *longer);  // uses the first 16 bytes
+}
+
+class AeadSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AeadSizeTest, RoundTripsAtSize) {
+  const Aead aead(to_bytes("sweep key"));
+  util::Xoshiro rng(GetParam() + 1);
+  const Bytes plain = rng.bytes(GetParam());
+  const SealedBox box = aead.seal(GetParam(), to_bytes("s"), plain);
+  auto open = aead.open(box, to_bytes("s"));
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(*open, plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AeadSizeTest,
+                         ::testing::Values(0, 1, 15, 16, 17, 255, 256, 1000,
+                                           4096, 10000));
+
+}  // namespace
+}  // namespace lateral::crypto

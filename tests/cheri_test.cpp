@@ -1,0 +1,183 @@
+// CHERI substrate specifics: guarded-pointer semantics — monotonic
+// derivation, bounds/permission faults, unforgeability, object-granular
+// cross-domain sharing, and the cost profile (cheapest invocation).
+#include <gtest/gtest.h>
+
+#include "cheri/cheri.h"
+#include "hw/attacker.h"
+#include "test_support.h"
+
+namespace lateral::cheri {
+namespace {
+
+using test::tc_spec;
+
+class CheriTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = test::make_machine("cheri");
+    cheri_ = std::make_unique<Cheri>(*machine_, substrate::SubstrateConfig{});
+  }
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<Cheri> cheri_;
+};
+
+TEST_F(CheriTest, RootCapabilityCoversAllocation) {
+  auto domain = cheri_->create_domain(tc_spec("comp", 3));
+  ASSERT_TRUE(domain.ok());
+  auto root = cheri_->root_capability(*domain);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->length, 3 * hw::kPageSize);
+  EXPECT_TRUE(root->read);
+  EXPECT_TRUE(root->write);
+  EXPECT_TRUE(root->tag);
+}
+
+TEST_F(CheriTest, LoadStoreThroughCapability) {
+  auto domain = cheri_->create_domain(tc_spec("comp"));
+  ASSERT_TRUE(domain.ok());
+  auto root = cheri_->root_capability(*domain);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(cheri_->cap_store(*root, 64, to_bytes("object")).ok());
+  auto loaded = cheri_->cap_load(*root, 64, 6);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(to_string(*loaded), "object");
+}
+
+TEST_F(CheriTest, BoundsFaultOnOverflow) {
+  auto domain = cheri_->create_domain(tc_spec("comp", 1));
+  ASSERT_TRUE(domain.ok());
+  auto root = cheri_->root_capability(*domain);
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(cheri_->cap_load(*root, hw::kPageSize - 2, 4).error(),
+            Errc::access_denied);
+  EXPECT_EQ(cheri_->cap_store(*root, hw::kPageSize, to_bytes("x")).error(),
+            Errc::access_denied);
+}
+
+TEST_F(CheriTest, DerivationIsMonotonic) {
+  auto domain = cheri_->create_domain(tc_spec("comp", 2));
+  ASSERT_TRUE(domain.ok());
+  auto root = cheri_->root_capability(*domain);
+  ASSERT_TRUE(root.ok());
+
+  auto narrow = cheri_->derive(*root, 100, 50, /*read=*/true, /*write=*/false);
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ(narrow->length, 50u);
+  EXPECT_FALSE(narrow->write);
+
+  // Widening bounds is refused.
+  EXPECT_EQ(cheri_->derive(*narrow, 0, 51, true, false).error(),
+            Errc::access_denied);
+  // Regaining a dropped permission is refused.
+  EXPECT_EQ(cheri_->derive(*narrow, 0, 10, true, true).error(),
+            Errc::access_denied);
+  // Narrowing further is fine.
+  EXPECT_TRUE(cheri_->derive(*narrow, 10, 10, true, false).ok());
+}
+
+TEST_F(CheriTest, PermissionsEnforcedOnUse) {
+  auto domain = cheri_->create_domain(tc_spec("comp"));
+  ASSERT_TRUE(domain.ok());
+  auto root = cheri_->root_capability(*domain);
+  ASSERT_TRUE(root.ok());
+  auto read_only = cheri_->derive(*root, 0, 128, true, false);
+  ASSERT_TRUE(read_only.ok());
+  EXPECT_TRUE(cheri_->cap_load(*read_only, 0, 16).ok());
+  EXPECT_EQ(cheri_->cap_store(*read_only, 0, to_bytes("w")).error(),
+            Errc::access_denied);
+
+  auto write_only = cheri_->derive(*root, 0, 128, false, true);
+  ASSERT_TRUE(write_only.ok());
+  EXPECT_TRUE(cheri_->cap_store(*write_only, 0, to_bytes("w")).ok());
+  EXPECT_EQ(cheri_->cap_load(*write_only, 0, 1).error(), Errc::access_denied);
+}
+
+TEST_F(CheriTest, ForgedCapabilitiesRejected) {
+  auto domain = cheri_->create_domain(tc_spec("victim"));
+  ASSERT_TRUE(domain.ok());
+  auto root = cheri_->root_capability(*domain);
+  ASSERT_TRUE(root.ok());
+
+  // An attacker crafts a capability from raw integers: the tag is unset.
+  Capability forged;
+  forged.base = root->base;
+  forged.length = root->length;
+  forged.read = forged.write = true;
+  forged.tag = false;  // only the CPU can set this
+  EXPECT_EQ(cheri_->cap_load(forged, 0, 16).error(), Errc::access_denied);
+  EXPECT_EQ(cheri_->derive(forged, 0, 8, true, false).error(),
+            Errc::access_denied);
+}
+
+TEST_F(CheriTest, ObjectGranularSharing) {
+  // The paper's "more fine-grained disaggregation of authority": give a
+  // peer exactly one buffer, nothing else.
+  auto producer = cheri_->create_domain(tc_spec("producer", 2));
+  auto consumer = cheri_->create_domain(tc_spec("consumer", 2));
+  ASSERT_TRUE(producer.ok());
+  ASSERT_TRUE(consumer.ok());
+
+  // Without a shared capability, the consumer sees nothing of the producer.
+  EXPECT_EQ(cheri_->read_memory(*consumer, *producer, 0, 16).error(),
+            Errc::access_denied);
+
+  // The producer derives a read-only window over one object and hands it
+  // over (capability transfer rides the ordinary channel machinery).
+  auto root = cheri_->root_capability(*producer);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(cheri_->cap_store(*root, 256, to_bytes("shared-object")).ok());
+  auto window = cheri_->derive(*root, 256, 13, true, false);
+  ASSERT_TRUE(window.ok());
+
+  // The consumer uses the received capability: exactly that object, read-only.
+  auto read = cheri_->cap_load(*window, 0, 13);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(to_string(*read), "shared-object");
+  EXPECT_EQ(cheri_->cap_store(*window, 0, to_bytes("x")).error(),
+            Errc::access_denied);
+  EXPECT_EQ(cheri_->cap_load(*window, 13, 1).error(), Errc::access_denied);
+}
+
+TEST_F(CheriTest, NoLegacyHostingNoAttestation) {
+  EXPECT_EQ(cheri_->create_domain(test::legacy_spec("os")).error(),
+            Errc::not_supported);
+  auto domain = cheri_->create_domain(tc_spec("comp"));
+  ASSERT_TRUE(domain.ok());
+  EXPECT_EQ(cheri_->attest(*domain, to_bytes("x")).error(),
+            Errc::not_supported);
+  EXPECT_EQ(cheri_->seal(*domain, to_bytes("x")).error(), Errc::not_supported);
+}
+
+TEST_F(CheriTest, CheapestInvocationOfAllSubstrates) {
+  auto a = cheri_->create_domain(tc_spec("a"));
+  auto b = cheri_->create_domain(tc_spec("b"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto channel = cheri_->create_channel(*a, *b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(cheri_->set_handler(*b, [](const substrate::Invocation&)
+                                      -> Result<Bytes> { return Bytes{}; })
+                  .ok());
+  const Cycles before = machine_->now();
+  ASSERT_TRUE(cheri_->call(*a, *channel, to_bytes("x")).ok());
+  const Cycles roundtrip = machine_->now() - before;
+  // Cheaper than even one direction of microkernel IPC.
+  EXPECT_LT(roundtrip, machine_->costs().ipc_one_way);
+}
+
+TEST_F(CheriTest, PlaintextInDramNoPhysicalDefence) {
+  auto domain = cheri_->create_domain(tc_spec("comp"));
+  ASSERT_TRUE(domain.ok());
+  ASSERT_TRUE(
+      cheri_->write_memory(*domain, *domain, 0, to_bytes("CHERI-SECRET"))
+          .ok());
+  hw::PhysicalAttacker attacker(*machine_);
+  EXPECT_FALSE(
+      attacker.scan(machine_->dram(), to_bytes("CHERI-SECRET")).empty());
+  EXPECT_FALSE(
+      cheri_->info().defends(substrate::AttackerModel::physical_bus));
+}
+
+}  // namespace
+}  // namespace lateral::cheri

@@ -1,0 +1,566 @@
+// Core ecosystem: manifest DSL, validation, policy checker, trust graph,
+// TCB accounting, composer/assembly POLA, session demux (confused deputy),
+// attestation protocol.
+#include <gtest/gtest.h>
+
+#include "core/attestation.h"
+#include "core/composer.h"
+#include "core/manifest.h"
+#include "core/policy.h"
+#include "core/session.h"
+#include "core/standard_registry.h"
+#include "core/tcb.h"
+#include "core/trust_graph.h"
+#include "microkernel/microkernel.h"
+#include "test_support.h"
+
+namespace lateral::core {
+namespace {
+
+using substrate::AttackerModel;
+using substrate::DomainKind;
+using substrate::Feature;
+
+constexpr const char* kEmailManifest = R"(
+# Decomposed email client (paper §III-C)
+component tls {
+  kind trusted
+  substrate sgx
+  pages 4
+  attacker physical_bus
+  channel imap
+  seal
+  attest
+  assets 10
+  loc 4000
+}
+component imap {
+  kind trusted
+  substrate microkernel
+  channel tls
+  channel render
+  assets 2
+  loc 8000
+}
+component render {
+  kind trusted
+  substrate microkernel
+  channel imap
+  trusts imap
+  assets 1
+  loc 30000
+}
+)";
+
+TEST(ManifestParser, ParsesFullExample) {
+  auto manifests = parse_manifests(kEmailManifest);
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_EQ(manifests->size(), 3u);
+  const Manifest& tls = (*manifests)[0];
+  EXPECT_EQ(tls.name, "tls");
+  EXPECT_EQ(tls.kind, DomainKind::trusted_component);
+  EXPECT_EQ(tls.substrate_name, "sgx");
+  EXPECT_EQ(tls.memory_pages, 4u);
+  EXPECT_EQ(tls.attacker, AttackerModel::physical_bus);
+  EXPECT_EQ(tls.channels, std::vector<std::string>{"imap"});
+  EXPECT_TRUE(tls.needs_sealing);
+  EXPECT_TRUE(tls.needs_attestation);
+  EXPECT_DOUBLE_EQ(tls.asset_value, 10.0);
+  EXPECT_EQ(tls.loc, 4000u);
+  EXPECT_EQ((*manifests)[2].trusts, std::vector<std::string>{"imap"});
+}
+
+TEST(ManifestParser, CommentsAndBlankLinesIgnored) {
+  auto manifests = parse_manifests(
+      "# top comment\n\ncomponent x {\n  kind legacy  # inline\n}\n");
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_EQ(manifests->size(), 1u);
+  EXPECT_EQ((*manifests)[0].kind, DomainKind::legacy);
+}
+
+TEST(ManifestParser, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_manifests("component x {").ok());       // unterminated
+  EXPECT_FALSE(parse_manifests("kind trusted\n").ok());      // outside block
+  EXPECT_FALSE(parse_manifests("component x {\n component y {\n}\n}\n").ok());
+  EXPECT_FALSE(parse_manifests("component x {\n bogus y\n}\n").ok());
+  EXPECT_FALSE(parse_manifests("component x {\n attacker alien\n}\n").ok());
+  EXPECT_FALSE(parse_manifests("component x y {\n}\n").ok());
+}
+
+TEST(ManifestParser, RoundTripsThroughText) {
+  auto original = parse_manifests(kEmailManifest);
+  ASSERT_TRUE(original.ok());
+  auto reparsed = parse_manifests(to_text(*original));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), original->size());
+  for (std::size_t i = 0; i < original->size(); ++i) {
+    EXPECT_EQ((*reparsed)[i].name, (*original)[i].name);
+    EXPECT_EQ((*reparsed)[i].channels, (*original)[i].channels);
+    EXPECT_EQ((*reparsed)[i].trusts, (*original)[i].trusts);
+    EXPECT_EQ((*reparsed)[i].attacker, (*original)[i].attacker);
+    EXPECT_EQ((*reparsed)[i].loc, (*original)[i].loc);
+  }
+}
+
+TEST(ManifestValidate, AcceptsGoodBundle) {
+  auto manifests = parse_manifests(kEmailManifest);
+  ASSERT_TRUE(manifests.ok());
+  EXPECT_TRUE(validate(*manifests).empty());
+}
+
+TEST(ManifestValidate, FlagsDuplicatesAndDanglingReferences) {
+  std::vector<Manifest> bad(2);
+  bad[0].name = "a";
+  bad[0].channels = {"ghost"};
+  bad[1].name = "a";
+  const auto problems = validate(bad);
+  EXPECT_GE(problems.size(), 2u);
+}
+
+TEST(ManifestValidate, FlagsTrustWithoutChannel) {
+  std::vector<Manifest> bundle(2);
+  bundle[0].name = "a";
+  bundle[0].trusts = {"b"};  // no channel to b
+  bundle[1].name = "b";
+  EXPECT_FALSE(validate(bundle).empty());
+}
+
+TEST(ManifestValidate, FlagsSelfChannel) {
+  std::vector<Manifest> bundle(1);
+  bundle[0].name = "a";
+  bundle[0].channels = {"a"};
+  EXPECT_FALSE(validate(bundle).empty());
+}
+
+TEST(Policy, RequiredFeaturesEscalate) {
+  const auto remote = required_features(AttackerModel::remote_network);
+  const auto bus = required_features(AttackerModel::physical_bus);
+  const auto intrusion = required_features(AttackerModel::physical_intrusion);
+  EXPECT_TRUE(has_feature(remote, Feature::spatial_isolation));
+  EXPECT_FALSE(has_feature(remote, Feature::memory_encryption));
+  EXPECT_TRUE(has_feature(bus, Feature::memory_encryption));
+  EXPECT_TRUE(has_feature(intrusion, Feature::attestation));
+}
+
+TEST(Policy, MicrokernelInsufficientForPhysicalBus) {
+  // §III-C: "MMU-based isolation substrates are insufficient, because we
+  // must assume the utility could access the server."
+  auto machine = test::make_machine("policy");
+  microkernel::Microkernel kernel(*machine, substrate::SubstrateConfig{});
+  Manifest m;
+  m.name = "anonymizer";
+  m.attacker = AttackerModel::physical_bus;
+  const PolicyVerdict verdict = check(m, kernel.info());
+  EXPECT_FALSE(verdict.satisfied);
+  EXPECT_FALSE(verdict.missing.empty());
+}
+
+TEST(Policy, SuitableSubstratesSortedByTcb) {
+  auto machine = test::make_machine("policy2");
+  auto& registry = test::shared_registry();
+  std::vector<substrate::SubstrateInfo> infos;
+  for (const std::string& name : registry.names()) {
+    auto sub = registry.create(name, *machine);
+    ASSERT_TRUE(sub.ok());
+    infos.push_back((*sub)->info());
+  }
+
+  Manifest remote_only;
+  remote_only.name = "x";
+  remote_only.attacker = AttackerModel::remote_network;
+  const auto fits_remote = suitable_substrates(remote_only, infos);
+  EXPECT_GE(fits_remote.size(), 7u);
+  // Cheapest-TCB first: NoC kernel (6 kLoC), CHERI (8 kLoC), microkernel.
+  ASSERT_GE(fits_remote.size(), 3u);
+  EXPECT_EQ(fits_remote[0], "noc");
+  EXPECT_EQ(fits_remote[1], "cheri");
+  EXPECT_EQ(fits_remote[2], "microkernel");
+
+  Manifest bus;
+  bus.name = "y";
+  bus.attacker = AttackerModel::physical_bus;
+  const auto fits_bus = suitable_substrates(bus, infos);
+  for (const std::string& name : fits_bus) {
+    EXPECT_NE(name, "microkernel");
+    EXPECT_NE(name, "trustzone");
+    EXPECT_NE(name, "cheri");
+    EXPECT_NE(name, "ftpm");
+  }
+  EXPECT_FALSE(fits_bus.empty());
+}
+
+TEST(Policy, LegacyNeedsLegacyHosting) {
+  auto machine = test::make_machine("policy3");
+  auto tpm = test::shared_registry().create("tpm", *machine);
+  ASSERT_TRUE(tpm.ok());
+  Manifest legacy_os;
+  legacy_os.name = "android";
+  legacy_os.kind = DomainKind::legacy;
+  EXPECT_FALSE(check(legacy_os, (*tpm)->info()).satisfied);
+}
+
+TEST(TrustGraph, MonolithicIsTotalLoss) {
+  auto manifests = parse_manifests(kEmailManifest);
+  ASSERT_TRUE(manifests.ok());
+  const TrustGraph mono = TrustGraph::monolithic_counterfactual(*manifests);
+  // Exploit anything, lose everything.
+  EXPECT_DOUBLE_EQ(mono.containment(), 1.0);
+  EXPECT_DOUBLE_EQ(*mono.compromised_value("render"), mono.total_value());
+}
+
+TEST(TrustGraph, DecompositionContains) {
+  auto manifests = parse_manifests(kEmailManifest);
+  ASSERT_TRUE(manifests.ok());
+  const TrustGraph graph = TrustGraph::from_manifests(*manifests);
+  // render trusts imap => compromising imap also takes render (value 2+1),
+  // but tls (value 10) survives.
+  auto from_imap = graph.compromised_set("imap");
+  ASSERT_TRUE(from_imap.ok());
+  EXPECT_TRUE(from_imap->contains("render"));
+  EXPECT_FALSE(from_imap->contains("tls"));
+  EXPECT_LT(graph.containment(),
+            TrustGraph::monolithic_counterfactual(*manifests).containment());
+}
+
+TEST(TrustGraph, PropagationIsTransitive) {
+  TrustGraph graph;
+  for (const char* n : {"a", "b", "c", "d"}) ASSERT_TRUE(graph.add_node(n).ok());
+  ASSERT_TRUE(graph.add_propagation_edge("a", "b").ok());
+  ASSERT_TRUE(graph.add_propagation_edge("b", "c").ok());
+  auto set = graph.compromised_set("a");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 3u);  // a, b, c — not d
+  EXPECT_FALSE(set->contains("d"));
+}
+
+TEST(TrustGraph, EdgesRequireNodes) {
+  TrustGraph graph;
+  ASSERT_TRUE(graph.add_node("a").ok());
+  EXPECT_FALSE(graph.add_propagation_edge("a", "ghost").ok());
+  EXPECT_FALSE(graph.add_propagation_edge("ghost", "a").ok());
+  EXPECT_FALSE(graph.compromised_set("ghost").ok());
+}
+
+TEST(TrustGraph, DotExportContainsStructure) {
+  TrustGraph graph;
+  ASSERT_TRUE(graph.add_node("alpha", 2.0).ok());
+  ASSERT_TRUE(graph.add_node("beta").ok());
+  ASSERT_TRUE(graph.add_propagation_edge("alpha", "beta").ok());
+  const std::string dot = graph.to_dot();
+  EXPECT_NE(dot.find("\"alpha\" -> \"beta\""), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Tcb, PerComponentClosure) {
+  auto manifests = parse_manifests(kEmailManifest);
+  ASSERT_TRUE(manifests.ok());
+  const std::map<std::string, std::uint64_t> substrate_loc = {
+      {"microkernel", 10'000}, {"sgx", 20'000}};
+  const auto reports = tcb_of_manifests(*manifests, substrate_loc);
+  ASSERT_EQ(reports.size(), 3u);
+
+  // tls: own 4000 + sgx 20000, trusts nobody.
+  EXPECT_EQ(reports[0].component, "tls");
+  EXPECT_EQ(reports[0].total(), 4000u + 20'000u);
+  // render trusts imap: own 30000 + microkernel 10000 + imap 8000.
+  EXPECT_EQ(reports[2].component, "render");
+  EXPECT_EQ(reports[2].trusted_peer_loc, 8000u);
+  EXPECT_EQ(reports[2].total(), 30'000u + 10'000u + 8'000u);
+
+  // Monolith: everything plus one substrate.
+  EXPECT_EQ(monolithic_tcb(*manifests, 10'000),
+            10'000u + 4'000u + 8'000u + 30'000u);
+  // Every decomposed component beats the monolith.
+  for (const auto& report : reports)
+    EXPECT_LT(report.total(), monolithic_tcb(*manifests, 10'000));
+}
+
+TEST(Tcb, TrustCyclesTerminate) {
+  std::vector<Manifest> cyclic(2);
+  cyclic[0].name = "a";
+  cyclic[0].loc = 100;
+  cyclic[0].channels = {"b"};
+  cyclic[0].trusts = {"b"};
+  cyclic[1].name = "b";
+  cyclic[1].loc = 200;
+  cyclic[1].channels = {"a"};
+  cyclic[1].trusts = {"a"};
+  const auto reports = tcb_of_manifests(cyclic, {});
+  EXPECT_EQ(reports[0].trusted_peer_loc, 200u);
+  EXPECT_EQ(reports[1].trusted_peer_loc, 100u);
+}
+
+class ComposerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = test::make_machine("composer");
+    mk_ = std::make_unique<microkernel::Microkernel>(
+        *machine_, substrate::SubstrateConfig{});
+    composer_ = std::make_unique<SystemComposer>(
+        std::map<std::string, substrate::IsolationSubstrate*>{
+            {"microkernel", mk_.get()}});
+  }
+
+  static std::vector<Manifest> triangle() {
+    // a <-> b declared; c is isolated (no channels).
+    std::vector<Manifest> m(3);
+    m[0].name = "a";
+    m[0].channels = {"b"};
+    m[1].name = "b";
+    m[1].channels = {"a"};
+    m[2].name = "c";
+    return m;
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<microkernel::Microkernel> mk_;
+  std::unique_ptr<SystemComposer> composer_;
+};
+
+TEST_F(ComposerTest, ComposesDeclaredSystem) {
+  auto assembly = composer_->compose(triangle());
+  ASSERT_TRUE(assembly.ok()) << composer_->diagnostics().size();
+  EXPECT_EQ((*assembly)->component_names().size(), 3u);
+  ASSERT_TRUE((*assembly)
+                  ->set_behavior("b",
+                                 [](const substrate::Invocation& inv)
+                                     -> Result<Bytes> {
+                                   Bytes reply = to_bytes("b-saw:");
+                                   reply.insert(reply.end(), inv.data.begin(),
+                                                inv.data.end());
+                                   return reply;
+                                 })
+                  .ok());
+  auto reply = (*assembly)->invoke("a", "b", to_bytes("hello"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "b-saw:hello");
+}
+
+TEST_F(ComposerTest, PolaRefusesUndeclaredChannel) {
+  auto assembly = composer_->compose(triangle());
+  ASSERT_TRUE(assembly.ok());
+  // a <-> c was never declared: the framework refuses before the substrate.
+  EXPECT_EQ((*assembly)->invoke("a", "c", to_bytes("x")).error(),
+            Errc::policy_violation);
+  EXPECT_EQ((*assembly)->send("c", "b", to_bytes("x")).error(),
+            Errc::policy_violation);
+}
+
+TEST_F(ComposerTest, SubstrateEnforcesEvenWithoutManifestCheck) {
+  // Defence in depth (fig6 ablation): disable the framework check; the
+  // substrate still refuses because no channel object exists.
+  auto assembly = composer_->compose(triangle());
+  ASSERT_TRUE(assembly.ok());
+  (*assembly)->set_manifest_enforcement(false);
+  EXPECT_EQ((*assembly)->invoke("a", "c", to_bytes("x")).error(),
+            Errc::no_such_channel);
+}
+
+TEST_F(ComposerTest, AsyncSendReceive) {
+  auto assembly = composer_->compose(triangle());
+  ASSERT_TRUE(assembly.ok());
+  ASSERT_TRUE((*assembly)->send("a", "b", to_bytes("async")).ok());
+  auto msg = (*assembly)->receive("b", "a");
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(to_string(msg->data), "async");
+  EXPECT_EQ(msg->badge, *(*assembly)->badge_of("a", "b"));
+}
+
+TEST_F(ComposerTest, RejectsPolicyViolations) {
+  std::vector<Manifest> bad(1);
+  bad[0].name = "needs-bus-defence";
+  bad[0].attacker = AttackerModel::physical_bus;  // microkernel can't
+  EXPECT_EQ(composer_->compose(bad).error(), Errc::policy_violation);
+  EXPECT_FALSE(composer_->diagnostics().empty());
+}
+
+TEST_F(ComposerTest, FailedCompositionLeavesNoOrphanDomains) {
+  // The fourth component exhausts SEP's two-environment limit mid-compose;
+  // everything created before it must be torn down again.
+  auto machine = test::make_machine("composer-unwind");
+  auto sep = *test::shared_registry().create("sep", *machine);
+  SystemComposer composer({{"sep", sep.get()}});
+  std::vector<Manifest> bundle(2);
+  bundle[0].name = "first";
+  bundle[0].substrate_name = "sep";
+  bundle[1].name = "second";  // second trusted component: SEP refuses
+  bundle[1].substrate_name = "sep";
+  EXPECT_EQ(composer.compose(bundle).error(), Errc::policy_violation);
+  EXPECT_TRUE(sep->domains().empty());
+  // The slot is genuinely free again.
+  EXPECT_TRUE(sep->create_domain(test::tc_spec("later")).ok());
+}
+
+TEST_F(ComposerTest, RejectsUnknownSubstrate) {
+  std::vector<Manifest> bad(1);
+  bad[0].name = "x";
+  bad[0].substrate_name = "quantum-isolator";
+  EXPECT_EQ(composer_->compose(bad).error(), Errc::policy_violation);
+}
+
+TEST_F(ComposerTest, CompromiseMarksSubstrateDomain) {
+  auto assembly = composer_->compose(triangle());
+  ASSERT_TRUE(assembly.ok());
+  ASSERT_TRUE((*assembly)->compromise("a").ok());
+  auto component = (*assembly)->component("a");
+  ASSERT_TRUE(component.ok());
+  EXPECT_TRUE(mk_->is_compromised((*component)->domain));
+}
+
+TEST_F(ComposerTest, TrustGraphFromAssembly) {
+  auto manifests = triangle();
+  manifests[0].trusts = {"b"};
+  auto assembly = composer_->compose(manifests);
+  ASSERT_TRUE(assembly.ok());
+  const TrustGraph graph = (*assembly)->trust_graph();
+  auto set = graph.compromised_set("b");
+  ASSERT_TRUE(set.ok());
+  EXPECT_TRUE(set->contains("a"));
+}
+
+TEST(SessionDemux, BadgeKeyedSessionsAreIsolated) {
+  SessionDemux<int> demux;
+  substrate::Invocation alice{1, 0xA11CE, {}};
+  substrate::Invocation bob{1, 0xB0B, {}};
+  demux.session_for(alice) = 100;
+  demux.session_for(bob) = 200;
+  EXPECT_EQ(demux.session_for(alice), 100);
+  EXPECT_EQ(demux.session_for(bob), 200);
+  EXPECT_EQ(demux.session_count(), 2u);
+}
+
+TEST(SessionDemux, ConfusedDeputyAttackAndDefence) {
+  // Deputy holds per-client balances. Mallory claims Alice's id in her
+  // message payload.
+  SessionDemux<int> accounts;
+  const std::uint64_t alice_badge = 0xA11CE, mallory_badge = 0x3A770;
+  accounts.session_by_badge(alice_badge) = 1000;   // Alice's balance
+  accounts.session_by_badge(mallory_badge) = 1;    // Mallory's balance
+
+  // VULNERABLE deputy: trusts the claimed id -> Mallory drains Alice.
+  auto victim = accounts.unsafe_session_by_claimed_id(alice_badge);
+  ASSERT_TRUE(victim.ok());
+  **victim -= 1000;  // the deputy debits the WRONG session
+  EXPECT_EQ(accounts.session_by_badge(alice_badge), 0);
+
+  // SAFE deputy: keys on the kernel-minted badge of the invocation;
+  // Mallory's claimed id is irrelevant.
+  accounts.session_by_badge(alice_badge) = 1000;
+  substrate::Invocation mallory_call{1, mallory_badge, {}};
+  accounts.session_for(mallory_call) -= 1;  // only Mallory's own session
+  EXPECT_EQ(accounts.session_by_badge(alice_badge), 1000);
+  EXPECT_EQ(accounts.session_by_badge(mallory_badge), 0);
+}
+
+TEST(SessionDemux, EraseRemovesSession) {
+  SessionDemux<int> demux;
+  demux.session_by_badge(5) = 1;
+  EXPECT_TRUE(demux.has_session(5));
+  demux.erase(5);
+  EXPECT_FALSE(demux.has_session(5));
+  EXPECT_FALSE(demux.unsafe_session_by_claimed_id(5).ok());
+}
+
+class AttestationProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = test::make_machine("attest");
+    sgx_ = *test::shared_registry().create("sgx", *machine_);
+    domain_ = *sgx_->create_domain(test::tc_spec("anonymizer"));
+    verifier_ = std::make_unique<AttestationVerifier>(to_bytes("verifier"));
+    verifier_->add_trusted_root(test::shared_vendor().root_public_key());
+    verifier_->expect_measurement(
+        "anonymizer", test::tc_spec("anonymizer").image.measurement());
+  }
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<substrate::IsolationSubstrate> sgx_;
+  substrate::DomainId domain_ = 0;
+  std::unique_ptr<AttestationVerifier> verifier_;
+};
+
+TEST_F(AttestationProtocolTest, ChallengeResponseSucceeds) {
+  const Bytes nonce = verifier_->make_challenge();
+  auto quote = respond_to_challenge(*sgx_, domain_, nonce, to_bytes("ctx"));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_TRUE(
+      verifier_->verify("anonymizer", *quote, nonce, to_bytes("ctx")).ok());
+}
+
+TEST_F(AttestationProtocolTest, NonceCannotBeReplayed) {
+  const Bytes nonce = verifier_->make_challenge();
+  auto quote = respond_to_challenge(*sgx_, domain_, nonce, to_bytes("ctx"));
+  ASSERT_TRUE(quote.ok());
+  ASSERT_TRUE(
+      verifier_->verify("anonymizer", *quote, nonce, to_bytes("ctx")).ok());
+  // Second use of the same nonce: replay, refused.
+  EXPECT_FALSE(
+      verifier_->verify("anonymizer", *quote, nonce, to_bytes("ctx")).ok());
+}
+
+TEST_F(AttestationProtocolTest, UnissuedNonceRejected) {
+  const Bytes fake_nonce(32, 0x42);
+  auto quote =
+      respond_to_challenge(*sgx_, domain_, fake_nonce, to_bytes("ctx"));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_FALSE(
+      verifier_->verify("anonymizer", *quote, fake_nonce, to_bytes("ctx"))
+          .ok());
+}
+
+TEST_F(AttestationProtocolTest, ContextBindingEnforced) {
+  const Bytes nonce = verifier_->make_challenge();
+  auto quote =
+      respond_to_challenge(*sgx_, domain_, nonce, to_bytes("session-1"));
+  ASSERT_TRUE(quote.ok());
+  // Relaying the quote into a different context fails.
+  EXPECT_FALSE(
+      verifier_->verify("anonymizer", *quote, nonce, to_bytes("session-2"))
+          .ok());
+}
+
+TEST_F(AttestationProtocolTest, ManipulatedCodeRefused) {
+  // The utility "opens the source code of the anonymizer for third-party
+  // auditing"; a manipulated build has a different measurement.
+  auto evil_spec = test::tc_spec("anonymizer");
+  evil_spec.image.code = to_bytes("code-of-anonymizer-PLUS-TRACKING");
+  auto evil = sgx_->create_domain(evil_spec);
+  ASSERT_TRUE(evil.ok());
+
+  const Bytes nonce = verifier_->make_challenge();
+  auto quote = respond_to_challenge(*sgx_, *evil, nonce, to_bytes("ctx"));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_FALSE(
+      verifier_->verify("anonymizer", *quote, nonce, to_bytes("ctx")).ok());
+}
+
+TEST_F(AttestationProtocolTest, UnknownLogicalNameRejected) {
+  const Bytes nonce = verifier_->make_challenge();
+  auto quote = respond_to_challenge(*sgx_, domain_, nonce, to_bytes("ctx"));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_FALSE(
+      verifier_->verify("never-registered", *quote, nonce, to_bytes("ctx"))
+          .ok());
+}
+
+TEST_F(AttestationProtocolTest, UntrustedVendorRejected) {
+  AttestationVerifier paranoid(to_bytes("no-roots"));
+  paranoid.expect_measurement(
+      "anonymizer", test::tc_spec("anonymizer").image.measurement());
+  const Bytes nonce = paranoid.make_challenge();
+  auto quote = respond_to_challenge(*sgx_, domain_, nonce, to_bytes("ctx"));
+  ASSERT_TRUE(quote.ok());
+  // No trusted roots registered: nothing chains.
+  EXPECT_FALSE(
+      paranoid.verify("anonymizer", *quote, nonce, to_bytes("ctx")).ok());
+}
+
+TEST(StandardRegistry, ContainsAllBackends) {
+  auto& registry = test::shared_registry();
+  for (const char* name : {"microkernel", "trustzone", "sgx", "tpm", "ftpm",
+                           "sep", "cheri", "noc"})
+    EXPECT_TRUE(registry.contains(name)) << name;
+  EXPECT_FALSE(registry.contains("nonexistent"));
+}
+
+}  // namespace
+}  // namespace lateral::core

@@ -1,0 +1,158 @@
+// Secure GUI: viewport confinement, indicator spoofing refused, focus-routed
+// input, label uniqueness — the "secure path to the user".
+#include <gtest/gtest.h>
+
+#include "gui/secure_gui.h"
+
+namespace lateral::gui {
+namespace {
+
+class GuiTest : public ::testing::Test {
+ protected:
+  GuiTest() : gui_(80, 24) {}
+  SecureGui gui_;
+};
+
+TEST_F(GuiTest, ScreenTooSmallRejected) {
+  EXPECT_THROW(SecureGui(8, 1), Error);
+}
+
+TEST_F(GuiTest, SessionsGetViewports) {
+  auto mail = gui_.create_session("mail", TrustLevel::trusted,
+                                  Rect{0, 1, 40, 10});
+  ASSERT_TRUE(mail.ok());
+  auto browser = gui_.create_session("browser", TrustLevel::legacy,
+                                     Rect{40, 1, 40, 10});
+  ASSERT_TRUE(browser.ok());
+  EXPECT_NE(*mail, *browser);
+}
+
+TEST_F(GuiTest, ViewportsMayNotOverlap) {
+  ASSERT_TRUE(
+      gui_.create_session("a", TrustLevel::trusted, Rect{0, 1, 40, 10}).ok());
+  EXPECT_FALSE(
+      gui_.create_session("b", TrustLevel::trusted, Rect{20, 5, 40, 10}).ok());
+}
+
+TEST_F(GuiTest, ViewportMayNotCoverIndicatorRow) {
+  EXPECT_FALSE(
+      gui_.create_session("spoof", TrustLevel::legacy, Rect{0, 0, 20, 5}).ok());
+}
+
+TEST_F(GuiTest, ViewportMustFitScreen) {
+  EXPECT_FALSE(
+      gui_.create_session("big", TrustLevel::legacy, Rect{70, 20, 20, 10}).ok());
+  EXPECT_FALSE(
+      gui_.create_session("neg", TrustLevel::legacy, Rect{-1, 1, 5, 5}).ok());
+  EXPECT_FALSE(
+      gui_.create_session("zero", TrustLevel::legacy, Rect{0, 1, 0, 5}).ok());
+}
+
+TEST_F(GuiTest, LabelsMustBeUnique) {
+  ASSERT_TRUE(
+      gui_.create_session("bank", TrustLevel::trusted, Rect{0, 1, 20, 5}).ok());
+  // A phisher cannot register the same label.
+  EXPECT_FALSE(
+      gui_.create_session("bank", TrustLevel::legacy, Rect{0, 10, 20, 5}).ok());
+}
+
+TEST_F(GuiTest, DrawInsideOwnViewport) {
+  auto session =
+      gui_.create_session("app", TrustLevel::trusted, Rect{10, 5, 30, 10});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(gui_.draw_text(*session, 0, 0, "hello").ok());
+  EXPECT_EQ(gui_.row_text(5).substr(10, 5), "hello");
+  EXPECT_EQ(gui_.owner_at(10, 5), *session);
+}
+
+TEST_F(GuiTest, DrawOutsideViewportRefused) {
+  auto session =
+      gui_.create_session("app", TrustLevel::legacy, Rect{10, 5, 10, 3});
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(gui_.draw_text(*session, 8, 0, "too-long").error(),
+            Errc::access_denied);
+  EXPECT_EQ(gui_.draw_text(*session, 0, 5, "below").error(),
+            Errc::access_denied);
+  EXPECT_EQ(gui_.draw_text(*session, -1, 0, "x").error(), Errc::access_denied);
+}
+
+TEST_F(GuiTest, IndicatorSpoofingImpossible) {
+  // A malicious client wants to paint "[ GREEN | bank ]" into row 0. Its
+  // viewport cannot include row 0 and draws are clipped to the viewport,
+  // so every attempt fails — the indicator is server-owned.
+  auto evil =
+      gui_.create_session("evil", TrustLevel::legacy, Rect{0, 1, 80, 5});
+  ASSERT_TRUE(evil.ok());
+  EXPECT_FALSE(gui_.draw_text(*evil, 0, -1, "[ GREEN | bank ]").ok());
+  for (int x = 0; x < 80; ++x) EXPECT_EQ(gui_.owner_at(x, 0), 0u);
+}
+
+TEST_F(GuiTest, IndicatorShowsFocusAndTrustLevel) {
+  auto bank =
+      gui_.create_session("bank", TrustLevel::trusted, Rect{0, 1, 20, 5});
+  auto game =
+      gui_.create_session("game", TrustLevel::legacy, Rect{0, 10, 20, 5});
+  ASSERT_TRUE(bank.ok());
+  ASSERT_TRUE(game.ok());
+
+  ASSERT_TRUE(gui_.set_focus(*bank).ok());
+  EXPECT_EQ(gui_.indicator_text(), "[ GREEN | bank ]");
+  ASSERT_TRUE(gui_.set_focus(*game).ok());
+  EXPECT_EQ(gui_.indicator_text(), "[ RED | game ]");
+}
+
+TEST_F(GuiTest, NoFocusIndicator) {
+  EXPECT_EQ(gui_.indicator_text(), "[ --- | no focus ]");
+}
+
+TEST_F(GuiTest, InputRoutedToFocusedSessionOnly) {
+  auto bank =
+      gui_.create_session("bank", TrustLevel::trusted, Rect{0, 1, 20, 5});
+  auto keylogger =
+      gui_.create_session("keylogger", TrustLevel::legacy, Rect{0, 10, 20, 5});
+  ASSERT_TRUE(bank.ok());
+  ASSERT_TRUE(keylogger.ok());
+
+  ASSERT_TRUE(gui_.set_focus(*bank).ok());
+  for (const char key : std::string("hunter2"))
+    ASSERT_TRUE(gui_.inject_key(key).ok());
+
+  auto stolen = gui_.read_input(*keylogger);
+  ASSERT_TRUE(stolen.ok());
+  EXPECT_TRUE(stolen->empty());  // the background app saw nothing
+  auto received = gui_.read_input(*bank);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(to_string(*received), "hunter2");
+}
+
+TEST_F(GuiTest, InputWithoutFocusBlocked) {
+  EXPECT_EQ(gui_.inject_key('x').error(), Errc::would_block);
+}
+
+TEST_F(GuiTest, ReadInputDrainsQueue) {
+  auto session =
+      gui_.create_session("s", TrustLevel::trusted, Rect{0, 1, 10, 2});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(gui_.set_focus(*session).ok());
+  ASSERT_TRUE(gui_.inject_key('a').ok());
+  EXPECT_EQ(to_string(*gui_.read_input(*session)), "a");
+  EXPECT_TRUE(gui_.read_input(*session)->empty());
+}
+
+TEST_F(GuiTest, DestroySessionClearsScreenAndFocus) {
+  auto session =
+      gui_.create_session("temp", TrustLevel::trusted, Rect{0, 1, 10, 2});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(gui_.draw_text(*session, 0, 0, "gone?").ok());
+  ASSERT_TRUE(gui_.set_focus(*session).ok());
+  ASSERT_TRUE(gui_.destroy_session(*session).ok());
+  EXPECT_EQ(gui_.row_text(1).substr(0, 5), "     ");
+  EXPECT_EQ(gui_.indicator_text(), "[ --- | no focus ]");
+  EXPECT_FALSE(gui_.read_input(*session).ok());
+  // The label is free again.
+  EXPECT_TRUE(
+      gui_.create_session("temp", TrustLevel::legacy, Rect{0, 1, 10, 2}).ok());
+}
+
+}  // namespace
+}  // namespace lateral::gui

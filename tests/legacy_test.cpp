@@ -1,0 +1,226 @@
+// Legacy filesystem and legacy OS: normal operation plus every injected
+// misbehaviour mode the trusted wrappers must survive.
+#include <gtest/gtest.h>
+
+#include "legacy/filesystem.h"
+#include "legacy/legacy_os.h"
+#include "util/rng.h"
+
+namespace lateral::legacy {
+namespace {
+
+TEST(LegacyFilesystem, CreateWriteRead) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/a.txt").ok());
+  ASSERT_TRUE(fs.write("/a.txt", 0, to_bytes("hello")).ok());
+  auto read = fs.read("/a.txt", 0, 5);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(to_string(*read), "hello");
+  EXPECT_EQ(*fs.size("/a.txt"), 5u);
+}
+
+TEST(LegacyFilesystem, CreateRejectsDuplicatesAndEmpty) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/a").ok());
+  EXPECT_FALSE(fs.create("/a").ok());
+  EXPECT_FALSE(fs.create("").ok());
+}
+
+TEST(LegacyFilesystem, SparseWriteExtends) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/sparse").ok());
+  ASSERT_TRUE(fs.write("/sparse", 10'000, to_bytes("end")).ok());
+  EXPECT_EQ(*fs.size("/sparse"), 10'003u);
+  auto hole = fs.read("/sparse", 0, 4);
+  ASSERT_TRUE(hole.ok());
+  EXPECT_EQ((*hole)[0], 0);
+}
+
+TEST(LegacyFilesystem, CrossBlockWriteRead) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/big").ok());
+  util::Xoshiro rng(1);
+  const Bytes data = rng.bytes(3 * kBlockSize + 100);
+  ASSERT_TRUE(fs.write("/big", 50, data).ok());
+  auto read = fs.read("/big", 50, data.size());
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST(LegacyFilesystem, ReadPastEndTruncates) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/short").ok());
+  ASSERT_TRUE(fs.write("/short", 0, to_bytes("abc")).ok());
+  auto read = fs.read("/short", 1, 100);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(to_string(*read), "bc");
+  EXPECT_TRUE(fs.read("/short", 10, 5)->empty());
+}
+
+TEST(LegacyFilesystem, RemoveAndRename) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/old").ok());
+  ASSERT_TRUE(fs.write("/old", 0, to_bytes("x")).ok());
+  ASSERT_TRUE(fs.rename("/old", "/new").ok());
+  EXPECT_FALSE(fs.exists("/old"));
+  EXPECT_TRUE(fs.exists("/new"));
+  ASSERT_TRUE(fs.remove("/new").ok());
+  EXPECT_FALSE(fs.exists("/new"));
+  EXPECT_FALSE(fs.remove("/new").ok());
+}
+
+TEST(LegacyFilesystem, RenameOntoExistingRejected) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/a").ok());
+  ASSERT_TRUE(fs.create("/b").ok());
+  EXPECT_FALSE(fs.rename("/a", "/b").ok());
+}
+
+TEST(LegacyFilesystem, TruncateShrinksAndGrows) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/t").ok());
+  ASSERT_TRUE(fs.write("/t", 0, to_bytes("0123456789")).ok());
+  ASSERT_TRUE(fs.truncate("/t", 4).ok());
+  EXPECT_EQ(*fs.size("/t"), 4u);
+  ASSERT_TRUE(fs.truncate("/t", 0).ok());
+  EXPECT_EQ(*fs.size("/t"), 0u);
+}
+
+TEST(LegacyFilesystem, ListByPrefix) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/vpfs/a").ok());
+  ASSERT_TRUE(fs.create("/vpfs/b").ok());
+  ASSERT_TRUE(fs.create("/other/c").ok());
+  EXPECT_EQ(fs.list("/vpfs/").size(), 2u);
+  EXPECT_EQ(fs.list("/").size(), 3u);
+  EXPECT_TRUE(fs.list("/nothing").empty());
+}
+
+TEST(LegacyFilesystem, StatsAccumulate) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/s").ok());
+  ASSERT_TRUE(fs.write("/s", 0, Bytes(100, 1)).ok());
+  (void)fs.read("/s", 0, 100);
+  EXPECT_EQ(fs.stats().writes, 1u);
+  EXPECT_EQ(fs.stats().reads, 1u);
+  EXPECT_EQ(fs.stats().bytes_written, 100u);
+  EXPECT_EQ(fs.stats().bytes_read, 100u);
+}
+
+TEST(LegacyFilesystem, CorruptRandomBitChangesContent) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/c").ok());
+  const Bytes original(1000, 0xAA);
+  ASSERT_TRUE(fs.write("/c", 0, original).ok());
+  util::Xoshiro rng(7);
+  ASSERT_TRUE(fs.corrupt_random_bit("/c", rng).ok());
+  EXPECT_NE(*fs.read("/c", 0, 1000), original);
+}
+
+TEST(LegacyFilesystem, TamperBlockOverwrites) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/t").ok());
+  ASSERT_TRUE(fs.write("/t", 0, Bytes(2 * kBlockSize, 0x11)).ok());
+  ASSERT_TRUE(fs.tamper_block("/t", 1, to_bytes("EVIL")).ok());
+  auto read = fs.read("/t", kBlockSize, 4);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(to_string(*read), "EVIL");
+  EXPECT_FALSE(fs.tamper_block("/t", 99, to_bytes("x")).ok());
+}
+
+TEST(LegacyFilesystem, SnapshotRollbackServesStaleData) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/r").ok());
+  ASSERT_TRUE(fs.write("/r", 0, to_bytes("version-1")).ok());
+  ASSERT_TRUE(fs.snapshot("/r").ok());
+  ASSERT_TRUE(fs.write("/r", 0, to_bytes("version-2")).ok());
+  ASSERT_TRUE(fs.rollback("/r").ok());
+  EXPECT_EQ(to_string(*fs.read("/r", 0, 9)), "version-1");
+}
+
+TEST(LegacyFilesystem, DropWritesLiesAboutDurability) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/d").ok());
+  ASSERT_TRUE(fs.write("/d", 0, to_bytes("real")).ok());
+  fs.set_drop_writes(true);
+  EXPECT_TRUE(fs.write("/d", 0, to_bytes("gone")).ok());  // claims success
+  fs.set_drop_writes(false);
+  EXPECT_EQ(to_string(*fs.read("/d", 0, 4)), "real");
+}
+
+TEST(LegacyFilesystem, FailReadsMode) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/f").ok());
+  ASSERT_TRUE(fs.write("/f", 0, to_bytes("x")).ok());
+  fs.set_fail_reads(true);
+  EXPECT_EQ(fs.read("/f", 0, 1).error(), Errc::io_error);
+  fs.set_fail_reads(false);
+  EXPECT_TRUE(fs.read("/f", 0, 1).ok());
+}
+
+TEST(LegacyFilesystem, SnoopSeesEverything) {
+  LegacyFilesystem fs;
+  ASSERT_TRUE(fs.create("/secret").ok());
+  ASSERT_TRUE(fs.write("/secret", 0, to_bytes("plaintext-password")).ok());
+  auto snooped = fs.snoop("/secret");
+  ASSERT_TRUE(snooped.ok());
+  EXPECT_EQ(to_string(*snooped), "plaintext-password");
+}
+
+TEST(LegacyOs, ServiceDispatch) {
+  LegacyOs os("android");
+  ASSERT_TRUE(os.register_service("upper", [](BytesView req) -> Result<Bytes> {
+                  Bytes out(req.begin(), req.end());
+                  for (auto& b : out)
+                    if (b >= 'a' && b <= 'z') b = static_cast<std::uint8_t>(b - 32);
+                  return out;
+                }).ok());
+  auto reply = os.call_service("upper", to_bytes("abc"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "ABC");
+  EXPECT_FALSE(os.call_service("missing", to_bytes("x")).ok());
+}
+
+TEST(LegacyOs, DuplicateServiceRejected) {
+  LegacyOs os("os");
+  const auto echo = [](BytesView r) -> Result<Bytes> {
+    return Bytes(r.begin(), r.end());
+  };
+  ASSERT_TRUE(os.register_service("echo", echo).ok());
+  EXPECT_FALSE(os.register_service("echo", echo).ok());
+}
+
+TEST(LegacyOs, TamperRepliesMode) {
+  LegacyOs os("pwned");
+  ASSERT_TRUE(os.register_service("echo", [](BytesView r) -> Result<Bytes> {
+                  return Bytes(r.begin(), r.end());
+                }).ok());
+  os.compromise(MaliciousMode::tamper_replies);
+  EXPECT_TRUE(os.is_compromised());
+  auto reply = os.call_service("echo", to_bytes("untampered-data"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_NE(to_string(*reply), "untampered-data");
+}
+
+TEST(LegacyOs, LeakRequestsMode) {
+  LegacyOs os("pwned");
+  ASSERT_TRUE(os.register_service("store", [](BytesView) -> Result<Bytes> {
+                  return Bytes{};
+                }).ok());
+  os.compromise(MaliciousMode::leak_requests);
+  ASSERT_TRUE(os.call_service("store", to_bytes("credit-card-number")).ok());
+  ASSERT_EQ(os.attacker_log().size(), 1u);
+  EXPECT_EQ(to_string(os.attacker_log()[0]), "credit-card-number");
+}
+
+TEST(LegacyOs, RefuseServiceMode) {
+  LegacyOs os("pwned");
+  ASSERT_TRUE(os.register_service("echo", [](BytesView r) -> Result<Bytes> {
+                  return Bytes(r.begin(), r.end());
+                }).ok());
+  os.compromise(MaliciousMode::refuse_service);
+  EXPECT_EQ(os.call_service("echo", to_bytes("x")).error(), Errc::io_error);
+}
+
+}  // namespace
+}  // namespace lateral::legacy

@@ -1,0 +1,469 @@
+// The decomposed mail application: message parsing (incl. adversarial
+// input), IMAP server/client engines, VPFS-backed MailStore, the
+// exploitable renderer, the address book, and the fully assembled
+// MailClient with its containment story.
+#include <gtest/gtest.h>
+
+#include "mail/client.h"
+#include "microkernel/microkernel.h"
+#include "test_support.h"
+#include "util/rng.h"
+
+namespace lateral::mail {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Message parsing.
+TEST(MessageParse, BasicHeadersAndBody) {
+  auto message = parse_message(
+      "From: alice@example\nTo: bob@example\nSubject: Lunch\n\nAt noon?");
+  ASSERT_TRUE(message.ok());
+  EXPECT_EQ(message->from(), "alice@example");
+  EXPECT_EQ(message->to(), "bob@example");
+  EXPECT_EQ(message->subject(), "Lunch");
+  EXPECT_EQ(message->body, "At noon?");
+}
+
+TEST(MessageParse, CrlfAndCaseInsensitiveHeaders) {
+  auto message =
+      parse_message("FROM: a@x\r\nSUBJECT: Hi\r\n\r\nbody\r\nline2");
+  ASSERT_TRUE(message.ok());
+  EXPECT_EQ(message->from(), "a@x");
+  EXPECT_EQ(message->subject(), "Hi");
+  EXPECT_EQ(message->body, "body\nline2");
+}
+
+TEST(MessageParse, FoldedHeaderContinuation) {
+  auto message =
+      parse_message("Subject: a very\n  long subject\nFrom: a@x\n\n.");
+  ASSERT_TRUE(message.ok());
+  EXPECT_EQ(message->subject(), "a very long subject");
+}
+
+TEST(MessageParse, RejectsBrokenHeaders) {
+  EXPECT_FALSE(parse_message("NoColonHere\n\nbody").ok());
+  EXPECT_FALSE(parse_message(": empty name\n\nbody").ok());
+  EXPECT_FALSE(parse_message("  continuation first\n\nbody").ok());
+}
+
+TEST(MessageParse, EmptyBodyAndNoBody) {
+  auto message = parse_message("From: a@x\n\n");
+  ASSERT_TRUE(message.ok());
+  EXPECT_TRUE(message->body.empty());
+  auto headers_only = parse_message("From: a@x\n");
+  ASSERT_TRUE(headers_only.ok());
+  EXPECT_TRUE(headers_only->body.empty());
+}
+
+TEST(MessageParse, WireRoundTrip) {
+  const Message original =
+      make_message("a@x", "b@y", "Subject here", "line1\nline2");
+  auto reparsed = parse_message(original.to_wire());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->from(), "a@x");
+  EXPECT_EQ(reparsed->subject(), "Subject here");
+  EXPECT_EQ(reparsed->body, "line1\nline2");
+}
+
+TEST(MessageParse, AdversarialInputNeverCrashes) {
+  util::Xoshiro rng(4);
+  for (int i = 0; i < 300; ++i) {
+    const Bytes junk = rng.bytes(rng.below(300));
+    (void)parse_message(std::string(junk.begin(), junk.end()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IMAP engines.
+class ImapTest : public ::testing::Test {
+ protected:
+  ImapTest()
+      : server_("alice", "token123"),
+        client_([this](const std::string& line) -> Result<std::string> {
+          return server_.handle(line);
+        }) {}
+  ImapServer server_;
+  ImapClient client_;
+};
+
+TEST_F(ImapTest, LoginRequired) {
+  EXPECT_FALSE(client_.select("INBOX").ok());
+  EXPECT_FALSE(client_.login("alice", "wrong").ok());
+  EXPECT_TRUE(client_.login("alice", "token123").ok());
+  EXPECT_TRUE(client_.select("INBOX").ok());
+}
+
+TEST_F(ImapTest, FetchDeliveredMail) {
+  ASSERT_TRUE(server_.deliver("INBOX", make_message("bob@x", "alice@x",
+                                                    "Hello", "Hi Alice"))
+                  .ok());
+  ASSERT_TRUE(client_.login("alice", "token123").ok());
+  auto count = client_.select("INBOX");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+  auto message = client_.fetch(0);
+  ASSERT_TRUE(message.ok());
+  EXPECT_EQ(message->subject(), "Hello");
+  EXPECT_EQ(message->body, "Hi Alice");
+  EXPECT_FALSE(client_.fetch(1).ok());
+}
+
+TEST_F(ImapTest, AppendAndListFolders) {
+  ASSERT_TRUE(client_.login("alice", "token123").ok());
+  auto index = client_.append("Sent", make_message("alice@x", "bob@x",
+                                                   "Re: Hello", "reply"));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(*index, 0u);
+  auto folders = client_.list_folders();
+  ASSERT_TRUE(folders.ok());
+  EXPECT_EQ(folders->size(), 2u);  // INBOX + Sent
+}
+
+TEST_F(ImapTest, ExpungeRemoves) {
+  ASSERT_TRUE(server_.deliver("INBOX", make_message("a", "b", "1", "x")).ok());
+  ASSERT_TRUE(server_.deliver("INBOX", make_message("a", "b", "2", "y")).ok());
+  ASSERT_TRUE(client_.login("alice", "token123").ok());
+  ASSERT_TRUE(client_.select("INBOX").ok());
+  ASSERT_TRUE(client_.expunge(0).ok());
+  auto remaining = client_.select("INBOX");
+  ASSERT_TRUE(remaining.ok());
+  EXPECT_EQ(*remaining, 1u);
+  auto message = client_.fetch(0);
+  ASSERT_TRUE(message.ok());
+  EXPECT_EQ(message->subject(), "2");
+}
+
+TEST_F(ImapTest, LogoutEndsSession) {
+  ASSERT_TRUE(client_.login("alice", "token123").ok());
+  ASSERT_TRUE(client_.logout().ok());
+  EXPECT_FALSE(client_.select("INBOX").ok());
+}
+
+TEST_F(ImapTest, ServerRejectsGarbage) {
+  EXPECT_EQ(server_.handle(""), "NO empty request");
+  EXPECT_EQ(server_.handle("FROBNICATE x").rfind("NO", 0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MailStore on VPFS.
+class MailStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = test::make_machine("mailstore");
+    kernel_ = std::make_unique<microkernel::Microkernel>(
+        *machine_, substrate::SubstrateConfig{});
+    domain_ = *kernel_->create_domain(test::tc_spec("storage"));
+    auto fs = vpfs::Vpfs::format(disk_, *kernel_, domain_, "/mail",
+                                 to_bytes("seed"));
+    ASSERT_TRUE(fs.ok());
+    store_ = std::make_unique<MailStore>(std::move(*fs));
+    ASSERT_TRUE(store_->create_folder("INBOX").ok());
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<microkernel::Microkernel> kernel_;
+  substrate::DomainId domain_ = 0;
+  legacy::LegacyFilesystem disk_;
+  std::unique_ptr<MailStore> store_;
+};
+
+TEST_F(MailStoreTest, StoreLoadRoundTrip) {
+  auto index = store_->store("INBOX", make_message("a@x", "b@y", "S", "body"));
+  ASSERT_TRUE(index.ok());
+  auto message = store_->load("INBOX", *index);
+  ASSERT_TRUE(message.ok());
+  EXPECT_EQ(message->subject(), "S");
+  EXPECT_EQ(*store_->count("INBOX"), 1u);
+}
+
+TEST_F(MailStoreTest, FoldersAreIndependent) {
+  ASSERT_TRUE(store_->create_folder("Sent").ok());
+  ASSERT_TRUE(store_->store("INBOX", make_message("a", "b@x", "in", "1")).ok());
+  ASSERT_TRUE(store_->store("Sent", make_message("b", "a@x", "out", "2")).ok());
+  EXPECT_EQ(*store_->count("INBOX"), 1u);
+  EXPECT_EQ(*store_->count("Sent"), 1u);
+  EXPECT_EQ(store_->load("Sent", 0)->subject(), "out");
+  EXPECT_EQ(store_->folders().size(), 2u);
+}
+
+TEST_F(MailStoreTest, RemoveKeepsOthersStable) {
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(store_
+                    ->store("INBOX", make_message("a", "b@x",
+                                                  std::to_string(i), "."))
+                    .ok());
+  ASSERT_TRUE(store_->remove("INBOX", 1).ok());
+  EXPECT_EQ(*store_->count("INBOX"), 2u);
+  EXPECT_EQ(store_->load("INBOX", 0)->subject(), "0");
+  EXPECT_EQ(store_->load("INBOX", 1)->subject(), "2");
+}
+
+TEST_F(MailStoreTest, SearchFindsSubjectAndBody) {
+  ASSERT_TRUE(store_->store("INBOX", make_message("a", "b@x", "invoice",
+                                                  "pay me")).ok());
+  ASSERT_TRUE(store_->store("INBOX", make_message("a", "b@x", "hello",
+                                                  "the invoice is attached"))
+                  .ok());
+  ASSERT_TRUE(store_->store("INBOX", make_message("a", "b@x", "spam",
+                                                  "buy now")).ok());
+  auto hits = store_->search("INBOX", "invoice");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(*hits, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST_F(MailStoreTest, SurvivesRemountAndDetectsDiskTampering) {
+  ASSERT_TRUE(store_->store("INBOX", make_message("a", "b@x", "keep", "me"))
+                  .ok());
+  ASSERT_TRUE(store_->sync().ok());
+  store_.reset();
+
+  auto remount = vpfs::Vpfs::mount(disk_, *kernel_, domain_, "/mail");
+  ASSERT_TRUE(remount.ok());
+  MailStore reopened(std::move(*remount));
+  EXPECT_EQ(*reopened.count("INBOX"), 1u);
+  EXPECT_EQ(reopened.load("INBOX", 0)->subject(), "keep");
+
+  // No plaintext mail on the untrusted disk.
+  for (const std::string& path : disk_.list("")) {
+    auto raw = disk_.snoop(path);
+    const Bytes needle = to_bytes("keep");
+    EXPECT_EQ(std::search(raw->begin(), raw->end(), needle.begin(),
+                          needle.end()),
+              raw->end());
+  }
+}
+
+TEST_F(MailStoreTest, UnknownFolderErrors) {
+  EXPECT_FALSE(store_->store("Ghost", make_message("a", "b@x", "s", ".")).ok());
+  EXPECT_FALSE(store_->count("Ghost").ok());
+  EXPECT_FALSE(store_->load("INBOX", 5).ok());
+  EXPECT_FALSE(store_->create_folder("INBOX").ok());
+  EXPECT_FALSE(store_->create_folder("bad/name").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Renderer.
+TEST(Renderer, SanitizesHtml) {
+  HtmlRenderer renderer;
+  EXPECT_EQ(renderer.render("<p>Hello <b>world</b></p>"), "Hello world");
+  EXPECT_EQ(renderer.render("a &lt;tag&gt; &amp; more"), "a <tag> & more");
+  EXPECT_EQ(renderer.render("  spaced\n\nout  "), "spaced out");
+  EXPECT_FALSE(renderer.is_compromised());
+}
+
+TEST(Renderer, CraftedMailExploitsIt) {
+  HtmlRenderer renderer;
+  (void)renderer.render(std::string("<p>innocent</p>") +
+                        HtmlRenderer::kExploitMarker);
+  EXPECT_TRUE(renderer.is_compromised());
+  // Every later output is attacker-controlled.
+  EXPECT_EQ(renderer.render("<p>clean mail</p>"),
+            "[renderer owned by attacker]");
+}
+
+// ---------------------------------------------------------------------------
+// AddressBook.
+TEST(AddressBookTest, AddLookupComplete) {
+  AddressBook book;
+  ASSERT_TRUE(book.add("bob", "bob@example").ok());
+  ASSERT_TRUE(book.add("bonnie", "bonnie@example").ok());
+  ASSERT_TRUE(book.add("carol", "carol@example").ok());
+  EXPECT_EQ(*book.lookup("bob"), "bob@example");
+  EXPECT_FALSE(book.lookup("mallory").ok());
+  EXPECT_EQ(book.complete("bo"), (std::vector<std::string>{"bob", "bonnie"}));
+  EXPECT_TRUE(book.complete("z").empty());
+  EXPECT_FALSE(book.add("", "x@y").ok());
+  EXPECT_FALSE(book.add("dave", "not-an-address").ok());
+  ASSERT_TRUE(book.remove("bob").ok());
+  EXPECT_FALSE(book.lookup("bob").ok());
+}
+
+// ---------------------------------------------------------------------------
+// InputMethod.
+TEST(InputMethodTest, LearnsAndSuggestsByFrequency) {
+  InputMethod input;
+  input.learn("the meeting is at the office; the meeting moved");
+  EXPECT_EQ(input.vocabulary(), 6u);  // the meeting is at office moved
+  const auto suggestions = input.suggest("m");
+  ASSERT_GE(suggestions.size(), 2u);
+  EXPECT_EQ(suggestions[0], "meeting");  // frequency 2 beats moved (1)
+  EXPECT_EQ(suggestions[1], "moved");
+}
+
+TEST(InputMethodTest, SuggestLimitsAndCaseFolds) {
+  InputMethod input;
+  input.learn("Apple apricot Avocado anchovy almond");
+  EXPECT_EQ(input.suggest("a", 3).size(), 3u);
+  EXPECT_EQ(input.suggest("A", 10).size(), 5u);
+  EXPECT_TRUE(input.suggest("z").empty());
+}
+
+TEST(InputMethodTest, AutocorrectWithinOneEdit) {
+  InputMethod input;
+  input.learn("meeting tomorrow schedule");
+  EXPECT_EQ(input.autocorrect("meetng"), "meeting");    // deletion
+  EXPECT_EQ(input.autocorrect("meetings"), "meeting");  // insertion
+  EXPECT_EQ(input.autocorrect("meeying"), "meeting");   // substitution
+  EXPECT_EQ(input.autocorrect("meeting"), "meeting");   // exact
+  EXPECT_EQ(input.autocorrect("zzzzzz"), "zzzzzz");     // no candidate
+}
+
+TEST(InputMethodTest, AutocorrectPrefersFrequentWords) {
+  InputMethod input;
+  input.learn("cart cart cart card");
+  EXPECT_EQ(input.autocorrect("carx"), "cart");
+}
+
+// ---------------------------------------------------------------------------
+// The assembled client.
+class MailClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = test::make_machine("mail-client");
+    kernel_ = std::make_unique<microkernel::Microkernel>(
+        *machine_, substrate::SubstrateConfig{});
+    server_ = std::make_unique<ImapServer>("alice", "token123");
+    auto client = MailClient::create({.substrate = kernel_.get(),
+                                      .disk = &disk_,
+                                      .server = server_.get(),
+                                      .vpfs_seed = to_bytes("mail-seed")});
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(*client);
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<microkernel::Microkernel> kernel_;
+  legacy::LegacyFilesystem disk_;
+  std::unique_ptr<ImapServer> server_;
+  std::unique_ptr<MailClient> client_;
+};
+
+TEST_F(MailClientTest, EndToEndMailFlow) {
+  ASSERT_TRUE(server_->deliver("INBOX",
+                               make_message("bob@example", "alice@example",
+                                            "Dinner?",
+                                            "<p>How about <b>8pm</b>?</p>"))
+                  .ok());
+  ASSERT_TRUE(client_->login("alice", "token123").ok());
+  auto count = client_->sync_inbox();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+
+  auto display = client_->read_mail(0);
+  ASSERT_TRUE(display.ok());
+  EXPECT_EQ(*display, "bob@example: Dinner?\nHow about 8pm?");
+
+  ASSERT_TRUE(client_->add_contact("bob", "bob@example").ok());
+  auto completions = client_->complete_recipient("b");
+  ASSERT_TRUE(completions.ok());
+  EXPECT_EQ(*completions, std::vector<std::string>{"bob"});
+  ASSERT_TRUE(client_->compose("bob", "Re: Dinner?", "8pm works").ok());
+
+  // The reply landed in the provider's Sent folder.
+  EXPECT_EQ(server_->handle("SELECT Sent"), "OK 1");
+}
+
+TEST_F(MailClientTest, SyncIsIncremental) {
+  ASSERT_TRUE(client_->login("alice", "token123").ok());
+  ASSERT_TRUE(
+      server_->deliver("INBOX", make_message("x@y", "a@b", "1", ".")).ok());
+  EXPECT_EQ(*client_->sync_inbox(), 1u);
+  ASSERT_TRUE(
+      server_->deliver("INBOX", make_message("x@y", "a@b", "2", ".")).ok());
+  EXPECT_EQ(*client_->sync_inbox(), 2u);
+  EXPECT_EQ(*client_->sync_inbox(), 2u);  // idempotent
+}
+
+TEST_F(MailClientTest, SearchLocalMail) {
+  ASSERT_TRUE(client_->login("alice", "token123").ok());
+  ASSERT_TRUE(server_->deliver("INBOX", make_message("x@y", "a@b", "invoice",
+                                                     "pay")).ok());
+  ASSERT_TRUE(server_->deliver("INBOX", make_message("x@y", "a@b", "cats",
+                                                     "pictures")).ok());
+  ASSERT_TRUE(client_->sync_inbox().ok());
+  auto hits = client_->search("invoice");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(*hits, std::vector<std::size_t>{0});
+}
+
+TEST_F(MailClientTest, CraftedMailCompromisesOnlyTheRenderer) {
+  ASSERT_TRUE(client_->login("alice", "token123").ok());
+  ASSERT_TRUE(server_
+                  ->deliver("INBOX",
+                            make_message("evil@attacker", "alice@example",
+                                         "Totally safe",
+                                         std::string("<p>hi</p>") +
+                                             HtmlRenderer::kExploitMarker))
+                  .ok());
+  ASSERT_TRUE(client_->sync_inbox().ok());
+
+  // Reading the mail triggers the exploit inside the renderer domain.
+  auto display = client_->read_mail(0);
+  ASSERT_TRUE(display.ok());
+  EXPECT_NE(display->find("[renderer owned by attacker]"), std::string::npos);
+  EXPECT_TRUE(client_->renderer_compromised());
+  ASSERT_TRUE(client_->flag_renderer_compromised().ok());
+
+  // Containment: the renderer domain cannot reach the address book, the
+  // TLS component or the storage component.
+  const auto render = *client_->assembly().component("render");
+  const auto tls = *client_->assembly().component("tls");
+  const auto book = *client_->assembly().component("addressbook");
+  EXPECT_EQ(kernel_->read_memory(render->domain, tls->domain, 0, 16).error(),
+            Errc::access_denied);
+  EXPECT_EQ(kernel_->read_memory(render->domain, book->domain, 0, 16).error(),
+            Errc::access_denied);
+  EXPECT_EQ(client_->assembly()
+                .invoke("render", "addressbook", to_bytes("LOOKUP bob"))
+                .error(),
+            Errc::policy_violation);
+  EXPECT_EQ(client_->assembly()
+                .invoke("render", "tls", to_bytes("LOGIN alice token123"))
+                .error(),
+            Errc::policy_violation);
+
+  // The rest of the client still works.
+  ASSERT_TRUE(client_->add_contact("carol", "carol@example").ok());
+  EXPECT_TRUE(client_->compose("carol", "unaffected", "still fine").ok());
+}
+
+TEST_F(MailClientTest, WrongCredentialsSurface) {
+  EXPECT_FALSE(client_->login("alice", "wrong-token").ok());
+}
+
+TEST_F(MailClientTest, InputMethodLearnsFromComposedMail) {
+  ASSERT_TRUE(client_->login("alice", "token123").ok());
+  ASSERT_TRUE(client_->add_contact("bob", "bob@example").ok());
+  ASSERT_TRUE(client_->compose("bob", "project sigma update",
+                               "the sigma milestone shipped")
+                  .ok());
+  auto suggestions = client_->suggest_word("sig");
+  ASSERT_TRUE(suggestions.ok());
+  ASSERT_FALSE(suggestions->empty());
+  EXPECT_EQ((*suggestions)[0], "sigma");
+  auto corrected = client_->autocorrect("sigmaa");
+  ASSERT_TRUE(corrected.ok());
+  EXPECT_EQ(*corrected, "sigma");
+}
+
+TEST_F(MailClientTest, DictionaryUnreachableFromRenderer) {
+  // The paper's point about input-method data: the compromised renderer
+  // has no channel to the input component, so the dictionary (everything
+  // the user ever typed) stays private.
+  ASSERT_TRUE(client_->flag_renderer_compromised().ok());
+  EXPECT_EQ(client_->assembly()
+                .invoke("render", "input", to_bytes("SUGGEST a"))
+                .error(),
+            Errc::policy_violation);
+  const auto render = *client_->assembly().component("render");
+  const auto input = *client_->assembly().component("input");
+  // Nor via memory.
+  auto machine_kernel = render->substrate;
+  EXPECT_EQ(machine_kernel
+                ->read_memory(render->domain, input->domain, 0, 16)
+                .error(),
+            Errc::access_denied);
+}
+
+}  // namespace
+}  // namespace lateral::mail

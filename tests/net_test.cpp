@@ -1,0 +1,307 @@
+// Untrusted network + SecureChannel: handshake with one-way and mutual
+// attestation, MITM splice refusal, record tamper/replay/reorder detection.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/secure_channel.h"
+#include "test_support.h"
+
+namespace lateral::net {
+namespace {
+
+TEST(SimNetwork, DeliversDatagrams) {
+  SimNetwork network;
+  ASSERT_TRUE(network.register_endpoint("meter").ok());
+  ASSERT_TRUE(network.register_endpoint("utility").ok());
+  ASSERT_TRUE(network.send("meter", "utility", to_bytes("reading")).ok());
+  auto datagram = network.receive("utility");
+  ASSERT_TRUE(datagram.ok());
+  EXPECT_EQ(datagram->from, "meter");
+  EXPECT_EQ(to_string(datagram->payload), "reading");
+  EXPECT_EQ(network.receive("utility").error(), Errc::would_block);
+}
+
+TEST(SimNetwork, UnknownEndpointsRejected) {
+  SimNetwork network;
+  ASSERT_TRUE(network.register_endpoint("a").ok());
+  EXPECT_FALSE(network.send("a", "ghost", to_bytes("x")).ok());
+  EXPECT_FALSE(network.send("ghost", "a", to_bytes("x")).ok());
+  EXPECT_FALSE(network.receive("ghost").ok());
+  EXPECT_FALSE(network.register_endpoint("a").ok());
+}
+
+TEST(SimNetwork, TampererCanDropAndModify) {
+  SimNetwork network;
+  ASSERT_TRUE(network.register_endpoint("a").ok());
+  ASSERT_TRUE(network.register_endpoint("b").ok());
+  network.set_tamperer([](const std::string&, const std::string&,
+                          BytesView payload) -> std::optional<Bytes> {
+    if (payload.size() == 4) return std::nullopt;  // drop short ones
+    Bytes modified(payload.begin(), payload.end());
+    modified[0] ^= 0xFF;
+    return modified;
+  });
+  ASSERT_TRUE(network.send("a", "b", to_bytes("drop")).ok());
+  EXPECT_EQ(network.receive("b").error(), Errc::would_block);
+  ASSERT_TRUE(network.send("a", "b", to_bytes("modify-me")).ok());
+  auto datagram = network.receive("b");
+  ASSERT_TRUE(datagram.ok());
+  EXPECT_NE(to_string(datagram->payload), "modify-me");
+  EXPECT_EQ(network.stats().dropped, 1u);
+  EXPECT_EQ(network.stats().modified, 1u);
+}
+
+TEST(SimNetwork, InjectionForgesSource) {
+  SimNetwork network;
+  ASSERT_TRUE(network.register_endpoint("victim").ok());
+  ASSERT_TRUE(network.inject("trusted-peer", "victim", to_bytes("evil")).ok());
+  auto datagram = network.receive("victim");
+  ASSERT_TRUE(datagram.ok());
+  // The "from" field is attacker-chosen — claimed identity means nothing.
+  EXPECT_EQ(datagram->from, "trusted-peer");
+}
+
+// ---------------------------------------------------------------------------
+// SecureChannel fixture: an SGX responder ("anonymizer") that the initiator
+// verifies, plus optional initiator attestation (TrustZone metering TC).
+class SecureChannelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_machine_ = test::make_machine("server");
+    sgx_ = *test::shared_registry().create("sgx", *server_machine_);
+    anonymizer_ = *sgx_->create_domain(test::tc_spec("anonymizer"));
+
+    verifier_ = std::make_unique<core::AttestationVerifier>(to_bytes("v"));
+    verifier_->add_trusted_root(test::shared_vendor().root_public_key());
+    verifier_->expect_measurement(
+        "anonymizer", test::tc_spec("anonymizer").image.measurement());
+  }
+
+  /// Run the full handshake; returns (initiator, responder) established.
+  static void run_handshake(SecureChannelEndpoint& initiator,
+                            SecureChannelEndpoint& responder) {
+    auto msg1 = initiator.start();
+    ASSERT_TRUE(msg1.ok());
+    auto msg2 = responder.handle_msg1(*msg1);
+    ASSERT_TRUE(msg2.ok());
+    auto msg3 = initiator.handle_msg2(*msg2);
+    ASSERT_TRUE(msg3.ok());
+    ASSERT_TRUE(responder.handle_msg3(*msg3).ok());
+    ASSERT_TRUE(initiator.established());
+    ASSERT_TRUE(responder.established());
+  }
+
+  std::unique_ptr<hw::Machine> server_machine_;
+  std::unique_ptr<substrate::IsolationSubstrate> sgx_;
+  substrate::DomainId anonymizer_ = 0;
+  std::unique_ptr<core::AttestationVerifier> verifier_;
+};
+
+TEST_F(SecureChannelTest, HandshakeWithResponderAttestation) {
+  SecureChannelEndpoint initiator(
+      Role::initiator, to_bytes("i-seed"), std::nullopt,
+      VerifierConfig{verifier_.get(), "anonymizer"});
+  SecureChannelEndpoint responder(Role::responder, to_bytes("r-seed"),
+                                  ProverConfig{sgx_.get(), anonymizer_},
+                                  std::nullopt);
+  run_handshake(initiator, responder);
+
+  auto wire = initiator.seal_record(to_bytes("meter-reading:42kWh"));
+  ASSERT_TRUE(wire.ok());
+  auto plain = responder.open_record(*wire);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(to_string(*plain), "meter-reading:42kWh");
+
+  auto reply = responder.seal_record(to_bytes("price-update:0.30"));
+  ASSERT_TRUE(reply.ok());
+  auto opened = initiator.open_record(*reply);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(to_string(*opened), "price-update:0.30");
+}
+
+TEST_F(SecureChannelTest, RefusesManipulatedResponder) {
+  // The Fig. 3 flow: the utility swapped in a tracking anonymizer; the
+  // meter's verifier knows only the audited build's measurement.
+  auto evil_spec = test::tc_spec("anonymizer");
+  evil_spec.image.code = to_bytes("code-of-anonymizer+tracking");
+  auto evil = *sgx_->create_domain(evil_spec);
+
+  SecureChannelEndpoint initiator(
+      Role::initiator, to_bytes("i-seed"), std::nullopt,
+      VerifierConfig{verifier_.get(), "anonymizer"});
+  SecureChannelEndpoint responder(Role::responder, to_bytes("r-seed"),
+                                  ProverConfig{sgx_.get(), evil},
+                                  std::nullopt);
+  auto msg1 = initiator.start();
+  ASSERT_TRUE(msg1.ok());
+  auto msg2 = responder.handle_msg1(*msg1);
+  ASSERT_TRUE(msg2.ok());
+  EXPECT_EQ(initiator.handle_msg2(*msg2).error(), Errc::verification_failed);
+  EXPECT_FALSE(initiator.established());
+}
+
+TEST_F(SecureChannelTest, RefusesMissingAttestation) {
+  SecureChannelEndpoint initiator(
+      Role::initiator, to_bytes("i-seed"), std::nullopt,
+      VerifierConfig{verifier_.get(), "anonymizer"});
+  // Responder cannot attest (no prover config).
+  SecureChannelEndpoint responder(Role::responder, to_bytes("r-seed"),
+                                  std::nullopt, std::nullopt);
+  auto msg1 = initiator.start();
+  ASSERT_TRUE(msg1.ok());
+  auto msg2 = responder.handle_msg1(*msg1);
+  ASSERT_TRUE(msg2.ok());
+  EXPECT_FALSE(initiator.handle_msg2(*msg2).ok());
+}
+
+TEST_F(SecureChannelTest, MutualAttestation) {
+  // The responder (utility) also verifies the initiator (metering TC on a
+  // TrustZone device).
+  auto meter_machine = test::make_machine("meter");
+  auto tz = *test::shared_registry().create("trustzone", *meter_machine);
+  auto metering = *tz->create_domain(test::tc_spec("metering"));
+
+  core::AttestationVerifier utility_verifier(to_bytes("uv"));
+  utility_verifier.add_trusted_root(test::shared_vendor().root_public_key());
+  utility_verifier.expect_measurement(
+      "metering", test::tc_spec("metering").image.measurement());
+
+  SecureChannelEndpoint initiator(
+      Role::initiator, to_bytes("i-seed"),
+      ProverConfig{tz.get(), metering},
+      VerifierConfig{verifier_.get(), "anonymizer"});
+  SecureChannelEndpoint responder(
+      Role::responder, to_bytes("r-seed"),
+      ProverConfig{sgx_.get(), anonymizer_},
+      VerifierConfig{&utility_verifier, "metering"});
+  run_handshake(initiator, responder);
+}
+
+TEST_F(SecureChannelTest, MutualAttestationRejectsFakeMeter) {
+  core::AttestationVerifier utility_verifier(to_bytes("uv"));
+  utility_verifier.add_trusted_root(test::shared_vendor().root_public_key());
+  utility_verifier.expect_measurement(
+      "metering", test::tc_spec("metering").image.measurement());
+
+  // The "software emulation" attack from the paper: initiator has no
+  // hardware to attest with and sends an empty quote.
+  SecureChannelEndpoint initiator(
+      Role::initiator, to_bytes("i-seed"), std::nullopt,
+      VerifierConfig{verifier_.get(), "anonymizer"});
+  SecureChannelEndpoint responder(
+      Role::responder, to_bytes("r-seed"),
+      ProverConfig{sgx_.get(), anonymizer_},
+      VerifierConfig{&utility_verifier, "metering"});
+  auto msg1 = initiator.start();
+  ASSERT_TRUE(msg1.ok());
+  auto msg2 = responder.handle_msg1(*msg1);
+  ASSERT_TRUE(msg2.ok());
+  auto msg3 = initiator.handle_msg2(*msg2);
+  ASSERT_TRUE(msg3.ok());
+  EXPECT_EQ(responder.handle_msg3(*msg3).error(), Errc::verification_failed);
+  EXPECT_FALSE(responder.established());
+}
+
+TEST_F(SecureChannelTest, MitmSpliceBreaksQuoteBinding) {
+  // Mallory intercepts msg1 and substitutes her own DH half before passing
+  // it to the genuine responder. The quote then binds Mallory's key, not
+  // the initiator's — so when Mallory relays msg2 back, verification fails.
+  SecureChannelEndpoint initiator(
+      Role::initiator, to_bytes("i-seed"), std::nullopt,
+      VerifierConfig{verifier_.get(), "anonymizer"});
+  SecureChannelEndpoint responder(Role::responder, to_bytes("r-seed"),
+                                  ProverConfig{sgx_.get(), anonymizer_},
+                                  std::nullopt);
+  SecureChannelEndpoint mallory(Role::initiator, to_bytes("mallory"),
+                                std::nullopt, std::nullopt);
+
+  auto msg1 = initiator.start();
+  ASSERT_TRUE(msg1.ok());
+  auto mallory_msg1 = mallory.start();  // her own DH half + nonce
+  ASSERT_TRUE(mallory_msg1.ok());
+
+  // Mallory forwards HER msg1; the responder answers (and binds her key).
+  auto msg2 = responder.handle_msg1(*mallory_msg1);
+  ASSERT_TRUE(msg2.ok());
+  // Relayed to the real initiator: user_data = H(nonce_i' || dh_m || dh_r)
+  // does not match what the initiator expects for its own nonce and key.
+  EXPECT_FALSE(initiator.handle_msg2(*msg2).ok());
+}
+
+TEST_F(SecureChannelTest, RecordTamperingDetected) {
+  SecureChannelEndpoint initiator(Role::initiator, to_bytes("i"),
+                                  std::nullopt, std::nullopt);
+  SecureChannelEndpoint responder(Role::responder, to_bytes("r"),
+                                  std::nullopt, std::nullopt);
+  run_handshake(initiator, responder);
+  auto wire = initiator.seal_record(to_bytes("authentic"));
+  ASSERT_TRUE(wire.ok());
+  (*wire)[wire->size() - 1] ^= 0x01;
+  EXPECT_EQ(responder.open_record(*wire).error(), Errc::verification_failed);
+}
+
+TEST_F(SecureChannelTest, RecordReplayDetected) {
+  SecureChannelEndpoint initiator(Role::initiator, to_bytes("i"),
+                                  std::nullopt, std::nullopt);
+  SecureChannelEndpoint responder(Role::responder, to_bytes("r"),
+                                  std::nullopt, std::nullopt);
+  run_handshake(initiator, responder);
+  auto wire = initiator.seal_record(to_bytes("pay 100 EUR"));
+  ASSERT_TRUE(wire.ok());
+  ASSERT_TRUE(responder.open_record(*wire).ok());
+  // Replaying the exact same record must fail (sequence moved on).
+  EXPECT_EQ(responder.open_record(*wire).error(), Errc::verification_failed);
+}
+
+TEST_F(SecureChannelTest, RecordReorderDetected) {
+  SecureChannelEndpoint initiator(Role::initiator, to_bytes("i"),
+                                  std::nullopt, std::nullopt);
+  SecureChannelEndpoint responder(Role::responder, to_bytes("r"),
+                                  std::nullopt, std::nullopt);
+  run_handshake(initiator, responder);
+  auto first = initiator.seal_record(to_bytes("one"));
+  auto second = initiator.seal_record(to_bytes("two"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(responder.open_record(*second).ok());  // out of order
+  EXPECT_TRUE(responder.open_record(*first).ok());    // order restored
+}
+
+TEST_F(SecureChannelTest, DirectionConfusionDetected) {
+  // A record sealed by the initiator cannot be reflected back to it.
+  SecureChannelEndpoint initiator(Role::initiator, to_bytes("i"),
+                                  std::nullopt, std::nullopt);
+  SecureChannelEndpoint responder(Role::responder, to_bytes("r"),
+                                  std::nullopt, std::nullopt);
+  run_handshake(initiator, responder);
+  auto wire = initiator.seal_record(to_bytes("hello"));
+  ASSERT_TRUE(wire.ok());
+  EXPECT_FALSE(initiator.open_record(*wire).ok());
+}
+
+TEST_F(SecureChannelTest, RecordsBeforeEstablishmentRefused) {
+  SecureChannelEndpoint endpoint(Role::initiator, to_bytes("i"), std::nullopt,
+                                 std::nullopt);
+  EXPECT_EQ(endpoint.seal_record(to_bytes("early")).error(),
+            Errc::would_block);
+  EXPECT_EQ(endpoint.open_record(Bytes(32, 0)).error(), Errc::would_block);
+}
+
+TEST_F(SecureChannelTest, MalformedHandshakeMessagesRejected) {
+  SecureChannelEndpoint initiator(Role::initiator, to_bytes("i"),
+                                  std::nullopt, std::nullopt);
+  SecureChannelEndpoint responder(Role::responder, to_bytes("r"),
+                                  std::nullopt, std::nullopt);
+  EXPECT_FALSE(responder.handle_msg1(Bytes{1, 2, 3}).ok());
+  auto msg1 = initiator.start();
+  ASSERT_TRUE(msg1.ok());
+  Bytes truncated(*msg1);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(responder.handle_msg1(truncated).ok());
+  // Role misuse.
+  EXPECT_FALSE(responder.start().ok());
+  EXPECT_FALSE(initiator.handle_msg1(*msg1).ok());
+}
+
+}  // namespace
+}  // namespace lateral::net

@@ -1,0 +1,125 @@
+// NoC/M3 substrate specifics: tile placement, no cross-tile load/store,
+// fixed DTU endpoint tables, cheap DTU messaging, structural temporal
+// isolation.
+#include <gtest/gtest.h>
+
+#include "noc/noc.h"
+#include "test_support.h"
+
+namespace lateral::noc {
+namespace {
+
+using test::tc_spec;
+
+class NocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = test::make_machine("noc");
+    fabric_ = std::make_unique<NocFabric>(*machine_,
+                                          substrate::SubstrateConfig{});
+  }
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<NocFabric> fabric_;
+};
+
+TEST_F(NocTest, DomainsLandOnDistinctTiles) {
+  auto a = fabric_->create_domain(tc_spec("a"));
+  auto b = fabric_->create_domain(tc_spec("b"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto distance = fabric_->hop_distance(*a, *b);
+  ASSERT_TRUE(distance.ok());
+  EXPECT_GT(*distance, 0u);
+  auto self_distance = fabric_->hop_distance(*a, *a);
+  ASSERT_TRUE(self_distance.ok());
+  EXPECT_EQ(*self_distance, 0u);
+}
+
+TEST_F(NocTest, NoCrossTileLoadStorePath) {
+  auto a = fabric_->create_domain(tc_spec("a"));
+  auto b = fabric_->create_domain(tc_spec("b"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(fabric_->write_memory(*a, *a, 0, to_bytes("tile-local")).ok());
+  EXPECT_EQ(fabric_->read_memory(*b, *a, 0, 10).error(), Errc::access_denied);
+  EXPECT_EQ(fabric_->write_memory(*b, *a, 0, to_bytes("x")).error(),
+            Errc::access_denied);
+}
+
+TEST_F(NocTest, EndpointTablesAreFinite) {
+  auto hub = fabric_->create_domain(tc_spec("hub", 1));
+  ASSERT_TRUE(hub.ok());
+  std::vector<substrate::DomainId> spokes;
+  // Fill the hub's endpoint table.
+  for (std::size_t i = 0; i < kEndpointsPerTile; ++i) {
+    auto spoke =
+        fabric_->create_domain(tc_spec("spoke" + std::to_string(i), 1));
+    ASSERT_TRUE(spoke.ok());
+    spokes.push_back(*spoke);
+    ASSERT_TRUE(fabric_->create_channel(*hub, *spoke).ok()) << i;
+  }
+  EXPECT_EQ(*fabric_->endpoints_used(*hub), kEndpointsPerTile);
+  // One more is a hard error, not a slowdown.
+  auto extra = fabric_->create_domain(tc_spec("extra", 1));
+  ASSERT_TRUE(extra.ok());
+  EXPECT_EQ(fabric_->create_channel(*hub, *extra).error(), Errc::exhausted);
+  // The spoke side only used one endpoint each.
+  EXPECT_EQ(*fabric_->endpoints_used(spokes[0]), 1u);
+}
+
+TEST_F(NocTest, DtuMessagingIsCheap) {
+  auto a = fabric_->create_domain(tc_spec("a"));
+  auto b = fabric_->create_domain(tc_spec("b"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto channel = fabric_->create_channel(*a, *b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(fabric_->set_handler(*b, [](const substrate::Invocation&)
+                                       -> Result<Bytes> { return Bytes{}; })
+                  .ok());
+  const Cycles before = machine_->now();
+  ASSERT_TRUE(fabric_->call(*a, *channel, to_bytes("msg")).ok());
+  const Cycles roundtrip = machine_->now() - before;
+  // No kernel entry on either side: cheaper than one microkernel IPC leg.
+  EXPECT_LT(roundtrip, machine_->costs().ipc_one_way);
+}
+
+TEST_F(NocTest, NoLegacyHosting) {
+  EXPECT_EQ(fabric_->create_domain(test::legacy_spec("os")).error(),
+            Errc::not_supported);
+}
+
+TEST_F(NocTest, StructuralTemporalIsolationClaimed) {
+  // Whole-core-per-domain: the covert-channel-mitigation feature is
+  // inherent, not a scheduler mode.
+  EXPECT_TRUE(has_feature(fabric_->info().features,
+                          substrate::Feature::covert_channel_mitigation));
+  EXPECT_TRUE(has_feature(fabric_->info().features,
+                          substrate::Feature::temporal_isolation));
+}
+
+TEST_F(NocTest, SealingAndAttestationWork) {
+  auto domain = fabric_->create_domain(tc_spec("tile-app"));
+  ASSERT_TRUE(domain.ok());
+  auto sealed = fabric_->seal(*domain, to_bytes("tile-secret"));
+  ASSERT_TRUE(sealed.ok());
+  auto opened = fabric_->unseal(*domain, *sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(to_string(*opened), "tile-secret");
+  auto quote = fabric_->attest(*domain, to_bytes("n"));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_TRUE(quote->verify(test::shared_vendor().root_public_key()).ok());
+}
+
+TEST_F(NocTest, TilesReleasedOnDestroy) {
+  auto a = fabric_->create_domain(tc_spec("transient", 4));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(fabric_->destroy_domain(*a).ok());
+  EXPECT_FALSE(fabric_->endpoints_used(*a).ok());
+  // Memory is reusable.
+  auto b = fabric_->create_domain(tc_spec("next", 4));
+  EXPECT_TRUE(b.ok());
+}
+
+}  // namespace
+}  // namespace lateral::noc

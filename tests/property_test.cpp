@@ -1,0 +1,420 @@
+// Property-based and model-based tests.
+//
+//  * VPFS vs. an in-memory reference model under random operation sequences
+//    (including syncs and remounts) — functional equivalence.
+//  * Bignum vs. native 128-bit arithmetic on random operands.
+//  * SecureChannel handshake: no single bit flip in a handshake message may
+//    lead to a silently working channel ("fail closed").
+//  * Manifest parser: arbitrary junk never crashes; valid bundles survive
+//    a text round trip.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "core/composer.h"
+#include "core/manifest.h"
+#include "crypto/bignum.h"
+#include "microkernel/microkernel.h"
+#include "net/secure_channel.h"
+#include "test_support.h"
+#include "util/rng.h"
+#include "vpfs/vpfs.h"
+
+namespace lateral {
+namespace {
+
+// ---------------------------------------------------------------------------
+// VPFS model test.
+class VpfsModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VpfsModelTest, MatchesReferenceModel) {
+  auto machine = test::make_machine("vpfs-model");
+  microkernel::Microkernel kernel(*machine, substrate::SubstrateConfig{});
+  auto domain = *kernel.create_domain(test::tc_spec("model"));
+  legacy::LegacyFilesystem disk;
+  auto formatted = vpfs::Vpfs::format(disk, kernel, domain, "/m",
+                                      to_bytes("model-seed"));
+  ASSERT_TRUE(formatted.ok());
+  auto fs = std::move(*formatted);
+
+  std::map<std::string, Bytes> model;
+  util::Xoshiro rng(GetParam());
+  const std::vector<std::string> names = {"a", "b", "c", "d"};
+
+  for (int step = 0; step < 200; ++step) {
+    const std::string& name = names[rng.below(names.size())];
+    switch (rng.below(6)) {
+      case 0: {  // create
+        const bool exists = model.contains(name);
+        const Status status = fs->create(name);
+        EXPECT_EQ(status.ok(), !exists) << "step " << step;
+        if (!exists) model.emplace(name, Bytes{});
+        break;
+      }
+      case 1: {  // write at random offset
+        if (!model.contains(name)) break;
+        const std::size_t offset = rng.below(20'000);
+        const Bytes data = rng.bytes(1 + rng.below(6'000));
+        ASSERT_TRUE(fs->write(name, offset, data).ok()) << "step " << step;
+        Bytes& ref = model[name];
+        if (ref.size() < offset + data.size())
+          ref.resize(offset + data.size(), 0);
+        std::copy(data.begin(), data.end(),
+                  ref.begin() + static_cast<long>(offset));
+        break;
+      }
+      case 2: {  // read and compare
+        if (!model.contains(name)) {
+          EXPECT_FALSE(fs->read(name, 0, 1).ok());
+          break;
+        }
+        const Bytes& ref = model[name];
+        const std::size_t offset = rng.below(ref.size() + 100);
+        const std::size_t len = 1 + rng.below(8'000);
+        auto got = fs->read(name, offset, len);
+        ASSERT_TRUE(got.ok()) << "step " << step;
+        Bytes expected;
+        if (offset < ref.size()) {
+          const std::size_t n = std::min(len, ref.size() - offset);
+          expected.assign(ref.begin() + static_cast<long>(offset),
+                          ref.begin() + static_cast<long>(offset + n));
+        }
+        EXPECT_EQ(*got, expected) << "step " << step;
+        break;
+      }
+      case 3: {  // remove
+        const bool exists = model.contains(name);
+        EXPECT_EQ(fs->remove(name).ok(), exists);
+        model.erase(name);
+        break;
+      }
+      case 4: {  // size check
+        if (!model.contains(name)) break;
+        auto size = fs->size(name);
+        ASSERT_TRUE(size.ok());
+        EXPECT_EQ(*size, model[name].size());
+        break;
+      }
+      case 5: {  // sync; occasionally remount
+        ASSERT_TRUE(fs->sync().ok()) << "step " << step;
+        if (rng.below(3) == 0) {
+          fs.reset();
+          auto remounted = vpfs::Vpfs::mount(disk, kernel, domain, "/m");
+          ASSERT_TRUE(remounted.ok()) << "step " << step;
+          fs = std::move(*remounted);
+        }
+        break;
+      }
+    }
+  }
+
+  // Final full comparison.
+  EXPECT_EQ(fs->list().size(), model.size());
+  for (const auto& [name, ref] : model) {
+    auto got = fs->read(name, 0, ref.size());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, ref) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VpfsModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Bignum vs native 128-bit arithmetic.
+TEST(BignumProperty, MatchesNativeArithmetic) {
+  util::Xoshiro rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next() | 1;  // nonzero divisor
+    const crypto::Bignum big_a(a), big_b(b);
+
+    const unsigned __int128 sum = (unsigned __int128)a + b;
+    crypto::Bignum big_sum = big_a + big_b;
+    EXPECT_EQ(big_sum % (crypto::Bignum(1) << 64),
+              crypto::Bignum(static_cast<std::uint64_t>(sum)));
+    EXPECT_EQ(big_sum >> 64,
+              crypto::Bignum(static_cast<std::uint64_t>(sum >> 64)));
+
+    const unsigned __int128 product = (unsigned __int128)a * b;
+    crypto::Bignum big_product = big_a * big_b;
+    EXPECT_EQ(big_product % (crypto::Bignum(1) << 64),
+              crypto::Bignum(static_cast<std::uint64_t>(product)));
+    EXPECT_EQ(big_product >> 64,
+              crypto::Bignum(static_cast<std::uint64_t>(product >> 64)));
+
+    EXPECT_EQ(big_a / big_b, crypto::Bignum(a / b));
+    EXPECT_EQ(big_a % big_b, crypto::Bignum(a % b));
+    if (a >= b) {
+      EXPECT_EQ(big_a - big_b, crypto::Bignum(a - b));
+    }
+    EXPECT_EQ(crypto::Bignum::gcd(big_a, big_b),
+              crypto::Bignum(std::gcd(a, b)));
+  }
+}
+
+TEST(BignumProperty, ShiftMulDivConsistency) {
+  util::Xoshiro rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const crypto::Bignum n = crypto::Bignum::from_bytes(rng.bytes(1 + rng.below(32)));
+    const std::size_t k = rng.below(64);
+    EXPECT_EQ((n << k) >> k, n);
+    EXPECT_EQ((n << k) / (crypto::Bignum(1) << k), n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SecureChannel: fail closed under any single-bit handshake corruption.
+TEST(SecureChannelProperty, SingleBitFlipsFailClosed) {
+  // A clean handshake first, to know the baseline works.
+  util::Xoshiro rng(123);
+  for (int trial = 0; trial < 40; ++trial) {
+    net::SecureChannelEndpoint initiator(net::Role::initiator,
+                                         to_bytes("i" + std::to_string(trial)),
+                                         std::nullopt, std::nullopt);
+    net::SecureChannelEndpoint responder(net::Role::responder,
+                                         to_bytes("r" + std::to_string(trial)),
+                                         std::nullopt, std::nullopt);
+    auto msg1 = initiator.start();
+    ASSERT_TRUE(msg1.ok());
+    auto msg2 = responder.handle_msg1(*msg1);
+    ASSERT_TRUE(msg2.ok());
+
+    // Corrupt one random bit of msg2.
+    Bytes corrupted(*msg2);
+    const std::size_t byte = rng.below(corrupted.size());
+    corrupted[byte] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+
+    auto msg3 = initiator.handle_msg2(corrupted);
+    if (!msg3.ok()) continue;  // failed loudly: fine
+
+    // The handshake "succeeded" structurally; the keys MUST disagree, so
+    // any record exchange fails. Silence would be a downgrade bug.
+    (void)responder.handle_msg3(*msg3);
+    auto record = initiator.seal_record(to_bytes("probe"));
+    ASSERT_TRUE(record.ok());
+    auto opened = responder.open_record(*record);
+    EXPECT_FALSE(opened.ok()) << "bit flip at byte " << byte
+                              << " produced a silently working channel";
+  }
+}
+
+TEST(SecureChannelProperty, TruncationsNeverCrashAndFail) {
+  net::SecureChannelEndpoint initiator(net::Role::initiator, to_bytes("i"),
+                                       std::nullopt, std::nullopt);
+  net::SecureChannelEndpoint responder(net::Role::responder, to_bytes("r"),
+                                       std::nullopt, std::nullopt);
+  auto msg1 = initiator.start();
+  ASSERT_TRUE(msg1.ok());
+  for (std::size_t len = 0; len < msg1->size(); len += 7) {
+    net::SecureChannelEndpoint fresh(net::Role::responder, to_bytes("f"),
+                                     std::nullopt, std::nullopt);
+    const Bytes truncated(msg1->begin(), msg1->begin() + static_cast<long>(len));
+    EXPECT_FALSE(fresh.handle_msg1(truncated).ok()) << "len " << len;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest parser robustness.
+TEST(ManifestProperty, RandomJunkNeverCrashes) {
+  util::Xoshiro rng(5);
+  const std::string alphabet =
+      "component {}\n chanel channel trusts kind pages # 0123456789 abc";
+  for (int i = 0; i < 500; ++i) {
+    std::string junk;
+    const std::size_t len = rng.below(200);
+    for (std::size_t j = 0; j < len; ++j)
+      junk.push_back(alphabet[rng.below(alphabet.size())]);
+    (void)core::parse_manifests(junk);  // must not crash or throw
+  }
+}
+
+TEST(ManifestProperty, RandomValidBundlesRoundTrip) {
+  util::Xoshiro rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<core::Manifest> bundle(1 + rng.below(6));
+    for (std::size_t i = 0; i < bundle.size(); ++i) {
+      bundle[i].name = "c" + std::to_string(i);
+      bundle[i].memory_pages = 1 + rng.below(16);
+      bundle[i].time_share_permille = 1 + static_cast<std::uint32_t>(rng.below(999));
+      bundle[i].asset_value = static_cast<double>(rng.below(100));
+      bundle[i].loc = rng.below(50'000);
+      bundle[i].needs_sealing = rng.below(2) == 1;
+      bundle[i].needs_attestation = rng.below(2) == 1;
+      if (i > 0 && rng.below(2) == 1) {
+        bundle[i].channels.push_back("c" + std::to_string(rng.below(i)));
+        if (rng.below(2) == 1) bundle[i].trusts = bundle[i].channels;
+      }
+    }
+    auto reparsed = core::parse_manifests(core::to_text(bundle));
+    ASSERT_TRUE(reparsed.ok()) << core::to_text(bundle);
+    ASSERT_EQ(reparsed->size(), bundle.size());
+    for (std::size_t i = 0; i < bundle.size(); ++i) {
+      EXPECT_EQ((*reparsed)[i].name, bundle[i].name);
+      EXPECT_EQ((*reparsed)[i].memory_pages, bundle[i].memory_pages);
+      EXPECT_EQ((*reparsed)[i].channels, bundle[i].channels);
+      EXPECT_EQ((*reparsed)[i].trusts, bundle[i].trusts);
+      EXPECT_EQ((*reparsed)[i].needs_sealing, bundle[i].needs_sealing);
+      EXPECT_EQ((*reparsed)[i].loc, bundle[i].loc);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-format robustness: parsers of attacker-supplied bytes never crash
+// and never accept garbage.
+TEST(WireFormatProperty, QuoteDeserializeSurvivesFuzz) {
+  util::Xoshiro rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const Bytes junk = rng.bytes(rng.below(200));
+    auto quote = substrate::Quote::deserialize(junk);
+    if (quote.ok()) {
+      // Structurally parseable garbage must still fail verification.
+      EXPECT_FALSE(
+          quote->verify(test::shared_vendor().root_public_key()).ok());
+    }
+  }
+}
+
+TEST(WireFormatProperty, QuoteTruncationsAllRejected) {
+  auto machine = test::make_machine("quote-fuzz");
+  auto sgx = *test::shared_registry().create("sgx", *machine);
+  auto enclave = *sgx->create_domain(test::tc_spec("prover"));
+  auto quote = sgx->attest(enclave, to_bytes("ud"));
+  ASSERT_TRUE(quote.ok());
+  const Bytes wire = quote->serialize();
+  for (std::size_t len = 0; len < wire.size(); len += 11) {
+    auto parsed = substrate::Quote::deserialize(
+        BytesView(wire.data(), len));
+    EXPECT_FALSE(parsed.ok()) << "truncated to " << len;
+  }
+}
+
+TEST(WireFormatProperty, SealedBlobFuzzNeverUnseals) {
+  auto machine = test::make_machine("seal-fuzz");
+  microkernel::Microkernel kernel(*machine, substrate::SubstrateConfig{});
+  auto domain = *kernel.create_domain(test::tc_spec("sealer"));
+  util::Xoshiro rng(88);
+  for (int i = 0; i < 300; ++i) {
+    const Bytes junk = rng.bytes(rng.below(120));
+    EXPECT_FALSE(kernel.unseal(domain, junk).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Substrate channel property: badges are unique across all channels.
+TEST(SubstrateProperty, BadgesNeverCollide) {
+  auto machine = test::make_machine("badges");
+  microkernel::Microkernel kernel(*machine, substrate::SubstrateConfig{});
+  std::vector<substrate::DomainId> domains;
+  for (int i = 0; i < 8; ++i)
+    domains.push_back(
+        *kernel.create_domain(test::tc_spec("d" + std::to_string(i), 1)));
+
+  std::set<std::uint64_t> badges;
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    for (std::size_t j = i + 1; j < domains.size(); ++j) {
+      auto channel = kernel.create_channel(domains[i], domains[j]);
+      ASSERT_TRUE(channel.ok());
+      for (const auto d : {domains[i], domains[j]}) {
+        auto badge = kernel.endpoint_badge(*channel, d);
+        ASSERT_TRUE(badge.ok());
+        EXPECT_TRUE(badges.insert(*badge).second)
+            << "badge collision: " << *badge;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos containment: compromise random subsets of a random assembly and
+// check the architecture's core invariant — an uncompromised component's
+// memory is unreachable from every compromised one, and undeclared
+// channels stay closed, no matter which subset fell.
+TEST(ChaosProperty, RandomCompromiseNeverEscapesIsolation) {
+  util::Xoshiro rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto machine = test::make_machine("chaos" + std::to_string(trial));
+    microkernel::Microkernel kernel(*machine, substrate::SubstrateConfig{});
+
+    const std::size_t n = 4 + rng.below(6);
+    std::vector<core::Manifest> manifests(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      manifests[i].name = "c" + std::to_string(i);
+      manifests[i].memory_pages = 1 + rng.below(3);
+    }
+    // Sparse random channel topology.
+    for (std::size_t i = 1; i < n; ++i)
+      if (rng.below(2) == 1)
+        manifests[i].channels.push_back("c" + std::to_string(rng.below(i)));
+
+    core::SystemComposer composer({{"microkernel", &kernel}});
+    auto assembly = composer.compose(manifests);
+    ASSERT_TRUE(assembly.ok());
+
+    // Give every component a secret in its first page.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto component = *(*assembly)->component("c" + std::to_string(i));
+      ASSERT_TRUE(kernel
+                      .write_memory(component->domain, component->domain, 0,
+                                    to_bytes("secret-" + std::to_string(i)))
+                      .ok());
+    }
+
+    // Compromise a random nonempty strict subset.
+    std::set<std::size_t> compromised;
+    const std::size_t how_many = 1 + rng.below(n - 1);
+    while (compromised.size() < how_many) compromised.insert(rng.below(n));
+    for (const std::size_t i : compromised)
+      ASSERT_TRUE((*assembly)->compromise("c" + std::to_string(i)).ok());
+
+    // Invariant: no compromised domain can read any other domain's memory,
+    // and undeclared channels refuse traffic.
+    for (const std::size_t bad : compromised) {
+      const auto attacker = *(*assembly)->component("c" + std::to_string(bad));
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == bad) continue;
+        const auto victim = *(*assembly)->component("c" + std::to_string(i));
+        EXPECT_EQ(
+            kernel.read_memory(attacker->domain, victim->domain, 0, 8).error(),
+            Errc::access_denied)
+            << "trial " << trial << ": c" << bad << " read c" << i;
+
+        const std::string from = "c" + std::to_string(bad);
+        const std::string to = "c" + std::to_string(i);
+        const bool declared =
+            std::find(manifests[bad].channels.begin(),
+                      manifests[bad].channels.end(),
+                      to) != manifests[bad].channels.end() ||
+            std::find(manifests[i].channels.begin(),
+                      manifests[i].channels.end(),
+                      from) != manifests[i].channels.end();
+        if (!declared) {
+          EXPECT_EQ((*assembly)->send(from, to, to_bytes("x")).error(),
+                    Errc::policy_violation);
+        }
+      }
+    }
+  }
+}
+
+// Sealing round-trips arbitrary binary data of many sizes.
+TEST(SubstrateProperty, SealRoundTripsArbitraryData) {
+  auto machine = test::make_machine("seal-prop");
+  microkernel::Microkernel kernel(*machine, substrate::SubstrateConfig{});
+  auto domain = *kernel.create_domain(test::tc_spec("sealer"));
+  util::Xoshiro rng(8);
+  for (const std::size_t size : {0u, 1u, 16u, 100u, 4096u, 70'000u}) {
+    const Bytes data = rng.bytes(size);
+    auto sealed = kernel.seal(domain, data);
+    ASSERT_TRUE(sealed.ok()) << size;
+    auto opened = kernel.unseal(domain, *sealed);
+    ASSERT_TRUE(opened.ok()) << size;
+    EXPECT_EQ(*opened, data) << size;
+  }
+}
+
+}  // namespace
+}  // namespace lateral

@@ -1,0 +1,112 @@
+// RSA signature scheme: correctness, tamper rejection, serialization.
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.h"
+#include "crypto/rsa.h"
+
+namespace lateral::crypto {
+namespace {
+
+class RsaTest : public ::testing::Test {
+ protected:
+  // Shared keypair: generation dominates test time, correctness tests can
+  // reuse it.
+  static const RsaKeyPair& keypair() {
+    static const RsaKeyPair kp = [] {
+      HmacDrbg drbg(to_bytes("rsa-test-keys"));
+      return RsaKeyPair::generate(drbg, 512);
+    }();
+    return kp;
+  }
+};
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  const Bytes sig = rsa_sign(keypair(), to_bytes("hello world"));
+  EXPECT_TRUE(rsa_verify(keypair().pub, to_bytes("hello world"), sig).ok());
+}
+
+TEST_F(RsaTest, RejectsDifferentMessage) {
+  const Bytes sig = rsa_sign(keypair(), to_bytes("message-a"));
+  EXPECT_EQ(rsa_verify(keypair().pub, to_bytes("message-b"), sig).error(),
+            Errc::verification_failed);
+}
+
+TEST_F(RsaTest, RejectsTamperedSignature) {
+  Bytes sig = rsa_sign(keypair(), to_bytes("msg"));
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(keypair().pub, to_bytes("msg"), sig).ok());
+}
+
+TEST_F(RsaTest, RejectsTruncatedSignature) {
+  Bytes sig = rsa_sign(keypair(), to_bytes("msg"));
+  sig.pop_back();
+  EXPECT_FALSE(rsa_verify(keypair().pub, to_bytes("msg"), sig).ok());
+}
+
+TEST_F(RsaTest, RejectsWrongKey) {
+  HmacDrbg drbg(to_bytes("other-key"));
+  const RsaKeyPair other = RsaKeyPair::generate(drbg, 512);
+  const Bytes sig = rsa_sign(keypair(), to_bytes("msg"));
+  EXPECT_FALSE(rsa_verify(other.pub, to_bytes("msg"), sig).ok());
+}
+
+TEST_F(RsaTest, SignatureWidthEqualsModulusWidth) {
+  const Bytes sig = rsa_sign(keypair(), to_bytes("x"));
+  EXPECT_EQ(sig.size(), (keypair().pub.n.bit_length() + 7) / 8);
+}
+
+TEST_F(RsaTest, EmptyMessageSignable) {
+  const Bytes sig = rsa_sign(keypair(), {});
+  EXPECT_TRUE(rsa_verify(keypair().pub, {}, sig).ok());
+}
+
+TEST_F(RsaTest, LargeMessageSignable) {
+  const Bytes big(100'000, 0x42);
+  const Bytes sig = rsa_sign(keypair(), big);
+  EXPECT_TRUE(rsa_verify(keypair().pub, big, sig).ok());
+}
+
+TEST_F(RsaTest, PublicKeySerializationRoundTrip) {
+  auto parsed = RsaPublicKey::deserialize(keypair().pub.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, keypair().pub);
+}
+
+TEST_F(RsaTest, DeserializeRejectsTruncation) {
+  Bytes wire = keypair().pub.serialize();
+  wire.pop_back();
+  EXPECT_FALSE(RsaPublicKey::deserialize(wire).ok());
+}
+
+TEST_F(RsaTest, DeserializeRejectsTrailingGarbage) {
+  Bytes wire = keypair().pub.serialize();
+  wire.push_back(0x00);
+  EXPECT_FALSE(RsaPublicKey::deserialize(wire).ok());
+}
+
+TEST_F(RsaTest, FingerprintStableAndDistinct) {
+  EXPECT_EQ(keypair().pub.fingerprint(), keypair().pub.fingerprint());
+  HmacDrbg drbg(to_bytes("fp-key"));
+  const RsaKeyPair other = RsaKeyPair::generate(drbg, 512);
+  EXPECT_NE(keypair().pub.fingerprint(), other.pub.fingerprint());
+}
+
+TEST_F(RsaTest, GenerationRejectsTinyModulus) {
+  HmacDrbg drbg(to_bytes("tiny"));
+  EXPECT_THROW(RsaKeyPair::generate(drbg, 128), Error);
+}
+
+TEST_F(RsaTest, DistinctKeysFromDistinctSeeds) {
+  HmacDrbg a(to_bytes("seed-a")), b(to_bytes("seed-b"));
+  EXPECT_NE(RsaKeyPair::generate(a, 512).pub,
+            RsaKeyPair::generate(b, 512).pub);
+}
+
+TEST_F(RsaTest, DeterministicKeygenFromSeed) {
+  HmacDrbg a(to_bytes("same-seed")), b(to_bytes("same-seed"));
+  EXPECT_EQ(RsaKeyPair::generate(a, 512).pub,
+            RsaKeyPair::generate(b, 512).pub);
+}
+
+}  // namespace
+}  // namespace lateral::crypto

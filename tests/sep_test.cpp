@@ -1,0 +1,113 @@
+// SEP specifics: exactly two execution environments, mailbox-priced
+// invocations, inline DRAM encryption, AP/SEP mutual inaccessibility.
+#include <gtest/gtest.h>
+
+#include "hw/attacker.h"
+#include "sep/sep.h"
+#include "test_support.h"
+
+namespace lateral::sep {
+namespace {
+
+using test::legacy_spec;
+using test::tc_spec;
+
+class SepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = test::make_machine("sep");
+    sep_ = std::make_unique<Sep>(*machine_, substrate::SubstrateConfig{});
+  }
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<Sep> sep_;
+};
+
+TEST_F(SepTest, ExactlyTwoEnvironments) {
+  ASSERT_TRUE(sep_->create_domain(tc_spec("sep-firmware")).ok());
+  ASSERT_TRUE(sep_->create_domain(legacy_spec("ios")).ok());
+  // "Inflexible and offers only two separated execution environments."
+  EXPECT_EQ(sep_->create_domain(tc_spec("second-tc")).error(),
+            Errc::exhausted);
+  EXPECT_EQ(sep_->create_domain(legacy_spec("second-os")).error(),
+            Errc::exhausted);
+}
+
+TEST_F(SepTest, SlotsFreedOnDestroy) {
+  auto tc = sep_->create_domain(tc_spec("sep-firmware"));
+  ASSERT_TRUE(tc.ok());
+  ASSERT_TRUE(sep_->destroy_domain(*tc).ok());
+  EXPECT_TRUE(sep_->create_domain(tc_spec("replacement")).ok());
+}
+
+TEST_F(SepTest, SepMemoryEncryptedInDram) {
+  auto tc = sep_->create_domain(tc_spec("sep-firmware", 1));
+  ASSERT_TRUE(tc.ok());
+  ASSERT_TRUE(
+      sep_->write_memory(*tc, *tc, 0, to_bytes("FINGERPRINT-TEMPLATE")).ok());
+  hw::PhysicalAttacker attacker(*machine_);
+  EXPECT_TRUE(
+      attacker.scan(machine_->dram(), to_bytes("FINGERPRINT-TEMPLATE"))
+          .empty());
+  auto read = sep_->read_memory(*tc, *tc, 0, 20);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(to_string(*read), "FINGERPRINT-TEMPLATE");
+}
+
+TEST_F(SepTest, InlineEncryptionDetectsTamper) {
+  auto tc = sep_->create_domain(tc_spec("sep-firmware", 1));
+  ASSERT_TRUE(tc.ok());
+  ASSERT_TRUE(sep_->write_memory(*tc, *tc, 0, to_bytes("keys")).ok());
+  auto frames = sep_->domain_frames(*tc);
+  ASSERT_TRUE(frames.ok());
+  hw::PhysicalAttacker attacker(*machine_);
+  ASSERT_TRUE(attacker.tamper((*frames)[0] + 1, to_bytes("\xff")).ok());
+  EXPECT_EQ(sep_->read_memory(*tc, *tc, 0, 4).error(), Errc::tamper_detected);
+}
+
+TEST_F(SepTest, ProcessorsCannotTouchEachOthersMemory) {
+  auto tc = sep_->create_domain(tc_spec("sep-firmware"));
+  auto ap = sep_->create_domain(legacy_spec("ios"));
+  ASSERT_TRUE(tc.ok());
+  ASSERT_TRUE(ap.ok());
+  // Separate silicon: even the trusted side goes through the mailbox, not
+  // through a shared address space.
+  EXPECT_EQ(sep_->read_memory(*ap, *tc, 0, 4).error(), Errc::access_denied);
+  EXPECT_EQ(sep_->read_memory(*tc, *ap, 0, 4).error(), Errc::access_denied);
+}
+
+TEST_F(SepTest, MailboxPricing) {
+  auto tc = sep_->create_domain(tc_spec("sep-firmware"));
+  auto ap = sep_->create_domain(legacy_spec("ios"));
+  ASSERT_TRUE(tc.ok());
+  ASSERT_TRUE(ap.ok());
+  auto chan = sep_->create_channel(*ap, *tc);
+  ASSERT_TRUE(chan.ok());
+  ASSERT_TRUE(sep_->set_handler(*tc, [](const substrate::Invocation&)
+                                    -> Result<Bytes> { return Bytes{}; })
+                  .ok());
+  const Cycles before = machine_->now();
+  ASSERT_TRUE(sep_->call(*ap, *chan, to_bytes("unlock")).ok());
+  EXPECT_GE(machine_->now() - before,
+            machine_->costs().sep_mailbox_round_trip);
+}
+
+TEST_F(SepTest, OnlySepSideHoldsKeys) {
+  auto ap = sep_->create_domain(legacy_spec("ios"));
+  ASSERT_TRUE(ap.ok());
+  EXPECT_EQ(sep_->attest(*ap, to_bytes("x")).error(), Errc::access_denied);
+  EXPECT_EQ(sep_->seal(*ap, to_bytes("x")).error(), Errc::access_denied);
+  auto tc = sep_->create_domain(tc_spec("sep-firmware"));
+  ASSERT_TRUE(tc.ok());
+  EXPECT_TRUE(sep_->attest(*tc, to_bytes("x")).ok());
+}
+
+TEST_F(SepTest, DefendsPhysicalBusInMatrix) {
+  EXPECT_TRUE(sep_->info().defends(substrate::AttackerModel::physical_bus));
+  EXPECT_TRUE(has_feature(sep_->info().features,
+                          substrate::Feature::memory_encryption));
+  EXPECT_FALSE(has_feature(sep_->info().features,
+                           substrate::Feature::concurrent_domains));
+}
+
+}  // namespace
+}  // namespace lateral::sep

@@ -1,0 +1,535 @@
+// Substrate conformance suite — the paper's POSIX analogy made executable.
+//
+// One behavioural contract, instantiated against every isolation technology
+// ("microkernel", "trustzone", "sgx", "tpm", "sep"). §III-A: "Software
+// components should be developed once against the common pattern and then
+// should run on any isolation implementation." Each test either passes
+// identically on every substrate or consults info().features — never the
+// substrate's name — mirroring how portable code must behave.
+#include <gtest/gtest.h>
+
+#include "crypto/rsa.h"
+#include "substrate/substrate.h"
+#include "test_support.h"
+
+namespace lateral::substrate {
+namespace {
+
+using test::legacy_spec;
+using test::tc_spec;
+
+class ConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    machine_ = test::make_machine("conformance-" + GetParam());
+    auto substrate = test::shared_registry().create(GetParam(), *machine_);
+    ASSERT_TRUE(substrate.ok());
+    substrate_ = std::move(*substrate);
+  }
+
+  /// A pair of domains that can hold a channel on every substrate: the
+  /// second is legacy where the substrate hosts legacy code (SEP only
+  /// admits one trusted component), trusted otherwise (the TPM hosts no
+  /// legacy code at all).
+  std::pair<DomainId, DomainId> make_pair() {
+    auto a = substrate_->create_domain(tc_spec("alpha"));
+    EXPECT_TRUE(a.ok());
+    const bool use_legacy =
+        has_feature(substrate_->info().features, Feature::legacy_hosting);
+    auto b = substrate_->create_domain(use_legacy ? legacy_spec("beta")
+                                                  : tc_spec("beta"));
+    EXPECT_TRUE(b.ok());
+    return {*a, *b};
+  }
+
+  Features features() const { return substrate_->info().features; }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<IsolationSubstrate> substrate_;
+};
+
+TEST_P(ConformanceTest, InfoIsCoherent) {
+  const SubstrateInfo& info = substrate_->info();
+  EXPECT_EQ(info.name, GetParam());
+  EXPECT_TRUE(has_feature(info.features, Feature::spatial_isolation));
+  EXPECT_GT(info.tcb_loc, 0u);
+  EXPECT_FALSE(info.defends_against.empty());
+  // Everyone defends at least against remote attackers.
+  EXPECT_TRUE(info.defends(AttackerModel::remote_network));
+}
+
+TEST_P(ConformanceTest, CreateDomain) {
+  auto domain = substrate_->create_domain(tc_spec("tc"));
+  ASSERT_TRUE(domain.ok());
+  EXPECT_NE(*domain, kInvalidDomain);
+  EXPECT_EQ(substrate_->domains().size(), 1u);
+}
+
+TEST_P(ConformanceTest, RejectsEmptyNameOrImage) {
+  DomainSpec spec = tc_spec("x");
+  spec.name = "";
+  EXPECT_FALSE(substrate_->create_domain(spec).ok());
+  spec = tc_spec("x");
+  spec.image.code.clear();
+  EXPECT_FALSE(substrate_->create_domain(spec).ok());
+}
+
+TEST_P(ConformanceTest, DomainSpecRetrievable) {
+  auto domain = substrate_->create_domain(tc_spec("tc", 2));
+  ASSERT_TRUE(domain.ok());
+  auto spec = substrate_->domain_spec(*domain);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "tc");
+  EXPECT_EQ(spec->memory_pages, 2u);
+  EXPECT_FALSE(substrate_->domain_spec(999).ok());
+}
+
+TEST_P(ConformanceTest, MeasurementIsImageHash) {
+  const DomainSpec spec = tc_spec("measured");
+  auto domain = substrate_->create_domain(spec);
+  ASSERT_TRUE(domain.ok());
+  auto measurement = substrate_->measurement(*domain);
+  ASSERT_TRUE(measurement.ok());
+  EXPECT_EQ(*measurement, spec.image.measurement());
+}
+
+TEST_P(ConformanceTest, DestroyRemovesDomainAndChannels) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_->destroy_domain(b).ok());
+  EXPECT_FALSE(substrate_->domain_spec(b).ok());
+  EXPECT_EQ(substrate_->send(a, *channel, to_bytes("x")).error(),
+            Errc::no_such_channel);
+}
+
+TEST_P(ConformanceTest, OwnMemoryRoundTrip) {
+  auto domain = substrate_->create_domain(tc_spec("mem", 2));
+  ASSERT_TRUE(domain.ok());
+  ASSERT_TRUE(
+      substrate_->write_memory(*domain, *domain, 100, to_bytes("payload"))
+          .ok());
+  auto read = substrate_->read_memory(*domain, *domain, 100, 7);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(to_string(*read), "payload");
+}
+
+TEST_P(ConformanceTest, MemoryAcrossPageBoundary) {
+  auto domain = substrate_->create_domain(tc_spec("mem", 2));
+  ASSERT_TRUE(domain.ok());
+  const std::uint64_t offset = hw::kPageSize - 3;
+  ASSERT_TRUE(
+      substrate_->write_memory(*domain, *domain, offset, to_bytes("straddle"))
+          .ok());
+  auto read = substrate_->read_memory(*domain, *domain, offset, 8);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(to_string(*read), "straddle");
+}
+
+TEST_P(ConformanceTest, OutOfBoundsMemoryDenied) {
+  auto domain = substrate_->create_domain(tc_spec("mem", 1));
+  ASSERT_TRUE(domain.ok());
+  EXPECT_FALSE(
+      substrate_->read_memory(*domain, *domain, hw::kPageSize - 1, 2).ok());
+  EXPECT_FALSE(
+      substrate_->write_memory(*domain, *domain, hw::kPageSize, to_bytes("x"))
+          .ok());
+}
+
+TEST_P(ConformanceTest, SpatialIsolationHolds) {
+  // The core guarantee: the "weaker" domain cannot touch the trusted
+  // component's memory on ANY substrate.
+  auto [tc, other] = make_pair();
+  ASSERT_TRUE(
+      substrate_->write_memory(tc, tc, 0, to_bytes("tc-secret")).ok());
+  EXPECT_EQ(substrate_->read_memory(other, tc, 0, 9).error(),
+            Errc::access_denied);
+  EXPECT_EQ(substrate_->write_memory(other, tc, 0, to_bytes("pwn")).error(),
+            Errc::access_denied);
+  // And the secret is intact.
+  auto read = substrate_->read_memory(tc, tc, 0, 9);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(to_string(*read), "tc-secret");
+}
+
+TEST_P(ConformanceTest, CompromisedDomainStillConfined) {
+  // Marking a domain compromised does not weaken the walls around its
+  // peers — that is the whole point of the architecture.
+  auto [tc, other] = make_pair();
+  ASSERT_TRUE(substrate_->write_memory(tc, tc, 0, to_bytes("asset")).ok());
+  ASSERT_TRUE(substrate_->mark_compromised(other).ok());
+  EXPECT_TRUE(substrate_->is_compromised(other));
+  EXPECT_FALSE(substrate_->is_compromised(tc));
+  EXPECT_EQ(substrate_->read_memory(other, tc, 0, 5).error(),
+            Errc::access_denied);
+}
+
+TEST_P(ConformanceTest, ChannelSendReceive) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_->send(a, *channel, to_bytes("ping")).ok());
+  auto msg = substrate_->receive(b, *channel);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(to_string(msg->data), "ping");
+  EXPECT_NE(msg->badge, 0u);
+}
+
+TEST_P(ConformanceTest, ReceiveOnEmptyChannelWouldBlock) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  EXPECT_EQ(substrate_->receive(b, *channel).error(), Errc::would_block);
+}
+
+TEST_P(ConformanceTest, MessagesPreserveFifoOrder) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(substrate_->send(a, *channel,
+                                 to_bytes("m" + std::to_string(i)))
+                    .ok());
+  for (int i = 0; i < 5; ++i) {
+    auto msg = substrate_->receive(b, *channel);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(to_string(msg->data), "m" + std::to_string(i));
+  }
+}
+
+TEST_P(ConformanceTest, PolaUnknownChannelRefused) {
+  auto [a, b] = make_pair();
+  (void)b;
+  EXPECT_EQ(substrate_->send(a, /*channel=*/777, to_bytes("x")).error(),
+            Errc::no_such_channel);
+  EXPECT_EQ(substrate_->receive(a, 777).error(), Errc::no_such_channel);
+  EXPECT_EQ(substrate_->call(a, 777, to_bytes("x")).error(),
+            Errc::no_such_channel);
+}
+
+TEST_P(ConformanceTest, NonEndpointCannotUseChannel) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  // A domain id that is not an endpoint (may or may not exist).
+  const DomainId stranger = 424242;
+  EXPECT_EQ(substrate_->send(stranger, *channel, to_bytes("x")).error(),
+            Errc::access_denied);
+  EXPECT_EQ(substrate_->receive(stranger, *channel).error(),
+            Errc::access_denied);
+}
+
+TEST_P(ConformanceTest, MessageSizeLimitEnforced) {
+  auto [a, b] = make_pair();
+  ChannelSpec spec;
+  spec.max_message_bytes = 16;
+  auto channel = substrate_->create_channel(a, b, spec);
+  ASSERT_TRUE(channel.ok());
+  EXPECT_TRUE(substrate_->send(a, *channel, Bytes(16, 0)).ok());
+  EXPECT_EQ(substrate_->send(a, *channel, Bytes(17, 0)).error(),
+            Errc::invalid_argument);
+}
+
+TEST_P(ConformanceTest, CallInvokesHandlerWithBadge) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  auto expected_badge = substrate_->endpoint_badge(*channel, a);
+  ASSERT_TRUE(expected_badge.ok());
+
+  std::uint64_t seen_badge = 0;
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b,
+                                [&](const Invocation& invocation) -> Result<Bytes> {
+                                  seen_badge = invocation.badge;
+                                  Bytes reply = to_bytes("echo:");
+                                  reply.insert(reply.end(),
+                                               invocation.data.begin(),
+                                               invocation.data.end());
+                                  return reply;
+                                })
+                  .ok());
+  auto reply = substrate_->call(a, *channel, to_bytes("hi"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "echo:hi");
+  EXPECT_EQ(seen_badge, *expected_badge);
+}
+
+TEST_P(ConformanceTest, CallWithoutHandlerWouldBlock) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  EXPECT_EQ(substrate_->call(a, *channel, to_bytes("x")).error(),
+            Errc::would_block);
+}
+
+TEST_P(ConformanceTest, HandlerCanRefuse) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation&) -> Result<Bytes> {
+                    return Errc::access_denied;
+                  })
+                  .ok());
+  EXPECT_EQ(substrate_->call(a, *channel, to_bytes("x")).error(),
+            Errc::access_denied);
+}
+
+TEST_P(ConformanceTest, InvocationAdvancesTheClock) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation&) -> Result<Bytes> {
+                    return Bytes{};
+                  })
+                  .ok());
+  const Cycles before = machine_->now();
+  ASSERT_TRUE(substrate_->call(a, *channel, to_bytes("x")).ok());
+  EXPECT_GT(machine_->now(), before);
+}
+
+TEST_P(ConformanceTest, SealUnsealRoundTrip) {
+  if (!has_feature(features(), Feature::sealed_storage)) GTEST_SKIP();
+  auto domain = substrate_->create_domain(tc_spec("sealer"));
+  ASSERT_TRUE(domain.ok());
+  auto sealed = substrate_->seal(*domain, to_bytes("precious"));
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(sealed->size() > 7u, true);
+  auto opened = substrate_->unseal(*domain, *sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(to_string(*opened), "precious");
+}
+
+TEST_P(ConformanceTest, UnsealRejectsTamperedBlob) {
+  if (!has_feature(features(), Feature::sealed_storage)) GTEST_SKIP();
+  auto domain = substrate_->create_domain(tc_spec("sealer"));
+  ASSERT_TRUE(domain.ok());
+  auto sealed = substrate_->seal(*domain, to_bytes("precious"));
+  ASSERT_TRUE(sealed.ok());
+  (*sealed)[sealed->size() - 1] ^= 0x01;
+  EXPECT_EQ(substrate_->unseal(*domain, *sealed).error(),
+            Errc::verification_failed);
+}
+
+TEST_P(ConformanceTest, SealBindsCodeIdentity) {
+  if (!has_feature(features(), Feature::sealed_storage)) GTEST_SKIP();
+  auto first = substrate_->create_domain(tc_spec("identity-a"));
+  ASSERT_TRUE(first.ok());
+  auto sealed = substrate_->seal(*first, to_bytes("bound-secret"));
+  ASSERT_TRUE(sealed.ok());
+  // A different code identity on the same device must not unseal it.
+  // (Destroy first so two-domain-limited substrates can host the second.)
+  ASSERT_TRUE(substrate_->destroy_domain(*first).ok());
+  auto second = substrate_->create_domain(tc_spec("identity-b"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(substrate_->unseal(*second, *sealed).error(),
+            Errc::verification_failed);
+}
+
+TEST_P(ConformanceTest, SealedBlobsDifferPerDevice) {
+  if (!has_feature(features(), Feature::sealed_storage)) GTEST_SKIP();
+  auto domain = substrate_->create_domain(tc_spec("sealer"));
+  ASSERT_TRUE(domain.ok());
+  auto sealed = substrate_->seal(*domain, to_bytes("precious"));
+  ASSERT_TRUE(sealed.ok());
+
+  // Same code on a different machine cannot unseal: the key derives from
+  // that machine's fuses.
+  auto other_machine = test::make_machine("other-device");
+  auto other = test::shared_registry().create(GetParam(), *other_machine);
+  ASSERT_TRUE(other.ok());
+  auto twin = (*other)->create_domain(tc_spec("sealer"));
+  ASSERT_TRUE(twin.ok());
+  EXPECT_FALSE((*other)->unseal(*twin, *sealed).ok());
+}
+
+TEST_P(ConformanceTest, AttestationChainVerifies) {
+  if (!has_feature(features(), Feature::attestation)) GTEST_SKIP();
+  auto domain = substrate_->create_domain(tc_spec("prover"));
+  ASSERT_TRUE(domain.ok());
+  auto quote = substrate_->attest(*domain, to_bytes("challenge-data"));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_TRUE(quote->verify(test::shared_vendor().root_public_key()).ok());
+  EXPECT_EQ(quote->measurement, tc_spec("prover").image.measurement());
+  EXPECT_EQ(to_string(quote->user_data), "challenge-data");
+}
+
+TEST_P(ConformanceTest, QuoteRejectsWrongRoot) {
+  if (!has_feature(features(), Feature::attestation)) GTEST_SKIP();
+  auto domain = substrate_->create_domain(tc_spec("prover"));
+  ASSERT_TRUE(domain.ok());
+  auto quote = substrate_->attest(*domain, to_bytes("x"));
+  ASSERT_TRUE(quote.ok());
+  hw::Vendor imposter(/*seed=*/999, /*key_bits=*/512);
+  EXPECT_FALSE(quote->verify(imposter.root_public_key()).ok());
+}
+
+TEST_P(ConformanceTest, QuoteSerializationRoundTrip) {
+  if (!has_feature(features(), Feature::attestation)) GTEST_SKIP();
+  auto domain = substrate_->create_domain(tc_spec("prover"));
+  ASSERT_TRUE(domain.ok());
+  auto quote = substrate_->attest(*domain, to_bytes("ud"));
+  ASSERT_TRUE(quote.ok());
+  auto parsed = Quote::deserialize(quote->serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->substrate_name, quote->substrate_name);
+  EXPECT_EQ(parsed->measurement, quote->measurement);
+  EXPECT_TRUE(parsed->verify(test::shared_vendor().root_public_key()).ok());
+}
+
+TEST_P(ConformanceTest, TamperedQuoteRejected) {
+  if (!has_feature(features(), Feature::attestation)) GTEST_SKIP();
+  auto domain = substrate_->create_domain(tc_spec("prover"));
+  ASSERT_TRUE(domain.ok());
+  auto quote = substrate_->attest(*domain, to_bytes("ud"));
+  ASSERT_TRUE(quote.ok());
+  quote->measurement[0] ^= 0x01;  // claim different code identity
+  EXPECT_FALSE(quote->verify(test::shared_vendor().root_public_key()).ok());
+}
+
+TEST_P(ConformanceTest, SecureBootRejectsUnsignedCode) {
+  // Build a fresh substrate with a secure_boot launch policy.
+  crypto::HmacDrbg drbg(to_bytes("owner-key"));
+  const crypto::RsaKeyPair owner = crypto::RsaKeyPair::generate(drbg, 512);
+  auto machine = test::make_machine("secure-boot");
+  SubstrateConfig config;
+  config.launch_policy = LaunchPolicy::secure_boot;
+  config.owner_key = owner.pub;
+  auto substrate = test::shared_registry().create(GetParam(), *machine, config);
+  ASSERT_TRUE(substrate.ok());
+
+  DomainSpec unsigned_spec = tc_spec("unsigned");
+  EXPECT_EQ((*substrate)->create_domain(unsigned_spec).error(),
+            Errc::verification_failed);
+
+  DomainSpec signed_spec = tc_spec("signed");
+  signed_spec.image_signature = crypto::rsa_sign(owner, signed_spec.image.code);
+  EXPECT_TRUE((*substrate)->create_domain(signed_spec).ok());
+
+  DomainSpec badly_signed = tc_spec("badly-signed");
+  badly_signed.image_signature =
+      crypto::rsa_sign(owner, to_bytes("different code"));
+  EXPECT_EQ((*substrate)->create_domain(badly_signed).error(),
+            Errc::verification_failed);
+}
+
+TEST_P(ConformanceTest, AuthenticatedBootLogsEveryLaunch) {
+  auto machine = test::make_machine("auth-boot");
+  SubstrateConfig config;
+  config.launch_policy = LaunchPolicy::authenticated_boot;
+  auto substrate = test::shared_registry().create(GetParam(), *machine, config);
+  ASSERT_TRUE(substrate.ok());
+
+  const DomainSpec spec_a = tc_spec("first");
+  ASSERT_TRUE((*substrate)->create_domain(spec_a).ok());
+  // Unlike secure boot, nothing is rejected — only recorded. (Second domain
+  // is legacy where the substrate can host one, to respect SEP's
+  // two-environment limit.)
+  const DomainSpec spec_b =
+      has_feature((*substrate)->info().features, Feature::legacy_hosting)
+          ? legacy_spec("second")
+          : tc_spec("second");
+  ASSERT_TRUE((*substrate)->create_domain(spec_b).ok());
+
+  const auto& log = (*substrate)->boot_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], spec_a.image.measurement());
+  EXPECT_EQ(log[1], spec_b.image.measurement());
+}
+
+TEST_P(ConformanceTest, DomainIdsAreNeverReused) {
+  auto first = substrate_->create_domain(tc_spec("ephemeral"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(substrate_->destroy_domain(*first).ok());
+  auto second = substrate_->create_domain(tc_spec("ephemeral"));
+  ASSERT_TRUE(second.ok());
+  // A stale capability naming the dead domain must not alias the new one.
+  EXPECT_NE(*first, *second);
+  EXPECT_FALSE(substrate_->domain_spec(*first).ok());
+}
+
+TEST_P(ConformanceTest, MultipleChannelsBetweenSamePair) {
+  auto [a, b] = make_pair();
+  auto control = substrate_->create_channel(a, b);
+  auto data = substrate_->create_channel(a, b);
+  ASSERT_TRUE(control.ok());
+  ASSERT_TRUE(data.ok());
+  EXPECT_NE(*control, *data);
+  // Traffic does not bleed between them.
+  ASSERT_TRUE(substrate_->send(a, *control, to_bytes("ctl")).ok());
+  EXPECT_EQ(substrate_->receive(b, *data).error(), Errc::would_block);
+  auto msg = substrate_->receive(b, *control);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(to_string(msg->data), "ctl");
+  // Each channel has its own badges.
+  EXPECT_NE(*substrate_->endpoint_badge(*control, a),
+            *substrate_->endpoint_badge(*data, a));
+}
+
+TEST_P(ConformanceTest, HandlerReplacementTakesEffect) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation&) -> Result<Bytes> {
+                    return to_bytes("v1");
+                  })
+                  .ok());
+  EXPECT_EQ(to_string(*substrate_->call(a, *channel, {})), "v1");
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation&) -> Result<Bytes> {
+                    return to_bytes("v2");
+                  })
+                  .ok());
+  EXPECT_EQ(to_string(*substrate_->call(a, *channel, {})), "v2");
+}
+
+TEST_P(ConformanceTest, SealEmptyPayload) {
+  if (!has_feature(features(), Feature::sealed_storage)) GTEST_SKIP();
+  auto domain = substrate_->create_domain(tc_spec("sealer"));
+  ASSERT_TRUE(domain.ok());
+  auto sealed = substrate_->seal(*domain, {});
+  ASSERT_TRUE(sealed.ok());
+  auto opened = substrate_->unseal(*domain, *sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST_P(ConformanceTest, SealedBlobsAreNonDeterministic) {
+  if (!has_feature(features(), Feature::sealed_storage)) GTEST_SKIP();
+  auto domain = substrate_->create_domain(tc_spec("sealer"));
+  ASSERT_TRUE(domain.ok());
+  auto first = substrate_->seal(*domain, to_bytes("same data"));
+  auto second = substrate_->seal(*domain, to_bytes("same data"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Fresh nonce per seal: identical plaintexts must not produce identical
+  // blobs (a storage observer could otherwise correlate state).
+  EXPECT_NE(*first, *second);
+  EXPECT_TRUE(substrate_->unseal(*domain, *second).ok());
+}
+
+TEST_P(ConformanceTest, FeatureGatedOperationsReportNotSupported) {
+  // A substrate that lacks a feature must say so, not misbehave.
+  auto domain = substrate_->create_domain(tc_spec("probe"));
+  ASSERT_TRUE(domain.ok());
+  if (!has_feature(features(), Feature::sealed_storage)) {
+    EXPECT_EQ(substrate_->seal(*domain, to_bytes("x")).error(),
+              Errc::not_supported);
+  }
+  if (!has_feature(features(), Feature::attestation)) {
+    EXPECT_EQ(substrate_->attest(*domain, to_bytes("x")).error(),
+              Errc::not_supported);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubstrates, ConformanceTest,
+                         ::testing::Values("microkernel", "trustzone", "sgx",
+                                           "tpm", "ftpm", "sep", "cheri",
+                                           "noc"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace lateral::substrate

@@ -1,0 +1,54 @@
+// Shared fixtures: a process-wide test vendor (RSA keygen is the expensive
+// part) and machine/substrate factories.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/standard_registry.h"
+#include "crypto/hmac.h"
+#include "hw/machine.h"
+#include "substrate/substrate.h"
+
+namespace lateral::test {
+
+/// One vendor (root CA) for the whole test process.
+inline hw::Vendor& shared_vendor() {
+  static hw::Vendor vendor(/*seed=*/0x1a7e5a1, /*key_bits=*/512);
+  return vendor;
+}
+
+inline std::unique_ptr<hw::Machine> make_machine(
+    const std::string& name = "test-machine") {
+  hw::MachineConfig config;
+  config.name = name;
+  return std::make_unique<hw::Machine>(config, shared_vendor(),
+                                       to_bytes("boot-rom-v1"));
+}
+
+inline substrate::SubstrateRegistry& shared_registry() {
+  static substrate::SubstrateRegistry registry =
+      core::make_standard_registry();
+  return registry;
+}
+
+/// A small trusted-component spec.
+inline substrate::DomainSpec tc_spec(const std::string& name,
+                                     std::size_t pages = 2) {
+  substrate::DomainSpec spec;
+  spec.name = name;
+  spec.kind = substrate::DomainKind::trusted_component;
+  spec.image.name = name + "-image";
+  spec.image.code = to_bytes("code-of-" + name);
+  spec.memory_pages = pages;
+  return spec;
+}
+
+inline substrate::DomainSpec legacy_spec(const std::string& name,
+                                         std::size_t pages = 4) {
+  substrate::DomainSpec spec = tc_spec(name, pages);
+  spec.kind = substrate::DomainKind::legacy;
+  return spec;
+}
+
+}  // namespace lateral::test

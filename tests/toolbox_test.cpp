@@ -1,0 +1,278 @@
+// Toolbox components: k-anonymizer, gateway, password-less authenticator,
+// generic trusted wrapper (TrustedStore).
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "toolbox/anonymizer.h"
+#include "toolbox/authenticator.h"
+#include "toolbox/gateway.h"
+#include "toolbox/trusted_wrapper.h"
+
+namespace lateral::toolbox {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Anonymizer.
+TEST(Anonymizer, RequiresPositiveK) { EXPECT_THROW(Anonymizer(0), Error); }
+
+TEST(Anonymizer, BillingWorksPerHousehold) {
+  Anonymizer anonymizer(3);
+  ASSERT_TRUE(anonymizer.ingest({.household = 1, .bucket = 0, .kwh = 2.0}).ok());
+  ASSERT_TRUE(anonymizer.ingest({.household = 1, .bucket = 1, .kwh = 3.0}).ok());
+  ASSERT_TRUE(anonymizer.ingest({.household = 2, .bucket = 0, .kwh = 1.0}).ok());
+  EXPECT_DOUBLE_EQ(*anonymizer.billing_total(1), 5.0);
+  EXPECT_DOUBLE_EQ(*anonymizer.billing_total(2), 1.0);
+  EXPECT_FALSE(anonymizer.billing_total(99).ok());
+}
+
+TEST(Anonymizer, KAnonymityGateHoldsUntilKContributors) {
+  Anonymizer anonymizer(3);
+  ASSERT_TRUE(anonymizer.ingest({.household = 1, .bucket = 7, .kwh = 1.0}).ok());
+  ASSERT_TRUE(anonymizer.ingest({.household = 2, .bucket = 7, .kwh = 2.0}).ok());
+  // Two households: refused.
+  EXPECT_EQ(anonymizer.aggregate(7).error(), Errc::access_denied);
+  // Same household again does not count twice.
+  ASSERT_TRUE(anonymizer.ingest({.household = 2, .bucket = 7, .kwh = 2.0}).ok());
+  EXPECT_EQ(anonymizer.aggregate(7).error(), Errc::access_denied);
+  // Third distinct household opens the gate.
+  ASSERT_TRUE(anonymizer.ingest({.household = 3, .bucket = 7, .kwh = 3.0}).ok());
+  auto aggregate = anonymizer.aggregate(7);
+  ASSERT_TRUE(aggregate.ok());
+  EXPECT_EQ(aggregate->contributors, 3u);
+  EXPECT_DOUBLE_EQ(aggregate->total_kwh, 8.0);
+}
+
+TEST(Anonymizer, AnalystCannotGetHouseholdCurves) {
+  Anonymizer anonymizer(2);
+  ASSERT_TRUE(anonymizer.ingest({.household = 1, .bucket = 0, .kwh = 1.0}).ok());
+  EXPECT_EQ(anonymizer.analyst_query_household_curve(1).error(),
+            Errc::access_denied);
+}
+
+TEST(Anonymizer, RetentionDropsPerHouseholdData) {
+  Anonymizer anonymizer(2);
+  for (std::uint64_t h = 1; h <= 3; ++h)
+    ASSERT_TRUE(anonymizer
+                    .ingest({.household = h, .bucket = 0,
+                             .kwh = static_cast<double>(h)})
+                    .ok());
+  // Bucket 1 has only one household: it will be discarded, not released.
+  ASSERT_TRUE(anonymizer.ingest({.household = 1, .bucket = 1, .kwh = 9.0}).ok());
+
+  anonymizer.retain_only_aggregates();
+  EXPECT_FALSE(anonymizer.has_per_household_data());
+  ASSERT_EQ(anonymizer.retained().size(), 1u);
+  EXPECT_EQ(anonymizer.retained()[0].bucket, 0u);
+  EXPECT_FALSE(anonymizer.billing_total(1).ok());  // gone for good
+}
+
+TEST(Anonymizer, ReleasableOnlyListsOpenBuckets) {
+  Anonymizer anonymizer(2);
+  ASSERT_TRUE(anonymizer.ingest({.household = 1, .bucket = 0, .kwh = 1}).ok());
+  ASSERT_TRUE(anonymizer.ingest({.household = 2, .bucket = 0, .kwh = 1}).ok());
+  ASSERT_TRUE(anonymizer.ingest({.household = 1, .bucket = 1, .kwh = 1}).ok());
+  const auto releasable = anonymizer.releasable_aggregates();
+  ASSERT_EQ(releasable.size(), 1u);
+  EXPECT_EQ(releasable[0].bucket, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Gateway.
+GatewayPolicy meter_policy() {
+  GatewayPolicy policy;
+  policy.allowed_hosts = {"utility.example"};
+  policy.bucket_capacity_bytes = 1000;
+  policy.refill_bytes_per_megacycle = 500;
+  return policy;
+}
+
+TEST(Gateway, WhitelistEnforced) {
+  Gateway gateway(meter_policy());
+  EXPECT_TRUE(gateway.admit(1, "utility.example", 100, 0).ok());
+  EXPECT_EQ(gateway.admit(1, "ddos-victim.example", 100, 0).error(),
+            Errc::access_denied);
+  EXPECT_EQ(gateway.stats().blocked_host, 1u);
+}
+
+TEST(Gateway, TokenBucketThrottles) {
+  Gateway gateway(meter_policy());
+  ASSERT_TRUE(gateway.admit(1, "utility.example", 600, 0).ok());
+  ASSERT_TRUE(gateway.admit(1, "utility.example", 400, 0).ok());
+  // Bucket empty now.
+  EXPECT_EQ(gateway.admit(1, "utility.example", 1, 0).error(),
+            Errc::exhausted);
+  EXPECT_EQ(gateway.stats().throttled, 1u);
+}
+
+TEST(Gateway, BucketRefillsWithTime) {
+  Gateway gateway(meter_policy());
+  ASSERT_TRUE(gateway.admit(1, "utility.example", 1000, 0).ok());
+  EXPECT_FALSE(gateway.admit(1, "utility.example", 100, 0).ok());
+  // One megacycle later: 500 bytes refilled.
+  EXPECT_TRUE(gateway.admit(1, "utility.example", 400, 1'000'000).ok());
+  EXPECT_FALSE(gateway.admit(1, "utility.example", 400, 1'000'000).ok());
+}
+
+TEST(Gateway, BudgetsArePerClientBadge) {
+  Gateway gateway(meter_policy());
+  ASSERT_TRUE(gateway.admit(1, "utility.example", 1000, 0).ok());
+  EXPECT_FALSE(gateway.admit(1, "utility.example", 100, 0).ok());
+  // A different client (different badge) has its own bucket.
+  EXPECT_TRUE(gateway.admit(2, "utility.example", 100, 0).ok());
+}
+
+TEST(Gateway, PolicyUpdateTakesEffect) {
+  Gateway gateway(meter_policy());
+  EXPECT_FALSE(gateway.admit(1, "new-service.example", 10, 0).ok());
+  GatewayPolicy updated = meter_policy();
+  updated.allowed_hosts.insert("new-service.example");
+  gateway.set_policy(updated);
+  EXPECT_TRUE(gateway.admit(1, "new-service.example", 10, 0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Password-less authenticator.
+class AuthenticatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = test::make_machine("auth");
+    tz_ = *test::shared_registry().create("trustzone", *machine_);
+    device_ = *tz_->create_domain(test::tc_spec("metering"));
+    verifier_ = std::make_unique<core::AttestationVerifier>(to_bytes("v"));
+    verifier_->add_trusted_root(test::shared_vendor().root_public_key());
+    verifier_->expect_measurement(
+        "metering", test::tc_spec("metering").image.measurement());
+    auth_ = std::make_unique<PasswordlessAuthenticator>(
+        *verifier_, "metering", to_bytes("server-token-key"));
+  }
+
+  Result<SessionToken> login() {
+    const Bytes nonce = auth_->begin();
+    auto quote = core::respond_to_challenge(
+        *tz_, device_, nonce, to_bytes("lateral.toolbox.login.v1"));
+    if (!quote) return quote.error();
+    return auth_->complete(*quote, nonce);
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<substrate::IsolationSubstrate> tz_;
+  substrate::DomainId device_ = 0;
+  std::unique_ptr<core::AttestationVerifier> verifier_;
+  std::unique_ptr<PasswordlessAuthenticator> auth_;
+};
+
+TEST_F(AuthenticatorTest, DeviceLogsInWithoutAnyCredential) {
+  auto token = login();
+  ASSERT_TRUE(token.ok());
+  EXPECT_TRUE(auth_->validate(token->token).ok());
+  EXPECT_EQ(auth_->active_sessions(), 1u);
+}
+
+TEST_F(AuthenticatorTest, ForgedTokensRejected) {
+  auto token = login();
+  ASSERT_TRUE(token.ok());
+  Bytes forged = token->token;
+  forged[12] ^= 0x01;
+  EXPECT_EQ(auth_->validate(forged).error(), Errc::verification_failed);
+  EXPECT_FALSE(auth_->validate(Bytes(40, 0)).ok());
+  EXPECT_FALSE(auth_->validate(Bytes(5, 0)).ok());
+}
+
+TEST_F(AuthenticatorTest, RevocationKillsToken) {
+  auto token = login();
+  ASSERT_TRUE(token.ok());
+  ASSERT_TRUE(auth_->revoke(token->serial).ok());
+  EXPECT_FALSE(auth_->validate(token->token).ok());
+  EXPECT_FALSE(auth_->revoke(token->serial).ok());
+}
+
+TEST_F(AuthenticatorTest, ReplayedQuoteCannotLoginTwice) {
+  const Bytes nonce = auth_->begin();
+  auto quote = core::respond_to_challenge(
+      *tz_, device_, nonce, to_bytes("lateral.toolbox.login.v1"));
+  ASSERT_TRUE(quote.ok());
+  ASSERT_TRUE(auth_->complete(*quote, nonce).ok());
+  // A network eavesdropper replays the login exchange: the nonce is spent.
+  EXPECT_FALSE(auth_->complete(*quote, nonce).ok());
+}
+
+TEST_F(AuthenticatorTest, WrongDeviceComponentRejected) {
+  auto imposter = tz_->create_domain(test::tc_spec("not-metering"));
+  ASSERT_TRUE(imposter.ok());
+  const Bytes nonce = auth_->begin();
+  auto quote = core::respond_to_challenge(
+      *tz_, *imposter, nonce, to_bytes("lateral.toolbox.login.v1"));
+  ASSERT_TRUE(quote.ok());
+  EXPECT_FALSE(auth_->complete(*quote, nonce).ok());
+}
+
+// ---------------------------------------------------------------------------
+// TrustedStore (generic trusted wrapper).
+class TrustedStoreTest : public ::testing::Test {
+ protected:
+  TrustedStoreTest() : os_("cloud-os"), store_(os_, to_bytes("store-key")) {
+    (void)TrustedStore::register_backend(os_);
+  }
+  legacy::LegacyOs os_;
+  TrustedStore store_;
+};
+
+TEST_F(TrustedStoreTest, PutGetRoundTrip) {
+  ASSERT_TRUE(store_.put("config", to_bytes("timeout=30")).ok());
+  auto value = store_.get("config");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(to_string(*value), "timeout=30");
+}
+
+TEST_F(TrustedStoreTest, OverwriteServesLatest) {
+  ASSERT_TRUE(store_.put("k", to_bytes("v1")).ok());
+  ASSERT_TRUE(store_.put("k", to_bytes("v2")).ok());
+  EXPECT_EQ(to_string(*store_.get("k")), "v2");
+}
+
+TEST_F(TrustedStoreTest, NoPlaintextInLegacyStorage) {
+  ASSERT_TRUE(store_.put("secret", to_bytes("password=hunter2")).ok());
+  auto raw = os_.filesystem().snoop("/kv/secret");
+  ASSERT_TRUE(raw.ok());
+  const Bytes needle = to_bytes("hunter2");
+  EXPECT_EQ(std::search(raw->begin(), raw->end(), needle.begin(),
+                        needle.end()),
+            raw->end());
+}
+
+TEST_F(TrustedStoreTest, TamperedRepliesVetoed) {
+  ASSERT_TRUE(store_.put("k", to_bytes("value")).ok());
+  os_.compromise(legacy::MaliciousMode::tamper_replies);
+  EXPECT_EQ(store_.get("k").error(), Errc::tamper_detected);
+  EXPECT_GE(store_.stats().vetoed_replies, 1u);
+}
+
+TEST_F(TrustedStoreTest, RollbackToStaleValueVetoed) {
+  ASSERT_TRUE(store_.put("balance", to_bytes("1000")).ok());
+  ASSERT_TRUE(os_.filesystem().snapshot("/kv/balance").ok());
+  ASSERT_TRUE(store_.put("balance", to_bytes("0")).ok());
+  // The compromised FS rolls the file back to the (authentic!) old value.
+  ASSERT_TRUE(os_.filesystem().rollback("/kv/balance").ok());
+  EXPECT_EQ(store_.get("balance").error(), Errc::tamper_detected);
+}
+
+TEST_F(TrustedStoreTest, CrossKeySubstitutionVetoed) {
+  ASSERT_TRUE(store_.put("alice", to_bytes("alice-data")).ok());
+  ASSERT_TRUE(store_.put("bob", to_bytes("bob-data")).ok());
+  // The legacy side serves bob's (authentic) blob for alice's key.
+  auto bob_raw = os_.filesystem().snoop("/kv/bob");
+  ASSERT_TRUE(bob_raw.ok());
+  (void)os_.filesystem().truncate("/kv/alice", 0);
+  ASSERT_TRUE(os_.filesystem().write("/kv/alice", 0, *bob_raw).ok());
+  EXPECT_EQ(store_.get("alice").error(), Errc::tamper_detected);
+}
+
+TEST_F(TrustedStoreTest, RefusalOnMissingService) {
+  legacy::LegacyOs bare("no-services");
+  TrustedStore store(bare, to_bytes("k"));
+  EXPECT_EQ(store.put("k", to_bytes("v")).error(), Errc::io_error);
+  EXPECT_EQ(store.get("k").error(), Errc::io_error);
+}
+
+}  // namespace
+}  // namespace lateral::toolbox

@@ -1,0 +1,276 @@
+// TrustZone specifics: world asymmetry, single normal world, secondary
+// isolation in the secure world, Knox-style measurement, plaintext DRAM.
+#include <gtest/gtest.h>
+
+#include "hw/attacker.h"
+#include "test_support.h"
+#include "trustzone/trustzone.h"
+
+namespace lateral::trustzone {
+namespace {
+
+using test::legacy_spec;
+using test::tc_spec;
+
+class TrustZoneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = test::make_machine("tz");
+    tz_ = std::make_unique<TrustZone>(*machine_,
+                                      substrate::SubstrateConfig{});
+  }
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<TrustZone> tz_;
+};
+
+TEST_F(TrustZoneTest, TrustedComponentsLandInSecureWorld) {
+  auto tc = tz_->create_domain(tc_spec("keymaster"));
+  ASSERT_TRUE(tc.ok());
+  auto secure = tz_->is_secure_world(*tc);
+  ASSERT_TRUE(secure.ok());
+  EXPECT_TRUE(*secure);
+
+  auto legacy = tz_->create_domain(legacy_spec("android"));
+  ASSERT_TRUE(legacy.ok());
+  auto normal = tz_->is_secure_world(*legacy);
+  ASSERT_TRUE(normal.ok());
+  EXPECT_FALSE(*normal);
+}
+
+TEST_F(TrustZoneTest, OnlyOneNormalWorld) {
+  // "The normal world can host exactly one legacy codebase, because
+  // TrustZone itself does not support multiplexing."
+  ASSERT_TRUE(tz_->create_domain(legacy_spec("android")).ok());
+  EXPECT_EQ(tz_->create_domain(legacy_spec("second-os")).error(),
+            Errc::exhausted);
+}
+
+TEST_F(TrustZoneTest, NormalWorldSlotFreedOnDestroy) {
+  auto first = tz_->create_domain(legacy_spec("android"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(tz_->destroy_domain(*first).ok());
+  EXPECT_TRUE(tz_->create_domain(legacy_spec("replacement")).ok());
+}
+
+TEST_F(TrustZoneTest, MultipleTrustedComponentsShareSecureWorld) {
+  EXPECT_TRUE(tz_->create_domain(tc_spec("crypto")).ok());
+  EXPECT_TRUE(tz_->create_domain(tc_spec("drm")).ok());
+  EXPECT_TRUE(tz_->create_domain(tc_spec("attest")).ok());
+}
+
+TEST_F(TrustZoneTest, WorldAsymmetry) {
+  // Secure world reads/writes normal world; never the reverse.
+  auto tc = tz_->create_domain(tc_spec("inspector"));
+  auto legacy = tz_->create_domain(legacy_spec("android"));
+  ASSERT_TRUE(tc.ok());
+  ASSERT_TRUE(legacy.ok());
+
+  ASSERT_TRUE(
+      tz_->write_memory(*legacy, *legacy, 0, to_bytes("normal-data")).ok());
+  auto peek = tz_->read_memory(*tc, *legacy, 0, 11);
+  ASSERT_TRUE(peek.ok());
+  EXPECT_EQ(to_string(*peek), "normal-data");
+  EXPECT_TRUE(tz_->write_memory(*tc, *legacy, 0, to_bytes("patched")).ok());
+
+  ASSERT_TRUE(tz_->write_memory(*tc, *tc, 0, to_bytes("secure-key")).ok());
+  EXPECT_EQ(tz_->read_memory(*legacy, *tc, 0, 10).error(),
+            Errc::access_denied);
+  EXPECT_EQ(tz_->write_memory(*legacy, *tc, 0, to_bytes("x")).error(),
+            Errc::access_denied);
+}
+
+TEST_F(TrustZoneTest, SecondaryIsolationProtectsTrustlets) {
+  auto a = tz_->create_domain(tc_spec("trustlet-a"));
+  auto b = tz_->create_domain(tc_spec("trustlet-b"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(tz_->write_memory(*a, *a, 0, to_bytes("a-secret")).ok());
+  // With a well-built secure-world OS, trustlets are mutually isolated.
+  EXPECT_EQ(tz_->read_memory(*b, *a, 0, 8).error(), Errc::access_denied);
+}
+
+TEST_F(TrustZoneTest, WithoutSecondaryIsolationTrustletsShareFate) {
+  // "Multiple trusted components may share the secure world, but then they
+  // rely on secondary isolation by the secure world operating system."
+  auto machine = test::make_machine("tz-weak");
+  TrustZone weak(*machine, substrate::SubstrateConfig{},
+                 /*secure_world_isolation=*/false);
+  auto a = weak.create_domain(tc_spec("trustlet-a"));
+  auto b = weak.create_domain(tc_spec("trustlet-b"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(weak.write_memory(*a, *a, 0, to_bytes("a-secret")).ok());
+  auto stolen = weak.read_memory(*b, *a, 0, 8);
+  ASSERT_TRUE(stolen.ok());  // compromise of b reaches a
+  EXPECT_EQ(to_string(*stolen), "a-secret");
+}
+
+TEST_F(TrustZoneTest, NormalWorldCannotAttestOrSeal) {
+  auto legacy = tz_->create_domain(legacy_spec("android"));
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(tz_->attest(*legacy, to_bytes("x")).error(), Errc::access_denied);
+  EXPECT_EQ(tz_->seal(*legacy, to_bytes("x")).error(), Errc::access_denied);
+}
+
+TEST_F(TrustZoneTest, KnoxStyleNormalWorldMeasurement) {
+  auto tc = tz_->create_domain(tc_spec("ima"));
+  auto legacy = tz_->create_domain(legacy_spec("android"));
+  ASSERT_TRUE(tc.ok());
+  ASSERT_TRUE(legacy.ok());
+
+  auto baseline = tz_->measure_normal_world(*tc);
+  ASSERT_TRUE(baseline.ok());
+  auto again = tz_->measure_normal_world(*tc);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*baseline, *again);  // stable while untouched
+
+  // A kernel intrusion (memory change) shows up in the measurement.
+  ASSERT_TRUE(
+      tz_->write_memory(*legacy, *legacy, 64, to_bytes("rootkit")).ok());
+  auto after = tz_->measure_normal_world(*tc);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(*baseline, *after);
+}
+
+TEST_F(TrustZoneTest, NormalWorldCannotRunMeasurement) {
+  auto legacy = tz_->create_domain(legacy_spec("android"));
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(tz_->measure_normal_world(*legacy).error(), Errc::access_denied);
+}
+
+TEST_F(TrustZoneTest, SecureWorldDramIsPlaintextToPhysicalAttacker) {
+  // TrustZone protects against software, not the memory bus (§II-D).
+  auto tc = tz_->create_domain(tc_spec("keymaster"));
+  ASSERT_TRUE(tc.ok());
+  ASSERT_TRUE(
+      tz_->write_memory(*tc, *tc, 0, to_bytes("TZ-SECURE-SECRET")).ok());
+  hw::PhysicalAttacker attacker(*machine_);
+  EXPECT_FALSE(
+      attacker.scan(machine_->dram(), to_bytes("TZ-SECURE-SECRET")).empty());
+}
+
+TEST_F(TrustZoneTest, HypervisorMultiplexesNormalWorlds) {
+  // §II-B: "TrustZone can be combined with virtualization techniques to
+  // host multiple normal world operating systems" — the Simko3
+  // "Merkel-Phone": private and business Android side by side.
+  auto machine = test::make_machine("simko3");
+  TrustZone phone(*machine, substrate::SubstrateConfig{},
+                  TrustZoneOptions{.hypervisor = true});
+  auto private_android = phone.create_domain(legacy_spec("android-private"));
+  auto business_android = phone.create_domain(legacy_spec("android-business"));
+  ASSERT_TRUE(private_android.ok());
+  ASSERT_TRUE(business_android.ok());
+
+  // The two VMs are mutually isolated.
+  ASSERT_TRUE(phone
+                  .write_memory(*private_android, *private_android, 0,
+                                to_bytes("private-photos"))
+                  .ok());
+  EXPECT_EQ(phone.read_memory(*business_android, *private_android, 0, 14)
+                .error(),
+            Errc::access_denied);
+
+  // The hypervisor is part of the isolation substrate: bigger TCB than
+  // plain TrustZone.
+  auto machine2 = test::make_machine("plain-tz");
+  TrustZone plain(*machine2, substrate::SubstrateConfig{});
+  EXPECT_GT(phone.info().tcb_loc, plain.info().tcb_loc);
+}
+
+TEST_F(TrustZoneTest, HypervisorAddsVmExitToll) {
+  auto machine = test::make_machine("tz-hyp-cost");
+  TrustZone phone(*machine, substrate::SubstrateConfig{},
+                  TrustZoneOptions{.hypervisor = true});
+  auto machine2 = test::make_machine("tz-plain-cost");
+  TrustZone plain(*machine2, substrate::SubstrateConfig{});
+  // message_cost is public on the unified interface.
+  const substrate::IsolationSubstrate& phone_api = phone;
+  const substrate::IsolationSubstrate& plain_api = plain;
+  EXPECT_GT(phone_api.message_cost(64), plain_api.message_cost(64));
+}
+
+TEST_F(TrustZoneTest, SoftwareMemoryEncryptionHidesSecureWorld) {
+  // §II-D: "SGX-style memory encryption could be implemented using for
+  // example ARM TrustZone" — scratchpad-keyed software MEE.
+  auto machine = test::make_machine("tz-swmee");
+  TrustZone tz(*machine, substrate::SubstrateConfig{},
+               TrustZoneOptions{.software_memory_encryption = true});
+  auto tc = tz.create_domain(tc_spec("keymaster", 1));
+  ASSERT_TRUE(tc.ok());
+  ASSERT_TRUE(
+      tz.write_memory(*tc, *tc, 0, to_bytes("SWMEE-PROTECTED-KEY")).ok());
+
+  // The physical attacker now sees only ciphertext...
+  hw::PhysicalAttacker attacker(*machine);
+  EXPECT_TRUE(
+      attacker.scan(machine->dram(), to_bytes("SWMEE-PROTECTED-KEY")).empty());
+  // ...and the secure world still reads its plaintext.
+  auto read = tz.read_memory(*tc, *tc, 0, 19);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(to_string(*read), "SWMEE-PROTECTED-KEY");
+  // The substrate's contract upgrades accordingly.
+  EXPECT_TRUE(tz.info().defends(substrate::AttackerModel::physical_bus));
+  EXPECT_TRUE(has_feature(tz.info().features,
+                          substrate::Feature::memory_encryption));
+}
+
+TEST_F(TrustZoneTest, SoftwareMeeDetectsBusTampering) {
+  auto machine = test::make_machine("tz-swmee-tamper");
+  TrustZone tz(*machine, substrate::SubstrateConfig{},
+               TrustZoneOptions{.software_memory_encryption = true});
+  auto tc = tz.create_domain(tc_spec("keymaster", 1));
+  ASSERT_TRUE(tc.ok());
+  ASSERT_TRUE(tz.write_memory(*tc, *tc, 0, to_bytes("keys")).ok());
+  auto frames = tz.domain_frames(*tc);
+  ASSERT_TRUE(frames.ok());
+
+  hw::PhysicalAttacker attacker(*machine);
+  auto probed = attacker.probe((*frames)[0], 4);
+  ASSERT_TRUE(probed.ok());
+  for (auto& b : *probed) b ^= 0xFF;
+  ASSERT_TRUE(attacker.tamper((*frames)[0], *probed).ok());
+  EXPECT_EQ(tz.read_memory(*tc, *tc, 0, 4).error(), Errc::tamper_detected);
+}
+
+TEST_F(TrustZoneTest, SoftwareMeeCostsMoreThanPlain) {
+  auto machine_enc = test::make_machine("tz-enc-cost");
+  TrustZone enc(*machine_enc, substrate::SubstrateConfig{},
+                TrustZoneOptions{.software_memory_encryption = true});
+  auto machine_plain = test::make_machine("tz-plain2");
+  TrustZone plain(*machine_plain, substrate::SubstrateConfig{});
+
+  auto tc_enc = enc.create_domain(tc_spec("a", 1));
+  auto tc_plain = plain.create_domain(tc_spec("a", 1));
+  ASSERT_TRUE(tc_enc.ok());
+  ASSERT_TRUE(tc_plain.ok());
+
+  const Bytes data(1024, 0x5A);
+  const Cycles enc_before = machine_enc->now();
+  ASSERT_TRUE(enc.write_memory(*tc_enc, *tc_enc, 0, data).ok());
+  const Cycles enc_cost = machine_enc->now() - enc_before;
+  const Cycles plain_before = machine_plain->now();
+  ASSERT_TRUE(plain.write_memory(*tc_plain, *tc_plain, 0, data).ok());
+  const Cycles plain_cost = machine_plain->now() - plain_before;
+  EXPECT_GT(enc_cost, plain_cost * 2);
+}
+
+TEST_F(TrustZoneTest, InvocationPaysWorldSwitch) {
+  auto tc = tz_->create_domain(tc_spec("service"));
+  auto legacy = tz_->create_domain(legacy_spec("android"));
+  ASSERT_TRUE(tc.ok());
+  ASSERT_TRUE(legacy.ok());
+  auto channel = tz_->create_channel(*legacy, *tc);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(tz_
+                  ->set_handler(*tc, [](const substrate::Invocation&)
+                                    -> Result<Bytes> { return Bytes{}; })
+                  .ok());
+  const Cycles before = machine_->now();
+  ASSERT_TRUE(tz_->call(*legacy, *channel, to_bytes("smc")).ok());
+  // Round trip: two one-way messages, each >= one SMC world switch.
+  EXPECT_GE(machine_->now() - before,
+            2 * machine_->costs().smc_world_switch);
+}
+
+}  // namespace
+}  // namespace lateral::trustzone

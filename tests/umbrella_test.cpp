@@ -1,0 +1,28 @@
+// Compile-and-smoke test of the umbrella header: everything is reachable
+// through one include, with no conflicts between subsystem headers.
+#include "lateral.h"
+
+#include <gtest/gtest.h>
+
+namespace lateral {
+namespace {
+
+TEST(Umbrella, EverythingLinksTogether) {
+  hw::Vendor vendor(/*seed=*/0xBEEF, /*key_bits=*/512);
+  hw::Machine machine(hw::MachineConfig{.name = "umbrella"}, vendor,
+                      to_bytes("rom"));
+  auto registry = core::make_standard_registry();
+  EXPECT_EQ(registry.names().size(), 8u);
+
+  auto substrate = registry.create("microkernel", machine);
+  ASSERT_TRUE(substrate.ok());
+  substrate::DomainSpec spec;
+  spec.name = "probe";
+  spec.image = {"probe", to_bytes("code")};
+  auto domain = (*substrate)->create_domain(spec);
+  ASSERT_TRUE(domain.ok());
+  EXPECT_TRUE((*substrate)->seal(*domain, to_bytes("x")).ok());
+}
+
+}  // namespace
+}  // namespace lateral

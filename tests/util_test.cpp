@@ -1,0 +1,173 @@
+// Unit tests for lateral::util — hex codec, Result/Status, PRNG, tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/hex.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/types.h"
+
+namespace lateral {
+namespace {
+
+TEST(Hex, EncodesKnownBytes) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(util::to_hex(data), "0001abff");
+}
+
+TEST(Hex, EncodesEmpty) { EXPECT_EQ(util::to_hex(Bytes{}), ""); }
+
+TEST(Hex, DecodesLowerAndUpperCase) {
+  auto lower = util::from_hex("deadbeef");
+  auto upper = util::from_hex("DEADBEEF");
+  ASSERT_TRUE(lower.ok());
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(*lower, *upper);
+  EXPECT_EQ((*lower)[0], 0xde);
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_EQ(util::from_hex("abc").error(), Errc::invalid_argument);
+}
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_EQ(util::from_hex("zz").error(), Errc::invalid_argument);
+}
+
+TEST(Hex, RoundTrips) {
+  util::Xoshiro rng(42);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes data = rng.bytes(i);
+    auto round = util::from_hex(util::to_hex(data));
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ(*round, data);
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.error(), Errc::ok);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Errc::access_denied);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errc::access_denied);
+  EXPECT_EQ(r.value_or(9), 9);
+}
+
+TEST(Result, ValueOnErrorThrows) {
+  Result<int> r(Errc::exhausted);
+  EXPECT_THROW(r.value(), Error);
+}
+
+TEST(Result, ConstructingFromOkThrows) {
+  EXPECT_THROW(Result<int>(Errc::ok), Error);
+}
+
+TEST(Status, DefaultIsSuccess) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  Status s(Errc::tamper_detected);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error(), Errc::tamper_detected);
+}
+
+TEST(Errc, NamesAreStable) {
+  EXPECT_EQ(errc_name(Errc::ok), "ok");
+  EXPECT_EQ(errc_name(Errc::tamper_detected), "tamper_detected");
+  EXPECT_EQ(errc_name(Errc::policy_violation), "policy_violation");
+}
+
+TEST(CtEqual, EqualAndUnequal) {
+  const Bytes a = to_bytes("secret");
+  const Bytes b = to_bytes("secret");
+  const Bytes c = to_bytes("secreT");
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, to_bytes("secre")));
+}
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  util::Xoshiro a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  util::Xoshiro a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro, BelowRespectsBound) {
+  util::Xoshiro rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Xoshiro, BelowCoversRange) {
+  util::Xoshiro rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  util::Xoshiro rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, BytesLength) {
+  util::Xoshiro rng(5);
+  EXPECT_EQ(rng.bytes(0).size(), 0u);
+  EXPECT_EQ(rng.bytes(7).size(), 7u);
+  EXPECT_EQ(rng.bytes(64).size(), 64u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  util::Table table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  util::Table table({"one", "two"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(util::Table({}), Error);
+}
+
+TEST(Table, FormatsCycles) {
+  EXPECT_EQ(util::fmt_cycles(0), "0");
+  EXPECT_EQ(util::fmt_cycles(999), "999");
+  EXPECT_EQ(util::fmt_cycles(1234567), "1,234,567");
+}
+
+TEST(Table, FormatsRatio) { EXPECT_EQ(util::fmt_ratio(2.5), "2.50x"); }
+
+TEST(TypesBytes, StringRoundTrip) {
+  EXPECT_EQ(to_string(to_bytes("hello")), "hello");
+  EXPECT_EQ(to_bytes("").size(), 0u);
+}
+
+}  // namespace
+}  // namespace lateral
