@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_invocation.dir/bench_fig2_invocation.cpp.o"
+  "CMakeFiles/bench_fig2_invocation.dir/bench_fig2_invocation.cpp.o.d"
+  "bench_fig2_invocation"
+  "bench_fig2_invocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_invocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

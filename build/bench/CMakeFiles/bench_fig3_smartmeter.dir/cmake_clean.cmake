@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_smartmeter.dir/bench_fig3_smartmeter.cpp.o"
+  "CMakeFiles/bench_fig3_smartmeter.dir/bench_fig3_smartmeter.cpp.o.d"
+  "bench_fig3_smartmeter"
+  "bench_fig3_smartmeter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_smartmeter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

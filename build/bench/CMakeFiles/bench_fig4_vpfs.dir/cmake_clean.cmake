@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_vpfs.dir/bench_fig4_vpfs.cpp.o"
+  "CMakeFiles/bench_fig4_vpfs.dir/bench_fig4_vpfs.cpp.o.d"
+  "bench_fig4_vpfs"
+  "bench_fig4_vpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_vpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

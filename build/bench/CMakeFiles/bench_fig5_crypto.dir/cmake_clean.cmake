@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_crypto.dir/bench_fig5_crypto.cpp.o"
+  "CMakeFiles/bench_fig5_crypto.dir/bench_fig5_crypto.cpp.o.d"
+  "bench_fig5_crypto"
+  "bench_fig5_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

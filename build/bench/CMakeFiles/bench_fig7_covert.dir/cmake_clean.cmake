@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_covert.dir/bench_fig7_covert.cpp.o"
+  "CMakeFiles/bench_fig7_covert.dir/bench_fig7_covert.cpp.o.d"
+  "bench_fig7_covert"
+  "bench_fig7_covert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_covert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

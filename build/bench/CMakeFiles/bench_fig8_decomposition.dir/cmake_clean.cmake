@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_decomposition.dir/bench_fig8_decomposition.cpp.o"
+  "CMakeFiles/bench_fig8_decomposition.dir/bench_fig8_decomposition.cpp.o.d"
+  "bench_fig8_decomposition"
+  "bench_fig8_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

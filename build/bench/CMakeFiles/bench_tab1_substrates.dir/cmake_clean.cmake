@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_substrates.dir/bench_tab1_substrates.cpp.o"
+  "CMakeFiles/bench_tab1_substrates.dir/bench_tab1_substrates.cpp.o.d"
+  "bench_tab1_substrates"
+  "bench_tab1_substrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

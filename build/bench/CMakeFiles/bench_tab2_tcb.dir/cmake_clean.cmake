@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_tcb.dir/bench_tab2_tcb.cpp.o"
+  "CMakeFiles/bench_tab2_tcb.dir/bench_tab2_tcb.cpp.o.d"
+  "bench_tab2_tcb"
+  "bench_tab2_tcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_tcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_enclave.dir/cloud_enclave.cpp.o"
+  "CMakeFiles/cloud_enclave.dir/cloud_enclave.cpp.o.d"
+  "cloud_enclave"
+  "cloud_enclave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_enclave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_client.dir/email_client.cpp.o"
+  "CMakeFiles/email_client.dir/email_client.cpp.o.d"
+  "email_client"
+  "email_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/smart_meter.cpp" "examples/CMakeFiles/smart_meter.dir/smart_meter.cpp.o" "gcc" "examples/CMakeFiles/smart_meter.dir/smart_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/toolbox/CMakeFiles/lateral_toolbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/mail/CMakeFiles/lateral_mail.dir/DependInfo.cmake"
+  "/root/repo/build/src/vpfs/CMakeFiles/lateral_vpfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gui/CMakeFiles/lateral_gui.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lateral_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lateral_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/microkernel/CMakeFiles/lateral_microkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftpm/CMakeFiles/lateral_ftpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/lateral_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trustzone/CMakeFiles/lateral_trustzone.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/lateral_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/sep/CMakeFiles/lateral_sep.dir/DependInfo.cmake"
+  "/root/repo/build/src/cheri/CMakeFiles/lateral_cheri.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/lateral_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/substrate/CMakeFiles/lateral_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/lateral_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/legacy/CMakeFiles/lateral_legacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lateral_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lateral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_meter.dir/smart_meter.cpp.o"
+  "CMakeFiles/smart_meter.dir/smart_meter.cpp.o.d"
+  "smart_meter"
+  "smart_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

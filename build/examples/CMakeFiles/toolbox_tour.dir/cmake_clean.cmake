@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolbox_tour.dir/toolbox_tour.cpp.o"
+  "CMakeFiles/toolbox_tour.dir/toolbox_tour.cpp.o.d"
+  "toolbox_tour"
+  "toolbox_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolbox_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_androids.dir/two_androids.cpp.o"
+  "CMakeFiles/two_androids.dir/two_androids.cpp.o.d"
+  "two_androids"
+  "two_androids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_androids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("hw")
+subdirs("substrate")
+subdirs("microkernel")
+subdirs("tpm")
+subdirs("ftpm")
+subdirs("trustzone")
+subdirs("sgx")
+subdirs("sep")
+subdirs("cheri")
+subdirs("noc")
+subdirs("legacy")
+subdirs("core")
+subdirs("toolbox")
+subdirs("mail")
+subdirs("vpfs")
+subdirs("gui")
+subdirs("net")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_cheri.dir/cheri.cpp.o"
+  "CMakeFiles/lateral_cheri.dir/cheri.cpp.o.d"
+  "liblateral_cheri.a"
+  "liblateral_cheri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_cheri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_core.dir/attestation.cpp.o"
+  "CMakeFiles/lateral_core.dir/attestation.cpp.o.d"
+  "CMakeFiles/lateral_core.dir/composer.cpp.o"
+  "CMakeFiles/lateral_core.dir/composer.cpp.o.d"
+  "CMakeFiles/lateral_core.dir/launch.cpp.o"
+  "CMakeFiles/lateral_core.dir/launch.cpp.o.d"
+  "CMakeFiles/lateral_core.dir/manifest.cpp.o"
+  "CMakeFiles/lateral_core.dir/manifest.cpp.o.d"
+  "CMakeFiles/lateral_core.dir/policy.cpp.o"
+  "CMakeFiles/lateral_core.dir/policy.cpp.o.d"
+  "CMakeFiles/lateral_core.dir/standard_registry.cpp.o"
+  "CMakeFiles/lateral_core.dir/standard_registry.cpp.o.d"
+  "CMakeFiles/lateral_core.dir/tcb.cpp.o"
+  "CMakeFiles/lateral_core.dir/tcb.cpp.o.d"
+  "CMakeFiles/lateral_core.dir/trust_graph.cpp.o"
+  "CMakeFiles/lateral_core.dir/trust_graph.cpp.o.d"
+  "liblateral_core.a"
+  "liblateral_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

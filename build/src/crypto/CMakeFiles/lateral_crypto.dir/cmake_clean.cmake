@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_crypto.dir/aes.cpp.o"
+  "CMakeFiles/lateral_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/lateral_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/lateral_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/lateral_crypto.dir/dh.cpp.o"
+  "CMakeFiles/lateral_crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/lateral_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/lateral_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/lateral_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/lateral_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/lateral_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/lateral_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/lateral_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/lateral_crypto.dir/sha256.cpp.o.d"
+  "liblateral_crypto.a"
+  "liblateral_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_ftpm.dir/ftpm.cpp.o"
+  "CMakeFiles/lateral_ftpm.dir/ftpm.cpp.o.d"
+  "liblateral_ftpm.a"
+  "liblateral_ftpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_ftpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_gui.dir/secure_gui.cpp.o"
+  "CMakeFiles/lateral_gui.dir/secure_gui.cpp.o.d"
+  "liblateral_gui.a"
+  "liblateral_gui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_gui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_hw.dir/attacker.cpp.o"
+  "CMakeFiles/lateral_hw.dir/attacker.cpp.o.d"
+  "CMakeFiles/lateral_hw.dir/iommu.cpp.o"
+  "CMakeFiles/lateral_hw.dir/iommu.cpp.o.d"
+  "CMakeFiles/lateral_hw.dir/machine.cpp.o"
+  "CMakeFiles/lateral_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/lateral_hw.dir/memory.cpp.o"
+  "CMakeFiles/lateral_hw.dir/memory.cpp.o.d"
+  "liblateral_hw.a"
+  "liblateral_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/legacy/filesystem.cpp" "src/legacy/CMakeFiles/lateral_legacy.dir/filesystem.cpp.o" "gcc" "src/legacy/CMakeFiles/lateral_legacy.dir/filesystem.cpp.o.d"
+  "/root/repo/src/legacy/legacy_os.cpp" "src/legacy/CMakeFiles/lateral_legacy.dir/legacy_os.cpp.o" "gcc" "src/legacy/CMakeFiles/lateral_legacy.dir/legacy_os.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lateral_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lateral_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_legacy.dir/filesystem.cpp.o"
+  "CMakeFiles/lateral_legacy.dir/filesystem.cpp.o.d"
+  "CMakeFiles/lateral_legacy.dir/legacy_os.cpp.o"
+  "CMakeFiles/lateral_legacy.dir/legacy_os.cpp.o.d"
+  "liblateral_legacy.a"
+  "liblateral_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_mail.dir/addressbook.cpp.o"
+  "CMakeFiles/lateral_mail.dir/addressbook.cpp.o.d"
+  "CMakeFiles/lateral_mail.dir/client.cpp.o"
+  "CMakeFiles/lateral_mail.dir/client.cpp.o.d"
+  "CMakeFiles/lateral_mail.dir/imap.cpp.o"
+  "CMakeFiles/lateral_mail.dir/imap.cpp.o.d"
+  "CMakeFiles/lateral_mail.dir/input_method.cpp.o"
+  "CMakeFiles/lateral_mail.dir/input_method.cpp.o.d"
+  "CMakeFiles/lateral_mail.dir/mailstore.cpp.o"
+  "CMakeFiles/lateral_mail.dir/mailstore.cpp.o.d"
+  "CMakeFiles/lateral_mail.dir/message.cpp.o"
+  "CMakeFiles/lateral_mail.dir/message.cpp.o.d"
+  "CMakeFiles/lateral_mail.dir/render.cpp.o"
+  "CMakeFiles/lateral_mail.dir/render.cpp.o.d"
+  "liblateral_mail.a"
+  "liblateral_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

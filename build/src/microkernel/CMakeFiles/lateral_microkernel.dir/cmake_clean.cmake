@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_microkernel.dir/microkernel.cpp.o"
+  "CMakeFiles/lateral_microkernel.dir/microkernel.cpp.o.d"
+  "CMakeFiles/lateral_microkernel.dir/scheduler.cpp.o"
+  "CMakeFiles/lateral_microkernel.dir/scheduler.cpp.o.d"
+  "liblateral_microkernel.a"
+  "liblateral_microkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_microkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

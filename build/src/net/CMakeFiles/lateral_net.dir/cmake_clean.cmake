@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_net.dir/federation.cpp.o"
+  "CMakeFiles/lateral_net.dir/federation.cpp.o.d"
+  "CMakeFiles/lateral_net.dir/network.cpp.o"
+  "CMakeFiles/lateral_net.dir/network.cpp.o.d"
+  "CMakeFiles/lateral_net.dir/remote.cpp.o"
+  "CMakeFiles/lateral_net.dir/remote.cpp.o.d"
+  "CMakeFiles/lateral_net.dir/secure_channel.cpp.o"
+  "CMakeFiles/lateral_net.dir/secure_channel.cpp.o.d"
+  "liblateral_net.a"
+  "liblateral_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_noc.dir/noc.cpp.o"
+  "CMakeFiles/lateral_noc.dir/noc.cpp.o.d"
+  "liblateral_noc.a"
+  "liblateral_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

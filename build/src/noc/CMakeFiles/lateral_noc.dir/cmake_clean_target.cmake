@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblateral_noc.a"
+)

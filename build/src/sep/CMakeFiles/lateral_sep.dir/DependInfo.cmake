@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sep/sep.cpp" "src/sep/CMakeFiles/lateral_sep.dir/sep.cpp.o" "gcc" "src/sep/CMakeFiles/lateral_sep.dir/sep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/substrate/CMakeFiles/lateral_substrate.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/lateral_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lateral_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lateral_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_sep.dir/sep.cpp.o"
+  "CMakeFiles/lateral_sep.dir/sep.cpp.o.d"
+  "liblateral_sep.a"
+  "liblateral_sep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_sep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

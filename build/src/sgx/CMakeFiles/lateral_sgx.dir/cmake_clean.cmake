@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_sgx.dir/sgx.cpp.o"
+  "CMakeFiles/lateral_sgx.dir/sgx.cpp.o.d"
+  "liblateral_sgx.a"
+  "liblateral_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

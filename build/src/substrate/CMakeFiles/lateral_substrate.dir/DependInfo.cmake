@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/substrate/quote.cpp" "src/substrate/CMakeFiles/lateral_substrate.dir/quote.cpp.o" "gcc" "src/substrate/CMakeFiles/lateral_substrate.dir/quote.cpp.o.d"
+  "/root/repo/src/substrate/registry.cpp" "src/substrate/CMakeFiles/lateral_substrate.dir/registry.cpp.o" "gcc" "src/substrate/CMakeFiles/lateral_substrate.dir/registry.cpp.o.d"
+  "/root/repo/src/substrate/substrate.cpp" "src/substrate/CMakeFiles/lateral_substrate.dir/substrate.cpp.o" "gcc" "src/substrate/CMakeFiles/lateral_substrate.dir/substrate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lateral_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lateral_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/lateral_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

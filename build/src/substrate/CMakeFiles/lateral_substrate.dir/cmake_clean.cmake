@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_substrate.dir/quote.cpp.o"
+  "CMakeFiles/lateral_substrate.dir/quote.cpp.o.d"
+  "CMakeFiles/lateral_substrate.dir/registry.cpp.o"
+  "CMakeFiles/lateral_substrate.dir/registry.cpp.o.d"
+  "CMakeFiles/lateral_substrate.dir/substrate.cpp.o"
+  "CMakeFiles/lateral_substrate.dir/substrate.cpp.o.d"
+  "liblateral_substrate.a"
+  "liblateral_substrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_substrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_toolbox.dir/anonymizer.cpp.o"
+  "CMakeFiles/lateral_toolbox.dir/anonymizer.cpp.o.d"
+  "CMakeFiles/lateral_toolbox.dir/authenticator.cpp.o"
+  "CMakeFiles/lateral_toolbox.dir/authenticator.cpp.o.d"
+  "CMakeFiles/lateral_toolbox.dir/gateway.cpp.o"
+  "CMakeFiles/lateral_toolbox.dir/gateway.cpp.o.d"
+  "CMakeFiles/lateral_toolbox.dir/trusted_wrapper.cpp.o"
+  "CMakeFiles/lateral_toolbox.dir/trusted_wrapper.cpp.o.d"
+  "liblateral_toolbox.a"
+  "liblateral_toolbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_toolbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

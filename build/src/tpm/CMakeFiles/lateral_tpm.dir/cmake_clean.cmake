@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_tpm.dir/tpm.cpp.o"
+  "CMakeFiles/lateral_tpm.dir/tpm.cpp.o.d"
+  "liblateral_tpm.a"
+  "liblateral_tpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

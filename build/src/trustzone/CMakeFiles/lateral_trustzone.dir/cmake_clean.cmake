@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_trustzone.dir/trustzone.cpp.o"
+  "CMakeFiles/lateral_trustzone.dir/trustzone.cpp.o.d"
+  "liblateral_trustzone.a"
+  "liblateral_trustzone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_trustzone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

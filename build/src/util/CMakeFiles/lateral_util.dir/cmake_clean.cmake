@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_util.dir/hex.cpp.o"
+  "CMakeFiles/lateral_util.dir/hex.cpp.o.d"
+  "CMakeFiles/lateral_util.dir/rng.cpp.o"
+  "CMakeFiles/lateral_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lateral_util.dir/table.cpp.o"
+  "CMakeFiles/lateral_util.dir/table.cpp.o.d"
+  "liblateral_util.a"
+  "liblateral_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lateral_vpfs.dir/vpfs.cpp.o"
+  "CMakeFiles/lateral_vpfs.dir/vpfs.cpp.o.d"
+  "liblateral_vpfs.a"
+  "liblateral_vpfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lateral_vpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

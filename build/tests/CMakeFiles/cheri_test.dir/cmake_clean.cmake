@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheri_test.dir/cheri_test.cpp.o"
+  "CMakeFiles/cheri_test.dir/cheri_test.cpp.o.d"
+  "cheri_test"
+  "cheri_test.pdb"
+  "cheri_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheri_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

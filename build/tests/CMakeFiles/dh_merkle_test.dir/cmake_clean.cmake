@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dh_merkle_test.dir/dh_merkle_test.cpp.o"
+  "CMakeFiles/dh_merkle_test.dir/dh_merkle_test.cpp.o.d"
+  "dh_merkle_test"
+  "dh_merkle_test.pdb"
+  "dh_merkle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dh_merkle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

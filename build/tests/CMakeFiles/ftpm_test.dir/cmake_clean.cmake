@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpm_test.dir/ftpm_test.cpp.o"
+  "CMakeFiles/ftpm_test.dir/ftpm_test.cpp.o.d"
+  "ftpm_test"
+  "ftpm_test.pdb"
+  "ftpm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

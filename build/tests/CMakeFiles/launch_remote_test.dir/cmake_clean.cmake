@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/launch_remote_test.dir/launch_remote_test.cpp.o"
+  "CMakeFiles/launch_remote_test.dir/launch_remote_test.cpp.o.d"
+  "launch_remote_test"
+  "launch_remote_test.pdb"
+  "launch_remote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/launch_remote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

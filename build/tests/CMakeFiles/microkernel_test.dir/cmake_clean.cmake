@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microkernel_test.dir/microkernel_test.cpp.o"
+  "CMakeFiles/microkernel_test.dir/microkernel_test.cpp.o.d"
+  "microkernel_test"
+  "microkernel_test.pdb"
+  "microkernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microkernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

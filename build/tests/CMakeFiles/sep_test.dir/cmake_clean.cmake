@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sep_test.dir/sep_test.cpp.o"
+  "CMakeFiles/sep_test.dir/sep_test.cpp.o.d"
+  "sep_test"
+  "sep_test.pdb"
+  "sep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

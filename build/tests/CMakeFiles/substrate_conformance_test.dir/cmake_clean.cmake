@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate_conformance_test.dir/substrate_conformance_test.cpp.o"
+  "CMakeFiles/substrate_conformance_test.dir/substrate_conformance_test.cpp.o.d"
+  "substrate_conformance_test"
+  "substrate_conformance_test.pdb"
+  "substrate_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

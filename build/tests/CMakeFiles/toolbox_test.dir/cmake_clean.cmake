@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolbox_test.dir/toolbox_test.cpp.o"
+  "CMakeFiles/toolbox_test.dir/toolbox_test.cpp.o.d"
+  "toolbox_test"
+  "toolbox_test.pdb"
+  "toolbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpfs_test.dir/vpfs_test.cpp.o"
+  "CMakeFiles/vpfs_test.dir/vpfs_test.cpp.o.d"
+  "vpfs_test"
+  "vpfs_test.pdb"
+  "vpfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sha256_test[1]_include.cmake")
+include("/root/repo/build/tests/hmac_test[1]_include.cmake")
+include("/root/repo/build/tests/aes_test[1]_include.cmake")
+include("/root/repo/build/tests/bignum_test[1]_include.cmake")
+include("/root/repo/build/tests/rsa_test[1]_include.cmake")
+include("/root/repo/build/tests/dh_merkle_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/substrate_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/microkernel_test[1]_include.cmake")
+include("/root/repo/build/tests/trustzone_test[1]_include.cmake")
+include("/root/repo/build/tests/sgx_test[1]_include.cmake")
+include("/root/repo/build/tests/tpm_test[1]_include.cmake")
+include("/root/repo/build/tests/ftpm_test[1]_include.cmake")
+include("/root/repo/build/tests/sep_test[1]_include.cmake")
+include("/root/repo/build/tests/cheri_test[1]_include.cmake")
+include("/root/repo/build/tests/noc_test[1]_include.cmake")
+include("/root/repo/build/tests/toolbox_test[1]_include.cmake")
+include("/root/repo/build/tests/mail_test[1]_include.cmake")
+include("/root/repo/build/tests/legacy_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/vpfs_test[1]_include.cmake")
+include("/root/repo/build/tests/gui_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/launch_remote_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/umbrella_test[1]_include.cmake")

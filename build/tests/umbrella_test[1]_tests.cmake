@@ -1,0 +1,3 @@
+add_test([=[Umbrella.EverythingLinksTogether]=]  /root/repo/build/tests/umbrella_test [==[--gtest_filter=Umbrella.EverythingLinksTogether]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.EverythingLinksTogether]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_test_TESTS Umbrella.EverythingLinksTogether)
