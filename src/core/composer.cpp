@@ -73,6 +73,21 @@ Result<substrate::Message> Assembly::receive(const std::string& at,
   return (*chan)->substrate->receive(at_it->second.domain, (*chan)->id);
 }
 
+Result<Assembly::Wire> Assembly::wire(const std::string& from,
+                                      const std::string& to) const {
+  const auto from_it = components_.find(from);
+  if (from_it == components_.end() || !components_.contains(to))
+    return Errc::no_such_domain;
+  auto chan = channel_between(from, to);
+  if (enforce_manifest_ && !chan) return Errc::policy_violation;
+  if (!chan) return Errc::no_such_channel;
+  Wire out;
+  out.substrate = (*chan)->substrate;
+  out.channel = (*chan)->id;
+  out.actor = from_it->second.domain;
+  return out;
+}
+
 Result<std::uint64_t> Assembly::badge_of(const std::string& from,
                                          const std::string& to) const {
   auto chan = channel_between(from, to);

@@ -47,6 +47,18 @@ class Assembly {
   Result<substrate::Message> receive(const std::string& at,
                                      const std::string& from);
 
+  /// The raw substrate endpoint of `from`'s side of its declared channel to
+  /// `to` — what lateral::runtime's batched adapters (BatchChannel) drive.
+  /// The manifest check happens here, once, when the wire is handed out;
+  /// the substrate's reference monitor still checks every use.
+  /// Errc::policy_violation when the manifests declared no such channel.
+  struct Wire {
+    substrate::IsolationSubstrate* substrate = nullptr;
+    substrate::ChannelId channel = 0;
+    substrate::DomainId actor = substrate::kInvalidDomain;
+  };
+  Result<Wire> wire(const std::string& from, const std::string& to) const;
+
   /// Badge identifying `from` on the channel between from and to (what the
   /// receiver will see in Invocation::badge).
   Result<std::uint64_t> badge_of(const std::string& from,

@@ -63,6 +63,11 @@
 #include "net/network.h"
 #include "net/remote.h"
 #include "net/secure_channel.h"
+#include "runtime/async_proxy.h"
+#include "runtime/batch_channel.h"
+#include "runtime/executor.h"
+#include "runtime/metrics.h"
+#include "runtime/spsc_ring.h"
 #include "toolbox/anonymizer.h"
 #include "toolbox/authenticator.h"
 #include "toolbox/gateway.h"

@@ -1,6 +1,9 @@
 #include "mail/client.h"
 
+#include <algorithm>
 #include <cstdlib>
+
+#include "runtime/batch_channel.h"
 
 namespace lateral::mail {
 namespace {
@@ -284,15 +287,54 @@ Result<std::size_t> MailClient::sync_inbox() {
   std::size_t local =
       std::strtoull(to_string(*local_reply).c_str(), nullptr, 10);
 
-  for (std::size_t i = local; i < remote; ++i) {
-    auto wire = assembly_->invoke("ui", "imap",
-                                  to_bytes("FETCH " + std::to_string(i)));
-    if (!wire) return wire.error();
-    Bytes request = to_bytes("STORE INBOX\n");
-    request.insert(request.end(), wire->begin(), wire->end());
-    auto stored = assembly_->invoke("ui", "storage", request);
-    if (!stored) return stored.error();
-    ++local;
+  if (local >= remote) return local;
+
+  // The hot path goes through the batching runtime: one boundary crossing
+  // per burst of FETCHes and one per burst of STOREs, instead of two
+  // crossings per message. The wires are the same manifest-declared
+  // channels the per-call path uses — batching changes the cost, not the
+  // policy.
+  auto imap_wire = assembly_->wire("ui", "imap");
+  if (!imap_wire) return imap_wire.error();
+  auto storage_wire = assembly_->wire("ui", "storage");
+  if (!storage_wire) return storage_wire.error();
+
+  constexpr std::size_t kSyncBurst = 32;
+  runtime::BatchChannel fetches(
+      *imap_wire->substrate, imap_wire->actor, imap_wire->channel,
+      {.depth = kSyncBurst, .hub = &runtime_metrics_, .label = "ui->imap"});
+  runtime::BatchChannel stores(
+      *storage_wire->substrate, storage_wire->actor, storage_wire->channel,
+      {.depth = kSyncBurst, .hub = &runtime_metrics_, .label = "ui->storage"});
+
+  while (local < remote) {
+    const std::size_t burst = std::min(kSyncBurst, remote - local);
+    std::vector<runtime::SubmissionId> fetch_ids;
+    fetch_ids.reserve(burst);
+    for (std::size_t i = 0; i < burst; ++i) {
+      auto id = fetches.submit(to_bytes("FETCH " + std::to_string(local + i)));
+      if (!id) return id.error();
+      fetch_ids.push_back(*id);
+    }
+    if (const Status s = fetches.flush(); !s.ok()) return s.error();
+
+    std::vector<runtime::SubmissionId> store_ids;
+    store_ids.reserve(burst);
+    for (const runtime::SubmissionId id : fetch_ids) {
+      auto wire = fetches.wait(id);
+      if (!wire) return wire.error();
+      Bytes request = to_bytes("STORE INBOX\n");
+      request.insert(request.end(), wire->begin(), wire->end());
+      auto stored = stores.submit(request);
+      if (!stored) return stored.error();
+      store_ids.push_back(*stored);
+    }
+    if (const Status s = stores.flush(); !s.ok()) return s.error();
+    for (const runtime::SubmissionId id : store_ids) {
+      auto stored = stores.wait(id);
+      if (!stored) return stored.error();
+      ++local;
+    }
   }
   return local;
 }

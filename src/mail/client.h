@@ -23,6 +23,7 @@
 #include "mail/input_method.h"
 #include "mail/mailstore.h"
 #include "mail/render.h"
+#include "runtime/metrics.h"
 #include "substrate/substrate.h"
 
 namespace lateral::mail {
@@ -66,6 +67,9 @@ class MailClient {
 
   // --- Introspection for experiments ---------------------------------------
   core::Assembly& assembly() { return *assembly_; }
+  /// Per-wire runtime counters ("ui->imap", "ui->storage") filled by the
+  /// batched sync_inbox path.
+  runtime::MetricsHub& runtime_metrics() { return runtime_metrics_; }
   bool renderer_compromised() const { return renderer_.is_compromised(); }
   /// Ask the substrate to flag the renderer domain (after an exploit).
   Status flag_renderer_compromised();
@@ -81,6 +85,7 @@ class MailClient {
   AddressBook addressbook_;
   InputMethod input_method_;
   std::unique_ptr<MailStore> store_;
+  runtime::MetricsHub runtime_metrics_;
 };
 
 }  // namespace lateral::mail

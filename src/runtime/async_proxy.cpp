@@ -1,0 +1,232 @@
+#include "runtime/async_proxy.h"
+
+#include <utility>
+
+namespace lateral::runtime {
+namespace {
+
+// Request: [u32 request_id | u16 method_len | method | payload]
+// Reply:   [u32 request_id | u8 errc | payload (on success)]
+
+void put_u32(Bytes& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint32_t get_u32(BytesView in) {
+  return (std::uint32_t(in[0]) << 24) | (std::uint32_t(in[1]) << 16) |
+         (std::uint32_t(in[2]) << 8) | std::uint32_t(in[3]);
+}
+
+Bytes encode_request(RequestId id, const std::string& method,
+                     BytesView payload) {
+  Bytes out;
+  put_u32(out, id);
+  out.push_back(static_cast<std::uint8_t>(method.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(method.size()));
+  out.insert(out.end(), method.begin(), method.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+struct DecodedRequest {
+  RequestId id = 0;
+  std::string method;
+  Bytes payload;
+};
+
+Result<DecodedRequest> decode_request(BytesView plain) {
+  if (plain.size() < 6) return Errc::invalid_argument;
+  DecodedRequest out;
+  out.id = get_u32(plain);
+  const std::size_t method_len = (std::size_t(plain[4]) << 8) | plain[5];
+  if (plain.size() < 6 + method_len) return Errc::invalid_argument;
+  out.method.assign(plain.begin() + 6,
+                    plain.begin() + 6 + static_cast<long>(method_len));
+  out.payload.assign(plain.begin() + 6 + static_cast<long>(method_len),
+                     plain.end());
+  return out;
+}
+
+Bytes encode_reply(RequestId id, Errc error, BytesView payload) {
+  Bytes out;
+  put_u32(out, id);
+  out.push_back(static_cast<std::uint8_t>(error));
+  if (error == Errc::ok)
+    out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace
+
+AsyncRemoteDispatcher::AsyncRemoteDispatcher(net::SecureChannelEndpoint& channel)
+    : channel_(channel) {
+  if (!channel.established())
+    throw Error("AsyncRemoteDispatcher needs an established channel");
+}
+
+Status AsyncRemoteDispatcher::register_method(const std::string& name,
+                                              Method handler) {
+  if (name.empty() || !handler) return Errc::invalid_argument;
+  const auto [it, inserted] = methods_.emplace(name, std::move(handler));
+  (void)it;
+  return inserted ? Status::success() : Status(Errc::invalid_argument);
+}
+
+Result<std::vector<Bytes>> AsyncRemoteDispatcher::handle_burst(
+    const std::vector<Bytes>& request_records) {
+  std::vector<Bytes> reply_records;
+  reply_records.reserve(request_records.size());
+  for (const Bytes& record : request_records) {
+    auto plain = channel_.open_record(record);
+    if (!plain) return plain.error();  // unauthentic: do not even reply
+
+    Bytes reply_plain;
+    auto request = decode_request(*plain);
+    if (!request) {
+      // A malformed-but-authentic request still has a slot in the burst;
+      // answer it (salvaging the id when the prefix survived) so the
+      // client's matcher surfaces the problem instead of hanging.
+      const RequestId id = plain->size() >= 4 ? get_u32(*plain) : 0;
+      reply_plain = encode_reply(id, Errc::invalid_argument, {});
+    } else {
+      const auto it = methods_.find(request->method);
+      if (it == methods_.end()) {
+        reply_plain = encode_reply(request->id, Errc::invalid_argument, {});
+      } else {
+        Result<Bytes> result = it->second(request->payload);
+        reply_plain = result ? encode_reply(request->id, Errc::ok, *result)
+                             : encode_reply(request->id, result.error(), {});
+      }
+    }
+    auto sealed = channel_.seal_record(reply_plain);
+    if (!sealed) return sealed.error();
+    reply_records.push_back(std::move(*sealed));
+  }
+  return reply_records;
+}
+
+AsyncRemoteProxy::AsyncRemoteProxy(net::SecureChannelEndpoint& channel,
+                                   Transport transport,
+                                   AsyncProxyConfig config)
+    : channel_(channel),
+      transport_(std::move(transport)),
+      config_(std::move(config)),
+      counters_(config_.hub ? &config_.hub->counters(config_.label)
+                            : &own_counters_) {
+  if (!transport_) throw Error("AsyncRemoteProxy needs a transport");
+  if (config_.depth == 0) config_.depth = 1;
+}
+
+Result<RequestId> AsyncRemoteProxy::submit(const std::string& method,
+                                           BytesView payload) {
+  if (method.empty()) return Errc::invalid_argument;
+  if (pending_.size() >= config_.depth) {
+    ++counters_->rejected;
+    return Errc::exhausted;
+  }
+  PendingCall call;
+  call.id = next_id_++;
+  call.method = method;
+  call.payload.assign(payload.begin(), payload.end());
+  pending_.push_back(std::move(call));
+  ++counters_->submitted;
+  counters_->record_depth(pending_.size());
+  return pending_.back().id;
+}
+
+Status AsyncRemoteProxy::cancel(RequestId id) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->id == id) {
+      // Not sealed yet, so withdrawing leaves no hole in the channel's
+      // sequence space; the completion is materialized immediately.
+      completions_.emplace(id, Result<Bytes>(Errc::cancelled));
+      pending_.erase(it);
+      ++counters_->cancelled;
+      return Status::success();
+    }
+  }
+  return Errc::invalid_argument;
+}
+
+Status AsyncRemoteProxy::flush() {
+  if (pending_.empty()) return Status::success();
+
+  // Seal in submission order. From the first seal on we are committed:
+  // the channel's send sequence has advanced, so any failure past this
+  // point is a channel-level failure, not a retryable one.
+  std::vector<Bytes> records;
+  records.reserve(pending_.size());
+  for (const PendingCall& call : pending_) {
+    auto record =
+        channel_.seal_record(encode_request(call.id, call.method, call.payload));
+    if (!record) return record.error();
+    records.push_back(std::move(*record));
+  }
+
+  auto reply_records = transport_(records);
+  counters_->record_batch(pending_.size());
+  if (!reply_records) {
+    // The burst is gone (sequence space consumed) but the invocations are
+    // not silently lost: each completes with the transport's error.
+    for (const PendingCall& call : pending_) {
+      ++counters_->completed;
+      completions_.emplace(call.id, Result<Bytes>(reply_records.error()));
+    }
+    pending_.clear();
+    return Status::success();
+  }
+  if (reply_records->size() != pending_.size()) return Errc::io_error;
+
+  std::vector<PendingCall> sent = std::move(pending_);
+  pending_.clear();
+  for (const Bytes& record : *reply_records) {
+    auto plain = channel_.open_record(record);
+    if (!plain) return plain.error();
+    if (plain->size() < 5) return Errc::invalid_argument;
+    const RequestId id = get_u32(*plain);
+    const Errc remote_error = static_cast<Errc>((*plain)[4]);
+    ++counters_->completed;
+    if (remote_error != Errc::ok) {
+      completions_.emplace(id, Result<Bytes>(remote_error));
+    } else {
+      completions_.emplace(id, Bytes(plain->begin() + 5, plain->end()));
+    }
+  }
+  for (const PendingCall& call : sent) {
+    // A reply burst that skipped one of our ids is a protocol violation;
+    // the invocation must still terminate.
+    if (!completions_.contains(call.id))
+      completions_.emplace(call.id, Result<Bytes>(Errc::io_error));
+  }
+  return Status::success();
+}
+
+Result<Bytes> AsyncRemoteProxy::take(RequestId id) {
+  if (const auto it = completions_.find(id); it != completions_.end()) {
+    Result<Bytes> out = std::move(it->second);
+    completions_.erase(it);
+    return out;
+  }
+  for (const PendingCall& call : pending_)
+    if (call.id == id) return Errc::would_block;
+  return Errc::invalid_argument;
+}
+
+Result<Bytes> AsyncRemoteProxy::wait(RequestId id) {
+  auto first = take(id);
+  if (first || first.error() != Errc::would_block) return first;
+  if (const Status s = flush(); !s.ok()) return s.error();
+  return take(id);
+}
+
+Result<Bytes> AsyncRemoteProxy::call(const std::string& method,
+                                     BytesView payload) {
+  auto id = submit(method, payload);
+  if (!id) return id.error();
+  return wait(*id);
+}
+
+}  // namespace lateral::runtime

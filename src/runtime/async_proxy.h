@@ -1,0 +1,125 @@
+// Pipelined remote invocation over a SecureChannel — the network face of
+// the batching runtime.
+//
+// net::RemoteProxy pays one network round trip per call. At serving scale
+// the round trip dominates, so AsyncRemoteProxy pipelines: submit() queues
+// invocations locally, flush() seals them into consecutive records (the
+// channel's strict sequence ordering is why sealing happens at flush time:
+// a sealed-but-withdrawn record would punch a hole in the peer's sequence
+// window) and ships the whole burst in one transport exchange.
+// AsyncRemoteDispatcher opens each record, dispatches, and returns one
+// sealed reply record per request. Replies are matched to submissions by
+// an explicit request id carried inside the authenticated plaintext, so
+// completion order never depends on transport framing.
+//
+// Everything the channel guarantees — peer code identity, confidentiality,
+// integrity, ordering, replay protection — covers the whole pipeline, and
+// the usual runtime contract (bounded depth, Errc-surfaced backpressure,
+// cancellation before flush, lossless accounting) applies.
+//
+// Wire formats (inside AEAD records):
+//   request: [u32 request_id | u16 method_len | method | payload]
+//   reply:   [u32 request_id | u8 errc | payload (when errc == ok)]
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/secure_channel.h"
+#include "runtime/metrics.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::runtime {
+
+using RequestId = std::uint32_t;
+
+/// Server side: unseals a burst of request records, dispatches each to the
+/// registered method, and seals one reply record per request.
+class AsyncRemoteDispatcher {
+ public:
+  using Method = std::function<Result<Bytes>(BytesView request)>;
+
+  explicit AsyncRemoteDispatcher(net::SecureChannelEndpoint& channel);
+
+  Status register_method(const std::string& name, Method handler);
+
+  /// Process one pipelined burst. A record that fails channel
+  /// authentication fails the whole burst with verification_failed (the
+  /// sequence window is broken; the caller should drop the connection).
+  /// Method-level problems (unknown method, malformed request, handler
+  /// refusal) travel back inside the matching reply record.
+  Result<std::vector<Bytes>> handle_burst(
+      const std::vector<Bytes>& request_records);
+
+ private:
+  net::SecureChannelEndpoint& channel_;
+  std::map<std::string, Method> methods_;
+};
+
+struct AsyncProxyConfig {
+  std::size_t depth = 64;  // max in-flight submissions per flush
+  MetricsHub* hub = nullptr;
+  std::string label;
+};
+
+/// Client side.
+class AsyncRemoteProxy {
+ public:
+  /// Delivers a burst of sealed request records and returns the sealed
+  /// reply records (e.g. SimNetwork datagrams + AsyncRemoteDispatcher).
+  using Transport =
+      std::function<Result<std::vector<Bytes>>(const std::vector<Bytes>&)>;
+
+  AsyncRemoteProxy(net::SecureChannelEndpoint& channel, Transport transport,
+                   AsyncProxyConfig config = {});
+
+  /// Queue an invocation; nothing touches the wire yet.
+  /// Errc::exhausted when `depth` submissions are already queued.
+  Result<RequestId> submit(const std::string& method, BytesView payload);
+
+  /// Withdraw a queued (not yet flushed) submission.
+  Status cancel(RequestId id);
+
+  /// Seal every queued submission and run one transport exchange.
+  /// Replies become retrievable via take()/wait(). On transport failure
+  /// the submissions stay queued (sealing happens only on success paths —
+  /// see header comment — so a retry flush is safe).
+  Status flush();
+
+  /// Retrieve the reply for `id`; Errc::would_block while still queued or
+  /// in flight, Errc::invalid_argument for unknown ids. Remote refusals
+  /// come back as their original error codes.
+  Result<Bytes> take(RequestId id);
+
+  /// flush() if needed, then take(id).
+  Result<Bytes> wait(RequestId id);
+
+  /// Single-call convenience (submit+flush+take) — the sync path, for
+  /// drop-in use where pipelining has not been adopted yet.
+  Result<Bytes> call(const std::string& method, BytesView payload);
+
+  std::size_t pending() const { return pending_.size(); }
+  const InvocationCounters& metrics() const { return *counters_; }
+
+ private:
+  struct PendingCall {
+    RequestId id = 0;
+    std::string method;
+    Bytes payload;
+  };
+
+  net::SecureChannelEndpoint& channel_;
+  Transport transport_;
+  AsyncProxyConfig config_;
+  std::vector<PendingCall> pending_;
+  std::map<RequestId, Result<Bytes>> completions_;
+  RequestId next_id_ = 1;
+  InvocationCounters own_counters_;
+  InvocationCounters* counters_;
+};
+
+}  // namespace lateral::runtime

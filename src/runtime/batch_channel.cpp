@@ -1,0 +1,132 @@
+#include "runtime/batch_channel.h"
+
+#include <vector>
+
+namespace lateral::runtime {
+
+BatchChannel::BatchChannel(substrate::IsolationSubstrate& substrate,
+                           substrate::DomainId actor,
+                           substrate::ChannelId channel,
+                           BatchChannelConfig config)
+    : substrate_(substrate),
+      actor_(actor),
+      channel_(channel),
+      submissions_(config.depth),
+      completions_(config.depth),
+      counters_(config.hub ? &config.hub->counters(config.label)
+                           : &own_counters_) {}
+
+Result<SubmissionId> BatchChannel::submit(BytesView request,
+                                          SubmitOptions opts) {
+  const SubmissionId id = next_id_++;
+  Pending pending;
+  pending.id = id;
+  pending.request.assign(request.begin(), request.end());
+  pending.deadline = opts.deadline;
+  if (!submissions_.push(std::move(pending))) {
+    ++counters_->rejected;
+    return Errc::exhausted;
+  }
+  live_.insert(id);
+  ++counters_->submitted;
+  counters_->record_depth(submissions_.size());
+  return id;
+}
+
+Status BatchChannel::cancel(SubmissionId id) {
+  if (!live_.contains(id)) return Errc::invalid_argument;
+  cancelled_.insert(id);
+  return Status::success();
+}
+
+void BatchChannel::complete(Completion completion) {
+  // Space was reserved up front in flush(), so this never fails.
+  (void)completions_.push(std::move(completion));
+}
+
+Status BatchChannel::flush() {
+  const std::size_t queued = submissions_.size();
+  if (queued == 0) return Status::success();
+  // Reserve completion space for every queued invocation BEFORE popping
+  // anything: refusing up front is what keeps backpressure lossless.
+  if (completions_.capacity() - completions_.size() < queued)
+    return Errc::exhausted;
+
+  const Cycles now = substrate_.machine().now();
+  std::vector<Pending> batch;
+  batch.reserve(queued);
+  while (auto pending = submissions_.pop()) {
+    live_.erase(pending->id);
+    if (cancelled_.erase(pending->id) > 0) {
+      ++counters_->cancelled;
+      complete({pending->id, Errc::cancelled});
+    } else if (pending->deadline != 0 && now > pending->deadline) {
+      ++counters_->timed_out;
+      complete({pending->id, Errc::timed_out});
+    } else {
+      batch.push_back(std::move(*pending));
+    }
+  }
+  if (batch.empty()) return Status::success();
+
+  std::vector<Bytes> requests;
+  requests.reserve(batch.size());
+  for (Pending& pending : batch) requests.push_back(std::move(pending.request));
+
+  auto reply = substrate_.call_batch(actor_, channel_, requests);
+  counters_->record_batch(batch.size());
+  if (!reply) {
+    // Batch-level refusal (no handler, revoked channel, ...): every
+    // invocation gets the refusal as its completion — delivered, not lost.
+    for (const Pending& pending : batch) {
+      ++counters_->completed;
+      complete({pending.id, reply.error()});
+    }
+    return Status::success();
+  }
+
+  // Cycle accounting: what would the same calls have cost one-at-a-time?
+  Cycles sync_equivalent = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Result<Bytes>& r = reply->replies[i];
+    sync_equivalent += substrate_.message_cost(requests[i].size()) +
+                       substrate_.message_cost(r.ok() ? r->size() : 0);
+  }
+  counters_->sync_equivalent_cycles += sync_equivalent;
+  counters_->crossing_cycles += reply->crossing_cycles;
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ++counters_->completed;
+    complete({batch[i].id, std::move(reply->replies[i])});
+  }
+  return Status::success();
+}
+
+Result<Completion> BatchChannel::next_completion() {
+  if (!stashed_.empty()) {
+    auto it = stashed_.begin();
+    Completion out{it->first, std::move(it->second)};
+    stashed_.erase(it);
+    return out;
+  }
+  if (auto completion = completions_.pop()) return std::move(*completion);
+  return Errc::would_block;
+}
+
+Result<Bytes> BatchChannel::wait(SubmissionId id) {
+  if (const auto it = stashed_.find(id); it != stashed_.end()) {
+    Result<Bytes> out = std::move(it->second);
+    stashed_.erase(it);
+    return out;
+  }
+  if (live_.contains(id)) {
+    if (const Status s = flush(); !s.ok()) return s.error();
+  }
+  while (auto completion = completions_.pop()) {
+    if (completion->id == id) return std::move(completion->result);
+    stashed_.emplace(completion->id, std::move(completion->result));
+  }
+  return Errc::invalid_argument;  // id never submitted here or already taken
+}
+
+}  // namespace lateral::runtime

@@ -1,0 +1,118 @@
+// BatchChannel — asynchronous, batched cross-domain invocation.
+//
+// The paper's horizontal paradigm pays a boundary-crossing toll on every
+// component interaction; at serving scale that toll dominates. BatchChannel
+// is the io_uring answer: an SPSC submission ring and completion ring
+// layered over a substrate channel. The client enqueues many invocations
+// (no crossing), then flush() carries the whole batch across the isolation
+// boundary with the fixed crossing cost paid ONCE per direction
+// (IsolationSubstrate::call_batch), and replies come back through the
+// completion ring tagged with their submission ids.
+//
+// Contract:
+//   - submit() is lossless-or-rejected: a full submission ring refuses
+//     with Errc::exhausted (backpressure) — nothing is ever dropped.
+//   - flush() refuses with Errc::exhausted when the completion ring cannot
+//     hold every would-be completion; submissions stay queued.
+//   - Every accepted invocation terminates in exactly one of: completed
+//     (reply or refusal from the handler), cancelled, timed_out. The
+//     metrics counters mirror this one-to-one.
+//   - Deadlines are absolute simulated cycles, checked against the
+//     substrate machine's clock at flush time (the invocation's budget is
+//     charged against the cost model like everything else).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "runtime/metrics.h"
+#include "runtime/spsc_ring.h"
+#include "substrate/substrate.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::runtime {
+
+using SubmissionId = std::uint64_t;
+
+struct SubmitOptions {
+  /// Absolute deadline in simulated machine cycles; 0 = no deadline. An
+  /// invocation still queued when the clock passes its deadline completes
+  /// with Errc::timed_out instead of running.
+  Cycles deadline = 0;
+};
+
+struct Completion {
+  SubmissionId id = 0;
+  Result<Bytes> result;
+};
+
+struct BatchChannelConfig {
+  /// Ring depth (submission and completion each); rounded up to a power
+  /// of two. This bound IS the backpressure contract.
+  std::size_t depth = 64;
+  /// Optional shared metrics sink; falls back to channel-local counters.
+  MetricsHub* hub = nullptr;
+  std::string label;
+};
+
+class BatchChannel {
+ public:
+  BatchChannel(substrate::IsolationSubstrate& substrate,
+               substrate::DomainId actor, substrate::ChannelId channel,
+               BatchChannelConfig config = {});
+
+  /// Enqueue an invocation; returns its id. Errc::exhausted when the
+  /// submission ring is full — resolve by flushing or draining.
+  Result<SubmissionId> submit(BytesView request, SubmitOptions opts = {});
+
+  /// Withdraw a still-queued invocation. It will surface as a cancelled
+  /// completion at the next flush (so the accounting stays lossless).
+  /// Errc::invalid_argument when the id is unknown or already flushed.
+  Status cancel(SubmissionId id);
+
+  /// Cross the boundary once with everything queued. Cancelled and
+  /// deadline-expired invocations complete without running; the rest go
+  /// through IsolationSubstrate::call_batch. No-op on an empty queue.
+  Status flush();
+
+  /// Pop the next completion; Errc::would_block when none is ready.
+  Result<Completion> next_completion();
+
+  /// Convenience: flush if `id` is still queued, then drain completions
+  /// (stashing others for later retrieval) until `id`'s result arrives.
+  Result<Bytes> wait(SubmissionId id);
+
+  std::size_t pending() const { return submissions_.size(); }
+  std::size_t completions_ready() const {
+    return completions_.size() + stashed_.size();
+  }
+
+  const InvocationCounters& metrics() const { return *counters_; }
+
+ private:
+  struct Pending {
+    SubmissionId id = 0;
+    Bytes request;
+    Cycles deadline = 0;
+  };
+
+  void complete(Completion completion);
+
+  substrate::IsolationSubstrate& substrate_;
+  substrate::DomainId actor_;
+  substrate::ChannelId channel_;
+  SpscRing<Pending> submissions_;
+  SpscRing<Completion> completions_;
+  /// Completions popped while waiting for a different id.
+  std::map<SubmissionId, Result<Bytes>> stashed_;
+  std::set<SubmissionId> live_;       // ids currently in the submission ring
+  std::set<SubmissionId> cancelled_;  // subset of live_
+  SubmissionId next_id_ = 1;
+  InvocationCounters own_counters_;
+  InvocationCounters* counters_;
+};
+
+}  // namespace lateral::runtime

@@ -1,0 +1,231 @@
+#include "runtime/executor.h"
+
+#include <functional>
+
+namespace lateral::runtime {
+
+struct Future::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<Result<Bytes>> result;
+  bool cancel_requested = false;
+};
+
+bool Future::poll() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> guard(state_->mu);
+  return state_->result.has_value();
+}
+
+Result<Bytes> Future::wait() {
+  if (!state_) return Errc::invalid_argument;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->result.has_value(); });
+  return *state_->result;
+}
+
+Status Future::cancel() {
+  if (!state_) return Errc::invalid_argument;
+  std::lock_guard<std::mutex> guard(state_->mu);
+  if (state_->result.has_value()) return Errc::busy;  // already terminal
+  state_->cancel_requested = true;
+  return Status::success();
+}
+
+namespace {
+
+std::size_t key_hash(const DomainKey& key) {
+  return std::hash<const void*>{}(key.substrate) ^
+         std::hash<std::uint64_t>{}(key.domain * 0x9E3779B97F4A7C15ull);
+}
+
+}  // namespace
+
+Executor::Executor(ExecutorConfig config) : config_(config) {
+  if (config_.threads == 0) config_.threads = 1;
+  if (config_.queue_depth == 0) config_.queue_depth = 1;
+  decks_.resize(config_.threads);
+  workers_.reserve(config_.threads);
+  for (std::size_t i = 0; i < config_.threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stopping_ = true;
+    // Everything still queued terminates as cancelled — never silently
+    // dropped, so the stats invariant survives teardown.
+    for (auto& [key, queue] : domains_) {
+      while (!queue->items.empty()) {
+        Item item = std::move(queue->items.front());
+        queue->items.pop_front();
+        ++stats_.counters.cancelled;
+        --outstanding_;
+        finish(item.state, Errc::cancelled);
+      }
+    }
+    for (auto& deck : decks_) deck.clear();
+    if (outstanding_ == 0) idle_cv_.notify_all();
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::mutex& Executor::stripe_for(
+    const substrate::IsolationSubstrate* substrate) {
+  return substrate_stripes_[std::hash<const void*>{}(substrate) % kStripes];
+}
+
+Result<Future> Executor::submit(const DomainKey& key, Task task,
+                                SubmitOptions opts) {
+  if (!task) return Errc::invalid_argument;
+  std::lock_guard<std::mutex> guard(mu_);
+  if (stopping_) return Errc::cancelled;
+
+  std::shared_ptr<DomainQueue>& queue = domains_[key];
+  if (!queue) {
+    queue = std::make_shared<DomainQueue>();
+    queue->key = key;
+  }
+  if (queue->items.size() >= config_.queue_depth) {
+    ++stats_.counters.rejected;
+    return Errc::exhausted;
+  }
+
+  Item item;
+  item.state = std::make_shared<Future::State>();
+  item.task = std::move(task);
+  item.deadline = opts.deadline;
+  Future future;
+  future.state_ = item.state;
+  queue->items.push_back(std::move(item));
+  ++stats_.counters.submitted;
+  stats_.counters.record_depth(queue->items.size());
+  ++outstanding_;
+
+  if (!queue->in_run_deck && !queue->running) {
+    decks_[key_hash(key) % decks_.size()].push_back(queue);
+    queue->in_run_deck = true;
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+std::shared_ptr<Executor::DomainQueue> Executor::next_queue_locked(
+    std::size_t index) {
+  auto take = [](std::deque<std::shared_ptr<DomainQueue>>& deck, bool front) {
+    std::shared_ptr<DomainQueue> queue =
+        front ? std::move(deck.front()) : std::move(deck.back());
+    if (front)
+      deck.pop_front();
+    else
+      deck.pop_back();
+    queue->in_run_deck = false;
+    return queue;
+  };
+  // Own deck first (FIFO over domains)...
+  while (!decks_[index].empty()) {
+    auto queue = take(decks_[index], /*front=*/true);
+    if (!queue->items.empty()) return queue;
+  }
+  // ...then steal a whole domain queue from the back of a victim's deck.
+  // Whole-queue stealing keeps each domain's tasks ordered and
+  // non-concurrent even after migration.
+  for (std::size_t offset = 1; offset < decks_.size(); ++offset) {
+    auto& victim = decks_[(index + offset) % decks_.size()];
+    while (!victim.empty()) {
+      auto queue = take(victim, /*front=*/false);
+      if (!queue->items.empty()) {
+        ++stats_.steals;
+        return queue;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void Executor::finish(const std::shared_ptr<Future::State>& state,
+                      Result<Bytes> result) {
+  {
+    std::lock_guard<std::mutex> guard(state->mu);
+    state->result = std::move(result);
+  }
+  state->cv.notify_all();
+}
+
+void Executor::worker_loop(std::size_t index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::shared_ptr<DomainQueue> queue = next_queue_locked(index);
+    if (!queue) {
+      if (stopping_) return;
+      work_cv_.wait(lock);
+      continue;
+    }
+    Item item = std::move(queue->items.front());
+    queue->items.pop_front();
+    queue->running = true;
+    lock.unlock();
+
+    // Resolve the task outside the scheduler lock.
+    auto counter = &InvocationCounters::completed;
+    std::optional<Result<Bytes>> result;
+    {
+      std::lock_guard<std::mutex> state_guard(item.state->mu);
+      if (item.state->cancel_requested) {
+        counter = &InvocationCounters::cancelled;
+        result = Result<Bytes>(Errc::cancelled);
+      }
+    }
+    if (!result) {
+      if (item.deadline != 0 && queue->key.substrate != nullptr) {
+        // Reading the simulated clock (and running the task) must be
+        // serialized per substrate: the machine is single-threaded hardware.
+        std::lock_guard<std::mutex> stripe(stripe_for(queue->key.substrate));
+        if (queue->key.substrate->machine().now() > item.deadline) {
+          counter = &InvocationCounters::timed_out;
+          result = Result<Bytes>(Errc::timed_out);
+        } else {
+          result = item.task();
+        }
+      } else if (queue->key.substrate != nullptr) {
+        std::lock_guard<std::mutex> stripe(stripe_for(queue->key.substrate));
+        result = item.task();
+      } else {
+        result = item.task();
+      }
+    }
+    finish(item.state, std::move(*result));
+
+    lock.lock();
+    queue->running = false;
+    ++(stats_.counters.*counter);
+    if (!queue->items.empty() && !queue->in_run_deck && !stopping_) {
+      decks_[index].push_back(queue);
+      queue->in_run_deck = true;
+      work_cv_.notify_one();
+    } else if (stopping_) {
+      while (!queue->items.empty()) {
+        Item cancelled = std::move(queue->items.front());
+        queue->items.pop_front();
+        ++stats_.counters.cancelled;
+        --outstanding_;
+        finish(cancelled.state, Errc::cancelled);
+      }
+    }
+    if (--outstanding_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void Executor::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+ExecutorStats Executor::stats() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return stats_;
+}
+
+}  // namespace lateral::runtime

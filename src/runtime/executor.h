@@ -1,0 +1,138 @@
+// Executor — a work-stealing thread pool with per-domain run queues and a
+// Future-style completion API (submit / poll / wait / wait_all).
+//
+// Scheduling model: every task is bound to a domain (a DomainKey). Tasks of
+// one domain run in submission order and never concurrently — a domain is a
+// single-threaded component; that is what the isolation model promises its
+// handler. Each domain has a FIFO run queue; domain queues are dealt to a
+// home worker by hash, and an idle worker steals whole domain queues from
+// the back of a victim's deck (stealing whole queues, not single tasks,
+// is what preserves per-domain ordering).
+//
+// The simulated hardware is not thread-safe (Machine::advance is a plain
+// add), so the executor serializes all work touching one substrate through
+// a striped lock. Parallelism is real across substrates/machines — which
+// is also the physically honest model: one machine, one clock.
+//
+// Backpressure: per-domain queue depth is bounded; submit() refuses with
+// Errc::exhausted when full. Deadlines (absolute simulated cycles) and
+// cancellation resolve at dequeue time: the task completes with
+// Errc::timed_out / Errc::cancelled instead of running. Together with the
+// stats() counters this gives the same lossless accounting contract as
+// BatchChannel.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "runtime/batch_channel.h"
+#include "runtime/metrics.h"
+#include "substrate/substrate.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::runtime {
+
+/// What a task is charged to: a domain on a substrate. `substrate` may be
+/// null for work not tied to simulated hardware (no stripe lock, no
+/// deadline clock).
+struct DomainKey {
+  substrate::IsolationSubstrate* substrate = nullptr;
+  substrate::DomainId domain = substrate::kInvalidDomain;
+
+  auto operator<=>(const DomainKey&) const = default;
+};
+
+/// Completion handle for one submitted task.
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// True once the task reached a terminal state (result available).
+  bool poll() const;
+  /// Block until terminal; returns the task's result (or Errc::cancelled /
+  /// Errc::timed_out when it never ran).
+  Result<Bytes> wait();
+  /// Best-effort withdrawal: takes effect only if the task has not started.
+  Status cancel();
+
+ private:
+  friend class Executor;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+struct ExecutorConfig {
+  std::size_t threads = 2;
+  /// Per-domain run-queue bound (backpressure).
+  std::size_t queue_depth = 256;
+};
+
+struct ExecutorStats {
+  InvocationCounters counters;
+  std::uint64_t steals = 0;  // domain queues migrated to an idle worker
+};
+
+class Executor {
+ public:
+  using Task = std::function<Result<Bytes>()>;
+
+  explicit Executor(ExecutorConfig config = {});
+  /// Joins workers; tasks still queued complete with Errc::cancelled.
+  ~Executor();
+
+  /// Enqueue `task` on `key`'s run queue. Errc::exhausted when that
+  /// domain's queue is at its depth bound.
+  Result<Future> submit(const DomainKey& key, Task task,
+                        SubmitOptions opts = {});
+
+  /// Block until every task submitted so far is terminal.
+  void wait_all();
+
+  ExecutorStats stats() const;
+
+ private:
+  struct Item {
+    std::shared_ptr<Future::State> state;
+    Task task;
+    Cycles deadline = 0;
+  };
+  struct DomainQueue {
+    DomainKey key;
+    std::deque<Item> items;
+    bool in_run_deck = false;  // scheduled on some worker's deck
+    bool running = false;      // a worker is executing its head task
+  };
+
+  void worker_loop(std::size_t index);
+  std::shared_ptr<DomainQueue> next_queue_locked(std::size_t index);
+  void finish(const std::shared_ptr<Future::State>& state, Result<Bytes> r);
+  std::mutex& stripe_for(const substrate::IsolationSubstrate* substrate);
+
+  ExecutorConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::map<DomainKey, std::shared_ptr<DomainQueue>> domains_;
+  /// Per-worker deck of runnable domain queues.
+  std::vector<std::deque<std::shared_ptr<DomainQueue>>> decks_;
+  std::vector<std::thread> workers_;
+  std::uint64_t outstanding_ = 0;
+  bool stopping_ = false;
+  ExecutorStats stats_;
+  /// Striped locks serializing access to each substrate's machine.
+  static constexpr std::size_t kStripes = 16;
+  std::array<std::mutex, kStripes> substrate_stripes_;
+};
+
+}  // namespace lateral::runtime

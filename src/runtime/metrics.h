@@ -1,0 +1,88 @@
+// Runtime metrics — the observability half of the batching contract.
+//
+// Every BatchChannel / Executor accounts each accepted invocation to
+// exactly one terminal counter (completed, cancelled, timed_out), and each
+// refused one to `rejected`. That makes lossless backpressure *checkable*:
+//   submitted == completed + cancelled + timed_out + in_flight()
+// holds at every instant, and tests assert it under sustained overload.
+//
+// Cycle accounting: `sync_equivalent_cycles` is what the same invocations
+// would have cost as one-at-a-time synchronous calls (per-message
+// message_cost, both directions); `crossing_cycles` is what the batched
+// path actually charged. The difference is the amortization the runtime
+// exists to deliver, and bench_fig9 reports it per substrate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/types.h"
+
+namespace lateral::runtime {
+
+struct InvocationCounters {
+  // --- Invocation lifecycle (lossless accounting) ---
+  std::uint64_t submitted = 0;   // accepted into a queue
+  std::uint64_t completed = 0;   // handler ran; reply (or refusal) delivered
+  std::uint64_t rejected = 0;    // refused at submit: queue full
+  std::uint64_t cancelled = 0;   // withdrawn before running
+  std::uint64_t timed_out = 0;   // deadline expired before running
+
+  // --- Batching shape ---
+  std::uint64_t batches = 0;          // boundary crossings (flushes)
+  std::uint64_t queue_depth_hwm = 0;  // submission-queue high-water mark
+  /// batch_size_histogram[i] counts batches of size in [2^i, 2^(i+1)).
+  std::array<std::uint64_t, 12> batch_size_histogram{};
+
+  // --- Cycle accounting ---
+  Cycles sync_equivalent_cycles = 0;  // cost had every call gone sync
+  Cycles crossing_cycles = 0;         // cost the batched path paid
+
+  /// Invocations accepted but not yet terminal (must equal live queue
+  /// occupancy — the losslessness invariant).
+  std::uint64_t in_flight() const {
+    return submitted - completed - cancelled - timed_out;
+  }
+
+  /// Boundary-crossing cycles amortized away relative to the sync path.
+  Cycles cycles_saved() const {
+    return sync_equivalent_cycles > crossing_cycles
+               ? sync_equivalent_cycles - crossing_cycles
+               : 0;
+  }
+
+  void record_batch(std::size_t batch_size) {
+    ++batches;
+    std::size_t bucket = 0;
+    while ((std::size_t{2} << bucket) <= batch_size &&
+           bucket + 1 < batch_size_histogram.size())
+      ++bucket;
+    ++batch_size_histogram[bucket];
+  }
+
+  void record_depth(std::size_t depth) {
+    if (depth > queue_depth_hwm) queue_depth_hwm = depth;
+  }
+};
+
+/// Aggregates counters per domain label ("mail.ui->imap", "fig9.sgx", ...).
+/// Channels configured with the same hub+label share one counter block, so
+/// a component's traffic is queryable in one place regardless of how many
+/// queue pairs it opens.
+class MetricsHub {
+ public:
+  InvocationCounters& counters(const std::string& label) {
+    return counters_[label];  // std::map: references stay stable
+  }
+
+  const std::map<std::string, InvocationCounters>& all() const {
+    return counters_;
+  }
+
+ private:
+  std::map<std::string, InvocationCounters> counters_;
+};
+
+}  // namespace lateral::runtime

@@ -173,6 +173,55 @@ Result<Bytes> IsolationSubstrate::call(DomainId actor, ChannelId channel,
   return reply;
 }
 
+Result<BatchReply> IsolationSubstrate::call_batch(
+    DomainId actor, ChannelId channel, const std::vector<Bytes>& requests) {
+  ChannelRecord* chan = find_channel(channel);
+  if (!chan) return Errc::no_such_channel;
+  if (actor != chan->a && actor != chan->b) return Errc::access_denied;
+  for (const Bytes& request : requests)
+    if (request.size() > chan->spec.max_message_bytes)
+      return Errc::invalid_argument;
+  const DomainId callee = (actor == chan->a) ? chan->b : chan->a;
+  DomainRecord* callee_record = find_domain(callee);
+  if (!callee_record) return Errc::no_such_domain;
+  if (!callee_record->handler) return Errc::would_block;
+  // One serialization gate for the whole batch: a batch is a single
+  // session with the callee (the TPM's late-launch switch happens once).
+  if (const Status s = pre_call(actor, callee); !s.ok()) return s.error();
+
+  BatchReply out;
+  if (requests.empty()) return out;
+
+  // Request direction: one fixed boundary crossing, then per-byte copy
+  // cost for every queued request. message_cost(0) is exactly the fixed
+  // part of a substrate's message cost, so the marginal cost of the 2nd..
+  // Nth request is copy-only.
+  const Cycles fixed = message_cost(0);
+  Cycles crossing = fixed;
+  for (const Bytes& request : requests)
+    crossing += message_cost(request.size()) - fixed;
+  machine_.advance(crossing);
+
+  const std::uint64_t badge =
+      (actor == chan->a) ? chan->badge_a : chan->badge_b;
+  out.replies.reserve(requests.size());
+  for (const Bytes& request : requests) {
+    Invocation invocation;
+    invocation.channel = channel;
+    invocation.badge = badge;
+    invocation.data = request;
+    out.replies.push_back(callee_record->handler(invocation));
+  }
+
+  // Reply direction: same amortization.
+  Cycles reply_crossing = fixed;
+  for (const Result<Bytes>& reply : out.replies)
+    reply_crossing += message_cost(reply.ok() ? reply->size() : 0) - fixed;
+  machine_.advance(reply_crossing);
+  out.crossing_cycles = crossing + reply_crossing;
+  return out;
+}
+
 Status IsolationSubstrate::pre_call(DomainId actor, DomainId callee) {
   (void)actor;
   (void)callee;

@@ -29,6 +29,15 @@
 
 namespace lateral::substrate {
 
+/// Result of a batched synchronous invocation (call_batch). `replies[i]`
+/// corresponds to `requests[i]`; `crossing_cycles` is what the substrate
+/// charged for moving the whole batch across the boundary (both
+/// directions), so callers can account amortization honestly.
+struct BatchReply {
+  std::vector<Result<Bytes>> replies;
+  Cycles crossing_cycles = 0;
+};
+
 /// Configuration common to all substrate instances.
 struct SubstrateConfig {
   LaunchPolicy launch_policy = LaunchPolicy::none;
@@ -70,6 +79,14 @@ class IsolationSubstrate {
   /// Synchronous invocation of the peer's handler (service invocation in the
   /// structural template of Fig. 2).
   Result<Bytes> call(DomainId actor, ChannelId channel, BytesView data);
+  /// Batched invocation: deliver every request to the peer's handler while
+  /// crossing the isolation boundary once per direction for the whole
+  /// batch. The fixed crossing cost (message_cost(0)) is charged once; only
+  /// the per-byte copy cost scales with the batch. Per-request failures
+  /// come back inside BatchReply::replies; a batch-level refusal (bad
+  /// channel, no handler, pre_call veto) fails the whole call.
+  virtual Result<BatchReply> call_batch(DomainId actor, ChannelId channel,
+                                        const std::vector<Bytes>& requests);
   /// The badge minted for `endpoint`'s end of the channel — what the peer
   /// sees when `endpoint` sends. Composition code uses this to configure
   /// badge-based access-control lists (SessionDemux).

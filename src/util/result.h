@@ -31,6 +31,8 @@ enum class Errc {
   policy_violation,     // manifest/POLA policy check failed
   crypto_failure,       // low-level crypto error (bad key size etc.)
   io_error,             // simulated storage failure
+  timed_out,            // deadline budget expired before the work ran
+  cancelled,            // caller withdrew the request before it ran
 };
 
 /// Human-readable name for an error code.
@@ -51,6 +53,8 @@ constexpr std::string_view errc_name(Errc e) {
     case Errc::policy_violation: return "policy_violation";
     case Errc::crypto_failure: return "crypto_failure";
     case Errc::io_error: return "io_error";
+    case Errc::timed_out: return "timed_out";
+    case Errc::cancelled: return "cancelled";
   }
   return "unknown";
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/network.h"
+#include "net/remote.h"
 #include "net/secure_channel.h"
 #include "test_support.h"
 
@@ -301,6 +302,113 @@ TEST_F(SecureChannelTest, MalformedHandshakeMessagesRejected) {
   // Role misuse.
   EXPECT_FALSE(responder.start().ok());
   EXPECT_FALSE(initiator.handle_msg1(*msg1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// RemoteProxy / RemoteDispatcher error paths: the RPC layer must turn every
+// kind of malformed or hostile input into a clean refusal, never into a
+// stuck channel or a fabricated success.
+class RemoteRpcTest : public SecureChannelTest {
+ protected:
+  void SetUp() override {
+    SecureChannelTest::SetUp();
+    client_ = std::make_unique<SecureChannelEndpoint>(
+        Role::initiator, to_bytes("rpc-i"), std::nullopt, std::nullopt);
+    server_ = std::make_unique<SecureChannelEndpoint>(
+        Role::responder, to_bytes("rpc-r"), std::nullopt, std::nullopt);
+    run_handshake(*client_, *server_);
+    dispatcher_ = std::make_unique<RemoteDispatcher>(*server_);
+    ASSERT_TRUE(dispatcher_
+                    ->register_method("echo",
+                                      [](BytesView request) -> Result<Bytes> {
+                                        return Bytes(request.begin(),
+                                                     request.end());
+                                      })
+                    .ok());
+    ASSERT_TRUE(dispatcher_
+                    ->register_method("refuse",
+                                      [](BytesView) -> Result<Bytes> {
+                                        return Errc::access_denied;
+                                      })
+                    .ok());
+    proxy_ = std::make_unique<RemoteProxy>(
+        *client_, [this](BytesView record) -> Result<Bytes> {
+          return dispatcher_->handle(record);
+        });
+  }
+
+  std::unique_ptr<SecureChannelEndpoint> client_;
+  std::unique_ptr<SecureChannelEndpoint> server_;
+  std::unique_ptr<RemoteDispatcher> dispatcher_;
+  std::unique_ptr<RemoteProxy> proxy_;
+};
+
+TEST_F(RemoteRpcTest, EchoRoundTrip) {
+  auto reply = proxy_->call("echo", to_bytes("ping"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "ping");
+}
+
+TEST_F(RemoteRpcTest, UnknownAndMalformedMethodNamesRefused) {
+  EXPECT_EQ(proxy_->call("no-such-method", {}).error(),
+            Errc::invalid_argument);
+  // An empty method name is well-framed but matches nothing.
+  EXPECT_EQ(proxy_->call("", {}).error(), Errc::invalid_argument);
+  // A method name with embedded NULs and control bytes is just a string
+  // that matches nothing — it must not confuse the framing.
+  const std::string weird("\x00\x01\xffmethod\n", 9);
+  EXPECT_EQ(proxy_->call(weird, to_bytes("x")).error(),
+            Errc::invalid_argument);
+  // The channel must still be usable afterwards.
+  EXPECT_TRUE(proxy_->call("echo", to_bytes("still-alive")).ok());
+}
+
+TEST_F(RemoteRpcTest, HandlerRefusalTravelsBack) {
+  EXPECT_EQ(proxy_->call("refuse", to_bytes("x")).error(), Errc::access_denied);
+}
+
+TEST_F(RemoteRpcTest, LyingMethodLengthRefused) {
+  // Craft an authentic record whose method_len field points past the end
+  // of the plaintext. The dispatcher must answer invalid_argument (inside
+  // an authentic reply), not crash or hang.
+  Bytes plain;
+  plain.push_back(0xFF);  // method_len = 0xFF00 + 0xFF, far beyond the data
+  plain.push_back(0xFF);
+  plain.push_back('x');
+  auto record = client_->seal_record(plain);
+  ASSERT_TRUE(record.ok());
+  auto reply_record = dispatcher_->handle(*record);
+  ASSERT_TRUE(reply_record.ok());
+  auto reply = client_->open_record(*reply_record);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_FALSE(reply->empty());
+  EXPECT_EQ(static_cast<Errc>((*reply)[0]), Errc::invalid_argument);
+}
+
+TEST_F(RemoteRpcTest, TruncatedSealedRecordRefused) {
+  auto record = client_->seal_record(
+      to_bytes(std::string("\x00\x04echopayload", 13)));
+  ASSERT_TRUE(record.ok());
+  // Losing the last byte leaves a parseable record with a broken MAC.
+  Bytes clipped(*record);
+  clipped.pop_back();
+  EXPECT_EQ(dispatcher_->handle(clipped).error(), Errc::verification_failed);
+  // Losing half the record leaves nothing parseable at all.
+  Bytes truncated(*record);
+  truncated.resize(truncated.size() / 2);
+  EXPECT_EQ(dispatcher_->handle(truncated).error(), Errc::invalid_argument);
+  Bytes empty;
+  EXPECT_FALSE(dispatcher_->handle(empty).ok());
+}
+
+TEST_F(RemoteRpcTest, ReplayedRequestRecordRefused) {
+  auto record =
+      client_->seal_record(to_bytes(std::string("\x00\x04echoonce", 10)));
+  ASSERT_TRUE(record.ok());
+  ASSERT_TRUE(dispatcher_->handle(*record).ok());
+  // An attacker replaying the captured request record gets a channel-level
+  // refusal: the receive sequence has moved on.
+  EXPECT_EQ(dispatcher_->handle(*record).error(), Errc::verification_failed);
 }
 
 }  // namespace
