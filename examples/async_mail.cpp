@@ -151,9 +151,9 @@ int main() {
 
   // --- Batched store into the isolated storage component -------------------
   mail::MailClient& mc = **client;
-  auto storage_wire = mc.assembly().wire("ui", "storage");
+  auto storage_ep = mc.assembly().endpoint("ui", "storage");
   runtime::BatchChannel stores(
-      *storage_wire->substrate, storage_wire->actor, storage_wire->channel,
+      *storage_ep,
       {.depth = 16, .hub = &mc.runtime_metrics(), .label = "ui->storage"});
   std::vector<runtime::SubmissionId> store_ids;
   for (const runtime::RequestId id : fetch_ids) {

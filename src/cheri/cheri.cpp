@@ -100,6 +100,7 @@ Status Cheri::cap_store(const Capability& cap, std::uint64_t offset,
 
 Result<Bytes> Cheri::read_memory(DomainId actor, DomainId target,
                                  std::uint64_t offset, std::size_t len) {
+  if (is_dead(actor) || is_dead(target)) return Errc::domain_dead;
   if (!allocations_.contains(actor)) return Errc::no_such_domain;
   if (actor != target) return Errc::access_denied;  // no capability held
   auto root = root_capability(target);
@@ -109,6 +110,7 @@ Result<Bytes> Cheri::read_memory(DomainId actor, DomainId target,
 
 Status Cheri::write_memory(DomainId actor, DomainId target,
                            std::uint64_t offset, BytesView data) {
+  if (is_dead(actor) || is_dead(target)) return Errc::domain_dead;
   if (!allocations_.contains(actor)) return Errc::no_such_domain;
   if (actor != target) return Errc::access_denied;
   auto root = root_capability(target);

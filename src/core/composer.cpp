@@ -6,39 +6,73 @@
 
 namespace lateral::core {
 
-Assembly::ChannelKey Assembly::key_of(const std::string& x,
-                                      const std::string& y) {
-  return (x < y) ? ChannelKey{x, y} : ChannelKey{y, x};
+Result<ComponentRef> Assembly::ref(const std::string& name) const {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return Errc::no_such_domain;
+  return ComponentRef(it->second);
+}
+
+std::string_view Assembly::name_of(ComponentRef ref) const {
+  const Node* node = node_of(ref);
+  return node ? std::string_view(node->component.manifest.name)
+              : std::string_view{};
+}
+
+const Assembly::Node* Assembly::node_of(ComponentRef ref) const {
+  if (!ref.valid() || ref.index_ >= nodes_.size()) return nullptr;
+  return &nodes_[ref.index_];
+}
+
+Assembly::Node* Assembly::node_of(ComponentRef ref) {
+  if (!ref.valid() || ref.index_ >= nodes_.size()) return nullptr;
+  return &nodes_[ref.index_];
+}
+
+Result<const Assembly::Component*> Assembly::component(
+    ComponentRef ref) const {
+  const Node* node = node_of(ref);
+  if (!node) return Errc::no_such_domain;
+  return &node->component;
 }
 
 Result<const Assembly::Component*> Assembly::component(
     const std::string& name) const {
-  const auto it = components_.find(name);
-  if (it == components_.end()) return Errc::no_such_domain;
-  return &it->second;
+  auto r = ref(name);
+  if (!r) return r.error();
+  return component(*r);
 }
 
-Result<const Assembly::ChannelInfo*> Assembly::channel_between(
-    const std::string& x, const std::string& y) const {
-  const auto it = channels_.find(key_of(x, y));
-  if (it == channels_.end()) return Errc::no_such_channel;
-  return &it->second;
+Result<const Assembly::ChannelRec*> Assembly::channel_between(
+    ComponentRef x, ComponentRef y) const {
+  const Node* node = node_of(x);
+  if (!node || !node_of(y)) return Errc::no_such_channel;
+  for (const auto& [peer, channel] : node->edges)
+    if (peer == y.index_) return &channels_[channel];
+  return Errc::no_such_channel;
+}
+
+Status Assembly::set_behavior(ComponentRef ref,
+                              substrate::IsolationSubstrate::Handler handler) {
+  Node* node = node_of(ref);
+  if (!node) return Errc::no_such_domain;
+  // Keep a copy: a supervised restart must be able to reinstall the
+  // behaviour into the relaunched domain without the app's involvement.
+  node->behavior = handler;
+  return node->component.substrate->set_handler(node->component.domain,
+                                                std::move(handler));
 }
 
 Status Assembly::set_behavior(const std::string& name,
                               substrate::IsolationSubstrate::Handler handler) {
-  const auto it = components_.find(name);
-  if (it == components_.end()) return Errc::no_such_domain;
-  return it->second.substrate->set_handler(it->second.domain,
-                                           std::move(handler));
+  auto r = ref(name);
+  if (!r) return r.error();
+  return set_behavior(*r, std::move(handler));
 }
 
-Result<Bytes> Assembly::invoke(const std::string& from, const std::string& to,
+Result<Bytes> Assembly::invoke(ComponentRef from, ComponentRef to,
                                BytesView data) {
-  const auto from_it = components_.find(from);
-  const auto to_it = components_.find(to);
-  if (from_it == components_.end() || to_it == components_.end())
-    return Errc::no_such_domain;
+  const Node* from_node = node_of(from);
+  if (!from_node || !node_of(to)) return Errc::no_such_domain;
 
   auto chan = channel_between(from, to);
   if (enforce_manifest_ && !chan) {
@@ -49,57 +83,158 @@ Result<Bytes> Assembly::invoke(const std::string& from, const std::string& to,
   if (!chan) return Errc::no_such_channel;
 
   // Same-substrate channels go through the substrate's reference monitor.
-  return (*chan)->substrate->call(from_it->second.domain, (*chan)->id, data);
+  return (*chan)->substrate->call(from_node->component.domain, (*chan)->id,
+                                  data);
+}
+
+Result<Bytes> Assembly::invoke(const std::string& from, const std::string& to,
+                               BytesView data) {
+  auto f = ref(from);
+  auto t = ref(to);
+  if (!f || !t) return Errc::no_such_domain;
+  return invoke(*f, *t, data);
+}
+
+Status Assembly::send(ComponentRef from, ComponentRef to, BytesView data) {
+  const Node* from_node = node_of(from);
+  if (!from_node || !node_of(to)) return Errc::no_such_domain;
+  auto chan = channel_between(from, to);
+  if (enforce_manifest_ && !chan) return Errc::policy_violation;
+  if (!chan) return Errc::no_such_channel;
+  return (*chan)->substrate->send(from_node->component.domain, (*chan)->id,
+                                  data);
 }
 
 Status Assembly::send(const std::string& from, const std::string& to,
                       BytesView data) {
-  const auto from_it = components_.find(from);
-  if (from_it == components_.end() || !components_.contains(to))
-    return Errc::no_such_domain;
-  auto chan = channel_between(from, to);
-  if (enforce_manifest_ && !chan) return Errc::policy_violation;
+  auto f = ref(from);
+  auto t = ref(to);
+  if (!f || !t) return Errc::no_such_domain;
+  return send(*f, *t, data);
+}
+
+Result<substrate::Message> Assembly::receive(ComponentRef at,
+                                             ComponentRef from) {
+  const Node* at_node = node_of(at);
+  if (!at_node || !node_of(from)) return Errc::no_such_domain;
+  auto chan = channel_between(at, from);
   if (!chan) return Errc::no_such_channel;
-  return (*chan)->substrate->send(from_it->second.domain, (*chan)->id, data);
+  return (*chan)->substrate->receive(at_node->component.domain, (*chan)->id);
 }
 
 Result<substrate::Message> Assembly::receive(const std::string& at,
                                              const std::string& from) {
-  const auto at_it = components_.find(at);
-  if (at_it == components_.end() || !components_.contains(from))
-    return Errc::no_such_domain;
-  auto chan = channel_between(at, from);
-  if (!chan) return Errc::no_such_channel;
-  return (*chan)->substrate->receive(at_it->second.domain, (*chan)->id);
+  auto a = ref(at);
+  auto f = ref(from);
+  if (!a || !f) return Errc::no_such_domain;
+  return receive(*a, *f);
 }
 
-Result<Assembly::Wire> Assembly::wire(const std::string& from,
-                                      const std::string& to) const {
-  const auto from_it = components_.find(from);
-  if (from_it == components_.end() || !components_.contains(to))
-    return Errc::no_such_domain;
+Result<Endpoint> Assembly::endpoint(ComponentRef from, ComponentRef to) const {
+  const Node* from_node = node_of(from);
+  if (!from_node || !node_of(to)) return Errc::no_such_domain;
   auto chan = channel_between(from, to);
   if (enforce_manifest_ && !chan) return Errc::policy_violation;
   if (!chan) return Errc::no_such_channel;
-  Wire out;
-  out.substrate = (*chan)->substrate;
-  out.channel = (*chan)->id;
-  out.actor = from_it->second.domain;
-  return out;
+  auto epoch = (*chan)->substrate->channel_epoch((*chan)->id);
+  if (!epoch) return epoch.error();
+  return Endpoint((*chan)->substrate, (*chan)->id,
+                  from_node->component.domain, *epoch);
+}
+
+Result<Endpoint> Assembly::endpoint(const std::string& from,
+                                    const std::string& to) const {
+  auto f = ref(from);
+  auto t = ref(to);
+  if (!f || !t) return Errc::no_such_domain;
+  return endpoint(*f, *t);
 }
 
 Result<std::uint64_t> Assembly::badge_of(const std::string& from,
                                          const std::string& to) const {
-  auto chan = channel_between(from, to);
+  auto f = ref(from);
+  auto t = ref(to);
+  if (!f || !t) return Errc::no_such_channel;
+  auto chan = channel_between(*f, *t);
   if (!chan) return chan.error();
-  const ChannelKey key = key_of(from, to);
-  return (key.a == from) ? (*chan)->badge_a : (*chan)->badge_b;
+  return ((*chan)->a == f->index_) ? (*chan)->badge_a : (*chan)->badge_b;
+}
+
+Status Assembly::kill_component(ComponentRef ref) {
+  Node* node = node_of(ref);
+  if (!node) return Errc::no_such_domain;
+  return node->component.substrate->kill_domain(node->component.domain);
+}
+
+Status Assembly::kill_component(const std::string& name) {
+  auto r = ref(name);
+  if (!r) return r.error();
+  return kill_component(*r);
+}
+
+Status Assembly::restart_component(ComponentRef ref) {
+  Node* node = node_of(ref);
+  if (!node) return Errc::no_such_domain;
+  Component& c = node->component;
+  const substrate::DomainId corpse = c.domain;
+
+  // Forced restart of a live component starts with the crash itself.
+  if (!c.substrate->is_dead(corpse)) {
+    if (const Status s = c.substrate->kill_domain(corpse); !s.ok()) return s;
+  }
+
+  // Relaunch through the same path the composer used, so the new domain
+  // measures to the same value and attestation against the expected
+  // measurement still succeeds.
+  substrate::DomainSpec spec;
+  spec.name = c.manifest.name;
+  spec.kind = c.manifest.kind;
+  spec.image.name = c.manifest.name;
+  spec.image.code = to_bytes("lateral.component:" + c.manifest.name);
+  spec.memory_pages = c.manifest.memory_pages;
+  spec.time_share_permille = c.manifest.time_share_permille;
+  auto domain = c.substrate->create_domain(spec);
+  if (!domain) return domain.error();
+
+  // Rebind every declared channel from the corpse to the reincarnation:
+  // ids stay stable (peers' refs and recorded wiring survive), epochs bump
+  // (outstanding Endpoints go stale), badges are fresh.
+  for (const auto& [peer, channel] : node->edges) {
+    ChannelRec& rec = channels_[channel];
+    if (const Status s = rec.substrate->rebind_channel(rec.id, corpse, *domain);
+        !s.ok()) {
+      (void)c.substrate->destroy_domain(*domain);
+      return s;
+    }
+    std::uint64_t& badge = (rec.a == ref.index_) ? rec.badge_a : rec.badge_b;
+    badge = rec.substrate->endpoint_badge(rec.id, *domain).value_or(0);
+  }
+
+  // Reap the corpse only after rebinding: once no channel references it,
+  // destroy_domain removes just the record.
+  (void)c.substrate->destroy_domain(corpse);
+  c.domain = *domain;
+  ++c.incarnation;
+
+  if (node->behavior) {
+    if (const Status s = c.substrate->set_handler(c.domain, node->behavior);
+        !s.ok())
+      return s;
+  }
+  return Status::success();
+}
+
+Status Assembly::restart_component(const std::string& name) {
+  auto r = ref(name);
+  if (!r) return r.error();
+  return restart_component(*r);
 }
 
 Status Assembly::compromise(const std::string& name) {
-  const auto it = components_.find(name);
-  if (it == components_.end()) return Errc::no_such_domain;
-  return it->second.substrate->mark_compromised(it->second.domain);
+  auto r = ref(name);
+  if (!r) return r.error();
+  Node* node = node_of(*r);
+  return node->component.substrate->mark_compromised(node->component.domain);
 }
 
 TrustGraph Assembly::trust_graph() const {
@@ -108,8 +243,8 @@ TrustGraph Assembly::trust_graph() const {
 
 std::vector<std::string> Assembly::component_names() const {
   std::vector<std::string> names;
-  names.reserve(components_.size());
-  for (const auto& [name, component] : components_) names.push_back(name);
+  names.reserve(index_.size());
+  for (const auto& [name, node] : index_) names.push_back(name);
   return names;
 }
 
@@ -142,8 +277,8 @@ Result<std::unique_ptr<Assembly>> SystemComposer::compose(
   // On any failure below, tear down every domain created so far: a failed
   // composition must not leak half an application into the substrates.
   auto unwind = [&assembly] {
-    for (const auto& [name, component] : assembly->components_)
-      (void)component.substrate->destroy_domain(component.domain);
+    for (const Assembly::Node& node : assembly->nodes_)
+      (void)node.component.substrate->destroy_domain(node.component.domain);
   };
 
   for (const Manifest& m : manifests) {
@@ -153,6 +288,8 @@ Result<std::unique_ptr<Assembly>> SystemComposer::compose(
     spec.kind = m.kind;
     // Deterministic placeholder image; scenarios that care about specific
     // measurements (attestation tests) create domains directly instead.
+    // restart_component() rebuilds the identical spec, so a relaunched
+    // component re-measures to the same value.
     spec.image.name = m.name;
     spec.image.code = to_bytes("lateral.component:" + m.name);
     spec.memory_pages = m.memory_pages;
@@ -164,44 +301,55 @@ Result<std::unique_ptr<Assembly>> SystemComposer::compose(
       unwind();
       return Errc::policy_violation;
     }
-    Assembly::Component component;
-    component.manifest = m;
-    component.substrate = sub;
-    component.domain = *domain;
-    assembly->components_.emplace(m.name, component);
+    Assembly::Node node;
+    node.component.manifest = m;
+    node.component.substrate = sub;
+    node.component.domain = *domain;
+    assembly->index_.emplace(m.name,
+                             static_cast<std::uint32_t>(assembly->nodes_.size()));
+    assembly->nodes_.push_back(std::move(node));
   }
 
   // Channel wiring: exactly the declared pairs, once each.
   for (const Manifest& m : manifests) {
     for (const std::string& peer : m.channels) {
-      const Assembly::ChannelKey key = Assembly::key_of(m.name, peer);
-      if (assembly->channels_.contains(key)) continue;
-      const Assembly::Component& ca = assembly->components_.at(key.a);
-      const Assembly::Component& cb = assembly->components_.at(key.b);
-      if (ca.substrate != cb.substrate) {
+      const std::uint32_t ia = assembly->index_.at(m.name);
+      const std::uint32_t ib = assembly->index_.at(peer);
+      if (assembly->channel_between(ComponentRef(ia), ComponentRef(ib)))
+        continue;  // the peer's manifest already declared this pair
+      Assembly::Node& na = assembly->nodes_[ia];
+      Assembly::Node& nb = assembly->nodes_[ib];
+      if (na.component.substrate != nb.component.substrate) {
         diagnostics_.push_back(
-            "channel " + key.a + "<->" + key.b +
+            "channel " + m.name + "<->" + peer +
             ": components on different substrates; connect them with "
             "net::SecureChannel instead");
         unwind();
         return Errc::policy_violation;
       }
-      auto channel = ca.substrate->create_channel(ca.domain, cb.domain);
+      auto channel = na.component.substrate->create_channel(
+          na.component.domain, nb.component.domain);
       if (!channel) {
-        diagnostics_.push_back("channel " + key.a + "<->" + key.b +
+        diagnostics_.push_back("channel " + m.name + "<->" + peer +
                                " failed: " +
                                std::string(errc_name(channel.error())));
         unwind();  // destroying the domains also reaps their channels
         return Errc::policy_violation;
       }
-      Assembly::ChannelInfo info;
-      info.id = *channel;
-      info.substrate = ca.substrate;
-      info.badge_a = ca.substrate->endpoint_badge(*channel, ca.domain)
-                         .value_or(0);
-      info.badge_b = cb.substrate->endpoint_badge(*channel, cb.domain)
-                         .value_or(0);
-      assembly->channels_.emplace(key, info);
+      Assembly::ChannelRec rec;
+      rec.substrate = na.component.substrate;
+      rec.id = *channel;
+      rec.a = ia;
+      rec.b = ib;
+      rec.badge_a = rec.substrate->endpoint_badge(*channel, na.component.domain)
+                        .value_or(0);
+      rec.badge_b = rec.substrate->endpoint_badge(*channel, nb.component.domain)
+                        .value_or(0);
+      const auto rec_index =
+          static_cast<std::uint32_t>(assembly->channels_.size());
+      assembly->channels_.push_back(rec);
+      na.edges.emplace_back(ib, rec_index);
+      nb.edges.emplace_back(ia, rec_index);
     }
   }
   return assembly;

@@ -7,6 +7,15 @@
 // undeclared communication before it even reaches a substrate, and the
 // substrate would refuse it too (defence in depth; the fig6 ablation
 // disables the manifest check to show the substrate still holds).
+//
+// The assembly API is handle-based: resolve a component name once with
+// ref(), then drive the hot paths (invoke/send/receive) with the returned
+// ComponentRef — an interned index, so per-invocation cost is a vector
+// index plus a short adjacency scan instead of two map lookups over
+// strings. The string overloads remain as thin wrappers for setup code and
+// tests. Endpoints handed out to runtime adapters carry the channel epoch
+// (core::Endpoint), so holders from before a supervised restart fail fast
+// with Errc::stale_epoch instead of driving the reincarnated channel.
 #pragma once
 
 #include <map>
@@ -14,12 +23,31 @@
 #include <string>
 #include <vector>
 
+#include "core/endpoint.h"
 #include "core/manifest.h"
 #include "core/trust_graph.h"
 #include "substrate/registry.h"
 #include "substrate/substrate.h"
 
 namespace lateral::core {
+
+/// Interned handle to a component of one Assembly. Cheap to copy and
+/// compare; only meaningful to the Assembly that minted it. Refs stay valid
+/// across supervised restarts of the component — the name keeps denoting
+/// the (possibly reincarnated) component, not one domain instance.
+class ComponentRef {
+ public:
+  constexpr ComponentRef() = default;
+  constexpr bool valid() const { return index_ != kInvalid; }
+  friend constexpr bool operator==(ComponentRef, ComponentRef) = default;
+
+ private:
+  friend class Assembly;
+  friend class SystemComposer;
+  static constexpr std::uint32_t kInvalid = 0xffff'ffff;
+  constexpr explicit ComponentRef(std::uint32_t index) : index_(index) {}
+  std::uint32_t index_ = kInvalid;
+};
 
 /// A composed, running system of components.
 class Assembly {
@@ -28,41 +56,74 @@ class Assembly {
     Manifest manifest;
     substrate::IsolationSubstrate* substrate = nullptr;
     substrate::DomainId domain = substrate::kInvalidDomain;
+    /// Times this component has been relaunched after a crash.
+    std::uint32_t incarnation = 0;
   };
 
+  /// Intern a component name. Errc::no_such_domain when unknown.
+  Result<ComponentRef> ref(const std::string& name) const;
+  /// Name behind a handle (empty for an invalid/foreign ref).
+  std::string_view name_of(ComponentRef ref) const;
+
   /// Look up a component. Errc::no_such_domain when unknown.
+  Result<const Component*> component(ComponentRef ref) const;
   Result<const Component*> component(const std::string& name) const;
 
-  /// Install the behaviour (handler) of a component.
+  /// Install the behaviour (handler) of a component. The assembly records
+  /// the handler so a supervised restart can reinstall it into the
+  /// relaunched domain.
+  Status set_behavior(ComponentRef ref,
+                      substrate::IsolationSubstrate::Handler handler);
   Status set_behavior(const std::string& name,
                       substrate::IsolationSubstrate::Handler handler);
 
   /// Invoke `to` from `from` over their declared channel. Fails with
-  /// policy_violation when the manifests declared no such channel.
+  /// policy_violation when the manifests declared no such channel, and
+  /// with domain_dead when either side has crashed and not been restarted.
+  Result<Bytes> invoke(ComponentRef from, ComponentRef to, BytesView data);
   Result<Bytes> invoke(const std::string& from, const std::string& to,
                        BytesView data);
 
   /// Async variants.
+  Status send(ComponentRef from, ComponentRef to, BytesView data);
   Status send(const std::string& from, const std::string& to, BytesView data);
+  Result<substrate::Message> receive(ComponentRef at, ComponentRef from);
   Result<substrate::Message> receive(const std::string& at,
                                      const std::string& from);
 
-  /// The raw substrate endpoint of `from`'s side of its declared channel to
+  /// The epoch-stamped endpoint of `from`'s side of its declared channel to
   /// `to` — what lateral::runtime's batched adapters (BatchChannel) drive.
-  /// The manifest check happens here, once, when the wire is handed out;
-  /// the substrate's reference monitor still checks every use.
+  /// The manifest check happens here, once, when the endpoint is handed
+  /// out; the substrate's reference monitor still checks every use, and the
+  /// endpoint itself goes stale (Errc::stale_epoch) when a supervised
+  /// restart re-epochs the channel — holders re-mint through this method.
   /// Errc::policy_violation when the manifests declared no such channel.
-  struct Wire {
-    substrate::IsolationSubstrate* substrate = nullptr;
-    substrate::ChannelId channel = 0;
-    substrate::DomainId actor = substrate::kInvalidDomain;
-  };
-  Result<Wire> wire(const std::string& from, const std::string& to) const;
+  Result<Endpoint> endpoint(ComponentRef from, ComponentRef to) const;
+  Result<Endpoint> endpoint(const std::string& from,
+                            const std::string& to) const;
 
   /// Badge identifying `from` on the channel between from and to (what the
-  /// receiver will see in Invocation::badge).
+  /// receiver will see in Invocation::badge). Badges are reminted when a
+  /// restart rebinds the channel, so resolve them per incarnation.
   Result<std::uint64_t> badge_of(const std::string& from,
                                  const std::string& to) const;
+
+  /// Crash a component abruptly (fault injection / containment drills):
+  /// kill_domain at the substrate, leaving a corpse every peer observes as
+  /// Errc::domain_dead until restart_component() relaunches it.
+  Status kill_component(ComponentRef ref);
+  Status kill_component(const std::string& name);
+
+  /// Relaunch a component through the composer path: a fresh domain from
+  /// the same manifest (same deterministic image, so re-measurement yields
+  /// the expected value), every assembly channel rebound to the new domain
+  /// under a bumped epoch and fresh badges, the corpse reaped, and the
+  /// recorded behaviour reinstalled. A still-live component is killed
+  /// first (forced restart). Errc::no_such_domain for unknown components.
+  /// On success the component's ref and channels remain valid; outstanding
+  /// Endpoint objects go stale by design.
+  Status restart_component(ComponentRef ref);
+  Status restart_component(const std::string& name);
 
   /// Mark a component compromised (containment experiments).
   Status compromise(const std::string& name);
@@ -79,25 +140,35 @@ class Assembly {
  private:
   friend class SystemComposer;
 
-  struct ChannelKey {
-    std::string a;  // lexicographically smaller name
-    std::string b;
-    auto operator<=>(const ChannelKey&) const = default;
-  };
-  static ChannelKey key_of(const std::string& x, const std::string& y);
-
-  struct ChannelInfo {
-    substrate::ChannelId id = 0;
+  /// One declared channel between two components (undirected).
+  struct ChannelRec {
     substrate::IsolationSubstrate* substrate = nullptr;
-    std::uint64_t badge_a = 0;  // badge of key.a's endpoint
+    substrate::ChannelId id = 0;
+    std::uint32_t a = 0;  // node index, a < b not required (insertion order)
+    std::uint32_t b = 0;
+    std::uint64_t badge_a = 0;
     std::uint64_t badge_b = 0;
   };
 
-  Result<const ChannelInfo*> channel_between(const std::string& x,
-                                             const std::string& y) const;
+  struct Node {
+    Component component;
+    substrate::IsolationSubstrate::Handler behavior;  // recorded for restart
+    /// Adjacency: peer node index -> index into channels_. Kept as a flat
+    /// vector (manifests declare a handful of channels per component), so
+    /// the invoke hot path is index + linear scan, no string compares.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  };
 
-  std::map<std::string, Component> components_;
-  std::map<ChannelKey, ChannelInfo> channels_;
+  const Node* node_of(ComponentRef ref) const;
+  Node* node_of(ComponentRef ref);
+  /// Channel between two interned components; no_such_channel when the
+  /// manifests declared none.
+  Result<const ChannelRec*> channel_between(ComponentRef x,
+                                            ComponentRef y) const;
+
+  std::vector<Node> nodes_;
+  std::vector<ChannelRec> channels_;
+  std::map<std::string, std::uint32_t, std::less<>> index_;  // name -> node
   std::vector<Manifest> manifests_;
   bool enforce_manifest_ = true;
 };

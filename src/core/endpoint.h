@@ -1,0 +1,75 @@
+// Epoch-checked channel endpoints (supervised-restart safety).
+//
+// An Endpoint is one side of an assembly channel, captured at a point in
+// time: substrate, channel, acting domain, and the channel's epoch at mint.
+// Substrate channels survive a supervised restart (the ChannelId stays
+// stable; see IsolationSubstrate::rebind_channel), but everything queued or
+// minted before the crash belongs to the old life of the component. The
+// epoch check makes that boundary explicit: an Endpoint minted before a
+// restart fails every operation with Errc::stale_epoch instead of silently
+// driving the reincarnated channel with pre-crash assumptions. Holders
+// re-mint through Assembly::endpoint() after a restart.
+//
+// This replaces the old Assembly::Wire POD, which carried no epoch and so
+// could not distinguish "the component I attached to" from "whatever lives
+// behind this channel id now".
+#pragma once
+
+#include "substrate/substrate.h"
+#include "util/result.h"
+
+namespace lateral::core {
+
+class Endpoint {
+ public:
+  Endpoint() = default;
+  Endpoint(substrate::IsolationSubstrate* sub, substrate::ChannelId channel,
+           substrate::DomainId actor, std::uint64_t epoch)
+      : substrate_(sub), channel_(channel), actor_(actor), epoch_(epoch) {}
+
+  bool valid() const { return substrate_ != nullptr; }
+  substrate::IsolationSubstrate* substrate() const { return substrate_; }
+  substrate::ChannelId channel() const { return channel_; }
+  substrate::DomainId actor() const { return actor_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Errc::stale_epoch when the channel was re-epoched (peer restarted or
+  /// explicitly fenced) since this endpoint was minted; propagates the
+  /// substrate's error (e.g. no_such_channel) when the channel is gone.
+  Status check() const {
+    if (!substrate_) return Errc::invalid_argument;
+    const auto now = substrate_->channel_epoch(channel_);
+    if (!now) return now.error();
+    if (*now != epoch_) return Errc::stale_epoch;
+    return Status::success();
+  }
+
+  Result<Bytes> call(BytesView data) const {
+    if (const Status s = check(); !s.ok()) return s.error();
+    return substrate_->call(actor_, channel_, data);
+  }
+
+  Result<substrate::BatchReply> call_batch(
+      const std::vector<Bytes>& requests) const {
+    if (const Status s = check(); !s.ok()) return s.error();
+    return substrate_->call_batch(actor_, channel_, requests);
+  }
+
+  Status send(BytesView data) const {
+    if (const Status s = check(); !s.ok()) return s;
+    return substrate_->send(actor_, channel_, data);
+  }
+
+  Result<substrate::Message> receive() const {
+    if (const Status s = check(); !s.ok()) return s.error();
+    return substrate_->receive(actor_, channel_);
+  }
+
+ private:
+  substrate::IsolationSubstrate* substrate_ = nullptr;
+  substrate::ChannelId channel_ = 0;
+  substrate::DomainId actor_ = substrate::kInvalidDomain;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace lateral::core

@@ -33,6 +33,7 @@ std::optional<substrate::AttackerModel> parse_attacker(
 Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
   std::vector<Manifest> manifests;
   std::optional<Manifest> current;
+  bool in_restart = false;  // inside a nested `restart { ... }` stanza
 
   std::istringstream stream{std::string(text)};
   std::string line;
@@ -41,6 +42,32 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
     ++line_no;
     const std::vector<std::string> tokens = tokenize_line(line);
     if (tokens.empty()) continue;
+
+    if (in_restart) {
+      RestartPolicy& policy = *current->restart;
+      const std::string& key = tokens[0];
+      if (key == "}") {
+        if (tokens.size() != 1) return Errc::invalid_argument;
+        in_restart = false;
+      } else if (key == "max") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        policy.max_restarts = static_cast<std::uint32_t>(std::stoul(tokens[1]));
+      } else if (key == "backoff") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        policy.backoff_cycles = std::stoull(tokens[1]);
+      } else if (key == "escalate") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        if (tokens[1] == "degraded")
+          policy.escalation = RestartPolicy::Escalation::degraded;
+        else if (tokens[1] == "halted")
+          policy.escalation = RestartPolicy::Escalation::halted;
+        else
+          return Errc::invalid_argument;
+      } else {
+        return Errc::invalid_argument;  // unknown restart directive
+      }
+      continue;
+    }
 
     if (tokens[0] == "component") {
       if (current) return Errc::invalid_argument;  // nested component
@@ -102,6 +129,11 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
     } else if (key == "loc") {
       if (!need_arg()) return Errc::invalid_argument;
       current->loc = std::stoull(tokens[1]);
+    } else if (key == "restart") {
+      if (tokens.size() != 2 || tokens[1] != "{" || current->restart)
+        return Errc::invalid_argument;
+      current->restart.emplace();  // defaults apply until overridden
+      in_restart = true;
     } else {
       return Errc::invalid_argument;  // unknown directive
     }
@@ -129,6 +161,13 @@ std::string to_text(const std::vector<Manifest>& manifests) {
     if (m.needs_attestation) out << "  attest\n";
     out << "  assets " << m.asset_value << "\n";
     out << "  loc " << m.loc << "\n";
+    if (m.restart) {
+      out << "  restart {\n";
+      out << "    max " << m.restart->max_restarts << "\n";
+      out << "    backoff " << m.restart->backoff_cycles << "\n";
+      out << "    escalate " << escalation_name(m.restart->escalation) << "\n";
+      out << "  }\n";
+    }
     out << "}\n";
   }
   return out.str();
@@ -143,6 +182,8 @@ std::vector<std::string> validate(const std::vector<Manifest>& manifests) {
       problems.push_back("duplicate component name: " + m.name);
     if (m.memory_pages == 0)
       problems.push_back(m.name + ": zero memory pages");
+    if (m.restart && m.restart->backoff_cycles == 0)
+      problems.push_back(m.name + ": restart backoff of zero cycles");
   }
   for (const Manifest& m : manifests) {
     for (const std::string& peer : m.channels) {

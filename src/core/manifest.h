@@ -25,6 +25,35 @@
 
 namespace lateral::core {
 
+/// Per-component crash-recovery policy (the manifest `restart` stanza).
+/// Presence of the stanza is what marks a component supervised: the
+/// supervisor heartbeats it and relaunches it on death, within this budget.
+struct RestartPolicy {
+  /// How a component that exhausts its restart budget is treated:
+  /// `degraded` leaves it permanently down (peers keep getting
+  /// Errc::domain_dead) while the rest of the assembly continues;
+  /// `halted` additionally latches the supervisor's halted() flag — the
+  /// operator signal that the assembly as a whole lost a mandatory part.
+  enum class Escalation : std::uint8_t { degraded, halted };
+
+  /// Relaunch attempts allowed before escalation (0 = never relaunch).
+  std::uint32_t max_restarts = 3;
+  /// Simulated cycles between detection and the first relaunch attempt;
+  /// doubles on every subsequent attempt (exponential backoff).
+  Cycles backoff_cycles = 10'000;
+  Escalation escalation = Escalation::degraded;
+
+  friend bool operator==(const RestartPolicy&, const RestartPolicy&) = default;
+};
+
+constexpr std::string_view escalation_name(RestartPolicy::Escalation e) {
+  switch (e) {
+    case RestartPolicy::Escalation::degraded: return "degraded";
+    case RestartPolicy::Escalation::halted: return "halted";
+  }
+  return "unknown";
+}
+
 struct Manifest {
   std::string name;
   substrate::DomainKind kind = substrate::DomainKind::trusted_component;
@@ -48,6 +77,9 @@ struct Manifest {
   double asset_value = 1.0;
   /// Estimated implementation size, for TCB accounting.
   std::uint64_t loc = 1000;
+  /// Crash-recovery policy; set (possibly to defaults) when the manifest
+  /// carries a `restart { ... }` stanza, meaning: supervise this component.
+  std::optional<RestartPolicy> restart;
 };
 
 /// Parse a manifest bundle from the text DSL. Format:
@@ -65,6 +97,11 @@ struct Manifest {
 ///     attest                  # flag
 ///     assets 10.0
 ///     loc 4500
+///     restart {            # optional: supervise this component
+///       max 3              # relaunch attempts before escalation
+///       backoff 10000      # cycles before first relaunch; doubles per try
+///       escalate degraded  # or: halted
+///     }
 ///   }
 ///
 /// Errc::invalid_argument with parse position context on malformed input.

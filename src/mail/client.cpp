@@ -291,20 +291,22 @@ Result<std::size_t> MailClient::sync_inbox() {
 
   // The hot path goes through the batching runtime: one boundary crossing
   // per burst of FETCHes and one per burst of STOREs, instead of two
-  // crossings per message. The wires are the same manifest-declared
+  // crossings per message. The endpoints are the same manifest-declared
   // channels the per-call path uses — batching changes the cost, not the
-  // policy.
-  auto imap_wire = assembly_->wire("ui", "imap");
-  if (!imap_wire) return imap_wire.error();
-  auto storage_wire = assembly_->wire("ui", "storage");
-  if (!storage_wire) return storage_wire.error();
+  // policy — and they carry the channel epoch, so a supervised restart of
+  // imap or storage mid-sync surfaces as stale_epoch completions here
+  // rather than invocations silently hitting the reincarnated component.
+  auto imap_ep = assembly_->endpoint("ui", "imap");
+  if (!imap_ep) return imap_ep.error();
+  auto storage_ep = assembly_->endpoint("ui", "storage");
+  if (!storage_ep) return storage_ep.error();
 
   constexpr std::size_t kSyncBurst = 32;
   runtime::BatchChannel fetches(
-      *imap_wire->substrate, imap_wire->actor, imap_wire->channel,
+      *imap_ep,
       {.depth = kSyncBurst, .hub = &runtime_metrics_, .label = "ui->imap"});
   runtime::BatchChannel stores(
-      *storage_wire->substrate, storage_wire->actor, storage_wire->channel,
+      *storage_ep,
       {.depth = kSyncBurst, .hub = &runtime_metrics_, .label = "ui->storage"});
 
   while (local < remote) {

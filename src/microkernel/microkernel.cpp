@@ -84,6 +84,7 @@ Result<Microkernel::AddressSpace*> Microkernel::space_of(DomainId id) {
 
 Result<Bytes> Microkernel::read_memory(DomainId actor, DomainId target,
                                        std::uint64_t offset, std::size_t len) {
+  if (is_dead(actor) || is_dead(target)) return Errc::domain_dead;
   // The MMU only walks the actor's own page tables: there is no path to
   // another address space, so any cross-domain access is a fault.
   if (actor != target) return Errc::access_denied;
@@ -117,6 +118,7 @@ Result<Bytes> Microkernel::read_memory(DomainId actor, DomainId target,
 
 Status Microkernel::write_memory(DomainId actor, DomainId target,
                                  std::uint64_t offset, BytesView data) {
+  if (is_dead(actor) || is_dead(target)) return Errc::domain_dead;
   if (actor != target) return Errc::access_denied;
   if (!find_domain(actor)) return Errc::no_such_domain;
   auto space = space_of(target);

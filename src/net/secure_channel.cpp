@@ -45,6 +45,19 @@ SecureChannelEndpoint::SecureChannelEndpoint(
   dh_ = crypto::DhKeyPair::generate(crypto::DhGroup::oakley1(), drbg_);
 }
 
+void SecureChannelEndpoint::reset() {
+  dh_ = crypto::DhKeyPair::generate(crypto::DhGroup::oakley1(), drbg_);
+  peer_dh_ = crypto::Bignum();
+  nonce_local_.clear();
+  nonce_peer_.clear();
+  dh_i_wire_.clear();
+  dh_r_wire_.clear();
+  aead_.reset();
+  send_seq_ = 0;
+  recv_seq_ = 0;
+  established_ = false;
+}
+
 Result<Bytes> SecureChannelEndpoint::start() {
   if (role_ != Role::initiator) return Errc::invalid_argument;
   nonce_local_ = verifier_ ? verifier_->verifier->make_challenge()

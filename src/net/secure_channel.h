@@ -69,6 +69,13 @@ class SecureChannelEndpoint {
 
   bool established() const { return established_; }
 
+  /// Tear the session down for re-establishment: fresh DH pair, cleared
+  /// nonces/keys/sequence numbers. After a supervised restart of the domain
+  /// behind this endpoint, the old session keys belong to the dead
+  /// incarnation — both sides reset() and run the handshake again (the
+  /// restarted side re-attests with its re-measured identity).
+  void reset();
+
   // --- Record layer ---------------------------------------------------------
   Result<Bytes> seal_record(BytesView plaintext);
   Result<Bytes> open_record(BytesView wire);

@@ -61,6 +61,7 @@ void NocFabric::release_memory(DomainId id, DomainRecord& record) {
 
 Result<Bytes> NocFabric::read_memory(DomainId actor, DomainId target,
                                      std::uint64_t offset, std::size_t len) {
+  if (is_dead(actor) || is_dead(target)) return Errc::domain_dead;
   const auto actor_it = tiles_.find(actor);
   if (actor_it == tiles_.end()) return Errc::no_such_domain;
   // There is no load/store path between tiles at all.
@@ -79,6 +80,7 @@ Result<Bytes> NocFabric::read_memory(DomainId actor, DomainId target,
 
 Status NocFabric::write_memory(DomainId actor, DomainId target,
                                std::uint64_t offset, BytesView data) {
+  if (is_dead(actor) || is_dead(target)) return Errc::domain_dead;
   const auto actor_it = tiles_.find(actor);
   if (actor_it == tiles_.end()) return Errc::no_such_domain;
   if (actor != target) return Errc::access_denied;
@@ -94,8 +96,11 @@ Result<ChannelId> NocFabric::create_channel(DomainId a, DomainId b,
                                             const ChannelSpec& spec) {
   const auto a_it = tiles_.find(a);
   const auto b_it = tiles_.find(b);
+  // A corpse's tile was released at kill time but its record remains:
+  // report domain_dead, not a claim the domain never existed.
   if (a_it == tiles_.end() || b_it == tiles_.end())
-    return Errc::no_such_domain;
+    return (is_dead(a) || is_dead(b)) ? Errc::domain_dead
+                                      : Errc::no_such_domain;
   // The kernel tile programs one DTU endpoint per side; the tables are
   // small and fixed.
   if (a_it->second.endpoints_used >= kEndpointsPerTile ||

@@ -11,6 +11,18 @@ BatchChannel::BatchChannel(substrate::IsolationSubstrate& substrate,
     : substrate_(substrate),
       actor_(actor),
       channel_(channel),
+      epoch_(substrate.channel_epoch(channel).value_or(0)),
+      submissions_(config.depth),
+      completions_(config.depth),
+      counters_(config.hub ? &config.hub->counters(config.label)
+                           : &own_counters_) {}
+
+BatchChannel::BatchChannel(const core::Endpoint& endpoint,
+                           BatchChannelConfig config)
+    : substrate_(*endpoint.substrate()),
+      actor_(endpoint.actor()),
+      channel_(endpoint.channel()),
+      epoch_(endpoint.epoch()),
       submissions_(config.depth),
       completions_(config.depth),
       counters_(config.hub ? &config.hub->counters(config.label)
@@ -68,6 +80,23 @@ Status BatchChannel::flush() {
     }
   }
   if (batch.empty()) return Status::success();
+
+  // Epoch fence: a supervised restart of the peer re-epochs the channel,
+  // and everything queued here was addressed to the old incarnation. Fail
+  // the whole batch fast with stale_epoch (lossless — every invocation
+  // still gets its completion) so the holder re-attaches.
+  Errc fence = Errc::ok;
+  if (const auto epoch_now = substrate_.channel_epoch(channel_); !epoch_now)
+    fence = epoch_now.error();
+  else if (*epoch_now != epoch_)
+    fence = Errc::stale_epoch;
+  if (fence != Errc::ok) {
+    for (const Pending& pending : batch) {
+      ++counters_->completed;
+      complete({pending.id, fence});
+    }
+    return Status::success();
+  }
 
   std::vector<Bytes> requests;
   requests.reserve(batch.size());

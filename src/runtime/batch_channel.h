@@ -27,6 +27,7 @@
 #include <set>
 #include <string>
 
+#include "core/endpoint.h"
 #include "runtime/metrics.h"
 #include "runtime/spsc_ring.h"
 #include "substrate/substrate.h"
@@ -60,6 +61,14 @@ struct BatchChannelConfig {
 
 class BatchChannel {
  public:
+  /// Attach to one side of an assembly channel. The channel's epoch is
+  /// captured at attach time: if the peer is restarted by a supervisor
+  /// (epoch bump), every invocation queued here completes with
+  /// Errc::stale_epoch at the next flush — delivered, not lost — and the
+  /// caller re-attaches via a fresh Assembly::endpoint().
+  explicit BatchChannel(const core::Endpoint& endpoint,
+                        BatchChannelConfig config = {});
+  /// Raw-substrate attach (tests, benches); captures the current epoch.
   BatchChannel(substrate::IsolationSubstrate& substrate,
                substrate::DomainId actor, substrate::ChannelId channel,
                BatchChannelConfig config = {});
@@ -104,6 +113,7 @@ class BatchChannel {
   substrate::IsolationSubstrate& substrate_;
   substrate::DomainId actor_;
   substrate::ChannelId channel_;
+  std::uint64_t epoch_;  // channel epoch at attach; flush checks it
   SpscRing<Pending> submissions_;
   SpscRing<Completion> completions_;
   /// Completions popped while waiting for a different id.

@@ -179,19 +179,24 @@ void Executor::worker_loop(std::size_t index) {
       }
     }
     if (!result) {
-      if (item.deadline != 0 && queue->key.substrate != nullptr) {
-        // Reading the simulated clock (and running the task) must be
-        // serialized per substrate: the machine is single-threaded hardware.
+      if (queue->key.substrate != nullptr) {
+        // Reading the simulated clock, probing liveness, and running the
+        // task must be serialized per substrate: the machine is
+        // single-threaded hardware.
         std::lock_guard<std::mutex> stripe(stripe_for(queue->key.substrate));
-        if (queue->key.substrate->machine().now() > item.deadline) {
+        if (item.deadline != 0 &&
+            queue->key.substrate->machine().now() > item.deadline) {
           counter = &InvocationCounters::timed_out;
           result = Result<Bytes>(Errc::timed_out);
+        } else if (queue->key.substrate->is_dead(queue->key.domain)) {
+          // The target crashed while this work was queued: complete
+          // promptly with the same error a direct caller would see, instead
+          // of running a task addressed to a corpse. Counted as completed —
+          // a delivered refusal, not lost work.
+          result = Result<Bytes>(Errc::domain_dead);
         } else {
           result = item.task();
         }
-      } else if (queue->key.substrate != nullptr) {
-        std::lock_guard<std::mutex> stripe(stripe_for(queue->key.substrate));
-        result = item.task();
       } else {
         result = item.task();
       }

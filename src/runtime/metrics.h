@@ -67,6 +67,36 @@ struct InvocationCounters {
   }
 };
 
+/// Crash-recovery observability (lateral::supervisor). Same philosophy as
+/// InvocationCounters: every detected death reaches exactly one terminal
+/// outcome — restarted, or escalated after the budget ran out — and MTTR is
+/// recorded per recovery so the fig10 bench can tabulate it.
+struct RecoveryStats {
+  std::uint64_t kills_detected = 0;   // heartbeat said: dead
+  std::uint64_t restarts = 0;         // successful relaunches
+  std::uint64_t restart_failures = 0; // relaunch attempts that failed
+  std::uint64_t escalations = 0;      // budget exhausted -> degraded/halted
+  std::uint64_t probe_cycles = 0;     // supervisor ticks that probed anyone
+
+  // --- Mean-time-to-recovery, in simulated cycles ---
+  Cycles mttr_total_cycles = 0;  // sum over recoveries (detection -> serving)
+  /// mttr_histogram[i] counts recoveries with MTTR in [2^i, 2^(i+1)) cycles.
+  std::array<std::uint64_t, 32> mttr_histogram{};
+
+  void record_recovery(Cycles mttr) {
+    ++restarts;
+    mttr_total_cycles += mttr;
+    std::size_t bucket = 0;
+    while ((Cycles{2} << bucket) <= mttr && bucket + 1 < mttr_histogram.size())
+      ++bucket;
+    ++mttr_histogram[bucket];
+  }
+
+  Cycles mean_mttr_cycles() const {
+    return restarts == 0 ? 0 : mttr_total_cycles / restarts;
+  }
+};
+
 /// Aggregates counters per domain label ("mail.ui->imap", "fig9.sgx", ...).
 /// Channels configured with the same hub+label share one counter block, so
 /// a component's traffic is queryable in one place regardless of how many
@@ -81,8 +111,17 @@ class MetricsHub {
     return counters_;
   }
 
+  RecoveryStats& recovery(const std::string& label) {
+    return recovery_[label];
+  }
+
+  const std::map<std::string, RecoveryStats>& all_recovery() const {
+    return recovery_;
+  }
+
  private:
   std::map<std::string, InvocationCounters> counters_;
+  std::map<std::string, RecoveryStats> recovery_;
 };
 
 }  // namespace lateral::runtime

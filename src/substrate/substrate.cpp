@@ -30,6 +30,26 @@ IsolationSubstrate::ChannelRecord* IsolationSubstrate::find_channel(
   return it == channels_.end() ? nullptr : &it->second;
 }
 
+const IsolationSubstrate::ChannelRecord* IsolationSubstrate::find_channel(
+    ChannelId id) const {
+  const auto it = channels_.find(id);
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+Status IsolationSubstrate::check_live(DomainId id) const {
+  const DomainRecord* record = find_domain(id);
+  if (!record) return Errc::no_such_domain;
+  if (record->dead) return Errc::domain_dead;
+  return Status::success();
+}
+
+bool IsolationSubstrate::fault_fires(DomainId callee, std::string_view op) {
+  if (!fault_hook_) return false;
+  if (!fault_hook_(callee, op)) return false;
+  (void)kill_domain(callee);
+  return true;
+}
+
 Result<DomainId> IsolationSubstrate::create_domain(const DomainSpec& spec) {
   if (spec.name.empty() || spec.image.code.empty())
     return Errc::invalid_argument;
@@ -62,7 +82,9 @@ Result<DomainId> IsolationSubstrate::create_domain(const DomainSpec& spec) {
 Status IsolationSubstrate::destroy_domain(DomainId domain) {
   const auto it = domains_.find(domain);
   if (it == domains_.end()) return Errc::no_such_domain;
-  release_memory(domain, it->second);
+  // A corpse's memory was already released at kill time; destroying it is
+  // the reap step and must not release twice.
+  if (!it->second.dead) release_memory(domain, it->second);
   // Tear down every channel the domain participates in; POLA means no
   // dangling rights survive the domain.
   for (auto chan_it = channels_.begin(); chan_it != channels_.end();) {
@@ -75,22 +97,47 @@ Status IsolationSubstrate::destroy_domain(DomainId domain) {
   return Status::success();
 }
 
+Status IsolationSubstrate::kill_domain(DomainId domain) {
+  DomainRecord* record = find_domain(domain);
+  if (!record) return Errc::no_such_domain;
+  if (record->dead) return Errc::domain_dead;  // cannot die twice
+  release_memory(domain, *record);
+  record->handler = nullptr;
+  record->dead = true;
+  // In-flight messages of the old life are gone with the crash: both
+  // directions, on every channel the corpse participates in. The channels
+  // themselves survive (as does their identity) so a supervisor can rebind
+  // them to a reincarnation with a bumped epoch.
+  for (auto& [id, chan] : channels_) {
+    if (chan.a != domain && chan.b != domain) continue;
+    chan.to_a.clear();
+    chan.to_b.clear();
+  }
+  return Status::success();
+}
+
+bool IsolationSubstrate::is_dead(DomainId domain) const {
+  const DomainRecord* record = find_domain(domain);
+  return record && record->dead;
+}
+
 std::vector<DomainId> IsolationSubstrate::domains() const {
   std::vector<DomainId> out;
   out.reserve(domains_.size());
-  for (const auto& [id, record] : domains_) out.push_back(id);
+  for (const auto& [id, record] : domains_)
+    if (!record.dead) out.push_back(id);
   return out;
 }
 
 Result<DomainSpec> IsolationSubstrate::domain_spec(DomainId domain) const {
-  const DomainRecord* record = find_domain(domain);
-  if (!record) return Errc::no_such_domain;
-  return record->spec;
+  if (const Status s = check_live(domain); !s.ok()) return s.error();
+  return find_domain(domain)->spec;
 }
 
 Result<ChannelId> IsolationSubstrate::create_channel(DomainId a, DomainId b,
                                                      const ChannelSpec& spec) {
-  if (!find_domain(a) || !find_domain(b)) return Errc::no_such_domain;
+  if (const Status s = check_live(a); !s.ok()) return s.error();
+  if (const Status s = check_live(b); !s.ok()) return s.error();
   if (a == b) return Errc::invalid_argument;
   const ChannelId id = next_channel_++;
   ChannelRecord record;
@@ -112,10 +159,48 @@ Result<std::uint64_t> IsolationSubstrate::endpoint_badge(
   return Errc::access_denied;
 }
 
+Result<std::uint64_t> IsolationSubstrate::channel_epoch(
+    ChannelId channel) const {
+  const ChannelRecord* chan = find_channel(channel);
+  if (!chan) return Errc::no_such_channel;
+  return chan->epoch;
+}
+
+Status IsolationSubstrate::bump_channel_epoch(ChannelId channel) {
+  ChannelRecord* chan = find_channel(channel);
+  if (!chan) return Errc::no_such_channel;
+  ++chan->epoch;
+  chan->to_a.clear();
+  chan->to_b.clear();
+  return Status::success();
+}
+
+Status IsolationSubstrate::rebind_channel(ChannelId channel, DomainId from,
+                                          DomainId to) {
+  ChannelRecord* chan = find_channel(channel);
+  if (!chan) return Errc::no_such_channel;
+  if (chan->a != from && chan->b != from) return Errc::access_denied;
+  if (const Status s = check_live(to); !s.ok()) return s.error();
+  const DomainId other = (chan->a == from) ? chan->b : chan->a;
+  if (to == other) return Errc::invalid_argument;  // both ends one domain
+  // Fresh badge for the rebound side: the reincarnation is a new principal
+  // on this channel; nobody who recorded the old badge may confuse the two.
+  if (chan->a == from) {
+    chan->a = to;
+    chan->badge_a = next_badge_++;
+  } else {
+    chan->b = to;
+    chan->badge_b = next_badge_++;
+  }
+  ++chan->epoch;
+  chan->to_a.clear();
+  chan->to_b.clear();
+  return Status::success();
+}
+
 Status IsolationSubstrate::set_handler(DomainId domain, Handler handler) {
-  DomainRecord* record = find_domain(domain);
-  if (!record) return Errc::no_such_domain;
-  record->handler = std::move(handler);
+  if (const Status s = check_live(domain); !s.ok()) return s;
+  find_domain(domain)->handler = std::move(handler);
   return Status::success();
 }
 
@@ -124,7 +209,10 @@ Status IsolationSubstrate::send(DomainId actor, ChannelId channel,
   ChannelRecord* chan = find_channel(channel);
   if (!chan) return Errc::no_such_channel;
   if (actor != chan->a && actor != chan->b) return Errc::access_denied;
-  if (!find_domain(actor)) return Errc::no_such_domain;
+  if (const Status s = check_live(actor); !s.ok()) return s;
+  if (const Status s = check_live(actor == chan->a ? chan->b : chan->a);
+      !s.ok())
+    return s;
   if (data.size() > chan->spec.max_message_bytes)
     return Errc::invalid_argument;
 
@@ -141,6 +229,12 @@ Result<Message> IsolationSubstrate::receive(DomainId actor, ChannelId channel) {
   ChannelRecord* chan = find_channel(channel);
   if (!chan) return Errc::no_such_channel;
   if (actor != chan->a && actor != chan->b) return Errc::access_denied;
+  if (const Status s = check_live(actor); !s.ok()) return s.error();
+  // A dead peer can never send again, and its queued messages died with it:
+  // fail fast instead of reporting would_block forever.
+  if (const Status s = check_live(actor == chan->a ? chan->b : chan->a);
+      !s.ok())
+    return s.error();
   auto& queue = (actor == chan->a) ? chan->to_a : chan->to_b;
   if (queue.empty()) return Errc::would_block;
   Message msg = std::move(queue.front());
@@ -154,11 +248,13 @@ Result<Bytes> IsolationSubstrate::call(DomainId actor, ChannelId channel,
   ChannelRecord* chan = find_channel(channel);
   if (!chan) return Errc::no_such_channel;
   if (actor != chan->a && actor != chan->b) return Errc::access_denied;
+  if (const Status s = check_live(actor); !s.ok()) return s.error();
   if (data.size() > chan->spec.max_message_bytes)
     return Errc::invalid_argument;
   const DomainId callee = (actor == chan->a) ? chan->b : chan->a;
+  if (const Status s = check_live(callee); !s.ok()) return s.error();
+  if (fault_fires(callee, "call")) return Errc::domain_dead;
   DomainRecord* callee_record = find_domain(callee);
-  if (!callee_record) return Errc::no_such_domain;
   if (!callee_record->handler) return Errc::would_block;
   if (const Status s = pre_call(actor, callee); !s.ok()) return s.error();
 
@@ -178,12 +274,14 @@ Result<BatchReply> IsolationSubstrate::call_batch(
   ChannelRecord* chan = find_channel(channel);
   if (!chan) return Errc::no_such_channel;
   if (actor != chan->a && actor != chan->b) return Errc::access_denied;
+  if (const Status s = check_live(actor); !s.ok()) return s.error();
   for (const Bytes& request : requests)
     if (request.size() > chan->spec.max_message_bytes)
       return Errc::invalid_argument;
   const DomainId callee = (actor == chan->a) ? chan->b : chan->a;
+  if (const Status s = check_live(callee); !s.ok()) return s.error();
+  if (fault_fires(callee, "call_batch")) return Errc::domain_dead;
   DomainRecord* callee_record = find_domain(callee);
-  if (!callee_record) return Errc::no_such_domain;
   if (!callee_record->handler) return Errc::would_block;
   // One serialization gate for the whole batch: a batch is a single
   // session with the callee (the TPM's late-launch switch happens once).
@@ -229,14 +327,13 @@ Status IsolationSubstrate::pre_call(DomainId actor, DomainId callee) {
 }
 
 Result<crypto::Digest> IsolationSubstrate::measurement(DomainId domain) const {
-  const DomainRecord* record = find_domain(domain);
-  if (!record) return Errc::no_such_domain;
-  return record->measurement;
+  if (const Status s = check_live(domain); !s.ok()) return s.error();
+  return find_domain(domain)->measurement;
 }
 
 Result<Quote> IsolationSubstrate::attest(DomainId actor, BytesView user_data) {
+  if (const Status s = check_live(actor); !s.ok()) return s.error();
   const DomainRecord* record = find_domain(actor);
-  if (!record) return Errc::no_such_domain;
   if (!has_feature(info().features, Feature::attestation))
     return Errc::not_supported;
   machine_.advance(attest_cost() + machine_.costs().sw_rsa_sign);
@@ -258,8 +355,8 @@ crypto::Aead IsolationSubstrate::sealing_aead(
 }
 
 Result<Bytes> IsolationSubstrate::seal(DomainId actor, BytesView plaintext) {
+  if (const Status s = check_live(actor); !s.ok()) return s.error();
   const DomainRecord* record = find_domain(actor);
-  if (!record) return Errc::no_such_domain;
   if (!has_feature(info().features, Feature::sealed_storage))
     return Errc::not_supported;
   machine_.charge(0, machine_.costs().sw_aes_per_16_bytes, plaintext.size());
@@ -275,8 +372,8 @@ Result<Bytes> IsolationSubstrate::seal(DomainId actor, BytesView plaintext) {
 }
 
 Result<Bytes> IsolationSubstrate::unseal(DomainId actor, BytesView sealed) {
+  if (const Status s = check_live(actor); !s.ok()) return s.error();
   const DomainRecord* record = find_domain(actor);
-  if (!record) return Errc::no_such_domain;
   if (!has_feature(info().features, Feature::sealed_storage))
     return Errc::not_supported;
   if (sealed.size() < 24) return Errc::invalid_argument;
@@ -294,9 +391,8 @@ Result<Bytes> IsolationSubstrate::unseal(DomainId actor, BytesView sealed) {
 }
 
 Status IsolationSubstrate::mark_compromised(DomainId domain) {
-  DomainRecord* record = find_domain(domain);
-  if (!record) return Errc::no_such_domain;
-  record->compromised = true;
+  if (const Status s = check_live(domain); !s.ok()) return s;
+  find_domain(domain)->compromised = true;
   return Status::success();
 }
 

@@ -65,8 +65,27 @@ class IsolationSubstrate {
   // --- Domain lifecycle -------------------------------------------------
   virtual Result<DomainId> create_domain(const DomainSpec& spec);
   virtual Status destroy_domain(DomainId domain);
+  /// Abrupt death, distinct from destroy_domain: the domain's memory and
+  /// handler are gone immediately (a crash reclaims nothing gracefully),
+  /// but the record stays behind as a corpse so that every later operation
+  /// naming the domain fails with Errc::domain_dead — a diagnosable crash,
+  /// not a recycled id. destroy_domain() on the corpse reaps it (and any
+  /// channels still referencing it) once a supervisor has rewired around it.
+  Status kill_domain(DomainId domain);
+  /// True only for a known corpse (killed, not yet reaped).
+  bool is_dead(DomainId domain) const;
   std::vector<DomainId> domains() const;
   Result<DomainSpec> domain_spec(DomainId domain) const;
+
+  // --- Fault injection (experiment hook) ---------------------------------
+  /// Consulted at every synchronous delivery (call / call_batch) with the
+  /// callee and the operation name. Returning true crashes the callee at
+  /// that instant — kill_domain() runs and the invocation fails with
+  /// Errc::domain_dead, exactly what a caller of a component that died
+  /// mid-request observes. Supervision tests and bench_fig10 script crashes
+  /// through this without reaching into substrate internals.
+  using FaultHook = std::function<bool(DomainId callee, std::string_view op)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   // --- Communication (POLA: only explicitly created channels exist) ------
   virtual Result<ChannelId> create_channel(DomainId a, DomainId b,
@@ -92,6 +111,22 @@ class IsolationSubstrate {
   /// badge-based access-control lists (SessionDemux).
   Result<std::uint64_t> endpoint_badge(ChannelId channel,
                                        DomainId endpoint) const;
+
+  // --- Channel epochs (crash recovery) -----------------------------------
+  /// Every channel carries an epoch, starting at 1. A restart bumps it;
+  /// endpoint objects minted against an older epoch must fail fast with
+  /// Errc::stale_epoch instead of silently driving the reincarnated
+  /// channel (core::Endpoint performs that check).
+  Result<std::uint64_t> channel_epoch(ChannelId channel) const;
+  /// Invalidate every outstanding endpoint of the channel: epoch++, queued
+  /// messages of both directions dropped (they belong to the old life).
+  Status bump_channel_epoch(ChannelId channel);
+  /// Replace endpoint `from` (live or corpse) with live domain `to`: the
+  /// relaunched component inherits its predecessor's channel under a fresh
+  /// badge and a bumped epoch. This is the substrate half of a supervised
+  /// restart — the channel id stays stable so composition-level wiring
+  /// survives, while stale holders are fenced off by the epoch.
+  Status rebind_channel(ChannelId channel, DomainId from, DomainId to);
 
   // --- Memory -----------------------------------------------------------
   /// Access target memory as `actor`. The reference-monitor check is the
@@ -135,6 +170,9 @@ class IsolationSubstrate {
     crypto::Digest measurement{};
     Handler handler;
     bool compromised = false;
+    /// Corpse flag: killed, memory released, awaiting reap. Every operation
+    /// naming a dead domain returns Errc::domain_dead.
+    bool dead = false;
     /// Backend-specific memory handle (frame base, enclave tag, ...).
     std::uint64_t backend_cookie = 0;
   };
@@ -144,6 +182,8 @@ class IsolationSubstrate {
     DomainId b = kInvalidDomain;
     std::uint64_t badge_a = 0;  // identifies endpoint a when it sends
     std::uint64_t badge_b = 0;
+    /// Bumped on every restart/rebind; stale endpoints fail fast.
+    std::uint64_t epoch = 1;
     ChannelSpec spec;
     std::vector<Message> to_a;  // queue of messages awaiting a
     std::vector<Message> to_b;
@@ -168,6 +208,14 @@ class IsolationSubstrate {
   DomainRecord* find_domain(DomainId id);
   const DomainRecord* find_domain(DomainId id) const;
   ChannelRecord* find_channel(ChannelId id);
+  const ChannelRecord* find_channel(ChannelId id) const;
+  /// Errc::domain_dead for a corpse, Errc::no_such_domain for an unknown
+  /// id; success for a live domain. Backends call this at the top of their
+  /// memory paths so a dead domain is reported as dead, not merely unknown.
+  Status check_live(DomainId id) const;
+  /// Consult the fault hook for `callee`; on a scripted crash, kill the
+  /// domain and report true (the caller must then fail with domain_dead).
+  bool fault_fires(DomainId callee, std::string_view op);
   /// Sealing key bound to device + code identity.
   crypto::Aead sealing_aead(const crypto::Digest& measurement) const;
 
@@ -180,6 +228,7 @@ class IsolationSubstrate {
   ChannelId next_channel_ = 1;
   std::uint64_t next_badge_ = 0x1000;
   std::uint64_t seal_nonce_ = 1;
+  FaultHook fault_hook_;
 };
 
 }  // namespace lateral::substrate

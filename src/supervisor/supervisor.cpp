@@ -1,0 +1,277 @@
+#include "supervisor/supervisor.h"
+
+#include <algorithm>
+
+namespace lateral::supervisor {
+
+namespace {
+
+Bytes relaunch_context(const std::string& name) {
+  return to_bytes("lateral.supervisor.relaunch:" + name);
+}
+
+}  // namespace
+
+Supervisor::Supervisor(core::Assembly& assembly, SupervisorConfig config)
+    : assembly_(assembly),
+      config_(std::move(config)),
+      stats_(config_.hub ? &config_.hub->recovery(config_.label)
+                         : &own_stats_) {
+  if (config_.confirm_probes == 0) config_.confirm_probes = 1;
+}
+
+Supervisor::~Supervisor() {
+  // Destroying the probe domains also reaps every heartbeat channel (they
+  // all have a probe endpoint); the supervised components are untouched.
+  for (const auto& [substrate, domain] : probes_)
+    (void)substrate->destroy_domain(domain);
+}
+
+Result<substrate::DomainId> Supervisor::probe_domain(
+    substrate::IsolationSubstrate& substrate) {
+  if (const auto it = probes_.find(&substrate); it != probes_.end())
+    return it->second;
+  substrate::DomainSpec spec;
+  spec.name = "lateral.supervisor.probe";
+  spec.kind = substrate::DomainKind::trusted_component;
+  spec.image.name = spec.name;
+  spec.image.code = to_bytes("lateral.supervisor.probe");
+  spec.memory_pages = 1;
+  auto domain = substrate.create_domain(spec);
+  if (!domain) return domain.error();
+  probes_.emplace(&substrate, *domain);
+  return *domain;
+}
+
+Status Supervisor::establish_heartbeat(Watch& watch) {
+  auto component = assembly_.component(watch.ref);
+  if (!component) return component.error();
+  watch.substrate = (*component)->substrate;
+  auto probe = probe_domain(*(*component)->substrate);
+  if (probe) {
+    auto channel =
+        (*component)->substrate->create_channel(*probe, (*component)->domain);
+    if (channel) {
+      watch.heartbeat = *channel;
+      watch.management_probe = false;
+      return Status::success();
+    }
+  }
+  // No room for a probe domain (or its channel): fall back to probing via
+  // measurement(), which answers domain_dead on a corpse all the same.
+  watch.management_probe = true;
+  return Status::success();
+}
+
+Status Supervisor::watch(const std::string& name,
+                         const core::RestartPolicy& policy) {
+  if (watches_.contains(name)) return Status::success();
+  auto ref = assembly_.ref(name);
+  if (!ref) return ref.error();
+
+  Watch watch;
+  watch.ref = *ref;
+  watch.name = name;
+  watch.policy = policy;
+  if (const Status s = establish_heartbeat(watch); !s.ok()) return s;
+
+  // Record the known-good identity NOW, while the component is the one the
+  // composer measured: every relaunch must attest to this same value.
+  if (config_.verifier) {
+    auto component = assembly_.component(*ref);
+    auto measurement =
+        (*component)->substrate->measurement((*component)->domain);
+    if (!measurement) return measurement.error();
+    config_.verifier->expect_measurement(name, *measurement);
+  }
+
+  watches_.emplace(name, std::move(watch));
+  return Status::success();
+}
+
+Result<std::size_t> Supervisor::watch_all() {
+  for (const std::string& name : assembly_.component_names()) {
+    auto component = assembly_.component(name);
+    if (!component || !(*component)->manifest.restart) continue;
+    if (const Status s = watch(name, *(*component)->manifest.restart); !s.ok())
+      return s.error();
+  }
+  return watches_.size();
+}
+
+Supervisor::Probe Supervisor::probe(Watch& watch) {
+  if (watch.management_probe) {
+    auto component = assembly_.component(watch.ref);
+    if (!component) return Probe::dead;
+    return watch.substrate->measurement((*component)->domain).ok()
+               ? Probe::alive
+               : Probe::dead;
+  }
+  // A heartbeat probe is a receive() on the dedicated channel: a live, idle
+  // peer answers would_block; a corpse answers domain_dead immediately.
+  auto message = watch.substrate->receive(probes_.at(watch.substrate),
+                                          watch.heartbeat);
+  if (message) return Probe::alive;
+  switch (message.error()) {
+    case Errc::would_block:
+      return Probe::alive;
+    case Errc::no_such_channel:
+      // The channel went away under us — the component was restarted
+      // outside this supervisor (corpse reaped along with our heartbeat).
+      // Re-establish against the current incarnation.
+      return establish_heartbeat(watch).ok() ? Probe::alive : Probe::dead;
+    default:
+      // domain_dead, no_such_domain, compromised, ...: not serving.
+      return Probe::dead;
+  }
+}
+
+void Supervisor::confirm_death(Watch& watch, Cycles now, TickReport& report) {
+  ++stats_->kills_detected;
+  // A death with no budget left escalates right here: backing off before a
+  // relaunch that will never happen only delays the operator signal.
+  if (watch.restarts_used >= watch.policy.max_restarts) {
+    escalate(watch, report);
+    return;
+  }
+  watch.state = Health::restarting;
+  // First relaunch after policy.backoff_cycles, doubling per attempt used.
+  const Cycles backoff = watch.policy.backoff_cycles
+                         << std::min<std::uint32_t>(watch.restarts_used, 63);
+  watch.next_attempt_at = now + backoff;
+}
+
+Status Supervisor::verify_relaunch(const Watch& watch) {
+  auto component = assembly_.component(watch.ref);
+  if (!component) return component.error();
+  substrate::IsolationSubstrate* sub = (*component)->substrate;
+  const substrate::DomainId domain = (*component)->domain;
+
+  // Re-measure unconditionally: a relaunch whose image does not measure is
+  // not a recovery.
+  auto measurement = sub->measurement(domain);
+  if (!measurement) return measurement.error();
+
+  if (!config_.verifier) return Status::success();
+  // Full challenge-response against the identity recorded at watch() time:
+  // fresh nonce, quote bound to this relaunch, chain + measurement checked.
+  const Bytes nonce = config_.verifier->make_challenge();
+  const Bytes context = relaunch_context(watch.name);
+  auto quote = core::respond_to_challenge(*sub, domain, nonce, context);
+  if (!quote) return quote.error();
+  return config_.verifier->verify(watch.name, *quote, nonce, context);
+}
+
+void Supervisor::escalate(Watch& watch, TickReport& report) {
+  watch.state = watch.policy.escalation ==
+                        core::RestartPolicy::Escalation::halted
+                    ? Health::halted
+                    : Health::degraded;
+  if (watch.state == Health::halted) halted_ = true;
+  ++stats_->escalations;
+  ++report.escalations;
+}
+
+void Supervisor::attempt_restart(Watch& watch, TickReport& report) {
+  if (watch.restarts_used >= watch.policy.max_restarts) {
+    escalate(watch, report);
+    return;
+  }
+  ++watch.restarts_used;
+
+  // A failed attempt consumes budget and re-gates with doubled backoff.
+  auto fail = [&] {
+    ++stats_->restart_failures;
+    const Cycles backoff = watch.policy.backoff_cycles
+                           << std::min<std::uint32_t>(watch.restarts_used, 63);
+    watch.next_attempt_at = watch.substrate->machine().now() + backoff;
+  };
+  if (const Status s = assembly_.restart_component(watch.ref); !s.ok()) {
+    fail();
+    return;  // stays restarting; next tick re-gates on backoff
+  }
+  // The relaunch reaped the corpse and with it our heartbeat channel;
+  // re-establish before declaring recovery (no heartbeat, no supervision).
+  if (const Status s = establish_heartbeat(watch); !s.ok()) {
+    fail();
+    return;
+  }
+  if (const Status s = verify_relaunch(watch); !s.ok()) {
+    // Came back with the wrong identity: treat as still down. The corpse
+    // is gone, but the heartbeat now points at the impostor; kill it so
+    // the next attempt starts from a clean death.
+    (void)assembly_.kill_component(watch.ref);
+    fail();
+    return;
+  }
+
+  const Cycles now = watch.substrate->machine().now();
+  stats_->record_recovery(now - watch.detected_at);
+  watch.state = Health::running;
+  watch.consecutive_dead = 0;
+  ++report.restarts;
+
+  auto component = assembly_.component(watch.ref);
+  const std::uint32_t incarnation =
+      component ? (*component)->incarnation : watch.restarts_used;
+  for (const RestartHook& hook : hooks_) hook(watch.name, incarnation);
+}
+
+Supervisor::TickReport Supervisor::tick() {
+  TickReport report;
+  bool probed_any = false;
+  for (auto& [name, watch] : watches_) {
+    const Cycles now = watch.substrate->machine().now();
+    switch (watch.state) {
+      case Health::running:
+      case Health::suspect: {
+        probed_any = true;
+        ++report.probed;
+        if (probe(watch) == Probe::alive) {
+          watch.state = Health::running;
+          watch.consecutive_dead = 0;
+          break;
+        }
+        if (watch.consecutive_dead++ == 0) {
+          watch.state = Health::suspect;
+          watch.detected_at = now;
+        }
+        if (watch.consecutive_dead >= config_.confirm_probes) {
+          ++report.deaths_detected;
+          confirm_death(watch, now, report);
+          // An already-elapsed backoff relaunches this very tick: detection
+          // latency and MTTR stay one probe apart.
+          if (watch.state == Health::restarting &&
+              now >= watch.next_attempt_at)
+            attempt_restart(watch, report);
+        }
+        break;
+      }
+      case Health::restarting:
+        if (now >= watch.next_attempt_at) attempt_restart(watch, report);
+        break;
+      case Health::degraded:
+      case Health::halted:
+        break;  // terminal; operator intervention territory
+    }
+  }
+  if (probed_any) ++stats_->probe_cycles;
+  return report;
+}
+
+Result<Health> Supervisor::health(const std::string& name) const {
+  const auto it = watches_.find(name);
+  if (it == watches_.end()) return Errc::no_such_domain;
+  return it->second.state;
+}
+
+Result<std::uint32_t> Supervisor::restarts_of(const std::string& name) const {
+  const auto it = watches_.find(name);
+  if (it == watches_.end()) return Errc::no_such_domain;
+  // Only successful recoveries count here; failures are in stats().
+  const Watch& watch = it->second;
+  auto component = assembly_.component(watch.ref);
+  return component ? (*component)->incarnation : watch.restarts_used;
+}
+
+}  // namespace lateral::supervisor

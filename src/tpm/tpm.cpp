@@ -70,6 +70,7 @@ void Tpm::release_memory(DomainId id, DomainRecord& record) {
 
 Result<Bytes> Tpm::read_memory(DomainId actor, DomainId target,
                                std::uint64_t offset, std::size_t len) {
+  if (is_dead(actor) || is_dead(target)) return Errc::domain_dead;
   if (actor != target) return Errc::access_denied;
   const auto it = spaces_.find(target);
   if (it == spaces_.end()) return Errc::no_such_domain;
@@ -96,6 +97,7 @@ Result<Bytes> Tpm::read_memory(DomainId actor, DomainId target,
 
 Status Tpm::write_memory(DomainId actor, DomainId target, std::uint64_t offset,
                          BytesView data) {
+  if (is_dead(actor) || is_dead(target)) return Errc::domain_dead;
   if (actor != target) return Errc::access_denied;
   const auto it = spaces_.find(target);
   if (it == spaces_.end()) return Errc::no_such_domain;

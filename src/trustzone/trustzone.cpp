@@ -137,13 +137,19 @@ void TrustZone::release_memory(DomainId id, DomainRecord& record) {
 
 Result<const TrustZone::WorldSpace*> TrustZone::space_of(DomainId id) const {
   const auto it = spaces_.find(id);
-  if (it == spaces_.end()) return Errc::no_such_domain;
+  // A corpse has no space (kill released its memory) but still has a record:
+  // callers must see domain_dead, not a claim the domain never existed.
+  if (it == spaces_.end())
+    return is_dead(id) ? Errc::domain_dead : Errc::no_such_domain;
   return &it->second;
 }
 
 Result<TrustZone::WorldSpace*> TrustZone::space_of(DomainId id) {
   const auto it = spaces_.find(id);
-  if (it == spaces_.end()) return Errc::no_such_domain;
+  // A corpse has no space (kill released its memory) but still has a record:
+  // callers must see domain_dead, not a claim the domain never existed.
+  if (it == spaces_.end())
+    return is_dead(id) ? Errc::domain_dead : Errc::no_such_domain;
   return &it->second;
 }
 
@@ -200,6 +206,7 @@ Result<Bytes> TrustZone::raw_domain_read(const WorldSpace& space,
 
 Result<Bytes> TrustZone::read_memory(DomainId actor, DomainId target,
                                      std::uint64_t offset, std::size_t len) {
+  if (is_dead(actor) || is_dead(target)) return Errc::domain_dead;
   auto actor_space = space_of(actor);
   if (!actor_space) return actor_space.error();
   auto target_space = space_of(target);
@@ -226,6 +233,7 @@ Result<Bytes> TrustZone::read_memory(DomainId actor, DomainId target,
 
 Status TrustZone::write_memory(DomainId actor, DomainId target,
                                std::uint64_t offset, BytesView data) {
+  if (is_dead(actor) || is_dead(target)) return Errc::domain_dead;
   auto actor_space = space_of(actor);
   if (!actor_space) return actor_space.error();
   auto target_space = space_of(target);

@@ -33,6 +33,8 @@ enum class Errc {
   io_error,             // simulated storage failure
   timed_out,            // deadline budget expired before the work ran
   cancelled,            // caller withdrew the request before it ran
+  domain_dead,          // operation names a crashed (killed, not destroyed) domain
+  stale_epoch,          // endpoint minted before the channel's last restart
 };
 
 /// Human-readable name for an error code.
@@ -55,6 +57,8 @@ constexpr std::string_view errc_name(Errc e) {
     case Errc::io_error: return "io_error";
     case Errc::timed_out: return "timed_out";
     case Errc::cancelled: return "cancelled";
+    case Errc::domain_dead: return "domain_dead";
+    case Errc::stale_epoch: return "stale_epoch";
   }
   return "unknown";
 }

@@ -102,6 +102,56 @@ TEST(ManifestParser, RoundTripsThroughText) {
   }
 }
 
+TEST(ManifestParser, ParsesRestartStanza) {
+  auto manifests = parse_manifests(
+      "component x {\n"
+      "  restart {\n"
+      "    max 5\n"
+      "    backoff 2000\n"
+      "    escalate halted\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_TRUE((*manifests)[0].restart.has_value());
+  EXPECT_EQ((*manifests)[0].restart->max_restarts, 5u);
+  EXPECT_EQ((*manifests)[0].restart->backoff_cycles, 2000u);
+  EXPECT_EQ((*manifests)[0].restart->escalation,
+            RestartPolicy::Escalation::halted);
+}
+
+TEST(ManifestParser, EmptyRestartStanzaMeansDefaults) {
+  auto manifests = parse_manifests("component x {\n  restart {\n  }\n}\n");
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_TRUE((*manifests)[0].restart.has_value());
+  EXPECT_EQ(*(*manifests)[0].restart, RestartPolicy{});
+  // And absence means unsupervised — the two are different declarations.
+  auto plain = parse_manifests("component y {\n}\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE((*plain)[0].restart.has_value());
+}
+
+TEST(ManifestParser, RestartStanzaRoundTrips) {
+  auto original = parse_manifests(
+      "component x {\n  restart {\n    max 2\n    backoff 512\n"
+      "    escalate degraded\n  }\n}\n");
+  ASSERT_TRUE(original.ok());
+  auto reparsed = parse_manifests(to_text(*original));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)[0].restart, (*original)[0].restart);
+}
+
+TEST(ManifestParser, RejectsMalformedRestartStanza) {
+  EXPECT_FALSE(parse_manifests("component x {\n restart {\n").ok());
+  EXPECT_FALSE(parse_manifests("component x {\n restart\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n restart {\n bogus 1\n}\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n restart {\n escalate meltdown\n}\n}\n")
+          .ok());
+  EXPECT_FALSE(parse_manifests("component x {\n restart {\n}\n restart {\n}\n}\n")
+                   .ok());  // one stanza per component
+}
+
 TEST(ManifestValidate, AcceptsGoodBundle) {
   auto manifests = parse_manifests(kEmailManifest);
   ASSERT_TRUE(manifests.ok());
@@ -416,6 +466,123 @@ TEST_F(ComposerTest, TrustGraphFromAssembly) {
   auto set = graph.compromised_set("b");
   ASSERT_TRUE(set.ok());
   EXPECT_TRUE(set->contains("a"));
+}
+
+TEST_F(ComposerTest, HandleApiMatchesStringApi) {
+  auto assembly = composer_->compose(triangle());
+  ASSERT_TRUE(assembly.ok());
+  auto a = (*assembly)->ref("a");
+  auto b = (*assembly)->ref("b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*assembly)->name_of(*a), "a");
+  EXPECT_EQ((*assembly)->ref("ghost").error(), Errc::no_such_domain);
+  EXPECT_EQ((*assembly)->name_of(ComponentRef{}), "");
+
+  ASSERT_TRUE((*assembly)
+                  ->set_behavior(*b,
+                                 [](const substrate::Invocation&)
+                                     -> Result<Bytes> { return to_bytes("r"); })
+                  .ok());
+  // The interned hot path and the string wrappers drive the same channel.
+  auto via_ref = (*assembly)->invoke(*a, *b, to_bytes("x"));
+  auto via_name = (*assembly)->invoke("a", "b", to_bytes("x"));
+  ASSERT_TRUE(via_ref.ok());
+  ASSERT_TRUE(via_name.ok());
+  EXPECT_EQ(*via_ref, *via_name);
+  // POLA holds identically on the handle path.
+  auto c = (*assembly)->ref("c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*assembly)->invoke(*a, *c, to_bytes("x")).error(),
+            Errc::policy_violation);
+  EXPECT_EQ((*assembly)->invoke(ComponentRef{}, *b, to_bytes("x")).error(),
+            Errc::no_such_domain);
+}
+
+TEST_F(ComposerTest, KillComponentIsVisibleAsDomainDead) {
+  auto assembly = composer_->compose(triangle());
+  ASSERT_TRUE(assembly.ok());
+  ASSERT_TRUE((*assembly)->kill_component("b").ok());
+  EXPECT_EQ((*assembly)->invoke("a", "b", to_bytes("x")).error(),
+            Errc::domain_dead);
+  EXPECT_EQ((*assembly)->send("a", "b", to_bytes("x")).error(),
+            Errc::domain_dead);
+  EXPECT_EQ((*assembly)->kill_component("ghost").error(), Errc::no_such_domain);
+}
+
+TEST_F(ComposerTest, RestartComponentRestoresService) {
+  auto assembly = composer_->compose(triangle());
+  ASSERT_TRUE(assembly.ok());
+  ASSERT_TRUE((*assembly)
+                  ->set_behavior("b",
+                                 [](const substrate::Invocation&)
+                                     -> Result<Bytes> {
+                                   return to_bytes("serving");
+                                 })
+                  .ok());
+  const std::uint64_t old_badge = *(*assembly)->badge_of("b", "a");
+  // component() hands back a live view; capture the old identity by value.
+  const auto old_domain = (*(*assembly)->component("b"))->domain;
+  const auto old_measurement = mk_->measurement(old_domain);
+  ASSERT_TRUE(old_measurement.ok());
+
+  ASSERT_TRUE((*assembly)->kill_component("b").ok());
+  EXPECT_EQ((*assembly)->invoke("a", "b", to_bytes("x")).error(),
+            Errc::domain_dead);
+
+  ASSERT_TRUE((*assembly)->restart_component("b").ok());
+  // The recorded behaviour was reinstalled — no re-set_behavior needed —
+  // and the declared wiring survived the restart.
+  auto reply = (*assembly)->invoke("a", "b", to_bytes("x"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "serving");
+  auto after = (*assembly)->component("b");
+  EXPECT_EQ((*after)->incarnation, 1u);
+  EXPECT_NE((*after)->domain, old_domain);  // ids are never reused
+  // Same composer path, same deterministic image: identity is preserved...
+  EXPECT_EQ(*mk_->measurement((*after)->domain), *old_measurement);
+  // ...but the channel badge is fresh (the old life cannot be impersonated).
+  EXPECT_NE(*(*assembly)->badge_of("b", "a"), old_badge);
+  // The corpse was reaped.
+  EXPECT_EQ(mk_->domains().size(), 3u);
+}
+
+TEST_F(ComposerTest, RestartUnknownComponentRefused) {
+  auto assembly = composer_->compose(triangle());
+  ASSERT_TRUE(assembly.ok());
+  EXPECT_EQ((*assembly)->restart_component("ghost").error(),
+            Errc::no_such_domain);
+  EXPECT_EQ((*assembly)->restart_component(ComponentRef{}).error(),
+            Errc::no_such_domain);
+}
+
+TEST_F(ComposerTest, EndpointGoesStaleAcrossRestart) {
+  auto assembly = composer_->compose(triangle());
+  ASSERT_TRUE(assembly.ok());
+  ASSERT_TRUE((*assembly)
+                  ->set_behavior("b",
+                                 [](const substrate::Invocation&)
+                                     -> Result<Bytes> { return to_bytes("ok"); })
+                  .ok());
+  auto ep = (*assembly)->endpoint("a", "b");
+  ASSERT_TRUE(ep.ok());
+  EXPECT_TRUE(ep->check().ok());
+  EXPECT_TRUE(ep->call(to_bytes("x")).ok());
+  // Undeclared pairs get no endpoint (the manifest check happens at mint).
+  EXPECT_EQ((*assembly)->endpoint("a", "c").error(), Errc::policy_violation);
+
+  ASSERT_TRUE((*assembly)->kill_component("b").ok());
+  ASSERT_TRUE((*assembly)->restart_component("b").ok());
+  // The endpoint was minted against the dead incarnation: every operation
+  // now fails fast instead of silently driving the reincarnated channel.
+  EXPECT_EQ(ep->check().error(), Errc::stale_epoch);
+  EXPECT_EQ(ep->call(to_bytes("x")).error(), Errc::stale_epoch);
+  EXPECT_EQ(ep->send(to_bytes("x")).error(), Errc::stale_epoch);
+  EXPECT_EQ(ep->receive().error(), Errc::stale_epoch);
+  // Re-minting picks up the new epoch and works.
+  auto fresh = (*assembly)->endpoint("a", "b");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->call(to_bytes("x")).ok());
 }
 
 TEST(SessionDemux, BadgeKeyedSessionsAreIsolated) {

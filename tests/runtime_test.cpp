@@ -205,6 +205,39 @@ TEST_F(BatchChannelTest, BatchLevelRefusalDeliveredToEveryEntry) {
   EXPECT_EQ(batch.metrics().in_flight(), 0u);
 }
 
+TEST_F(BatchChannelTest, DeadPeerRefusalDeliveredToEveryEntry) {
+  BatchChannel batch(*substrate_, client_, channel_);
+  const SubmissionId a = *batch.submit(to_bytes("a"));
+  const SubmissionId b = *batch.submit(to_bytes("b"));
+  // The server crashes with work in flight: every queued invocation still
+  // completes — promptly, with the honest error — and nothing is lost.
+  ASSERT_TRUE(substrate_->kill_domain(server_).ok());
+  ASSERT_TRUE(batch.flush().ok());
+  EXPECT_EQ(handler_runs_, 0);
+  EXPECT_EQ(batch.wait(a).error(), Errc::domain_dead);
+  EXPECT_EQ(batch.wait(b).error(), Errc::domain_dead);
+  EXPECT_EQ(batch.metrics().in_flight(), 0u);
+  EXPECT_EQ(batch.metrics().completed, 2u);
+}
+
+TEST_F(BatchChannelTest, EpochFenceDeliversStaleEpoch) {
+  BatchChannel batch(*substrate_, client_, channel_);
+  const SubmissionId a = *batch.submit(to_bytes("a"));
+  const SubmissionId b = *batch.submit(to_bytes("b"));
+  // A supervised restart re-epochs the channel under the adapter.
+  ASSERT_TRUE(substrate_->bump_channel_epoch(channel_).ok());
+  ASSERT_TRUE(batch.flush().ok());
+  EXPECT_EQ(handler_runs_, 0);  // nothing addressed to the old life runs
+  EXPECT_EQ(batch.wait(a).error(), Errc::stale_epoch);
+  EXPECT_EQ(batch.wait(b).error(), Errc::stale_epoch);
+  EXPECT_EQ(batch.metrics().in_flight(), 0u);
+  // Re-attaching captures the new epoch; the channel serves again.
+  BatchChannel fresh(*substrate_, client_, channel_);
+  const SubmissionId c = *fresh.submit(to_bytes("c"));
+  ASSERT_TRUE(fresh.flush().ok());
+  EXPECT_EQ(to_string(*fresh.wait(c)), "echo:c");
+}
+
 TEST_F(BatchChannelTest, LosslessAccountingInvariant) {
   BatchChannel batch(*substrate_, client_, channel_, {.depth = 8});
   std::vector<SubmissionId> ids;
@@ -303,6 +336,31 @@ TEST(Executor, TasksErrorsComeBackThroughFutures) {
       DomainKey{}, []() -> Result<Bytes> { return Errc::io_error; });
   ASSERT_TRUE(future.ok());
   EXPECT_EQ(future->wait().error(), Errc::io_error);
+}
+
+TEST(Executor, DeadDomainWorkCompletesWithDomainDead) {
+  auto machine = test::make_machine("executor-dead");
+  auto substrate = *test::shared_registry().create("microkernel", *machine);
+  const auto domain = *substrate->create_domain(tc_spec("worker"));
+  ASSERT_TRUE(substrate->kill_domain(domain).ok());
+
+  Executor executor({.threads = 2});
+  bool ran = false;
+  auto future = executor.submit(DomainKey{substrate.get(), domain},
+                                [&]() -> Result<Bytes> {
+                                  ran = true;
+                                  return to_bytes("impossible");
+                                });
+  ASSERT_TRUE(future.ok());
+  // Work addressed to a corpse completes promptly with the honest error —
+  // the task never runs, and the accounting stays lossless.
+  EXPECT_EQ(future->wait().error(), Errc::domain_dead);
+  EXPECT_FALSE(ran);
+  executor.wait_all();
+  const ExecutorStats stats = executor.stats();
+  EXPECT_EQ(stats.counters.submitted, 1u);
+  EXPECT_EQ(stats.counters.completed, 1u);
+  EXPECT_EQ(stats.counters.in_flight(), 0u);
 }
 
 TEST(Executor, CancelBeforeRunWins) {

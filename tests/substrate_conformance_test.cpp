@@ -525,6 +525,188 @@ TEST_P(ConformanceTest, FeatureGatedOperationsReportNotSupported) {
   }
 }
 
+// --- Crash semantics: kill_domain, corpses, epochs, fault injection -------
+//
+// The supervised-restart contract (lateral::supervisor) leans on every
+// substrate honouring the same corpse semantics: an abrupt death leaves a
+// diagnosable corpse (domain_dead everywhere), channels survive for
+// rebinding, and epochs fence off the old life.
+
+TEST_P(ConformanceTest, KillLeavesDiagnosableCorpse) {
+  auto domain = substrate_->create_domain(tc_spec("victim"));
+  ASSERT_TRUE(domain.ok());
+  ASSERT_TRUE(substrate_->kill_domain(*domain).ok());
+  EXPECT_TRUE(substrate_->is_dead(*domain));
+  // A corpse is not "no such domain": the id stays known and diagnosable.
+  EXPECT_EQ(substrate_->domain_spec(*domain).error(), Errc::domain_dead);
+  // But it no longer counts as a live domain.
+  EXPECT_TRUE(substrate_->domains().empty());
+  // Killing a corpse again is refused (the first death is the real one).
+  EXPECT_EQ(substrate_->kill_domain(*domain).error(), Errc::domain_dead);
+  EXPECT_EQ(substrate_->kill_domain(999).error(), Errc::no_such_domain);
+}
+
+TEST_P(ConformanceTest, EveryOperationOnCorpseFailsDomainDead) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation&) -> Result<Bytes> {
+                    return to_bytes("alive");
+                  })
+                  .ok());
+  ASSERT_TRUE(substrate_->call(a, *channel, to_bytes("x")).ok());
+
+  ASSERT_TRUE(substrate_->kill_domain(b).ok());
+  EXPECT_EQ(substrate_->call(a, *channel, to_bytes("x")).error(),
+            Errc::domain_dead);
+  EXPECT_EQ(substrate_->send(a, *channel, to_bytes("x")).error(),
+            Errc::domain_dead);
+  // receive() against a dead peer fails fast, not would_block forever —
+  // this is exactly the supervisor's heartbeat probe.
+  EXPECT_EQ(substrate_->receive(a, *channel).error(), Errc::domain_dead);
+  EXPECT_EQ(substrate_->read_memory(b, b, 0, 1).error(), Errc::domain_dead);
+  EXPECT_EQ(substrate_->write_memory(b, b, 0, to_bytes("x")).error(),
+            Errc::domain_dead);
+  EXPECT_EQ(substrate_->measurement(b).error(), Errc::domain_dead);
+  EXPECT_EQ(substrate_->set_handler(b, nullptr).error(), Errc::domain_dead);
+  EXPECT_EQ(substrate_->create_channel(a, b).error(), Errc::domain_dead);
+  if (has_feature(features(), Feature::attestation)) {
+    EXPECT_EQ(substrate_->attest(b, to_bytes("x")).error(), Errc::domain_dead);
+  }
+  if (has_feature(features(), Feature::sealed_storage)) {
+    EXPECT_EQ(substrate_->seal(b, to_bytes("x")).error(), Errc::domain_dead);
+  }
+}
+
+TEST_P(ConformanceTest, KillDropsQueuedMessagesBothDirections) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_->send(a, *channel, to_bytes("to-b")).ok());
+  ASSERT_TRUE(substrate_->send(b, *channel, to_bytes("to-a")).ok());
+  ASSERT_TRUE(substrate_->kill_domain(b).ok());
+  // Everything queued belonged to the old life: the survivor sees the
+  // death, not a stale message.
+  EXPECT_EQ(substrate_->receive(a, *channel).error(), Errc::domain_dead);
+}
+
+TEST_P(ConformanceTest, DestroyReapsCorpseAndItsChannels) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_->kill_domain(b).ok());
+  ASSERT_TRUE(substrate_->destroy_domain(b).ok());
+  EXPECT_FALSE(substrate_->is_dead(b));  // reaped, not a corpse any more
+  EXPECT_EQ(substrate_->domain_spec(b).error(), Errc::no_such_domain);
+  EXPECT_EQ(substrate_->send(a, *channel, to_bytes("x")).error(),
+            Errc::no_such_channel);
+}
+
+TEST_P(ConformanceTest, ChannelEpochBumpInvalidatesAndDropsQueues) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  auto epoch = substrate_->channel_epoch(*channel);
+  ASSERT_TRUE(epoch.ok());
+  EXPECT_EQ(*epoch, 1u);  // every channel starts life at epoch 1
+  ASSERT_TRUE(substrate_->send(a, *channel, to_bytes("old-life")).ok());
+  ASSERT_TRUE(substrate_->bump_channel_epoch(*channel).ok());
+  EXPECT_EQ(*substrate_->channel_epoch(*channel), 2u);
+  EXPECT_EQ(substrate_->receive(b, *channel).error(), Errc::would_block);
+  EXPECT_EQ(substrate_->channel_epoch(777).error(), Errc::no_such_channel);
+}
+
+TEST_P(ConformanceTest, RebindChannelMovesEndpointToSuccessor) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  const std::uint64_t old_badge =
+      substrate_->endpoint_badge(*channel, b).value_or(0);
+  ASSERT_TRUE(substrate_->kill_domain(b).ok());
+
+  const bool use_legacy =
+      has_feature(substrate_->info().features, Feature::legacy_hosting);
+  auto b2 = substrate_->create_domain(use_legacy ? legacy_spec("beta2")
+                                                 : tc_spec("beta2"));
+  ASSERT_TRUE(b2.ok());
+  ASSERT_TRUE(substrate_->rebind_channel(*channel, b, *b2).ok());
+
+  // Same channel id, new life: epoch bumped, fresh badge for the rebound
+  // side, and traffic flows to the successor.
+  EXPECT_EQ(*substrate_->channel_epoch(*channel), 2u);
+  const std::uint64_t new_badge =
+      substrate_->endpoint_badge(*channel, *b2).value_or(0);
+  EXPECT_NE(new_badge, old_badge);
+  ASSERT_TRUE(substrate_
+                  ->set_handler(*b2, [](const Invocation&) -> Result<Bytes> {
+                    return to_bytes("successor");
+                  })
+                  .ok());
+  auto reply = substrate_->call(a, *channel, to_bytes("hi"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "successor");
+  // The corpse can now be reaped without touching the rebound channel.
+  ASSERT_TRUE(substrate_->destroy_domain(b).ok());
+  EXPECT_TRUE(substrate_->call(a, *channel, to_bytes("hi")).ok());
+}
+
+TEST_P(ConformanceTest, RebindChannelRefusesBadArguments) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  // A third domain, by whatever kind this substrate still has room for
+  // (trustzone hosts one legacy world; SEP hosts one of each and refuses).
+  auto c = substrate_->create_domain(tc_spec("gamma"));
+  if (!c.ok() &&
+      has_feature(substrate_->info().features, Feature::legacy_hosting))
+    c = substrate_->create_domain(legacy_spec("gamma"));
+  if (c.ok()) {
+    // `from` must be a current endpoint of the channel.
+    EXPECT_EQ(substrate_->rebind_channel(*channel, *c, *c).error(),
+              Errc::access_denied);
+  }
+  // Rebinding onto the peer would collapse the channel onto one domain.
+  EXPECT_EQ(substrate_->rebind_channel(*channel, b, a).error(),
+            Errc::invalid_argument);
+  EXPECT_EQ(substrate_->rebind_channel(999, a, b).error(),
+            Errc::no_such_channel);
+  // The successor must be live.
+  if (c.ok()) {
+    ASSERT_TRUE(substrate_->kill_domain(*c).ok());
+    EXPECT_EQ(substrate_->rebind_channel(*channel, b, *c).error(),
+              Errc::domain_dead);
+  } else {
+    // Two-domain substrates still fence dead successors.
+    ASSERT_TRUE(substrate_->kill_domain(b).ok());
+    EXPECT_EQ(substrate_->rebind_channel(*channel, a, b).error(),
+              Errc::domain_dead);
+  }
+}
+
+TEST_P(ConformanceTest, FaultHookCrashesCalleeMidInvocation) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation&) -> Result<Bytes> {
+                    return to_bytes("served");
+                  })
+                  .ok());
+  int arm = 0;  // fire on the second delivery only
+  substrate_->set_fault_hook(
+      [&](DomainId callee, std::string_view op) {
+        return callee == b && op == "call" && ++arm == 2;
+      });
+  EXPECT_TRUE(substrate_->call(a, *channel, to_bytes("one")).ok());
+  // The fault fires mid-invocation: the caller sees the same domain_dead a
+  // real crash would produce, and the callee is a corpse afterwards.
+  EXPECT_EQ(substrate_->call(a, *channel, to_bytes("two")).error(),
+            Errc::domain_dead);
+  EXPECT_TRUE(substrate_->is_dead(b));
+  substrate_->set_fault_hook(nullptr);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSubstrates, ConformanceTest,
                          ::testing::Values("microkernel", "trustzone", "sgx",
                                            "tpm", "ftpm", "sep", "cheri",

@@ -1,0 +1,262 @@
+// lateral::supervisor — crash detection, supervised restart, escalation.
+//
+// The contract under test: a component with a `restart` stanza dies
+// abruptly; the supervisor's heartbeat notices (substrate corpse semantics,
+// no timeouts), relaunches it through the composer path within its policy
+// budget, re-attests the relaunch, and re-epochs its channels so nothing
+// addressed to the dead incarnation is silently delivered to the new one.
+#include <gtest/gtest.h>
+
+#include "core/composer.h"
+#include "microkernel/microkernel.h"
+#include "supervisor/supervisor.h"
+#include "test_support.h"
+
+namespace lateral::supervisor {
+namespace {
+
+using core::RestartPolicy;
+
+constexpr const char* kSupervisedPair = R"(
+component front {
+  substrate microkernel
+  channel worker
+}
+component worker {
+  substrate microkernel
+  channel front
+  restart {
+    max 2
+    backoff 10
+    escalate degraded
+  }
+}
+)";
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = test::make_machine("supervisor");
+    mk_ = std::make_unique<microkernel::Microkernel>(
+        *machine_, substrate::SubstrateConfig{});
+    core::SystemComposer composer(
+        {{"microkernel", static_cast<substrate::IsolationSubstrate*>(
+                             mk_.get())}});
+    auto manifests = core::parse_manifests(kSupervisedPair);
+    ASSERT_TRUE(manifests.ok());
+    auto assembly = composer.compose(*manifests);
+    ASSERT_TRUE(assembly.ok());
+    assembly_ = std::move(*assembly);
+    ASSERT_TRUE(assembly_
+                    ->set_behavior("worker",
+                                   [](const substrate::Invocation&)
+                                       -> Result<Bytes> {
+                                     return to_bytes("serving");
+                                   })
+                    .ok());
+  }
+
+  /// Run ticks (advancing the clock past backoffs) until the component is
+  /// running again or `limit` ticks elapsed.
+  void tick_until_running(Supervisor& sup, const std::string& name,
+                          int limit = 10) {
+    for (int i = 0; i < limit; ++i) {
+      if (*sup.health(name) == Health::running) return;
+      machine_->advance(1 << 16);  // past any test backoff
+      sup.tick();
+    }
+  }
+
+  std::unique_ptr<hw::Machine> machine_;
+  std::unique_ptr<microkernel::Microkernel> mk_;
+  std::unique_ptr<core::Assembly> assembly_;
+};
+
+TEST_F(SupervisorTest, WatchAllSelectsComponentsWithRestartStanza) {
+  Supervisor sup(*assembly_);
+  auto watched = sup.watch_all();
+  ASSERT_TRUE(watched.ok());
+  EXPECT_EQ(*watched, 1u);  // only `worker` declared a restart stanza
+  EXPECT_EQ(*sup.health("worker"), Health::running);
+  // `front` opted out; claiming it is healthy would be a lie.
+  EXPECT_EQ(sup.health("front").error(), Errc::no_such_domain);
+  EXPECT_EQ(sup.watch("ghost", RestartPolicy{}).error(), Errc::no_such_domain);
+}
+
+TEST_F(SupervisorTest, HealthyComponentStaysRunningAcrossTicks) {
+  Supervisor sup(*assembly_);
+  ASSERT_TRUE(sup.watch_all().ok());
+  for (int i = 0; i < 3; ++i) {
+    const auto report = sup.tick();
+    EXPECT_EQ(report.probed, 1u);
+    EXPECT_EQ(report.deaths_detected, 0u);
+  }
+  EXPECT_EQ(*sup.health("worker"), Health::running);
+  EXPECT_EQ(sup.stats().kills_detected, 0u);
+  // The probes themselves never disturbed the component.
+  EXPECT_TRUE(assembly_->invoke("front", "worker", to_bytes("x")).ok());
+}
+
+TEST_F(SupervisorTest, DetectsCrashAndRestartsWithinPolicy) {
+  Supervisor sup(*assembly_);
+  ASSERT_TRUE(sup.watch_all().ok());
+  std::vector<std::pair<std::string, std::uint32_t>> hook_calls;
+  sup.on_restart([&](const std::string& name, std::uint32_t incarnation) {
+    hook_calls.emplace_back(name, incarnation);
+  });
+
+  ASSERT_TRUE(assembly_->kill_component("worker").ok());
+  EXPECT_EQ(assembly_->invoke("front", "worker", to_bytes("x")).error(),
+            Errc::domain_dead);
+
+  const auto report = sup.tick();
+  EXPECT_EQ(report.deaths_detected, 1u);
+  tick_until_running(sup, "worker");
+  ASSERT_EQ(*sup.health("worker"), Health::running);
+
+  // Service restored with the recorded behaviour; nothing to redo by hand.
+  auto reply = assembly_->invoke("front", "worker", to_bytes("x"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "serving");
+  EXPECT_EQ(*sup.restarts_of("worker"), 1u);
+  ASSERT_EQ(hook_calls.size(), 1u);
+  EXPECT_EQ(hook_calls[0], (std::pair<std::string, std::uint32_t>{"worker", 1}));
+
+  const runtime::RecoveryStats& stats = sup.stats();
+  EXPECT_EQ(stats.kills_detected, 1u);
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_EQ(stats.restart_failures, 0u);
+  EXPECT_GT(stats.mean_mttr_cycles(), 0u);
+}
+
+TEST_F(SupervisorTest, BackoffGatesTheRelaunch) {
+  Supervisor sup(*assembly_);
+  ASSERT_TRUE(sup.watch_all().ok());
+  ASSERT_TRUE(assembly_->kill_component("worker").ok());
+  // Death confirmed, but the policy's backoff (10 cycles) has not elapsed:
+  // the component sits in `restarting`, not `running`.
+  auto report = sup.tick();
+  EXPECT_EQ(report.deaths_detected, 1u);
+  EXPECT_EQ(report.restarts, 0u);
+  EXPECT_EQ(*sup.health("worker"), Health::restarting);
+  machine_->advance(1 << 10);
+  report = sup.tick();
+  EXPECT_EQ(report.restarts, 1u);
+  EXPECT_EQ(*sup.health("worker"), Health::running);
+}
+
+TEST_F(SupervisorTest, ExhaustedBudgetEscalatesToDegraded) {
+  Supervisor sup(*assembly_);
+  ASSERT_TRUE(sup.watch_all().ok());
+  // The stanza allows 2 restarts. Kill it three times.
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(assembly_->kill_component("worker").ok());
+    sup.tick();
+    tick_until_running(sup, "worker");
+    ASSERT_EQ(*sup.health("worker"), Health::running) << "round " << round;
+  }
+  ASSERT_TRUE(assembly_->kill_component("worker").ok());
+  machine_->advance(1 << 16);
+  auto report = sup.tick();
+  EXPECT_EQ(report.escalations, 1u);
+  EXPECT_EQ(*sup.health("worker"), Health::degraded);
+  EXPECT_FALSE(sup.halted());  // degraded is not halted
+  // The component stays down; peers keep seeing the honest error.
+  EXPECT_EQ(assembly_->invoke("front", "worker", to_bytes("x")).error(),
+            Errc::domain_dead);
+  // A degraded component is terminal: further ticks change nothing.
+  machine_->advance(1 << 16);
+  EXPECT_EQ(sup.tick().restarts, 0u);
+  EXPECT_EQ(sup.stats().escalations, 1u);
+  EXPECT_EQ(sup.stats().restarts, 2u);
+}
+
+TEST_F(SupervisorTest, HaltedEscalationLatches) {
+  Supervisor sup(*assembly_);
+  // Explicit policy opt-in for a component without a stanza: no relaunch
+  // budget at all, and losing it halts the assembly.
+  RestartPolicy mandatory;
+  mandatory.max_restarts = 0;
+  mandatory.escalation = RestartPolicy::Escalation::halted;
+  ASSERT_TRUE(sup.watch("front", mandatory).ok());
+  ASSERT_TRUE(assembly_->kill_component("front").ok());
+  const auto report = sup.tick();
+  EXPECT_EQ(report.deaths_detected, 1u);
+  EXPECT_EQ(report.escalations, 1u);
+  EXPECT_EQ(*sup.health("front"), Health::halted);
+  EXPECT_TRUE(sup.halted());
+}
+
+TEST_F(SupervisorTest, ConservativeDetectorConfirmsBeforeRestarting) {
+  Supervisor sup(*assembly_, {.confirm_probes = 2});
+  ASSERT_TRUE(sup.watch_all().ok());
+  ASSERT_TRUE(assembly_->kill_component("worker").ok());
+  auto report = sup.tick();
+  EXPECT_EQ(report.deaths_detected, 0u);
+  EXPECT_EQ(*sup.health("worker"), Health::suspect);
+  report = sup.tick();
+  EXPECT_EQ(report.deaths_detected, 1u);
+  EXPECT_EQ(*sup.health("worker"), Health::restarting);
+}
+
+TEST_F(SupervisorTest, RelaunchIsReattested) {
+  core::AttestationVerifier verifier(to_bytes("supervisor-verifier-seed"));
+  verifier.add_trusted_root(test::shared_vendor().root_public_key());
+  Supervisor sup(*assembly_, {.verifier = &verifier});
+  ASSERT_TRUE(sup.watch_all().ok());
+
+  ASSERT_TRUE(assembly_->kill_component("worker").ok());
+  sup.tick();
+  tick_until_running(sup, "worker");
+  // The relaunch passed the full challenge-response against the identity
+  // recorded at watch() time (deterministic image => same measurement).
+  EXPECT_EQ(*sup.health("worker"), Health::running);
+  EXPECT_EQ(sup.stats().restarts, 1u);
+  EXPECT_EQ(sup.stats().restart_failures, 0u);
+}
+
+TEST_F(SupervisorTest, FaultInjectedCrashMidInvocationIsRecovered) {
+  Supervisor sup(*assembly_);
+  ASSERT_TRUE(sup.watch_all().ok());
+  // Crash the worker at the next delivery, exactly like bench_fig10 does.
+  bool armed = true;
+  mk_->set_fault_hook([&](substrate::DomainId, std::string_view) {
+    const bool fire = armed;
+    armed = false;
+    return fire;
+  });
+  EXPECT_EQ(assembly_->invoke("front", "worker", to_bytes("x")).error(),
+            Errc::domain_dead);
+  sup.tick();
+  tick_until_running(sup, "worker");
+  EXPECT_EQ(*sup.health("worker"), Health::running);
+  EXPECT_TRUE(assembly_->invoke("front", "worker", to_bytes("x")).ok());
+  mk_->set_fault_hook(nullptr);
+}
+
+TEST_F(SupervisorTest, ExternalRestartIsNotMisdiagnosed) {
+  Supervisor sup(*assembly_);
+  ASSERT_TRUE(sup.watch_all().ok());
+  // Someone restarts the component outside the supervisor: the corpse (and
+  // with it the heartbeat channel) is reaped. The probe re-establishes and
+  // reports alive instead of inventing a death.
+  ASSERT_TRUE(assembly_->kill_component("worker").ok());
+  ASSERT_TRUE(assembly_->restart_component("worker").ok());
+  const auto report = sup.tick();
+  EXPECT_EQ(report.deaths_detected, 0u);
+  EXPECT_EQ(*sup.health("worker"), Health::running);
+}
+
+TEST_F(SupervisorTest, MetricsFlowIntoSharedHub) {
+  runtime::MetricsHub hub;
+  Supervisor sup(*assembly_, {.hub = &hub, .label = "sup.test"});
+  ASSERT_TRUE(sup.watch_all().ok());
+  ASSERT_TRUE(assembly_->kill_component("worker").ok());
+  sup.tick();
+  tick_until_running(sup, "worker");
+  EXPECT_EQ(hub.recovery("sup.test").restarts, 1u);
+  EXPECT_EQ(hub.all_recovery().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lateral::supervisor
