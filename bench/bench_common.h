@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "core/standard_registry.h"
 #include "hw/machine.h"
@@ -10,6 +11,21 @@
 #include "util/types.h"
 
 namespace lateral::bench {
+
+/// True when a machine-readable google-benchmark format (json/csv) was
+/// requested on the command line. The human-facing printf reports must then
+/// stay off stdout so the emitted document remains parseable — this is how
+/// BENCH_FIG*.json files are produced:
+///   bench_figN --benchmark_format=json > BENCH_FIGN.json
+inline bool machine_readable_output(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.starts_with("--benchmark_format=") &&
+        arg != "--benchmark_format=console")
+      return true;
+  }
+  return false;
+}
 
 inline hw::Vendor& vendor() {
   static hw::Vendor v(/*seed=*/0xBE7C4, /*key_bits=*/512);

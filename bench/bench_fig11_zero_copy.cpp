@@ -1,0 +1,258 @@
+// FIG11 — Zero-copy shared-memory data plane: grant regions +
+// scatter-gather batching.
+//
+// FIG9 amortized the *fixed* crossing cost; what remains is the per-byte
+// copy, and for bulk payloads it dominates every substrate's message cost.
+// The grant-region data plane removes it: payload lives in a shared region
+// (produced in place), and the invocation carries a 16-byte descriptor
+// instead of the bytes. The crossing cost becomes O(descriptors), not
+// O(payload) — per-crossing cycles independent of payload size.
+//
+// This benchmark drives the identical bulk workload (batch of 32
+// invocations per flush, small reply) through:
+//   copy — BatchChannel::submit: every payload byte is copied across by
+//          call_batch's delivery (already single-copy: moved buffers);
+//   zero-copy — BatchChannel::submit_sg: payload resident in a grant
+//          region, consumer reads it in place via region_view (constant
+//          cost per descriptor).
+// The one-time region map cost is paid at setup and reported separately;
+// in steady state data is produced directly into the region, so no staging
+// copy appears on the measured path (producers that must retrofit-stage pay
+// one memcpy — see RegionPool::stage).
+//
+// TPM/fTPM have no memory both sides can address (supports_regions() =
+// false): their zero-copy column falls back to the copy path, which is the
+// exact behaviour composed systems get from region_between's
+// no_region_support.
+//
+// Acceptance bar (ISSUE 4): at 64 KiB the zero-copy path is >= 10x cheaper
+// per call than the copy path on microkernel, trustzone, and sgx, and its
+// per-call cycles are flat across the payload sweep.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "runtime/batch_channel.h"
+#include "util/table.h"
+
+using namespace lateral;
+using namespace lateral::bench;
+
+namespace {
+
+constexpr std::size_t kBatch = 32;
+constexpr std::size_t kPayloads[] = {64, 1024, 4096, 65536, 262144};
+const char* const kSubstrates[] = {"noc",  "cheri", "microkernel",
+                                   "trustzone", "ftpm",  "sgx",
+                                   "sep",  "tpm"};
+
+struct Rig {
+  std::unique_ptr<hw::Machine> machine;
+  std::unique_ptr<substrate::IsolationSubstrate> substrate;
+  substrate::DomainId client = 0;
+  substrate::DomainId server = 0;
+  substrate::ChannelId channel = 0;
+};
+
+Rig make_rig(const std::string& substrate_name) {
+  Rig rig;
+  rig.machine = make_machine("fig11-" + substrate_name);
+  rig.substrate = *registry().create(substrate_name, *rig.machine);
+  rig.server = *rig.substrate->create_domain(tc_spec("server"));
+  const bool legacy_ok = has_feature(rig.substrate->info().features,
+                                     substrate::Feature::legacy_hosting);
+  rig.client = *rig.substrate->create_domain(
+      legacy_ok ? legacy_spec("client") : tc_spec("client"));
+  rig.channel = *rig.substrate->create_channel(rig.client, rig.server,
+                                               {.max_message_bytes = 1 << 19});
+  return rig;
+}
+
+struct Measurement {
+  Cycles copy_per_call = 0;  // copy path, cycles per call
+  Cycles zc_per_call = 0;    // zero-copy path (= copy when unsupported)
+  Cycles map_once = 0;       // one-time region map cost (both endpoints)
+  bool regions = false;      // substrate realizes grant regions
+};
+
+/// Copy path: batch of `kBatch` payload-sized requests per flush; the
+/// consumer acknowledges with 8 bytes.
+Cycles measure_copy(Rig& rig, std::size_t payload) {
+  (void)rig.substrate->set_handler(
+      rig.server, [](const substrate::Invocation&) -> Result<Bytes> {
+        return Bytes(8, 0xAC);
+      });
+  runtime::BatchChannel batch(*rig.substrate, rig.client, rig.channel,
+                              {.depth = kBatch, .hub = nullptr, .label = {}});
+  const Bytes data(payload, 0x5A);
+  // Warm-up round so both paths start from identical machine state.
+  (void)batch.submit(data);
+  (void)batch.flush();
+  while (batch.next_completion().ok()) {
+  }
+  const Cycles before = rig.machine->now();
+  const int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::size_t i = 0; i < kBatch; ++i)
+      (void)batch.submit(Bytes(data));  // move-in: one copy here, none in ring
+    (void)batch.flush();
+    while (batch.next_completion().ok()) {
+    }
+  }
+  return (rig.machine->now() - before) / (kRounds * kBatch);
+}
+
+/// Zero-copy path: payload is resident in a grant region (produced in
+/// place at setup); each invocation submits a descriptor and the consumer
+/// reads the bytes in place (region_view: constant cost per descriptor).
+Result<Cycles> measure_zero_copy(Rig& rig, std::size_t payload,
+                                 Cycles* map_once) {
+  auto region =
+      rig.substrate->create_region(rig.client, rig.server, kBatch * payload);
+  if (!region) return region.error();
+  const Cycles map_before = rig.machine->now();
+  if (const Status s = rig.substrate->map_region(rig.client, *region); !s.ok())
+    return s.error();
+  if (const Status s = rig.substrate->map_region(rig.server, *region); !s.ok())
+    return s.error();
+  *map_once = rig.machine->now() - map_before;
+
+  substrate::IsolationSubstrate* sub = rig.substrate.get();
+  const substrate::DomainId server = rig.server;
+  (void)rig.substrate->set_handler(
+      rig.server,
+      [sub, server](const substrate::Invocation& inv) -> Result<Bytes> {
+        for (const substrate::RegionDescriptor& seg : inv.segments) {
+          auto view = sub->region_view(server, seg);  // in place, O(1)
+          if (!view) return view.error();
+          benchmark::DoNotOptimize(view->data());
+        }
+        return Bytes(8, 0xAC);
+      });
+
+  // Produce the payloads into the region once: in steady state bulk data is
+  // born in the shared region (DMA target, producer's output buffer), so
+  // this write is setup, not per-call cost.
+  const Bytes data(payload, 0x5A);
+  std::vector<substrate::RegionDescriptor> slots;
+  slots.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    if (const Status s =
+            rig.substrate->region_write(rig.client, *region, i * payload, data);
+        !s.ok())
+      return s.error();
+    auto desc =
+        rig.substrate->make_descriptor(rig.client, *region, i * payload,
+                                       payload);
+    if (!desc) return desc.error();
+    slots.push_back(*desc);
+  }
+
+  runtime::BatchChannel batch(*rig.substrate, rig.client, rig.channel,
+                              {.depth = kBatch, .hub = nullptr, .label = {}});
+  const Bytes header(8, 0x11);
+  (void)batch.submit_sg(header, {slots[0]});
+  (void)batch.flush();
+  while (batch.next_completion().ok()) {
+  }
+  const Cycles before = rig.machine->now();
+  const int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::size_t i = 0; i < kBatch; ++i)
+      (void)batch.submit_sg(header, {slots[i]});
+    (void)batch.flush();
+    while (batch.next_completion().ok()) {
+    }
+  }
+  return (rig.machine->now() - before) / (kRounds * kBatch);
+}
+
+Measurement measure(const std::string& substrate_name, std::size_t payload) {
+  Measurement m;
+  {
+    Rig rig = make_rig(substrate_name);
+    m.copy_per_call = measure_copy(rig, payload);
+  }
+  Rig rig = make_rig(substrate_name);
+  m.regions = rig.substrate->supports_regions();
+  if (m.regions) {
+    auto zc = measure_zero_copy(rig, payload, &m.map_once);
+    m.regions = zc.ok();
+    m.zc_per_call = zc.ok() ? *zc : m.copy_per_call;
+  }
+  if (!m.regions) m.zc_per_call = m.copy_per_call;  // honest fallback
+  return m;
+}
+
+void run_report() {
+  std::printf("== FIG11: zero-copy data plane (cycles per call) ==\n");
+  std::printf("(batch %zu per flush; copy = payload copied by call_batch,\n",
+              kBatch);
+  std::printf(" zc = descriptor crosses, consumer reads region in place;\n");
+  std::printf(" 'map once' = one-time cost of mapping both endpoints)\n\n");
+
+  for (const char* name : kSubstrates) {
+    util::Table table({"payload", "copy", "zero-copy", "copy / zc",
+                       "map once"});
+    bool regions = true;
+    for (const std::size_t payload : kPayloads) {
+      const Measurement m = measure(name, payload);
+      regions = m.regions;
+      table.add_row(
+          {std::to_string(payload) + " B", util::fmt_cycles(m.copy_per_call),
+           m.regions ? util::fmt_cycles(m.zc_per_call) : "copy (fallback)",
+           util::fmt_ratio(static_cast<double>(m.copy_per_call) /
+                           static_cast<double>(m.zc_per_call ? m.zc_per_call
+                                                             : 1)),
+           util::fmt_cycles(m.map_once)});
+    }
+    std::printf("-- %s%s --\n%s\n", name,
+                regions ? "" : " (no region support)",
+                table.render().c_str());
+  }
+  std::printf("expected shape: the copy column scales with payload; the\n");
+  std::printf("zero-copy column is flat — the crossing carries a 16-byte\n");
+  std::printf("descriptor regardless of payload size. TPM/fTPM have no\n");
+  std::printf("shared memory and honestly fall back to the copy path.\n\n");
+}
+
+void register_json_benchmarks() {
+  // Machine-readable mirror of the report: one benchmark per
+  // (substrate, payload), counters carrying the simulated-cycle results.
+  // Wall-clock time of these is meaningless; the counters are the data.
+  for (const char* name : kSubstrates) {
+    for (const std::size_t payload : kPayloads) {
+      benchmark::RegisterBenchmark(
+          ("fig11/" + std::string(name) + "/payload:" +
+           std::to_string(payload))
+              .c_str(),
+          [name, payload](benchmark::State& state) {
+            const Measurement m = measure(name, payload);
+            for (auto _ : state) benchmark::DoNotOptimize(m.copy_per_call);
+            state.counters["copy_cycles_per_call"] =
+                static_cast<double>(m.copy_per_call);
+            state.counters["zc_cycles_per_call"] =
+                static_cast<double>(m.zc_per_call);
+            state.counters["copy_over_zc"] =
+                static_cast<double>(m.copy_per_call) /
+                static_cast<double>(m.zc_per_call ? m.zc_per_call : 1);
+            state.counters["region_map_once_cycles"] =
+                static_cast<double>(m.map_once);
+            state.counters["region_support"] = m.regions ? 1.0 : 0.0;
+          });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!machine_readable_output(argc, argv)) run_report();
+  register_json_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

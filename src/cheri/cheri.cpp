@@ -127,6 +127,13 @@ Cycles Cheri::message_cost(std::size_t len) const {
 
 Cycles Cheri::attest_cost() const { return 0; }  // feature absent anyway
 
+Cycles Cheri::region_map_cost(std::size_t pages) const {
+  // Deriving a bounded capability is a register-to-register CPU operation;
+  // there is nothing per page to set up.
+  (void)pages;
+  return machine_.costs().cheri_cap_derive;
+}
+
 Status register_factory(substrate::SubstrateRegistry& registry) {
   return registry.register_factory(
       "cheri",

@@ -77,6 +77,9 @@ class Cheri final : public substrate::IsolationSubstrate {
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
   Cycles attest_cost() const override;
+  /// A region is simply a bounded capability handed to the peer: no page
+  /// tables, no kernel — derivation cost only, independent of size.
+  Cycles region_map_cost(std::size_t pages) const override;
 
  private:
   struct Allocation {

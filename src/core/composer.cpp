@@ -160,6 +160,29 @@ Result<std::uint64_t> Assembly::badge_of(const std::string& from,
   return ((*chan)->a == f->index_) ? (*chan)->badge_a : (*chan)->badge_b;
 }
 
+Result<substrate::RegionId> Assembly::region_between(ComponentRef x,
+                                                     ComponentRef y) const {
+  const Node* node = node_of(x);
+  if (!node || !node_of(y)) return Errc::no_such_domain;
+  for (const auto& [peer, region] : node->region_edges) {
+    if (peer != y.index_) continue;
+    const RegionRec& rec = regions_[region];
+    if (!rec.supported) return Errc::no_region_support;
+    return rec.id;
+  }
+  // POLA: the manifests declared no region between these two, so the
+  // composer never created one.
+  return Errc::policy_violation;
+}
+
+Result<substrate::RegionId> Assembly::region_between(
+    const std::string& x, const std::string& y) const {
+  auto rx = ref(x);
+  auto ry = ref(y);
+  if (!rx || !ry) return Errc::no_such_domain;
+  return region_between(*rx, *ry);
+}
+
 Status Assembly::kill_component(ComponentRef ref) {
   Node* node = node_of(ref);
   if (!node) return Errc::no_such_domain;
@@ -208,6 +231,24 @@ Status Assembly::restart_component(ComponentRef ref) {
     }
     std::uint64_t& badge = (rec.a == ref.index_) ? rec.badge_a : rec.badge_b;
     badge = rec.substrate->endpoint_badge(rec.id, *domain).value_or(0);
+  }
+
+  // The region half of the restart: ids stay stable, epochs bump (stale
+  // descriptors are fenced), backing bytes are scrubbed, and both sides are
+  // re-mapped so the reincarnation and the surviving peer can resume the
+  // zero-copy path immediately.
+  for (const auto& [peer, region] : node->region_edges) {
+    RegionRec& rec = regions_[region];
+    if (!rec.supported) continue;
+    if (const Status s = rec.substrate->rebind_region(rec.id, corpse, *domain);
+        !s.ok()) {
+      (void)c.substrate->destroy_domain(*domain);
+      return s;
+    }
+    const substrate::DomainId peer_domain =
+        nodes_[peer].component.domain;
+    (void)rec.substrate->map_region(*domain, rec.id);
+    (void)rec.substrate->map_region(peer_domain, rec.id);
   }
 
   // Reap the corpse only after rebinding: once no channel references it,
@@ -350,6 +391,62 @@ Result<std::unique_ptr<Assembly>> SystemComposer::compose(
       assembly->channels_.push_back(rec);
       na.edges.emplace_back(ib, rec_index);
       nb.edges.emplace_back(ia, rec_index);
+    }
+  }
+
+  // Region wiring: exactly the declared pairs, once each, owner = the
+  // declaring component. Both ends are mapped here — composition is the
+  // only place mappings are established, which is what keeps map_region's
+  // access_denied for everyone else meaningful (POLA on the data plane).
+  for (const Manifest& m : manifests) {
+    for (const RegionDecl& decl : m.regions) {
+      const std::uint32_t ia = assembly->index_.at(m.name);
+      const std::uint32_t ib = assembly->index_.at(decl.peer);
+      Assembly::Node& na = assembly->nodes_[ia];
+      Assembly::Node& nb = assembly->nodes_[ib];
+      const bool already =
+          std::any_of(na.region_edges.begin(), na.region_edges.end(),
+                      [&](const auto& e) { return e.first == ib; });
+      if (already) continue;  // the peer's manifest already declared it
+      if (na.component.substrate != nb.component.substrate) {
+        diagnostics_.push_back(
+            "region " + m.name + "<->" + decl.peer +
+            ": components on different substrates; regions require shared "
+            "memory");
+        unwind();
+        return Errc::policy_violation;
+      }
+      Assembly::RegionRec rec;
+      rec.substrate = na.component.substrate;
+      rec.a = ia;
+      rec.b = ib;
+      auto region = rec.substrate->create_region(
+          na.component.domain, nb.component.domain, decl.bytes, decl.perms);
+      if (!region && region.error() == Errc::no_region_support) {
+        // Not fatal: the declaration is honoured as "best effort" and the
+        // runtime falls back to the (batched) copy path. Recorded so
+        // region_between() reports the precise reason.
+        diagnostics_.push_back("region " + m.name + "<->" + decl.peer +
+                               ": substrate '" + m.substrate_name +
+                               "' has no region support; copy path in use");
+        rec.supported = false;
+      } else if (!region) {
+        diagnostics_.push_back("region " + m.name + "<->" + decl.peer +
+                               " failed: " +
+                               std::string(errc_name(region.error())));
+        unwind();
+        return Errc::policy_violation;
+      } else {
+        rec.id = *region;
+        rec.supported = true;
+        (void)rec.substrate->map_region(na.component.domain, rec.id);
+        (void)rec.substrate->map_region(nb.component.domain, rec.id);
+      }
+      const auto rec_index =
+          static_cast<std::uint32_t>(assembly->regions_.size());
+      assembly->regions_.push_back(rec);
+      na.region_edges.emplace_back(ib, rec_index);
+      nb.region_edges.emplace_back(ia, rec_index);
     }
   }
   return assembly;

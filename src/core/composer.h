@@ -108,6 +108,17 @@ class Assembly {
   Result<std::uint64_t> badge_of(const std::string& from,
                                  const std::string& to) const;
 
+  /// The shared grant region the manifests declared between two components
+  /// (either direction). Both endpoints were mapped at compose time, so the
+  /// caller can go straight to region_write / make_descriptor / call_sg.
+  /// Errc::policy_violation when no region was declared;
+  /// Errc::no_region_support when it was declared but the substrate cannot
+  /// realize it (TPM/fTPM) — the caller's cue to use the copy path.
+  Result<substrate::RegionId> region_between(ComponentRef x,
+                                             ComponentRef y) const;
+  Result<substrate::RegionId> region_between(const std::string& x,
+                                             const std::string& y) const;
+
   /// Crash a component abruptly (fault injection / containment drills):
   /// kill_domain at the substrate, leaving a corpse every peer observes as
   /// Errc::domain_dead until restart_component() relaunches it.
@@ -150,6 +161,18 @@ class Assembly {
     std::uint64_t badge_b = 0;
   };
 
+  /// One declared grant region between two components. `supported` is false
+  /// when the substrate refused with no_region_support (TPM/fTPM): the
+  /// declaration stays recorded so region_between can report the precise
+  /// reason, and callers fall back to the copy path.
+  struct RegionRec {
+    substrate::IsolationSubstrate* substrate = nullptr;
+    substrate::RegionId id = 0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    bool supported = false;
+  };
+
   struct Node {
     Component component;
     substrate::IsolationSubstrate::Handler behavior;  // recorded for restart
@@ -157,6 +180,8 @@ class Assembly {
     /// vector (manifests declare a handful of channels per component), so
     /// the invoke hot path is index + linear scan, no string compares.
     std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    /// Adjacency for grant regions: peer node index -> index into regions_.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> region_edges;
   };
 
   const Node* node_of(ComponentRef ref) const;
@@ -168,6 +193,7 @@ class Assembly {
 
   std::vector<Node> nodes_;
   std::vector<ChannelRec> channels_;
+  std::vector<RegionRec> regions_;
   std::map<std::string, std::uint32_t, std::less<>> index_;  // name -> node
   std::vector<Manifest> manifests_;
   bool enforce_manifest_ = true;

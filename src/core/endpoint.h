@@ -55,6 +55,19 @@ class Endpoint {
     return substrate_->call_batch(actor_, channel_, requests);
   }
 
+  Result<Bytes> call_sg(
+      BytesView header,
+      std::span<const substrate::RegionDescriptor> segments) const {
+    if (const Status s = check(); !s.ok()) return s.error();
+    return substrate_->call_sg(actor_, channel_, header, segments);
+  }
+
+  Result<substrate::BatchReply> call_batch_sg(
+      const std::vector<substrate::SgRequest>& requests) const {
+    if (const Status s = check(); !s.ok()) return s.error();
+    return substrate_->call_batch_sg(actor_, channel_, requests);
+  }
+
   Status send(BytesView data) const {
     if (const Status s = check(); !s.ok()) return s;
     return substrate_->send(actor_, channel_, data);

@@ -114,6 +114,19 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
     } else if (key == "channel") {
       if (!need_arg()) return Errc::invalid_argument;
       current->channels.push_back(tokens[1]);
+    } else if (key == "region") {
+      // region <peer> <bytes> [ro]
+      if (tokens.size() != 3 && tokens.size() != 4)
+        return Errc::invalid_argument;
+      RegionDecl decl;
+      decl.peer = tokens[1];
+      decl.bytes = std::stoul(tokens[2]);
+      if (decl.bytes == 0) return Errc::invalid_argument;
+      if (tokens.size() == 4) {
+        if (tokens[3] != "ro") return Errc::invalid_argument;
+        decl.perms = substrate::RegionPerms::read_only;
+      }
+      current->regions.push_back(std::move(decl));
     } else if (key == "trusts") {
       if (!need_arg()) return Errc::invalid_argument;
       current->trusts.push_back(tokens[1]);
@@ -156,6 +169,11 @@ std::string to_text(const std::vector<Manifest>& manifests) {
     out << "  attacker " << substrate::attacker_model_name(m.attacker) << "\n";
     for (const std::string& channel : m.channels)
       out << "  channel " << channel << "\n";
+    for (const RegionDecl& region : m.regions) {
+      out << "  region " << region.peer << " " << region.bytes;
+      if (region.perms == substrate::RegionPerms::read_only) out << " ro";
+      out << "\n";
+    }
     for (const std::string& peer : m.trusts) out << "  trusts " << peer << "\n";
     if (m.needs_sealing) out << "  seal\n";
     if (m.needs_attestation) out << "  attest\n";
@@ -191,6 +209,20 @@ std::vector<std::string> validate(const std::vector<Manifest>& manifests) {
         problems.push_back(m.name + ": channel to unknown component " + peer);
       if (peer == m.name)
         problems.push_back(m.name + ": channel to itself");
+    }
+    for (const RegionDecl& region : m.regions) {
+      if (!names.contains(region.peer))
+        problems.push_back(m.name + ": region to unknown component " +
+                           region.peer);
+      if (region.peer == m.name)
+        problems.push_back(m.name + ": region to itself");
+      // Descriptors travel over the channel; a region without one is
+      // unusable and almost certainly a manifest mistake.
+      if (region.peer != m.name &&
+          std::find(m.channels.begin(), m.channels.end(), region.peer) ==
+              m.channels.end())
+        problems.push_back(m.name + ": region to " + region.peer +
+                           " without a declared channel");
     }
     for (const std::string& peer : m.trusts) {
       if (!names.contains(peer))

@@ -54,6 +54,19 @@ constexpr std::string_view escalation_name(RestartPolicy::Escalation e) {
   return "unknown";
 }
 
+/// A declared shared grant region to a peer (the manifest `region` stanza,
+/// part of the channels block of the component's needs). Like channels,
+/// regions exist only when declared — the composer wires exactly these and
+/// the substrate refuses map_region from anyone else (POLA on the data
+/// plane).
+struct RegionDecl {
+  std::string peer;
+  std::size_t bytes = 1 << 16;
+  substrate::RegionPerms perms = substrate::RegionPerms::read_write;
+
+  friend bool operator==(const RegionDecl&, const RegionDecl&) = default;
+};
+
 struct Manifest {
   std::string name;
   substrate::DomainKind kind = substrate::DomainKind::trusted_component;
@@ -66,6 +79,9 @@ struct Manifest {
       substrate::AttackerModel::remote_network;
   /// Peers this component needs a channel to (POLA: and nothing else).
   std::vector<std::string> channels;
+  /// Shared grant regions to peers (zero-copy bulk data; requires a channel
+  /// to the same peer — descriptors travel over that channel).
+  std::vector<RegionDecl> regions;
   /// Peers whose replies this component consumes WITHOUT a trusted wrapper:
   /// compromise of such a peer spreads here (containment analysis edge).
   std::vector<std::string> trusts;
@@ -92,6 +108,8 @@ struct Manifest {
 ///     share 100
 ///     attacker physical_bus   # remote_network|local_software|...
 ///     channel imap            # may repeat
+///     region imap 65536       # may repeat: shared region to peer; size in
+///     region storage 4096 ro  #   bytes, optional `ro` (peer reads only)
 ///     trusts storage          # may repeat
 ///     seal                    # flag
 ///     attest                  # flag

@@ -44,6 +44,12 @@ class Ftpm final : public substrate::IsolationSubstrate {
                              BytesView plaintext);
   Result<Bytes> unseal_pcrs(BytesView sealed);
 
+  /// The fTPM keeps the chip's interface contract, including its lack of a
+  /// shared-memory plane: commands marshal through the secure monitor so
+  /// the two implementations stay interchangeable (paper §II-C). Regions
+  /// are refused; callers use the copy path.
+  bool supports_regions() const override { return false; }
+
  protected:
   Status admit_domain(const substrate::DomainSpec& spec) const override;
   Status attach_memory(substrate::DomainId id, DomainRecord& record) override;

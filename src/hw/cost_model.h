@@ -45,6 +45,15 @@ struct CostModel {
   Cycles dma_per_page = 250;
   Cycles page_table_update = 60;
 
+  // --- Grant-region data plane (zero-copy shared memory) ---
+  // Mapping is a one-time cost charged by map_region (backends add their
+  // own crossing on top: syscall, SMC, EENTER/EEXIT, DMA programming...).
+  // Accessing an already-mapped region in place costs a TLB fill plus a
+  // cache-line touch per descriptor, *independent of payload length* —
+  // that independence is the whole point of the plane (FIG11).
+  Cycles region_access = 40;             // per-descriptor in-place access
+  Cycles cheri_cap_derive = 25;          // bounded-capability handoff (CHERI)
+
   // --- Software crypto (used when a substrate lacks an engine) ---
   Cycles sw_aes_per_16_bytes = 160;
   Cycles sw_sha_per_64_bytes = 600;

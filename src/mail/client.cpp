@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <optional>
 
 #include "runtime/batch_channel.h"
+#include "runtime/region_pool.h"
 
 namespace lateral::mail {
 namespace {
@@ -17,6 +19,7 @@ component ui {
   channel addressbook
   channel storage
   channel input
+  region storage 65536
   loc 2000
 }
 component imap {
@@ -226,9 +229,21 @@ Result<std::unique_ptr<MailClient>> MailClient::create(
   if (const Status s = client->store_->create_folder("Sent"); !s.ok())
     return s.error();
   MailStore* store = client->store_.get();
+  substrate::IsolationSubstrate* storage_sub = config.substrate;
+  const substrate::DomainId storage_domain = storage_component->domain;
   (void)asm_ref.set_behavior(
-      "storage", [store](const substrate::Invocation& inv) -> Result<Bytes> {
-        const std::string request = to_string(inv.data);
+      "storage",
+      [store, storage_sub,
+       storage_domain](const substrate::Invocation& inv) -> Result<Bytes> {
+        // Scatter-gather aware: an SG invocation carries the command inline
+        // and the message body by descriptor — read it in place from the
+        // grant region (constant cost) instead of receiving a copy.
+        std::string request = to_string(inv.data);
+        for (const substrate::RegionDescriptor& seg : inv.segments) {
+          auto view = storage_sub->region_view(storage_domain, seg);
+          if (!view) return view.error();
+          request.append(view->begin(), view->end());
+        }
         std::size_t offset = 0;
         const std::string command = first_token(request, offset);
         if (command == "STORE") {
@@ -309,6 +324,19 @@ Result<std::size_t> MailClient::sync_inbox() {
       *storage_ep,
       {.depth = kSyncBurst, .hub = &runtime_metrics_, .label = "ui->storage"});
 
+  // Message bodies ride the zero-copy data plane when the substrate can
+  // realize the manifest-declared ui<->storage grant region: the STORE
+  // command crosses inline, the body by descriptor, staged once into a
+  // pool slot. On substrates without region support (TPM/fTPM) —
+  // no_region_support from region_between — the copy path below moves each
+  // body with exactly one copy (call_batch's delivery of the moved buffer).
+  std::optional<runtime::RegionPool> body_pool;
+  if (auto region = assembly_->region_between("ui", "storage"); region) {
+    const auto ui = *assembly_->component("ui");
+    body_pool.emplace(*ui->substrate, ui->domain, *region,
+                      /*region_size=*/65536, /*slot_bytes=*/2048);
+  }
+
   while (local < remote) {
     const std::size_t burst = std::min(kSyncBurst, remote - local);
     std::vector<runtime::SubmissionId> fetch_ids;
@@ -322,13 +350,26 @@ Result<std::size_t> MailClient::sync_inbox() {
 
     std::vector<runtime::SubmissionId> store_ids;
     store_ids.reserve(burst);
+    const Bytes store_header = to_bytes("STORE INBOX\n");
     for (const runtime::SubmissionId id : fetch_ids) {
       auto wire = fetches.wait(id);
       if (!wire) return wire.error();
-      Bytes request = to_bytes("STORE INBOX\n");
-      request.insert(request.end(), wire->begin(), wire->end());
-      auto stored = stores.submit(request);
-      if (!stored) return stored.error();
+      Result<runtime::SubmissionId> stored = Errc::no_region_support;
+      if (body_pool) {
+        stored = stores.submit_staged(*body_pool, store_header, *wire);
+        // A body too big for a slot (or a momentarily drained pool) falls
+        // back to the copy path for that one message — correctness never
+        // depends on the fast path.
+        if (!stored && stored.error() != Errc::invalid_argument &&
+            stored.error() != Errc::exhausted)
+          return stored.error();
+      }
+      if (!stored) {
+        Bytes request = store_header;
+        request.insert(request.end(), wire->begin(), wire->end());
+        stored = stores.submit(std::move(request));
+        if (!stored) return stored.error();
+      }
       store_ids.push_back(*stored);
     }
     if (const Status s = stores.flush(); !s.ok()) return s.error();

@@ -275,6 +275,14 @@ Cycles Microkernel::message_cost(std::size_t len) const {
 
 Cycles Microkernel::attest_cost() const { return machine_.costs().syscall; }
 
+Cycles Microkernel::region_map_cost(std::size_t pages) const {
+  // An L4 map item: kernel entry plus one page-table write per page. After
+  // that, access is plain loads/stores — the zero-copy path's entire
+  // recurring cost is the cache traffic region_access models.
+  return machine_.costs().syscall +
+         machine_.costs().page_table_update * pages;
+}
+
 Status register_factory(substrate::SubstrateRegistry& registry) {
   return registry.register_factory(
       "microkernel",

@@ -76,6 +76,9 @@ class Microkernel final : public substrate::IsolationSubstrate {
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
   Cycles attest_cost() const override;
+  /// Grant regions are L4 map items: one syscall establishes the mapping,
+  /// then both tasks address the same frames directly.
+  Cycles region_map_cost(std::size_t pages) const override;
 
  private:
   struct AddressSpace {

@@ -146,6 +146,37 @@ Cycles NocFabric::attest_cost() const {
   return message_cost(64);  // a message to the kernel tile
 }
 
+Status NocFabric::attach_region(substrate::RegionId id, RegionRecord& record) {
+  (void)id;
+  const auto a_it = tiles_.find(record.a);
+  const auto b_it = tiles_.find(record.b);
+  if (a_it == tiles_.end() || b_it == tiles_.end())
+    return Errc::no_such_domain;
+  if (a_it->second.endpoints_used >= kEndpointsPerTile ||
+      b_it->second.endpoints_used >= kEndpointsPerTile)
+    return Errc::exhausted;
+  a_it->second.endpoints_used++;
+  b_it->second.endpoints_used++;
+  return Status::success();
+}
+
+void NocFabric::release_region(substrate::RegionId id, RegionRecord& record) {
+  (void)id;
+  const auto a_it = tiles_.find(record.a);
+  const auto b_it = tiles_.find(record.b);
+  if (a_it != tiles_.end() && a_it->second.endpoints_used > 0)
+    a_it->second.endpoints_used--;
+  if (b_it != tiles_.end() && b_it->second.endpoints_used > 0)
+    b_it->second.endpoints_used--;
+}
+
+Cycles NocFabric::region_map_cost(std::size_t pages) const {
+  // The kernel tile configures a memory endpoint: one message to the
+  // kernel plus DTU programming per page window.
+  return message_cost(32) + machine_.costs().dma_setup +
+         machine_.costs().dma_per_page * pages;
+}
+
 Status register_factory(substrate::SubstrateRegistry& registry) {
   return registry.register_factory(
       "noc", [](hw::Machine& machine, const substrate::SubstrateConfig& config) {

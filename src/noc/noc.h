@@ -63,6 +63,13 @@ class NocFabric final : public substrate::IsolationSubstrate {
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
   Cycles attest_cost() const override;
+  /// Regions are DTU *memory* endpoints (M3's remote-memory EPs): each side
+  /// spends one slot of its fixed EP table, so region creation competes
+  /// with channels for endpoints and fails with exhausted when a tile's
+  /// table is full.
+  Status attach_region(substrate::RegionId id, RegionRecord& record) override;
+  void release_region(substrate::RegionId id, RegionRecord& record) override;
+  Cycles region_map_cost(std::size_t pages) const override;
 
  private:
   struct Tile {

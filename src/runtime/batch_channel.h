@@ -29,6 +29,7 @@
 
 #include "core/endpoint.h"
 #include "runtime/metrics.h"
+#include "runtime/region_pool.h"
 #include "runtime/spsc_ring.h"
 #include "substrate/substrate.h"
 #include "util/result.h"
@@ -76,6 +77,31 @@ class BatchChannel {
   /// Enqueue an invocation; returns its id. Errc::exhausted when the
   /// submission ring is full — resolve by flushing or draining.
   Result<SubmissionId> submit(BytesView request, SubmitOptions opts = {});
+  /// Move-in overload: adopts the request buffer instead of copying it.
+  /// On substrates without region support this is the whole fallback
+  /// story — the payload is copied exactly once (by call_batch's delivery),
+  /// never re-copied into the ring.
+  Result<SubmissionId> submit(Bytes&& request, SubmitOptions opts = {});
+
+  /// Enqueue a scatter-gather invocation: a small inline header plus
+  /// descriptors naming payload already staged in a shared grant region
+  /// (see RegionPool::stage). The flush crosses with O(descriptors) bytes
+  /// for this entry regardless of payload size.
+  Result<SubmissionId> submit_sg(
+      BytesView header, std::vector<substrate::RegionDescriptor> segments,
+      SubmitOptions opts = {});
+
+  /// Convenience producer path: lease a pool slot, stage `payload` into it
+  /// (the single copy), and submit header+descriptor. The slot is returned
+  /// to the pool automatically when this submission's completion is
+  /// formed — by then the peer's handler has consumed the bytes in place.
+  /// Staging failures are reported, not papered over: Errc::exhausted means
+  /// the pool is empty (flush and retry), stale_epoch means the region was
+  /// re-epoched (re-wire via Assembly::region_between). Callers that want
+  /// the copy fallback call submit() instead.
+  Result<SubmissionId> submit_staged(RegionPool& pool, BytesView header,
+                                     BytesView payload,
+                                     SubmitOptions opts = {});
 
   /// Withdraw a still-queued invocation. It will surface as a cancelled
   /// completion at the next flush (so the accounting stays lossless).
@@ -104,11 +130,20 @@ class BatchChannel {
  private:
   struct Pending {
     SubmissionId id = 0;
-    Bytes request;
+    Bytes request;  // inline payload, or the SG header
+    std::vector<substrate::RegionDescriptor> segments;  // non-empty => SG
     Cycles deadline = 0;
+    /// Pool to return the staged slot to once the completion is formed
+    /// (submit_staged only).
+    RegionPool* pool = nullptr;
+    RegionPool::Slot slot;
   };
 
+  Result<SubmissionId> enqueue(Pending pending);
   void complete(Completion completion);
+  /// Return a staged slot (if any) — called exactly once per pending, when
+  /// its completion is formed.
+  static void release_slot(Pending& pending);
 
   substrate::IsolationSubstrate& substrate_;
   substrate::DomainId actor_;

@@ -112,6 +112,32 @@ Result<Future> Executor::submit(const DomainKey& key, Task task,
   return future;
 }
 
+Result<Future> Executor::submit_call_sg(const core::Endpoint& endpoint,
+                                        RegionPool& pool, Bytes header,
+                                        Bytes payload, SubmitOptions opts) {
+  DomainKey key{endpoint.substrate(), endpoint.actor()};
+  // Staging happens inside the task, not here: region_write advances the
+  // simulated machine, so it must run under the substrate stripe lock the
+  // worker takes for this key.
+  return submit(
+      key,
+      [endpoint, &pool, header = std::move(header),
+       payload = std::move(payload)]() -> Result<Bytes> {
+        auto slot = pool.acquire();
+        if (!slot) return slot.error();
+        auto desc = pool.stage(*slot, payload);
+        if (!desc) {
+          pool.release(*slot);
+          return desc.error();
+        }
+        const std::array<substrate::RegionDescriptor, 1> segments{*desc};
+        Result<Bytes> reply = endpoint.call_sg(header, segments);
+        pool.release(*slot);  // callee consumed the bytes in place
+        return reply;
+      },
+      opts);
+}
+
 std::shared_ptr<Executor::DomainQueue> Executor::next_queue_locked(
     std::size_t index) {
   auto take = [](std::deque<std::shared_ptr<DomainQueue>>& deck, bool front) {

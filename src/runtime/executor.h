@@ -96,6 +96,17 @@ class Executor {
   Result<Future> submit(const DomainKey& key, Task task,
                         SubmitOptions opts = {});
 
+  /// Zero-copy call as a task: when the task runs (under the endpoint
+  /// substrate's stripe lock, in domain order), it leases a pool slot,
+  /// stages `payload` (the path's one copy), performs the scatter-gather
+  /// call, and returns the slot. The pool must be dedicated to this
+  /// endpoint's DomainKey — per-domain ordering is what makes the unlocked
+  /// pool safe here. Errors surface through the Future (exhausted = pool
+  /// empty, stale_epoch = peer restarted; re-wire and resubmit).
+  Result<Future> submit_call_sg(const core::Endpoint& endpoint,
+                                RegionPool& pool, Bytes header, Bytes payload,
+                                SubmitOptions opts = {});
+
   /// Block until every task submitted so far is terminal.
   void wait_all();
 

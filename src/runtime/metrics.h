@@ -40,6 +40,11 @@ struct InvocationCounters {
   Cycles sync_equivalent_cycles = 0;  // cost had every call gone sync
   Cycles crossing_cycles = 0;         // cost the batched path paid
 
+  // --- Zero-copy data plane ---
+  /// Payload bytes that crossed by descriptor (scatter-gather) instead of
+  /// being copied; the FIG11 bench and capacity planning read this.
+  std::uint64_t zero_copy_bytes = 0;
+
   /// Invocations accepted but not yet terminal (must equal live queue
   /// occupancy — the losslessness invariant).
   std::uint64_t in_flight() const {

@@ -1,0 +1,47 @@
+#include "runtime/region_pool.h"
+
+namespace lateral::runtime {
+
+RegionPool::RegionPool(substrate::IsolationSubstrate& substrate,
+                       substrate::DomainId actor,
+                       substrate::RegionId region, std::size_t region_size,
+                       std::size_t slot_bytes)
+    : substrate_(substrate),
+      actor_(actor),
+      region_(region),
+      slot_bytes_(slot_bytes),
+      slots_total_(slot_bytes == 0 ? 0 : region_size / slot_bytes) {
+  free_.reserve(slots_total_);
+  // Push in reverse so the first acquire() hands out offset 0.
+  for (std::size_t i = slots_total_; i > 0; --i)
+    free_.push_back(static_cast<std::uint64_t>((i - 1) * slot_bytes_));
+}
+
+Result<RegionPool::Slot> RegionPool::acquire() {
+  if (free_.empty()) return Errc::exhausted;
+  Slot slot;
+  slot.offset = free_.back();
+  slot.bytes = slot_bytes_;
+  free_.pop_back();
+  return slot;
+}
+
+void RegionPool::release(const Slot& slot) {
+  if (slot.bytes != slot_bytes_ || slot.offset % slot_bytes_ != 0) return;
+  if (slot.offset / slot_bytes_ >= slots_total_) return;
+  free_.push_back(slot.offset);
+}
+
+Result<substrate::RegionDescriptor> RegionPool::stage(const Slot& slot,
+                                                      BytesView payload) {
+  if (payload.empty() || payload.size() > slot.bytes)
+    return Errc::invalid_argument;
+  if (const Status s =
+          substrate_.region_write(actor_, region_, slot.offset, payload);
+      !s.ok())
+    return s.error();
+  return substrate_.make_descriptor(actor_, region_, slot.offset,
+                                    payload.size());
+}
+
+}  // namespace lateral::runtime

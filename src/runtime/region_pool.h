@@ -1,0 +1,73 @@
+// RegionPool — a region-backed staging buffer pool for the zero-copy path.
+//
+// The zero-copy contract (IsolationSubstrate::call_sg) needs payload bytes
+// resident in a shared grant region before the descriptor crosses. A
+// producer could region_write at ad-hoc offsets, but serving code wants the
+// allocator question answered once: RegionPool carves one region into
+// fixed-size slots, hands them out O(1) from a free list, and stages
+// payloads with a single region_write (the path's one copy). Slots are
+// returned either explicitly or by the BatchChannel integration when the
+// matching completion is delivered — by then the consumer's handler has
+// read the bytes in place, so reuse is safe.
+//
+// Crash recovery: the pool holds no epoch state of its own. Every stage()
+// goes through the substrate's reference monitor, so after a revoke or a
+// supervised restart (epoch bump) staging fails with Errc::stale_epoch and
+// the owner re-wires through Assembly::region_between, exactly like a
+// BatchChannel holder re-attaches after a fence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "substrate/substrate.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::runtime {
+
+class RegionPool {
+ public:
+  /// A lease on `bytes` bytes of the pool's region at `offset`. Only
+  /// meaningful to the pool that issued it.
+  struct Slot {
+    std::uint64_t offset = 0;
+    std::size_t bytes = 0;
+  };
+
+  /// Carve `region` (created and mapped beforehand — normally by the
+  /// composer) into slots of `slot_bytes`. `region_size` is the region's
+  /// total size; slot count = region_size / slot_bytes (at least 1 slot
+  /// must fit or the pool is unusable and every acquire fails).
+  RegionPool(substrate::IsolationSubstrate& substrate,
+             substrate::DomainId actor, substrate::RegionId region,
+             std::size_t region_size, std::size_t slot_bytes);
+
+  /// Lease a free slot; Errc::exhausted when every slot is in flight —
+  /// the pool's backpressure, analogous to a full submission ring.
+  Result<Slot> acquire();
+  /// Return a slot to the free list.
+  void release(const Slot& slot);
+
+  /// Stage `payload` into `slot` (one region_write) and mint a descriptor
+  /// for exactly the staged bytes. Errc::invalid_argument when the payload
+  /// exceeds the slot; substrate errors (stale_epoch after a restart,
+  /// access_denied after a revoke) propagate untouched.
+  Result<substrate::RegionDescriptor> stage(const Slot& slot,
+                                            BytesView payload);
+
+  substrate::RegionId region() const { return region_; }
+  std::size_t slot_bytes() const { return slot_bytes_; }
+  std::size_t slots_total() const { return slots_total_; }
+  std::size_t slots_free() const { return free_.size(); }
+
+ private:
+  substrate::IsolationSubstrate& substrate_;
+  substrate::DomainId actor_;
+  substrate::RegionId region_;
+  std::size_t slot_bytes_;
+  std::size_t slots_total_;
+  std::vector<std::uint64_t> free_;  // free slot offsets (LIFO for locality)
+};
+
+}  // namespace lateral::runtime

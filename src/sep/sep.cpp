@@ -267,6 +267,13 @@ Cycles Sep::attest_cost() const {
   return machine_.costs().sep_mailbox_round_trip;
 }
 
+Cycles Sep::region_map_cost(std::size_t pages) const {
+  // One mailbox round trip to negotiate the window, then DMA programming
+  // per page. Accesses ride the inline crypto engine, not the mailbox.
+  return machine_.costs().sep_mailbox_round_trip +
+         machine_.costs().dma_setup + machine_.costs().dma_per_page * pages;
+}
+
 Status register_factory(substrate::SubstrateRegistry& registry) {
   return registry.register_factory(
       "sep", [](hw::Machine& machine, const substrate::SubstrateConfig& config) {

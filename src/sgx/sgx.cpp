@@ -356,6 +356,15 @@ Cycles Sgx::message_cost(std::size_t len) const {
 
 Cycles Sgx::attest_cost() const { return machine_.costs().sgx_ereport; }
 
+Cycles Sgx::region_map_cost(std::size_t pages) const {
+  // One ECALL round trip to agree on the untrusted buffer, plus host-side
+  // page-table setup. Data in the region is deliberately outside the EPC:
+  // the enclave treats it as untrusted input, and in exchange accesses are
+  // plain loads — no MEE, no crossing.
+  return machine_.costs().sgx_eenter + machine_.costs().sgx_eexit +
+         machine_.costs().page_table_update * pages;
+}
+
 Status register_factory(substrate::SubstrateRegistry& registry) {
   return registry.register_factory(
       "sgx", [](hw::Machine& machine, const substrate::SubstrateConfig& config) {

@@ -83,6 +83,11 @@ class Sgx final : public substrate::IsolationSubstrate {
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
   Cycles attest_cost() const override;
+  /// Regions are untrusted buffers *outside* the EPC (the standard SGX
+  /// zero-copy idiom): the enclave reaches them directly, so accesses pay
+  /// no EENTER/EEXIT and no MEE crypt — establishing the mapping pays one
+  /// enclave round trip.
+  Cycles region_map_cost(std::size_t pages) const override;
 
  private:
   struct EnclaveSpace {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -137,6 +138,48 @@ struct ChannelSpec {
   std::size_t max_message_bytes = 4096;
 };
 
+/// Shared grant region between exactly two domains (the zero-copy data
+/// plane). A region is the memory analogue of a channel: created only by
+/// the composer from a manifest declaration, bound to two endpoints, and
+/// epoch-fenced across crash recovery exactly like channel endpoints.
+using RegionId = std::uint64_t;
+
+enum class RegionPerms : std::uint8_t {
+  read_only,   // grantee (b) may only read; owner (a) writes
+  read_write,  // both endpoints may write
+};
+
+constexpr std::string_view region_perms_name(RegionPerms p) {
+  switch (p) {
+    case RegionPerms::read_only: return "ro";
+    case RegionPerms::read_write: return "rw";
+  }
+  return "unknown";
+}
+
+/// Scatter-gather descriptor: names bytes *inside* an established region
+/// instead of carrying them. Crossing the boundary costs O(descriptor),
+/// never O(payload). The epoch is stamped at mint time so descriptors
+/// outlive neither a revoke_region nor a crash-recovery rebind — a stale
+/// descriptor fails closed with Errc::stale_epoch.
+struct RegionDescriptor {
+  RegionId region = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// Wire footprint of one descriptor on a crossing (region+offset+length
+/// packed; the epoch travels in the substrate's metadata, not the payload).
+constexpr std::size_t kDescriptorWireBytes = 16;
+
+/// One request in a scatter-gather batch: a small inline header (opcode,
+/// framing) plus descriptors naming the bulk payload in place.
+struct SgRequest {
+  Bytes header;
+  std::vector<RegionDescriptor> segments;
+};
+
 /// A queued message as seen by the receiver. `badge` is minted by the
 /// substrate at channel-creation time and identifies the sending endpoint
 /// unforgeably — the capability-design answer to the confused deputy
@@ -146,11 +189,15 @@ struct Message {
   Bytes data;
 };
 
-/// A synchronous invocation delivered to a domain's handler.
+/// A synchronous invocation delivered to a domain's handler. `data` is the
+/// inline payload (or the scatter-gather header); `segments` is non-empty
+/// only on the zero-copy path and names bulk bytes the handler may read in
+/// place via IsolationSubstrate::region_view.
 struct Invocation {
   ChannelId channel = 0;
   std::uint64_t badge = 0;
   BytesView data;
+  std::span<const RegionDescriptor> segments;
 };
 
 }  // namespace lateral::substrate

@@ -36,6 +36,17 @@ const IsolationSubstrate::ChannelRecord* IsolationSubstrate::find_channel(
   return it == channels_.end() ? nullptr : &it->second;
 }
 
+IsolationSubstrate::RegionRecord* IsolationSubstrate::find_region(RegionId id) {
+  const auto it = regions_.find(id);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+const IsolationSubstrate::RegionRecord* IsolationSubstrate::find_region(
+    RegionId id) const {
+  const auto it = regions_.find(id);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
 Status IsolationSubstrate::check_live(DomainId id) const {
   const DomainRecord* record = find_domain(id);
   if (!record) return Errc::no_such_domain;
@@ -93,6 +104,16 @@ Status IsolationSubstrate::destroy_domain(DomainId domain) {
     else
       ++chan_it;
   }
+  // Same for grant regions: the reap removes the shared memory entirely.
+  for (auto reg_it = regions_.begin(); reg_it != regions_.end();) {
+    if (reg_it->second.a == domain || reg_it->second.b == domain) {
+      if (!reg_it->second.revoked)
+        release_region(reg_it->first, reg_it->second);
+      reg_it = regions_.erase(reg_it);
+    } else {
+      ++reg_it;
+    }
+  }
   domains_.erase(it);
   return Status::success();
 }
@@ -112,6 +133,18 @@ Status IsolationSubstrate::kill_domain(DomainId domain) {
     if (chan.a != domain && chan.b != domain) continue;
     chan.to_a.clear();
     chan.to_b.clear();
+  }
+  // Grant regions touching the corpse are revoked immediately: mappings
+  // drop, the epoch bumps (fencing every outstanding descriptor), and the
+  // shared bytes are scrubbed — a crash must not leak the old life's data
+  // through memory the survivor can still read. The record survives for
+  // rebind_region, mirroring channel corpse semantics.
+  for (auto& [id, region] : regions_) {
+    if (region.a != domain && region.b != domain) continue;
+    region.mapped_a = false;
+    region.mapped_b = false;
+    ++region.epoch;
+    std::fill(region.backing.begin(), region.backing.end(), std::uint8_t{0});
   }
   return Status::success();
 }
@@ -206,6 +239,12 @@ Status IsolationSubstrate::set_handler(DomainId domain, Handler handler) {
 
 Status IsolationSubstrate::send(DomainId actor, ChannelId channel,
                                 BytesView data) {
+  // The view cannot be adopted; this is the path's one unavoidable copy.
+  return send(actor, channel, Bytes(data.begin(), data.end()));
+}
+
+Status IsolationSubstrate::send(DomainId actor, ChannelId channel,
+                                Bytes&& data) {
   ChannelRecord* chan = find_channel(channel);
   if (!chan) return Errc::no_such_channel;
   if (actor != chan->a && actor != chan->b) return Errc::access_denied;
@@ -220,7 +259,7 @@ Status IsolationSubstrate::send(DomainId actor, ChannelId channel,
   const bool from_a = (actor == chan->a);
   Message msg;
   msg.badge = from_a ? chan->badge_a : chan->badge_b;
-  msg.data.assign(data.begin(), data.end());
+  msg.data = std::move(data);
   (from_a ? chan->to_b : chan->to_a).push_back(std::move(msg));
   return Status::success();
 }
@@ -238,7 +277,7 @@ Result<Message> IsolationSubstrate::receive(DomainId actor, ChannelId channel) {
   auto& queue = (actor == chan->a) ? chan->to_a : chan->to_b;
   if (queue.empty()) return Errc::would_block;
   Message msg = std::move(queue.front());
-  queue.erase(queue.begin());
+  queue.pop_front();  // O(1) on the deque; erase() on a vector was O(n)
   machine_.advance(message_cost(msg.data.size()));
   return msg;
 }
@@ -318,6 +357,341 @@ Result<BatchReply> IsolationSubstrate::call_batch(
   machine_.advance(reply_crossing);
   out.crossing_cycles = crossing + reply_crossing;
   return out;
+}
+
+Result<Bytes> IsolationSubstrate::call_sg(
+    DomainId actor, ChannelId channel, BytesView header,
+    std::span<const RegionDescriptor> segments) {
+  ChannelRecord* chan = find_channel(channel);
+  if (!chan) return Errc::no_such_channel;
+  if (actor != chan->a && actor != chan->b) return Errc::access_denied;
+  if (const Status s = check_live(actor); !s.ok()) return s.error();
+  const std::size_t wire =
+      header.size() + kDescriptorWireBytes * segments.size();
+  if (wire > chan->spec.max_message_bytes) return Errc::invalid_argument;
+  const DomainId callee = (actor == chan->a) ? chan->b : chan->a;
+  if (const Status s = check_live(callee); !s.ok()) return s.error();
+  // Every descriptor must pass the reference monitor *before* delivery:
+  // endpoints, mapping, bounds, and epoch. Crucially the region's endpoints
+  // must be exactly {actor, callee} — a descriptor naming a region the
+  // caller shares with some third domain is a confused-deputy attempt and
+  // is refused, not forwarded.
+  for (const RegionDescriptor& desc : segments) {
+    if (const Status s = check_descriptor(actor, desc); !s.ok())
+      return s.error();
+    const RegionRecord* region = find_region(desc.region);
+    if (!(region->a == actor && region->b == callee) &&
+        !(region->a == callee && region->b == actor))
+      return Errc::access_denied;
+  }
+  if (fault_fires(callee, "call_sg")) return Errc::domain_dead;
+  DomainRecord* callee_record = find_domain(callee);
+  if (!callee_record->handler) return Errc::would_block;
+  if (const Status s = pre_call(actor, callee); !s.ok()) return s.error();
+
+  // The crossing carries the header plus 16 bytes per descriptor — never
+  // the payload. This is the whole economics of the plane.
+  machine_.advance(message_cost(wire));
+  Invocation invocation;
+  invocation.channel = channel;
+  invocation.badge = (actor == chan->a) ? chan->badge_a : chan->badge_b;
+  invocation.data = header;
+  invocation.segments = segments;
+  Result<Bytes> reply = callee_record->handler(invocation);
+  machine_.advance(message_cost(reply.ok() ? reply.value().size() : 0));
+  return reply;
+}
+
+Result<BatchReply> IsolationSubstrate::call_batch_sg(
+    DomainId actor, ChannelId channel, const std::vector<SgRequest>& requests) {
+  ChannelRecord* chan = find_channel(channel);
+  if (!chan) return Errc::no_such_channel;
+  if (actor != chan->a && actor != chan->b) return Errc::access_denied;
+  if (const Status s = check_live(actor); !s.ok()) return s.error();
+  for (const SgRequest& request : requests)
+    if (request.header.size() +
+            kDescriptorWireBytes * request.segments.size() >
+        chan->spec.max_message_bytes)
+      return Errc::invalid_argument;
+  const DomainId callee = (actor == chan->a) ? chan->b : chan->a;
+  if (const Status s = check_live(callee); !s.ok()) return s.error();
+  if (fault_fires(callee, "call_batch_sg")) return Errc::domain_dead;
+  DomainRecord* callee_record = find_domain(callee);
+  if (!callee_record->handler) return Errc::would_block;
+  if (const Status s = pre_call(actor, callee); !s.ok()) return s.error();
+
+  BatchReply out;
+  if (requests.empty()) return out;
+  out.replies.reserve(requests.size());
+
+  // Per-request descriptor validation happens up front; a bad descriptor
+  // fails *its* request (the error travels in replies[i]) without sinking
+  // the batch, and a refused request is not charged a crossing share.
+  std::vector<Errc> veto(requests.size(), Errc::ok);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    for (const RegionDescriptor& desc : requests[i].segments) {
+      Status s = check_descriptor(actor, desc);
+      if (s.ok()) {
+        const RegionRecord* region = find_region(desc.region);
+        if (!(region->a == actor && region->b == callee) &&
+            !(region->a == callee && region->b == actor))
+          s = Errc::access_denied;
+      }
+      if (!s.ok()) {
+        veto[i] = s.error();
+        break;
+      }
+    }
+  }
+
+  // One fixed crossing per direction for the whole batch; each request's
+  // marginal wire cost is its header + descriptors, O(1) in payload bytes.
+  const Cycles fixed = message_cost(0);
+  Cycles crossing = fixed;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (veto[i] != Errc::ok) continue;
+    crossing += message_cost(requests[i].header.size() +
+                             kDescriptorWireBytes *
+                                 requests[i].segments.size()) -
+                fixed;
+  }
+  machine_.advance(crossing);
+
+  const std::uint64_t badge =
+      (actor == chan->a) ? chan->badge_a : chan->badge_b;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (veto[i] != Errc::ok) {
+      out.replies.push_back(veto[i]);
+      continue;
+    }
+    Invocation invocation;
+    invocation.channel = channel;
+    invocation.badge = badge;
+    invocation.data = requests[i].header;
+    invocation.segments = requests[i].segments;
+    out.replies.push_back(callee_record->handler(invocation));
+  }
+
+  Cycles reply_crossing = fixed;
+  for (const Result<Bytes>& reply : out.replies)
+    reply_crossing += message_cost(reply.ok() ? reply->size() : 0) - fixed;
+  machine_.advance(reply_crossing);
+  out.crossing_cycles = crossing + reply_crossing;
+  return out;
+}
+
+// --- Grant regions ----------------------------------------------------------
+
+namespace {
+constexpr std::size_t kRegionPageBytes = 4096;
+
+std::size_t region_pages(std::size_t size) {
+  return (size + kRegionPageBytes - 1) / kRegionPageBytes;
+}
+}  // namespace
+
+Result<RegionId> IsolationSubstrate::create_region(DomainId a, DomainId b,
+                                                   std::size_t size,
+                                                   RegionPerms perms) {
+  if (!supports_regions()) return Errc::no_region_support;
+  if (const Status s = check_live(a); !s.ok()) return s.error();
+  if (const Status s = check_live(b); !s.ok()) return s.error();
+  if (a == b || size == 0) return Errc::invalid_argument;
+  const RegionId id = next_region_++;
+  RegionRecord record;
+  record.a = a;
+  record.b = b;
+  record.perms = perms;
+  record.backing.resize(size, 0);
+  if (const Status s = attach_region(id, record); !s.ok()) return s.error();
+  regions_.emplace(id, std::move(record));
+  return id;
+}
+
+Status IsolationSubstrate::map_region(DomainId actor, RegionId region) {
+  RegionRecord* record = find_region(region);
+  if (!record) return Errc::invalid_argument;
+  // POLA: only the two granted endpoints may ever map. This is the check
+  // the conformance suite drives with a third, undeclared domain.
+  if (actor != record->a && actor != record->b) return Errc::access_denied;
+  if (const Status s = check_live(actor); !s.ok()) return s;
+  if (record->revoked) return Errc::stale_epoch;
+  bool& mapped = (actor == record->a) ? record->mapped_a : record->mapped_b;
+  if (mapped) return Status::success();  // idempotent; no double charge
+  machine_.advance(region_map_cost(region_pages(record->backing.size())));
+  mapped = true;
+  return Status::success();
+}
+
+Status IsolationSubstrate::unmap_region(DomainId actor, RegionId region) {
+  RegionRecord* record = find_region(region);
+  if (!record) return Errc::invalid_argument;
+  if (actor != record->a && actor != record->b) return Errc::access_denied;
+  bool& mapped = (actor == record->a) ? record->mapped_a : record->mapped_b;
+  if (!mapped) return Errc::invalid_argument;
+  machine_.advance(machine_.costs().page_table_update *
+                   region_pages(record->backing.size()));
+  mapped = false;
+  return Status::success();
+}
+
+Status IsolationSubstrate::revoke_region(RegionId region) {
+  RegionRecord* record = find_region(region);
+  if (!record) return Errc::invalid_argument;
+  if (record->revoked) return Errc::stale_epoch;
+  record->mapped_a = false;
+  record->mapped_b = false;
+  ++record->epoch;
+  record->revoked = true;
+  std::fill(record->backing.begin(), record->backing.end(), std::uint8_t{0});
+  release_region(region, *record);
+  machine_.advance(machine_.costs().page_table_update *
+                   region_pages(record->backing.size()));
+  return Status::success();
+}
+
+Status IsolationSubstrate::rebind_region(RegionId region, DomainId from,
+                                         DomainId to) {
+  RegionRecord* record = find_region(region);
+  if (!record) return Errc::invalid_argument;
+  if (record->revoked) return Errc::stale_epoch;
+  if (record->a != from && record->b != from) return Errc::access_denied;
+  if (const Status s = check_live(to); !s.ok()) return s;
+  const DomainId other = (record->a == from) ? record->b : record->a;
+  if (to == other) return Errc::invalid_argument;
+  if (record->a == from)
+    record->a = to;
+  else
+    record->b = to;
+  // Fresh life: both sides must re-map, every old descriptor is fenced,
+  // and the reincarnation must not inherit the predecessor's bytes.
+  record->mapped_a = false;
+  record->mapped_b = false;
+  ++record->epoch;
+  std::fill(record->backing.begin(), record->backing.end(), std::uint8_t{0});
+  return Status::success();
+}
+
+Result<std::uint64_t> IsolationSubstrate::region_epoch(RegionId region) const {
+  const RegionRecord* record = find_region(region);
+  if (!record) return Errc::invalid_argument;
+  return record->epoch;
+}
+
+std::vector<RegionId> IsolationSubstrate::regions() const {
+  std::vector<RegionId> out;
+  out.reserve(regions_.size());
+  for (const auto& [id, record] : regions_)
+    if (!record.revoked) out.push_back(id);
+  return out;
+}
+
+Result<RegionDescriptor> IsolationSubstrate::make_descriptor(
+    DomainId actor, RegionId region, std::uint64_t offset,
+    std::uint64_t len) const {
+  const RegionRecord* record = find_region(region);
+  if (!record) return Errc::invalid_argument;
+  if (actor != record->a && actor != record->b) return Errc::access_denied;
+  if (const Status s = check_live(actor); !s.ok()) return s.error();
+  if (record->revoked) return Errc::stale_epoch;
+  const bool mapped = (actor == record->a) ? record->mapped_a
+                                           : record->mapped_b;
+  if (!mapped) return Errc::access_denied;
+  if (offset + len > record->backing.size() || len == 0)
+    return Errc::invalid_argument;
+  RegionDescriptor desc;
+  desc.region = region;
+  desc.offset = offset;
+  desc.length = len;
+  desc.epoch = record->epoch;
+  return desc;
+}
+
+Status IsolationSubstrate::check_descriptor(
+    DomainId actor, const RegionDescriptor& desc) const {
+  const RegionRecord* record = find_region(desc.region);
+  if (!record) return Errc::invalid_argument;
+  if (actor != record->a && actor != record->b) return Errc::access_denied;
+  // A dead endpoint is reported as such before the epoch check: "your peer
+  // crashed" is more diagnosable than "your descriptor is stale".
+  if (const Status s = check_live(record->a); !s.ok()) return s;
+  if (const Status s = check_live(record->b); !s.ok()) return s;
+  if (record->revoked || desc.epoch != record->epoch)
+    return Errc::stale_epoch;
+  const bool mapped = (actor == record->a) ? record->mapped_a
+                                           : record->mapped_b;
+  if (!mapped) return Errc::access_denied;
+  if (desc.length == 0 || desc.offset + desc.length > record->backing.size())
+    return Errc::invalid_argument;
+  return Status::success();
+}
+
+Status IsolationSubstrate::region_write(DomainId actor, RegionId region,
+                                        std::uint64_t offset, BytesView data) {
+  RegionRecord* record = find_region(region);
+  if (!record) return Errc::invalid_argument;
+  if (actor != record->a && actor != record->b) return Errc::access_denied;
+  if (const Status s = check_live(actor); !s.ok()) return s;
+  if (record->revoked) return Errc::stale_epoch;
+  const bool mapped = (actor == record->a) ? record->mapped_a
+                                           : record->mapped_b;
+  if (!mapped) return Errc::access_denied;
+  if (record->perms == RegionPerms::read_only && actor != record->a)
+    return Errc::access_denied;
+  if (offset + data.size() > record->backing.size())
+    return Errc::invalid_argument;
+  // The producer's single copy — plain memcpy into already-mapped memory,
+  // no crossing. Every other stage of the zero-copy path is O(1).
+  machine_.charge(0, machine_.costs().memcpy_per_16_bytes, data.size());
+  std::copy(data.begin(), data.end(), record->backing.begin() + offset);
+  return Status::success();
+}
+
+Result<Bytes> IsolationSubstrate::region_read(DomainId actor, RegionId region,
+                                              std::uint64_t offset,
+                                              std::size_t len) {
+  RegionRecord* record = find_region(region);
+  if (!record) return Errc::invalid_argument;
+  if (actor != record->a && actor != record->b) return Errc::access_denied;
+  if (const Status s = check_live(actor); !s.ok()) return s.error();
+  if (record->revoked) return Errc::stale_epoch;
+  const bool mapped = (actor == record->a) ? record->mapped_a
+                                           : record->mapped_b;
+  if (!mapped) return Errc::access_denied;
+  if (offset + len > record->backing.size()) return Errc::invalid_argument;
+  machine_.charge(0, machine_.costs().memcpy_per_16_bytes, len);
+  return Bytes(record->backing.begin() + offset,
+               record->backing.begin() + offset + len);
+}
+
+Result<BytesView> IsolationSubstrate::region_view(
+    DomainId actor, const RegionDescriptor& desc) {
+  if (const Status s = check_descriptor(actor, desc); !s.ok())
+    return s.error();
+  const RegionRecord* record = find_region(desc.region);
+  // In-place access: constant cost per descriptor, zero bytes moved.
+  machine_.advance(region_access_cost());
+  return BytesView(record->backing.data() + desc.offset, desc.length);
+}
+
+Cycles IsolationSubstrate::region_map_cost(std::size_t pages) const {
+  const hw::CostModel& c = machine_.costs();
+  return c.syscall + c.page_table_update * pages;
+}
+
+Cycles IsolationSubstrate::region_access_cost() const {
+  return machine_.costs().region_access;
+}
+
+Status IsolationSubstrate::attach_region(RegionId id, RegionRecord& record) {
+  (void)id;
+  (void)record;
+  return Status::success();
+}
+
+void IsolationSubstrate::release_region(RegionId id, RegionRecord& record) {
+  (void)id;
+  (void)record;
 }
 
 Status IsolationSubstrate::pre_call(DomainId actor, DomainId callee) {

@@ -13,10 +13,12 @@
 // operation, which is exactly what keeps a compromised component confined.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "crypto/aes.h"
@@ -93,6 +95,10 @@ class IsolationSubstrate {
   Status set_handler(DomainId domain, Handler handler);
   /// Asynchronous message to the peer endpoint.
   Status send(DomainId actor, ChannelId channel, BytesView data);
+  /// Move-in overload: the payload buffer is adopted into the queued
+  /// Message instead of being copied (satellite of the zero-copy work —
+  /// even the copy path should copy at most once).
+  Status send(DomainId actor, ChannelId channel, Bytes&& data);
   /// Dequeue the next message for `actor` on `channel`; would_block if none.
   Result<Message> receive(DomainId actor, ChannelId channel);
   /// Synchronous invocation of the peer's handler (service invocation in the
@@ -106,6 +112,19 @@ class IsolationSubstrate {
   /// channel, no handler, pre_call veto) fails the whole call.
   virtual Result<BatchReply> call_batch(DomainId actor, ChannelId channel,
                                         const std::vector<Bytes>& requests);
+  /// Scatter-gather invocation: `header` crosses inline, `segments` name
+  /// payload bytes already resident in a shared grant region. The crossing
+  /// is charged for header + kDescriptorWireBytes per segment — O(1) in the
+  /// payload size. Descriptors are validated against the region table
+  /// (endpoints, bounds, epoch) before delivery; a stale descriptor fails
+  /// the request with Errc::stale_epoch, a foreign one with access_denied.
+  Result<Bytes> call_sg(DomainId actor, ChannelId channel, BytesView header,
+                        std::span<const RegionDescriptor> segments);
+  /// Batched scatter-gather: one crossing per direction for the whole
+  /// batch, each request O(descriptors) on the wire. Per-request descriptor
+  /// failures come back inside BatchReply::replies.
+  Result<BatchReply> call_batch_sg(DomainId actor, ChannelId channel,
+                                   const std::vector<SgRequest>& requests);
   /// The badge minted for `endpoint`'s end of the channel — what the peer
   /// sees when `endpoint` sends. Composition code uses this to configure
   /// badge-based access-control lists (SessionDemux).
@@ -127,6 +146,65 @@ class IsolationSubstrate {
   /// restart — the channel id stays stable so composition-level wiring
   /// survives, while stale holders are fenced off by the epoch.
   Status rebind_channel(ChannelId channel, DomainId from, DomainId to);
+
+  // --- Grant regions (zero-copy data plane) ------------------------------
+  /// Whether this substrate can realize shared grant regions at all. The
+  /// discrete/firmware TPMs cannot — there is no memory both sides can
+  /// address — so they report false and callers fall back to the copy path
+  /// (create_region returns Errc::no_region_support).
+  virtual bool supports_regions() const { return true; }
+  /// Establish a shared region of `size` bytes between domains `a` (owner)
+  /// and `b` (grantee). Like channels, regions exist only by explicit
+  /// creation (POLA); SystemComposer is the only caller in composed systems,
+  /// driven by the manifest `region` stanza. The region starts unmapped:
+  /// each endpoint must map_region before any access.
+  virtual Result<RegionId> create_region(DomainId a, DomainId b,
+                                         std::size_t size,
+                                         RegionPerms perms =
+                                             RegionPerms::read_write);
+  /// Map the region into `actor`'s address space. Reference-monitor check:
+  /// any domain that is not one of the region's two endpoints is refused
+  /// with Errc::access_denied. Charges the backend's one-time map cost
+  /// (page-table writes, SMC, EENTER/EEXIT, DMA window programming, ...).
+  Status map_region(DomainId actor, RegionId region);
+  /// Drop `actor`'s mapping without tearing the region down.
+  Status unmap_region(DomainId actor, RegionId region);
+  /// Tear the region down: both mappings are removed and the epoch is
+  /// bumped so every outstanding descriptor fails with stale_epoch. The
+  /// record stays (like a channel) so the id remains diagnosable.
+  Status revoke_region(RegionId region);
+  /// Replace endpoint `from` (live or corpse) with live domain `to` —
+  /// the region half of a supervised restart. Epoch++, both mappings
+  /// dropped, backing bytes cleared (the new life must not inherit the old
+  /// life's data).
+  Status rebind_region(RegionId region, DomainId from, DomainId to);
+  Result<std::uint64_t> region_epoch(RegionId region) const;
+  std::vector<RegionId> regions() const;
+
+  /// Mint a descriptor naming [offset, offset+len) of the region, stamped
+  /// with the current epoch. `actor` must be a mapped endpoint.
+  Result<RegionDescriptor> make_descriptor(DomainId actor, RegionId region,
+                                           std::uint64_t offset,
+                                           std::uint64_t len) const;
+  /// Produce bytes into the region (the producer's single copy; charged
+  /// per byte like any memcpy). Write permission required.
+  Status region_write(DomainId actor, RegionId region, std::uint64_t offset,
+                      BytesView data);
+  /// Copy bytes out of the region (per-byte; for consumers that genuinely
+  /// need an owned buffer). Prefer region_view.
+  Result<Bytes> region_read(DomainId actor, RegionId region,
+                            std::uint64_t offset, std::size_t len);
+  /// Access descriptor bytes *in place*: no copy, constant per-access cost
+  /// (hw::CostModel::region_access). This is what makes the zero-copy path
+  /// O(1) in payload size. The view is invalidated by revoke/rebind — but
+  /// those bump the epoch first, so validation fails closed before any
+  /// dangling access.
+  Result<BytesView> region_view(DomainId actor, const RegionDescriptor& desc);
+  /// Validate a descriptor on behalf of `actor` (endpoint? mapped? bounds?
+  /// epoch current? peer alive?). Exposed so composition layers can
+  /// pre-flight descriptors with the same reference-monitor logic the
+  /// delivery path uses.
+  Status check_descriptor(DomainId actor, const RegionDescriptor& desc) const;
 
   // --- Memory -----------------------------------------------------------
   /// Access target memory as `actor`. The reference-monitor check is the
@@ -185,8 +263,25 @@ class IsolationSubstrate {
     /// Bumped on every restart/rebind; stale endpoints fail fast.
     std::uint64_t epoch = 1;
     ChannelSpec spec;
-    std::vector<Message> to_a;  // queue of messages awaiting a
-    std::vector<Message> to_b;
+    // std::deque: receive() pops from the front in O(1). (A vector here
+    // made every dequeue O(n) — measured as a real hotspot under bursts.)
+    std::deque<Message> to_a;  // queue of messages awaiting a
+    std::deque<Message> to_b;
+  };
+
+  struct RegionRecord {
+    DomainId a = kInvalidDomain;  // owner
+    DomainId b = kInvalidDomain;  // grantee
+    RegionPerms perms = RegionPerms::read_write;
+    /// Bumped by revoke_region / rebind_region / kill_domain so that every
+    /// descriptor minted against an earlier life fails with stale_epoch.
+    std::uint64_t epoch = 1;
+    bool mapped_a = false;
+    bool mapped_b = false;
+    bool revoked = false;
+    Bytes backing;  // the shared bytes themselves
+    /// Backend-specific handle (grant list index, DTU slot, NS-buffer tag).
+    std::uint64_t backend_cookie = 0;
   };
 
   // Backend hooks -----------------------------------------------------------
@@ -203,12 +298,25 @@ class IsolationSubstrate {
   /// serialization semantics (the TPM's Flicker-style late launch switches
   /// the single active session here). Default: allow.
   virtual Status pre_call(DomainId actor, DomainId callee);
+  /// One-time cost of mapping `pages` 4 KiB pages of shared memory into an
+  /// endpoint (charged by map_region). Backends price their own mechanism:
+  /// page-table grants, world-shared buffer setup, EADD of untrusted pages,
+  /// DMA window programming, capability derivation, DTU endpoint config.
+  virtual Cycles region_map_cost(std::size_t pages) const;
+  /// Constant cost of one in-place descriptor access (region_view).
+  virtual Cycles region_access_cost() const;
+  /// Backend admission/teardown hooks for regions (e.g. the NoC DTU has a
+  /// bounded endpoint table; it accounts slots here). Defaults: allow/no-op.
+  virtual Status attach_region(RegionId id, RegionRecord& record);
+  virtual void release_region(RegionId id, RegionRecord& record);
 
   // Shared helpers ------------------------------------------------------------
   DomainRecord* find_domain(DomainId id);
   const DomainRecord* find_domain(DomainId id) const;
   ChannelRecord* find_channel(ChannelId id);
   const ChannelRecord* find_channel(ChannelId id) const;
+  RegionRecord* find_region(RegionId id);
+  const RegionRecord* find_region(RegionId id) const;
   /// Errc::domain_dead for a corpse, Errc::no_such_domain for an unknown
   /// id; success for a live domain. Backends call this at the top of their
   /// memory paths so a dead domain is reported as dead, not merely unknown.
@@ -223,9 +331,11 @@ class IsolationSubstrate {
   SubstrateConfig config_;
   std::map<DomainId, DomainRecord> domains_;
   std::map<ChannelId, ChannelRecord> channels_;
+  std::map<RegionId, RegionRecord> regions_;
   std::vector<crypto::Digest> boot_log_;
   DomainId next_domain_ = 1;
   ChannelId next_channel_ = 1;
+  RegionId next_region_ = 1;
   std::uint64_t next_badge_ = 0x1000;
   std::uint64_t seal_nonce_ = 1;
   FaultHook fault_hook_;

@@ -55,6 +55,11 @@ class Tpm final : public substrate::IsolationSubstrate {
   /// Which component is currently late-launched (kInvalidDomain if none).
   substrate::DomainId active_component() const { return active_; }
 
+  /// No shared grant regions: component state lives in on-chip SRAM and
+  /// legacy code lives across a slow LPC bus — there is no memory both
+  /// sides can address. Callers fall back to the (batched) copy path.
+  bool supports_regions() const override { return false; }
+
  protected:
   Status admit_domain(const substrate::DomainSpec& spec) const override;
   Status attach_memory(substrate::DomainId id, DomainRecord& record) override;

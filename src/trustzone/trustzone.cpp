@@ -346,6 +346,15 @@ Cycles TrustZone::attest_cost() const {
   return machine_.costs().smc_world_switch * 2;
 }
 
+Cycles TrustZone::region_map_cost(std::size_t pages) const {
+  // One SMC to have the monitor carve the NS buffer and program the TZASC,
+  // plus a page-table write per page on the mapping world's side. The
+  // crossing toll is paid once here, never per access.
+  return machine_.costs().smc_world_switch +
+         machine_.costs().tz_secure_os_dispatch +
+         machine_.costs().page_table_update * pages;
+}
+
 Status register_factory(substrate::SubstrateRegistry& registry) {
   return registry.register_factory(
       "trustzone",

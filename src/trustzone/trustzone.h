@@ -88,6 +88,10 @@ class TrustZone final : public substrate::IsolationSubstrate {
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
   Cycles attest_cost() const override;
+  /// Regions are world-shared buffers in normal-world (NS) memory: the
+  /// secure monitor programs the TZASC once; afterwards both worlds
+  /// address the buffer without an SMC per access.
+  Cycles region_map_cost(std::size_t pages) const override;
 
  private:
   struct WorldSpace {

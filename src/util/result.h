@@ -35,6 +35,7 @@ enum class Errc {
   cancelled,            // caller withdrew the request before it ran
   domain_dead,          // operation names a crashed (killed, not destroyed) domain
   stale_epoch,          // endpoint minted before the channel's last restart
+  no_region_support,    // substrate cannot realize shared grant regions
 };
 
 /// Human-readable name for an error code.
@@ -59,6 +60,7 @@ constexpr std::string_view errc_name(Errc e) {
     case Errc::cancelled: return "cancelled";
     case Errc::domain_dead: return "domain_dead";
     case Errc::stale_epoch: return "stale_epoch";
+    case Errc::no_region_support: return "no_region_support";
   }
   return "unknown";
 }

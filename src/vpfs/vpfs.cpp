@@ -63,6 +63,26 @@ crypto::Digest Vpfs::block_mac(std::uint64_t file_id, std::size_t block,
   return mac.finish();
 }
 
+Status Vpfs::attach_block_plane(substrate::DomainId disk,
+                                substrate::RegionId region) {
+  // Pre-flight with the same reference-monitor logic transit will use: the
+  // probe descriptor must name a full stored block and pass endpoint /
+  // mapping / epoch validation for both sides of the handoff.
+  auto probe = substrate_.make_descriptor(domain_, region, 0,
+                                          kStoredBlockSize);
+  if (!probe) return probe.error();
+  if (const Status s = substrate_.check_descriptor(disk, *probe); !s.ok())
+    return s;
+  disk_domain_ = disk;
+  block_region_ = region;
+  return Status::success();
+}
+
+void Vpfs::detach_block_plane() {
+  disk_domain_ = substrate::kInvalidDomain;
+  block_region_ = 0;
+}
+
 Result<Bytes> Vpfs::load_block(const FileMeta& file, std::size_t block) const {
   const BlockMeta& meta = file.blocks[block];
   const std::size_t slot_offset =
@@ -72,8 +92,26 @@ Result<Bytes> Vpfs::load_block(const FileMeta& file, std::size_t block) const {
   if (!stored) return Errc::io_error;
   if (stored->size() != kStoredBlockSize) return Errc::tamper_detected;
 
-  const BytesView ciphertext(stored->data(), kVpfsBlockSize);
-  const BytesView stored_mac(stored->data() + kVpfsBlockSize, 32);
+  BytesView transit(stored->data(), stored->size());
+  if (block_region_ != 0) {
+    // Zero-copy inbound: the disk domain stages the stored block into the
+    // grant region (its single copy) and this domain verifies/decrypts it
+    // in place — constant-cost access instead of another owned-buffer copy.
+    auto desc = substrate_.make_descriptor(disk_domain_, block_region_, 0,
+                                           kStoredBlockSize);
+    if (!desc) return desc.error();
+    if (const Status s =
+            substrate_.region_write(disk_domain_, block_region_, 0, transit);
+        !s.ok())
+      return s.error();
+    auto view = substrate_.region_view(domain_, *desc);
+    if (!view) return view.error();
+    transit = *view;
+    stats_.zero_copy_blocks++;
+  }
+
+  const BytesView ciphertext(transit.data(), kVpfsBlockSize);
+  const BytesView stored_mac(transit.data() + kVpfsBlockSize, 32);
   const crypto::Digest expected =
       block_mac(file.file_id, block, meta.version, ciphertext);
   // Double check against both the stored MAC and the metadata's record —
@@ -117,6 +155,24 @@ Status Vpfs::store_block(FileMeta& file, std::size_t block,
   // version survives until the next commit makes it garbage.
   const std::size_t slot_offset =
       (2 * block + (meta.version & 1)) * kStoredBlockSize;
+
+  if (block_region_ != 0) {
+    // Zero-copy outbound: stage ciphertext+MAC into the grant region (the
+    // producer's single copy) and let the disk domain consume it in place.
+    // Only ciphertext crosses — the shared mapping leaks nothing the
+    // compromised legacy stack couldn't already snoop from its own store.
+    auto desc = substrate_.make_descriptor(domain_, block_region_, 0,
+                                           stored.size());
+    if (!desc) return desc.error();
+    if (const Status s =
+            substrate_.region_write(domain_, block_region_, 0, stored);
+        !s.ok())
+      return s;
+    auto view = substrate_.region_view(disk_domain_, *desc);
+    if (!view) return view.error();
+    stats_.zero_copy_blocks++;
+    return backing_.write(data_path(file.file_id), slot_offset, *view);
+  }
   return backing_.write(data_path(file.file_id), slot_offset, stored);
 }
 

@@ -54,6 +54,9 @@ struct VpfsStats {
   std::uint64_t blocks_decrypted = 0;
   std::uint64_t mac_failures = 0;
   std::uint64_t syncs = 0;
+  /// Blocks that crossed to/from the disk domain by grant-region descriptor
+  /// instead of an owned-buffer copy (attach_block_plane).
+  std::uint64_t zero_copy_blocks = 0;
 };
 
 class Vpfs {
@@ -99,6 +102,24 @@ class Vpfs {
   /// MACs the metadata, journals the commit, reseals the root and bumps the
   /// hardware counter. Atomic with respect to the injected crash points.
   Status sync();
+
+  // --- Zero-copy block plane ----------------------------------------------
+  /// Route block transit through a grant region shared with the (untrusted)
+  /// disk-driver domain `disk`. Stored blocks are then handed over by
+  /// descriptor: one staging copy of the ciphertext into the region plus a
+  /// constant in-place access on the far side, instead of an owned-buffer
+  /// copy per block. The region must span at least one stored block
+  /// (kVpfsBlockSize + MAC) and have been created between this VPFS's
+  /// domain and `disk` by the composer. Security is unchanged: only
+  /// ciphertext+MAC ever enters the shared region, so the disk domain
+  /// learns nothing it could not already snoop.
+  Status attach_block_plane(substrate::DomainId disk,
+                            substrate::RegionId region);
+  /// Back to the owned-buffer copy path (also the right response to
+  /// stale_epoch after the disk domain was restarted: detach, re-wire,
+  /// re-attach).
+  void detach_block_plane();
+  bool block_plane_attached() const { return block_region_ != 0; }
 
   const VpfsStats& stats() const { return stats_; }
 
@@ -146,6 +167,10 @@ class Vpfs {
   substrate::IsolationSubstrate& substrate_;
   substrate::DomainId domain_;
   std::string prefix_;
+
+  /// Zero-copy block plane (0 = detached, the default copy path).
+  substrate::DomainId disk_domain_ = substrate::kInvalidDomain;
+  substrate::RegionId block_region_ = 0;
 
   crypto::Aes128Key enc_key_{};
   Bytes mac_key_;

@@ -152,6 +152,39 @@ TEST(ManifestParser, RejectsMalformedRestartStanza) {
                    .ok());  // one stanza per component
 }
 
+TEST(ManifestParser, ParsesRegionStanza) {
+  auto manifests = parse_manifests(
+      "component ui {\n"
+      "  channel storage\n"
+      "  region storage 65536\n"
+      "  region render 4096 ro\n"
+      "}\n");
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_EQ((*manifests)[0].regions.size(), 2u);
+  EXPECT_EQ((*manifests)[0].regions[0],
+            (RegionDecl{"storage", 65536, substrate::RegionPerms::read_write}));
+  EXPECT_EQ((*manifests)[0].regions[1],
+            (RegionDecl{"render", 4096, substrate::RegionPerms::read_only}));
+}
+
+TEST(ManifestParser, RegionStanzaRoundTrips) {
+  auto original = parse_manifests(
+      "component ui {\n  channel storage\n  region storage 8192\n"
+      "  region storage 512 ro\n}\ncomponent storage {\n}\n");
+  ASSERT_TRUE(original.ok());
+  auto reparsed = parse_manifests(to_text(*original));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)[0].regions, (*original)[0].regions);
+}
+
+TEST(ManifestParser, RejectsMalformedRegionStanza) {
+  EXPECT_FALSE(parse_manifests("component x {\n region y\n}\n").ok());
+  EXPECT_FALSE(parse_manifests("component x {\n region y 0\n}\n").ok());
+  EXPECT_FALSE(parse_manifests("component x {\n region y 64 rw\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n region y 64 ro extra\n}\n").ok());
+}
+
 TEST(ManifestValidate, AcceptsGoodBundle) {
   auto manifests = parse_manifests(kEmailManifest);
   ASSERT_TRUE(manifests.ok());
@@ -366,6 +399,20 @@ class ComposerTest : public ::testing::Test {
   std::unique_ptr<microkernel::Microkernel> mk_;
   std::unique_ptr<SystemComposer> composer_;
 };
+
+TEST(ManifestValidate, FlagsRegionProblems) {
+  std::vector<Manifest> bundle(2);
+  bundle[0].name = "a";
+  bundle[0].channels = {"b"};
+  bundle[0].regions = {{"ghost", 4096, substrate::RegionPerms::read_write},
+                       {"a", 4096, substrate::RegionPerms::read_write}};
+  bundle[1].name = "b";
+  // Region to b is fine channel-wise, but c declares one without a channel.
+  bundle[1].regions = {{"a", 4096, substrate::RegionPerms::read_write}};
+  const auto problems = validate(bundle);
+  // ghost peer + self region + b's region without a channel.
+  EXPECT_GE(problems.size(), 3u);
+}
 
 TEST_F(ComposerTest, ComposesDeclaredSystem) {
   auto assembly = composer_->compose(triangle());
@@ -583,6 +630,104 @@ TEST_F(ComposerTest, EndpointGoesStaleAcrossRestart) {
   auto fresh = (*assembly)->endpoint("a", "b");
   ASSERT_TRUE(fresh.ok());
   EXPECT_TRUE(fresh->call(to_bytes("x")).ok());
+}
+
+TEST_F(ComposerTest, ComposeWiresDeclaredRegionBothEndsMapped) {
+  auto manifests = triangle();
+  manifests[0].regions = {{"b", 4096, substrate::RegionPerms::read_write}};
+  auto assembly = composer_->compose(manifests);
+  ASSERT_TRUE(assembly.ok());
+  auto region = (*assembly)->region_between("a", "b");
+  ASSERT_TRUE(region.ok());
+  // The lookup is direction-agnostic, like the declaration.
+  EXPECT_EQ(*(*assembly)->region_between("b", "a"), *region);
+  const auto a_dom = (*(*assembly)->component("a"))->domain;
+  const auto b_dom = (*(*assembly)->component("b"))->domain;
+  // Both endpoints were mapped at compose time: the caller goes straight
+  // to the data plane, no map_region choreography.
+  ASSERT_TRUE(mk_->region_write(a_dom, *region, 0, to_bytes("zero-copy")).ok());
+  auto desc = mk_->make_descriptor(a_dom, *region, 0, 9);
+  ASSERT_TRUE(desc.ok());
+  auto view = mk_->region_view(b_dom, *desc);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(std::string(view->begin(), view->end()), "zero-copy");
+}
+
+TEST_F(ComposerTest, RegionBetweenRefusesUndeclaredPair) {
+  auto manifests = triangle();
+  manifests[0].regions = {{"b", 4096, substrate::RegionPerms::read_write}};
+  auto assembly = composer_->compose(manifests);
+  ASSERT_TRUE(assembly.ok());
+  // POLA on the data plane: no declaration, no region — the composer never
+  // created one, so there is nothing to leak.
+  EXPECT_EQ((*assembly)->region_between("a", "c").error(),
+            Errc::policy_violation);
+  EXPECT_EQ((*assembly)->region_between("c", "b").error(),
+            Errc::policy_violation);
+  EXPECT_EQ((*assembly)->region_between("a", "ghost").error(),
+            Errc::no_such_domain);
+}
+
+TEST_F(ComposerTest, RegionWithoutSubstrateSupportIsHonestAndNonFatal) {
+  // TPM has no shared-memory plane. The declaration is recorded, compose
+  // succeeds, the control plane works — and region_between names the exact
+  // reason so callers take the copy path.
+  auto machine = test::make_machine("composer-tpm");
+  auto tpm = *test::shared_registry().create("tpm", *machine);
+  SystemComposer composer({{"tpm", tpm.get()}});
+  std::vector<Manifest> bundle(2);
+  bundle[0].name = "a";
+  bundle[0].substrate_name = "tpm";
+  bundle[0].channels = {"b"};
+  bundle[0].regions = {{"b", 4096, substrate::RegionPerms::read_write}};
+  bundle[1].name = "b";
+  bundle[1].substrate_name = "tpm";
+  bundle[1].channels = {"a"};
+  auto assembly = composer.compose(bundle);
+  ASSERT_TRUE(assembly.ok());
+  EXPECT_EQ((*assembly)->region_between("a", "b").error(),
+            Errc::no_region_support);
+  bool mentioned = false;
+  for (const std::string& d : composer.diagnostics())
+    if (d.find("no region support") != std::string::npos) mentioned = true;
+  EXPECT_TRUE(mentioned);
+  // The control plane is unaffected by the missing data plane.
+  ASSERT_TRUE((*assembly)
+                  ->set_behavior("b",
+                                 [](const substrate::Invocation&)
+                                     -> Result<Bytes> { return to_bytes("r"); })
+                  .ok());
+  EXPECT_TRUE((*assembly)->invoke("a", "b", to_bytes("x")).ok());
+}
+
+TEST_F(ComposerTest, RestartRebindsRegionAndFencesStaleDescriptors) {
+  auto manifests = triangle();
+  manifests[0].regions = {{"b", 4096, substrate::RegionPerms::read_write}};
+  auto assembly = composer_->compose(manifests);
+  ASSERT_TRUE(assembly.ok());
+  const auto region = *(*assembly)->region_between("a", "b");
+  const auto a_dom = (*(*assembly)->component("a"))->domain;
+  ASSERT_TRUE(mk_->region_write(a_dom, region, 0, to_bytes("oldlife")).ok());
+  const auto stale = *mk_->make_descriptor(a_dom, region, 0, 7);
+
+  ASSERT_TRUE((*assembly)->kill_component("b").ok());
+  ASSERT_TRUE((*assembly)->restart_component("b").ok());
+  const auto b_dom = (*(*assembly)->component("b"))->domain;
+
+  // The id survives the restart; descriptors minted against the dead
+  // incarnation do not.
+  EXPECT_EQ(*(*assembly)->region_between("a", "b"), region);
+  EXPECT_EQ(mk_->check_descriptor(a_dom, stale).error(), Errc::stale_epoch);
+  EXPECT_EQ(mk_->region_view(a_dom, stale).error(), Errc::stale_epoch);
+  // The reincarnation must not inherit the old life's bytes...
+  EXPECT_EQ(*mk_->region_read(b_dom, region, 0, 7), Bytes(7, 0));
+  // ...and both sides were re-mapped, so the fast path resumes immediately.
+  ASSERT_TRUE(mk_->region_write(a_dom, region, 0, to_bytes("newlife")).ok());
+  auto fresh = mk_->make_descriptor(a_dom, region, 0, 7);
+  ASSERT_TRUE(fresh.ok());
+  auto view = mk_->region_view(b_dom, *fresh);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(std::string(view->begin(), view->end()), "newlife");
 }
 
 TEST(SessionDemux, BadgeKeyedSessionsAreIsolated) {

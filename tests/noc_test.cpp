@@ -67,6 +67,35 @@ TEST_F(NocTest, EndpointTablesAreFinite) {
   EXPECT_EQ(*fabric_->endpoints_used(spokes[0]), 1u);
 }
 
+TEST_F(NocTest, RegionsConsumeDtuEndpoints) {
+  // A grant region is realized as a DTU memory endpoint on each tile, so
+  // regions and channels compete for the same finite slots.
+  auto hub = fabric_->create_domain(tc_spec("hub", 1));
+  ASSERT_TRUE(hub.ok());
+  ASSERT_TRUE(fabric_->endpoints_used(*hub).ok());
+  std::vector<substrate::DomainId> spokes;
+  for (std::size_t i = 0; i + 1 < kEndpointsPerTile; ++i) {
+    auto spoke =
+        fabric_->create_domain(tc_spec("spoke" + std::to_string(i), 1));
+    ASSERT_TRUE(spoke.ok());
+    spokes.push_back(*spoke);
+    ASSERT_TRUE(fabric_->create_channel(*hub, *spoke).ok()) << i;
+  }
+  auto peer = fabric_->create_domain(tc_spec("peer", 1));
+  ASSERT_TRUE(peer.ok());
+  auto region = fabric_->create_region(*hub, *peer, 4096);
+  ASSERT_TRUE(region.ok());  // takes the hub's last slot
+  EXPECT_EQ(*fabric_->endpoints_used(*hub), kEndpointsPerTile);
+  EXPECT_EQ(fabric_->create_channel(*hub, *peer).error(), Errc::exhausted);
+  EXPECT_EQ(fabric_->create_region(*hub, *peer, 4096).error(),
+            Errc::exhausted);
+  // Tearing the region down returns the slots on both tiles.
+  ASSERT_TRUE(fabric_->revoke_region(*region).ok());
+  EXPECT_EQ(*fabric_->endpoints_used(*hub), kEndpointsPerTile - 1);
+  EXPECT_EQ(*fabric_->endpoints_used(*peer), 0u);
+  EXPECT_TRUE(fabric_->create_channel(*hub, *peer).ok());
+}
+
 TEST_F(NocTest, DtuMessagingIsCheap) {
   auto a = fabric_->create_domain(tc_spec("a"));
   auto b = fabric_->create_domain(tc_spec("b"));

@@ -8,6 +8,8 @@
 // substrate's name — mirroring how portable code must behave.
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "crypto/rsa.h"
 #include "substrate/substrate.h"
 #include "test_support.h"
@@ -705,6 +707,278 @@ TEST_P(ConformanceTest, FaultHookCrashesCalleeMidInvocation) {
             Errc::domain_dead);
   EXPECT_TRUE(substrate_->is_dead(b));
   substrate_->set_fault_hook(nullptr);
+}
+
+// --- Grant regions (zero-copy data plane) -----------------------------------
+
+TEST_P(ConformanceTest, RegionUnsupportedReportsHonestly) {
+  auto [a, b] = make_pair();
+  if (substrate_->supports_regions()) return;
+  // The discrete/firmware TPMs have no memory both sides can address: the
+  // data plane reports that precisely so callers take the copy path.
+  EXPECT_EQ(substrate_->create_region(a, b, 4096).error(),
+            Errc::no_region_support);
+  EXPECT_TRUE(substrate_->regions().empty());
+}
+
+TEST_P(ConformanceTest, RegionLifecycleAndInPlaceData) {
+  auto [a, b] = make_pair();
+  if (!substrate_->supports_regions()) return;
+  auto region = substrate_->create_region(a, b, 8192);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(*substrate_->region_epoch(*region), 1u);
+
+  // Unmapped endpoints cannot touch the region yet.
+  EXPECT_EQ(substrate_->region_write(a, *region, 0, to_bytes("x")).error(),
+            Errc::access_denied);
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(b, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());  // idempotent
+
+  ASSERT_TRUE(substrate_->region_write(a, *region, 64, to_bytes("bulk")).ok());
+  auto desc = substrate_->make_descriptor(a, *region, 64, 4);
+  ASSERT_TRUE(desc.ok());
+  auto view = substrate_->region_view(b, *desc);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(to_string(*view), "bulk");  // same bytes, no copy
+  auto copy = substrate_->region_read(b, *region, 64, 4);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(to_string(*copy), "bulk");
+
+  // Bounds are enforced at mint time and at access time.
+  EXPECT_EQ(substrate_->make_descriptor(a, *region, 8190, 8).error(),
+            Errc::invalid_argument);
+  EXPECT_EQ(substrate_->make_descriptor(a, *region, 0, 0).error(),
+            Errc::invalid_argument);
+}
+
+TEST_P(ConformanceTest, RegionPolaDeniesNonEndpoint) {
+  auto [a, b] = make_pair();
+  if (!substrate_->supports_regions()) return;
+  auto region = substrate_->create_region(a, b, 4096);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(b, *region).ok());
+
+  // A third, undeclared domain (whatever kind this substrate still has
+  // room for) is refused at every surface of the plane.
+  auto c = substrate_->create_domain(tc_spec("gamma"));
+  if (!c.ok() &&
+      has_feature(substrate_->info().features, Feature::legacy_hosting))
+    c = substrate_->create_domain(legacy_spec("gamma"));
+  if (c.ok()) {
+    EXPECT_EQ(substrate_->map_region(*c, *region).error(),
+              Errc::access_denied);
+    EXPECT_EQ(substrate_->region_read(*c, *region, 0, 16).error(),
+              Errc::access_denied);
+    EXPECT_EQ(substrate_->make_descriptor(*c, *region, 0, 16).error(),
+              Errc::access_denied);
+    auto desc = substrate_->make_descriptor(a, *region, 0, 16);
+    ASSERT_TRUE(desc.ok());
+    EXPECT_EQ(substrate_->check_descriptor(*c, *desc).error(),
+              Errc::access_denied);
+  }
+  // Unknown regions are refused regardless of who asks.
+  EXPECT_EQ(substrate_->map_region(a, 999).error(), Errc::invalid_argument);
+}
+
+TEST_P(ConformanceTest, RegionDescriptorRefusedOnForeignChannel) {
+  auto [a, b] = make_pair();
+  if (!substrate_->supports_regions()) return;
+  // A descriptor for a region the caller shares with a *third* domain must
+  // not ride a channel to someone else — the confused-deputy refusal.
+  auto c = substrate_->create_domain(tc_spec("gamma"));
+  if (!c.ok() &&
+      has_feature(substrate_->info().features, Feature::legacy_hosting))
+    c = substrate_->create_domain(legacy_spec("gamma"));
+  if (!c.ok()) return;  // two-domain substrate: scenario cannot exist
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation&) -> Result<Bytes> {
+                    return Bytes{};
+                  })
+                  .ok());
+  auto region = substrate_->create_region(a, *c, 4096);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(*c, *region).ok());
+  auto desc = substrate_->make_descriptor(a, *region, 0, 16);
+  ASSERT_TRUE(desc.ok());
+  const std::array<RegionDescriptor, 1> segments{*desc};
+  EXPECT_EQ(substrate_->call_sg(a, *channel, to_bytes("hdr"), segments)
+                .error(),
+            Errc::access_denied);
+}
+
+TEST_P(ConformanceTest, KillDomainRevokesRegionMappings) {
+  auto [a, b] = make_pair();
+  if (!substrate_->supports_regions()) return;
+  auto region = substrate_->create_region(a, b, 4096);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(b, *region).ok());
+  ASSERT_TRUE(substrate_->region_write(a, *region, 0, to_bytes("secret")).ok());
+  auto desc = substrate_->make_descriptor(a, *region, 0, 6);
+  ASSERT_TRUE(desc.ok());
+
+  ASSERT_TRUE(substrate_->kill_domain(b).ok());
+  // The survivor's descriptor is fenced: the peer's death is reported (more
+  // diagnosable than "stale"), and the epoch was bumped underneath.
+  EXPECT_EQ(substrate_->check_descriptor(a, *desc).error(), Errc::domain_dead);
+  EXPECT_EQ(substrate_->region_view(a, *desc).error(), Errc::domain_dead);
+  EXPECT_EQ(*substrate_->region_epoch(*region), 2u);
+
+  // Secret hygiene: the kill scrubbed the backing, so nothing of the old
+  // life is readable even after the survivor legitimately re-maps.
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  auto bytes = substrate_->region_read(a, *region, 0, 6);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, Bytes(6, 0));
+
+  // Reaping the corpse erases the region with it.
+  ASSERT_TRUE(substrate_->destroy_domain(b).ok());
+  EXPECT_EQ(substrate_->region_epoch(*region).error(), Errc::invalid_argument);
+}
+
+TEST_P(ConformanceTest, RevokeRegionPermanentlyFences) {
+  auto [a, b] = make_pair();
+  if (!substrate_->supports_regions()) return;
+  auto region = substrate_->create_region(a, b, 4096);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(b, *region).ok());
+  auto desc = substrate_->make_descriptor(a, *region, 0, 16);
+  ASSERT_TRUE(desc.ok());
+
+  ASSERT_TRUE(substrate_->revoke_region(*region).ok());
+  EXPECT_EQ(substrate_->region_view(a, *desc).error(), Errc::stale_epoch);
+  EXPECT_EQ(substrate_->map_region(a, *region).error(), Errc::stale_epoch);
+  EXPECT_EQ(substrate_->make_descriptor(a, *region, 0, 16).error(),
+            Errc::stale_epoch);
+  EXPECT_EQ(substrate_->revoke_region(*region).error(), Errc::stale_epoch);
+  EXPECT_TRUE(substrate_->regions().empty());  // revoked ids are not listed
+}
+
+TEST_P(ConformanceTest, RebindRegionFencesStaleDescriptorsAndScrubs) {
+  auto [a, b] = make_pair();
+  if (!substrate_->supports_regions()) return;
+  auto region = substrate_->create_region(a, b, 4096);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(b, *region).ok());
+  ASSERT_TRUE(substrate_->region_write(a, *region, 0, to_bytes("oldlife")).ok());
+  auto stale = substrate_->make_descriptor(a, *region, 0, 7);
+  ASSERT_TRUE(stale.ok());
+
+  const bool use_legacy =
+      has_feature(substrate_->info().features, Feature::legacy_hosting);
+  auto b2 = substrate_->create_domain(use_legacy ? legacy_spec("beta2")
+                                                 : tc_spec("beta2"));
+  if (!b2.ok()) {
+    // Two-domain substrate: the supervised-restart path still fences via
+    // revoke; nothing more to check here.
+    return;
+  }
+  ASSERT_TRUE(substrate_->kill_domain(b).ok());
+  ASSERT_TRUE(substrate_->rebind_region(*region, b, *b2).ok());
+  EXPECT_EQ(substrate_->check_descriptor(a, *stale).error(),
+            Errc::stale_epoch);
+
+  // Both sides re-map; the reincarnation must not inherit the old bytes.
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(*b2, *region).ok());
+  auto bytes = substrate_->region_read(*b2, *region, 0, 7);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, Bytes(7, 0));
+
+  // The rebound region carries fresh descriptors end to end.
+  ASSERT_TRUE(substrate_->region_write(a, *region, 0, to_bytes("newlife")).ok());
+  auto fresh = substrate_->make_descriptor(a, *region, 0, 7);
+  ASSERT_TRUE(fresh.ok());
+  auto view = substrate_->region_view(*b2, *fresh);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(to_string(*view), "newlife");
+
+  EXPECT_EQ(substrate_->rebind_region(*region, b, *b2).error(),
+            Errc::access_denied);  // `from` no longer an endpoint
+}
+
+TEST_P(ConformanceTest, ReadOnlyRegionRefusesGranteeWrites) {
+  auto [a, b] = make_pair();
+  if (!substrate_->supports_regions()) return;
+  auto region =
+      substrate_->create_region(a, b, 4096, RegionPerms::read_only);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(b, *region).ok());
+  ASSERT_TRUE(substrate_->region_write(a, *region, 0, to_bytes("ro")).ok());
+  EXPECT_EQ(substrate_->region_write(b, *region, 0, to_bytes("no")).error(),
+            Errc::access_denied);
+  auto copy = substrate_->region_read(b, *region, 0, 2);
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(to_string(*copy), "ro");
+}
+
+TEST_P(ConformanceTest, ScatterGatherCrossingIsPayloadIndependent) {
+  auto [a, b] = make_pair();
+  if (!substrate_->supports_regions()) return;
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation& inv) -> Result<Bytes> {
+                    EXPECT_EQ(inv.segments.size(), 1u);
+                    return Bytes{};
+                  })
+                  .ok());
+  auto region = substrate_->create_region(a, b, 1 << 16);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(b, *region).ok());
+
+  auto crossing_for = [&](std::uint64_t len) -> Cycles {
+    auto desc = substrate_->make_descriptor(a, *region, 0, len);
+    EXPECT_TRUE(desc.ok());
+    const std::array<RegionDescriptor, 1> segments{*desc};
+    const Cycles before = machine_->now();
+    EXPECT_TRUE(
+        substrate_->call_sg(a, *channel, to_bytes("h"), segments).ok());
+    return machine_->now() - before;
+  };
+  // 64 B or 32 KiB behind the descriptor: the crossing charge is identical,
+  // because only header + 16 bytes per descriptor ever cross.
+  EXPECT_EQ(crossing_for(64), crossing_for(32768));
+}
+
+TEST_P(ConformanceTest, BatchSgVetoesBadDescriptorWithoutSinkingBatch) {
+  auto [a, b] = make_pair();
+  if (!substrate_->supports_regions()) return;
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation&) -> Result<Bytes> {
+                    return to_bytes("ok");
+                  })
+                  .ok());
+  auto region = substrate_->create_region(a, b, 4096);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(b, *region).ok());
+  auto good = substrate_->make_descriptor(a, *region, 0, 16);
+  ASSERT_TRUE(good.ok());
+  RegionDescriptor stale = *good;
+  stale.epoch = 999;  // forged/outdated epoch
+
+  std::vector<SgRequest> requests(2);
+  requests[0].header = to_bytes("good");
+  requests[0].segments = {*good};
+  requests[1].header = to_bytes("bad");
+  requests[1].segments = {stale};
+  auto reply = substrate_->call_batch_sg(a, *channel, requests);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->replies.size(), 2u);
+  EXPECT_TRUE(reply->replies[0].ok());
+  EXPECT_EQ(reply->replies[1].error(), Errc::stale_epoch);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSubstrates, ConformanceTest,
