@@ -1,6 +1,7 @@
 #include "core/manifest.h"
 
 #include <algorithm>
+#include <charconv>
 #include <set>
 #include <sstream>
 
@@ -16,6 +17,18 @@ std::vector<std::string> tokenize_line(const std::string& line) {
     tokens.push_back(token);
   }
   return tokens;
+}
+
+// Parse a full-token unsigned integer. Unlike std::stoul this never throws:
+// malformed or out-of-range input becomes nullopt, which parse_manifests
+// maps to Errc::invalid_argument like every other bad directive.
+std::optional<std::uint64_t> parse_u64(const std::string& word) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(word.data(), word.data() + word.size(), value);
+  if (ec != std::errc() || ptr != word.data() + word.size())
+    return std::nullopt;
+  return value;
 }
 
 std::optional<substrate::AttackerModel> parse_attacker(
@@ -51,10 +64,14 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
         in_restart = false;
       } else if (key == "max") {
         if (tokens.size() != 2) return Errc::invalid_argument;
-        policy.max_restarts = static_cast<std::uint32_t>(std::stoul(tokens[1]));
+        const auto max = parse_u64(tokens[1]);
+        if (!max) return Errc::invalid_argument;
+        policy.max_restarts = static_cast<std::uint32_t>(*max);
       } else if (key == "backoff") {
         if (tokens.size() != 2) return Errc::invalid_argument;
-        policy.backoff_cycles = std::stoull(tokens[1]);
+        const auto backoff = parse_u64(tokens[1]);
+        if (!backoff) return Errc::invalid_argument;
+        policy.backoff_cycles = *backoff;
       } else if (key == "escalate") {
         if (tokens.size() != 2) return Errc::invalid_argument;
         if (tokens[1] == "degraded")
@@ -101,11 +118,14 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
       current->substrate_name = tokens[1];
     } else if (key == "pages") {
       if (!need_arg()) return Errc::invalid_argument;
-      current->memory_pages = std::stoul(tokens[1]);
+      const auto pages = parse_u64(tokens[1]);
+      if (!pages) return Errc::invalid_argument;
+      current->memory_pages = static_cast<std::size_t>(*pages);
     } else if (key == "share") {
       if (!need_arg()) return Errc::invalid_argument;
-      current->time_share_permille =
-          static_cast<std::uint32_t>(std::stoul(tokens[1]));
+      const auto share = parse_u64(tokens[1]);
+      if (!share) return Errc::invalid_argument;
+      current->time_share_permille = static_cast<std::uint32_t>(*share);
     } else if (key == "attacker") {
       if (!need_arg()) return Errc::invalid_argument;
       const auto model = parse_attacker(tokens[1]);
@@ -120,8 +140,9 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
         return Errc::invalid_argument;
       RegionDecl decl;
       decl.peer = tokens[1];
-      decl.bytes = std::stoul(tokens[2]);
-      if (decl.bytes == 0) return Errc::invalid_argument;
+      const auto bytes = parse_u64(tokens[2]);
+      if (!bytes || *bytes == 0) return Errc::invalid_argument;
+      decl.bytes = static_cast<std::size_t>(*bytes);
       if (tokens.size() == 4) {
         if (tokens[3] != "ro") return Errc::invalid_argument;
         decl.perms = substrate::RegionPerms::read_only;
@@ -141,7 +162,9 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
       current->asset_value = std::stod(tokens[1]);
     } else if (key == "loc") {
       if (!need_arg()) return Errc::invalid_argument;
-      current->loc = std::stoull(tokens[1]);
+      const auto loc = parse_u64(tokens[1]);
+      if (!loc) return Errc::invalid_argument;
+      current->loc = *loc;
     } else if (key == "restart") {
       if (tokens.size() != 2 || tokens[1] != "{" || current->restart)
         return Errc::invalid_argument;

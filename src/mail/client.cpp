@@ -333,8 +333,12 @@ Result<std::size_t> MailClient::sync_inbox() {
   std::optional<runtime::RegionPool> body_pool;
   if (auto region = assembly_->region_between("ui", "storage"); region) {
     const auto ui = *assembly_->component("ui");
-    body_pool.emplace(*ui->substrate, ui->domain, *region,
-                      /*region_size=*/65536, /*slot_bytes=*/2048);
+    // The region's size comes from the substrate (which got it from the
+    // manifest), so the pool stays in step with the `region storage <bytes>`
+    // declaration instead of restating it.
+    if (auto size = ui->substrate->region_size(*region); size)
+      body_pool.emplace(*ui->substrate, ui->domain, *region, *size,
+                        /*slot_bytes=*/2048);
   }
 
   while (local < remote) {

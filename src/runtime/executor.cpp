@@ -113,26 +113,29 @@ Result<Future> Executor::submit(const DomainKey& key, Task task,
 }
 
 Result<Future> Executor::submit_call_sg(const core::Endpoint& endpoint,
-                                        RegionPool& pool, Bytes header,
-                                        Bytes payload, SubmitOptions opts) {
+                                        std::shared_ptr<RegionPool> pool,
+                                        Bytes header, Bytes payload,
+                                        SubmitOptions opts) {
+  if (!pool) return Errc::invalid_argument;
   DomainKey key{endpoint.substrate(), endpoint.actor()};
   // Staging happens inside the task, not here: region_write advances the
   // simulated machine, so it must run under the substrate stripe lock the
-  // worker takes for this key.
+  // worker takes for this key. The task co-owns the pool, so a caller
+  // dropping its reference before the task runs cannot dangle it.
   return submit(
       key,
-      [endpoint, &pool, header = std::move(header),
+      [endpoint, pool = std::move(pool), header = std::move(header),
        payload = std::move(payload)]() -> Result<Bytes> {
-        auto slot = pool.acquire();
+        auto slot = pool->acquire();
         if (!slot) return slot.error();
-        auto desc = pool.stage(*slot, payload);
+        auto desc = pool->stage(*slot, payload);
         if (!desc) {
-          pool.release(*slot);
+          pool->release(*slot);
           return desc.error();
         }
         const std::array<substrate::RegionDescriptor, 1> segments{*desc};
         Result<Bytes> reply = endpoint.call_sg(header, segments);
-        pool.release(*slot);  // callee consumed the bytes in place
+        pool->release(*slot);  // callee consumed the bytes in place
         return reply;
       },
       opts);

@@ -99,12 +99,15 @@ class Executor {
   /// Zero-copy call as a task: when the task runs (under the endpoint
   /// substrate's stripe lock, in domain order), it leases a pool slot,
   /// stages `payload` (the path's one copy), performs the scatter-gather
-  /// call, and returns the slot. The pool must be dedicated to this
-  /// endpoint's DomainKey — per-domain ordering is what makes the unlocked
-  /// pool safe here. Errors surface through the Future (exhausted = pool
-  /// empty, stale_epoch = peer restarted; re-wire and resubmit).
+  /// call, and returns the slot. The task holds a shared_ptr to the pool,
+  /// so the pool outlives every deferred call staged through it, and the
+  /// pool's free list is internally locked, so one pool may serve tasks
+  /// keyed to different domains. Errors surface through the Future
+  /// (exhausted = pool empty, stale_epoch = peer restarted; re-wire and
+  /// resubmit).
   Result<Future> submit_call_sg(const core::Endpoint& endpoint,
-                                RegionPool& pool, Bytes header, Bytes payload,
+                                std::shared_ptr<RegionPool> pool,
+                                Bytes header, Bytes payload,
                                 SubmitOptions opts = {});
 
   /// Block until every task submitted so far is terminal.

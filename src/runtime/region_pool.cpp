@@ -10,7 +10,8 @@ RegionPool::RegionPool(substrate::IsolationSubstrate& substrate,
       actor_(actor),
       region_(region),
       slot_bytes_(slot_bytes),
-      slots_total_(slot_bytes == 0 ? 0 : region_size / slot_bytes) {
+      slots_total_(slot_bytes == 0 ? 0 : region_size / slot_bytes),
+      leased_(slots_total_, false) {
   free_.reserve(slots_total_);
   // Push in reverse so the first acquire() hands out offset 0.
   for (std::size_t i = slots_total_; i > 0; --i)
@@ -18,18 +19,29 @@ RegionPool::RegionPool(substrate::IsolationSubstrate& substrate,
 }
 
 Result<RegionPool::Slot> RegionPool::acquire() {
+  std::lock_guard<std::mutex> guard(mu_);
   if (free_.empty()) return Errc::exhausted;
   Slot slot;
   slot.offset = free_.back();
   slot.bytes = slot_bytes_;
   free_.pop_back();
+  leased_[slot.offset / slot_bytes_] = true;
   return slot;
 }
 
 void RegionPool::release(const Slot& slot) {
   if (slot.bytes != slot_bytes_ || slot.offset % slot_bytes_ != 0) return;
-  if (slot.offset / slot_bytes_ >= slots_total_) return;
+  const std::size_t index = slot.offset / slot_bytes_;
+  if (index >= slots_total_) return;
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!leased_[index]) return;  // double release: the slot is already free
+  leased_[index] = false;
   free_.push_back(slot.offset);
+}
+
+std::size_t RegionPool::slots_free() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return free_.size();
 }
 
 Result<substrate::RegionDescriptor> RegionPool::stage(const Slot& slot,

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "substrate/substrate.h"
@@ -46,7 +47,9 @@ class RegionPool {
   /// Lease a free slot; Errc::exhausted when every slot is in flight —
   /// the pool's backpressure, analogous to a full submission ring.
   Result<Slot> acquire();
-  /// Return a slot to the free list.
+  /// Return a slot to the free list. Releasing a slot that is already free
+  /// (or was never issued by this pool) is ignored — a double release must
+  /// not put the same offset in flight twice.
   void release(const Slot& slot);
 
   /// Stage `payload` into `slot` (one region_write) and mint a descriptor
@@ -59,7 +62,7 @@ class RegionPool {
   substrate::RegionId region() const { return region_; }
   std::size_t slot_bytes() const { return slot_bytes_; }
   std::size_t slots_total() const { return slots_total_; }
-  std::size_t slots_free() const { return free_.size(); }
+  std::size_t slots_free() const;
 
  private:
   substrate::IsolationSubstrate& substrate_;
@@ -67,7 +70,12 @@ class RegionPool {
   substrate::RegionId region_;
   std::size_t slot_bytes_;
   std::size_t slots_total_;
+  // The free list is shared by every producer staging through this pool —
+  // deferred Executor tasks run on worker threads, so lease bookkeeping
+  // needs its own lock (the substrate stripe lock only covers stage()).
+  mutable std::mutex mu_;
   std::vector<std::uint64_t> free_;  // free slot offsets (LIFO for locality)
+  std::vector<bool> leased_;         // per-slot lease bit (double-free guard)
 };
 
 }  // namespace lateral::runtime

@@ -578,6 +578,13 @@ Result<std::uint64_t> IsolationSubstrate::region_epoch(RegionId region) const {
   return record->epoch;
 }
 
+Result<std::size_t> IsolationSubstrate::region_size(RegionId region) const {
+  const RegionRecord* record = find_region(region);
+  if (!record) return Errc::invalid_argument;
+  if (record->revoked) return Errc::stale_epoch;
+  return record->backing.size();
+}
+
 std::vector<RegionId> IsolationSubstrate::regions() const {
   std::vector<RegionId> out;
   out.reserve(regions_.size());
@@ -597,7 +604,10 @@ Result<RegionDescriptor> IsolationSubstrate::make_descriptor(
   const bool mapped = (actor == record->a) ? record->mapped_a
                                            : record->mapped_b;
   if (!mapped) return Errc::access_denied;
-  if (offset + len > record->backing.size() || len == 0)
+  // Overflow-safe bounds check: `offset + len` would wrap for offsets near
+  // 2^64 and let a forged range pass, so compare against the remainder.
+  if (len == 0 || len > record->backing.size() ||
+      offset > record->backing.size() - len)
     return Errc::invalid_argument;
   RegionDescriptor desc;
   desc.region = region;
@@ -621,7 +631,8 @@ Status IsolationSubstrate::check_descriptor(
   const bool mapped = (actor == record->a) ? record->mapped_a
                                            : record->mapped_b;
   if (!mapped) return Errc::access_denied;
-  if (desc.length == 0 || desc.offset + desc.length > record->backing.size())
+  if (desc.length == 0 || desc.length > record->backing.size() ||
+      desc.offset > record->backing.size() - desc.length)
     return Errc::invalid_argument;
   return Status::success();
 }
@@ -638,7 +649,8 @@ Status IsolationSubstrate::region_write(DomainId actor, RegionId region,
   if (!mapped) return Errc::access_denied;
   if (record->perms == RegionPerms::read_only && actor != record->a)
     return Errc::access_denied;
-  if (offset + data.size() > record->backing.size())
+  if (data.size() > record->backing.size() ||
+      offset > record->backing.size() - data.size())
     return Errc::invalid_argument;
   // The producer's single copy — plain memcpy into already-mapped memory,
   // no crossing. Every other stage of the zero-copy path is O(1).
@@ -658,7 +670,8 @@ Result<Bytes> IsolationSubstrate::region_read(DomainId actor, RegionId region,
   const bool mapped = (actor == record->a) ? record->mapped_a
                                            : record->mapped_b;
   if (!mapped) return Errc::access_denied;
-  if (offset + len > record->backing.size()) return Errc::invalid_argument;
+  if (len > record->backing.size() || offset > record->backing.size() - len)
+    return Errc::invalid_argument;
   machine_.charge(0, machine_.costs().memcpy_per_16_bytes, len);
   return Bytes(record->backing.begin() + offset,
                record->backing.begin() + offset + len);

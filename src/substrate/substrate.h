@@ -179,6 +179,9 @@ class IsolationSubstrate {
   /// life's data).
   Status rebind_region(RegionId region, DomainId from, DomainId to);
   Result<std::uint64_t> region_epoch(RegionId region) const;
+  /// Size in bytes of a live region — the single source of truth for pool
+  /// sizing, so callers never restate the manifest's `region` byte count.
+  Result<std::size_t> region_size(RegionId region) const;
   std::vector<RegionId> regions() const;
 
   /// Mint a descriptor naming [offset, offset+len) of the region, stamped

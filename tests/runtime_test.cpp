@@ -456,7 +456,8 @@ TEST_F(ZeroCopyBatchTest, RevokedRegionFailsStagingClosed) {
 TEST_F(ZeroCopyBatchTest, ExecutorSubmitCallSgDeliversThroughFuture) {
   const std::uint64_t epoch = *substrate_->channel_epoch(channel_);
   const core::Endpoint endpoint(substrate_.get(), channel_, client_, epoch);
-  RegionPool pool(*substrate_, client_, region_, 4096, 1024);
+  auto pool =
+      std::make_shared<RegionPool>(*substrate_, client_, region_, 4096, 1024);
   Executor executor({.threads = 2});
   auto future = executor.submit_call_sg(endpoint, pool, to_bytes("exec:"),
                                         to_bytes("task-payload"));
@@ -465,7 +466,40 @@ TEST_F(ZeroCopyBatchTest, ExecutorSubmitCallSgDeliversThroughFuture) {
   ASSERT_TRUE(reply.ok());
   EXPECT_EQ(to_string(*reply), "got:exec:task-payload");
   executor.wait_all();
-  EXPECT_EQ(pool.slots_free(), 4u);  // slot returned after the call
+  EXPECT_EQ(pool->slots_free(), 4u);  // slot returned after the call
+}
+
+TEST_F(ZeroCopyBatchTest, ExecutorSubmitCallSgSurvivesCallerDroppingPool) {
+  const std::uint64_t epoch = *substrate_->channel_epoch(channel_);
+  const core::Endpoint endpoint(substrate_.get(), channel_, client_, epoch);
+  Executor executor({.threads = 2});
+  Future future;
+  {
+    auto pool = std::make_shared<RegionPool>(*substrate_, client_, region_,
+                                             4096, 1024);
+    auto submitted = executor.submit_call_sg(endpoint, pool, to_bytes("exec:"),
+                                             to_bytes("late"));
+    ASSERT_TRUE(submitted.ok());
+    future = std::move(*submitted);
+  }  // caller's reference gone; the queued task co-owns the pool
+  auto reply = future.wait();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "got:exec:late");
+  executor.wait_all();
+}
+
+TEST_F(ZeroCopyBatchTest, RegionPoolIgnoresDoubleRelease) {
+  RegionPool pool(*substrate_, client_, region_, 4096, 1024);
+  auto a = pool.acquire();
+  ASSERT_TRUE(a.ok());
+  pool.release(*a);
+  pool.release(*a);  // stale second release must not mint a duplicate slot
+  EXPECT_EQ(pool.slots_free(), 4u);
+  auto x = pool.acquire();
+  auto y = pool.acquire();
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(y.ok());
+  EXPECT_NE(x->offset, y->offset);
 }
 
 TEST(Executor, RunsTasksAndDeliversResults) {

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <limits>
 
 #include "crypto/rsa.h"
 #include "substrate/substrate.h"
@@ -749,6 +750,47 @@ TEST_P(ConformanceTest, RegionLifecycleAndInPlaceData) {
   EXPECT_EQ(substrate_->make_descriptor(a, *region, 8190, 8).error(),
             Errc::invalid_argument);
   EXPECT_EQ(substrate_->make_descriptor(a, *region, 0, 0).error(),
+            Errc::invalid_argument);
+
+  // The size a pool would carve comes from the substrate, not a restated
+  // manifest literal.
+  auto size = substrate_->region_size(*region);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 8192u);
+  EXPECT_EQ(substrate_->region_size(999).error(), Errc::invalid_argument);
+}
+
+TEST_P(ConformanceTest, RegionBoundsRefuseOverflowingRanges) {
+  auto [a, b] = make_pair();
+  if (!substrate_->supports_regions()) return;
+  auto region = substrate_->create_region(a, b, 4096);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(b, *region).ok());
+
+  // offset + len wraps to a tiny sum: a naive `offset + len > size` check
+  // would accept these ranges and the reference monitor would hand out an
+  // out-of-bounds view. Every validation surface must refuse them.
+  const std::uint64_t huge = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(substrate_->make_descriptor(a, *region, huge, 2).error(),
+            Errc::invalid_argument);
+  EXPECT_EQ(substrate_->make_descriptor(a, *region, huge - 1, 4).error(),
+            Errc::invalid_argument);
+  EXPECT_EQ(substrate_->region_write(a, *region, huge, to_bytes("xx")).error(),
+            Errc::invalid_argument);
+  EXPECT_EQ(substrate_->region_read(a, *region, huge, 2).error(),
+            Errc::invalid_argument);
+
+  // A forged descriptor (bypassing make_descriptor, as a compromised peer
+  // could) is caught by check_descriptor before region_view dereferences.
+  substrate::RegionDescriptor forged;
+  forged.region = *region;
+  forged.offset = huge;
+  forged.length = 2;
+  forged.epoch = *substrate_->region_epoch(*region);
+  EXPECT_EQ(substrate_->check_descriptor(a, forged).error(),
+            Errc::invalid_argument);
+  EXPECT_EQ(substrate_->region_view(a, forged).error(),
             Errc::invalid_argument);
 }
 
