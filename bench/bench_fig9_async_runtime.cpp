@@ -18,6 +18,7 @@
 
 #include "bench_common.h"
 #include "runtime/batch_channel.h"
+#include "runtime/metrics.h"
 #include "util/table.h"
 
 using namespace lateral;
@@ -62,15 +63,19 @@ Cycles measure_sync(const std::string& substrate_name, std::size_t payload) {
   return (rig.machine->now() - before) / kCalls;
 }
 
-/// Cycles per call through BatchChannel at the given batch size.
+/// Cycles per call through BatchChannel at the given batch size. When a
+/// hub is supplied, per-invocation submit->complete latencies land in its
+/// "fig9" counters (p50/p99 below come from there).
 Cycles measure_batched(const std::string& substrate_name, std::size_t payload,
-                       std::size_t batch_size) {
+                       std::size_t batch_size,
+                       runtime::MetricsHub* hub = nullptr) {
   Rig rig = make_rig(substrate_name);
   const Bytes data(payload, 0x5A);
   (void)rig.substrate->call(rig.client, rig.channel, data);  // warm-up
 
   runtime::BatchChannel batch(*rig.substrate, rig.client, rig.channel,
-                              {.depth = batch_size, .hub = nullptr, .label = {}});
+                              {.depth = batch_size, .hub = hub,
+                               .label = "fig9"});
   const Cycles before = rig.machine->now();
   const int kRounds = 8;
   for (int round = 0; round < kRounds; ++round) {
@@ -90,19 +95,26 @@ void run_report() {
 
   const std::size_t kPayload = 16;
   util::Table table({"substrate", "sync", "batch 8", "batch 32", "batch 128",
-                     "sync / batch-32"});
+                     "sync / batch-32", "p50@32", "p99@32"});
   for (const char* name : {"noc", "cheri", "microkernel", "trustzone", "ftpm",
                            "sgx", "sep", "tpm"}) {
     const Cycles sync = measure_sync(name, kPayload);
     const Cycles b8 = measure_batched(name, kPayload, 8);
-    const Cycles b32 = measure_batched(name, kPayload, 32);
+    runtime::MetricsHub hub;
+    const Cycles b32 = measure_batched(name, kPayload, 32, &hub);
     const Cycles b128 = measure_batched(name, kPayload, 128);
+    const auto counters = hub.counters("fig9").snapshot();
     table.add_row({name, util::fmt_cycles(sync), util::fmt_cycles(b8),
                    util::fmt_cycles(b32), util::fmt_cycles(b128),
                    util::fmt_ratio(static_cast<double>(sync) /
-                                   static_cast<double>(b32 ? b32 : 1))});
+                                   static_cast<double>(b32 ? b32 : 1)),
+                   util::fmt_cycles(counters.latency_percentile(0.50)),
+                   util::fmt_cycles(counters.latency_percentile(0.99))});
   }
   std::printf("%s\n", table.render().c_str());
+  std::printf("p50/p99: per-invocation submit->complete latency at batch 32\n");
+  std::printf("(log2-bucket upper bounds) — amortization trades per-call\n");
+  std::printf("cost for queueing delay, and the tail shows the price.\n");
   std::printf("expected shape: the heavier the substrate's fixed crossing\n");
   std::printf("cost, the more batching pays: per-call cost converges to the\n");
   std::printf("per-byte copy cost as the fixed crossing amortizes away.\n\n");
@@ -136,8 +148,10 @@ void register_json_benchmarks() {
         [name](benchmark::State& state) {
           const Cycles sync = measure_sync(name, 16);
           const Cycles b8 = measure_batched(name, 16, 8);
-          const Cycles b32 = measure_batched(name, 16, 32);
+          runtime::MetricsHub hub;
+          const Cycles b32 = measure_batched(name, 16, 32, &hub);
           const Cycles b128 = measure_batched(name, 16, 128);
+          const auto counters = hub.counters("fig9").snapshot();
           for (auto _ : state) benchmark::DoNotOptimize(sync);
           state.counters["sync_cycles_per_call"] = static_cast<double>(sync);
           state.counters["batch8_cycles_per_call"] = static_cast<double>(b8);
@@ -146,6 +160,10 @@ void register_json_benchmarks() {
               static_cast<double>(b128);
           state.counters["sync_over_batch32"] =
               static_cast<double>(sync) / static_cast<double>(b32 ? b32 : 1);
+          state.counters["latency_p50_batch32"] =
+              static_cast<double>(counters.latency_percentile(0.50));
+          state.counters["latency_p99_batch32"] =
+              static_cast<double>(counters.latency_percentile(0.99));
         });
   }
 }

@@ -218,6 +218,9 @@ Status Assembly::restart_component(ComponentRef ref) {
   spec.time_share_permille = c.manifest.time_share_permille;
   auto domain = c.substrate->create_domain(spec);
   if (!domain) return domain.error();
+  // The reincarnation inherits the manifest's trace-capture consent.
+  (void)c.substrate->set_trace_capture(
+      *domain, c.manifest.trace && c.manifest.trace->capture_payload);
 
   // Rebind every declared channel from the corpse to the reincarnation:
   // ids stay stable (peers' refs and recorded wiring survive), epochs bump
@@ -342,6 +345,9 @@ Result<std::unique_ptr<Assembly>> SystemComposer::compose(
       unwind();
       return Errc::policy_violation;
     }
+    // Payload capture into trace spans is consent-based: only a manifest
+    // with a `trace { payload }` stanza opts its domain in.
+    (void)sub->set_trace_capture(*domain, m.trace && m.trace->capture_payload);
     Assembly::Node node;
     node.component.manifest = m;
     node.component.substrate = sub;

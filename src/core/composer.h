@@ -29,6 +29,13 @@
 #include "substrate/registry.h"
 #include "substrate/substrate.h"
 
+namespace lateral::trace {
+class Tracer;
+}  // namespace lateral::trace
+namespace lateral::runtime {
+class MetricsHub;
+}  // namespace lateral::runtime
+
 namespace lateral::core {
 
 /// Interned handle to a component of one Assembly. Cheap to copy and
@@ -144,9 +151,20 @@ class Assembly {
 
   std::vector<std::string> component_names() const;
 
+  /// The manifests this assembly was composed from (redaction policy for
+  /// trace exports is decided against these).
+  const std::vector<Manifest>& manifests() const { return manifests_; }
+
   /// When false, invoke()/send() skip the manifest-level channel check and
   /// rely on the substrate alone (ablation hook; default true).
   void set_manifest_enforcement(bool on) { enforce_manifest_ = on; }
+
+  /// Plain-text observability snapshot of this assembly: per-component
+  /// flight-recorder contents from `tracer` plus per-label counters from
+  /// `hub` (either may be null). Defined in trace/exporter.cpp — the
+  /// observability layer sits above core, so the definition lives there.
+  std::string dump_observability(const trace::Tracer* tracer,
+                                 const runtime::MetricsHub* hub) const;
 
  private:
   friend class SystemComposer;

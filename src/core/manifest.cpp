@@ -47,6 +47,7 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
   std::vector<Manifest> manifests;
   std::optional<Manifest> current;
   bool in_restart = false;  // inside a nested `restart { ... }` stanza
+  bool in_trace = false;    // inside a nested `trace { ... }` stanza
 
   std::istringstream stream{std::string(text)};
   std::string line;
@@ -82,6 +83,24 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
           return Errc::invalid_argument;
       } else {
         return Errc::invalid_argument;  // unknown restart directive
+      }
+      continue;
+    }
+
+    if (in_trace) {
+      TracePolicy& policy = *current->trace;
+      const std::string& key = tokens[0];
+      if (key == "}") {
+        if (tokens.size() != 1) return Errc::invalid_argument;
+        in_trace = false;
+      } else if (key == "payload") {
+        if (tokens.size() != 1) return Errc::invalid_argument;
+        policy.capture_payload = true;
+      } else if (key == "observer") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        policy.observers.push_back(tokens[1]);
+      } else {
+        return Errc::invalid_argument;  // unknown trace directive
       }
       continue;
     }
@@ -170,6 +189,11 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
         return Errc::invalid_argument;
       current->restart.emplace();  // defaults apply until overridden
       in_restart = true;
+    } else if (key == "trace") {
+      if (tokens.size() != 2 || tokens[1] != "{" || current->trace)
+        return Errc::invalid_argument;
+      current->trace.emplace();  // redacted defaults until overridden
+      in_trace = true;
     } else {
       return Errc::invalid_argument;  // unknown directive
     }
@@ -209,6 +233,13 @@ std::string to_text(const std::vector<Manifest>& manifests) {
       out << "    escalate " << escalation_name(m.restart->escalation) << "\n";
       out << "  }\n";
     }
+    if (m.trace) {
+      out << "  trace {\n";
+      if (m.trace->capture_payload) out << "    payload\n";
+      for (const std::string& observer : m.trace->observers)
+        out << "    observer " << observer << "\n";
+      out << "  }\n";
+    }
     out << "}\n";
   }
   return out.str();
@@ -246,6 +277,13 @@ std::vector<std::string> validate(const std::vector<Manifest>& manifests) {
               m.channels.end())
         problems.push_back(m.name + ": region to " + region.peer +
                            " without a declared channel");
+    }
+    if (m.trace) {
+      for (const std::string& observer : m.trace->observers) {
+        if (!names.contains(observer))
+          problems.push_back(m.name + ": trace observer unknown component " +
+                             observer);
+      }
     }
     for (const std::string& peer : m.trusts) {
       if (!names.contains(peer))

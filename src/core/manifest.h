@@ -54,6 +54,19 @@ constexpr std::string_view escalation_name(RestartPolicy::Escalation e) {
   return "unknown";
 }
 
+/// Per-component tracing consent (the manifest `trace` stanza). Redaction
+/// is the default: without this stanza a component's spans carry only
+/// sizes, opcodes and cycle stamps. `payload` opts the component into
+/// capturing the leading message bytes in its span events; `observer X`
+/// authorizes component X to receive those payload-bearing spans from an
+/// export even without a trust edge (core::check_trace_export enforces it).
+struct TracePolicy {
+  bool capture_payload = false;
+  std::vector<std::string> observers;
+
+  friend bool operator==(const TracePolicy&, const TracePolicy&) = default;
+};
+
 /// A declared shared grant region to a peer (the manifest `region` stanza,
 /// part of the channels block of the component's needs). Like channels,
 /// regions exist only when declared — the composer wires exactly these and
@@ -96,6 +109,9 @@ struct Manifest {
   /// Crash-recovery policy; set (possibly to defaults) when the manifest
   /// carries a `restart { ... }` stanza, meaning: supervise this component.
   std::optional<RestartPolicy> restart;
+  /// Tracing consent; set when the manifest carries a `trace { ... }`
+  /// stanza. Absent = full redaction (metadata-only spans).
+  std::optional<TracePolicy> trace;
 };
 
 /// Parse a manifest bundle from the text DSL. Format:
@@ -119,6 +135,10 @@ struct Manifest {
 ///       max 3              # relaunch attempts before escalation
 ///       backoff 10000      # cycles before first relaunch; doubles per try
 ///       escalate degraded  # or: halted
+///     }
+///     trace {              # optional: relax span redaction
+///       payload            # capture leading payload bytes in span events
+///       observer ui        # may repeat: authorized export observer
 ///     }
 ///   }
 ///

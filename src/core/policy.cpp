@@ -83,4 +83,30 @@ std::vector<std::string> suitable_substrates(
   return names;
 }
 
+Status check_trace_export(const std::vector<Manifest>& manifests,
+                          const std::string& component,
+                          const std::string& observer) {
+  const Manifest* subject = nullptr;
+  bool observer_known = false;
+  for (const Manifest& m : manifests) {
+    if (m.name == component) subject = &m;
+    if (m.name == observer) observer_known = true;
+  }
+  if (!subject || !observer_known) return Errc::invalid_argument;
+  if (component == observer) return Status::success();  // own spans, always
+  if (subject->trace) {
+    const auto& observers = subject->trace->observers;
+    if (std::find(observers.begin(), observers.end(), observer) !=
+        observers.end())
+      return Status::success();
+  }
+  // A declared trust edge means the component already consumes the
+  // observer's replies un-vetted — its payload bytes flowing there adds no
+  // boundary the manifest didn't accept.
+  if (std::find(subject->trusts.begin(), subject->trusts.end(), observer) !=
+      subject->trusts.end())
+    return Status::success();
+  return Errc::redaction_denied;
+}
+
 }  // namespace lateral::core

@@ -38,4 +38,17 @@ std::vector<std::string> suitable_substrates(
     const Manifest& manifest,
     const std::vector<substrate::SubstrateInfo>& candidates);
 
+/// May `observer` receive `component`'s payload-bearing spans in a trace
+/// export? Metadata-only spans are always exportable; this guards the
+/// opt-in payload captures, because trace data crossing a trust boundary is
+/// itself a security decision (a component's message bytes can hold keys,
+/// tokens, plaintext). Allowed when the observer is the component itself,
+/// is named by the component's `trace { observer ... }` stanza, or holds a
+/// declared trust edge from the component (`trusts observer` — the
+/// component already consumes that peer's replies un-vetted). Anything else
+/// is Errc::redaction_denied; unknown names are Errc::invalid_argument.
+Status check_trace_export(const std::vector<Manifest>& manifests,
+                          const std::string& component,
+                          const std::string& observer);
+
 }  // namespace lateral::core

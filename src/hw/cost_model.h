@@ -54,6 +54,14 @@ struct CostModel {
   Cycles region_access = 40;             // per-descriptor in-place access
   Cycles cheri_cap_derive = 25;          // bounded-capability handoff (CHERI)
 
+  // --- Tracing (lateral::trace) ---
+  // A traced crossing carries a 16-byte TraceContext in its metadata; the
+  // wire bytes are charged at the substrate's own per-byte rate. On top of
+  // that, stamping the cycle counter into the domain's flight recorder is a
+  // couple of stores — charged once per crossing *direction*, not per span
+  // event, so tracing amortizes with batching exactly like the crossing.
+  Cycles trace_stamp = 4;                // recorder stamp per crossing
+
   // --- Software crypto (used when a substrate lacks an engine) ---
   Cycles sw_aes_per_16_bytes = 160;
   Cycles sw_sha_per_64_bytes = 600;

@@ -27,6 +27,10 @@ component imap {
   pages 2
   channel ui
   channel tls
+  trace {
+    payload
+    observer ui
+  }
   loc 8000
 }
 component tls {

@@ -5,7 +5,8 @@
 namespace lateral::runtime {
 namespace {
 
-// Request: [u32 request_id | u16 method_len | method | payload]
+// Request: [u32 request_id | 16B trace ctx | u16 method_len | method |
+//           payload]
 // Reply:   [u32 request_id | u8 errc | payload (on success)]
 
 void put_u32(Bytes& out, std::uint32_t value) {
@@ -20,10 +21,14 @@ std::uint32_t get_u32(BytesView in) {
          (std::uint32_t(in[2]) << 8) | std::uint32_t(in[3]);
 }
 
-Bytes encode_request(RequestId id, const std::string& method,
-                     BytesView payload) {
+// Fixed prefix before method_len: request id + trace context.
+constexpr std::size_t kRequestPrefix = 4 + trace::kTraceContextWireBytes;
+
+Bytes encode_request(RequestId id, const trace::TraceContext& ctx,
+                     const std::string& method, BytesView payload) {
   Bytes out;
   put_u32(out, id);
+  ctx.encode(out);
   out.push_back(static_cast<std::uint8_t>(method.size() >> 8));
   out.push_back(static_cast<std::uint8_t>(method.size()));
   out.insert(out.end(), method.begin(), method.end());
@@ -33,19 +38,25 @@ Bytes encode_request(RequestId id, const std::string& method,
 
 struct DecodedRequest {
   RequestId id = 0;
+  trace::TraceContext ctx;
   std::string method;
   Bytes payload;
 };
 
 Result<DecodedRequest> decode_request(BytesView plain) {
-  if (plain.size() < 6) return Errc::invalid_argument;
+  if (plain.size() < kRequestPrefix + 2) return Errc::invalid_argument;
   DecodedRequest out;
   out.id = get_u32(plain);
-  const std::size_t method_len = (std::size_t(plain[4]) << 8) | plain[5];
-  if (plain.size() < 6 + method_len) return Errc::invalid_argument;
-  out.method.assign(plain.begin() + 6,
-                    plain.begin() + 6 + static_cast<long>(method_len));
-  out.payload.assign(plain.begin() + 6 + static_cast<long>(method_len),
+  out.ctx = trace::TraceContext::decode(plain.subspan(4));
+  const std::size_t method_len =
+      (std::size_t(plain[kRequestPrefix]) << 8) | plain[kRequestPrefix + 1];
+  if (plain.size() < kRequestPrefix + 2 + method_len)
+    return Errc::invalid_argument;
+  const auto method_begin =
+      plain.begin() + static_cast<long>(kRequestPrefix + 2);
+  out.method.assign(method_begin,
+                    method_begin + static_cast<long>(method_len));
+  out.payload.assign(method_begin + static_cast<long>(method_len),
                      plain.end());
   return out;
 }
@@ -96,6 +107,9 @@ Result<std::vector<Bytes>> AsyncRemoteDispatcher::handle_burst(
       if (it == methods_.end()) {
         reply_plain = encode_reply(request->id, Errc::invalid_argument, {});
       } else {
+        // Run the method under the client's trace context: substrate
+        // crossings it makes chain under the remote caller's span.
+        trace::TraceScope scope(request->ctx);
         Result<Bytes> result = it->second(request->payload);
         reply_plain = result ? encode_reply(request->id, Errc::ok, *result)
                              : encode_reply(request->id, result.error(), {});
@@ -114,8 +128,8 @@ AsyncRemoteProxy::AsyncRemoteProxy(net::SecureChannelEndpoint& channel,
     : channel_(channel),
       transport_(std::move(transport)),
       config_(std::move(config)),
-      counters_(config_.hub ? &config_.hub->counters(config_.label)
-                            : &own_counters_) {
+      counters_(config_.hub ? config_.hub->counters(config_.label)
+                            : MetricsHub::CounterRef(&own_counters_)) {
   if (!transport_) throw Error("AsyncRemoteProxy needs a transport");
   if (config_.depth == 0) config_.depth = 1;
 }
@@ -131,6 +145,7 @@ Result<RequestId> AsyncRemoteProxy::submit(const std::string& method,
   call.id = next_id_++;
   call.method = method;
   call.payload.assign(payload.begin(), payload.end());
+  call.ctx = trace::current_context();
   pending_.push_back(std::move(call));
   ++counters_->submitted;
   counters_->record_depth(pending_.size());
@@ -160,8 +175,8 @@ Status AsyncRemoteProxy::flush() {
   std::vector<Bytes> records;
   records.reserve(pending_.size());
   for (const PendingCall& call : pending_) {
-    auto record =
-        channel_.seal_record(encode_request(call.id, call.method, call.payload));
+    auto record = channel_.seal_record(
+        encode_request(call.id, call.ctx, call.method, call.payload));
     if (!record) return record.error();
     records.push_back(std::move(*record));
   }

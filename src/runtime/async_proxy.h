@@ -18,8 +18,14 @@
 // cancellation before flush, lossless accounting) applies.
 //
 // Wire formats (inside AEAD records):
-//   request: [u32 request_id | u16 method_len | method | payload]
+//   request: [u32 request_id | 16B trace ctx | u16 method_len | method |
+//             payload]
 //   reply:   [u32 request_id | u8 errc | payload (when errc == ok)]
+//
+// The 16-byte TraceContext travels inside the authenticated plaintext —
+// a remote trace id is integrity-protected exactly like the request id —
+// and is re-installed (as a TraceScope) around the dispatcher's method, so
+// crossings the method makes on the server chain under the client's trace.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +36,7 @@
 
 #include "net/secure_channel.h"
 #include "runtime/metrics.h"
+#include "trace/trace.h"
 #include "util/result.h"
 #include "util/types.h"
 
@@ -103,13 +110,16 @@ class AsyncRemoteProxy {
   Result<Bytes> call(const std::string& method, BytesView payload);
 
   std::size_t pending() const { return pending_.size(); }
-  const InvocationCounters& metrics() const { return *counters_; }
+  InvocationCounters metrics() const { return counters_.snapshot(); }
 
  private:
   struct PendingCall {
     RequestId id = 0;
     std::string method;
     Bytes payload;
+    /// Submitting thread's trace context, sealed into the request record
+    /// at flush time.
+    trace::TraceContext ctx;
   };
 
   net::SecureChannelEndpoint& channel_;
@@ -118,8 +128,8 @@ class AsyncRemoteProxy {
   std::vector<PendingCall> pending_;
   std::map<RequestId, Result<Bytes>> completions_;
   RequestId next_id_ = 1;
-  InvocationCounters own_counters_;
-  InvocationCounters* counters_;
+  MetricsHub::CounterSlot own_counters_;
+  MetricsHub::CounterRef counters_;
 };
 
 }  // namespace lateral::runtime

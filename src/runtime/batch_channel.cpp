@@ -1,6 +1,7 @@
 #include "runtime/batch_channel.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 namespace lateral::runtime {
@@ -15,8 +16,8 @@ BatchChannel::BatchChannel(substrate::IsolationSubstrate& substrate,
       epoch_(substrate.channel_epoch(channel).value_or(0)),
       submissions_(config.depth),
       completions_(config.depth),
-      counters_(config.hub ? &config.hub->counters(config.label)
-                           : &own_counters_) {}
+      counters_(config.hub ? config.hub->counters(config.label)
+                           : MetricsHub::CounterRef(&own_counters_)) {}
 
 BatchChannel::BatchChannel(const core::Endpoint& endpoint,
                            BatchChannelConfig config)
@@ -26,11 +27,22 @@ BatchChannel::BatchChannel(const core::Endpoint& endpoint,
       epoch_(endpoint.epoch()),
       submissions_(config.depth),
       completions_(config.depth),
-      counters_(config.hub ? &config.hub->counters(config.label)
-                           : &own_counters_) {}
+      counters_(config.hub ? config.hub->counters(config.label)
+                           : MetricsHub::CounterRef(&own_counters_)) {}
 
 Result<SubmissionId> BatchChannel::enqueue(Pending pending) {
   pending.id = next_id_++;
+  pending.submitted_at = substrate_.machine().now();
+  if (const trace::TraceContext& cur = trace::current_context();
+      substrate_.tracing_active() && cur.sampled()) {
+    std::uint64_t total = pending.request.size();
+    for (const substrate::RegionDescriptor& seg : pending.segments)
+      total += seg.length;
+    const std::uint32_t span = substrate_.tracer()->next_span();
+    substrate_.stamp_span(actor_, cur, span, trace::SpanPhase::submit,
+                          pending.request, total);
+    pending.ctx = {cur.trace_id, span, cur.flags};
+  }
   const SubmissionId id = pending.id;
   if (!submissions_.push(std::move(pending))) {
     ++counters_->rejected;
@@ -120,10 +132,19 @@ Status BatchChannel::flush() {
     live_.erase(pending->id);
     if (cancelled_.erase(pending->id) > 0) {
       ++counters_->cancelled;
+      // Terminal without running: close the submit span in place (same
+      // span id), so the ring shows submit -> cancelled, never a dangling
+      // submit.
+      if (pending->ctx.sampled())
+        substrate_.stamp_span(actor_, pending->ctx, pending->ctx.parent_span,
+                              trace::SpanPhase::cancelled, {}, 0);
       release_slot(*pending);
       complete({pending->id, Errc::cancelled});
     } else if (pending->deadline != 0 && now > pending->deadline) {
       ++counters_->timed_out;
+      if (pending->ctx.sampled())
+        substrate_.stamp_span(actor_, pending->ctx, pending->ctx.parent_span,
+                              trace::SpanPhase::timed_out, {}, 0);
       release_slot(*pending);
       complete({pending->id, Errc::timed_out});
     } else {
@@ -148,6 +169,24 @@ Status BatchChannel::flush() {
       complete({pending.id, fence});
     }
     return Status::success();
+  }
+
+  // One TraceContext represents the whole flush (the crossing is singular
+  // even when the batch is not): the first traced submission's. Installing
+  // it as the thread's context is what hands it to the substrate, which
+  // then mints per-request dispatch/complete spans under it.
+  const Pending* first_traced = nullptr;
+  for (const Pending& pending : batch)
+    if (pending.ctx.sampled()) {
+      first_traced = &pending;
+      break;
+    }
+  std::optional<trace::TraceScope> trace_scope;
+  if (substrate_.tracing_active() && first_traced) {
+    substrate_.stamp_span(actor_, first_traced->ctx,
+                          substrate_.tracer()->next_span(),
+                          trace::SpanPhase::flush, {}, batch.size());
+    trace_scope.emplace(first_traced->ctx);
   }
 
   // Mixed batches ride the scatter-gather engine: an inline entry becomes
@@ -212,8 +251,10 @@ Status BatchChannel::flush() {
   counters_->sync_equivalent_cycles += sync_equivalent;
   counters_->crossing_cycles += reply->crossing_cycles;
 
+  const Cycles after = substrate_.machine().now();
   for (std::size_t i = 0; i < batch.size(); ++i) {
     ++counters_->completed;
+    counters_->record_latency(after - batch[i].submitted_at);
     release_slot(batch[i]);
     complete({batch[i].id, std::move(reply->replies[i])});
   }

@@ -125,7 +125,7 @@ class BatchChannel {
     return completions_.size() + stashed_.size();
   }
 
-  const InvocationCounters& metrics() const { return *counters_; }
+  InvocationCounters metrics() const { return counters_.snapshot(); }
 
  private:
   struct Pending {
@@ -137,6 +137,14 @@ class BatchChannel {
     /// (submit_staged only).
     RegionPool* pool = nullptr;
     RegionPool::Slot slot;
+    /// Trace context captured at submit (zero when the submitter's thread
+    /// carried none): parent_span is this submission's own submit span, so
+    /// the dispatch span the substrate mints at flush chains under it.
+    trace::TraceContext ctx;
+    /// Machine clock at submit; the completed path records submit->complete
+    /// latency from it (always captured — latency accounting is not gated
+    /// on tracing).
+    Cycles submitted_at = 0;
   };
 
   Result<SubmissionId> enqueue(Pending pending);
@@ -156,8 +164,8 @@ class BatchChannel {
   std::set<SubmissionId> live_;       // ids currently in the submission ring
   std::set<SubmissionId> cancelled_;  // subset of live_
   SubmissionId next_id_ = 1;
-  InvocationCounters own_counters_;
-  InvocationCounters* counters_;
+  MetricsHub::CounterSlot own_counters_;
+  MetricsHub::CounterRef counters_;
 };
 
 }  // namespace lateral::runtime

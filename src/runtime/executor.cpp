@@ -97,6 +97,7 @@ Result<Future> Executor::submit(const DomainKey& key, Task task,
   item.state = std::make_shared<Future::State>();
   item.task = std::move(task);
   item.deadline = opts.deadline;
+  item.ctx = trace::current_context();
   Future future;
   future.state_ = item.state;
   queue->items.push_back(std::move(item));
@@ -224,9 +225,13 @@ void Executor::worker_loop(std::size_t index) {
           // a delivered refusal, not lost work.
           result = Result<Bytes>(Errc::domain_dead);
         } else {
+          // The submitter's trace context rides with the item: crossings
+          // the task makes on this worker thread chain under it.
+          trace::TraceScope scope(item.ctx);
           result = item.task();
         }
       } else {
+        trace::TraceScope scope(item.ctx);
         result = item.task();
       }
     }

@@ -120,6 +120,10 @@ class Executor {
     std::shared_ptr<Future::State> state;
     Task task;
     Cycles deadline = 0;
+    /// Trace context of the submitting thread, captured at submit and
+    /// re-installed around the task on the worker — the context follows the
+    /// request across the thread hop, not the thread.
+    trace::TraceContext ctx;
   };
   struct DomainQueue {
     DomainKey key;

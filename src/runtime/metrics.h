@@ -16,6 +16,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "util/types.h"
@@ -45,6 +46,16 @@ struct InvocationCounters {
   /// being copied; the FIG11 bench and capacity planning read this.
   std::uint64_t zero_copy_bytes = 0;
 
+  // --- Per-invocation latency (submit -> complete, simulated cycles) ---
+  // Aggregate amortization (cycles_saved) hides the tail: a request that
+  // waited a whole flush window paid for the batch's win. The histogram
+  // makes p50/p99 derivable, and bench_fig9 reports both.
+  Cycles latency_total_cycles = 0;
+  std::uint64_t latency_count = 0;
+  /// latency_histogram[i] counts invocations whose submit->complete span
+  /// was in [2^i, 2^(i+1)) cycles (same bucketing as mttr_histogram).
+  std::array<std::uint64_t, 32> latency_histogram{};
+
   /// Invocations accepted but not yet terminal (must equal live queue
   /// occupancy — the losslessness invariant).
   std::uint64_t in_flight() const {
@@ -69,6 +80,36 @@ struct InvocationCounters {
 
   void record_depth(std::size_t depth) {
     if (depth > queue_depth_hwm) queue_depth_hwm = depth;
+  }
+
+  void record_latency(Cycles submit_to_complete) {
+    latency_total_cycles += submit_to_complete;
+    ++latency_count;
+    std::size_t bucket = 0;
+    while ((Cycles{2} << bucket) <= submit_to_complete &&
+           bucket + 1 < latency_histogram.size())
+      ++bucket;
+    ++latency_histogram[bucket];
+  }
+
+  Cycles mean_latency_cycles() const {
+    return latency_count == 0 ? 0 : latency_total_cycles / latency_count;
+  }
+
+  /// Upper bound of the histogram bucket holding the p-th percentile
+  /// (p in [0, 1]), i.e. a conservative p50/p99 estimate from log2 buckets.
+  Cycles latency_percentile(double p) const {
+    if (latency_count == 0) return 0;
+    if (p < 0) p = 0;
+    if (p > 1) p = 1;
+    const std::uint64_t rank =
+        static_cast<std::uint64_t>(p * static_cast<double>(latency_count - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < latency_histogram.size(); ++i) {
+      seen += latency_histogram[i];
+      if (seen > rank) return (Cycles{2} << i) - 1;
+    }
+    return latency_total_cycles;  // unreachable with consistent counters
   }
 };
 
@@ -106,27 +147,97 @@ struct RecoveryStats {
 /// Channels configured with the same hub+label share one counter block, so
 /// a component's traffic is queryable in one place regardless of how many
 /// queue pairs it opens.
+///
+/// Thread-safety: the label map is guarded by an internal mutex, and every
+/// counter block lives in a Slot pairing it with its own mutex.
+/// counters()/recovery() hand back a Ref — a locking pointer whose
+/// operator-> holds the slot lock for the enclosing full expression — so a
+/// channel incrementing its block on one thread and a reporter copying via
+/// all()/snapshot() on another never race on the fields either. Refs stay
+/// valid for the hub's lifetime (std::map node stability). The slot lock
+/// is a leaf: no Ref access ever takes another lock underneath it.
 class MetricsHub {
  public:
-  InvocationCounters& counters(const std::string& label) {
-    return counters_[label];  // std::map: references stay stable
+  /// One label's block plus the lock that makes field access safe.
+  /// `mu` is mutable so const traversals (all()) can still lock to copy.
+  template <typename T>
+  struct Slot {
+    mutable std::mutex mu;
+    T value;
+  };
+
+  /// Expression-scoped locked view of a Slot (what Ref::operator-> yields;
+  /// the temporary's lifetime — and thus the lock — spans the statement).
+  template <typename T>
+  class Locked {
+   public:
+    explicit Locked(const Slot<T>& slot)
+        : lock_(slot.mu), value_(const_cast<T*>(&slot.value)) {}
+    T* operator->() const { return value_; }
+
+   private:
+    std::unique_lock<std::mutex> lock_;
+    T* const value_;
+  };
+
+  /// Locking pointer to one label's block: `ref->submitted++` locks the
+  /// slot for that statement; snapshot() returns a consistent copy.
+  /// Copyable, and valid as long as the owning hub (or Slot) lives.
+  template <typename T>
+  class Ref {
+   public:
+    Ref() = default;
+    explicit Ref(Slot<T>* slot) : slot_(slot) {}
+    Locked<T> operator->() const { return Locked<T>(*slot_); }
+    T snapshot() const {
+      std::lock_guard<std::mutex> lock(slot_->mu);
+      return slot_->value;
+    }
+    explicit operator bool() const { return slot_ != nullptr; }
+
+   private:
+    Slot<T>* slot_ = nullptr;
+  };
+
+  using CounterSlot = Slot<InvocationCounters>;
+  using CounterRef = Ref<InvocationCounters>;
+  using RecoverySlot = Slot<RecoveryStats>;
+  using RecoveryRef = Ref<RecoveryStats>;
+
+  CounterRef counters(const std::string& label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return CounterRef(&counters_[label]);  // std::map: nodes stay stable
   }
 
-  const std::map<std::string, InvocationCounters>& all() const {
-    return counters_;
+  std::map<std::string, InvocationCounters> all() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, InvocationCounters> out;
+    for (const auto& [label, slot] : counters_) {
+      std::lock_guard<std::mutex> slot_lock(slot.mu);
+      out.emplace(label, slot.value);
+    }
+    return out;
   }
 
-  RecoveryStats& recovery(const std::string& label) {
-    return recovery_[label];
+  RecoveryRef recovery(const std::string& label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return RecoveryRef(&recovery_[label]);
   }
 
-  const std::map<std::string, RecoveryStats>& all_recovery() const {
-    return recovery_;
+  std::map<std::string, RecoveryStats> all_recovery() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, RecoveryStats> out;
+    for (const auto& [label, slot] : recovery_) {
+      std::lock_guard<std::mutex> slot_lock(slot.mu);
+      out.emplace(label, slot.value);
+    }
+    return out;
   }
 
  private:
-  std::map<std::string, InvocationCounters> counters_;
-  std::map<std::string, RecoveryStats> recovery_;
+  mutable std::mutex mu_;
+  std::map<std::string, CounterSlot> counters_;
+  std::map<std::string, RecoverySlot> recovery_;
 };
 
 }  // namespace lateral::runtime

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "crypto/sha256.h"
+#include "trace/trace.h"
 #include "util/types.h"
 
 namespace lateral::substrate {
@@ -198,6 +199,11 @@ struct Invocation {
   std::uint64_t badge = 0;
   BytesView data;
   std::span<const RegionDescriptor> segments;
+  /// Trace identity the request crossed the boundary with (zero context on
+  /// untraced crossings). parent_span is the dispatch span the substrate
+  /// minted for this delivery, so crossings nested inside the handler chain
+  /// under it automatically (the substrate installs it as a TraceScope).
+  trace::TraceContext trace;
 };
 
 }  // namespace lateral::substrate

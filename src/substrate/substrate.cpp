@@ -54,6 +54,44 @@ Status IsolationSubstrate::check_live(DomainId id) const {
   return Status::success();
 }
 
+Status IsolationSubstrate::set_trace_capture(DomainId domain, bool capture) {
+  if (const Status s = check_live(domain); !s.ok()) return s;
+  find_domain(domain)->trace_capture = capture;
+  return Status::success();
+}
+
+bool IsolationSubstrate::trace_capture(DomainId domain) const {
+  const DomainRecord* record = find_domain(domain);
+  return record && record->trace_capture;
+}
+
+Cycles IsolationSubstrate::trace_crossing_cost() const {
+  // The context's 16 wire bytes at this substrate's own marginal rate, plus
+  // the recorder stamp. Deliberately *excludes* the fixed crossing cost:
+  // the context piggybacks on a crossing that happens anyway.
+  return message_cost(trace::kTraceContextWireBytes) - message_cost(0) +
+         machine_.costs().trace_stamp;
+}
+
+void IsolationSubstrate::stamp_span(DomainId domain,
+                                    const trace::TraceContext& ctx,
+                                    std::uint32_t span_id,
+                                    trace::SpanPhase phase, BytesView data,
+                                    std::uint64_t size) {
+  if (!tracing_active()) return;
+  const DomainRecord* record = find_domain(domain);
+  trace::SpanEvent event;
+  event.trace_id = ctx.trace_id;
+  event.span_id = span_id;
+  event.parent_span = ctx.parent_span;
+  event.phase = phase;
+  event.at = machine_.now();
+  event.size = size;
+  event.note_payload(data, record && record->trace_capture);
+  tracer_->recorder(this, domain, record ? record->spec.name : "")
+      .record(event);
+}
+
 bool IsolationSubstrate::fault_fires(DomainId callee, std::string_view op) {
   if (!fault_hook_) return false;
   if (!fault_hook_(callee, op)) return false;
@@ -122,6 +160,12 @@ Status IsolationSubstrate::kill_domain(DomainId domain) {
   DomainRecord* record = find_domain(domain);
   if (!record) return Errc::no_such_domain;
   if (record->dead) return Errc::domain_dead;  // cannot die twice
+  // The crash is the flight recorder's reason to exist: stamp it as the
+  // corpse's final ring entry (under the active trace if one is running,
+  // else trace id 0 — the timeline matters even without a sampled trace).
+  if (tracing_active())
+    stamp_span(domain, trace::current_context(), tracer_->next_span(),
+               trace::SpanPhase::killed, {}, 0);
   release_memory(domain, *record);
   record->handler = nullptr;
   record->dead = true;
@@ -297,13 +341,34 @@ Result<Bytes> IsolationSubstrate::call(DomainId actor, ChannelId channel,
   if (!callee_record->handler) return Errc::would_block;
   if (const Status s = pre_call(actor, callee); !s.ok()) return s.error();
 
-  // Round trip: request transfer + reply transfer.
-  machine_.advance(message_cost(data.size()));
+  const trace::TraceContext& ctx = trace::current_context();
+  const bool traced = tracing_active() && ctx.sampled();
+  const Cycles trace_cost = traced ? trace_crossing_cost() : Cycles{0};
+
+  // Request transfer: a traced crossing additionally carries the 16-byte
+  // context. The reply carries nothing extra (the caller correlates by
+  // span id), so only the request direction pays trace_cost.
+  machine_.advance(message_cost(data.size()) + trace_cost);
   Invocation invocation;
   invocation.channel = channel;
   invocation.badge = (actor == chan->a) ? chan->badge_a : chan->badge_b;
   invocation.data = data;
-  Result<Bytes> reply = callee_record->handler(invocation);
+  Result<Bytes> reply = Errc::would_block;  // placeholder, always overwritten
+  if (traced) {
+    const std::uint32_t span = tracer_->next_span();
+    stamp_span(callee, ctx, span, trace::SpanPhase::dispatch, data,
+               data.size());
+    invocation.trace = {ctx.trace_id, span, ctx.flags};
+    // The handler runs under the dispatch span, so crossings it makes in
+    // turn (imap -> tls) chain under this one automatically.
+    trace::TraceScope scope(invocation.trace);
+    reply = callee_record->handler(invocation);
+    stamp_span(callee, ctx, span, trace::SpanPhase::complete,
+               reply.ok() ? BytesView(reply.value()) : BytesView{},
+               reply.ok() ? reply.value().size() : 0);
+  } else {
+    reply = callee_record->handler(invocation);
+  }
   machine_.advance(message_cost(reply.ok() ? reply.value().size() : 0));
   return reply;
 }
@@ -329,12 +394,20 @@ Result<BatchReply> IsolationSubstrate::call_batch(
   BatchReply out;
   if (requests.empty()) return out;
 
+  // One TraceContext rides the whole batch (the flush direction is a single
+  // crossing); each delivered request still gets its own dispatch/complete
+  // span, which is precisely how batching amortization becomes visible per
+  // request.
+  const trace::TraceContext& ctx = trace::current_context();
+  const bool traced = tracing_active() && ctx.sampled();
+  const Cycles trace_cost = traced ? trace_crossing_cost() : Cycles{0};
+
   // Request direction: one fixed boundary crossing, then per-byte copy
   // cost for every queued request. message_cost(0) is exactly the fixed
   // part of a substrate's message cost, so the marginal cost of the 2nd..
   // Nth request is copy-only.
   const Cycles fixed = message_cost(0);
-  Cycles crossing = fixed;
+  Cycles crossing = fixed + trace_cost;
   for (const Bytes& request : requests)
     crossing += message_cost(request.size()) - fixed;
   machine_.advance(crossing);
@@ -347,10 +420,24 @@ Result<BatchReply> IsolationSubstrate::call_batch(
     invocation.channel = channel;
     invocation.badge = badge;
     invocation.data = request;
-    out.replies.push_back(callee_record->handler(invocation));
+    if (traced) {
+      const std::uint32_t span = tracer_->next_span();
+      stamp_span(callee, ctx, span, trace::SpanPhase::dispatch, request,
+                 request.size());
+      invocation.trace = {ctx.trace_id, span, ctx.flags};
+      trace::TraceScope scope(invocation.trace);
+      out.replies.push_back(callee_record->handler(invocation));
+      const Result<Bytes>& reply = out.replies.back();
+      stamp_span(callee, ctx, span, trace::SpanPhase::complete,
+                 reply.ok() ? BytesView(reply.value()) : BytesView{},
+                 reply.ok() ? reply.value().size() : 0);
+    } else {
+      out.replies.push_back(callee_record->handler(invocation));
+    }
   }
 
-  // Reply direction: same amortization.
+  // Reply direction: same amortization; no trace charge (the context
+  // travels caller -> callee only).
   Cycles reply_crossing = fixed;
   for (const Result<Bytes>& reply : out.replies)
     reply_crossing += message_cost(reply.ok() ? reply->size() : 0) - fixed;
@@ -389,15 +476,33 @@ Result<Bytes> IsolationSubstrate::call_sg(
   if (!callee_record->handler) return Errc::would_block;
   if (const Status s = pre_call(actor, callee); !s.ok()) return s.error();
 
+  const trace::TraceContext& ctx = trace::current_context();
+  const bool traced = tracing_active() && ctx.sampled();
+  const Cycles trace_cost = traced ? trace_crossing_cost() : Cycles{0};
+
   // The crossing carries the header plus 16 bytes per descriptor — never
   // the payload. This is the whole economics of the plane.
-  machine_.advance(message_cost(wire));
+  machine_.advance(message_cost(wire) + trace_cost);
   Invocation invocation;
   invocation.channel = channel;
   invocation.badge = (actor == chan->a) ? chan->badge_a : chan->badge_b;
   invocation.data = header;
   invocation.segments = segments;
-  Result<Bytes> reply = callee_record->handler(invocation);
+  Result<Bytes> reply = Errc::would_block;  // placeholder, always overwritten
+  if (traced) {
+    const std::uint32_t span = tracer_->next_span();
+    std::uint64_t bulk = header.size();
+    for (const RegionDescriptor& desc : segments) bulk += desc.length;
+    stamp_span(callee, ctx, span, trace::SpanPhase::dispatch, header, bulk);
+    invocation.trace = {ctx.trace_id, span, ctx.flags};
+    trace::TraceScope scope(invocation.trace);
+    reply = callee_record->handler(invocation);
+    stamp_span(callee, ctx, span, trace::SpanPhase::complete,
+               reply.ok() ? BytesView(reply.value()) : BytesView{},
+               reply.ok() ? reply.value().size() : 0);
+  } else {
+    reply = callee_record->handler(invocation);
+  }
   machine_.advance(message_cost(reply.ok() ? reply.value().size() : 0));
   return reply;
 }
@@ -444,10 +549,14 @@ Result<BatchReply> IsolationSubstrate::call_batch_sg(
     }
   }
 
+  const trace::TraceContext& ctx = trace::current_context();
+  const bool traced = tracing_active() && ctx.sampled();
+  const Cycles trace_cost = traced ? trace_crossing_cost() : Cycles{0};
+
   // One fixed crossing per direction for the whole batch; each request's
   // marginal wire cost is its header + descriptors, O(1) in payload bytes.
   const Cycles fixed = message_cost(0);
-  Cycles crossing = fixed;
+  Cycles crossing = fixed + trace_cost;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     if (veto[i] != Errc::ok) continue;
     crossing += message_cost(requests[i].header.size() +
@@ -469,7 +578,23 @@ Result<BatchReply> IsolationSubstrate::call_batch_sg(
     invocation.badge = badge;
     invocation.data = requests[i].header;
     invocation.segments = requests[i].segments;
-    out.replies.push_back(callee_record->handler(invocation));
+    if (traced) {
+      const std::uint32_t span = tracer_->next_span();
+      std::uint64_t bulk = requests[i].header.size();
+      for (const RegionDescriptor& desc : requests[i].segments)
+        bulk += desc.length;
+      stamp_span(callee, ctx, span, trace::SpanPhase::dispatch,
+                 requests[i].header, bulk);
+      invocation.trace = {ctx.trace_id, span, ctx.flags};
+      trace::TraceScope scope(invocation.trace);
+      out.replies.push_back(callee_record->handler(invocation));
+      const Result<Bytes>& reply = out.replies.back();
+      stamp_span(callee, ctx, span, trace::SpanPhase::complete,
+                 reply.ok() ? BytesView(reply.value()) : BytesView{},
+                 reply.ok() ? reply.value().size() : 0);
+    } else {
+      out.replies.push_back(callee_record->handler(invocation));
+    }
   }
 
   Cycles reply_crossing = fixed;

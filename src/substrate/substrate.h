@@ -26,6 +26,7 @@
 #include "hw/machine.h"
 #include "substrate/isolation.h"
 #include "substrate/quote.h"
+#include "trace/trace.h"
 #include "util/result.h"
 #include "util/types.h"
 
@@ -78,6 +79,38 @@ class IsolationSubstrate {
   bool is_dead(DomainId domain) const;
   std::vector<DomainId> domains() const;
   Result<DomainSpec> domain_spec(DomainId domain) const;
+
+  // --- Tracing (lateral::trace) -------------------------------------------
+  /// Attach a tracer: every crossing on this substrate reads the calling
+  /// thread's TraceContext (trace::current_context()) and, when sampled,
+  /// stamps span events into the acting domains' flight recorders. The
+  /// tracer outlives domains — a corpse's ring stays readable after
+  /// kill_domain until the supervisor scrubs it. Pass nullptr to detach.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  trace::Tracer* tracer() const { return tracer_; }
+  /// Opt `domain` into span payload capture (manifest `trace` stanza with
+  /// `payload`). Off by default: redaction-by-default means spans carry only
+  /// sizes, opcodes and cycle stamps unless the component consented.
+  Status set_trace_capture(DomainId domain, bool capture);
+  bool trace_capture(DomainId domain) const;
+  /// Marginal cycle cost a traced crossing is charged: the 16-byte
+  /// TraceContext at this substrate's own per-byte rate, plus the recorder
+  /// stamp. Charged once per crossing, on the request direction only (the
+  /// reply carries no context — correlation is by span id) — batched
+  /// requests share it, so tracing amortizes exactly like the crossing.
+  Cycles trace_crossing_cost() const;
+  /// True when a tracer is attached and enabled (the disabled path must be
+  /// a couple of loads — bench_fig12's near-zero column).
+  bool tracing_active() const { return tracer_ && tracer_->enabled(); }
+  /// Stamp one span event into `domain`'s flight recorder (no-op without an
+  /// enabled tracer). Payload capture obeys the domain's trace_capture
+  /// consent; `data` supplies the opcode (first 4 bytes) either way. Public
+  /// because the layers above the crossing stamp their own lifecycle points
+  /// into the same rings: BatchChannel (submit/flush), the supervisor
+  /// (detected/relaunch/attested/recovered).
+  void stamp_span(DomainId domain, const trace::TraceContext& ctx,
+                  std::uint32_t span_id, trace::SpanPhase phase,
+                  BytesView data, std::uint64_t size);
 
   // --- Fault injection (experiment hook) ---------------------------------
   /// Consulted at every synchronous delivery (call / call_batch) with the
@@ -254,6 +287,9 @@ class IsolationSubstrate {
     /// Corpse flag: killed, memory released, awaiting reap. Every operation
     /// naming a dead domain returns Errc::domain_dead.
     bool dead = false;
+    /// Manifest-granted consent to span payload capture (redaction is the
+    /// default; see set_trace_capture).
+    bool trace_capture = false;
     /// Backend-specific memory handle (frame base, enclave tag, ...).
     std::uint64_t backend_cookie = 0;
   };
@@ -342,6 +378,7 @@ class IsolationSubstrate {
   std::uint64_t next_badge_ = 0x1000;
   std::uint64_t seal_nonce_ = 1;
   FaultHook fault_hook_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace lateral::substrate

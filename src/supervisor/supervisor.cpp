@@ -15,8 +15,8 @@ Bytes relaunch_context(const std::string& name) {
 Supervisor::Supervisor(core::Assembly& assembly, SupervisorConfig config)
     : assembly_(assembly),
       config_(std::move(config)),
-      stats_(config_.hub ? &config_.hub->recovery(config_.label)
-                         : &own_stats_) {
+      stats_(config_.hub ? config_.hub->recovery(config_.label)
+                         : runtime::MetricsHub::RecoveryRef(&own_stats_)) {
   if (config_.confirm_probes == 0) config_.confirm_probes = 1;
 }
 
@@ -128,6 +128,25 @@ Supervisor::Probe Supervisor::probe(Watch& watch) {
 
 void Supervisor::confirm_death(Watch& watch, Cycles now, TickReport& report) {
   ++stats_->kills_detected;
+  // The corpse's flight recorder outlived the domain (the Tracer, not the
+  // domain, owns the ring): stamp the detection, snapshot the final span
+  // events into a recovery report, then scrub — the timeline belongs to
+  // this incident, not to the reincarnation that will reuse the ring.
+  if (trace::Tracer* tracer = watch.substrate->tracer()) {
+    if (auto component = assembly_.component(watch.ref)) {
+      const substrate::DomainId corpse = (*component)->domain;
+      watch.substrate->stamp_span(corpse, trace::current_context(),
+                                  tracer->next_span(),
+                                  trace::SpanPhase::detected, {}, 0);
+      RecoveryReport post_mortem;
+      post_mortem.name = watch.name;
+      post_mortem.detected_at = watch.detected_at;
+      post_mortem.flight_recorder = tracer->snapshot(watch.substrate, corpse);
+      tracer->scrub(watch.substrate, corpse);
+      watch.open_report = reports_.size();
+      reports_.push_back(std::move(post_mortem));
+    }
+  }
   // A death with no budget left escalates right here: backing off before a
   // relaunch that will never happen only delays the operator signal.
   if (watch.restarts_used >= watch.policy.max_restarts) {
@@ -214,6 +233,27 @@ void Supervisor::attempt_restart(Watch& watch, TickReport& report) {
   auto component = assembly_.component(watch.ref);
   const std::uint32_t incarnation =
       component ? (*component)->incarnation : watch.restarts_used;
+
+  // The reincarnation's ring opens with the recovery milestones, and the
+  // incident's report closes with the MTTR endpoint.
+  if (trace::Tracer* tracer = watch.substrate->tracer();
+      tracer && component) {
+    const substrate::DomainId domain = (*component)->domain;
+    const trace::TraceContext& ctx = trace::current_context();
+    watch.substrate->stamp_span(domain, ctx, tracer->next_span(),
+                                trace::SpanPhase::relaunch, {}, 0);
+    if (config_.verifier)
+      watch.substrate->stamp_span(domain, ctx, tracer->next_span(),
+                                  trace::SpanPhase::attested, {}, 0);
+    watch.substrate->stamp_span(domain, ctx, tracer->next_span(),
+                                trace::SpanPhase::recovered, {}, 0);
+  }
+  if (watch.open_report != Watch::kNoReport) {
+    reports_[watch.open_report].recovered_at = now;
+    reports_[watch.open_report].incarnation = incarnation;
+    watch.open_report = Watch::kNoReport;
+  }
+
   for (const RestartHook& hook : hooks_) hook(watch.name, incarnation);
 }
 

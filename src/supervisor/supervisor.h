@@ -43,6 +43,7 @@
 #include "core/composer.h"
 #include "runtime/metrics.h"
 #include "substrate/substrate.h"
+#include "trace/trace.h"
 #include "util/result.h"
 
 namespace lateral::supervisor {
@@ -66,6 +67,21 @@ constexpr std::string_view health_name(Health h) {
   }
   return "unknown";
 }
+
+/// Post-mortem of one supervised crash incident. The flight-recorder
+/// snapshot is the corpse's final span events — captured between the
+/// supervisor confirming the death and scrubbing the ring — so an MTTR
+/// number always comes with the timeline that led to it (what the domain
+/// was doing when it died, the kill itself, and the detection).
+struct RecoveryReport {
+  std::string name;
+  /// Incarnation that recovered the component; 0 while the incident is
+  /// still open (or escalated without recovery).
+  std::uint32_t incarnation = 0;
+  Cycles detected_at = 0;
+  Cycles recovered_at = 0;  // 0 until the relaunch is declared running
+  std::vector<trace::SpanEvent> flight_recorder;
+};
 
 struct SupervisorConfig {
   /// Consecutive dead probes required before a suspect component is
@@ -128,7 +144,12 @@ class Supervisor {
       std::function<void(const std::string& name, std::uint32_t incarnation)>;
   void on_restart(RestartHook hook) { hooks_.push_back(std::move(hook)); }
 
-  const runtime::RecoveryStats& stats() const { return *stats_; }
+  runtime::RecoveryStats stats() const { return stats_.snapshot(); }
+
+  /// Every crash incident this supervisor confirmed, in detection order.
+  /// Reports open at confirmation (with the corpse's flight-recorder
+  /// snapshot) and close at recovery; an escalated incident stays open.
+  const std::vector<RecoveryReport>& reports() const { return reports_; }
 
  private:
   struct Watch {
@@ -145,6 +166,9 @@ class Supervisor {
     std::uint32_t restarts_used = 0;
     Cycles detected_at = 0;      // first dead probe of the current incident
     Cycles next_attempt_at = 0;  // backoff gate for the next relaunch
+    static constexpr std::size_t kNoReport = ~std::size_t{0};
+    /// Index into reports_ of the current incident's open report.
+    std::size_t open_report = kNoReport;
   };
 
   /// Probe outcome, mapped from the heartbeat receive().
@@ -165,8 +189,9 @@ class Supervisor {
   /// One probe domain per substrate hosting a supervised component.
   std::map<substrate::IsolationSubstrate*, substrate::DomainId> probes_;
   std::vector<RestartHook> hooks_;
-  runtime::RecoveryStats own_stats_;
-  runtime::RecoveryStats* stats_;
+  std::vector<RecoveryReport> reports_;
+  runtime::MetricsHub::RecoverySlot own_stats_;
+  runtime::MetricsHub::RecoveryRef stats_;
   bool halted_ = false;
 };
 

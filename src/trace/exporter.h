@@ -1,0 +1,69 @@
+// Trace/metrics exporter — the reporting face of lateral::trace.
+//
+// Two output formats from the same sources (a Tracer's flight-recorder
+// rings plus a MetricsHub's counter blocks):
+//
+//   - chrome_trace_json(): the Chrome trace_event JSON format
+//     (chrome://tracing / Perfetto "JSON (legacy)"). Every ring becomes a
+//     named thread; every SpanEvent becomes an instant event with the
+//     simulated cycle stamp as its timestamp, so the batching amortization
+//     is visible per request on a timeline. MetricsHub counters ride in
+//     "otherData".
+//   - text_snapshot(): a plain-text dump for logs and tests.
+//
+// Redaction is enforced HERE, at the export boundary, because this is where
+// trace data leaves the process: spans carry sizes/opcodes/cycles for
+// everyone, but captured payload bytes are emitted only when the export's
+// observer is authorized — by the component's manifest `trace { observer }`
+// list or by the component's own trust edges (core::check_trace_export).
+// An export that would leak a payload-bearing ring to an unauthorized
+// observer fails whole with Errc::redaction_denied: a partial leak is not a
+// degraded export, it is a policy violation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/manifest.h"
+#include "runtime/metrics.h"
+#include "trace/trace.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::trace {
+
+struct ExportOptions {
+  /// Component receiving the export. Empty = anonymous observer: the export
+  /// always succeeds but every captured payload byte is dropped (redaction
+  /// by default). Non-empty = the named component: payload bytes of a ring
+  /// appear iff core::check_trace_export(manifests, ring_label, observer)
+  /// allows it; a denial fails the whole export with redaction_denied.
+  std::string observer;
+  /// The assembly's manifests — the policy input for the check above.
+  std::vector<core::Manifest> manifests;
+};
+
+class TraceExporter {
+ public:
+  /// `hub` may be null (trace-only export).
+  explicit TraceExporter(const Tracer& tracer,
+                         const runtime::MetricsHub* hub = nullptr)
+      : tracer_(tracer), hub_(hub) {}
+
+  /// Serialize every ring (and the hub's counters) to Chrome trace_event
+  /// JSON. Timestamps are simulated cycles presented as microseconds —
+  /// honest relative spacing, arbitrary absolute unit.
+  /// Errc::redaction_denied when `opts.observer` is not authorized for some
+  /// payload-bearing ring (see ExportOptions).
+  Result<std::string> chrome_trace_json(const ExportOptions& opts = {}) const;
+
+  /// Plain-text dump: per-ring event timelines plus per-label counters.
+  /// Always fully redacted (no payload bytes) — safe for logs.
+  std::string text_snapshot() const;
+
+ private:
+  const Tracer& tracer_;
+  const runtime::MetricsHub* hub_;
+};
+
+}  // namespace lateral::trace

@@ -36,6 +36,8 @@ enum class Errc {
   domain_dead,          // operation names a crashed (killed, not destroyed) domain
   stale_epoch,          // endpoint minted before the channel's last restart
   no_region_support,    // substrate cannot realize shared grant regions
+  redaction_denied,     // trace export would leak payload spans to an
+                        // observer the trust graph does not authorize
 };
 
 /// Human-readable name for an error code.
@@ -61,6 +63,7 @@ constexpr std::string_view errc_name(Errc e) {
     case Errc::domain_dead: return "domain_dead";
     case Errc::stale_epoch: return "stale_epoch";
     case Errc::no_region_support: return "no_region_support";
+    case Errc::redaction_denied: return "redaction_denied";
   }
   return "unknown";
 }

@@ -185,6 +185,56 @@ TEST(ManifestParser, RejectsMalformedRegionStanza) {
       parse_manifests("component x {\n region y 64 ro extra\n}\n").ok());
 }
 
+TEST(ManifestParser, ParsesTraceStanza) {
+  auto manifests = parse_manifests(
+      "component imap {\n"
+      "  trace {\n"
+      "    payload\n"
+      "    observer ui\n"
+      "    observer audit\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_TRUE((*manifests)[0].trace.has_value());
+  EXPECT_TRUE((*manifests)[0].trace->capture_payload);
+  EXPECT_EQ((*manifests)[0].trace->observers,
+            (std::vector<std::string>{"ui", "audit"}));
+}
+
+TEST(ManifestParser, EmptyTraceStanzaMeansRedactedDefaults) {
+  auto manifests = parse_manifests("component x {\n  trace {\n  }\n}\n");
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_TRUE((*manifests)[0].trace.has_value());
+  EXPECT_EQ(*(*manifests)[0].trace, TracePolicy{});
+  // Absence means no stanza at all — spans stay fully redacted either way,
+  // but only the stanza can later grant observers.
+  auto plain = parse_manifests("component y {\n}\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE((*plain)[0].trace.has_value());
+}
+
+TEST(ManifestParser, TraceStanzaRoundTrips) {
+  auto original = parse_manifests(
+      "component x {\n  trace {\n    payload\n    observer ui\n  }\n}\n");
+  ASSERT_TRUE(original.ok());
+  auto reparsed = parse_manifests(to_text(*original));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)[0].trace, (*original)[0].trace);
+}
+
+TEST(ManifestParser, RejectsMalformedTraceStanza) {
+  EXPECT_FALSE(parse_manifests("component x {\n trace {\n").ok());
+  EXPECT_FALSE(parse_manifests("component x {\n trace\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n trace {\n bogus\n}\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n trace {\n payload extra\n}\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n trace {\n observer\n}\n}\n").ok());
+  EXPECT_FALSE(parse_manifests("component x {\n trace {\n}\n trace {\n}\n}\n")
+                   .ok());  // one stanza per component
+}
+
 TEST(ManifestValidate, AcceptsGoodBundle) {
   auto manifests = parse_manifests(kEmailManifest);
   ASSERT_TRUE(manifests.ok());
@@ -399,6 +449,49 @@ class ComposerTest : public ::testing::Test {
   std::unique_ptr<microkernel::Microkernel> mk_;
   std::unique_ptr<SystemComposer> composer_;
 };
+
+TEST(ManifestValidate, FlagsUnknownTraceObserver) {
+  std::vector<Manifest> bundle(2);
+  bundle[0].name = "a";
+  bundle[0].trace.emplace();
+  bundle[0].trace->observers = {"b", "ghost"};
+  bundle[1].name = "b";
+  const auto problems = validate(bundle);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("ghost"), std::string::npos);
+}
+
+TEST(TraceExportPolicy, GrantsAndDeniesByManifestConsent) {
+  auto parsed = parse_manifests(
+      "component imap {\n"
+      "  channel ui\n"
+      "  channel tls\n"
+      "  trusts tls\n"
+      "  trace {\n"
+      "    payload\n"
+      "    observer ui\n"
+      "  }\n"
+      "}\n"
+      "component ui {\n  channel imap\n}\n"
+      "component tls {\n  channel imap\n}\n"
+      "component render {\n}\n");
+  ASSERT_TRUE(parsed.ok());
+  const auto& manifests = *parsed;
+  // A component may always see its own spans.
+  EXPECT_TRUE(check_trace_export(manifests, "imap", "imap").ok());
+  // Observers named by the trace stanza are authorized.
+  EXPECT_TRUE(check_trace_export(manifests, "imap", "ui").ok());
+  // A declared trust edge also authorizes — the boundary was already open.
+  EXPECT_TRUE(check_trace_export(manifests, "imap", "tls").ok());
+  // Anyone else is refused outright.
+  EXPECT_EQ(check_trace_export(manifests, "imap", "render").error(),
+            Errc::redaction_denied);
+  // Unknown component or observer names are caller errors, not denials.
+  EXPECT_EQ(check_trace_export(manifests, "ghost", "ui").error(),
+            Errc::invalid_argument);
+  EXPECT_EQ(check_trace_export(manifests, "imap", "ghost").error(),
+            Errc::invalid_argument);
+}
 
 TEST(ManifestValidate, FlagsRegionProblems) {
   std::vector<Manifest> bundle(2);

@@ -4,9 +4,13 @@
 // MailClient with its containment story.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "mail/client.h"
 #include "microkernel/microkernel.h"
 #include "test_support.h"
+#include "trace/exporter.h"
+#include "trace/trace.h"
 #include "util/rng.h"
 
 namespace lateral::mail {
@@ -372,6 +376,78 @@ TEST_F(MailClientTest, SyncIsIncremental) {
       server_->deliver("INBOX", make_message("x@y", "a@b", "2", ".")).ok());
   EXPECT_EQ(*client_->sync_inbox(), 2u);
   EXPECT_EQ(*client_->sync_inbox(), 2u);  // idempotent
+}
+
+TEST_F(MailClientTest, TracedSyncExportsSpansFromThreeDomains) {
+  trace::Tracer tracer;
+  kernel_->set_tracer(&tracer);
+  ASSERT_TRUE(client_->login("alice", "token123").ok());
+  ASSERT_TRUE(
+      server_->deliver("INBOX", make_message("x@y", "a@b", "hello", "body"))
+          .ok());
+  {
+    trace::TraceScope scope(tracer.begin_trace());
+    ASSERT_TRUE(client_->sync_inbox().ok());
+  }
+
+  // The one traced sync touched at least three isolated domains.
+  std::set<std::string> active;
+  for (const auto& ref : tracer.rings())
+    if (!ref.ring->snapshot().empty()) active.insert(ref.label);
+  EXPECT_GE(active.size(), 3u) << "domains seen: " << active.size();
+  EXPECT_TRUE(active.count("imap"));
+
+  // The ui component is an authorized observer of imap's payload-bearing
+  // spans (the manifest's trace stanza says so), so the export succeeds
+  // and carries payload bytes.
+  trace::TraceExporter exporter(tracer, &client_->runtime_metrics());
+  trace::ExportOptions opts;
+  opts.observer = "ui";
+  opts.manifests = client_->assembly().manifests();
+  auto json = exporter.chrome_trace_json(opts);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json->find("\"imap\""), std::string::npos);
+  EXPECT_NE(json->find("\"payload\""), std::string::npos);
+
+  // The plain-text snapshot never carries payload bytes, observer or not.
+  const std::string text = client_->assembly().dump_observability(
+      &tracer, &client_->runtime_metrics());
+  EXPECT_NE(text.find("imap"), std::string::npos);
+  EXPECT_NE(text.find("redacted"), std::string::npos);
+
+  kernel_->set_tracer(nullptr);
+}
+
+TEST_F(MailClientTest, UnauthorizedObserverCannotExportImapPayloads) {
+  trace::Tracer tracer;
+  kernel_->set_tracer(&tracer);
+  ASSERT_TRUE(client_->login("alice", "token123").ok());
+  ASSERT_TRUE(
+      server_->deliver("INBOX", make_message("x@y", "a@b", "secret", "pin"))
+          .ok());
+  {
+    trace::TraceScope scope(tracer.begin_trace());
+    ASSERT_TRUE(client_->sync_inbox().ok());
+  }
+
+  // render is a declared component but neither a trace observer of imap
+  // nor trusted by it — exporting imap's payload-bearing spans to it is
+  // refused outright rather than silently redacted.
+  trace::TraceExporter exporter(tracer, &client_->runtime_metrics());
+  trace::ExportOptions opts;
+  opts.observer = "render";
+  opts.manifests = client_->assembly().manifests();
+  auto json = exporter.chrome_trace_json(opts);
+  ASSERT_FALSE(json.ok());
+  EXPECT_EQ(json.error(), Errc::redaction_denied);
+
+  // An anonymous export (no observer) redacts everything and succeeds.
+  auto anon = exporter.chrome_trace_json({});
+  ASSERT_TRUE(anon.ok());
+  EXPECT_EQ(anon->find("\"payload\":\""), std::string::npos);
+
+  kernel_->set_tracer(nullptr);
 }
 
 TEST_F(MailClientTest, SearchLocalMail) {

@@ -284,6 +284,82 @@ TEST_F(BatchChannelTest, AmortizationBeatsPerCallCosts) {
   EXPECT_EQ(m.batch_size_histogram[4], 1u);  // 16 lands in bucket 2^4
 }
 
+TEST_F(BatchChannelTest, LatencyAccountedPerInvocationWithoutTracing) {
+  // Latency is part of the base metrics contract — no tracer attached.
+  BatchChannel batch(*substrate_, client_, channel_);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(batch.submit(to_bytes("m")).ok());
+  ASSERT_TRUE(batch.flush().ok());
+  const InvocationCounters& m = batch.metrics();
+  EXPECT_EQ(m.latency_count, 4u);
+  EXPECT_GT(m.latency_total_cycles, 0u);
+  EXPECT_GT(m.mean_latency_cycles(), 0u);
+  // Percentile estimates are bucket upper bounds: monotone in p, and p99
+  // bounds the worst submit->complete span from above.
+  EXPECT_LE(m.latency_percentile(0.5), m.latency_percentile(0.99));
+  EXPECT_GE(m.latency_percentile(0.99), m.latency_total_cycles / 4);
+}
+
+TEST(InvocationCountersTest, LatencyHistogramAndPercentiles) {
+  InvocationCounters c;
+  // Buckets: [2^i, 2^(i+1)). 1 -> bucket 0, 3 -> bucket 1, 1000 -> bucket 9.
+  c.record_latency(1);
+  c.record_latency(3);
+  c.record_latency(3);
+  c.record_latency(1000);
+  EXPECT_EQ(c.latency_count, 4u);
+  EXPECT_EQ(c.latency_histogram[0], 1u);
+  EXPECT_EQ(c.latency_histogram[1], 2u);
+  EXPECT_EQ(c.latency_histogram[9], 1u);
+  EXPECT_EQ(c.mean_latency_cycles(), (1u + 3 + 3 + 1000) / 4);
+  EXPECT_EQ(c.latency_percentile(0.0), 1u);    // bucket 0 upper bound: 2^1-1
+  EXPECT_EQ(c.latency_percentile(0.5), 3u);    // bucket 1 upper bound: 2^2-1
+  EXPECT_EQ(c.latency_percentile(1.0), 1023u); // bucket 9 upper bound: 2^10-1
+  EXPECT_EQ(InvocationCounters{}.latency_percentile(0.99), 0u);
+}
+
+TEST(MetricsHubTest, ConcurrentLabelRegistrationIsSafe) {
+  // The TSan regression for the hub's locking: many threads register
+  // distinct labels (mutating the map) and hammer one *shared* label's
+  // fields through the locking Ref, while a reader snapshots via all().
+  // Pre-fix this raced on std::map rebalancing and on the field copies.
+  MetricsHub hub;
+  constexpr int kThreads = 8;
+  constexpr int kLabels = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hub, t] {
+      MetricsHub::CounterRef shared = hub.counters("shared");
+      for (int i = 0; i < kLabels; ++i) {
+        MetricsHub::CounterRef c =
+            hub.counters("worker-" + std::to_string(t) + "-" +
+                         std::to_string(i));
+        ++c->submitted;  // slot-locked for the statement
+        ++c->completed;
+        ++shared->submitted;  // contended across all workers
+        hub.recovery("rec-" + std::to_string(t))->kills_detected = 1;
+      }
+    });
+  }
+  std::thread reader([&hub] {
+    for (int i = 0; i < 100; ++i) {
+      const auto snapshot = hub.all();  // copies each slot under its lock
+      for (const auto& [label, c] : snapshot)
+        if (label != "shared") EXPECT_LE(c.completed, 1u);
+      (void)hub.all_recovery();
+    }
+  });
+  for (std::thread& worker : workers) worker.join();
+  reader.join();
+  EXPECT_EQ(hub.all().size(), kThreads * kLabels + 1u);
+  EXPECT_EQ(hub.all_recovery().size(), kThreads);
+  // Refs handed out earlier stay stable (std::map node stability), and the
+  // contended label lost no increments.
+  EXPECT_EQ(hub.counters("worker-0-0")->submitted, 1u);
+  EXPECT_EQ(hub.counters("shared").snapshot().submitted,
+            static_cast<std::uint64_t>(kThreads) * kLabels);
+}
+
 // ---------------------------------------------------------------------------
 // Executor
 

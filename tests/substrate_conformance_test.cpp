@@ -14,6 +14,7 @@
 #include "crypto/rsa.h"
 #include "substrate/substrate.h"
 #include "test_support.h"
+#include "trace/trace.h"
 
 namespace lateral::substrate {
 namespace {
@@ -1021,6 +1022,186 @@ TEST_P(ConformanceTest, BatchSgVetoesBadDescriptorWithoutSinkingBatch) {
   ASSERT_EQ(reply->replies.size(), 2u);
   EXPECT_TRUE(reply->replies[0].ok());
   EXPECT_EQ(reply->replies[1].error(), Errc::stale_epoch);
+}
+
+// --- lateral::trace conformance: one tracing contract on every substrate ---
+
+TEST_P(ConformanceTest, TraceContextArrivesIntactOnCall) {
+  trace::Tracer tracer;
+  substrate_->set_tracer(&tracer);
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  trace::TraceContext seen;
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b,
+                                [&](const Invocation& inv) -> Result<Bytes> {
+                                  seen = inv.trace;
+                                  return Bytes{};
+                                })
+                  .ok());
+  const trace::TraceContext ctx = tracer.begin_trace();
+  trace::TraceScope scope(ctx);
+  ASSERT_TRUE(substrate_->call(a, *channel, to_bytes("ping")).ok());
+  EXPECT_EQ(seen.trace_id, ctx.trace_id);
+  EXPECT_TRUE(seen.sampled());
+  EXPECT_NE(seen.parent_span, 0u);  // the substrate minted a dispatch span
+
+  // ...and the callee's flight recorder holds dispatch + complete, fenced
+  // around the handler in ticket order.
+  const auto events = tracer.snapshot(substrate_.get(), b);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].phase, trace::SpanPhase::dispatch);
+  EXPECT_EQ(events[1].phase, trace::SpanPhase::complete);
+  EXPECT_EQ(events[0].trace_id, ctx.trace_id);
+  EXPECT_EQ(events[0].span_id, seen.parent_span);
+  EXPECT_EQ(events[0].size, 4u);
+  substrate_->set_tracer(nullptr);
+}
+
+TEST_P(ConformanceTest, TraceContextArrivesPerRequestOnCallBatch) {
+  trace::Tracer tracer;
+  substrate_->set_tracer(&tracer);
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  std::vector<trace::TraceContext> seen;
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b,
+                                [&](const Invocation& inv) -> Result<Bytes> {
+                                  seen.push_back(inv.trace);
+                                  return Bytes{};
+                                })
+                  .ok());
+  const trace::TraceContext ctx = tracer.begin_trace();
+  trace::TraceScope scope(ctx);
+  const std::vector<Bytes> requests{to_bytes("a"), to_bytes("b"),
+                                    to_bytes("c")};
+  ASSERT_TRUE(substrate_->call_batch(a, *channel, requests).ok());
+  ASSERT_EQ(seen.size(), 3u);
+  std::uint32_t last_span = 0;
+  for (const trace::TraceContext& got : seen) {
+    EXPECT_EQ(got.trace_id, ctx.trace_id);
+    EXPECT_TRUE(got.sampled());
+    EXPECT_NE(got.parent_span, last_span);  // one span per delivered request
+    last_span = got.parent_span;
+  }
+  EXPECT_EQ(tracer.snapshot(substrate_.get(), b).size(), 6u);
+  substrate_->set_tracer(nullptr);
+}
+
+TEST_P(ConformanceTest, TraceContextArrivesOnCallSgAndAfterRebind) {
+  trace::Tracer tracer;
+  substrate_->set_tracer(&tracer);
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  trace::TraceContext seen;
+  const auto handler = [&](const Invocation& inv) -> Result<Bytes> {
+    seen = inv.trace;
+    return Bytes{};
+  };
+  const trace::TraceContext ctx = tracer.begin_trace();
+  trace::TraceScope scope(ctx);
+
+  if (substrate_->supports_regions()) {
+    ASSERT_TRUE(substrate_->set_handler(b, handler).ok());
+    auto region = substrate_->create_region(a, b, 4096);
+    ASSERT_TRUE(region.ok());
+    ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+    ASSERT_TRUE(substrate_->map_region(b, *region).ok());
+    auto desc = substrate_->make_descriptor(a, *region, 0, 64);
+    ASSERT_TRUE(desc.ok());
+    const std::array<RegionDescriptor, 1> segments{*desc};
+    ASSERT_TRUE(substrate_->call_sg(a, *channel, to_bytes("h"), segments).ok());
+    EXPECT_EQ(seen.trace_id, ctx.trace_id);
+    // The dispatch span's size is header + descriptor-named payload bytes.
+    const auto events = tracer.snapshot(substrate_.get(), b);
+    ASSERT_GE(events.size(), 2u);
+    EXPECT_EQ(events[0].size, 1u + 64u);
+  }
+
+  // The context keeps arriving after a supervised-restart-style rebind:
+  // the channel id survives, the epoch bumps, the successor sees the trace.
+  ASSERT_TRUE(substrate_->kill_domain(b).ok());
+  const bool use_legacy =
+      has_feature(substrate_->info().features, Feature::legacy_hosting);
+  auto b2 = substrate_->create_domain(use_legacy ? legacy_spec("beta2")
+                                                 : tc_spec("beta2"));
+  ASSERT_TRUE(b2.ok());
+  ASSERT_TRUE(substrate_->rebind_channel(*channel, b, *b2).ok());
+  seen = {};
+  ASSERT_TRUE(substrate_->set_handler(*b2, handler).ok());
+  ASSERT_TRUE(substrate_->call(a, *channel, to_bytes("again")).ok());
+  EXPECT_EQ(seen.trace_id, ctx.trace_id);
+  EXPECT_TRUE(seen.sampled());
+  EXPECT_FALSE(tracer.snapshot(substrate_.get(), *b2).empty());
+  substrate_->set_tracer(nullptr);
+}
+
+TEST_P(ConformanceTest, DisabledTracerAddsZeroCycles) {
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation&) -> Result<Bytes> {
+                    return Bytes{};
+                  })
+                  .ok());
+  const auto cost_of_call = [&] {
+    const Cycles before = machine_->now();
+    EXPECT_TRUE(substrate_->call(a, *channel, to_bytes("x")).ok());
+    return machine_->now() - before;
+  };
+  cost_of_call();  // warm up one-time charges (TPM late-launch switch)
+  const Cycles bare = cost_of_call();
+
+  trace::Tracer tracer;
+  tracer.set_enabled(false);
+  substrate_->set_tracer(&tracer);
+  const trace::TraceContext ctx = tracer.begin_trace();
+  trace::TraceScope scope(ctx);
+  // Tracer attached but disabled: the crossing costs exactly what an
+  // untraced one does, and no span is recorded.
+  EXPECT_EQ(cost_of_call(), bare);
+  EXPECT_TRUE(tracer.snapshot(substrate_.get(), b).empty());
+
+  tracer.set_enabled(true);
+  const Cycles traced = cost_of_call();
+  // The charge lands once, on the request direction (the reply carries no
+  // context — correlation is by span id).
+  EXPECT_EQ(traced, bare + substrate_->trace_crossing_cost());
+  substrate_->set_tracer(nullptr);
+}
+
+TEST_P(ConformanceTest, FlightRecorderSurvivesKillDomain) {
+  trace::Tracer tracer;
+  substrate_->set_tracer(&tracer);
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation&) -> Result<Bytes> {
+                    return to_bytes("ok");
+                  })
+                  .ok());
+  const trace::TraceContext ctx = tracer.begin_trace();
+  {
+    trace::TraceScope scope(ctx);
+    ASSERT_TRUE(substrate_->call(a, *channel, to_bytes("work")).ok());
+  }
+  ASSERT_TRUE(substrate_->kill_domain(b).ok());
+
+  // The domain is a corpse; its ring is not. The timeline ends with the
+  // kill itself — exactly what a supervisor snapshots into its report.
+  const auto events = tracer.snapshot(substrate_.get(), b);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].phase, trace::SpanPhase::dispatch);
+  EXPECT_EQ(events[1].phase, trace::SpanPhase::complete);
+  EXPECT_EQ(events[2].phase, trace::SpanPhase::killed);
+  tracer.scrub(substrate_.get(), b);
+  EXPECT_TRUE(tracer.snapshot(substrate_.get(), b).empty());
+  substrate_->set_tracer(nullptr);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSubstrates, ConformanceTest,

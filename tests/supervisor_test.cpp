@@ -7,10 +7,13 @@
 // addressed to the dead incarnation is silently delivered to the new one.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/composer.h"
 #include "microkernel/microkernel.h"
 #include "supervisor/supervisor.h"
 #include "test_support.h"
+#include "trace/trace.h"
 
 namespace lateral::supervisor {
 namespace {
@@ -254,8 +257,55 @@ TEST_F(SupervisorTest, MetricsFlowIntoSharedHub) {
   ASSERT_TRUE(assembly_->kill_component("worker").ok());
   sup.tick();
   tick_until_running(sup, "worker");
-  EXPECT_EQ(hub.recovery("sup.test").restarts, 1u);
+  EXPECT_EQ(hub.recovery("sup.test")->restarts, 1u);
   EXPECT_EQ(hub.all_recovery().size(), 1u);
+}
+
+TEST_F(SupervisorTest, RecoveryReportCarriesCorpseFlightRecorder) {
+  trace::Tracer tracer;
+  mk_->set_tracer(&tracer);
+  Supervisor sup(*assembly_);
+  ASSERT_TRUE(sup.watch_all().ok());
+
+  // Traced work first, so the worker's ring holds a timeline when it dies.
+  {
+    trace::TraceScope scope(tracer.begin_trace());
+    ASSERT_TRUE(
+        assembly_->invoke("front", "worker", to_bytes("FETCH 1")).ok());
+  }
+  ASSERT_TRUE(assembly_->kill_component("worker").ok());
+  sup.tick();  // detect the death
+  tick_until_running(sup, "worker");
+  ASSERT_EQ(*sup.health("worker"), Health::running);
+
+  // The incident produced exactly one report, closed by the recovery, and
+  // it carries the corpse's final cycles: the work it served, the kill, and
+  // the supervisor's own detection.
+  ASSERT_EQ(sup.reports().size(), 1u);
+  const RecoveryReport& report = sup.reports()[0];
+  EXPECT_EQ(report.name, "worker");
+  EXPECT_EQ(report.incarnation, 1u);
+  EXPECT_GE(report.recovered_at, report.detected_at);
+  const auto has_phase = [&](trace::SpanPhase phase) {
+    return std::any_of(report.flight_recorder.begin(),
+                       report.flight_recorder.end(),
+                       [&](const trace::SpanEvent& e) {
+                         return e.phase == phase;
+                       });
+  };
+  EXPECT_TRUE(has_phase(trace::SpanPhase::dispatch));
+  EXPECT_TRUE(has_phase(trace::SpanPhase::complete));
+  EXPECT_TRUE(has_phase(trace::SpanPhase::killed));
+  EXPECT_TRUE(has_phase(trace::SpanPhase::detected));
+
+  // The corpse's ring was scrubbed after the snapshot; the reincarnation's
+  // ring opens with the recovery milestones (relaunch ... recovered).
+  const auto fresh =
+      tracer.snapshot(mk_.get(), (*assembly_->component("worker"))->domain);
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_EQ(fresh.front().phase, trace::SpanPhase::relaunch);
+  EXPECT_EQ(fresh.back().phase, trace::SpanPhase::recovered);
+  mk_->set_tracer(nullptr);
 }
 
 }  // namespace
