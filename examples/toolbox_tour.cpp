@@ -98,9 +98,10 @@ int main() {
   (void)network.register_endpoint("meter");
   (void)network.register_endpoint("aggregator");
   auto link = net::establish_link(
-      network, "meter", "aggregator", std::nullopt,
-      net::VerifierConfig{&device_verifier, "anonymizer"},
-      net::ProverConfig{sgx.get(), anonymizer_domain}, std::nullopt);
+      network, "meter", "aggregator",
+      {.initiator_verifier = net::VerifierConfig{&device_verifier,
+                                                 "anonymizer"},
+       .responder_prover = net::ProverConfig{sgx.get(), anonymizer_domain}});
   if (!link) {
     std::printf("federated link failed\n");
     return 1;

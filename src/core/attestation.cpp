@@ -18,8 +18,17 @@ void AttestationVerifier::expect_measurement(const std::string& logical_name,
   expectations_[logical_name] = measurement;
 }
 
+std::optional<crypto::Digest> AttestationVerifier::expectation(
+    const std::string& logical_name) const {
+  const auto it = expectations_.find(logical_name);
+  if (it == expectations_.end()) return std::nullopt;
+  return it->second;
+}
+
 Bytes AttestationVerifier::make_challenge() {
   Bytes nonce = drbg_.generate(32);
+  if (outstanding_nonces_.size() >= kMaxOutstanding)
+    outstanding_nonces_.erase(outstanding_nonces_.begin());
   outstanding_nonces_.push_back(nonce);
   return nonce;
 }
@@ -28,28 +37,37 @@ Bytes bound_user_data(BytesView nonce, BytesView context) {
   return crypto::digest_bytes(crypto::Sha256::hash2(nonce, context));
 }
 
+bool AttestationVerifier::challenge_outstanding(BytesView nonce) const {
+  return std::find_if(outstanding_nonces_.begin(), outstanding_nonces_.end(),
+                      [&](const Bytes& n) { return ct_equal(n, nonce); }) !=
+         outstanding_nonces_.end();
+}
+
+void AttestationVerifier::consume_challenge(BytesView nonce) {
+  const auto it =
+      std::find_if(outstanding_nonces_.begin(), outstanding_nonces_.end(),
+                   [&](const Bytes& n) { return ct_equal(n, nonce); });
+  if (it != outstanding_nonces_.end()) outstanding_nonces_.erase(it);
+}
+
+Status AttestationVerifier::check_chain(const substrate::Quote& quote) const {
+  // Chain of custody: some trusted vendor endorsed the signing device.
+  for (const crypto::RsaPublicKey& root : roots_) {
+    if (quote.verify(root).ok()) return Status::success();
+  }
+  return Errc::verification_failed;
+}
+
 Status AttestationVerifier::verify(const std::string& logical_name,
                                    BytesView quote_wire, BytesView nonce,
                                    BytesView context) {
   // Freshness: the nonce must be one we issued and not yet consumed.
-  const auto nonce_it =
-      std::find_if(outstanding_nonces_.begin(), outstanding_nonces_.end(),
-                   [&](const Bytes& n) { return ct_equal(n, nonce); });
-  if (nonce_it == outstanding_nonces_.end())
-    return Errc::verification_failed;
+  if (!challenge_outstanding(nonce)) return Errc::verification_failed;
 
   auto quote = substrate::Quote::deserialize(quote_wire);
   if (!quote) return Errc::invalid_argument;
 
-  // Chain of custody: some trusted vendor endorsed the signing device.
-  bool chained = false;
-  for (const crypto::RsaPublicKey& root : roots_) {
-    if (quote->verify(root).ok()) {
-      chained = true;
-      break;
-    }
-  }
-  if (!chained) return Errc::verification_failed;
+  if (const Status s = check_chain(*quote); !s.ok()) return s;
 
   // Binding: the quote covers exactly this challenge and context.
   if (!ct_equal(quote->user_data, bound_user_data(nonce, context)))
@@ -62,7 +80,7 @@ Status AttestationVerifier::verify(const std::string& logical_name,
                 crypto::digest_view(expect_it->second)))
     return Errc::verification_failed;
 
-  outstanding_nonces_.erase(nonce_it);  // consume: no replay
+  consume_challenge(nonce);  // consume: no replay
   return Status::success();
 }
 

@@ -19,9 +19,15 @@
 namespace lateral::core {
 
 /// The challenger side: issues nonces and verifies quotes.
+///
+/// verify()/make_challenge() are virtual so policy layers can interpose
+/// without changing callers — fleet::CachedVerifier reuses the chain /
+/// binding / measurement checks but short-circuits repeat verifications of
+/// an already-trusted code identity.
 class AttestationVerifier {
  public:
   explicit AttestationVerifier(BytesView drbg_seed);
+  virtual ~AttestationVerifier() = default;
 
   /// Register a vendor root we accept quotes chained to.
   void add_trusted_root(const crypto::RsaPublicKey& root);
@@ -31,16 +37,36 @@ class AttestationVerifier {
   void expect_measurement(const std::string& logical_name,
                           const crypto::Digest& measurement);
 
-  /// Produce a fresh challenge nonce.
-  Bytes make_challenge();
+  /// The known-good measurement registered for `logical_name`, if any.
+  std::optional<crypto::Digest> expectation(
+      const std::string& logical_name) const;
+
+  /// Produce a fresh challenge nonce. At most kMaxOutstanding challenges
+  /// are tracked; beyond that the oldest unconsumed one is forgotten (its
+  /// response would then fail freshness — the prover restarts the
+  /// handshake). The bound keeps a fleet-scale verifier, whose cached-hit
+  /// connections never consume their nonces, from growing without limit.
+  virtual Bytes make_challenge();
 
   /// Verify a serialized quote against a previously issued challenge:
   ///  1. the quote chain verifies under one of the trusted roots,
   ///  2. quote.user_data == H(nonce || context) — fresh and bound,
   ///  3. the measurement matches the expectation for logical_name.
   /// The nonce is consumed: a second verification with it fails (replay).
-  Status verify(const std::string& logical_name, BytesView quote_wire,
-                BytesView nonce, BytesView context);
+  virtual Status verify(const std::string& logical_name, BytesView quote_wire,
+                        BytesView nonce, BytesView context);
+
+  static constexpr std::size_t kMaxOutstanding = 4096;
+
+ protected:
+  /// Is `nonce` an outstanding challenge we issued? (Does not consume.)
+  bool challenge_outstanding(BytesView nonce) const;
+  /// Consume an outstanding challenge so it can never verify again.
+  void consume_challenge(BytesView nonce);
+  /// The endorsement-chain part of verify(): the quote chains to one of the
+  /// trusted roots. This is the expensive step (RSA signature checks) that
+  /// fleet::CachedVerifier amortizes across a burst of identical meters.
+  Status check_chain(const substrate::Quote& quote) const;
 
  private:
   crypto::HmacDrbg drbg_;

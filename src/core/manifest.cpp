@@ -48,6 +48,7 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
   std::optional<Manifest> current;
   bool in_restart = false;  // inside a nested `restart { ... }` stanza
   bool in_trace = false;    // inside a nested `trace { ... }` stanza
+  bool in_fleet = false;    // inside a nested `fleet { ... }` stanza
 
   std::istringstream stream{std::string(text)};
   std::string line;
@@ -101,6 +102,37 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
         policy.observers.push_back(tokens[1]);
       } else {
         return Errc::invalid_argument;  // unknown trace directive
+      }
+      continue;
+    }
+
+    if (in_fleet) {
+      FleetPolicy& policy = *current->fleet;
+      const std::string& key = tokens[0];
+      if (key == "}") {
+        if (tokens.size() != 1) return Errc::invalid_argument;
+        in_fleet = false;
+      } else if (key == "ticket_ttl") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        const auto ttl = parse_u64(tokens[1]);
+        if (!ttl) return Errc::invalid_argument;
+        policy.ticket_ttl = *ttl;
+      } else if (key == "cache") {
+        if (tokens.size() != 3) return Errc::invalid_argument;
+        const auto capacity = parse_u64(tokens[1]);
+        const auto ttl = parse_u64(tokens[2]);
+        if (!capacity || !ttl) return Errc::invalid_argument;
+        policy.cache_capacity = static_cast<std::size_t>(*capacity);
+        policy.cache_ttl = *ttl;
+      } else if (key == "admit") {
+        if (tokens.size() != 3) return Errc::invalid_argument;
+        const auto rate = parse_u64(tokens[1]);
+        const auto burst = parse_u64(tokens[2]);
+        if (!rate || !burst) return Errc::invalid_argument;
+        policy.admit_rate = *rate;
+        policy.admit_burst = *burst;
+      } else {
+        return Errc::invalid_argument;  // unknown fleet directive
       }
       continue;
     }
@@ -194,6 +226,11 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
         return Errc::invalid_argument;
       current->trace.emplace();  // redacted defaults until overridden
       in_trace = true;
+    } else if (key == "fleet") {
+      if (tokens.size() != 2 || tokens[1] != "{" || current->fleet)
+        return Errc::invalid_argument;
+      current->fleet.emplace();  // defaults apply until overridden
+      in_fleet = true;
     } else {
       return Errc::invalid_argument;  // unknown directive
     }
@@ -240,6 +277,15 @@ std::string to_text(const std::vector<Manifest>& manifests) {
         out << "    observer " << observer << "\n";
       out << "  }\n";
     }
+    if (m.fleet) {
+      out << "  fleet {\n";
+      out << "    ticket_ttl " << m.fleet->ticket_ttl << "\n";
+      out << "    cache " << m.fleet->cache_capacity << " "
+          << m.fleet->cache_ttl << "\n";
+      out << "    admit " << m.fleet->admit_rate << " " << m.fleet->admit_burst
+          << "\n";
+      out << "  }\n";
+    }
     out << "}\n";
   }
   return out.str();
@@ -256,6 +302,10 @@ std::vector<std::string> validate(const std::vector<Manifest>& manifests) {
       problems.push_back(m.name + ": zero memory pages");
     if (m.restart && m.restart->backoff_cycles == 0)
       problems.push_back(m.name + ": restart backoff of zero cycles");
+    // A fleet frontend that can never admit anything is a misconfiguration,
+    // not a policy: the gate would refuse every single request.
+    if (m.fleet && (m.fleet->admit_rate == 0 || m.fleet->admit_burst == 0))
+      problems.push_back(m.name + ": fleet admission rate/burst of zero");
   }
   for (const Manifest& m : manifests) {
     for (const std::string& peer : m.channels) {

@@ -67,6 +67,26 @@ struct TracePolicy {
   friend bool operator==(const TracePolicy&, const TracePolicy&) = default;
 };
 
+/// Fleet-termination policy (the manifest `fleet` stanza). Presence marks a
+/// component as a fleet frontend: it terminates many attested client
+/// connections on one endpoint (fleet::FleetServer) and these knobs size its
+/// resumption-ticket lifetime, quote-verification cache, and admission
+/// token bucket. See docs/fleet.md for how each knob trades security
+/// against throughput.
+struct FleetPolicy {
+  /// Resumption-ticket lifetime in simulated cycles (0 = never resumable).
+  Cycles ticket_ttl = 5'000'000;
+  /// Quote-verification cache: max distinct measurements retained, and how
+  /// long a verdict stays fresh (0 capacity or ttl = always re-verify).
+  std::size_t cache_capacity = 256;
+  Cycles cache_ttl = 50'000'000;
+  /// Admission token bucket: sustained tokens per megacycle and burst size.
+  std::uint64_t admit_rate = 64;
+  std::uint64_t admit_burst = 256;
+
+  friend bool operator==(const FleetPolicy&, const FleetPolicy&) = default;
+};
+
 /// A declared shared grant region to a peer (the manifest `region` stanza,
 /// part of the channels block of the component's needs). Like channels,
 /// regions exist only when declared — the composer wires exactly these and
@@ -112,6 +132,10 @@ struct Manifest {
   /// Tracing consent; set when the manifest carries a `trace { ... }`
   /// stanza. Absent = full redaction (metadata-only spans).
   std::optional<TracePolicy> trace;
+  /// Fleet-termination policy; set when the manifest carries a
+  /// `fleet { ... }` stanza, meaning: this component fronts a fleet of
+  /// attested clients and its FleetServer should be sized by these knobs.
+  std::optional<FleetPolicy> fleet;
 };
 
 /// Parse a manifest bundle from the text DSL. Format:
@@ -139,6 +163,11 @@ struct Manifest {
 ///     trace {              # optional: relax span redaction
 ///       payload            # capture leading payload bytes in span events
 ///       observer ui        # may repeat: authorized export observer
+///     }
+///     fleet {              # optional: fleet frontend sizing
+///       ticket_ttl 5000000 # resumption-ticket lifetime, cycles
+///       cache 256 50000000 # verification cache: capacity, ttl cycles
+///       admit 64 256       # admission bucket: rate/megacycle, burst
 ///     }
 ///   }
 ///

@@ -1,0 +1,45 @@
+#include "fleet/admission.h"
+
+#include <algorithm>
+
+namespace lateral::fleet {
+
+AdmissionGate::AdmissionGate(AdmissionPolicy policy)
+    : policy_(policy), tokens_(policy.burst) {
+  if (policy_.refill_per_megacycle == 0)
+    throw Error("AdmissionGate: refill rate must be nonzero");
+}
+
+Status AdmissionGate::admit(Cycles now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (now > last_refill_) {
+    const Cycles elapsed = now - last_refill_;
+    const std::uint64_t add = elapsed * policy_.refill_per_megacycle /
+                              1'000'000;
+    if (add > 0) {
+      tokens_ = std::min(policy_.burst, tokens_ + add);
+      // Advance by the cycles actually converted, keeping the remainder in
+      // the clock delta — fractional refills are deferred, never lost.
+      last_refill_ += add * 1'000'000 / policy_.refill_per_megacycle;
+    }
+  }
+  if (tokens_ == 0) {
+    ++shed_;
+    return Errc::exhausted;
+  }
+  --tokens_;
+  ++admitted_;
+  return Status::success();
+}
+
+std::uint64_t AdmissionGate::admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+std::uint64_t AdmissionGate::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+}  // namespace lateral::fleet

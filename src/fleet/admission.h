@@ -1,0 +1,52 @@
+// AdmissionGate — token-bucket admission control at the network edge.
+//
+// Overload policy for a fleet server: either bound the work you accept, or
+// let queueing delay grow without bound and serve everyone terribly. The
+// gate refills `refill_per_megacycle` request tokens per simulated
+// megacycle up to a `burst` ceiling; a request that finds no token is shed
+// — refused *immediately and visibly* (the client gets Errc::exhausted and
+// MetricsHub counts admission_shed), never queued and never silently
+// dropped. Everything admitted is served: shedding at the edge is what
+// makes the "zero lost admitted requests" invariant affordable under 10x
+// overload.
+//
+// Thread-safe: the FIG14 pump is single-threaded, but the gate is shared
+// observable state (TSan-exercised in fleet_test) like the rest of the
+// metrics machinery.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::fleet {
+
+struct AdmissionPolicy {
+  std::uint64_t burst = 256;                // bucket capacity, in requests
+  std::uint64_t refill_per_megacycle = 64;  // sustained rate
+};
+
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(AdmissionPolicy policy);
+
+  /// One request at simulated time `now`: success = admitted (a token was
+  /// consumed), Errc::exhausted = shed.
+  Status admit(Cycles now);
+
+  std::uint64_t admitted() const;
+  std::uint64_t shed() const;
+  const AdmissionPolicy& policy() const { return policy_; }
+
+ private:
+  const AdmissionPolicy policy_;
+  mutable std::mutex mu_;
+  std::uint64_t tokens_;
+  Cycles last_refill_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace lateral::fleet

@@ -1,0 +1,150 @@
+#include "fleet/fleet_client.h"
+
+namespace lateral::fleet {
+
+FleetClient::FleetClient(FleetClientConfig config)
+    : config_(std::move(config)),
+      drbg_(to_bytes("fleet.client:" + config_.endpoint)) {
+  if (!config_.network) throw Error("FleetClient: network is required");
+  // Idempotent: first client with this name registers the endpoint.
+  (void)config_.network->register_endpoint(config_.endpoint);
+}
+
+Status FleetClient::send_frame(FrameKind kind, BytesView payload) {
+  return config_.network->send(config_.endpoint, config_.server_endpoint,
+                               frame(kind, payload));
+}
+
+Result<Frame> FleetClient::next_frame() {
+  auto datagram = config_.network->receive(config_.endpoint);
+  if (!datagram) {
+    if (!config_.drive) return Errc::io_error;
+    config_.drive();
+    datagram = config_.network->receive(config_.endpoint);
+    if (!datagram) return Errc::io_error;
+  }
+  auto parsed = parse_frame(datagram->payload);
+  if (!parsed) return Errc::io_error;
+  if (parsed->kind == FrameKind::reject) {
+    if (parsed->payload.size() != 1 || parsed->payload[0] == 0)
+      return Errc::io_error;
+    return static_cast<Errc>(parsed->payload[0]);
+  }
+  return parsed;
+}
+
+Status FleetClient::connect() {
+  disconnect();
+  if (ticket_) {
+    const Status resumed = connect_resumed();
+    if (resumed.ok()) return resumed;
+    // Whatever the server disliked about the ticket (expired, replayed,
+    // rotated away, identity policy), the remedy is the same: forget it
+    // and prove ourselves from scratch.
+    last_reject_ = resumed.error();
+    ticket_.reset();
+    channel_.reset();
+  }
+  return connect_full();
+}
+
+Status FleetClient::connect_full() {
+  auto channel = std::make_unique<net::SecureChannelEndpoint>(
+      net::Role::initiator, drbg_.generate(32), config_.prover,
+      config_.verifier);
+
+  auto msg1 = channel->start();
+  if (!msg1) return msg1.error();
+  if (const Status s = send_frame(FrameKind::full_msg1, *msg1); !s.ok())
+    return s;
+
+  auto msg2 = next_frame();
+  if (!msg2) return msg2.error();
+  if (msg2->kind != FrameKind::full_msg2) return Errc::io_error;
+
+  auto msg3 = channel->handle_msg2(msg2->payload);
+  if (!msg3) return msg3.error();
+  if (const Status s = send_frame(FrameKind::full_msg3, *msg3); !s.ok())
+    return s;
+
+  // The grant doubles as the handshake-complete ack: it only opens if both
+  // sides derived the same keys, and it carries next session's ticket.
+  auto granted = next_frame();
+  if (!granted) return granted.error();
+  if (granted->kind != FrameKind::grant) return Errc::io_error;
+  auto plain = channel->open_record(granted->payload);
+  if (!plain) return plain.error();
+  auto grant = decode_grant(*plain);
+  if (!grant) return grant.error();
+
+  ticket_ = TicketState{.wire = std::move(grant->ticket_wire),
+                        .secret = std::move(grant->secret)};
+  channel_ = std::move(channel);
+  resumed_ = false;
+  return Status::success();
+}
+
+Status FleetClient::connect_resumed() {
+  const Bytes client_nonce = drbg_.generate(32);
+  const Bytes binder =
+      resume_binder(ticket_->secret, ticket_->wire, client_nonce);
+  if (const Status s =
+          send_frame(FrameKind::resume,
+                     encode_resume(ticket_->wire, client_nonce, binder));
+      !s.ok())
+    return s;
+
+  auto response = next_frame();
+  if (!response) return response.error();
+  if (response->kind != FrameKind::resume_ok) return Errc::io_error;
+
+  const Bytes keys =
+      resumption_keys(ticket_->secret, client_nonce, response->payload);
+  channel_ = net::SecureChannelEndpoint::resume(net::Role::initiator, keys);
+  resumed_ = true;
+  // Single-use: this ticket is now redeemed server-side. Holding onto it
+  // would only buy the next connect a ticket_replayed rejection.
+  ticket_.reset();
+  return Status::success();
+}
+
+void FleetClient::disconnect() {
+  channel_.reset();
+  resumed_ = false;
+}
+
+Result<Bytes> FleetClient::call(const std::string& method,
+                                BytesView payload) {
+  if (const Status s = submit(method, payload); !s.ok()) return s.error();
+  if (config_.drive) config_.drive();
+  return collect();
+}
+
+Status FleetClient::submit(const std::string& method, BytesView payload) {
+  if (!channel_) return Errc::would_block;
+  auto record =
+      channel_->seal_record(net::encode_rpc_request(method, payload));
+  if (!record) return record.error();
+  return send_frame(FrameKind::record, *record);
+}
+
+Result<Bytes> FleetClient::collect() {
+  if (!channel_) return Errc::would_block;
+  auto datagram = config_.network->receive(config_.endpoint);
+  if (!datagram) return Errc::would_block;
+  auto parsed = parse_frame(datagram->payload);
+  if (!parsed) return Errc::io_error;
+  if (parsed->kind == FrameKind::reject) {
+    // The server dropped our session (e.g. restart); reconnect to go on.
+    disconnect();
+    if (parsed->payload.size() != 1 || parsed->payload[0] == 0)
+      return Errc::io_error;
+    return static_cast<Errc>(parsed->payload[0]);
+  }
+  if (parsed->kind != FrameKind::reply) return Errc::io_error;
+  auto plain = channel_->open_record(parsed->payload);
+  if (!plain) return plain.error();
+  return net::decode_rpc_reply(*plain);
+}
+
+}  // namespace lateral::fleet

@@ -1,0 +1,347 @@
+#include "fleet/fleet_server.h"
+
+#include "crypto/sha256.h"
+
+namespace lateral::fleet {
+
+void apply_policy(FleetServerConfig& config,
+                  const core::FleetPolicy& policy) {
+  config.ticket_ttl = policy.ticket_ttl;
+  config.admission.burst = policy.admit_burst;
+  config.admission.refill_per_megacycle = policy.admit_rate;
+}
+
+CacheConfig cache_config(const core::FleetPolicy& policy,
+                         const hw::Machine* clock) {
+  CacheConfig cfg;
+  cfg.capacity = policy.cache_capacity;
+  cfg.ttl = policy.cache_ttl;
+  cfg.clock = clock;
+  return cfg;
+}
+
+FleetServer::FleetServer(FleetServerConfig config)
+    : config_(std::move(config)),
+      tickets_(to_bytes("fleet.ticketkey:" + config_.endpoint),
+               config_.ticket_ttl),
+      gate_(config_.admission),
+      drbg_(to_bytes("fleet.server:" + config_.endpoint)),
+      fleet_(config_.hub ? config_.hub->fleet(config_.label)
+                         : runtime::MetricsHub::FleetRef(&own_fleet_)),
+      counters_(config_.hub ? config_.hub->counters(config_.label)
+                            : runtime::MetricsHub::CounterRef(&own_counters_)) {
+  if (!config_.network || !config_.substrate)
+    throw Error("FleetServer: network and substrate are required");
+  if (config_.verifier && config_.expected_client.empty())
+    throw Error("FleetServer: verifier requires expected_client");
+  batch_ = make_batch_channel();
+}
+
+std::unique_ptr<runtime::BatchChannel> FleetServer::make_batch_channel()
+    const {
+  runtime::BatchChannelConfig cfg;
+  cfg.depth = config_.batch_depth;
+  cfg.hub = config_.hub;
+  cfg.label = config_.label + ".mux";
+  return std::make_unique<runtime::BatchChannel>(
+      *config_.substrate, config_.frontend_domain, config_.service_channel,
+      cfg);
+}
+
+Cycles FleetServer::now() const {
+  return config_.substrate->machine().now();
+}
+
+Status FleetServer::register_method(const std::string& name,
+                                    net::RemoteDispatcher::Method handler) {
+  if (name.empty() || !handler || name == config_.batched_method)
+    return Errc::invalid_argument;
+  const auto [it, inserted] = inline_methods_.emplace(name,
+                                                      std::move(handler));
+  (void)it;
+  return inserted ? Status::success() : Status(Errc::invalid_argument);
+}
+
+Status FleetServer::pump(std::size_t max_batched) {
+  while (true) {
+    auto datagram = config_.network->receive(config_.endpoint);
+    if (!datagram) break;  // drained
+    handle_datagram(*datagram);
+  }
+  return serve_backlog(max_batched);
+}
+
+void FleetServer::handle_datagram(const net::SimNetwork::Datagram& datagram) {
+  auto parsed = parse_frame(datagram.payload);
+  if (!parsed) return;  // not even a protocol frame: nothing to answer
+  switch (parsed->kind) {
+    case FrameKind::full_msg1:
+      handle_full_msg1(datagram.from, parsed->payload);
+      break;
+    case FrameKind::full_msg3:
+      handle_full_msg3(datagram.from, parsed->payload);
+      break;
+    case FrameKind::resume:
+      handle_resume(datagram.from, parsed->payload);
+      break;
+    case FrameKind::record:
+      handle_record(datagram.from, parsed->payload);
+      break;
+    default:
+      // Server-to-client kinds looping back: ignore.
+      break;
+  }
+}
+
+void FleetServer::handle_full_msg1(const std::string& peer,
+                                   BytesView payload) {
+  Session session;
+  std::optional<net::VerifierConfig> verifier;
+  if (config_.verifier)
+    verifier = net::VerifierConfig{config_.verifier, config_.expected_client};
+  session.channel = std::make_unique<net::SecureChannelEndpoint>(
+      net::Role::responder, drbg_.generate(32),
+      net::ProverConfig{config_.substrate, config_.service_domain}, verifier);
+
+  auto msg2 = session.channel->handle_msg1(payload);
+  if (!msg2) {
+    send_reject(peer, msg2.error());
+    return;
+  }
+  pending_[peer] = std::move(session);  // a retry supersedes any stale state
+  send_frame(peer, FrameKind::full_msg2, *msg2);
+}
+
+void FleetServer::handle_full_msg3(const std::string& peer,
+                                   BytesView payload) {
+  const auto it = pending_.find(peer);
+  if (it == pending_.end()) {
+    send_reject(peer, Errc::invalid_argument);
+    return;
+  }
+  Session session = std::move(it->second);
+  pending_.erase(it);
+  if (const Status s = session.channel->handle_msg3(payload); !s.ok()) {
+    send_reject(peer, s.error());
+    return;
+  }
+
+  // Ticket bound to the identity this handshake just verified. Without
+  // client verification there is no identity to bind — the zero digest
+  // stands for "anonymous", and resumption grants no more than the full
+  // handshake did.
+  crypto::Digest measurement{};
+  if (config_.verifier) {
+    if (const auto expected =
+            config_.verifier->expectation(config_.expected_client))
+      measurement = *expected;
+  }
+  const MintedTicket minted = tickets_.mint(measurement, now());
+  auto sealed = session.channel->seal_record(
+      encode_grant(minted.wire, minted.secret));
+  if (!sealed) return;  // channel came up unusable; client will retry
+
+  sessions_[peer] = std::move(session);
+  send_frame(peer, FrameKind::grant, *sealed);
+  fleet_->handshakes_full++;
+  fleet_->tickets_issued++;
+  stamp_handshake_span(trace::SpanPhase::handshake_full, peer);
+}
+
+void FleetServer::handle_resume(const std::string& peer, BytesView payload) {
+  auto request = decode_resume(payload);
+  if (!request) {
+    send_reject(peer, Errc::invalid_argument);
+    return;
+  }
+  auto claims = tickets_.redeem(request->ticket_wire, now());
+  if (!claims) {
+    fleet_->tickets_rejected++;
+    send_reject(peer, claims.error());
+    return;
+  }
+  // Possession of the secret, proven over the exact wire presented. A
+  // failed binder still burned the ticket above — a lifted ticket can cost
+  // its owner one resumption, never a session.
+  if (!ct_equal(resume_binder(claims->secret, request->ticket_wire,
+                              request->client_nonce),
+                request->binder)) {
+    fleet_->tickets_rejected++;
+    send_reject(peer, Errc::verification_failed);
+    return;
+  }
+  // The sealed identity must still be the one we expect TODAY: a policy
+  // update (new known-good meter build) refuses tickets minted for the old
+  // identity even though they are otherwise valid.
+  if (config_.verifier) {
+    const auto expected =
+        config_.verifier->expectation(config_.expected_client);
+    if (!expected ||
+        !ct_equal(crypto::digest_view(claims->measurement),
+                  crypto::digest_view(*expected))) {
+      fleet_->tickets_rejected++;
+      send_reject(peer, Errc::access_denied);
+      return;
+    }
+  }
+
+  const Bytes server_nonce = drbg_.generate(32);
+  const Bytes keys = resumption_keys(claims->secret, request->client_nonce,
+                                     server_nonce);
+  Session session;
+  session.resumed = true;
+  session.channel =
+      net::SecureChannelEndpoint::resume(net::Role::responder, keys);
+  sessions_[peer] = std::move(session);
+  send_frame(peer, FrameKind::resume_ok, server_nonce);
+  fleet_->handshakes_resumed++;
+  stamp_handshake_span(trace::SpanPhase::handshake_resumed, peer);
+}
+
+void FleetServer::handle_record(const std::string& peer, BytesView payload) {
+  const auto it = sessions_.find(peer);
+  if (it == sessions_.end()) {
+    send_reject(peer, Errc::invalid_argument);
+    return;
+  }
+  auto plain = it->second.channel->open_record(payload);
+  if (!plain) {
+    // Channel authentication failed: tampering or a desynced peer. Fail
+    // closed — drop the session; the client reconnects (ticket intact).
+    sessions_.erase(it);
+    send_reject(peer, Errc::verification_failed);
+    return;
+  }
+  auto request = net::decode_rpc_request(*plain);
+  if (!request) {
+    send_sealed(peer, FrameKind::reply,
+                net::encode_rpc_reply(Errc::invalid_argument, {}));
+    return;
+  }
+
+  if (request->method == config_.batched_method) {
+    if (config_.admission_enabled && !gate_.admit(now()).ok()) {
+      // Shed: answered immediately and counted, never queued, never lost.
+      fleet_->admission_shed++;
+      counters_->rejected++;
+      send_sealed(peer, FrameKind::reply,
+                  net::encode_rpc_reply(Errc::exhausted, {}));
+      return;
+    }
+    counters_->submitted++;
+    backlog_.push_back(Arrival{.peer = peer,
+                               .payload = std::move(request->payload),
+                               .arrived_at = now()});
+    return;
+  }
+
+  const auto method = inline_methods_.find(request->method);
+  Bytes reply_plain;
+  if (method == inline_methods_.end()) {
+    reply_plain = net::encode_rpc_reply(Errc::invalid_argument, {});
+  } else {
+    Result<Bytes> result = method->second(request->payload);
+    reply_plain = result ? net::encode_rpc_reply(Errc::ok, *result)
+                         : net::encode_rpc_reply(result.error(), {});
+  }
+  send_sealed(peer, FrameKind::reply, reply_plain);
+}
+
+Status FleetServer::serve_backlog(std::size_t max_batched) {
+  std::size_t served = 0;
+  while (!backlog_.empty() && (max_batched == 0 || served < max_batched)) {
+    Arrival& front = backlog_.front();
+    auto id = batch_->submit(Bytes(front.payload));
+    if (!id) {
+      if (id.error() != Errc::exhausted) return id.error();
+      // Submission ring full: cross once, drain, and keep going — the
+      // bound is backpressure, not loss.
+      if (const Status s = batch_->flush(); !s.ok()) return s;
+      drain_completions();
+      continue;
+    }
+    in_flight_[*id] =
+        InFlight{.peer = front.peer, .arrived_at = front.arrived_at};
+    backlog_.pop_front();
+    ++served;
+  }
+  const Status flushed = batch_->flush();
+  drain_completions();
+  return flushed;
+}
+
+void FleetServer::drain_completions() {
+  while (true) {
+    auto completion = batch_->next_completion();
+    if (!completion) break;
+    auto node = in_flight_.extract(completion->id);
+    if (node.empty()) continue;
+    const InFlight& flight = node.mapped();
+    const Bytes reply_plain =
+        completion->result
+            ? net::encode_rpc_reply(Errc::ok, *completion->result)
+            : net::encode_rpc_reply(completion->result.error(), {});
+    counters_->completed++;
+    counters_->record_latency(now() - flight.arrived_at);
+    send_sealed(flight.peer, FrameKind::reply, reply_plain);
+  }
+}
+
+void FleetServer::send_frame(const std::string& peer, FrameKind kind,
+                             BytesView payload) {
+  // A vanished peer is not the server's problem; delivery failure is the
+  // client's timeout to handle.
+  (void)config_.network->send(config_.endpoint, peer, frame(kind, payload));
+}
+
+void FleetServer::send_reject(const std::string& peer, Errc errc) {
+  const Bytes payload{static_cast<std::uint8_t>(errc)};
+  send_frame(peer, FrameKind::reject, payload);
+}
+
+void FleetServer::send_sealed(const std::string& peer, FrameKind kind,
+                              BytesView plain) {
+  const auto it = sessions_.find(peer);
+  if (it == sessions_.end()) return;
+  auto sealed = it->second.channel->seal_record(plain);
+  if (!sealed) {
+    sessions_.erase(it);
+    return;
+  }
+  send_frame(peer, kind, *sealed);
+}
+
+void FleetServer::stamp_handshake_span(trace::SpanPhase phase,
+                                       const std::string& peer) {
+  if (!config_.tracer || !config_.tracer->enabled()) return;
+  const trace::TraceContext ctx = config_.tracer->begin_trace();
+  config_.substrate->stamp_span(config_.service_domain, ctx,
+                                config_.tracer->next_span(), phase,
+                                to_bytes(peer), 0);
+}
+
+void FleetServer::sync_verifier_cache(const CachedVerifier& cache) {
+  const CacheStats stats = cache.cache_stats();
+  fleet_->verify_cache_hits = stats.hits;
+  fleet_->verify_cache_misses = stats.misses;
+}
+
+void FleetServer::on_service_restart(
+    substrate::DomainId new_service_domain) {
+  config_.service_domain = new_service_domain;
+  // Every outstanding ticket was sealed by the dead incarnation's key.
+  tickets_.rotate();
+  // Live record keys likewise: drop the sessions, clients re-handshake.
+  pending_.clear();
+  sessions_.clear();
+  // Admitted-but-unserved work cannot be answered (its sessions are gone):
+  // account it as cancelled — withdrawn, not lost — so the lossless
+  // invariant still balances after the crash.
+  counters_->cancelled += backlog_.size() + in_flight_.size();
+  backlog_.clear();
+  in_flight_.clear();
+  // Fresh channel epoch: the old BatchChannel would see stale_epoch forever.
+  batch_ = make_batch_channel();
+}
+
+}  // namespace lateral::fleet

@@ -1,0 +1,177 @@
+// FleetServer — one utility server, a million meters (FIG14).
+//
+// net::establish_link attests exactly one client per call and drives both
+// sides from one stack; production is many clients multiplexed onto one
+// SGX anonymizer domain. FleetServer demuxes a single SimNetwork endpoint
+// by claimed source address into per-connection session state, and runs
+// everything from a single-threaded pump() — no per-connection threads:
+//
+//   - Full handshakes (three messages) verified through the configured
+//     verifier — pass a fleet::CachedVerifier and a burst of
+//     identical-measurement meters amortizes one RSA verification.
+//   - One-RTT ticket resumption via TicketIssuer, with distinct
+//     trace spans (handshake_full vs handshake_resumed) and rejection
+//     paths (ticket_expired / ticket_replayed / identity mismatch) that
+//     push clients back to the full handshake.
+//   - RPC records are admission-controlled at the edge (token bucket;
+//     refusals are counted and answered, not dropped), then pumped through
+//     ONE BatchChannel into the service domain so the enclave-crossing
+//     cost is paid per batch, not per meter.
+//   - pump(max_batched) caps the service work per tick; admitted surplus
+//     stays in an internal arrival queue — lossless backpressure. The
+//     arrival->completion latency histogram (MetricsHub, label `<label>`)
+//     is where 10x overload either stays bounded (gate on) or collapses
+//     (gate off); bench_fig14 plots exactly that.
+//
+// A supervised restart of the service domain plugs in via
+// on_service_restart(): tickets rotate (all outstanding ones die), live
+// sessions drop, and the batch channel re-attaches to the new epoch.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/attestation.h"
+#include "core/manifest.h"
+#include "fleet/admission.h"
+#include "fleet/protocol.h"
+#include "fleet/ticket.h"
+#include "fleet/verification_cache.h"
+#include "net/network.h"
+#include "net/remote.h"
+#include "net/secure_channel.h"
+#include "runtime/batch_channel.h"
+#include "runtime/metrics.h"
+#include "trace/trace.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::fleet {
+
+struct FleetServerConfig {
+  // --- Wiring -------------------------------------------------------------
+  std::string endpoint;  // this server's (registered) network name
+  net::SimNetwork* network = nullptr;
+  substrate::IsolationSubstrate* substrate = nullptr;
+  /// The attested service (e.g. the SGX anonymizer): prover identity for
+  /// handshakes AND callee of the batched channel.
+  substrate::DomainId service_domain = substrate::kInvalidDomain;
+  /// Untrusted frontend domain acting as the batch channel's caller side.
+  substrate::DomainId frontend_domain = substrate::kInvalidDomain;
+  substrate::ChannelId service_channel = 0;
+
+  // --- Client authentication ---------------------------------------------
+  /// Optional: require clients to attest as `expected_client`. Pass a
+  /// CachedVerifier to amortize identical-measurement bursts.
+  core::AttestationVerifier* verifier = nullptr;
+  std::string expected_client;
+
+  // --- Routing -------------------------------------------------------------
+  /// Requests to this method go through the BatchChannel into the service
+  /// domain (payload = request payload, reply = handler reply). All other
+  /// methods must be registered inline via register_method().
+  std::string batched_method = "report";
+
+  // --- Knobs (see docs/fleet.md; mirror the manifest `fleet` stanza) ------
+  Cycles ticket_ttl = 5'000'000;
+  AdmissionPolicy admission{};
+  bool admission_enabled = true;
+  std::size_t batch_depth = 64;
+
+  // --- Observability -------------------------------------------------------
+  runtime::MetricsHub* hub = nullptr;  // optional; label below
+  std::string label = "fleet";
+  trace::Tracer* tracer = nullptr;     // optional: handshake spans
+};
+
+/// Size a server config from a manifest `fleet { ... }` stanza (ticket TTL
+/// and admission bucket; the verification cache is sized separately via
+/// cache_config() because it needs a clock and lives outside the server).
+void apply_policy(FleetServerConfig& config, const core::FleetPolicy& policy);
+
+/// The CachedVerifier sizing implied by a manifest `fleet` stanza.
+CacheConfig cache_config(const core::FleetPolicy& policy,
+                         const hw::Machine* clock);
+
+class FleetServer {
+ public:
+  explicit FleetServer(FleetServerConfig config);
+
+  /// Register an inline (non-batched) method, dispatched synchronously on
+  /// the pump thread.
+  Status register_method(const std::string& name,
+                         net::RemoteDispatcher::Method handler);
+
+  /// Drain the network endpoint and serve: progress handshakes and
+  /// resumptions, admit/shed RPC records, push up to `max_batched` admitted
+  /// requests through the service channel (0 = everything queued), and send
+  /// sealed replies. Single-threaded by design.
+  Status pump(std::size_t max_batched = 0);
+
+  /// Supervised-restart hook: the service domain was relaunched as
+  /// `new_service_domain`. Rotates the ticket key (outstanding tickets fail
+  /// to unseal -> full-handshake fallback), drops every live session (their
+  /// record keys belong to the dead incarnation), and re-attaches the batch
+  /// channel at the channel's new epoch.
+  void on_service_restart(substrate::DomainId new_service_domain);
+
+  std::size_t sessions() const { return sessions_.size(); }
+  std::size_t backlog() const { return backlog_.size(); }
+  runtime::FleetStats stats() const { return fleet_.snapshot(); }
+
+  /// Mirror a CachedVerifier's hit/miss counters into the hub's FleetStats
+  /// so one dump_observability() shows the whole fleet picture. (The cache
+  /// is shared state the server only borrows; it cannot observe hits
+  /// itself.)
+  void sync_verifier_cache(const CachedVerifier& cache);
+
+ private:
+  struct Session {
+    std::unique_ptr<net::SecureChannelEndpoint> channel;
+    bool resumed = false;
+  };
+  struct InFlight {
+    std::string peer;
+    Cycles arrived_at = 0;
+  };
+  struct Arrival {
+    std::string peer;
+    Bytes payload;
+    Cycles arrived_at = 0;
+  };
+
+  void handle_datagram(const net::SimNetwork::Datagram& datagram);
+  void handle_full_msg1(const std::string& peer, BytesView payload);
+  void handle_full_msg3(const std::string& peer, BytesView payload);
+  void handle_resume(const std::string& peer, BytesView payload);
+  void handle_record(const std::string& peer, BytesView payload);
+  Status serve_backlog(std::size_t max_batched);
+  void drain_completions();
+  void send_frame(const std::string& peer, FrameKind kind, BytesView payload);
+  void send_reject(const std::string& peer, Errc errc);
+  /// Seal `plain` on the peer's session and send it as `kind`; drops the
+  /// session on a sealing failure (the channel is unusable).
+  void send_sealed(const std::string& peer, FrameKind kind, BytesView plain);
+  void stamp_handshake_span(trace::SpanPhase phase, const std::string& peer);
+  Cycles now() const;
+  std::unique_ptr<runtime::BatchChannel> make_batch_channel() const;
+
+  FleetServerConfig config_;
+  TicketIssuer tickets_;
+  AdmissionGate gate_;
+  crypto::HmacDrbg drbg_;
+  std::unique_ptr<runtime::BatchChannel> batch_;
+  std::map<std::string, Session> pending_;   // mid-handshake, by peer
+  std::map<std::string, Session> sessions_;  // established, by peer
+  std::map<std::string, net::RemoteDispatcher::Method> inline_methods_;
+  std::deque<Arrival> backlog_;              // admitted, not yet submitted
+  std::map<runtime::SubmissionId, InFlight> in_flight_;
+  runtime::MetricsHub::FleetSlot own_fleet_;
+  runtime::MetricsHub::FleetRef fleet_;
+  runtime::MetricsHub::CounterSlot own_counters_;
+  runtime::MetricsHub::CounterRef counters_;  // arrival->completion e2e
+};
+
+}  // namespace lateral::fleet

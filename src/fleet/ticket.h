@@ -1,0 +1,92 @@
+// Attested-session resumption tickets (the TLS session-ticket idea, carried
+// over to attested channels).
+//
+// After a client passes the full three-message quote exchange, the server
+// mints a ticket binding the client's *code identity* (measurement) to a
+// fresh resumption secret and an expiry. The ticket is sealed under a
+// server-local key and opaque to the client; the secret travels to the
+// client only inside the just-established channel. A later connection
+// presents ticket + a keyed binder over it, and both sides derive fresh
+// session keys from the secret — one round trip, no DH, no quotes.
+//
+// Security properties, each with an explicit rejection path:
+//   - single-use: a redeemed ticket id is remembered until its expiry;
+//     presenting it again fails with Errc::ticket_replayed.
+//   - expiring: past its expiry the ticket fails with Errc::ticket_expired
+//     (the redeemed-set prune rides on the same clock, so state is bounded
+//     by tickets-per-TTL, not tickets-ever-minted).
+//   - restart-invalidated: rotate() replaces the sealing key, so every
+//     ticket minted by the previous incarnation fails to unseal
+//     (Errc::verification_failed) and clients fall back to the full
+//     handshake against the re-measured server.
+//   - identity-bound: redeem() returns the sealed measurement; the server
+//     refuses tickets whose identity no longer matches its expectation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::fleet {
+
+/// What mint() hands out: the sealed wire form (client-opaque) and the
+/// resumption secret (for the client, via the established channel).
+struct MintedTicket {
+  Bytes wire;
+  Bytes secret;
+  std::uint64_t id = 0;
+};
+
+/// What a successful redeem() recovers from the sealed wire.
+struct TicketClaims {
+  crypto::Digest measurement{};  // client code identity at mint time
+  Bytes secret;
+  Cycles expiry = 0;
+  std::uint64_t id = 0;
+};
+
+class TicketIssuer {
+ public:
+  /// `ttl` is the ticket lifetime in simulated cycles.
+  TicketIssuer(BytesView key_seed, Cycles ttl);
+
+  Cycles ttl() const { return ttl_; }
+
+  /// Mint a ticket for a client whose measurement was just verified.
+  MintedTicket mint(const crypto::Digest& client_measurement, Cycles now);
+
+  /// Unseal + validate + mark-redeemed, in that order:
+  ///   verification_failed — unsealable (forged, or minted before rotate())
+  ///   ticket_expired      — past expiry
+  ///   ticket_replayed     — id already redeemed this lifetime
+  Result<TicketClaims> redeem(BytesView wire, Cycles now);
+
+  /// Key rotation (server restart): every outstanding ticket now fails to
+  /// unseal, and the redeemed-set is cleared (old ids can never collide —
+  /// they belonged to a key that no longer exists).
+  void rotate();
+
+  std::size_t redeemed_live() const;
+
+ private:
+  crypto::Aead make_aead() const;
+
+  const Bytes key_seed_;
+  const Cycles ttl_;
+
+  mutable std::mutex mu_;
+  crypto::HmacDrbg drbg_;
+  std::uint64_t key_epoch_ = 0;
+  crypto::Aead aead_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Cycles> redeemed_;  // id -> expiry (pruned by now)
+};
+
+}  // namespace lateral::fleet

@@ -1,0 +1,98 @@
+#include "fleet/verification_cache.h"
+
+#include <algorithm>
+
+#include "substrate/quote.h"
+
+namespace lateral::fleet {
+
+CachedVerifier::CachedVerifier(BytesView drbg_seed, CacheConfig config)
+    : core::AttestationVerifier(drbg_seed), config_(config) {
+  if (!config_.clock) throw Error("CachedVerifier: clock is required");
+}
+
+std::string CachedVerifier::cache_key(const std::string& logical_name,
+                                      const crypto::Digest& measurement) {
+  std::string key = logical_name;
+  key.push_back('\0');
+  key.append(reinterpret_cast<const char*>(measurement.data()),
+             measurement.size());
+  return key;
+}
+
+Status CachedVerifier::verify(const std::string& logical_name,
+                              BytesView quote_wire, BytesView nonce,
+                              BytesView context) {
+  auto quote = substrate::Quote::deserialize(quote_wire);
+  if (!quote) return Errc::invalid_argument;
+
+  const Cycles now = config_.clock->now();
+  const std::string key = cache_key(logical_name, quote->measurement);
+
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (config_.ttl != 0 && now <= it->second.verified_at + config_.ttl) {
+        it->second.last_used = ++lru_tick_;
+        hit = true;
+      } else {
+        cache_.erase(it);  // stale: fall through to a full verification
+        ++stats_.evictions;
+      }
+    }
+  }
+
+  if (hit) {
+    // The cheap, load-bearing checks still run on every hit; only the
+    // endorsement-chain RSA work is skipped.
+    const auto expected = expectation(logical_name);
+    if (!expected ||
+        !ct_equal(crypto::digest_view(quote->measurement),
+                  crypto::digest_view(*expected)))
+      return Errc::verification_failed;
+    if (!challenge_outstanding(nonce)) return Errc::verification_failed;
+    if (!ct_equal(quote->user_data, core::bound_user_data(nonce, context)))
+      return Errc::verification_failed;
+    consume_challenge(nonce);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.hits;
+    return Status::success();
+  }
+
+  const Status full = AttestationVerifier::verify(logical_name, quote_wire,
+                                                  nonce, context);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  if (!full.ok()) return full;
+
+  if (cache_.size() >= config_.capacity && cache_.find(key) == cache_.end()) {
+    const auto lru = std::min_element(
+        cache_.begin(), cache_.end(), [](const auto& a, const auto& b) {
+          return a.second.last_used < b.second.last_used;
+        });
+    cache_.erase(lru);
+    ++stats_.evictions;
+  }
+  cache_[key] = Entry{.verified_at = now, .last_used = ++lru_tick_};
+  return full;
+}
+
+CacheStats CachedVerifier::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t CachedVerifier::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void CachedVerifier::flush_cache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.evictions += cache_.size();
+  cache_.clear();
+}
+
+}  // namespace lateral::fleet

@@ -1,0 +1,74 @@
+// CachedVerifier — quote-verification results cached by code identity.
+//
+// The SoK observation behind FIG14: remote-attestation handshakes are the
+// dominant per-connection cost, and a fleet of identical meters presents
+// the SAME measurement a million times over. A cache hit skips the
+// endorsement-chain signature checks (the RSA work — in this cost model the
+// entirety of "quote verification") and accepts the quote on the strength
+// of the measurement having fully verified within the TTL window.
+//
+// What a hit still checks, because it is cheap and load-bearing:
+//   - the challenge nonce is ours and unconsumed (freshness, consumed),
+//   - user_data binds exactly this nonce + context (no cross-session splice),
+//   - the measurement matches the current expectation (policy can change).
+//
+// The honest tradeoff, stated rather than hidden: within the TTL window a
+// quote's *signatures* are not re-checked, so per-connection
+// proof-of-possession of a fused device key degrades to "this measurement
+// proved itself recently". docs/fleet.md discusses when that is acceptable
+// (fleets of low-value identical clients) and the knob that disables it
+// (ttl = 0 -> every verification is a miss).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/attestation.h"
+#include "hw/machine.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::fleet {
+
+struct CacheConfig {
+  std::size_t capacity = 256;    // bounded: LRU eviction beyond this
+  Cycles ttl = 50'000'000;       // hit window in simulated cycles; 0 = off
+  const hw::Machine* clock = nullptr;  // required: TTL rides simulated time
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;        // verifications served without RSA work
+  std::uint64_t misses = 0;      // full verifications performed
+  std::uint64_t evictions = 0;   // capacity- or TTL-driven removals
+};
+
+class CachedVerifier : public core::AttestationVerifier {
+ public:
+  CachedVerifier(BytesView drbg_seed, CacheConfig config);
+
+  Status verify(const std::string& logical_name, BytesView quote_wire,
+                BytesView nonce, BytesView context) override;
+
+  CacheStats cache_stats() const;
+  std::size_t cache_size() const;
+  void flush_cache();
+
+ private:
+  struct Entry {
+    Cycles verified_at = 0;
+    std::uint64_t last_used = 0;  // LRU tick
+  };
+
+  static std::string cache_key(const std::string& logical_name,
+                               const crypto::Digest& measurement);
+
+  const CacheConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> cache_;
+  std::uint64_t lru_tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace lateral::fleet

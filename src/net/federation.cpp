@@ -15,11 +15,7 @@ Result<Bytes> next_payload(SimNetwork& network, const std::string& endpoint) {
 
 Result<std::unique_ptr<FederatedLink>> establish_link(
     SimNetwork& network, const std::string& initiator_endpoint,
-    const std::string& responder_endpoint,
-    std::optional<ProverConfig> initiator_prover,
-    std::optional<VerifierConfig> initiator_verifier,
-    std::optional<ProverConfig> responder_prover,
-    std::optional<VerifierConfig> responder_verifier) {
+    const std::string& responder_endpoint, const HandshakeConfig& config) {
   auto link = std::unique_ptr<FederatedLink>(new FederatedLink());
   link->network_ = &network;
   link->initiator_endpoint_ = initiator_endpoint;
@@ -27,10 +23,10 @@ Result<std::unique_ptr<FederatedLink>> establish_link(
 
   link->initiator_channel_ = std::make_unique<SecureChannelEndpoint>(
       Role::initiator, to_bytes("fed.i:" + initiator_endpoint),
-      initiator_prover, initiator_verifier);
+      config.initiator_prover, config.initiator_verifier);
   link->responder_.channel = std::make_unique<SecureChannelEndpoint>(
       Role::responder, to_bytes("fed.r:" + responder_endpoint),
-      responder_prover, responder_verifier);
+      config.responder_prover, config.responder_verifier);
 
   // The three-message handshake, across the (possibly hostile) network.
   auto msg1 = link->initiator_channel_->start();

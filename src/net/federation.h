@@ -23,6 +23,18 @@ struct LinkSite {
   std::unique_ptr<RemoteDispatcher> dispatcher;
 };
 
+/// Attestation roles for both sides of establish_link. Each side may attest
+/// itself (prover) and/or require the peer's code identity (verifier);
+/// leaving a field empty opts that side out of the respective role. The
+/// named-field form replaces four positional std::optional parameters whose
+/// call sites were unreadable and silently order-fragile.
+struct HandshakeConfig {
+  std::optional<ProverConfig> initiator_prover;
+  std::optional<VerifierConfig> initiator_verifier;
+  std::optional<ProverConfig> responder_prover;
+  std::optional<VerifierConfig> responder_verifier;
+};
+
 /// An established bidirectional link. The initiator calls remote methods
 /// through `proxy`; the responder registers methods on its dispatcher.
 /// (Symmetric RPC would use a second link in the opposite direction.)
@@ -37,8 +49,7 @@ class FederatedLink {
  private:
   friend Result<std::unique_ptr<FederatedLink>> establish_link(
       SimNetwork&, const std::string&, const std::string&,
-      std::optional<ProverConfig>, std::optional<VerifierConfig>,
-      std::optional<ProverConfig>, std::optional<VerifierConfig>);
+      const HandshakeConfig&);
 
   FederatedLink() = default;
 
@@ -51,15 +62,10 @@ class FederatedLink {
 };
 
 /// Run the three-message attested handshake between two (registered)
-/// network endpoints and return the established link. Each side may attest
-/// itself (prover) and/or require the peer's code identity (verifier).
+/// network endpoints and return the established link.
 /// Errc::verification_failed when either side refuses the other.
 Result<std::unique_ptr<FederatedLink>> establish_link(
     SimNetwork& network, const std::string& initiator_endpoint,
-    const std::string& responder_endpoint,
-    std::optional<ProverConfig> initiator_prover,
-    std::optional<VerifierConfig> initiator_verifier,
-    std::optional<ProverConfig> responder_prover,
-    std::optional<VerifierConfig> responder_verifier);
+    const std::string& responder_endpoint, const HandshakeConfig& config);
 
 }  // namespace lateral::net

@@ -1,12 +1,8 @@
 #include "net/remote.h"
 
 namespace lateral::net {
-namespace {
 
-// Request: [u16 method_len | method | payload]
-// Reply:   [u8 errc | payload (on success)]
-
-Bytes encode_request(const std::string& method, BytesView payload) {
+Bytes encode_rpc_request(const std::string& method, BytesView payload) {
   Bytes out;
   out.push_back(static_cast<std::uint8_t>(method.size() >> 8));
   out.push_back(static_cast<std::uint8_t>(method.size()));
@@ -15,16 +11,11 @@ Bytes encode_request(const std::string& method, BytesView payload) {
   return out;
 }
 
-struct DecodedRequest {
-  std::string method;
-  Bytes payload;
-};
-
-Result<DecodedRequest> decode_request(BytesView plain) {
+Result<RpcRequest> decode_rpc_request(BytesView plain) {
   if (plain.size() < 2) return Errc::invalid_argument;
   const std::size_t method_len = (std::size_t(plain[0]) << 8) | plain[1];
   if (plain.size() < 2 + method_len) return Errc::invalid_argument;
-  DecodedRequest out;
+  RpcRequest out;
   out.method.assign(plain.begin() + 2,
                     plain.begin() + 2 + static_cast<long>(method_len));
   out.payload.assign(plain.begin() + 2 + static_cast<long>(method_len),
@@ -32,7 +23,7 @@ Result<DecodedRequest> decode_request(BytesView plain) {
   return out;
 }
 
-Bytes encode_reply(Errc error, BytesView payload) {
+Bytes encode_rpc_reply(Errc error, BytesView payload) {
   Bytes out;
   out.push_back(static_cast<std::uint8_t>(error));
   if (error == Errc::ok)
@@ -40,7 +31,12 @@ Bytes encode_reply(Errc error, BytesView payload) {
   return out;
 }
 
-}  // namespace
+Result<Bytes> decode_rpc_reply(BytesView plain) {
+  if (plain.empty()) return Errc::invalid_argument;
+  const Errc remote_error = static_cast<Errc>(plain[0]);
+  if (remote_error != Errc::ok) return remote_error;
+  return Bytes(plain.begin() + 1, plain.end());
+}
 
 RemoteDispatcher::RemoteDispatcher(SecureChannelEndpoint& channel)
     : channel_(channel) {
@@ -60,18 +56,18 @@ Result<Bytes> RemoteDispatcher::handle(BytesView request_record) {
   auto plain = channel_.open_record(request_record);
   if (!plain) return plain.error();  // unauthentic: do not even reply
 
-  auto request = decode_request(*plain);
+  auto request = decode_rpc_request(*plain);
   Bytes reply_plain;
   if (!request) {
-    reply_plain = encode_reply(Errc::invalid_argument, {});
+    reply_plain = encode_rpc_reply(Errc::invalid_argument, {});
   } else {
     const auto it = methods_.find(request->method);
     if (it == methods_.end()) {
-      reply_plain = encode_reply(Errc::invalid_argument, {});
+      reply_plain = encode_rpc_reply(Errc::invalid_argument, {});
     } else {
       Result<Bytes> result = it->second(request->payload);
-      reply_plain = result ? encode_reply(Errc::ok, *result)
-                           : encode_reply(result.error(), {});
+      reply_plain = result ? encode_rpc_reply(Errc::ok, *result)
+                           : encode_rpc_reply(result.error(), {});
     }
   }
   return channel_.seal_record(reply_plain);
@@ -83,7 +79,7 @@ RemoteProxy::RemoteProxy(SecureChannelEndpoint& channel, Transport transport)
 }
 
 Result<Bytes> RemoteProxy::call(const std::string& method, BytesView payload) {
-  auto record = channel_.seal_record(encode_request(method, payload));
+  auto record = channel_.seal_record(encode_rpc_request(method, payload));
   if (!record) return record.error();
 
   auto reply_record = transport_(*record);
@@ -91,11 +87,7 @@ Result<Bytes> RemoteProxy::call(const std::string& method, BytesView payload) {
 
   auto reply = channel_.open_record(*reply_record);
   if (!reply) return reply.error();
-  if (reply->empty()) return Errc::invalid_argument;
-
-  const Errc remote_error = static_cast<Errc>((*reply)[0]);
-  if (remote_error != Errc::ok) return remote_error;
-  return Bytes(reply->begin() + 1, reply->end());
+  return decode_rpc_reply(*reply);
 }
 
 }  // namespace lateral::net

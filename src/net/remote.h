@@ -24,6 +24,26 @@
 
 namespace lateral::net {
 
+// --- RPC wire codec -------------------------------------------------------
+// Request: [u16 method_len | method | payload]
+// Reply:   [u8 errc | payload (on success)]
+// Shared between RemoteProxy/RemoteDispatcher and the fleet multiplexer,
+// which pipelines many sealed requests before reading any reply and so
+// cannot use the synchronous proxy.
+
+Bytes encode_rpc_request(const std::string& method, BytesView payload);
+
+struct RpcRequest {
+  std::string method;
+  Bytes payload;
+};
+Result<RpcRequest> decode_rpc_request(BytesView plain);
+
+Bytes encode_rpc_reply(Errc error, BytesView payload);
+
+/// Unwrap a reply: the remote error code travels back as the Result error.
+Result<Bytes> decode_rpc_reply(BytesView plain);
+
 /// Server side: dispatches incoming records to registered methods.
 class RemoteDispatcher {
  public:

@@ -45,6 +45,22 @@ SecureChannelEndpoint::SecureChannelEndpoint(
   dh_ = crypto::DhKeyPair::generate(crypto::DhGroup::oakley1(), drbg_);
 }
 
+SecureChannelEndpoint::SecureChannelEndpoint(ResumeTag, Role role,
+                                             BytesView key_material)
+    : role_(role), drbg_(key_material) {
+  // Resumed sessions never run the handshake, so no DH pair is generated —
+  // skipping that keygen (plus the quote exchange) is the entire point of
+  // the one-RTT path.
+  aead_.emplace(key_material);
+  established_ = true;
+}
+
+std::unique_ptr<SecureChannelEndpoint> SecureChannelEndpoint::resume(
+    Role role, BytesView key_material) {
+  return std::unique_ptr<SecureChannelEndpoint>(
+      new SecureChannelEndpoint(ResumeTag{}, role, key_material));
+}
+
 void SecureChannelEndpoint::reset() {
   dh_ = crypto::DhKeyPair::generate(crypto::DhGroup::oakley1(), drbg_);
   peer_dh_ = crypto::Bignum();

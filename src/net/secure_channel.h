@@ -55,6 +55,15 @@ class SecureChannelEndpoint {
                         std::optional<ProverConfig> prover,
                         std::optional<VerifierConfig> verifier);
 
+  /// Resume a previously attested session from out-of-band key material
+  /// (lateral::fleet resumption tickets): the endpoint comes up established
+  /// immediately over the same record layer — no DH generation, no quotes.
+  /// Both sides must derive identical key_material or every record fails
+  /// authentication; the trust in the peer's code identity carries over
+  /// from the full handshake that minted the material.
+  static std::unique_ptr<SecureChannelEndpoint> resume(Role role,
+                                                       BytesView key_material);
+
   // --- Handshake (drive according to role) --------------------------------
   /// Initiator: produce msg1.
   Result<Bytes> start();
@@ -81,6 +90,9 @@ class SecureChannelEndpoint {
   Result<Bytes> open_record(BytesView wire);
 
  private:
+  struct ResumeTag {};
+  SecureChannelEndpoint(ResumeTag, Role role, BytesView key_material);
+
   Status derive_keys();
 
   Role role_;

@@ -143,6 +143,23 @@ struct RecoveryStats {
   }
 };
 
+/// Fleet connectivity observability (lateral::fleet). The full/resumed
+/// split is the subsystem's whole value proposition made measurable: every
+/// accepted connection lands in exactly one of handshakes_full /
+/// handshakes_resumed, every refused ticket in tickets_rejected (which then
+/// falls back to a full handshake — the terminal counters still balance),
+/// and admission_shed counts requests refused at the edge so overload is
+/// visible as shedding, never as silent loss.
+struct FleetStats {
+  std::uint64_t handshakes_full = 0;     // three-message quote exchanges
+  std::uint64_t handshakes_resumed = 0;  // one-RTT ticket resumptions
+  std::uint64_t tickets_issued = 0;      // resumption tickets minted
+  std::uint64_t tickets_rejected = 0;    // expired/replayed/unsealable/wrong id
+  std::uint64_t admission_shed = 0;      // requests refused by the token bucket
+  std::uint64_t verify_cache_hits = 0;   // quote verifications skipped
+  std::uint64_t verify_cache_misses = 0; // full verifications performed
+};
+
 /// Aggregates counters per domain label ("mail.ui->imap", "fig9.sgx", ...).
 /// Channels configured with the same hub+label share one counter block, so
 /// a component's traffic is queryable in one place regardless of how many
@@ -234,10 +251,29 @@ class MetricsHub {
     return out;
   }
 
+  using FleetSlot = Slot<FleetStats>;
+  using FleetRef = Ref<FleetStats>;
+
+  FleetRef fleet(const std::string& label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return FleetRef(&fleet_[label]);
+  }
+
+  std::map<std::string, FleetStats> all_fleet() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, FleetStats> out;
+    for (const auto& [label, slot] : fleet_) {
+      std::lock_guard<std::mutex> slot_lock(slot.mu);
+      out.emplace(label, slot.value);
+    }
+    return out;
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, CounterSlot> counters_;
   std::map<std::string, RecoverySlot> recovery_;
+  std::map<std::string, FleetSlot> fleet_;
 };
 
 }  // namespace lateral::runtime

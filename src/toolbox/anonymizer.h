@@ -29,6 +29,14 @@ struct Reading {
   double kwh = 0.0;
 };
 
+/// Fixed 24-byte wire form of a Reading (big-endian u64 household | u64
+/// bucket | u64 milli-kWh). This is what a fleet of meters ships over
+/// attested channels: fixed-size, self-delimiting, no parser state —
+/// exactly what an ingest path handling untrusted input wants.
+constexpr std::size_t kReadingWireBytes = 24;
+Bytes encode_reading(const Reading& reading);
+Result<Reading> decode_reading(BytesView wire);
+
 struct Aggregate {
   std::uint64_t bucket = 0;
   std::size_t contributors = 0;

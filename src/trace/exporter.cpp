@@ -207,6 +207,16 @@ std::string TraceExporter::text_snapshot() const {
           << " escalations=" << r.escalations
           << " mean_mttr=" << r.mean_mttr_cycles() << "\n";
     }
+    for (const auto& [label, f] : hub_->all_fleet()) {
+      out << "-- " << label
+          << " (fleet): handshakes_full=" << f.handshakes_full
+          << " handshakes_resumed=" << f.handshakes_resumed
+          << " tickets_issued=" << f.tickets_issued
+          << " tickets_rejected=" << f.tickets_rejected
+          << " admission_shed=" << f.admission_shed
+          << " verify_cache_hits=" << f.verify_cache_hits
+          << " verify_cache_misses=" << f.verify_cache_misses << "\n";
+    }
   }
   return out.str();
 }

@@ -105,6 +105,12 @@ enum class SpanPhase : std::uint8_t {
   relaunch,   // supervisor created the replacement domain
   attested,   // relaunch passed re-measurement / challenge-response
   recovered,  // component serving again (MTTR endpoint)
+  // Fleet connection establishment (lateral::fleet). Two distinct phases so
+  // exported flame views separate the expensive full quote exchange from the
+  // one-RTT ticket path — a resumed connection should never be mistaken for
+  // (or hide behind) a cold one.
+  handshake_full,     // full three-message attested handshake completed
+  handshake_resumed,  // one-RTT ticket resumption completed
 };
 
 constexpr std::string_view span_phase_name(SpanPhase p) {
@@ -120,6 +126,8 @@ constexpr std::string_view span_phase_name(SpanPhase p) {
     case SpanPhase::relaunch: return "relaunch";
     case SpanPhase::attested: return "attested";
     case SpanPhase::recovered: return "recovered";
+    case SpanPhase::handshake_full: return "handshake_full";
+    case SpanPhase::handshake_resumed: return "handshake_resumed";
   }
   return "unknown";
 }

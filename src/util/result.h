@@ -38,6 +38,8 @@ enum class Errc {
   no_region_support,    // substrate cannot realize shared grant regions
   redaction_denied,     // trace export would leak payload spans to an
                         // observer the trust graph does not authorize
+  ticket_expired,       // resumption ticket presented after its expiry
+  ticket_replayed,      // resumption ticket redeemed a second time
 };
 
 /// Human-readable name for an error code.
@@ -64,6 +66,8 @@ constexpr std::string_view errc_name(Errc e) {
     case Errc::stale_epoch: return "stale_epoch";
     case Errc::no_region_support: return "no_region_support";
     case Errc::redaction_denied: return "redaction_denied";
+    case Errc::ticket_expired: return "ticket_expired";
+    case Errc::ticket_replayed: return "ticket_replayed";
   }
   return "unknown";
 }

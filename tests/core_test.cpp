@@ -152,6 +152,56 @@ TEST(ManifestParser, RejectsMalformedRestartStanza) {
                    .ok());  // one stanza per component
 }
 
+TEST(ManifestParser, ParsesFleetStanzaAndRoundTrips) {
+  auto manifests = parse_manifests(
+      "component utility {\n"
+      "  fleet {\n"
+      "    ticket_ttl 7000000\n"
+      "    cache 128 9000000\n"
+      "    admit 32 512\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_TRUE((*manifests)[0].fleet.has_value());
+  EXPECT_EQ((*manifests)[0].fleet->ticket_ttl, 7'000'000u);
+  EXPECT_EQ((*manifests)[0].fleet->cache_capacity, 128u);
+  EXPECT_EQ((*manifests)[0].fleet->cache_ttl, 9'000'000u);
+  EXPECT_EQ((*manifests)[0].fleet->admit_rate, 32u);
+  EXPECT_EQ((*manifests)[0].fleet->admit_burst, 512u);
+
+  auto reparsed = parse_manifests(to_text(*manifests));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)[0].fleet, (*manifests)[0].fleet);
+
+  // An empty stanza means "fleet frontend with defaults"; absence means
+  // "not a fleet frontend" — different declarations.
+  auto defaulted = parse_manifests("component x {\n  fleet {\n  }\n}\n");
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_EQ(*(*defaulted)[0].fleet, FleetPolicy{});
+  auto plain = parse_manifests("component y {\n}\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE((*plain)[0].fleet.has_value());
+}
+
+TEST(ManifestParser, RejectsMalformedFleetStanza) {
+  EXPECT_FALSE(parse_manifests("component x {\n fleet\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n fleet {\n bogus 1\n}\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n fleet {\n cache 1\n}\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n fleet {\n admit x y\n}\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n fleet {\n}\n fleet {\n}\n}\n").ok());
+  // Zero admission capacity is a validation problem, not a parse error.
+  auto zero =
+      parse_manifests("component x {\n fleet {\n admit 0 0\n}\n}\n");
+  ASSERT_TRUE(zero.ok());
+  const auto problems = validate(*zero);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("admission"), std::string::npos);
+}
+
 TEST(ManifestParser, ParsesRegionStanza) {
   auto manifests = parse_manifests(
       "component ui {\n"

@@ -226,9 +226,9 @@ class FederationTest : public ::testing::Test {
 
 TEST_F(FederationTest, EstablishAndCallAcrossMachines) {
   auto link = net::establish_link(
-      network_, "meter", "utility", std::nullopt,
-      net::VerifierConfig{verifier_.get(), "anonymizer"},
-      net::ProverConfig{sgx_.get(), anonymizer_}, std::nullopt);
+      network_, "meter", "utility",
+      {.initiator_verifier = net::VerifierConfig{verifier_.get(), "anonymizer"},
+       .responder_prover = net::ProverConfig{sgx_.get(), anonymizer_}});
   ASSERT_TRUE(link.ok());
 
   ASSERT_TRUE((*link)
@@ -247,9 +247,9 @@ TEST_F(FederationTest, EstablishAndCallAcrossMachines) {
 TEST_F(FederationTest, RefusesUnattestedResponder) {
   // Responder cannot prove the expected code identity: no link.
   auto link = net::establish_link(
-      network_, "meter", "utility", std::nullopt,
-      net::VerifierConfig{verifier_.get(), "anonymizer"}, std::nullopt,
-      std::nullopt);
+      network_, "meter", "utility",
+      {.initiator_verifier =
+           net::VerifierConfig{verifier_.get(), "anonymizer"}});
   EXPECT_FALSE(link.ok());
 }
 
@@ -262,9 +262,9 @@ TEST_F(FederationTest, SurvivesPassiveMitmFailsOnActive) {
     return Bytes(payload.begin(), payload.end());
   });
   auto link = net::establish_link(
-      network_, "meter", "utility", std::nullopt,
-      net::VerifierConfig{verifier_.get(), "anonymizer"},
-      net::ProverConfig{sgx_.get(), anonymizer_}, std::nullopt);
+      network_, "meter", "utility",
+      {.initiator_verifier = net::VerifierConfig{verifier_.get(), "anonymizer"},
+       .responder_prover = net::ProverConfig{sgx_.get(), anonymizer_}});
   ASSERT_TRUE(link.ok());
   EXPECT_GE(observed, 3u);
 
@@ -290,8 +290,7 @@ TEST_F(FederationTest, DroppedHandshakeFailsCleanly) {
                            BytesView) -> std::optional<Bytes> {
     return std::nullopt;  // black hole
   });
-  auto link = net::establish_link(network_, "meter", "utility", std::nullopt,
-                                  std::nullopt, std::nullopt, std::nullopt);
+  auto link = net::establish_link(network_, "meter", "utility", {});
   EXPECT_EQ(link.error(), Errc::io_error);
 }
 

@@ -2,6 +2,7 @@
 // attestation, MITM splice refusal, record tamper/replay/reorder detection.
 #include <gtest/gtest.h>
 
+#include "fleet/ticket.h"
 #include "net/network.h"
 #include "net/remote.h"
 #include "net/secure_channel.h"
@@ -302,6 +303,58 @@ TEST_F(SecureChannelTest, MalformedHandshakeMessagesRejected) {
   // Role misuse.
   EXPECT_FALSE(responder.start().ok());
   EXPECT_FALSE(initiator.handle_msg1(*msg1).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Resumed channels: SecureChannelEndpoint::resume skips the handshake and
+// derives everything from externally agreed key material (fleet tickets).
+
+TEST_F(SecureChannelTest, ResumedEndpointsInteroperateImmediately) {
+  const Bytes keys(32, 0x5A);
+  auto initiator = SecureChannelEndpoint::resume(Role::initiator, keys);
+  auto responder = SecureChannelEndpoint::resume(Role::responder, keys);
+  ASSERT_TRUE(initiator->established());
+  ASSERT_TRUE(responder->established());
+  auto wire = initiator->seal_record(to_bytes("resumed-reading"));
+  ASSERT_TRUE(wire.ok());
+  auto plain = responder->open_record(*wire);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(to_string(*plain), "resumed-reading");
+  auto reply = responder->seal_record(to_bytes("price"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(initiator->open_record(*reply).ok());
+}
+
+TEST_F(SecureChannelTest, ResumedEndpointWithWrongKeysFailsEveryRecord) {
+  // A stolen ticket without its secret derives different keys; the channel
+  // authenticates itself in use — the first record already fails.
+  auto initiator =
+      SecureChannelEndpoint::resume(Role::initiator, Bytes(32, 0x01));
+  auto responder =
+      SecureChannelEndpoint::resume(Role::responder, Bytes(32, 0x02));
+  auto wire = initiator->seal_record(to_bytes("forged"));
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(responder->open_record(*wire).error(), Errc::verification_failed);
+}
+
+// Ticket abuse at the issuer: the rejection paths a fleet server relies on
+// (replay, expiry, rotation) answer with distinct, typed errors.
+TEST(ResumptionTickets, AbuseIsRejectedWithTypedErrors) {
+  fleet::TicketIssuer issuer(to_bytes("net-ticket-key"), /*ttl=*/500);
+  crypto::Digest measurement{};
+  measurement.fill(0x33);
+
+  const fleet::MintedTicket replayed = issuer.mint(measurement, 0);
+  ASSERT_TRUE(issuer.redeem(replayed.wire, 10).ok());
+  EXPECT_EQ(issuer.redeem(replayed.wire, 20).error(), Errc::ticket_replayed);
+
+  const fleet::MintedTicket expired = issuer.mint(measurement, 0);
+  EXPECT_EQ(issuer.redeem(expired.wire, 1000).error(), Errc::ticket_expired);
+
+  const fleet::MintedTicket rotated = issuer.mint(measurement, 0);
+  issuer.rotate();
+  EXPECT_EQ(issuer.redeem(rotated.wire, 10).error(),
+            Errc::verification_failed);
 }
 
 // ---------------------------------------------------------------------------

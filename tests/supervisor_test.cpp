@@ -10,7 +10,10 @@
 #include <algorithm>
 
 #include "core/composer.h"
+#include "fleet/fleet_client.h"
+#include "fleet/fleet_server.h"
 #include "microkernel/microkernel.h"
+#include "net/network.h"
 #include "supervisor/supervisor.h"
 #include "test_support.h"
 #include "trace/trace.h"
@@ -306,6 +309,63 @@ TEST_F(SupervisorTest, RecoveryReportCarriesCorpseFlightRecorder) {
   EXPECT_EQ(fresh.front().phase, trace::SpanPhase::relaunch);
   EXPECT_EQ(fresh.back().phase, trace::SpanPhase::recovered);
   mk_->set_tracer(nullptr);
+}
+
+TEST_F(SupervisorTest, SupervisedRestartInvalidatesFleetTickets) {
+  // A FleetServer fronting the supervised worker: its on_restart hook is
+  // the production wiring for fleet::FleetServer::on_service_restart —
+  // tickets minted by the dead incarnation must die with it, and clients
+  // must land in a clean full-handshake fallback, not a wedged session.
+  net::SimNetwork network;
+  ASSERT_TRUE(network.register_endpoint("utility").ok());
+  auto endpoint = assembly_->endpoint("front", "worker");
+  ASSERT_TRUE(endpoint.ok());
+
+  fleet::FleetServerConfig config;
+  config.endpoint = "utility";
+  config.network = &network;
+  config.substrate = mk_.get();
+  config.service_domain = (*assembly_->component("worker"))->domain;
+  config.frontend_domain = (*assembly_->component("front"))->domain;
+  config.service_channel = endpoint->channel();
+  fleet::FleetServer server(std::move(config));
+
+  fleet::FleetClientConfig client_config;
+  client_config.endpoint = "meter";
+  client_config.server_endpoint = "utility";
+  client_config.network = &network;
+  client_config.drive = [&server] { (void)server.pump(); };
+  fleet::FleetClient meter(std::move(client_config));
+
+  ASSERT_TRUE(meter.connect().ok());
+  ASSERT_TRUE(meter.has_ticket());
+  auto reply = meter.call("report", to_bytes("r1"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "serving");
+
+  Supervisor sup(*assembly_);
+  ASSERT_TRUE(sup.watch_all().ok());
+  sup.on_restart([&](const std::string& name, std::uint32_t) {
+    if (name == "worker")
+      server.on_service_restart((*assembly_->component(name))->domain);
+  });
+  ASSERT_TRUE(assembly_->kill_component("worker").ok());
+  sup.tick();
+  tick_until_running(sup, "worker");
+  ASSERT_EQ(*sup.health("worker"), Health::running);
+
+  // The held ticket was sealed by the dead incarnation's key: refused as
+  // unverifiable, and the client re-proves itself from scratch.
+  ASSERT_TRUE(meter.connect().ok());
+  EXPECT_FALSE(meter.resumed());
+  EXPECT_EQ(meter.last_reject(), Errc::verification_failed);
+  EXPECT_EQ(server.stats().tickets_rejected, 1u);
+  EXPECT_EQ(server.stats().handshakes_full, 2u);
+
+  // Service continues against the new incarnation and channel epoch.
+  reply = meter.call("report", to_bytes("r2"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(to_string(*reply), "serving");
 }
 
 }  // namespace
