@@ -1,0 +1,458 @@
+// FIG15 — attested over-the-air update with rollback protection.
+//
+// lateral::update streams a vendor-signed image into the inactive slot
+// while the old image keeps serving, swaps through a supervised restart
+// with fresh attestation, and lets probation decide commit-or-revert.
+// This benchmark measures the three numbers that story hangs on:
+//
+//   update latency — accept -> committed, through stage (chunked call_sg
+//                    over the zero-copy plane), arm, the attested swap,
+//                    and a full probation window. The NV counter bumps
+//                    once per committed version.
+//   revert MTTR    — the new incarnation dies in probation; detect ->
+//                    old-image-serving-again, automatic, no operator.
+//   served traffic — a fleet client calls through the whole lifecycle.
+//                    Acceptance: zero admitted requests lost, the dead
+//                    incarnation's ticket visibly refused, and the p99 of
+//                    served calls stays bounded across the swap.
+//
+// Run with --benchmark_format=json > BENCH_FIG15.json for the committed
+// machine-readable artifact (CI validates it with python3 -m json.tool).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "bench_common.h"
+#include "core/attestation.h"
+#include "core/composer.h"
+#include "fleet/fleet_client.h"
+#include "fleet/fleet_server.h"
+#include "microkernel/microkernel.h"
+#include "net/network.h"
+#include "runtime/metrics.h"
+#include "supervisor/supervisor.h"
+#include "tpm/tpm.h"
+#include "update/update.h"
+#include "util/table.h"
+
+using namespace lateral;
+using namespace lateral::bench;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rig: one device. A microkernel hosts the updatable worker plus the
+// untrusted frontend and the updater that drives staging; a discrete TPM
+// holds the monotonic NV counter. The restart budget is deliberately
+// generous (max 64) so the latency scenarios can run many lifecycles
+// without tripping the flap damping that update_test exercises.
+
+constexpr const char* kFig15System = R"(
+component updater {
+  substrate microkernel
+  channel worker
+  region worker 65536
+}
+component front {
+  substrate microkernel
+  channel worker
+}
+component worker {
+  substrate microkernel
+  channel updater
+  channel front
+  restart {
+    max 64
+    backoff 10
+    escalate degraded
+  }
+  update {
+    key vendor
+    slots 2
+    probation 3
+  }
+}
+)";
+
+constexpr std::size_t kImageBytes = 4096;   // 16 chunks at 256B each
+constexpr std::size_t kChunkBytes = 256;
+
+struct Rig {
+  runtime::MetricsHub hub;
+  std::unique_ptr<hw::Machine> machine;
+  std::unique_ptr<microkernel::Microkernel> mk;
+  std::unique_ptr<tpm::Tpm> tpm;
+  std::unique_ptr<core::Assembly> assembly;
+  std::unique_ptr<core::AttestationVerifier> verifier;
+  std::unique_ptr<supervisor::Supervisor> sup;
+  std::unique_ptr<update::DeviceRollbackCounters<tpm::Tpm>> counters;
+  crypto::RsaKeyPair vendor_key;
+  std::unique_ptr<update::UpdateOrchestrator> orchestrator;
+};
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fig15: %s\n", what);
+  std::abort();
+}
+
+std::unique_ptr<Rig> make_rig() {
+  auto rig = std::make_unique<Rig>();
+  rig->machine = make_machine("fig15-device");
+  rig->mk = std::make_unique<microkernel::Microkernel>(
+      *rig->machine, substrate::SubstrateConfig{});
+  rig->tpm =
+      std::make_unique<tpm::Tpm>(*rig->machine, substrate::SubstrateConfig{});
+
+  core::SystemComposer composer(
+      {{"microkernel",
+        static_cast<substrate::IsolationSubstrate*>(rig->mk.get())}});
+  auto manifests = core::parse_manifests(kFig15System);
+  if (!manifests.ok()) die("manifest parse failed");
+  auto assembly = composer.compose(*manifests);
+  if (!assembly.ok()) die("compose failed");
+  rig->assembly = std::move(*assembly);
+  if (!rig->assembly
+           ->set_behavior("worker",
+                          [](const substrate::Invocation&) -> Result<Bytes> {
+                            return Bytes{1};
+                          })
+           .ok())
+    die("set_behavior failed");
+
+  rig->verifier =
+      std::make_unique<core::AttestationVerifier>(to_bytes("fig15-verifier"));
+  rig->verifier->add_trusted_root(vendor().root_public_key());
+  rig->sup = std::make_unique<supervisor::Supervisor>(
+      *rig->assembly, supervisor::SupervisorConfig{
+                          .hub = &rig->hub, .verifier = rig->verifier.get()});
+  if (!rig->sup->watch_all().ok()) die("watch_all failed");
+
+  rig->counters =
+      std::make_unique<update::DeviceRollbackCounters<tpm::Tpm>>(*rig->tpm);
+  crypto::HmacDrbg drbg(to_bytes("fig15-vendor"));
+  rig->vendor_key = crypto::RsaKeyPair::generate(drbg, 512);
+
+  update::UpdateOrchestratorConfig config;
+  config.chunk_bytes = kChunkBytes;
+  config.hub = &rig->hub;
+  // Restart backoff doubles per attempt used and never resets; back-to-back
+  // lifecycles push the relaunch gate out exponentially, so give commit's
+  // drive loop enough spins to ride out the longest gate.
+  config.restart_spins = 8192;
+  rig->orchestrator = std::make_unique<update::UpdateOrchestrator>(
+      *rig->assembly, *rig->sup, *rig->counters, rig->vendor_key.pub, config);
+  return rig;
+}
+
+std::pair<update::UpdateManifest, Bytes> signed_update(Rig& rig,
+                                                       std::uint64_t version) {
+  Bytes image = to_bytes("fig15-image-v" + std::to_string(version) + ":");
+  while (image.size() < kImageBytes)
+    image.push_back(static_cast<std::uint8_t>(version * 31 + image.size()));
+  update::UpdateManifest manifest =
+      update::make_manifest("worker", version, image);
+  update::sign_manifest(manifest, rig.vendor_key);
+  return {manifest, image};
+}
+
+void stage_arm_commit(Rig& rig, std::uint64_t version) {
+  auto [manifest, image] = signed_update(rig, version);
+  if (auto s = rig.orchestrator->stage(manifest, image); !s.ok()) {
+    std::fprintf(stderr, "fig15: stage v%llu err=%d\n",
+                 (unsigned long long)version, (int)s.error());
+    die("stage failed");
+  }
+  if (!rig.orchestrator->arm("worker").ok()) die("arm failed");
+  if (auto c = rig.orchestrator->commit("worker"); !c.ok()) {
+    std::fprintf(stderr, "fig15: commit v%llu err=%d health=%d\n",
+                 (unsigned long long)version, (int)c.error(),
+                 (int)*rig.sup->health("worker"));
+    die("commit failed");
+  }
+}
+
+void run_probation(Rig& rig) {
+  for (int i = 0; i < 3; ++i)
+    if (!rig.orchestrator->probation_tick("worker").ok())
+      die("probation tick failed");
+  if (rig.orchestrator->state("worker") != update::UpdateState::committed)
+    die("probation did not commit");
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: update latency. kUpdates full lifecycles back to back —
+// every one streams a fresh 4 KiB image, swaps, survives probation, and
+// bumps the NV counter.
+
+constexpr int kUpdates = 8;
+
+struct UpdateNumbers {
+  double wall_us = 0;              // per lifecycle, wall clock
+  double update_cycles = 0;        // accept -> committed, simulated cycles
+  double stage_mbytes_per_sec = 0; // image streaming throughput, wall clock
+  std::uint64_t committed = 0;
+  std::uint64_t counter = 0;       // NV counter after the run
+  bool pass() const { return committed == kUpdates && counter == kUpdates; }
+};
+
+UpdateNumbers measure_update_latency() {
+  auto rig = make_rig();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t v = 1; v <= kUpdates; ++v) {
+    stage_arm_commit(*rig, v);
+    run_probation(*rig);
+    rig->machine->advance(1 << 16);  // clear any accumulated backoff
+  }
+  const double elapsed_s = seconds_since(start);
+
+  const runtime::UpdateStats stats = rig->orchestrator->stats();
+  UpdateNumbers out;
+  out.wall_us = elapsed_s * 1e6 / kUpdates;
+  out.update_cycles = static_cast<double>(stats.mean_update_cycles());
+  out.stage_mbytes_per_sec =
+      static_cast<double>(stats.bytes_streamed) / elapsed_s / 1e6;
+  out.committed = stats.committed;
+  out.counter = *rig->counters->read("update.worker");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: revert MTTR. Every new incarnation dies on its second
+// probation heartbeat; the orchestrator must detect, restore the old
+// slot+measurement, and have the old image serving again — automatically.
+
+constexpr int kReverts = 6;
+
+struct RevertNumbers {
+  double detect_wall_us = 0;      // probation_tick that reverts, wall clock
+  double revert_cycles = 0;       // detect -> old image serving, cycles
+  std::uint64_t reverted = 0;
+  std::uint64_t audit = 0;        // supervisor-side update_reverts counter
+  std::uint64_t counter = 0;      // must stay 0: nothing ever committed
+  bool pass() const {
+    return reverted == kReverts && audit == kReverts && counter == 0;
+  }
+};
+
+RevertNumbers measure_revert_mttr() {
+  auto rig = make_rig();
+  double detect_s = 0;
+  for (std::uint64_t v = 1; v <= kReverts; ++v) {
+    stage_arm_commit(*rig, v);
+    if (!rig->assembly->kill_component("worker").ok()) die("kill failed");
+    const auto start = std::chrono::steady_clock::now();
+    auto state = rig->orchestrator->probation_tick("worker");
+    detect_s += seconds_since(start);
+    if (!state.ok() || *state != update::UpdateState::reverted)
+      die("expected automatic revert");
+    if (!rig->assembly->invoke("front", "worker", to_bytes("x")).ok())
+      die("old image not serving after revert");
+    rig->machine->advance(1 << 16);
+    rig->sup->tick();  // let the supervisor settle between lifecycles
+  }
+
+  const runtime::UpdateStats stats = rig->orchestrator->stats();
+  RevertNumbers out;
+  out.detect_wall_us = detect_s * 1e6 / kReverts;
+  out.revert_cycles = static_cast<double>(stats.mean_revert_cycles());
+  out.reverted = stats.reverted;
+  out.audit = rig->hub.recovery("supervisor")->update_reverts;
+  out.counter = *rig->counters->read("update.worker");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: served traffic across the update. A fleet meter calls the
+// worker through every phase — before, during staging, in probation, after
+// commit. The swap invalidates the old incarnation's ticket (refused,
+// counted, full re-handshake) but no admitted request is ever lost.
+
+constexpr int kCallsPerPhase = 32;
+
+struct ServeNumbers {
+  Cycles p99 = 0;
+  Cycles mean = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t tickets_rejected = 0;
+  std::uint64_t lost() const { return admitted - completed; }
+  bool pass() const { return lost() == 0 && tickets_rejected >= 1; }
+};
+
+ServeNumbers measure_served_traffic() {
+  auto rig = make_rig();
+  net::SimNetwork network;
+  if (!network.register_endpoint("utility").ok()) die("endpoint failed");
+  auto endpoint = rig->assembly->endpoint("front", "worker");
+  if (!endpoint.ok()) die("no front->worker endpoint");
+
+  fleet::FleetServerConfig config;
+  config.endpoint = "utility";
+  config.network = &network;
+  config.substrate = rig->mk.get();
+  config.service_domain = (*rig->assembly->component("worker"))->domain;
+  config.frontend_domain = (*rig->assembly->component("front"))->domain;
+  config.service_channel = endpoint->channel();
+  config.hub = &rig->hub;
+  config.label = "fig15.serve";
+  fleet::FleetServer server(std::move(config));
+
+  fleet::FleetClientConfig client_config;
+  client_config.endpoint = "meter";
+  client_config.server_endpoint = "utility";
+  client_config.network = &network;
+  client_config.drive = [&server] { (void)server.pump(); };
+  fleet::FleetClient meter(std::move(client_config));
+  if (!meter.connect().ok()) die("fleet connect failed");
+
+  // Tickets sealed by the pre-update incarnation die with the swap.
+  rig->sup->on_restart([&](const std::string& name, std::uint32_t) {
+    if (name == "worker")
+      server.on_service_restart((*rig->assembly->component(name))->domain);
+  });
+
+  ServeNumbers out;
+  const auto drive_traffic = [&] {
+    for (int i = 0; i < kCallsPerPhase; ++i) {
+      if (!meter.call("report", to_bytes("r")).ok()) die("serve call failed");
+      ++out.admitted;
+    }
+    rig->machine->advance(1'000'000);  // keep the admission bucket topped up
+  };
+
+  drive_traffic();  // baseline
+  auto [manifest, image] = signed_update(*rig, 1);
+  if (!rig->orchestrator->stage(manifest, image).ok()) die("stage failed");
+  drive_traffic();  // the old slot serves during staging
+  if (!rig->orchestrator->arm("worker").ok()) die("arm failed");
+  if (!rig->orchestrator->commit("worker").ok()) die("commit failed");
+
+  // The held ticket belongs to the dead incarnation: refused, re-handshake.
+  if (!meter.connect().ok()) die("post-swap reconnect failed");
+  if (meter.resumed()) die("stale ticket was honoured across the swap");
+  drive_traffic();  // probation traffic against the new image
+  run_probation(*rig);
+  drive_traffic();  // steady state on the committed version
+
+  const auto counters = rig->hub.counters("fig15.serve").snapshot();
+  out.p99 = counters.latency_percentile(0.99);
+  out.mean = counters.mean_latency_cycles();
+  out.completed = counters.completed;
+  out.tickets_rejected = server.stats().tickets_rejected;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Human-facing report.
+
+void run_report() {
+  std::printf("== FIG15: attested OTA update, rollback-protected ==\n\n");
+  char buffer[64];
+
+  const UpdateNumbers up = measure_update_latency();
+  std::printf("-- update latency (%d full lifecycles, 4 KiB images) --\n",
+              kUpdates);
+  util::Table up_table({"per update", "accept->commit (cycles)",
+                        "staging MB/s", "committed", "NV counter"});
+  std::snprintf(buffer, sizeof buffer, "%.1f us", up.wall_us);
+  std::string wall(buffer);
+  std::snprintf(buffer, sizeof buffer, "%.1f", up.stage_mbytes_per_sec);
+  up_table.add_row({wall, util::fmt_cycles(Cycles(up.update_cycles)), buffer,
+                    std::to_string(up.committed), std::to_string(up.counter)});
+  std::printf("%s\n", up_table.render().c_str());
+  std::printf("stage streams chunked call_sg over the zero-copy plane; the\n"
+              "NV counter bumps exactly once per committed version: %s\n\n",
+              up.pass() ? "PASS" : "FAIL");
+
+  const RevertNumbers rv = measure_revert_mttr();
+  std::printf("-- revert MTTR (%d probation failures) --\n", kReverts);
+  util::Table rv_table({"detect+revert", "detect->serving (cycles)",
+                        "reverted", "audited", "NV counter"});
+  std::snprintf(buffer, sizeof buffer, "%.1f us", rv.detect_wall_us);
+  rv_table.add_row({buffer, util::fmt_cycles(Cycles(rv.revert_cycles)),
+                    std::to_string(rv.reverted), std::to_string(rv.audit),
+                    std::to_string(rv.counter)});
+  std::printf("%s\n", rv_table.render().c_str());
+  std::printf("every failed probation reverts automatically and lands in the\n"
+              "supervisor's recovery accounting; the counter never moves, so\n"
+              "the failed version stays retryable but replay stays dead: %s\n\n",
+              rv.pass() ? "PASS" : "FAIL");
+
+  const ServeNumbers sv = measure_served_traffic();
+  std::printf("-- served traffic across the update (%d calls x 4 phases) --\n",
+              kCallsPerPhase);
+  util::Table sv_table({"p99 (cycles)", "mean (cycles)", "admitted",
+                        "completed", "lost", "tickets refused"});
+  sv_table.add_row({util::fmt_cycles(sv.p99), util::fmt_cycles(sv.mean),
+                    std::to_string(sv.admitted), std::to_string(sv.completed),
+                    std::to_string(sv.lost()),
+                    std::to_string(sv.tickets_rejected)});
+  std::printf("%s\n", sv_table.render().c_str());
+  std::printf("the old slot serves through staging, the swap rotates the\n"
+              "session ticket, and zero admitted requests are lost: %s\n\n",
+              sv.pass() ? "PASS" : "FAIL");
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable mirror (the BENCH_FIG15.json artifact). Wall-clock time
+// of the google-benchmark loop is meaningless; the counters are the data.
+
+void register_json_benchmarks() {
+  benchmark::RegisterBenchmark(
+      "fig15/update_latency", [](benchmark::State& state) {
+        const UpdateNumbers up = measure_update_latency();
+        for (auto _ : state) benchmark::DoNotOptimize(up.update_cycles);
+        state.counters["wall_us_per_update"] = up.wall_us;
+        state.counters["accept_to_commit_cycles"] = up.update_cycles;
+        state.counters["staging_mbytes_per_sec"] = up.stage_mbytes_per_sec;
+        state.counters["committed"] = static_cast<double>(up.committed);
+        state.counters["nv_counter"] = static_cast<double>(up.counter);
+        state.counters["counter_tracks_commits"] = up.pass() ? 1.0 : 0.0;
+      });
+  benchmark::RegisterBenchmark(
+      "fig15/revert_mttr", [](benchmark::State& state) {
+        const RevertNumbers rv = measure_revert_mttr();
+        for (auto _ : state) benchmark::DoNotOptimize(rv.revert_cycles);
+        state.counters["detect_wall_us"] = rv.detect_wall_us;
+        state.counters["detect_to_serving_cycles"] = rv.revert_cycles;
+        state.counters["reverted"] = static_cast<double>(rv.reverted);
+        state.counters["audited_update_reverts"] =
+            static_cast<double>(rv.audit);
+        state.counters["nv_counter_untouched"] =
+            rv.counter == 0 ? 1.0 : 0.0;
+        state.counters["auto_revert_holds"] = rv.pass() ? 1.0 : 0.0;
+      });
+  benchmark::RegisterBenchmark(
+      "fig15/served_traffic", [](benchmark::State& state) {
+        const ServeNumbers sv = measure_served_traffic();
+        for (auto _ : state) benchmark::DoNotOptimize(sv.p99);
+        state.counters["p99_cycles"] = static_cast<double>(sv.p99);
+        state.counters["mean_cycles"] = static_cast<double>(sv.mean);
+        state.counters["admitted"] = static_cast<double>(sv.admitted);
+        state.counters["completed"] = static_cast<double>(sv.completed);
+        state.counters["admitted_lost"] = static_cast<double>(sv.lost());
+        state.counters["tickets_refused"] =
+            static_cast<double>(sv.tickets_rejected);
+        state.counters["lossless_across_update"] = sv.pass() ? 1.0 : 0.0;
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!machine_readable_output(argc, argv)) run_report();
+  register_json_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -6,10 +6,14 @@
 // service without any password (attestation-backed tokens), stores its
 // state through a generic trusted wrapper on a hostile OS, and reports
 // readings over a federated attested link into a k-anonymizing aggregator
-// behind a rate-limiting gateway.
+// behind a rate-limiting gateway — and finally takes a vendor-signed OTA
+// update, watches the new image fail its probation heartbeat, and reverts
+// automatically with the rollback counter untouched.
 #include <cstdio>
 
 #include "lateral.h"
+#include "supervisor/supervisor.h"
+#include "update/update.h"
 
 using namespace lateral;
 
@@ -141,5 +145,94 @@ int main() {
               std::string(errc_name(
                   aggregator.analyst_query_household_curve(17).error()))
                   .c_str());
+
+  // --- 6. Staged OTA update with automatic revert (update/) -------------------
+  hw::Machine field(hw::MachineConfig{.name = "field-device"}, vendor,
+                    to_bytes("field-rom"));
+  auto mk = *registry.create("microkernel", field);
+  tpm::Tpm rollback_chip(field, {});
+  core::SystemComposer composer({{"microkernel", mk.get()}});
+  auto manifests = core::parse_manifests(R"(
+    component updater {
+      substrate microkernel
+      channel app
+      region app 65536
+    }
+    component app {
+      substrate microkernel
+      channel updater
+      restart {
+        max 4
+        backoff 10
+        escalate degraded
+      }
+      update {
+        key vendor
+        slots 2
+        probation 2
+      }
+    }
+  )");
+  auto assembly = composer.compose(*manifests);
+  if (!assembly) {
+    std::printf("update assembly failed to compose\n");
+    return 1;
+  }
+  (void)(*assembly)->set_behavior(
+      "app", [](const substrate::Invocation&) -> Result<Bytes> {
+        return to_bytes("serving");
+      });
+  core::AttestationVerifier field_verifier(to_bytes("field-v"));
+  field_verifier.add_trusted_root(vendor.root_public_key());
+  supervisor::Supervisor sup(**assembly,
+                             {.verifier = &field_verifier});
+  (void)sup.watch_all();
+  update::DeviceRollbackCounters<tpm::Tpm> counters(rollback_chip);
+  crypto::HmacDrbg fw_drbg(to_bytes("firmware-vendor"));
+  const auto fw_vendor = crypto::RsaKeyPair::generate(fw_drbg, 512);
+  update::UpdateOrchestrator ota(**assembly, sup, counters, fw_vendor.pub,
+                                 {.chunk_bytes = 64});
+
+  const auto signed_image = [&](std::uint64_t version) {
+    Bytes image = to_bytes("app firmware v" + std::to_string(version));
+    auto manifest = update::make_manifest("app", version, image);
+    update::sign_manifest(manifest, fw_vendor);
+    return std::pair{manifest, image};
+  };
+
+  // v1 streams into the inactive slot, swaps through an attested restart,
+  // survives probation, and the rollback counter advances.
+  auto [v1, v1_image] = signed_image(1);
+  if (auto s = ota.stage(v1, v1_image); !s.ok())
+    std::printf("OTA v1 stage refused: %s\n",
+                std::string(errc_name(s.error())).c_str());
+  if (auto s = ota.arm("app"); !s.ok())
+    std::printf("OTA v1 arm refused: %s\n",
+                std::string(errc_name(s.error())).c_str());
+  if (auto s = ota.commit("app"); !s.ok())
+    std::printf("OTA v1 commit refused: %s\n",
+                std::string(errc_name(s.error())).c_str());
+  while (ota.state("app") == update::UpdateState::probation)
+    (void)ota.probation_tick("app");
+  std::printf("OTA v1: %s, rollback counter %llu\n",
+              std::string(update::update_state_name(ota.state("app"))).c_str(),
+              static_cast<unsigned long long>(*counters.read("update.app")));
+
+  // Re-offering v1 — validly signed, merely old — is the rollback attack;
+  // only the monotonic counter can refuse it.
+  std::printf("OTA v1 replay: %s\n",
+              std::string(errc_name(ota.stage(v1, v1_image).error())).c_str());
+
+  // v2 boots but dies in probation: automatic revert, counter untouched.
+  auto [v2, v2_image] = signed_image(2);
+  (void)ota.stage(v2, v2_image);
+  (void)ota.arm("app");
+  field.advance(1 << 16);
+  (void)ota.commit("app");
+  (void)(*assembly)->kill_component("app");
+  (void)ota.probation_tick("app");
+  std::printf("OTA v2 failed probation: %s, rollback counter still %llu\n",
+              std::string(update::update_state_name(ota.state("app"))).c_str(),
+              static_cast<unsigned long long>(*counters.read("update.app")));
   return 0;
 }

@@ -213,7 +213,9 @@ Status Assembly::restart_component(ComponentRef ref) {
   spec.name = c.manifest.name;
   spec.kind = c.manifest.kind;
   spec.image.name = c.manifest.name;
-  spec.image.code = to_bytes("lateral.component:" + c.manifest.name);
+  spec.image.code = c.image_override.empty()
+                        ? to_bytes("lateral.component:" + c.manifest.name)
+                        : c.image_override;
   spec.memory_pages = c.manifest.memory_pages;
   spec.time_share_permille = c.manifest.time_share_permille;
   auto domain = c.substrate->create_domain(spec);
@@ -272,6 +274,27 @@ Status Assembly::restart_component(const std::string& name) {
   auto r = ref(name);
   if (!r) return r.error();
   return restart_component(*r);
+}
+
+Status Assembly::set_component_image(ComponentRef ref, Bytes code) {
+  Node* node = node_of(ref);
+  if (!node) return Errc::no_such_domain;
+  node->component.image_override = std::move(code);
+  return Status::success();
+}
+
+Status Assembly::set_component_image(const std::string& name, Bytes code) {
+  auto r = ref(name);
+  if (!r) return r.error();
+  return set_component_image(*r, std::move(code));
+}
+
+Result<Bytes> Assembly::component_image(ComponentRef ref) const {
+  const Node* node = node_of(ref);
+  if (!node) return Errc::no_such_domain;
+  const Component& c = node->component;
+  if (!c.image_override.empty()) return c.image_override;
+  return to_bytes("lateral.component:" + c.manifest.name);
 }
 
 Status Assembly::compromise(const std::string& name) {

@@ -65,6 +65,12 @@ class Assembly {
     substrate::DomainId domain = substrate::kInvalidDomain;
     /// Times this component has been relaunched after a crash.
     std::uint32_t incarnation = 0;
+    /// When non-empty, restart_component launches this image instead of the
+    /// deterministic manifest-derived one — the OTA swap mechanism: the
+    /// update orchestrator installs the staged slot's bytes here, restarts,
+    /// and the component re-measures to the *new* image. Reverting restores
+    /// the previous slot's bytes the same way.
+    Bytes image_override;
   };
 
   /// Intern a component name. Errc::no_such_domain when unknown.
@@ -142,6 +148,17 @@ class Assembly {
   /// Endpoint objects go stale by design.
   Status restart_component(ComponentRef ref);
   Status restart_component(const std::string& name);
+
+  /// Install the image the *next* restart_component will launch (empty =
+  /// back to the deterministic manifest-derived image). This only stages
+  /// intent: the running domain is untouched until restart_component swaps
+  /// it. The update orchestrator is the intended caller; it verifies the
+  /// bytes against a signed manifest before installing them here.
+  Status set_component_image(ComponentRef ref, Bytes code);
+  Status set_component_image(const std::string& name, Bytes code);
+  /// The image bytes a restart of this component would launch right now
+  /// (the override when set, else the manifest-derived default).
+  Result<Bytes> component_image(ComponentRef ref) const;
 
   /// Mark a component compromised (containment experiments).
   Status compromise(const std::string& name);

@@ -43,16 +43,28 @@ std::optional<substrate::AttackerModel> parse_attacker(
 
 }  // namespace
 
-Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
+Result<std::vector<Manifest>> parse_manifests(std::string_view text,
+                                              std::string* error) {
   std::vector<Manifest> manifests;
   std::optional<Manifest> current;
   bool in_restart = false;  // inside a nested `restart { ... }` stanza
   bool in_trace = false;    // inside a nested `trace { ... }` stanza
   bool in_fleet = false;    // inside a nested `fleet { ... }` stanza
+  bool in_update = false;   // inside a nested `update { ... }` stanza
 
   std::istringstream stream{std::string(text)};
   std::string line;
   std::size_t line_no = 0;
+  // Every duplicate-stanza rejection routes through here so the diagnostic
+  // names the offending component and stanza (satellite: duplicates used to
+  // silently last-wins).
+  const auto duplicate = [&](std::string_view stanza) -> Errc {
+    if (error)
+      *error = "line " + std::to_string(line_no) + ": component " +
+               current->name + ": duplicate " + std::string(stanza) +
+               " stanza";
+    return Errc::invalid_argument;
+  };
   while (std::getline(stream, line)) {
     ++line_no;
     const std::vector<std::string> tokens = tokenize_line(line);
@@ -137,6 +149,31 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
       continue;
     }
 
+    if (in_update) {
+      UpdatePolicy& policy = *current->update;
+      const std::string& key = tokens[0];
+      if (key == "}") {
+        if (tokens.size() != 1) return Errc::invalid_argument;
+        in_update = false;
+      } else if (key == "key") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        policy.key = tokens[1];
+      } else if (key == "slots") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        const auto slots = parse_u64(tokens[1]);
+        if (!slots) return Errc::invalid_argument;
+        policy.slots = static_cast<std::uint32_t>(*slots);
+      } else if (key == "probation") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        const auto ticks = parse_u64(tokens[1]);
+        if (!ticks) return Errc::invalid_argument;
+        policy.probation_ticks = static_cast<std::uint32_t>(*ticks);
+      } else {
+        return Errc::invalid_argument;  // unknown update directive
+      }
+      continue;
+    }
+
     if (tokens[0] == "component") {
       if (current) return Errc::invalid_argument;  // nested component
       if (tokens.size() != 3 || tokens[2] != "{")
@@ -198,6 +235,11 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
         if (tokens[3] != "ro") return Errc::invalid_argument;
         decl.perms = substrate::RegionPerms::read_only;
       }
+      // One region per peer pair: a second declaration used to silently
+      // lose (the composer wires only the first) — reject it instead.
+      for (const RegionDecl& existing : current->regions)
+        if (existing.peer == decl.peer)
+          return duplicate("region " + decl.peer);
       current->regions.push_back(std::move(decl));
     } else if (key == "trusts") {
       if (!need_arg()) return Errc::invalid_argument;
@@ -217,20 +259,29 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text) {
       if (!loc) return Errc::invalid_argument;
       current->loc = *loc;
     } else if (key == "restart") {
-      if (tokens.size() != 2 || tokens[1] != "{" || current->restart)
+      if (tokens.size() != 2 || tokens[1] != "{")
         return Errc::invalid_argument;
+      if (current->restart) return duplicate("restart");
       current->restart.emplace();  // defaults apply until overridden
       in_restart = true;
     } else if (key == "trace") {
-      if (tokens.size() != 2 || tokens[1] != "{" || current->trace)
+      if (tokens.size() != 2 || tokens[1] != "{")
         return Errc::invalid_argument;
+      if (current->trace) return duplicate("trace");
       current->trace.emplace();  // redacted defaults until overridden
       in_trace = true;
     } else if (key == "fleet") {
-      if (tokens.size() != 2 || tokens[1] != "{" || current->fleet)
+      if (tokens.size() != 2 || tokens[1] != "{")
         return Errc::invalid_argument;
+      if (current->fleet) return duplicate("fleet");
       current->fleet.emplace();  // defaults apply until overridden
       in_fleet = true;
+    } else if (key == "update") {
+      if (tokens.size() != 2 || tokens[1] != "{")
+        return Errc::invalid_argument;
+      if (current->update) return duplicate("update");
+      current->update.emplace();  // defaults apply until overridden
+      in_update = true;
     } else {
       return Errc::invalid_argument;  // unknown directive
     }
@@ -286,6 +337,13 @@ std::string to_text(const std::vector<Manifest>& manifests) {
           << "\n";
       out << "  }\n";
     }
+    if (m.update) {
+      out << "  update {\n";
+      out << "    key " << m.update->key << "\n";
+      out << "    slots " << m.update->slots << "\n";
+      out << "    probation " << m.update->probation_ticks << "\n";
+      out << "  }\n";
+    }
     out << "}\n";
   }
   return out.str();
@@ -306,6 +364,27 @@ std::vector<std::string> validate(const std::vector<Manifest>& manifests) {
     // not a policy: the gate would refuse every single request.
     if (m.fleet && (m.fleet->admit_rate == 0 || m.fleet->admit_burst == 0))
       problems.push_back(m.name + ": fleet admission rate/burst of zero");
+    if (m.update) {
+      if (m.update->key.empty())
+        problems.push_back(m.name + ": update stanza with empty signing key");
+      // With fewer than two slots there is no previous image to revert to;
+      // the automatic-revert guarantee would be vacuous.
+      if (m.update->slots < 2)
+        problems.push_back(m.name + ": update stanza with fewer than 2 slots");
+      if (m.update->probation_ticks == 0)
+        problems.push_back(m.name + ": update probation of zero ticks");
+      // Commit and revert are both supervisor restarts; an updatable
+      // component without a restart stanza cannot be swapped or reverted.
+      if (!m.restart)
+        problems.push_back(m.name + ": update stanza without restart stanza");
+    }
+    // Programmatically-built manifests bypass the parser's duplicate-region
+    // rejection; catch them here with the same component+stanza naming.
+    std::set<std::string> region_peers;
+    for (const RegionDecl& region : m.regions)
+      if (!region_peers.insert(region.peer).second)
+        problems.push_back(m.name + ": duplicate region stanza to peer " +
+                           region.peer);
   }
   for (const Manifest& m : manifests) {
     for (const std::string& peer : m.channels) {

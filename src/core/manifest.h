@@ -87,6 +87,27 @@ struct FleetPolicy {
   friend bool operator==(const FleetPolicy&, const FleetPolicy&) = default;
 };
 
+/// Over-the-air update policy (the manifest `update` stanza). Presence
+/// marks a component as field-updatable: the update::UpdateOrchestrator
+/// will accept signed UpdateManifests for it, stage images into A/B slots,
+/// and hold each new incarnation in heartbeat probation before committing.
+struct UpdatePolicy {
+  /// Logical name of the signing authority whose key (from the platform
+  /// trust graph / vendor certificate chain) update manifests must verify
+  /// against. The composer resolves it to the vendor root public key.
+  std::string key = "vendor";
+  /// Number of image slots (mcuboot-style A/B = 2; more allows staged
+  /// canaries). Must be >= 2: with a single slot there is nothing to revert
+  /// to.
+  std::uint32_t slots = 2;
+  /// Heartbeat probation window, in supervisor ticks, that a freshly
+  /// swapped incarnation must survive before the update commits and the
+  /// rollback counter advances.
+  std::uint32_t probation_ticks = 4;
+
+  friend bool operator==(const UpdatePolicy&, const UpdatePolicy&) = default;
+};
+
 /// A declared shared grant region to a peer (the manifest `region` stanza,
 /// part of the channels block of the component's needs). Like channels,
 /// regions exist only when declared — the composer wires exactly these and
@@ -136,6 +157,10 @@ struct Manifest {
   /// `fleet { ... }` stanza, meaning: this component fronts a fleet of
   /// attested clients and its FleetServer should be sized by these knobs.
   std::optional<FleetPolicy> fleet;
+  /// Over-the-air update policy; set when the manifest carries an
+  /// `update { ... }` stanza, meaning: this component may be re-imaged in
+  /// the field under rollback protection.
+  std::optional<UpdatePolicy> update;
 };
 
 /// Parse a manifest bundle from the text DSL. Format:
@@ -169,10 +194,19 @@ struct Manifest {
 ///       cache 256 50000000 # verification cache: capacity, ttl cycles
 ///       admit 64 256       # admission bucket: rate/megacycle, burst
 ///     }
+///     update {             # optional: field-updatable under rollback
+///       key vendor         # signing authority for update manifests
+///       slots 2            # A/B image slots (>= 2)
+///       probation 4        # heartbeat ticks before an update commits
+///     }
 ///   }
 ///
-/// Errc::invalid_argument with parse position context on malformed input.
-Result<std::vector<Manifest>> parse_manifests(std::string_view text);
+/// At most one `restart`/`trace`/`fleet`/`update` stanza per component, and
+/// at most one `region` declaration per peer — duplicates are rejected, not
+/// last-wins. Errc::invalid_argument on malformed input; when `error` is
+/// non-null it receives a diagnostic naming the line, component and stanza.
+Result<std::vector<Manifest>> parse_manifests(std::string_view text,
+                                              std::string* error = nullptr);
 
 /// Render manifests back to the DSL (round-trip tested).
 std::string to_text(const std::vector<Manifest>& manifests);

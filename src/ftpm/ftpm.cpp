@@ -207,6 +207,21 @@ Result<Bytes> Ftpm::unseal_pcrs(BytesView sealed) {
   return std::move(*plain);
 }
 
+Status Ftpm::nv_define(const std::string& name) {
+  machine_.advance(command_cost());
+  return nv_.define(name);
+}
+
+Result<std::uint64_t> Ftpm::nv_read(const std::string& name) {
+  machine_.advance(command_cost());
+  return nv_.read(name);
+}
+
+Result<std::uint64_t> Ftpm::nv_increment(const std::string& name) {
+  machine_.advance(command_cost());
+  return nv_.increment(name);
+}
+
 Cycles Ftpm::message_cost(std::size_t len) const {
   return command_cost() / 2 +
          machine_.costs().memcpy_per_16_bytes * ((len + 15) / 16);

@@ -18,6 +18,7 @@
 
 #include "substrate/registry.h"
 #include "substrate/substrate.h"
+#include "tpm/nv_counter.h"
 #include "tpm/pcr_bank.h"
 
 namespace lateral::ftpm {
@@ -43,6 +44,9 @@ class Ftpm final : public substrate::IsolationSubstrate {
   Result<Bytes> seal_to_pcrs(const std::vector<std::size_t>& selection,
                              BytesView plaintext);
   Result<Bytes> unseal_pcrs(BytesView sealed);
+  Status nv_define(const std::string& name);
+  Result<std::uint64_t> nv_read(const std::string& name);
+  Result<std::uint64_t> nv_increment(const std::string& name);
 
   /// The fTPM keeps the chip's interface contract, including its lack of a
   /// shared-memory plane: commands marshal through the secure monitor so
@@ -71,6 +75,7 @@ class Ftpm final : public substrate::IsolationSubstrate {
   hw::FrameAllocator frames_;
   std::map<substrate::DomainId, SecureSpace> spaces_;
   tpm::PcrBank pcrs_;
+  tpm::NvCounterBank nv_;
   std::uint64_t seal_pcr_nonce_ = 1;
 };
 

@@ -123,6 +123,11 @@ struct RecoveryStats {
   std::uint64_t restart_failures = 0; // relaunch attempts that failed
   std::uint64_t escalations = 0;      // budget exhausted -> degraded/halted
   std::uint64_t probe_cycles = 0;     // supervisor ticks that probed anyone
+  /// Restarts that were update reverts: the new image failed probation and
+  /// the supervisor relaunched the previous slot. Counted here (not only in
+  /// UpdateStats) so flap-damping is auditable — a component revert-looping
+  /// burns its restart budget and must hit the escalation cap.
+  std::uint64_t update_reverts = 0;
 
   // --- Mean-time-to-recovery, in simulated cycles ---
   Cycles mttr_total_cycles = 0;  // sum over recoveries (detection -> serving)
@@ -158,6 +163,58 @@ struct FleetStats {
   std::uint64_t admission_shed = 0;      // requests refused by the token bucket
   std::uint64_t verify_cache_hits = 0;   // quote verifications skipped
   std::uint64_t verify_cache_misses = 0; // full verifications performed
+};
+
+/// Over-the-air update observability (lateral::update). Every accepted
+/// UpdateManifest reaches exactly one terminal outcome — committed or
+/// reverted — and every refused one exactly one refusal counter, so "did
+/// the fleet converge" is a counter equation, not a log grep. Latency is
+/// recorded per update (manifest accepted -> committed) and per revert
+/// (probation failure detected -> old slot serving), mirroring
+/// RecoveryStats::record_recovery so benches tabulate both the same way.
+struct UpdateStats {
+  std::uint64_t staged = 0;             // images fully transferred to a slot
+  std::uint64_t verified = 0;           // staged images that passed all checks
+  std::uint64_t committed = 0;          // probation survived; counter bumped
+  std::uint64_t reverted = 0;           // probation failed; old slot restored
+  std::uint64_t signature_refused = 0;  // manifest signature did not verify
+  std::uint64_t rollback_refused = 0;   // version <= NV counter (replay)
+  std::uint64_t image_refused = 0;      // staged bytes hash != manifest hash
+  std::uint64_t bytes_streamed = 0;     // image bytes staged over the plane
+
+  // --- Update latency (accept -> committed), simulated cycles ---
+  Cycles update_total_cycles = 0;
+  std::array<std::uint64_t, 32> update_histogram{};
+  // --- Revert MTTR (failure detected -> old image serving), cycles ---
+  Cycles revert_total_cycles = 0;
+  std::array<std::uint64_t, 32> revert_histogram{};
+
+  void record_commit(Cycles accept_to_commit) {
+    ++committed;
+    update_total_cycles += accept_to_commit;
+    std::size_t bucket = 0;
+    while ((Cycles{2} << bucket) <= accept_to_commit &&
+           bucket + 1 < update_histogram.size())
+      ++bucket;
+    ++update_histogram[bucket];
+  }
+
+  void record_revert(Cycles detect_to_serving) {
+    ++reverted;
+    revert_total_cycles += detect_to_serving;
+    std::size_t bucket = 0;
+    while ((Cycles{2} << bucket) <= detect_to_serving &&
+           bucket + 1 < revert_histogram.size())
+      ++bucket;
+    ++revert_histogram[bucket];
+  }
+
+  Cycles mean_update_cycles() const {
+    return committed == 0 ? 0 : update_total_cycles / committed;
+  }
+  Cycles mean_revert_cycles() const {
+    return reverted == 0 ? 0 : revert_total_cycles / reverted;
+  }
 };
 
 /// Aggregates counters per domain label ("mail.ui->imap", "fig9.sgx", ...).
@@ -269,11 +326,30 @@ class MetricsHub {
     return out;
   }
 
+  using UpdateSlot = Slot<UpdateStats>;
+  using UpdateRef = Ref<UpdateStats>;
+
+  UpdateRef update(const std::string& label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return UpdateRef(&update_[label]);
+  }
+
+  std::map<std::string, UpdateStats> all_update() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, UpdateStats> out;
+    for (const auto& [label, slot] : update_) {
+      std::lock_guard<std::mutex> slot_lock(slot.mu);
+      out.emplace(label, slot.value);
+    }
+    return out;
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, CounterSlot> counters_;
   std::map<std::string, RecoverySlot> recovery_;
   std::map<std::string, FleetSlot> fleet_;
+  std::map<std::string, UpdateSlot> update_;
 };
 
 }  // namespace lateral::runtime

@@ -146,6 +146,11 @@ class Supervisor {
 
   runtime::RecoveryStats stats() const { return stats_.snapshot(); }
 
+  /// The verifier relaunches attest against (null when unconfigured). The
+  /// update orchestrator re-points expectations here when it swaps a
+  /// component's image, so supervised restarts accept the new identity.
+  core::AttestationVerifier* verifier() const { return config_.verifier; }
+
   /// Every crash incident this supervisor confirmed, in detection order.
   /// Reports open at confirmation (with the corpse's flight-recorder
   /// snapshot) and close at recovery; an escalated incident stays open.

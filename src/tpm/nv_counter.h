@@ -1,0 +1,61 @@
+// Monotonic non-volatile counter bank — the TPM's rollback-protection
+// primitive (TPM2_NV_DefineSpace with TPM2_NT_COUNTER semantics), shared
+// between the discrete-chip TPM substrate and the software fTPM exactly
+// like PcrBank.
+//
+// Semantics: once defined, a counter only ever moves forward. There is no
+// write, no undefine, no reset — `increment` is the single mutator. That is
+// what makes it a root-of-trust anchor for update rollback protection: an
+// attacker who replays an old (validly signed) image cannot also rewind the
+// counter, so the stale version number is refused by arithmetic, not by
+// policy. The bank lives in the substrate object, which outlives every
+// domain it hosts — counters therefore persist across kill_domain and
+// supervised restart, the simulation analogue of NV flash on the chip.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/result.h"
+
+namespace lateral::tpm {
+
+/// Counters a single bank will hold at most — real TPMs have a small, fixed
+/// NV budget; modeling it keeps callers honest about index hygiene.
+constexpr std::size_t kMaxNvCounters = 16;
+
+class NvCounterBank {
+ public:
+  /// TPM2_NV_DefineSpace: allocate a named counter starting at 0.
+  /// Defining an existing name is idempotent (returns success, keeps the
+  /// current value) so supervised restarts can re-run provisioning code.
+  Status define(const std::string& name) {
+    if (name.empty()) return Errc::invalid_argument;
+    if (counters_.contains(name)) return Status::success();
+    if (counters_.size() >= kMaxNvCounters) return Errc::exhausted;
+    counters_.emplace(name, 0);
+    return Status::success();
+  }
+
+  /// TPM2_NV_Read: current value; undefined counters fail closed.
+  Result<std::uint64_t> read(const std::string& name) const {
+    const auto it = counters_.find(name);
+    if (it == counters_.end()) return Errc::invalid_argument;
+    return it->second;
+  }
+
+  /// TPM2_NV_Increment: the only mutator — returns the post-bump value.
+  Result<std::uint64_t> increment(const std::string& name) {
+    const auto it = counters_.find(name);
+    if (it == counters_.end()) return Errc::invalid_argument;
+    return ++it->second;
+  }
+
+  std::size_t defined() const { return counters_.size(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace lateral::tpm

@@ -191,6 +191,21 @@ Result<Bytes> Tpm::unseal_pcrs(BytesView sealed) {
   return std::move(*plain);
 }
 
+Status Tpm::nv_define(const std::string& name) {
+  machine_.advance(machine_.costs().tpm_command_base);
+  return nv_.define(name);
+}
+
+Result<std::uint64_t> Tpm::nv_read(const std::string& name) {
+  machine_.advance(machine_.costs().tpm_command_base);
+  return nv_.read(name);
+}
+
+Result<std::uint64_t> Tpm::nv_increment(const std::string& name) {
+  machine_.advance(machine_.costs().tpm_command_base);
+  return nv_.increment(name);
+}
+
 Status Tpm::pre_call(DomainId actor, DomainId callee) {
   (void)actor;
   const auto it = spaces_.find(callee);

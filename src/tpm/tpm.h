@@ -19,6 +19,7 @@
 
 #include "substrate/registry.h"
 #include "substrate/substrate.h"
+#include "tpm/nv_counter.h"
 #include "tpm/pcr_bank.h"
 
 namespace lateral::tpm {
@@ -52,6 +53,14 @@ class Tpm final : public substrate::IsolationSubstrate {
   /// Unseal succeeds only if the selected PCRs still match sealing time.
   Result<Bytes> unseal_pcrs(BytesView sealed);
 
+  // --- Monotonic NV counters (rollback protection) ------------------------
+  /// TPM2_NV_DefineSpace: allocate a named monotonic counter (idempotent).
+  Status nv_define(const std::string& name);
+  /// TPM2_NV_Read: current value.
+  Result<std::uint64_t> nv_read(const std::string& name);
+  /// TPM2_NV_Increment: bump and return the new value — the only mutator.
+  Result<std::uint64_t> nv_increment(const std::string& name);
+
   /// Which component is currently late-launched (kInvalidDomain if none).
   substrate::DomainId active_component() const { return active_; }
 
@@ -80,6 +89,7 @@ class Tpm final : public substrate::IsolationSubstrate {
   hw::FrameAllocator sram_frames_;
   std::map<substrate::DomainId, ChipSpace> spaces_;
   PcrBank pcrs_;
+  NvCounterBank nv_;
   substrate::DomainId active_ = substrate::kInvalidDomain;
   std::uint64_t seal_pcr_nonce_ = 1;
 };

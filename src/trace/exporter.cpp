@@ -205,6 +205,7 @@ std::string TraceExporter::text_snapshot() const {
       out << "-- " << label << " (recovery): detected=" << r.kills_detected
           << " restarts=" << r.restarts << " failures=" << r.restart_failures
           << " escalations=" << r.escalations
+          << " update_reverts=" << r.update_reverts
           << " mean_mttr=" << r.mean_mttr_cycles() << "\n";
     }
     for (const auto& [label, f] : hub_->all_fleet()) {
@@ -216,6 +217,16 @@ std::string TraceExporter::text_snapshot() const {
           << " admission_shed=" << f.admission_shed
           << " verify_cache_hits=" << f.verify_cache_hits
           << " verify_cache_misses=" << f.verify_cache_misses << "\n";
+    }
+    for (const auto& [label, u] : hub_->all_update()) {
+      out << "-- " << label << " (update): staged=" << u.staged
+          << " committed=" << u.committed << " reverted=" << u.reverted
+          << " signature_refused=" << u.signature_refused
+          << " rollback_refused=" << u.rollback_refused
+          << " image_refused=" << u.image_refused
+          << " bytes_streamed=" << u.bytes_streamed
+          << " mean_update=" << u.mean_update_cycles()
+          << " mean_revert=" << u.mean_revert_cycles() << "\n";
     }
   }
   return out.str();
@@ -246,6 +257,14 @@ std::string Assembly::dump_observability(const trace::Tracer* tracer,
       out << "-- " << label << ": submitted=" << c.submitted
           << " completed=" << c.completed
           << " crossing_cycles=" << c.crossing_cycles << "\n";
+    for (const auto& [label, r] : hub->all_recovery())
+      out << "-- " << label << " (recovery): restarts=" << r.restarts
+          << " escalations=" << r.escalations
+          << " update_reverts=" << r.update_reverts << "\n";
+    for (const auto& [label, u] : hub->all_update())
+      out << "-- " << label << " (update): staged=" << u.staged
+          << " committed=" << u.committed << " reverted=" << u.reverted
+          << " rollback_refused=" << u.rollback_refused << "\n";
   }
   return out.str();
 }

@@ -111,6 +111,13 @@ enum class SpanPhase : std::uint8_t {
   // (or hide behind) a cold one.
   handshake_full,     // full three-message attested handshake completed
   handshake_resumed,  // one-RTT ticket resumption completed
+  // Over-the-air update lifecycle (lateral::update). Three phases so an
+  // exported timeline shows how long an image staged, when the swap
+  // happened, and — on failure — when the automatic revert restored the
+  // previous slot (the revert MTTR endpoint).
+  update_stage,   // update image chunk staged/verified into the inactive slot
+  update_commit,  // component restarted into the new measurement and held
+  update_revert,  // probation failed; previous slot restored and serving
 };
 
 constexpr std::string_view span_phase_name(SpanPhase p) {
@@ -128,6 +135,9 @@ constexpr std::string_view span_phase_name(SpanPhase p) {
     case SpanPhase::recovered: return "recovered";
     case SpanPhase::handshake_full: return "handshake_full";
     case SpanPhase::handshake_resumed: return "handshake_resumed";
+    case SpanPhase::update_stage: return "update_stage";
+    case SpanPhase::update_commit: return "update_commit";
+    case SpanPhase::update_revert: return "update_revert";
   }
   return "unknown";
 }

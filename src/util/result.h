@@ -40,6 +40,8 @@ enum class Errc {
                         // observer the trust graph does not authorize
   ticket_expired,       // resumption ticket presented after its expiry
   ticket_replayed,      // resumption ticket redeemed a second time
+  rollback_refused,     // update version not newer than the monotonic
+                        // NV counter (stale-image replay)
 };
 
 /// Human-readable name for an error code.
@@ -68,6 +70,7 @@ constexpr std::string_view errc_name(Errc e) {
     case Errc::redaction_denied: return "redaction_denied";
     case Errc::ticket_expired: return "ticket_expired";
     case Errc::ticket_replayed: return "ticket_replayed";
+    case Errc::rollback_refused: return "rollback_refused";
   }
   return "unknown";
 }

@@ -220,7 +220,8 @@ TEST(ManifestParser, ParsesRegionStanza) {
 TEST(ManifestParser, RegionStanzaRoundTrips) {
   auto original = parse_manifests(
       "component ui {\n  channel storage\n  region storage 8192\n"
-      "  region storage 512 ro\n}\ncomponent storage {\n}\n");
+      "  region render 512 ro\n}\ncomponent storage {\n}\n"
+      "component render {\n}\n");
   ASSERT_TRUE(original.ok());
   auto reparsed = parse_manifests(to_text(*original));
   ASSERT_TRUE(reparsed.ok());
@@ -283,6 +284,117 @@ TEST(ManifestParser, RejectsMalformedTraceStanza) {
       parse_manifests("component x {\n trace {\n observer\n}\n}\n").ok());
   EXPECT_FALSE(parse_manifests("component x {\n trace {\n}\n trace {\n}\n}\n")
                    .ok());  // one stanza per component
+}
+
+TEST(ManifestParser, ParsesUpdateStanzaAndRoundTrips) {
+  auto manifests = parse_manifests(
+      "component fw {\n"
+      "  restart {\n"
+      "  }\n"
+      "  update {\n"
+      "    key vendor\n"
+      "    slots 3\n"
+      "    probation 7\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_TRUE((*manifests)[0].update.has_value());
+  EXPECT_EQ((*manifests)[0].update->key, "vendor");
+  EXPECT_EQ((*manifests)[0].update->slots, 3u);
+  EXPECT_EQ((*manifests)[0].update->probation_ticks, 7u);
+  auto reparsed = parse_manifests(to_text(*manifests));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)[0].update, (*manifests)[0].update);
+}
+
+TEST(ManifestParser, EmptyUpdateStanzaMeansDefaults) {
+  auto manifests =
+      parse_manifests("component fw {\n restart {\n}\n update {\n}\n}\n");
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_TRUE((*manifests)[0].update.has_value());
+  EXPECT_EQ(*(*manifests)[0].update, UpdatePolicy{});
+}
+
+TEST(ManifestParser, RejectsMalformedUpdateStanza) {
+  EXPECT_FALSE(parse_manifests("component x {\n update {\n").ok());
+  EXPECT_FALSE(parse_manifests("component x {\n update\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n update {\n bogus\n}\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n update {\n slots\n}\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n update {\n probation x\n}\n}\n").ok());
+}
+
+TEST(ManifestParser, DuplicateStanzasRejectedWithDiagnostics) {
+  // Duplicate nested stanzas used to silently last-win; each one is now a
+  // parse error whose diagnostic names the component and the stanza.
+  const struct {
+    const char* text;
+    const char* expect;
+  } cases[] = {
+      {"component x {\n restart {\n}\n restart {\n}\n}\n",
+       "duplicate restart"},
+      {"component x {\n trace {\n}\n trace {\n}\n}\n", "duplicate trace"},
+      {"component x {\n fleet {\n}\n fleet {\n}\n}\n", "duplicate fleet"},
+      {"component x {\n update {\n}\n update {\n}\n}\n", "duplicate update"},
+      {"component x {\n channel y\n region y 64\n region y 128\n}\n",
+       "duplicate region y"},
+  };
+  for (const auto& c : cases) {
+    std::string error;
+    auto result = parse_manifests(c.text, &error);
+    EXPECT_FALSE(result.ok()) << c.text;
+    EXPECT_EQ(result.error(), Errc::invalid_argument);
+    EXPECT_NE(error.find("component x"), std::string::npos) << error;
+    EXPECT_NE(error.find(c.expect), std::string::npos) << error;
+  }
+}
+
+TEST(ManifestValidate, FlagsUpdatePolicyProblems) {
+  auto make = [] {
+    std::vector<Manifest> bundle(1);
+    bundle[0].name = "fw";
+    bundle[0].restart.emplace();
+    bundle[0].update.emplace();
+    return bundle;
+  };
+  EXPECT_TRUE(validate(make()).empty());
+
+  auto no_key = make();
+  no_key[0].update->key.clear();
+  EXPECT_FALSE(validate(no_key).empty());
+
+  auto one_slot = make();
+  one_slot[0].update->slots = 1;
+  const auto slot_problems = validate(one_slot);
+  ASSERT_EQ(slot_problems.size(), 1u);
+  EXPECT_NE(slot_problems[0].find("fewer than 2 slots"), std::string::npos);
+
+  auto zero_probation = make();
+  zero_probation[0].update->probation_ticks = 0;
+  EXPECT_FALSE(validate(zero_probation).empty());
+
+  // An update policy on an unsupervised component can never commit (the
+  // swap is a supervised restart), so validation refuses it up front.
+  auto unsupervised = make();
+  unsupervised[0].restart.reset();
+  const auto problems = validate(unsupervised);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("without restart"), std::string::npos);
+}
+
+TEST(ManifestValidate, FlagsDuplicateRegionPeers) {
+  std::vector<Manifest> bundle(2);
+  bundle[0].name = "a";
+  bundle[0].channels = {"b"};
+  bundle[0].regions = {{"b", 4096, substrate::RegionPerms::read_write},
+                       {"b", 512, substrate::RegionPerms::read_only}};
+  bundle[1].name = "b";
+  const auto problems = validate(bundle);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("duplicate region stanza to peer b"),
+            std::string::npos);
 }
 
 TEST(ManifestValidate, AcceptsGoodBundle) {

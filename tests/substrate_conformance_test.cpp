@@ -12,6 +12,7 @@
 #include <limits>
 
 #include "crypto/rsa.h"
+#include "runtime/region_pool.h"
 #include "substrate/substrate.h"
 #include "test_support.h"
 #include "trace/trace.h"
@@ -1022,6 +1023,51 @@ TEST_P(ConformanceTest, BatchSgVetoesBadDescriptorWithoutSinkingBatch) {
   ASSERT_EQ(reply->replies.size(), 2u);
   EXPECT_TRUE(reply->replies[0].ok());
   EXPECT_EQ(reply->replies[1].error(), Errc::stale_epoch);
+}
+
+TEST_P(ConformanceTest, KilledCalleeMidTransferReturnsPoolSlot) {
+  // The update orchestrator's staged-transfer loop: acquire a RegionPool
+  // slot, stage a chunk, call_sg, release, repeat. A callee killed mid-
+  // transfer cancels the call with domain_dead — and the lease must come
+  // back to the pool on that path too, or every aborted update would leak
+  // a slot until the pool starves.
+  auto [a, b] = make_pair();
+  if (!substrate_->supports_regions()) return;
+  auto channel = substrate_->create_channel(a, b);
+  ASSERT_TRUE(channel.ok());
+  auto region = substrate_->create_region(a, b, 1024);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(substrate_->map_region(a, *region).ok());
+  ASSERT_TRUE(substrate_->map_region(b, *region).ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation&) -> Result<Bytes> {
+                    return to_bytes("ack");
+                  })
+                  .ok());
+
+  runtime::RegionPool pool(*substrate_, a, *region, 1024, 256);
+  int deliveries = 0;  // kill the callee on the third chunk
+  substrate_->set_fault_hook([&](DomainId callee, std::string_view op) {
+    return callee == b && op == "call_sg" && ++deliveries == 3;
+  });
+  Errc failure = Errc::ok;
+  for (int chunk = 0; chunk < 4 && failure == Errc::ok; ++chunk) {
+    auto slot = pool.acquire();
+    ASSERT_TRUE(slot.ok());
+    auto desc = pool.stage(*slot, to_bytes("chunk-" + std::to_string(chunk)));
+    ASSERT_TRUE(desc.ok());
+    const std::array<RegionDescriptor, 1> segments{*desc};
+    auto reply = substrate_->call_sg(a, *channel, to_bytes("hdr"), segments);
+    // Returned on success AND on cancellation — the invariant under test.
+    pool.release(*slot);
+    if (!reply.ok()) failure = reply.error();
+  }
+  substrate_->set_fault_hook(nullptr);
+  EXPECT_EQ(failure, Errc::domain_dead);
+  EXPECT_TRUE(substrate_->is_dead(b));
+  EXPECT_EQ(pool.slots_free(), pool.slots_total());
+  // A fresh acquire works immediately: nothing stayed in flight.
+  EXPECT_TRUE(pool.acquire().ok());
 }
 
 // --- lateral::trace conformance: one tracing contract on every substrate ---

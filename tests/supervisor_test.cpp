@@ -311,6 +311,46 @@ TEST_F(SupervisorTest, RecoveryReportCarriesCorpseFlightRecorder) {
   mk_->set_tracer(nullptr);
 }
 
+TEST_F(SupervisorTest, FlappingRelaunchesBurnBudgetAndEscalate) {
+  runtime::MetricsHub hub;
+  core::AttestationVerifier verifier(to_bytes("flap-verifier"));
+  verifier.add_trusted_root(test::shared_vendor().root_public_key());
+  Supervisor sup(*assembly_, {.hub = &hub, .verifier = &verifier});
+  ASSERT_TRUE(sup.watch_all().ok());
+
+  // A botched update re-points the expectation at a measurement no
+  // incarnation will ever produce: every relaunch comes up "different",
+  // fails challenge-response, and is killed as an impostor. The component
+  // flaps — and the policy budget must cap the loop at escalation instead
+  // of letting it revert-loop forever.
+  crypto::Digest wrong{};
+  wrong.fill(0xde);
+  verifier.expect_measurement("worker", wrong);
+  ASSERT_TRUE(assembly_->kill_component("worker").ok());
+  int ticks = 0;
+  for (; ticks < 20 && *sup.health("worker") != Health::degraded; ++ticks) {
+    machine_->advance(1 << 20);  // past any exponential backoff
+    sup.tick();
+  }
+  EXPECT_LT(ticks, 20) << "escalation cap never engaged";
+  EXPECT_EQ(*sup.health("worker"), Health::degraded);
+
+  const runtime::RecoveryStats stats = sup.stats();
+  EXPECT_EQ(stats.escalations, 1u);
+  EXPECT_EQ(stats.restarts, 0u);          // no relaunch ever verified
+  EXPECT_GE(stats.restart_failures, 2u);  // the policy's budget, burned
+  // A degraded component is terminal: no further relaunch attempts.
+  machine_->advance(1 << 20);
+  EXPECT_EQ(sup.tick().restarts, 0u);
+
+  // Update reverts land in the same RecoveryStats block the supervisor
+  // reports (the orchestrator bumps this counter through the shared hub),
+  // so a flap audit sees restarts, escalations, and reverts side by side.
+  EXPECT_EQ(stats.update_reverts, 0u);
+  ++hub.recovery("supervisor")->update_reverts;
+  EXPECT_EQ(sup.stats().update_reverts, 1u);
+}
+
 TEST_F(SupervisorTest, SupervisedRestartInvalidatesFleetTickets) {
   // A FleetServer fronting the supervised worker: its on_restart hook is
   // the production wiring for fleet::FleetServer::on_service_restart —
