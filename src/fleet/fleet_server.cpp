@@ -34,16 +34,22 @@ FleetServer::FleetServer(FleetServerConfig config)
     throw Error("FleetServer: network and substrate are required");
   if (config_.verifier && config_.expected_client.empty())
     throw Error("FleetServer: verifier requires expected_client");
-  batch_ = make_batch_channel();
+  cq_ = make_completion_queue();
 }
 
-std::unique_ptr<runtime::BatchChannel> FleetServer::make_batch_channel()
+std::unique_ptr<runtime::CompletionQueue> FleetServer::make_completion_queue()
     const {
-  runtime::BatchChannelConfig cfg;
+  runtime::CompletionQueueConfig cfg;
   cfg.depth = config_.batch_depth;
+  // FIG14 sweeps batch_depth as the experiment variable; pin the controller
+  // to it so the sweep measures the depth, not the controller.
+  cfg.adaptive.min_batch = config_.batch_depth;
+  cfg.adaptive.max_batch = config_.batch_depth;
+  cfg.adaptive.initial = config_.batch_depth;
+  cfg.adaptive.adaptive = false;
   cfg.hub = config_.hub;
   cfg.label = config_.label + ".mux";
-  return std::make_unique<runtime::BatchChannel>(
+  return std::make_unique<runtime::CompletionQueue>(
       *config_.substrate, config_.frontend_domain, config_.service_channel,
       cfg);
 }
@@ -251,12 +257,13 @@ Status FleetServer::serve_backlog(std::size_t max_batched) {
   std::size_t served = 0;
   while (!backlog_.empty() && (max_batched == 0 || served < max_batched)) {
     Arrival& front = backlog_.front();
-    auto id = batch_->submit(Bytes(front.payload));
+    auto id = cq_->submit(Bytes(front.payload));
     if (!id) {
       if (id.error() != Errc::exhausted) return id.error();
-      // Submission ring full: cross once, drain, and keep going — the
-      // bound is backpressure, not loss.
-      if (const Status s = batch_->flush(); !s.ok()) return s;
+      // Submission ring full: ring once (flush + completion drain share
+      // the crossing) and keep going — the bound is backpressure, not
+      // loss.
+      if (const Status s = cq_->doorbell(); !s.ok()) return s;
       drain_completions();
       continue;
     }
@@ -265,26 +272,23 @@ Status FleetServer::serve_backlog(std::size_t max_batched) {
     backlog_.pop_front();
     ++served;
   }
-  const Status flushed = batch_->flush();
+  const Status rung = cq_->doorbell();
   drain_completions();
-  return flushed;
+  return rung;
 }
 
 void FleetServer::drain_completions() {
-  while (true) {
-    auto completion = batch_->next_completion();
-    if (!completion) break;
-    auto node = in_flight_.extract(completion->id);
-    if (node.empty()) continue;
+  cq_->for_each_completion([&](runtime::CqEvent& event) {
+    auto node = in_flight_.extract(event.id);
+    if (node.empty()) return;
     const InFlight& flight = node.mapped();
     const Bytes reply_plain =
-        completion->result
-            ? net::encode_rpc_reply(Errc::ok, *completion->result)
-            : net::encode_rpc_reply(completion->result.error(), {});
+        event.ok() ? net::encode_rpc_reply(Errc::ok, event.payload)
+                   : net::encode_rpc_reply(event.status, {});
     counters_->completed++;
     counters_->record_latency(now() - flight.arrived_at);
     send_sealed(flight.peer, FrameKind::reply, reply_plain);
-  }
+  });
 }
 
 void FleetServer::send_frame(const std::string& peer, FrameKind kind,
@@ -340,8 +344,8 @@ void FleetServer::on_service_restart(
   counters_->cancelled += backlog_.size() + in_flight_.size();
   backlog_.clear();
   in_flight_.clear();
-  // Fresh channel epoch: the old BatchChannel would see stale_epoch forever.
-  batch_ = make_batch_channel();
+  // Fresh channel epoch: the old queue would see stale_epoch forever.
+  cq_ = make_completion_queue();
 }
 
 }  // namespace lateral::fleet

@@ -15,8 +15,8 @@
 //     push clients back to the full handshake.
 //   - RPC records are admission-controlled at the edge (token bucket;
 //     refusals are counted and answered, not dropped), then pumped through
-//     ONE BatchChannel into the service domain so the enclave-crossing
-//     cost is paid per batch, not per meter.
+//     ONE CompletionQueue into the service domain so the enclave-crossing
+//     cost is paid per doorbell, not per meter.
 //   - pump(max_batched) caps the service work per tick; admitted surplus
 //     stays in an internal arrival queue — lossless backpressure. The
 //     arrival->completion latency histogram (MetricsHub, label `<label>`)
@@ -42,7 +42,7 @@
 #include "net/network.h"
 #include "net/remote.h"
 #include "net/secure_channel.h"
-#include "runtime/batch_channel.h"
+#include "runtime/completion_queue.h"
 #include "runtime/metrics.h"
 #include "trace/trace.h"
 #include "util/result.h"
@@ -69,9 +69,9 @@ struct FleetServerConfig {
   std::string expected_client;
 
   // --- Routing -------------------------------------------------------------
-  /// Requests to this method go through the BatchChannel into the service
-  /// domain (payload = request payload, reply = handler reply). All other
-  /// methods must be registered inline via register_method().
+  /// Requests to this method go through the CompletionQueue into the
+  /// service domain (payload = request payload, reply = handler reply).
+  /// All other methods must be registered inline via register_method().
   std::string batched_method = "report";
 
   // --- Knobs (see docs/fleet.md; mirror the manifest `fleet` stanza) ------
@@ -156,13 +156,17 @@ class FleetServer {
   void send_sealed(const std::string& peer, FrameKind kind, BytesView plain);
   void stamp_handshake_span(trace::SpanPhase phase, const std::string& peer);
   Cycles now() const;
-  std::unique_ptr<runtime::BatchChannel> make_batch_channel() const;
+  std::unique_ptr<runtime::CompletionQueue> make_completion_queue() const;
 
   FleetServerConfig config_;
   TicketIssuer tickets_;
   AdmissionGate gate_;
   crypto::HmacDrbg drbg_;
-  std::unique_ptr<runtime::BatchChannel> batch_;
+  /// The one crossing into the service domain: admitted requests are
+  /// submitted here and pump() rings a single doorbell per tick — flush
+  /// and completion drain share that crossing (fixed depth; FIG14 sweeps
+  /// batch_depth explicitly, so the adaptive controller stays off).
+  std::unique_ptr<runtime::CompletionQueue> cq_;
   std::map<std::string, Session> pending_;   // mid-handshake, by peer
   std::map<std::string, Session> sessions_;  // established, by peer
   std::map<std::string, net::RemoteDispatcher::Method> inline_methods_;

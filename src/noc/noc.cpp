@@ -157,7 +157,40 @@ Status NocFabric::attach_region(substrate::RegionId id, RegionRecord& record) {
     return Errc::exhausted;
   a_it->second.endpoints_used++;
   b_it->second.endpoints_used++;
+  // Tile-aware placement: the backing lives in the grantee's tile-local
+  // memory (there is no "shared" memory on a mesh — some tile hosts the
+  // bytes). Consumer-sided placement makes region_view O(1)+local for the
+  // descriptor-consuming side; the producer's region_write streams over
+  // the mesh, which is the DTU transfer that copy pays anyway.
+  record.backend_cookie = record.b;
   return Status::success();
+}
+
+Result<DomainId> NocFabric::region_host(substrate::RegionId id) const {
+  const RegionRecord* record = find_region(id);
+  if (!record) return Errc::invalid_argument;
+  return static_cast<DomainId>(record->backend_cookie);
+}
+
+Cycles NocFabric::region_copy_cost(const RegionRecord& record, DomainId actor,
+                                   std::size_t len) const {
+  const Cycles flits = Cycles((len + 15) / 16);
+  const DomainId host = static_cast<DomainId>(record.backend_cookie);
+  if (actor == host)
+    return machine_.costs().memcpy_per_16_bytes * flits;  // tile-local SRAM
+  // Remote: DTU memory-endpoint transfer — hop latency once (the transfer
+  // is pipelined behind the first flit) plus per-flit mesh bandwidth.
+  const auto hops = hop_distance(actor, host);
+  return 6 * Cycles(hops ? *hops : 4) + 4 * flits;
+}
+
+Cycles NocFabric::region_access_cost(const RegionRecord& record,
+                                     DomainId actor) const {
+  const DomainId host = static_cast<DomainId>(record.backend_cookie);
+  if (actor == host) return IsolationSubstrate::region_access_cost();
+  const auto hops = hop_distance(actor, host);
+  return IsolationSubstrate::region_access_cost() +
+         6 * Cycles(hops ? *hops : 4);
 }
 
 void NocFabric::release_region(substrate::RegionId id, RegionRecord& record) {

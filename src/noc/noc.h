@@ -57,6 +57,12 @@ class NocFabric final : public substrate::IsolationSubstrate {
   Result<std::size_t> hop_distance(substrate::DomainId a,
                                    substrate::DomainId b) const;
 
+  /// Which endpoint's tile hosts a region's backing. Placement is
+  /// consumer-sided: the grantee (the descriptor-consuming side of the
+  /// zero-copy flow) gets tile-local views; the producer streams its one
+  /// copy over the mesh, which is the DTU transfer it would pay anyway.
+  Result<substrate::DomainId> region_host(substrate::RegionId id) const;
+
  protected:
   Status admit_domain(const substrate::DomainSpec& spec) const override;
   Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
@@ -70,6 +76,14 @@ class NocFabric final : public substrate::IsolationSubstrate {
   Status attach_region(substrate::RegionId id, RegionRecord& record) override;
   void release_region(substrate::RegionId id, RegionRecord& record) override;
   Cycles region_map_cost(std::size_t pages) const override;
+  /// Tile-aware data-plane pricing: local on the host tile, mesh transfer
+  /// (hop latency + per-flit) from the peer.
+  Cycles region_copy_cost(const RegionRecord& record,
+                          substrate::DomainId actor,
+                          std::size_t len) const override;
+  Cycles region_access_cost(const RegionRecord& record,
+                            substrate::DomainId actor) const override;
+  using IsolationSubstrate::region_access_cost;
 
  private:
   struct Tile {

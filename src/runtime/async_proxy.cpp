@@ -128,10 +128,15 @@ AsyncRemoteProxy::AsyncRemoteProxy(net::SecureChannelEndpoint& channel,
     : channel_(channel),
       transport_(std::move(transport)),
       config_(std::move(config)),
+      controller_(config_.adaptive),
       counters_(config_.hub ? config_.hub->counters(config_.label)
                             : MetricsHub::CounterRef(&own_counters_)) {
   if (!transport_) throw Error("AsyncRemoteProxy needs a transport");
   if (config_.depth == 0) config_.depth = 1;
+}
+
+Cycles AsyncRemoteProxy::clock_now() const {
+  return config_.clock ? config_.clock->now() : 0;
 }
 
 Result<RequestId> AsyncRemoteProxy::submit(const std::string& method,
@@ -146,10 +151,19 @@ Result<RequestId> AsyncRemoteProxy::submit(const std::string& method,
   call.method = method;
   call.payload.assign(payload.begin(), payload.end());
   call.ctx = trace::current_context();
+  call.submitted_at = clock_now();
   pending_.push_back(std::move(call));
   ++counters_->submitted;
   counters_->record_depth(pending_.size());
-  return pending_.back().id;
+  const RequestId id = pending_.back().id;
+  // Adaptive auto-flush: the burst reached the controller's target, so ring
+  // now rather than letting the tail of a deep queue age. A flush failure
+  // here leaves the submission queued (or completed with the transport's
+  // error) — either way the caller's id stays valid and the outcome
+  // surfaces through take()/reap().
+  if (config_.adaptive.adaptive && pending_.size() >= controller_.depth())
+    (void)flush();
+  return id;
 }
 
 Status AsyncRemoteProxy::cancel(RequestId id) {
@@ -157,7 +171,7 @@ Status AsyncRemoteProxy::cancel(RequestId id) {
     if (it->id == id) {
       // Not sealed yet, so withdrawing leaves no hole in the channel's
       // sequence space; the completion is materialized immediately.
-      completions_.emplace(id, Result<Bytes>(Errc::cancelled));
+      completions_.emplace(id, CqEvent{id, Errc::cancelled, {}, 0});
       pending_.erase(it);
       ++counters_->cancelled;
       return Status::success();
@@ -181,49 +195,99 @@ Status AsyncRemoteProxy::flush() {
     records.push_back(std::move(*record));
   }
 
+  const std::size_t burst = pending_.size();
   auto reply_records = transport_(records);
-  counters_->record_batch(pending_.size());
+  counters_->record_batch(burst);
+  ++counters_->doorbells;
   if (!reply_records) {
     // The burst is gone (sequence space consumed) but the invocations are
     // not silently lost: each completes with the transport's error.
     for (const PendingCall& call : pending_) {
       ++counters_->completed;
-      completions_.emplace(call.id, Result<Bytes>(reply_records.error()));
+      completions_.emplace(call.id,
+                           CqEvent{call.id, reply_records.error(), {}, 0});
     }
     pending_.clear();
     return Status::success();
   }
-  if (reply_records->size() != pending_.size()) return Errc::io_error;
+  if (reply_records->size() != burst) return Errc::io_error;
 
   std::vector<PendingCall> sent = std::move(pending_);
   pending_.clear();
+  std::map<RequestId, Cycles> submitted_at;
+  for (const PendingCall& call : sent)
+    submitted_at.emplace(call.id, call.submitted_at);
+  const Cycles now = clock_now();
+  // Windowed latency histogram for this exchange alone — the controller
+  // judges the current burst depth by what *this* burst cost, not by the
+  // cumulative history the exported counters keep.
+  InvocationCounters window;
   for (const Bytes& record : *reply_records) {
     auto plain = channel_.open_record(record);
     if (!plain) return plain.error();
     if (plain->size() < 5) return Errc::invalid_argument;
-    const RequestId id = get_u32(*plain);
-    const Errc remote_error = static_cast<Errc>((*plain)[4]);
-    ++counters_->completed;
-    if (remote_error != Errc::ok) {
-      completions_.emplace(id, Result<Bytes>(remote_error));
-    } else {
-      completions_.emplace(id, Bytes(plain->begin() + 5, plain->end()));
+    CqEvent event;
+    event.id = get_u32(*plain);
+    event.status = static_cast<Errc>((*plain)[4]);
+    if (event.status == Errc::ok)
+      event.payload.assign(plain->begin() + 5, plain->end());
+    if (const auto sub = submitted_at.find(event.id);
+        config_.clock && sub != submitted_at.end()) {
+      event.cycles = now - sub->second;
+      if (event.cycles > 0) {
+        window.record_latency(event.cycles);
+        counters_->record_latency(event.cycles);
+      }
     }
+    ++counters_->completed;
+    completions_.emplace(event.id, std::move(event));
   }
   for (const PendingCall& call : sent) {
     // A reply burst that skipped one of our ids is a protocol violation;
     // the invocation must still terminate.
     if (!completions_.contains(call.id))
-      completions_.emplace(call.id, Result<Bytes>(Errc::io_error));
+      completions_.emplace(call.id, CqEvent{call.id, Errc::io_error, {}, 0});
   }
+  controller_.observe(burst, window.latency_percentile(0.50),
+                      window.latency_percentile(0.99));
+  counters_->adaptive_depth = controller_.depth();
+  counters_->adaptive_grows = controller_.grows();
+  counters_->adaptive_shrinks = controller_.shrinks();
   return Status::success();
+}
+
+std::vector<CqEvent> AsyncRemoteProxy::reap(std::size_t max) {
+  std::vector<CqEvent> out;
+  const std::size_t n =
+      max == 0 ? completions_.size() : std::min(max, completions_.size());
+  out.reserve(n);
+  while (out.size() < n) {
+    auto it = completions_.begin();
+    out.push_back(std::move(it->second));
+    completions_.erase(it);
+  }
+  return out;
+}
+
+std::size_t AsyncRemoteProxy::for_each_completion(
+    const std::function<void(CqEvent&)>& fn) {
+  std::size_t n = 0;
+  while (!completions_.empty()) {
+    auto it = completions_.begin();
+    CqEvent event = std::move(it->second);
+    completions_.erase(it);
+    fn(event);
+    ++n;
+  }
+  return n;
 }
 
 Result<Bytes> AsyncRemoteProxy::take(RequestId id) {
   if (const auto it = completions_.find(id); it != completions_.end()) {
-    Result<Bytes> out = std::move(it->second);
+    CqEvent event = std::move(it->second);
     completions_.erase(it);
-    return out;
+    if (event.status != Errc::ok) return event.status;
+    return std::move(event.payload);
   }
   for (const PendingCall& call : pending_)
     if (call.id == id) return Errc::would_block;

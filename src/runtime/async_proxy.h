@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "net/secure_channel.h"
+#include "runtime/completion_queue.h"
 #include "runtime/metrics.h"
 #include "trace/trace.h"
 #include "util/result.h"
@@ -71,6 +72,16 @@ struct AsyncProxyConfig {
   std::size_t depth = 64;  // max in-flight submissions per flush
   MetricsHub* hub = nullptr;
   std::string label;
+  /// Optional simulated clock. When set, completions carry submit->flush
+  /// cycles (CqEvent::cycles), the latency histogram fills, and the
+  /// adaptive controller below has something to feed on.
+  const hw::Machine* clock = nullptr;
+  /// Burst sizing. With adaptive.adaptive = true, submit() rings an
+  /// implicit flush whenever the pending burst reaches the controller's
+  /// current depth target — the same histogram-driven policy as
+  /// CompletionQueue, at transport granularity. Off by default: explicit
+  /// flush() keeps full control of burst boundaries.
+  AdaptiveConfig adaptive{.adaptive = false};
 };
 
 /// Client side.
@@ -97,19 +108,32 @@ class AsyncRemoteProxy {
   /// see header comment — so a retry flush is safe).
   Status flush();
 
+  /// Drain up to `max` completed events (0 = all), oldest request id
+  /// first — the CqEvent batch-drain face of the proxy. Never touches the
+  /// wire; pair with flush() (or adaptive auto-flush).
+  std::vector<CqEvent> reap(std::size_t max = 0);
+  /// Apply `fn` to every completed event and return how many were drained.
+  std::size_t for_each_completion(const std::function<void(CqEvent&)>& fn);
+
   /// Retrieve the reply for `id`; Errc::would_block while still queued or
   /// in flight, Errc::invalid_argument for unknown ids. Remote refusals
-  /// come back as their original error codes.
+  /// come back as their original error codes. (Future-style shim over the
+  /// CqEvent store — batch consumers use reap/for_each_completion.)
   Result<Bytes> take(RequestId id);
 
   /// flush() if needed, then take(id).
   Result<Bytes> wait(RequestId id);
 
-  /// Single-call convenience (submit+flush+take) — the sync path, for
-  /// drop-in use where pipelining has not been adopted yet.
+  /// Single-call convenience — a thin shim over the batched path
+  /// (submit + the same flush every pipelined burst uses + take). There is
+  /// no separate single-call wire path: anything else queued rides the
+  /// same transport exchange. Prefer submit()/flush()/reap() in new code;
+  /// see docs/runtime.md for the migration table.
   Result<Bytes> call(const std::string& method, BytesView payload);
 
   std::size_t pending() const { return pending_.size(); }
+  /// The adaptive controller's current burst target.
+  std::size_t batch_depth() const { return controller_.depth(); }
   InvocationCounters metrics() const { return counters_.snapshot(); }
 
  private:
@@ -120,13 +144,18 @@ class AsyncRemoteProxy {
     /// Submitting thread's trace context, sealed into the request record
     /// at flush time.
     trace::TraceContext ctx;
+    /// Simulated clock at submit (0 without a configured clock).
+    Cycles submitted_at = 0;
   };
+
+  Cycles clock_now() const;
 
   net::SecureChannelEndpoint& channel_;
   Transport transport_;
   AsyncProxyConfig config_;
+  AdaptiveBatchController controller_;
   std::vector<PendingCall> pending_;
-  std::map<RequestId, Result<Bytes>> completions_;
+  std::map<RequestId, CqEvent> completions_;
   RequestId next_id_ = 1;
   MetricsHub::CounterSlot own_counters_;
   MetricsHub::CounterRef counters_;

@@ -117,6 +117,28 @@ void BatchChannel::complete(Completion completion) {
   (void)completions_.push(std::move(completion));
 }
 
+void BatchChannel::finish_pending(Pending& pending,
+                                  std::uint64_t InvocationCounters::* counter,
+                                  std::optional<trace::SpanPhase> phase,
+                                  Result<Bytes> result, Cycles latency) {
+  {
+    // One locked statement covers both counter updates.
+    auto locked = counters_.operator->();
+    InvocationCounters* c = locked.operator->();
+    ++(c->*counter);
+    if (latency > 0) c->record_latency(latency);
+  }
+  // Terminal without running: close the submit span in place (same span
+  // id), so the ring shows submit -> cancelled/timed_out, never a dangling
+  // submit. Invocations that ran get their dispatch/complete spans from the
+  // substrate instead.
+  if (phase && pending.ctx.sampled())
+    substrate_.stamp_span(actor_, pending.ctx, pending.ctx.parent_span,
+                          *phase, {}, 0);
+  release_slot(pending);
+  complete({pending.id, std::move(result), latency});
+}
+
 Status BatchChannel::flush() {
   const std::size_t queued = submissions_.size();
   if (queued == 0) return Status::success();
@@ -131,22 +153,11 @@ Status BatchChannel::flush() {
   while (auto pending = submissions_.pop()) {
     live_.erase(pending->id);
     if (cancelled_.erase(pending->id) > 0) {
-      ++counters_->cancelled;
-      // Terminal without running: close the submit span in place (same
-      // span id), so the ring shows submit -> cancelled, never a dangling
-      // submit.
-      if (pending->ctx.sampled())
-        substrate_.stamp_span(actor_, pending->ctx, pending->ctx.parent_span,
-                              trace::SpanPhase::cancelled, {}, 0);
-      release_slot(*pending);
-      complete({pending->id, Errc::cancelled});
+      finish_pending(*pending, &InvocationCounters::cancelled,
+                     trace::SpanPhase::cancelled, Errc::cancelled);
     } else if (pending->deadline != 0 && now > pending->deadline) {
-      ++counters_->timed_out;
-      if (pending->ctx.sampled())
-        substrate_.stamp_span(actor_, pending->ctx, pending->ctx.parent_span,
-                              trace::SpanPhase::timed_out, {}, 0);
-      release_slot(*pending);
-      complete({pending->id, Errc::timed_out});
+      finish_pending(*pending, &InvocationCounters::timed_out,
+                     trace::SpanPhase::timed_out, Errc::timed_out);
     } else {
       batch.push_back(std::move(*pending));
     }
@@ -163,11 +174,9 @@ Status BatchChannel::flush() {
   else if (*epoch_now != epoch_)
     fence = Errc::stale_epoch;
   if (fence != Errc::ok) {
-    for (Pending& pending : batch) {
-      ++counters_->completed;
-      release_slot(pending);
-      complete({pending.id, fence});
-    }
+    for (Pending& pending : batch)
+      finish_pending(pending, &InvocationCounters::completed, std::nullopt,
+                     fence);
     return Status::success();
   }
 
@@ -232,11 +241,9 @@ Status BatchChannel::flush() {
   if (!reply) {
     // Batch-level refusal (no handler, revoked channel, ...): every
     // invocation gets the refusal as its completion — delivered, not lost.
-    for (Pending& pending : batch) {
-      ++counters_->completed;
-      release_slot(pending);
-      complete({pending.id, reply.error()});
-    }
+    for (Pending& pending : batch)
+      finish_pending(pending, &InvocationCounters::completed, std::nullopt,
+                     reply.error());
     return Status::success();
   }
 
@@ -252,12 +259,9 @@ Status BatchChannel::flush() {
   counters_->crossing_cycles += reply->crossing_cycles;
 
   const Cycles after = substrate_.machine().now();
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    ++counters_->completed;
-    counters_->record_latency(after - batch[i].submitted_at);
-    release_slot(batch[i]);
-    complete({batch[i].id, std::move(reply->replies[i])});
-  }
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    finish_pending(batch[i], &InvocationCounters::completed, std::nullopt,
+                   std::move(reply->replies[i]), after - batch[i].submitted_at);
   return Status::success();
 }
 

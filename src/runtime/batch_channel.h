@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -49,6 +50,11 @@ struct SubmitOptions {
 struct Completion {
   SubmissionId id = 0;
   Result<Bytes> result;
+  /// Submit->complete simulated cycles for invocations that ran (zero for
+  /// cancelled/expired/fenced ones — they never crossed). CompletionQueue
+  /// surfaces this as CqEvent::cycles and the adaptive controller feeds on
+  /// it, so it is carried on every completion, not recomputed by callers.
+  Cycles latency = 0;
 };
 
 struct BatchChannelConfig {
@@ -127,6 +133,12 @@ class BatchChannel {
 
   InvocationCounters metrics() const { return counters_.snapshot(); }
 
+  /// The live counter block this channel accounts to (the hub's label slot
+  /// when configured, else the channel-local block). CompletionQueue layers
+  /// its doorbell/adaptive gauges into the same block so one snapshot shows
+  /// the whole queue pair.
+  MetricsHub::CounterRef counters_ref() const { return counters_; }
+
  private:
   struct Pending {
     SubmissionId id = 0;
@@ -152,6 +164,15 @@ class BatchChannel {
   /// Return a staged slot (if any) — called exactly once per pending, when
   /// its completion is formed.
   static void release_slot(Pending& pending);
+  /// The single terminal path for every accepted invocation: bump exactly
+  /// one terminal counter, close the submit span (when `phase` names a
+  /// terminal span and the submission was traced), return the staged slot,
+  /// and form the completion. Every way out of flush() funnels through
+  /// here so no path can leak a RegionPool slot or skip the accounting.
+  void finish_pending(Pending& pending,
+                      std::uint64_t InvocationCounters::* counter,
+                      std::optional<trace::SpanPhase> phase,
+                      Result<Bytes> result, Cycles latency = 0);
 
   substrate::IsolationSubstrate& substrate_;
   substrate::DomainId actor_;

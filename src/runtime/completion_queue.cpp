@@ -1,0 +1,239 @@
+#include "runtime/completion_queue.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace lateral::runtime {
+
+// --- AdaptiveBatchController ------------------------------------------------
+
+AdaptiveBatchController::AdaptiveBatchController(AdaptiveConfig config)
+    : config_(config) {
+  if (config_.min_batch == 0) config_.min_batch = 1;
+  if (config_.max_batch < config_.min_batch)
+    config_.max_batch = config_.min_batch;
+  depth_ = config_.initial == 0
+               ? config_.min_batch
+               : std::clamp(config_.initial, config_.min_batch,
+                            config_.max_batch);
+}
+
+void AdaptiveBatchController::observe(std::size_t occupancy, Cycles window_p50,
+                                      Cycles window_p99) {
+  if (!config_.adaptive) return;
+  // The latency floor is what the smallest batches cost on this substrate;
+  // it only ever ratchets down. An empty window (p50 == 0: cold start, or
+  // nothing in the window actually crossed) leaves it untouched.
+  if (window_p50 > 0 && (floor_p50_ == 0 || window_p50 < floor_p50_))
+    floor_p50_ = window_p50;
+  const Cycles bound = floor_p50_ * config_.tail_factor;
+
+  // Tail damper first: a window whose p99 already blew the bound means the
+  // current depth is buying throughput with latency we promised not to
+  // spend — back off regardless of occupancy.
+  if (window_p99 > 0 && bound > 0 && window_p99 > bound) {
+    if (depth_ / 2 >= config_.min_batch) {
+      depth_ /= 2;
+      ++shrinks_;
+    }
+    return;
+  }
+
+  if (occupancy >= depth_) {
+    // Saturated: deepen for throughput, but only with tail headroom —
+    // doubling the batch can as much as double the per-entry latency on a
+    // byte-dominated crossing, so require the doubled p99 to still fit.
+    const bool headroom = window_p99 == 0 || bound == 0 ||
+                          window_p99 * 2 <= bound;
+    if (headroom && depth_ * 2 <= config_.max_batch) {
+      depth_ *= 2;
+      ++grows_;
+    }
+  } else if (occupancy * 4 <= depth_ && depth_ / 2 >= config_.min_batch) {
+    // Shallow: shrink for latency. The 4x hysteresis keeps a queue
+    // hovering just under target from oscillating.
+    depth_ /= 2;
+    ++shrinks_;
+  }
+}
+
+// --- CompletionQueue --------------------------------------------------------
+
+namespace {
+
+BatchChannelConfig ring_config(const CompletionQueueConfig& config) {
+  BatchChannelConfig out;
+  out.depth = std::max<std::size_t>(
+      {config.depth, config.adaptive.max_batch, 1});
+  out.hub = config.hub;
+  out.label = config.label;
+  return out;
+}
+
+}  // namespace
+
+CompletionQueue::CompletionQueue(substrate::IsolationSubstrate& substrate,
+                                 substrate::DomainId actor,
+                                 substrate::ChannelId channel,
+                                 CompletionQueueConfig config)
+    : substrate_(substrate),
+      actor_(actor),
+      channel_(substrate, actor, channel, ring_config(config)),
+      controller_(config.adaptive),
+      flush_age_(config.adaptive.flush_age) {}
+
+CompletionQueue::CompletionQueue(const core::Endpoint& endpoint,
+                                 CompletionQueueConfig config)
+    : substrate_(*endpoint.substrate()),
+      actor_(endpoint.actor()),
+      channel_(endpoint, ring_config(config)),
+      controller_(config.adaptive),
+      flush_age_(config.adaptive.flush_age) {}
+
+Result<SubmissionId> CompletionQueue::note_submit(Result<SubmissionId> id) {
+  // The flush_age bound needs the age of the *oldest* queued entry; that
+  // entry is the one that found the queue empty.
+  if (id && channel_.pending() == 1)
+    oldest_submitted_at_ = substrate_.machine().now();
+  return id;
+}
+
+Result<SubmissionId> CompletionQueue::submit(BytesView request,
+                                             SubmitOptions opts) {
+  return note_submit(channel_.submit(request, opts));
+}
+
+Result<SubmissionId> CompletionQueue::submit(Bytes&& request,
+                                             SubmitOptions opts) {
+  return note_submit(channel_.submit(std::move(request), opts));
+}
+
+Result<SubmissionId> CompletionQueue::submit_sg(
+    BytesView header, std::vector<substrate::RegionDescriptor> segments,
+    SubmitOptions opts) {
+  return note_submit(channel_.submit_sg(header, std::move(segments), opts));
+}
+
+Result<SubmissionId> CompletionQueue::submit_staged(RegionPool& pool,
+                                                    BytesView header,
+                                                    BytesView payload,
+                                                    SubmitOptions opts) {
+  return note_submit(channel_.submit_staged(pool, header, payload, opts));
+}
+
+Status CompletionQueue::cancel(SubmissionId id) { return channel_.cancel(id); }
+
+void CompletionQueue::export_controller_metrics() {
+  MetricsHub::CounterRef counters = channel_.counters_ref();
+  auto locked = counters.operator->();
+  InvocationCounters* c = locked.operator->();
+  ++c->doorbells;
+  c->adaptive_depth = controller_.depth();
+  c->adaptive_grows = controller_.grows();
+  c->adaptive_shrinks = controller_.shrinks();
+}
+
+Status CompletionQueue::doorbell() {
+  const std::size_t occupancy = channel_.pending();
+  if (occupancy == 0 && channel_.completions_ready() == 0)
+    return Status::success();
+
+  // One span represents the coalesced crossing; its size field carries the
+  // controller's depth target so an exported timeline shows the depth
+  // trajectory alongside the flush/dispatch spans the flush mints.
+  if (const trace::TraceContext& cur = trace::current_context();
+      substrate_.tracing_active() && cur.sampled())
+    substrate_.stamp_span(actor_, cur, substrate_.tracer()->next_span(),
+                          trace::SpanPhase::doorbell, {},
+                          controller_.depth());
+
+  if (const Status s = channel_.flush(); !s.ok()) return s;
+
+  // Drain the completion ring into the ready queue, building this window's
+  // latency histogram as it goes (the same log2 histogram the cumulative
+  // counters keep — but windowed, so a long sparse phase cannot poison the
+  // controller's view of what the current depth costs).
+  InvocationCounters window;
+  while (true) {
+    auto completion = channel_.next_completion();
+    if (!completion) break;
+    CqEvent event;
+    event.id = completion->id;
+    event.cycles = completion->latency;
+    if (completion->result) {
+      event.status = Errc::ok;
+      event.payload = std::move(*completion->result);
+    } else {
+      event.status = completion->result.error();
+    }
+    if (event.cycles > 0) window.record_latency(event.cycles);
+    ready_.push_back(std::move(event));
+  }
+  controller_.observe(occupancy, window.latency_percentile(0.50),
+                      window.latency_percentile(0.99));
+  export_controller_metrics();
+  return Status::success();
+}
+
+Status CompletionQueue::maybe_doorbell() {
+  const std::size_t queued = channel_.pending();
+  if (queued == 0) return Status::success();
+  if (queued >= controller_.depth()) return doorbell();
+  if (flush_age_ > 0 &&
+      substrate_.machine().now() - oldest_submitted_at_ >= flush_age_)
+    return doorbell();
+  return Status::success();
+}
+
+Result<std::vector<CqEvent>> CompletionQueue::reap(std::size_t max,
+                                                   Cycles deadline) {
+  if (ready_.empty() && channel_.pending() > 0 &&
+      (deadline == 0 || substrate_.machine().now() <= deadline)) {
+    if (const Status s = doorbell(); !s.ok()) return s.error();
+  }
+  std::vector<CqEvent> out;
+  const std::size_t n =
+      max == 0 ? ready_.size() : std::min(max, ready_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(ready_.front()));
+    ready_.pop_front();
+  }
+  return out;
+}
+
+std::size_t CompletionQueue::for_each_completion(
+    const std::function<void(CqEvent&)>& fn) {
+  std::size_t n = 0;
+  while (!ready_.empty()) {
+    CqEvent event = std::move(ready_.front());
+    ready_.pop_front();
+    fn(event);
+    ++n;
+  }
+  return n;
+}
+
+Result<Bytes> CompletionQueue::wait(SubmissionId id) {
+  const auto take = [&]() -> std::optional<CqEvent> {
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+      if (it->id == id) {
+        CqEvent event = std::move(*it);
+        ready_.erase(it);
+        return event;
+      }
+    }
+    return std::nullopt;
+  };
+  std::optional<CqEvent> event = take();
+  if (!event && channel_.pending() > 0) {
+    if (const Status s = doorbell(); !s.ok()) return s.error();
+    event = take();
+  }
+  if (!event) return Errc::invalid_argument;
+  if (event->status != Errc::ok) return event->status;
+  return std::move(event->payload);
+}
+
+}  // namespace lateral::runtime

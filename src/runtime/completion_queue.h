@@ -1,0 +1,187 @@
+// CompletionQueue — the runtime's hot-path invocation API (lateral::cq).
+//
+// BatchChannel amortizes the submit side, but its consumers still drain one
+// Completion at a time and every composition layer (Executor futures,
+// AsyncRemoteProxy, FleetServer) re-invents the drain loop. CompletionQueue
+// is the io_uring-shaped redesign: a paired submission/completion ring with
+// a DOORBELL — one crossing charge that flushes everything queued AND
+// drains every completion back into a ready queue of CqEvents — plus batch
+// drain APIs (reap / for_each_completion) so completions are consumed at
+// the same granularity they are produced.
+//
+// Batch depth is adaptive. An AdaptiveBatchController watches the windowed
+// p50/p99 of submit->complete latency (the PR-5 log2 histograms, computed
+// per doorbell window, not cumulatively) and the ring occupancy:
+//   - under load (occupancy reached the target) it doubles the target, but
+//     only while the tail has headroom — growth must not push the windowed
+//     p99 past tail_factor x the best p50 ever observed (the latency floor,
+//     which is what the smallest batches cost). On substrates whose
+//     crossing is byte-dominated (NoC) this is what stops depth from
+//     climbing into latency territory that batching cannot buy back;
+//   - when the queue runs shallow it halves the target, so sparse traffic
+//     is flushed in small, low-latency batches;
+//   - a flush_age bound rings the doorbell for stragglers: an entry never
+//     waits longer than flush_age cycles just because traffic went quiet.
+// The chosen depth is exported through MetricsHub (adaptive_depth /
+// adaptive_grows / adaptive_shrinks / doorbells) and, when tracing is on,
+// as a SpanPhase::doorbell span whose size field carries the depth.
+//
+// Contract (inherited from BatchChannel and strengthened):
+//   - submit paths are lossless-or-rejected (Errc::exhausted = ring full);
+//   - every accepted invocation terminates in exactly one CqEvent;
+//   - one doorbell == at most one boundary crossing: the completion ring is
+//     always drained into the ready queue before the next flush, so the
+//     flush's up-front completion-space reservation can never refuse.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/endpoint.h"
+#include "runtime/batch_channel.h"
+#include "runtime/metrics.h"
+#include "runtime/region_pool.h"
+#include "util/result.h"
+#include "util/types.h"
+
+namespace lateral::runtime {
+
+/// One completed invocation, as drained from the completion ring. This is
+/// the batch-path replacement for a per-call Future: plain data, no shared
+/// state, no allocation beyond the payload itself.
+struct CqEvent {
+  SubmissionId id = 0;
+  Errc status = Errc::ok;
+  /// Reply payload (meaningful when status == ok).
+  Bytes payload;
+  /// Submit->complete simulated cycles (zero when the invocation never
+  /// crossed: cancelled, deadline-expired, epoch-fenced).
+  Cycles cycles = 0;
+
+  bool ok() const { return status == Errc::ok; }
+};
+
+struct AdaptiveConfig {
+  std::size_t min_batch = 4;
+  std::size_t max_batch = 256;
+  /// Starting depth target; 0 means min_batch. A fixed-depth queue
+  /// (adaptive = false) stays at this value forever.
+  std::size_t initial = 0;
+  /// Tail headroom: growth stops once doubling could push the windowed p99
+  /// past tail_factor x the latency floor (best windowed p50 seen), and a
+  /// window that already violates the bound forces a shrink.
+  std::uint64_t tail_factor = 8;
+  /// maybe_doorbell() rings when the oldest queued entry has waited this
+  /// many cycles, regardless of depth. 0 = never ring on age.
+  Cycles flush_age = 0;
+  bool adaptive = true;
+};
+
+/// Histogram-driven batch-depth controller. Pure policy — no rings, no
+/// clocks — so the edge cases (cold start, saturation, tail damping) are
+/// unit-testable without a substrate.
+class AdaptiveBatchController {
+ public:
+  explicit AdaptiveBatchController(AdaptiveConfig config);
+
+  std::size_t depth() const { return depth_; }
+  std::uint64_t grows() const { return grows_; }
+  std::uint64_t shrinks() const { return shrinks_; }
+
+  /// Feed one doorbell window: `occupancy` = entries flushed by the
+  /// doorbell, window_p50/p99 = that window's latency percentiles (0 when
+  /// the window recorded nothing, e.g. every entry was cancelled — the
+  /// cold-start case, where occupancy alone drives the decision).
+  void observe(std::size_t occupancy, Cycles window_p50, Cycles window_p99);
+
+ private:
+  AdaptiveConfig config_;
+  std::size_t depth_;
+  /// Best (smallest) windowed p50 seen — what a small batch costs on this
+  /// substrate; the reference the tail bound is measured against.
+  Cycles floor_p50_ = 0;
+  std::uint64_t grows_ = 0;
+  std::uint64_t shrinks_ = 0;
+};
+
+struct CompletionQueueConfig {
+  /// Ring depth (submission and completion each); raised to at least
+  /// adaptive.max_batch so the controller's deepest batch always fits.
+  std::size_t depth = 512;
+  AdaptiveConfig adaptive;
+  MetricsHub* hub = nullptr;
+  std::string label;
+};
+
+class CompletionQueue {
+ public:
+  /// Attach to one side of an assembly channel (epoch captured at attach,
+  /// exactly like BatchChannel).
+  explicit CompletionQueue(const core::Endpoint& endpoint,
+                           CompletionQueueConfig config = {});
+  /// Raw-substrate attach (tests, benches).
+  CompletionQueue(substrate::IsolationSubstrate& substrate,
+                  substrate::DomainId actor, substrate::ChannelId channel,
+                  CompletionQueueConfig config = {});
+
+  // --- Submission ring ------------------------------------------------------
+  Result<SubmissionId> submit(BytesView request, SubmitOptions opts = {});
+  Result<SubmissionId> submit(Bytes&& request, SubmitOptions opts = {});
+  Result<SubmissionId> submit_sg(BytesView header,
+                                 std::vector<substrate::RegionDescriptor>
+                                     segments,
+                                 SubmitOptions opts = {});
+  Result<SubmissionId> submit_staged(RegionPool& pool, BytesView header,
+                                     BytesView payload, SubmitOptions opts = {});
+  Status cancel(SubmissionId id);
+
+  // --- Doorbell -------------------------------------------------------------
+  /// Ring unconditionally: flush the submission ring (one crossing) and
+  /// drain every completion into the ready queue, then feed the adaptive
+  /// controller with the window. No-op (no charge) when nothing is queued
+  /// and nothing is ready to drain.
+  Status doorbell();
+  /// Ring only when policy says so: occupancy reached the controller's
+  /// depth target, or the oldest queued entry is older than flush_age.
+  Status maybe_doorbell();
+
+  // --- Completion drain -----------------------------------------------------
+  /// Drain up to `max` ready events (0 = all). Never blocks; rings the
+  /// doorbell at most once (only when nothing is ready but submissions are
+  /// queued). A non-zero `deadline` already in the past suppresses even
+  /// that crossing: past-deadline reaps only return what is already ready.
+  Result<std::vector<CqEvent>> reap(std::size_t max = 0, Cycles deadline = 0);
+  /// Apply `fn` to every ready event (no doorbell, no crossing) and return
+  /// how many were consumed.
+  std::size_t for_each_completion(const std::function<void(CqEvent&)>& fn);
+
+  /// Future-compatibility shim for sync callers: ring as needed, drain, and
+  /// return `id`'s result (other ids' events stay in the ready queue).
+  Result<Bytes> wait(SubmissionId id);
+
+  // --- Introspection --------------------------------------------------------
+  std::size_t pending() const { return channel_.pending(); }
+  std::size_t ready() const { return ready_.size(); }
+  /// The controller's current batch-depth target.
+  std::size_t batch_depth() const { return controller_.depth(); }
+  InvocationCounters metrics() const { return channel_.metrics(); }
+
+ private:
+  Result<SubmissionId> note_submit(Result<SubmissionId> id);
+  void export_controller_metrics();
+
+  substrate::IsolationSubstrate& substrate_;
+  substrate::DomainId actor_;
+  BatchChannel channel_;
+  AdaptiveBatchController controller_;
+  std::deque<CqEvent> ready_;
+  /// Machine clock when the oldest currently-queued entry was submitted
+  /// (meaningful only while pending() > 0); drives the flush_age bound.
+  Cycles oldest_submitted_at_ = 0;
+  Cycles flush_age_ = 0;
+};
+
+}  // namespace lateral::runtime

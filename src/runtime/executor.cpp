@@ -77,12 +77,7 @@ std::mutex& Executor::stripe_for(
   return substrate_stripes_[std::hash<const void*>{}(substrate) % kStripes];
 }
 
-Result<Future> Executor::submit(const DomainKey& key, Task task,
-                                SubmitOptions opts) {
-  if (!task) return Errc::invalid_argument;
-  std::lock_guard<std::mutex> guard(mu_);
-  if (stopping_) return Errc::cancelled;
-
+Result<Future> Executor::enqueue_locked(const DomainKey& key, Item item) {
   std::shared_ptr<DomainQueue>& queue = domains_[key];
   if (!queue) {
     queue = std::make_shared<DomainQueue>();
@@ -93,10 +88,7 @@ Result<Future> Executor::submit(const DomainKey& key, Task task,
     return Errc::exhausted;
   }
 
-  Item item;
   item.state = std::make_shared<Future::State>();
-  item.task = std::move(task);
-  item.deadline = opts.deadline;
   item.ctx = trace::current_context();
   Future future;
   future.state_ = item.state;
@@ -113,31 +105,67 @@ Result<Future> Executor::submit(const DomainKey& key, Task task,
   return future;
 }
 
+Result<Future> Executor::submit(const DomainKey& key, Task task,
+                                SubmitOptions opts) {
+  if (!task) return Errc::invalid_argument;
+  std::lock_guard<std::mutex> guard(mu_);
+  if (stopping_) return Errc::cancelled;
+  Item item;
+  item.task = std::move(task);
+  item.deadline = opts.deadline;
+  return enqueue_locked(key, std::move(item));
+}
+
+Result<Future> Executor::submit_cq(const core::Endpoint& endpoint, CqPrep prep,
+                                   SubmitOptions opts) {
+  const DomainKey key{endpoint.substrate(), endpoint.actor()};
+  std::lock_guard<std::mutex> guard(mu_);
+  if (stopping_) return Errc::cancelled;
+  const CqKey cq_key{endpoint.substrate(), endpoint.actor(),
+                     endpoint.channel(), endpoint.epoch()};
+  std::shared_ptr<CompletionQueue>& cq = cqs_[cq_key];
+  if (!cq) {
+    // The ring must be able to hold everything one coalesced run can stage
+    // — a run is bounded by the domain's queue depth.
+    CompletionQueueConfig cfg;
+    cfg.depth = config_.queue_depth;
+    cq = std::make_shared<CompletionQueue>(endpoint, cfg);
+  }
+  Item item;
+  item.cq = cq;
+  item.prep = std::move(prep);
+  item.deadline = opts.deadline;
+  return enqueue_locked(key, std::move(item));
+}
+
+Result<Future> Executor::submit_call(const core::Endpoint& endpoint,
+                                     Bytes request, SubmitOptions opts) {
+  return submit_cq(
+      endpoint,
+      // The prep may run twice (retry after a drain when the ring was
+      // saturated), so it stages from a copy and keeps the original.
+      [request = std::move(request), opts](CompletionQueue& cq) {
+        return cq.submit(BytesView(request), opts);
+      },
+      opts);
+}
+
 Result<Future> Executor::submit_call_sg(const core::Endpoint& endpoint,
                                         std::shared_ptr<RegionPool> pool,
                                         Bytes header, Bytes payload,
                                         SubmitOptions opts) {
   if (!pool) return Errc::invalid_argument;
-  DomainKey key{endpoint.substrate(), endpoint.actor()};
-  // Staging happens inside the task, not here: region_write advances the
+  // Staging happens inside the prep, not here: region_write advances the
   // simulated machine, so it must run under the substrate stripe lock the
-  // worker takes for this key. The task co-owns the pool, so a caller
-  // dropping its reference before the task runs cannot dangle it.
-  return submit(
-      key,
-      [endpoint, pool = std::move(pool), header = std::move(header),
-       payload = std::move(payload)]() -> Result<Bytes> {
-        auto slot = pool->acquire();
-        if (!slot) return slot.error();
-        auto desc = pool->stage(*slot, payload);
-        if (!desc) {
-          pool->release(*slot);
-          return desc.error();
-        }
-        const std::array<substrate::RegionDescriptor, 1> segments{*desc};
-        Result<Bytes> reply = endpoint.call_sg(header, segments);
-        pool->release(*slot);  // callee consumed the bytes in place
-        return reply;
+  // worker takes for this key. The prep co-owns the pool, so a caller
+  // dropping its reference before the task runs cannot dangle it; the
+  // staged slot rides the Pending and is released when its completion is
+  // formed (the callee consumed the bytes in place by then).
+  return submit_cq(
+      endpoint,
+      [pool = std::move(pool), header = std::move(header),
+       payload = std::move(payload), opts](CompletionQueue& cq) {
+        return cq.submit_staged(*pool, header, payload, opts);
       },
       opts);
 }
@@ -184,6 +212,70 @@ void Executor::finish(const std::shared_ptr<Future::State>& state,
   state->cv.notify_all();
 }
 
+void Executor::run_cq_batch(
+    const std::shared_ptr<DomainQueue>& queue, std::vector<Item>& run,
+    std::vector<std::uint64_t InvocationCounters::*>& outcomes) {
+  CompletionQueue& cq = *run.front().cq;
+  outcomes.assign(run.size(), &InvocationCounters::completed);
+  std::vector<std::optional<SubmissionId>> sids(run.size());
+  std::vector<std::optional<Result<Bytes>>> results(run.size());
+
+  // Everything touching the queue (and through it the simulated machine)
+  // is serialized per substrate, same as the single-task path.
+  std::lock_guard<std::mutex> stripe(stripe_for(queue->key.substrate));
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    Item& item = run[i];
+    bool cancelled = false;
+    {
+      std::lock_guard<std::mutex> state_guard(item.state->mu);
+      cancelled = item.state->cancel_requested;
+    }
+    if (cancelled) {
+      outcomes[i] = &InvocationCounters::cancelled;
+      results[i] = Result<Bytes>(Errc::cancelled);
+      continue;
+    }
+    // The submitter's trace context rides with the item, so the submit
+    // span the queue stamps chains under the right trace.
+    trace::TraceScope scope(item.ctx);
+    auto sid = item.prep(cq);
+    if (!sid && sid.error() == Errc::exhausted) {
+      // Ring saturated mid-run: ring the doorbell (drains into the ready
+      // queue) and retry once. A second refusal is terminal.
+      (void)cq.doorbell();
+      sid = item.prep(cq);
+    }
+    if (!sid) {
+      // Delivered refusal (pool empty, ring full twice, ...): the future
+      // carries the error; accounting-wise the invocation completed.
+      results[i] = Result<Bytes>(sid.error());
+      continue;
+    }
+    sids[i] = *sid;
+  }
+
+  // ONE doorbell for the whole run — this is the crossing the per-call
+  // future path used to pay per task.
+  {
+    trace::TraceScope scope(run.front().ctx);
+    (void)cq.doorbell();
+  }
+
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    if (!sids[i]) continue;
+    Result<Bytes> r = cq.wait(*sids[i]);
+    if (!r) {
+      if (r.error() == Errc::cancelled)
+        outcomes[i] = &InvocationCounters::cancelled;
+      else if (r.error() == Errc::timed_out)
+        outcomes[i] = &InvocationCounters::timed_out;
+    }
+    results[i] = std::move(r);
+  }
+  for (std::size_t i = 0; i < run.size(); ++i)
+    finish(run[i].state, std::move(*results[i]));
+}
+
 void Executor::worker_loop(std::size_t index) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -195,6 +287,46 @@ void Executor::worker_loop(std::size_t index) {
     }
     Item item = std::move(queue->items.front());
     queue->items.pop_front();
+
+    if (item.cq) {
+      // Coalesce: every consecutive head item bound for the same
+      // CompletionQueue joins this run and shares its doorbell. Only
+      // consecutive items, so per-domain ordering is untouched.
+      std::vector<Item> run;
+      run.push_back(std::move(item));
+      while (!queue->items.empty() && queue->items.front().cq == run[0].cq) {
+        run.push_back(std::move(queue->items.front()));
+        queue->items.pop_front();
+      }
+      queue->running = true;
+      lock.unlock();
+
+      std::vector<std::uint64_t InvocationCounters::*> outcomes;
+      run_cq_batch(queue, run, outcomes);
+
+      lock.lock();
+      queue->running = false;
+      for (const auto counter : outcomes) ++(stats_.counters.*counter);
+      ++stats_.cq_batches;
+      stats_.cq_calls += run.size();
+      if (!queue->items.empty() && !queue->in_run_deck && !stopping_) {
+        decks_[index].push_back(queue);
+        queue->in_run_deck = true;
+        work_cv_.notify_one();
+      } else if (stopping_) {
+        while (!queue->items.empty()) {
+          Item cancelled = std::move(queue->items.front());
+          queue->items.pop_front();
+          ++stats_.counters.cancelled;
+          --outstanding_;
+          finish(cancelled.state, Errc::cancelled);
+        }
+      }
+      outstanding_ -= run.size();
+      if (outstanding_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+
     queue->running = true;
     lock.unlock();
 

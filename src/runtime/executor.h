@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "runtime/batch_channel.h"
+#include "runtime/completion_queue.h"
 #include "runtime/metrics.h"
 #include "substrate/substrate.h"
 #include "util/result.h"
@@ -81,6 +82,11 @@ struct ExecutorConfig {
 struct ExecutorStats {
   InvocationCounters counters;
   std::uint64_t steals = 0;  // domain queues migrated to an idle worker
+  /// Completion-queue path: cq_calls invocations were carried by
+  /// cq_batches doorbells, i.e. consecutive submit_call* tasks bound for
+  /// the same endpoint crossed together instead of future-by-future.
+  std::uint64_t cq_batches = 0;
+  std::uint64_t cq_calls = 0;
 };
 
 class Executor {
@@ -96,15 +102,25 @@ class Executor {
   Result<Future> submit(const DomainKey& key, Task task,
                         SubmitOptions opts = {});
 
+  /// Plain call as a task, routed through the endpoint's CompletionQueue:
+  /// consecutive submit_call* tasks bound for the same endpoint are popped
+  /// together by the worker and cross the boundary under ONE doorbell —
+  /// the future-per-call API on the outside, the CqEvent batch path on the
+  /// inside. The Future resolves with the reply (or the queue's terminal
+  /// error: cancelled, timed_out, stale_epoch after a peer restart).
+  Result<Future> submit_call(const core::Endpoint& endpoint, Bytes request,
+                             SubmitOptions opts = {});
+
   /// Zero-copy call as a task: when the task runs (under the endpoint
   /// substrate's stripe lock, in domain order), it leases a pool slot,
-  /// stages `payload` (the path's one copy), performs the scatter-gather
-  /// call, and returns the slot. The task holds a shared_ptr to the pool,
-  /// so the pool outlives every deferred call staged through it, and the
-  /// pool's free list is internally locked, so one pool may serve tasks
-  /// keyed to different domains. Errors surface through the Future
-  /// (exhausted = pool empty, stale_epoch = peer restarted; re-wire and
-  /// resubmit).
+  /// stages `payload` (the path's one copy), and submits header+descriptor
+  /// to the endpoint's CompletionQueue; the slot is returned when the
+  /// completion is formed. The task co-owns the pool, so the pool outlives
+  /// every deferred call staged through it, and the pool's free list is
+  /// internally locked, so one pool may serve tasks keyed to different
+  /// domains. Errors surface through the Future (exhausted = pool empty,
+  /// stale_epoch = peer restarted; re-wire and resubmit). Like
+  /// submit_call, consecutive same-endpoint tasks share one doorbell.
   Result<Future> submit_call_sg(const core::Endpoint& endpoint,
                                 std::shared_ptr<RegionPool> pool,
                                 Bytes header, Bytes payload,
@@ -116,9 +132,19 @@ class Executor {
   ExecutorStats stats() const;
 
  private:
+  /// Stages one invocation into the endpoint's CompletionQueue; runs on the
+  /// worker under the substrate stripe lock.
+  using CqPrep = std::function<Result<SubmissionId>(CompletionQueue&)>;
+
   struct Item {
     std::shared_ptr<Future::State> state;
     Task task;
+    /// Completion-queue item (submit_call*): `prep` stages the submission
+    /// and `cq` is the shared per-(endpoint, epoch) queue it lands in.
+    /// Consecutive items with the same `cq` are popped as one run and
+    /// share a doorbell. Exactly one of task / prep is set.
+    std::shared_ptr<CompletionQueue> cq;
+    CqPrep prep;
     Cycles deadline = 0;
     /// Trace context of the submitting thread, captured at submit and
     /// re-installed around the task on the worker — the context follows the
@@ -132,16 +158,44 @@ class Executor {
     bool running = false;      // a worker is executing its head task
   };
 
+  /// Cache key for per-endpoint CompletionQueues. The channel epoch is part
+  /// of the key: a supervised restart re-epochs the channel, and the next
+  /// submit_call against the fresh endpoint must get a fresh queue instead
+  /// of one that would see stale_epoch forever.
+  struct CqKey {
+    substrate::IsolationSubstrate* substrate = nullptr;
+    substrate::DomainId actor = substrate::kInvalidDomain;
+    substrate::ChannelId channel = 0;
+    std::uint64_t epoch = 0;
+
+    auto operator<=>(const CqKey&) const = default;
+  };
+
   void worker_loop(std::size_t index);
   std::shared_ptr<DomainQueue> next_queue_locked(std::size_t index);
   void finish(const std::shared_ptr<Future::State>& state, Result<Bytes> r);
   std::mutex& stripe_for(const substrate::IsolationSubstrate* substrate);
+  /// Enqueue a completion-queue item (shared plumbing of submit_call*).
+  Result<Future> submit_cq(const core::Endpoint& endpoint, CqPrep prep,
+                           SubmitOptions opts);
+  /// Common enqueue tail (mu_ held): allocate the future state, bound the
+  /// queue, schedule the domain.
+  Result<Future> enqueue_locked(const DomainKey& key, Item item);
+  /// Run a coalesced batch of same-queue items under the stripe lock and
+  /// resolve their futures; returns each item's terminal counter.
+  void run_cq_batch(const std::shared_ptr<DomainQueue>& queue,
+                    std::vector<Item>& run,
+                    std::vector<std::uint64_t InvocationCounters::*>&
+                        outcomes);
 
   ExecutorConfig config_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::map<DomainKey, std::shared_ptr<DomainQueue>> domains_;
+  /// Per-(endpoint, epoch) CompletionQueues (created under mu_; driven only
+  /// under the owning substrate's stripe lock).
+  std::map<CqKey, std::shared_ptr<CompletionQueue>> cqs_;
   /// Per-worker deck of runnable domain queues.
   std::vector<std::deque<std::shared_ptr<DomainQueue>>> decks_;
   std::vector<std::thread> workers_;

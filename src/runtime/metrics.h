@@ -37,6 +37,17 @@ struct InvocationCounters {
   /// batch_size_histogram[i] counts batches of size in [2^i, 2^(i+1)).
   std::array<std::uint64_t, 12> batch_size_histogram{};
 
+  // --- Completion-queue shape (lateral::cq) ---
+  /// Coalesced ring crossings: one doorbell flushes the submission ring AND
+  /// drains the completion ring for a single crossing charge.
+  std::uint64_t doorbells = 0;
+  /// The adaptive controller's current batch-depth target (a gauge, not a
+  /// counter: the last exported value), plus its decision counters. A fixed
+  /// (non-adaptive) queue exports its configured depth and zero decisions.
+  std::uint64_t adaptive_depth = 0;
+  std::uint64_t adaptive_grows = 0;    // depth doublings (throughput mode)
+  std::uint64_t adaptive_shrinks = 0;  // depth halvings (latency mode)
+
   // --- Cycle accounting ---
   Cycles sync_equivalent_cycles = 0;  // cost had every call gone sync
   Cycles crossing_cycles = 0;         // cost the batched path paid

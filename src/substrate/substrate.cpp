@@ -777,9 +777,10 @@ Status IsolationSubstrate::region_write(DomainId actor, RegionId region,
   if (data.size() > record->backing.size() ||
       offset > record->backing.size() - data.size())
     return Errc::invalid_argument;
-  // The producer's single copy — plain memcpy into already-mapped memory,
-  // no crossing. Every other stage of the zero-copy path is O(1).
-  machine_.charge(0, machine_.costs().memcpy_per_16_bytes, data.size());
+  // The producer's single copy — no crossing. What one byte costs depends
+  // on where the backing lives relative to the actor (region_copy_cost);
+  // every other stage of the zero-copy path is O(1).
+  machine_.advance(region_copy_cost(*record, actor, data.size()));
   std::copy(data.begin(), data.end(), record->backing.begin() + offset);
   return Status::success();
 }
@@ -797,7 +798,7 @@ Result<Bytes> IsolationSubstrate::region_read(DomainId actor, RegionId region,
   if (!mapped) return Errc::access_denied;
   if (len > record->backing.size() || offset > record->backing.size() - len)
     return Errc::invalid_argument;
-  machine_.charge(0, machine_.costs().memcpy_per_16_bytes, len);
+  machine_.advance(region_copy_cost(*record, actor, len));
   return Bytes(record->backing.begin() + offset,
                record->backing.begin() + offset + len);
 }
@@ -808,7 +809,7 @@ Result<BytesView> IsolationSubstrate::region_view(
     return s.error();
   const RegionRecord* record = find_region(desc.region);
   // In-place access: constant cost per descriptor, zero bytes moved.
-  machine_.advance(region_access_cost());
+  machine_.advance(region_access_cost(*record, actor));
   return BytesView(record->backing.data() + desc.offset, desc.length);
 }
 
@@ -819,6 +820,22 @@ Cycles IsolationSubstrate::region_map_cost(std::size_t pages) const {
 
 Cycles IsolationSubstrate::region_access_cost() const {
   return machine_.costs().region_access;
+}
+
+Cycles IsolationSubstrate::region_copy_cost(const RegionRecord& record,
+                                            DomainId actor,
+                                            std::size_t len) const {
+  // Flat model: shared memory is equally close to both endpoints.
+  (void)record;
+  (void)actor;
+  return machine_.costs().memcpy_per_16_bytes * Cycles((len + 15) / 16);
+}
+
+Cycles IsolationSubstrate::region_access_cost(const RegionRecord& record,
+                                              DomainId actor) const {
+  (void)record;
+  (void)actor;
+  return region_access_cost();
 }
 
 Status IsolationSubstrate::attach_region(RegionId id, RegionRecord& record) {

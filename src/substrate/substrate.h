@@ -344,6 +344,16 @@ class IsolationSubstrate {
   virtual Cycles region_map_cost(std::size_t pages) const;
   /// Constant cost of one in-place descriptor access (region_view).
   virtual Cycles region_access_cost() const;
+  /// Per-actor data-plane pricing. The flat costs above assume the backing
+  /// is equally close to both endpoints — true for MMU-style substrates,
+  /// where a shared mapping is just memory. Tiled substrates override:
+  /// the backing physically lives on ONE endpoint's tile (the host, chosen
+  /// at attach_region) and the peer pays the interconnect per copy/view.
+  /// Defaults delegate to the flat model above.
+  virtual Cycles region_copy_cost(const RegionRecord& record, DomainId actor,
+                                  std::size_t len) const;
+  virtual Cycles region_access_cost(const RegionRecord& record,
+                                    DomainId actor) const;
   /// Backend admission/teardown hooks for regions (e.g. the NoC DTU has a
   /// bounded endpoint table; it accounts slots here). Defaults: allow/no-op.
   virtual Status attach_region(RegionId id, RegionRecord& record);

@@ -118,6 +118,11 @@ enum class SpanPhase : std::uint8_t {
   update_stage,   // update image chunk staged/verified into the inactive slot
   update_commit,  // component restarted into the new measurement and held
   update_revert,  // probation failed; previous slot restored and serving
+  // Completion-queue runtime (lateral::cq). One doorbell = one coalesced
+  // crossing that flushes the submission ring AND drains the completion
+  // ring; the span's size field carries the adaptive controller's current
+  // batch depth so an exported timeline shows the depth trajectory.
+  doorbell,  // paired-ring flush+drain crossing (caller domain)
 };
 
 constexpr std::string_view span_phase_name(SpanPhase p) {
@@ -138,6 +143,7 @@ constexpr std::string_view span_phase_name(SpanPhase p) {
     case SpanPhase::update_stage: return "update_stage";
     case SpanPhase::update_commit: return "update_commit";
     case SpanPhase::update_revert: return "update_revert";
+    case SpanPhase::doorbell: return "doorbell";
   }
   return "unknown";
 }

@@ -96,6 +96,54 @@ TEST_F(NocTest, RegionsConsumeDtuEndpoints) {
   EXPECT_TRUE(fabric_->create_channel(*hub, *peer).ok());
 }
 
+TEST_F(NocTest, RegionBackingLandsOnTheConsumerTile) {
+  // Tile-aware placement: the grantee (the descriptor-consuming side of
+  // the zero-copy flow) hosts the backing, so its views are tile-local.
+  auto producer = fabric_->create_domain(tc_spec("producer"));
+  auto consumer = fabric_->create_domain(tc_spec("consumer"));
+  ASSERT_TRUE(producer.ok());
+  ASSERT_TRUE(consumer.ok());
+  auto region = fabric_->create_region(*producer, *consumer, 4096);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ(*fabric_->region_host(*region), *consumer);
+  EXPECT_EQ(fabric_->region_host(9999).error(), Errc::invalid_argument);
+}
+
+TEST_F(NocTest, ConsumerViewsAreLocalProducerPaysTheMesh) {
+  auto producer = fabric_->create_domain(tc_spec("producer"));
+  auto consumer = fabric_->create_domain(tc_spec("consumer"));
+  ASSERT_TRUE(producer.ok());
+  ASSERT_TRUE(consumer.ok());
+  auto region = fabric_->create_region(*producer, *consumer, 4096);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE(fabric_->map_region(*producer, *region).ok());
+  ASSERT_TRUE(fabric_->map_region(*consumer, *region).ok());
+  const Bytes payload(1024, 0x5a);
+
+  // The producer's staging write streams over the mesh to the consumer's
+  // tile; the same write issued by the host is a local SRAM copy.
+  const Cycles w0 = machine_->now();
+  ASSERT_TRUE(fabric_->region_write(*producer, *region, 0, payload).ok());
+  const Cycles remote_write = machine_->now() - w0;
+  const Cycles w1 = machine_->now();
+  ASSERT_TRUE(fabric_->region_write(*consumer, *region, 0, payload).ok());
+  const Cycles local_write = machine_->now() - w1;
+  EXPECT_GT(remote_write, local_write);
+
+  auto desc = fabric_->make_descriptor(*producer, *region, 0, 1024);
+  ASSERT_TRUE(desc.ok());
+  // In-place views: the consumer reads tile-local memory at the flat
+  // region-access cost; the producer's view pays hop latency on top.
+  const Cycles v0 = machine_->now();
+  ASSERT_TRUE(fabric_->region_view(*consumer, *desc).ok());
+  const Cycles consumer_view = machine_->now() - v0;
+  const Cycles v1 = machine_->now();
+  ASSERT_TRUE(fabric_->region_view(*producer, *desc).ok());
+  const Cycles producer_view = machine_->now() - v1;
+  EXPECT_EQ(consumer_view, machine_->costs().region_access);
+  EXPECT_GT(producer_view, consumer_view);
+}
+
 TEST_F(NocTest, DtuMessagingIsCheap) {
   auto a = fabric_->create_domain(tc_spec("a"));
   auto b = fabric_->create_domain(tc_spec("b"));

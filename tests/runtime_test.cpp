@@ -958,6 +958,44 @@ TEST_F(AsyncRemoteTest, TamperedBurstRecordRefusedByDispatcher) {
   EXPECT_EQ(proxy.take(2).error(), Errc::verification_failed);
 }
 
+TEST_F(AsyncRemoteTest, ReapDrainsCompletedEventsInOrder) {
+  AsyncRemoteProxy proxy = make_proxy();
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 4; ++i)
+    ids.push_back(*proxy.submit("echo", to_bytes("r" + std::to_string(i))));
+  ASSERT_TRUE(proxy.flush().ok());
+  std::vector<CqEvent> first = proxy.reap(3);
+  ASSERT_EQ(first.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(first[i].id, ids[i]);  // oldest request id first
+    ASSERT_TRUE(first[i].ok());
+    EXPECT_EQ(to_string(first[i].payload), "r" + std::to_string(i));
+  }
+  std::size_t rest = proxy.for_each_completion([&](CqEvent& event) {
+    EXPECT_EQ(event.id, ids[3]);
+  });
+  EXPECT_EQ(rest, 1u);
+  EXPECT_TRUE(proxy.reap().empty());
+}
+
+TEST_F(AsyncRemoteTest, AdaptiveAutoFlushRingsAtDepthTarget) {
+  AsyncProxyConfig config;
+  config.adaptive.min_batch = 2;
+  config.adaptive.max_batch = 8;
+  config.adaptive.adaptive = true;
+  AsyncRemoteProxy proxy = make_proxy(config);
+  EXPECT_EQ(proxy.batch_depth(), 2u);
+  ASSERT_TRUE(proxy.submit("echo", to_bytes("a")).ok());
+  EXPECT_EQ(bursts_, 0);  // below target: nothing on the wire yet
+  ASSERT_TRUE(proxy.submit("echo", to_bytes("b")).ok());
+  EXPECT_EQ(bursts_, 1);  // target reached: implicit flush
+  EXPECT_EQ(proxy.pending(), 0u);
+  EXPECT_EQ(proxy.reap().size(), 2u);
+  // The saturated no-latency window grew the target (cold start).
+  EXPECT_EQ(proxy.batch_depth(), 4u);
+  EXPECT_EQ(proxy.metrics().doorbells, 1u);
+}
+
 TEST_F(AsyncRemoteTest, WaitFlushesImplicitly) {
   AsyncRemoteProxy proxy = make_proxy();
   const RequestId id = *proxy.submit("echo", to_bytes("lazy"));
