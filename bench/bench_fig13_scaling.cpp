@@ -1,0 +1,247 @@
+// FIG13 — Multi-core scaling of the batched runtime, per substrate.
+//
+// The paper's horizontal paradigm splits an app into many small domains —
+// which is exactly the shape that scales across cores, IF the substrate
+// lets concurrent crossings proceed. This benchmark pins that down: the
+// FIG9b echo workload (batch-32 through runtime::BatchChannel), replicated
+// one shard per core (own server domain, own channel, own arena — the
+// `shard N` manifest layout), driven round-robin across 1/2/4/8 simulated
+// cores. Throughput is total calls over the machine's global epoch
+// (max over per-core clocks), so a serialized substrate shows up as a flat
+// line, not a slower one.
+//
+// Expected shape (the concurrency laws in substrate.cpp):
+//   microkernel / noc / cheri  parallel crossings      -> near-linear
+//   sgx                        serializes at enclave transitions -> flat
+//   trustzone / ftpm           one secure-world monitor -> flat
+//   tpm / sep                  single-threaded device   -> flat
+//
+// Acceptance bar (CI asserts both): microkernel >= 2.5x at 4 cores,
+// trustzone <= 1.3x at 4 cores.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "runtime/batch_channel.h"
+#include "util/table.h"
+
+using namespace lateral;
+using namespace lateral::bench;
+
+namespace {
+
+/// One shard of the scaling rig: a client/server pair with its own channel,
+/// pinned to one core. Mirrors what the composer builds for `shard N`.
+struct Shard {
+  substrate::DomainId client = 0;
+  substrate::ChannelId channel = 0;
+  std::unique_ptr<runtime::BatchChannel> batch;
+};
+
+struct ScaleRun {
+  Cycles elapsed = 0;            // max per-core busy time
+  double calls_per_mcycle = 0;   // throughput against the global epoch
+  std::uint64_t serial_stalls = 0;
+  std::uint64_t contention_events = 0;
+};
+
+constexpr std::size_t kBatch = 32;
+constexpr int kRounds = 8;
+constexpr std::size_t kPayload = 16;
+
+ScaleRun measure_scaling(const std::string& substrate_name,
+                         std::size_t cores) {
+  hw::MachineConfig config;
+  config.name = "fig13-" + substrate_name + "-x" + std::to_string(cores);
+  config.cores = cores;
+  hw::Machine machine(config, vendor(), to_bytes("bench-rom"));
+  auto sub = *registry().create(substrate_name, machine);
+
+  std::vector<Shard> shards(cores);
+  for (std::size_t i = 0; i < cores; ++i) {
+    hw::CoreLease lease(machine, i);
+    const std::string suffix = "#" + std::to_string(i);
+    auto server = sub->create_domain(tc_spec("server" + suffix));
+    if (!server.ok()) {
+      // Two-environment devices (SEP) cannot host a pair per core: every
+      // core funnels into shard 0's one mailbox — the honest model of a
+      // fixed-function device, and exactly why its curve stays flat.
+      shards[i].client = shards[0].client;
+      shards[i].channel = shards[0].channel;
+    } else {
+      auto client = sub->create_domain(tc_spec("client" + suffix));
+      if (!client.ok())  // SEP's one trusted slot is taken: app side is legacy
+        client = sub->create_domain(legacy_spec("client" + suffix));
+      shards[i].client = *client;
+      shards[i].channel = *sub->create_channel(
+          shards[i].client, *server, {.max_message_bytes = 1 << 16});
+      (void)sub->set_handler(
+          *server, [](const substrate::Invocation& inv) -> Result<Bytes> {
+            return Bytes(inv.data.begin(), inv.data.end());  // echo
+          });
+    }
+    shards[i].batch = std::make_unique<runtime::BatchChannel>(
+        *sub, shards[i].client, shards[i].channel,
+        runtime::BatchChannelConfig{.depth = kBatch});
+    // Warm-up crossing so lazy setup costs land outside the window.
+    (void)sub->call(shards[i].client, shards[i].channel,
+                    Bytes(kPayload, 0x5A));
+  }
+
+  std::vector<Cycles> start(cores);
+  for (std::size_t i = 0; i < cores; ++i) start[i] = machine.core(i);
+  const std::uint64_t stalls_before = sub->serial_stalls();
+  const std::uint64_t contention_before = machine.contention_events();
+
+  const Bytes data(kPayload, 0x5A);
+  // Round-robin across cores, one batch per visit: every core offers the
+  // same work, and serialized substrates interleave at the gate the way
+  // concurrent shards would.
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::size_t i = 0; i < cores; ++i) {
+      hw::CoreLease lease(machine, i);
+      for (std::size_t k = 0; k < kBatch; ++k)
+        (void)shards[i].batch->submit(data);
+      (void)shards[i].batch->flush();
+      while (shards[i].batch->next_completion().ok()) {
+      }
+    }
+  }
+
+  ScaleRun run;
+  for (std::size_t i = 0; i < cores; ++i) {
+    const Cycles busy = machine.core(i) - start[i];
+    if (busy > run.elapsed) run.elapsed = busy;
+  }
+  const double calls =
+      static_cast<double>(cores) * kRounds * static_cast<double>(kBatch);
+  run.calls_per_mcycle =
+      run.elapsed ? calls * 1e6 / static_cast<double>(run.elapsed) : 0;
+  run.serial_stalls = sub->serial_stalls() - stalls_before;
+  run.contention_events = machine.contention_events() - contention_before;
+  return run;
+}
+
+/// Cycles for interleaved 16 B region writes from two cores, either all to
+/// the same line (unsharded hot head) or to per-core lines one cache-line
+/// stride apart (the RegionPool arena layout). The gap is the machine's
+/// bus-contention penalty — what `shard N` plus per-shard arenas removes.
+Cycles measure_region_writes(bool sharded) {
+  hw::MachineConfig config;
+  config.name = sharded ? "fig13-region-sharded" : "fig13-region-shared";
+  config.cores = 2;
+  hw::Machine machine(config, vendor(), to_bytes("bench-rom"));
+  auto sub = *registry().create("microkernel", machine);
+  auto a = *sub->create_domain(tc_spec("a"));
+  auto b = *sub->create_domain(tc_spec("b"));
+  (void)*sub->create_channel(a, b, {});
+  const auto region = *sub->create_region(
+      a, b, 1 << 16, substrate::RegionPerms::read_write);
+  (void)sub->map_region(a, region);
+  (void)sub->map_region(b, region);
+
+  const Bytes payload(16, 0x42);
+  const std::uint64_t stride = machine.costs().cache_line_bytes;
+  const Cycles before = machine.now();
+  for (int i = 0; i < 64; ++i) {
+    for (std::size_t core = 0; core < 2; ++core) {
+      hw::CoreLease lease(machine, core);
+      const std::uint64_t offset = sharded ? core * stride : 0;
+      (void)sub->region_write(core == 0 ? a : b, region, offset, payload);
+    }
+  }
+  return machine.now() - before;
+}
+
+void run_report() {
+  std::printf("== FIG13: throughput vs cores, one shard per core ==\n");
+  std::printf("(FIG9b echo workload, batch-32 per visit; throughput in\n");
+  std::printf(" calls per megacycle of the global epoch = max core clock.\n");
+  std::printf(" speedup-N = throughput at N cores / throughput at 1)\n\n");
+
+  util::Table table({"substrate", "law", "1 core", "x2", "x4", "x8",
+                     "speedup x4", "stalls x4"});
+  for (const char* name : {"noc", "cheri", "microkernel", "trustzone", "ftpm",
+                           "sgx", "sep", "tpm"}) {
+    hw::MachineConfig probe_cfg;
+    probe_cfg.name = "fig13-probe";
+    hw::Machine probe(probe_cfg, vendor(), to_bytes("bench-rom"));
+    const auto law = (*registry().create(name, probe))->concurrency_law();
+
+    const ScaleRun c1 = measure_scaling(name, 1);
+    const ScaleRun c2 = measure_scaling(name, 2);
+    const ScaleRun c4 = measure_scaling(name, 4);
+    const ScaleRun c8 = measure_scaling(name, 8);
+    table.add_row(
+        {name, std::string(substrate::concurrency_law_name(law)),
+         util::fmt_ratio(c1.calls_per_mcycle),
+         util::fmt_ratio(c2.calls_per_mcycle),
+         util::fmt_ratio(c4.calls_per_mcycle),
+         util::fmt_ratio(c8.calls_per_mcycle),
+         util::fmt_ratio(c4.calls_per_mcycle /
+                         (c1.calls_per_mcycle ? c1.calls_per_mcycle : 1)),
+         std::to_string(c4.serial_stalls)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("the claim: the scaling curve is a property of the substrate's\n");
+  std::printf("concurrency law, not of the app. parallel-crossing substrates\n");
+  std::printf("(mk/NoC/CHERI) scale near-linearly because shards share\n");
+  std::printf("nothing; SGX serializes enclave transitions, TrustZone\n");
+  std::printf("funnels every crossing through one secure-world monitor, and\n");
+  std::printf("TPM/SEP are single-threaded devices — adding cores only adds\n");
+  std::printf("waiting at the gate (the stalls column).\n\n");
+
+  const Cycles shared = measure_region_writes(/*sharded=*/false);
+  const Cycles sharded = measure_region_writes(/*sharded=*/true);
+  std::printf("== FIG13b: per-shard arenas vs one hot line (2 cores) ==\n");
+  std::printf("interleaved 16 B region writes, same line:   %llu cycles\n",
+              static_cast<unsigned long long>(shared));
+  std::printf("same writes, lines one arena stride apart:   %llu cycles\n",
+              static_cast<unsigned long long>(sharded));
+  std::printf("the gap is pure bus-contention penalty; RegionPool's sharded\n");
+  std::printf("arenas (cache-line-strided slots) make it structural.\n\n");
+}
+
+void register_json_benchmarks() {
+  // Machine-readable mirror: one benchmark per substrate, counters carrying
+  // throughput per core count and the speedups the CI smoke asserts.
+  for (const char* name : {"noc", "cheri", "microkernel", "trustzone", "ftpm",
+                           "sgx", "sep", "tpm"}) {
+    benchmark::RegisterBenchmark(
+        ("fig13/" + std::string(name)).c_str(),
+        [name](benchmark::State& state) {
+          const ScaleRun c1 = measure_scaling(name, 1);
+          const ScaleRun c2 = measure_scaling(name, 2);
+          const ScaleRun c4 = measure_scaling(name, 4);
+          const ScaleRun c8 = measure_scaling(name, 8);
+          for (auto _ : state) benchmark::DoNotOptimize(c1.elapsed);
+          state.counters["cores1_calls_per_mcycle"] = c1.calls_per_mcycle;
+          state.counters["cores2_calls_per_mcycle"] = c2.calls_per_mcycle;
+          state.counters["cores4_calls_per_mcycle"] = c4.calls_per_mcycle;
+          state.counters["cores8_calls_per_mcycle"] = c8.calls_per_mcycle;
+          const double base =
+              c1.calls_per_mcycle ? c1.calls_per_mcycle : 1;
+          state.counters["speedup_2"] = c2.calls_per_mcycle / base;
+          state.counters["speedup_4"] = c4.calls_per_mcycle / base;
+          state.counters["speedup_8"] = c8.calls_per_mcycle / base;
+          state.counters["serial_stalls_4"] =
+              static_cast<double>(c4.serial_stalls);
+          state.counters["contention_events_4"] =
+              static_cast<double>(c4.contention_events);
+        });
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (!machine_readable_output(argc, argv)) run_report();
+  register_json_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -125,6 +125,13 @@ Cycles Cheri::message_cost(std::size_t len) const {
          machine_.costs().memcpy_per_16_bytes * ((len + 15) / 16);
 }
 
+substrate::ConcurrencyLaw Cheri::concurrency_law() const {
+  // Domain transitions are in-address-space capability jumps (CInvoke);
+  // each core switches compartments with its own register file. Nothing
+  // is shared but the memory the capabilities already bound.
+  return substrate::ConcurrencyLaw::parallel;
+}
+
 Cycles Cheri::attest_cost() const { return 0; }  // feature absent anyway
 
 Cycles Cheri::region_map_cost(std::size_t pages) const {

@@ -76,6 +76,7 @@ class Cheri final : public substrate::IsolationSubstrate {
   Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
+  substrate::ConcurrencyLaw concurrency_law() const override;
   Cycles attest_cost() const override;
   /// A region is simply a bounded capability handed to the peer: no page
   /// tables, no kernel — derivation cost only, independent of size.

@@ -5,6 +5,70 @@
 #include "core/policy.h"
 
 namespace lateral::core {
+namespace {
+
+std::string shard_name(const std::string& base, std::size_t i) {
+  return base + "#" + std::to_string(i);
+}
+
+/// Fan a peer list out over shard declarations: references to a name
+/// declared `shard N` become N references, one per shard; everything else
+/// passes through.
+std::vector<std::string> fan_out(
+    const std::vector<std::string>& peers,
+    const std::map<std::string, std::size_t>& shard_of) {
+  std::vector<std::string> out;
+  out.reserve(peers.size());
+  for (const std::string& peer : peers) {
+    const auto it = shard_of.find(peer);
+    if (it == shard_of.end()) {
+      out.push_back(peer);
+    } else {
+      for (std::size_t i = 0; i < it->second; ++i)
+        out.push_back(shard_name(peer, i));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Manifest> expand_shards(const std::vector<Manifest>& manifests) {
+  std::map<std::string, std::size_t> shard_of;
+  for (const Manifest& m : manifests)
+    if (m.shards > 1) shard_of.emplace(m.name, m.shards);
+  if (shard_of.empty()) return manifests;
+
+  std::vector<Manifest> expanded;
+  for (const Manifest& m : manifests) {
+    const std::size_t copies = m.shards > 1 ? m.shards : 1;
+    for (std::size_t i = 0; i < copies; ++i) {
+      Manifest c = m;
+      if (m.shards > 1) {
+        c.name = shard_name(m.name, i);
+        c.shards = 1;  // each copy is one ordinary domain
+      }
+      c.channels = fan_out(m.channels, shard_of);
+      c.trusts = fan_out(m.trusts, shard_of);
+      c.regions.clear();
+      for (const RegionDecl& decl : m.regions) {
+        const auto it = shard_of.find(decl.peer);
+        if (it == shard_of.end()) {
+          c.regions.push_back(decl);
+        } else {
+          for (std::size_t s = 0; s < it->second; ++s) {
+            RegionDecl copy = decl;
+            copy.peer = shard_name(decl.peer, s);
+            c.regions.push_back(std::move(copy));
+          }
+        }
+      }
+      if (c.trace) c.trace->observers = fan_out(m.trace->observers, shard_of);
+      expanded.push_back(std::move(c));
+    }
+  }
+  return expanded;
+}
 
 Result<ComponentRef> Assembly::ref(const std::string& name) const {
   const auto it = index_.find(name);
@@ -304,6 +368,19 @@ Status Assembly::compromise(const std::string& name) {
   return node->component.substrate->mark_compromised(node->component.domain);
 }
 
+std::size_t Assembly::shard_count(const std::string& name) const {
+  if (const auto it = shard_counts_.find(name); it != shard_counts_.end())
+    return it->second;
+  return index_.contains(name) ? 1 : 0;
+}
+
+Result<ComponentRef> Assembly::shard_ref(const std::string& name,
+                                         std::uint64_t key) const {
+  if (const auto it = shard_counts_.find(name); it != shard_counts_.end())
+    return ref(shard_name(name, static_cast<std::size_t>(key % it->second)));
+  return ref(name);
+}
+
 TrustGraph Assembly::trust_graph() const {
   return TrustGraph::from_manifests(manifests_);
 }
@@ -338,8 +415,17 @@ Result<std::unique_ptr<Assembly>> SystemComposer::compose(
   }
   if (!diagnostics_.empty()) return Errc::policy_violation;
 
+  // Shard expansion sits between validation and wiring: diagnostics above
+  // name what the developer wrote, everything below sees N ordinary
+  // components per `shard N` declaration.
+  const std::vector<Manifest> expanded = expand_shards(manifests);
+
   auto assembly = std::make_unique<Assembly>();
-  assembly->manifests_ = manifests;
+  assembly->manifests_ = expanded;
+  for (const Manifest& m : manifests)
+    if (m.shards > 1)
+      assembly->shard_counts_.emplace(m.name,
+                                      static_cast<std::uint32_t>(m.shards));
 
   // On any failure below, tear down every domain created so far: a failed
   // composition must not leak half an application into the substrates.
@@ -348,7 +434,7 @@ Result<std::unique_ptr<Assembly>> SystemComposer::compose(
       (void)node.component.substrate->destroy_domain(node.component.domain);
   };
 
-  for (const Manifest& m : manifests) {
+  for (const Manifest& m : expanded) {
     substrate::IsolationSubstrate* sub = substrates_.at(m.substrate_name);
     substrate::DomainSpec spec;
     spec.name = m.name;
@@ -381,7 +467,7 @@ Result<std::unique_ptr<Assembly>> SystemComposer::compose(
   }
 
   // Channel wiring: exactly the declared pairs, once each.
-  for (const Manifest& m : manifests) {
+  for (const Manifest& m : expanded) {
     for (const std::string& peer : m.channels) {
       const std::uint32_t ia = assembly->index_.at(m.name);
       const std::uint32_t ib = assembly->index_.at(peer);
@@ -427,7 +513,7 @@ Result<std::unique_ptr<Assembly>> SystemComposer::compose(
   // declaring component. Both ends are mapped here — composition is the
   // only place mappings are established, which is what keeps map_region's
   // access_denied for everyone else meaningful (POLA on the data plane).
-  for (const Manifest& m : manifests) {
+  for (const Manifest& m : expanded) {
     for (const RegionDecl& decl : m.regions) {
       const std::uint32_t ia = assembly->index_.at(m.name);
       const std::uint32_t ib = assembly->index_.at(decl.peer);

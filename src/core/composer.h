@@ -160,6 +160,19 @@ class Assembly {
   /// (the override when set, else the manifest-derived default).
   Result<Bytes> component_image(ComponentRef ref) const;
 
+  /// Number of domains behind a component name: N for a component declared
+  /// `shard N` (expanded into name#0..name#N-1), 1 for an ordinary
+  /// component, 0 for an unknown name.
+  std::size_t shard_count(const std::string& name) const;
+  /// Resolve a (possibly sharded) component plus a routing key to the
+  /// concrete shard: shard_ref("imap", k) interns "imap#(k mod N)" when imap
+  /// was declared `shard N`, and falls back to ref(name) for unsharded
+  /// components — callers route by key (e.g. mailbox id, client id) without
+  /// knowing whether the target is sharded. Errc::no_such_domain when
+  /// unknown.
+  Result<ComponentRef> shard_ref(const std::string& name,
+                                 std::uint64_t key) const;
+
   /// Mark a component compromised (containment experiments).
   Status compromise(const std::string& name);
 
@@ -231,8 +244,21 @@ class Assembly {
   std::vector<RegionRec> regions_;
   std::map<std::string, std::uint32_t, std::less<>> index_;  // name -> node
   std::vector<Manifest> manifests_;
+  /// Declared shard counts by *base* name (only names declared `shard N`,
+  /// N > 1); shard_ref routes through this before falling back to ref().
+  std::map<std::string, std::uint32_t, std::less<>> shard_counts_;
   bool enforce_manifest_ = true;
 };
+
+/// Expand `shard N` declarations: each sharded manifest becomes N copies
+/// ("name#0" .. "name#N-1", each with shards reset to 1), and every
+/// channel / region / trust / trace-observer reference to a sharded name —
+/// in sharded and unsharded manifests alike — fans out to all N shard
+/// names. Manifests without shard declarations pass through unchanged.
+/// compose() applies this after validation (so diagnostics name what the
+/// developer wrote) and composes the expanded set; exposed for tests and
+/// for tooling that wants to inspect the post-expansion system.
+std::vector<Manifest> expand_shards(const std::vector<Manifest>& manifests);
 
 class SystemComposer {
  public:

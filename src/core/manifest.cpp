@@ -214,6 +214,11 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text,
       const auto share = parse_u64(tokens[1]);
       if (!share) return Errc::invalid_argument;
       current->time_share_permille = static_cast<std::uint32_t>(*share);
+    } else if (key == "shard") {
+      if (!need_arg()) return Errc::invalid_argument;
+      const auto shards = parse_u64(tokens[1]);
+      if (!shards) return Errc::invalid_argument;
+      current->shards = static_cast<std::size_t>(*shards);
     } else if (key == "attacker") {
       if (!need_arg()) return Errc::invalid_argument;
       const auto model = parse_attacker(tokens[1]);
@@ -301,6 +306,7 @@ std::string to_text(const std::vector<Manifest>& manifests) {
     out << "  substrate " << m.substrate_name << "\n";
     out << "  pages " << m.memory_pages << "\n";
     out << "  share " << m.time_share_permille << "\n";
+    if (m.shards != 1) out << "  shard " << m.shards << "\n";
     out << "  attacker " << substrate::attacker_model_name(m.attacker) << "\n";
     for (const std::string& channel : m.channels)
       out << "  channel " << channel << "\n";
@@ -356,6 +362,13 @@ std::vector<std::string> validate(const std::vector<Manifest>& manifests) {
     if (m.name.empty()) problems.push_back("component with empty name");
     if (!names.insert(m.name).second)
       problems.push_back("duplicate component name: " + m.name);
+    // '#' is the shard-expansion separator ("imap#2"): a user-written name
+    // containing it would collide with (or masquerade as) an expanded shard.
+    if (m.name.find('#') != std::string::npos)
+      problems.push_back(m.name + ": '#' in component names is reserved for "
+                                  "shard expansion");
+    if (m.shards == 0)
+      problems.push_back(m.name + ": shard count of zero (use 1 to disable)");
     if (m.memory_pages == 0)
       problems.push_back(m.name + ": zero memory pages");
     if (m.restart && m.restart->backoff_cycles == 0)

@@ -128,6 +128,13 @@ struct Manifest {
   std::string substrate_name = "microkernel";
   std::size_t memory_pages = 4;
   std::uint32_t time_share_permille = 100;
+  /// Shard count (the manifest `shard` stanza). A hot component declared
+  /// with `shard N` is expanded at compose time into N independent domains
+  /// ("name#0" .. "name#N-1"), one per simulated core, with every peer's
+  /// channel/region/trust declarations fanned out to all N — the FIG13
+  /// scaling mechanism. 1 (the default) means an ordinary single domain.
+  /// '#' is reserved for the expansion and rejected in user-written names.
+  std::size_t shards = 1;
   /// Strongest attacker this component must withstand.
   substrate::AttackerModel attacker =
       substrate::AttackerModel::remote_network;
@@ -171,6 +178,7 @@ struct Manifest {
 ///     substrate sgx
 ///     pages 8
 ///     share 100
+///     shard 4                 # optional: split into 4 domains, one per core
 ///     attacker physical_bus   # remote_network|local_software|...
 ///     channel imap            # may repeat
 ///     region imap 65536       # may repeat: shared region to peer; size in

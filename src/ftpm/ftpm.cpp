@@ -227,6 +227,13 @@ Cycles Ftpm::message_cost(std::size_t len) const {
          machine_.costs().memcpy_per_16_bytes * ((len + 15) / 16);
 }
 
+substrate::ConcurrencyLaw Ftpm::concurrency_law() const {
+  // The fTPM is firmware inside the TrustZone secure world; commands
+  // inherit the secure monitor funnel on top of their own single-session
+  // command loop.
+  return substrate::ConcurrencyLaw::monitor_serialized;
+}
+
 Cycles Ftpm::attest_cost() const { return command_cost(); }
 
 Status register_factory(substrate::SubstrateRegistry& registry) {

@@ -59,6 +59,7 @@ class Ftpm final : public substrate::IsolationSubstrate {
   Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
+  substrate::ConcurrencyLaw concurrency_law() const override;
   Cycles attest_cost() const override;
 
  private:

@@ -73,6 +73,18 @@ struct CostModel {
   Cycles timer_tick = 10'000;            // preemption grain
   Cycles partition_switch = 2'000;       // time-partition flush (incl. cache)
 
+  // --- SMP (multi-core machine) ---
+  // The simulated machine keeps one cycle clock per core; a crossing runs
+  // on the core that issued it. Cores are independent except where the
+  // substrate's concurrency law says otherwise (a shared monitor, a
+  // single-threaded device) and where they touch the same bus-visible
+  // resource close together in simulated time.
+  Cycles ipi_kick = 400;                 // cross-core interrupt + reschedule
+  Cycles bus_contention_penalty = 120;   // shared-bus/cache-line bounce
+  Cycles contention_window = 2'000;      // two touches within this window
+                                         // from different cores contend
+  std::size_t cache_line_bytes = 64;     // granularity of sharing detection
+
   /// The default model shared by most tests and benches.
   static const CostModel& standard();
 };

@@ -43,7 +43,8 @@ Machine::Machine(MachineConfig config, Vendor& vendor, Bytes boot_rom_image)
       costs_(CostModel::standard()),
       memory_(1 * kPageSize + config_.sram_bytes + config_.dram_bytes),
       fuses_(vendor.manufacture_fuses()),
-      boot_rom_(std::move(boot_rom_image)) {
+      boot_rom_(std::move(boot_rom_image)),
+      clocks_(config_.cores ? config_.cores : 1, 0) {
   // Layout: [rom | sram | dram].
   PhysAddr cursor = 0;
   auto rom = memory_.add_region("rom", cursor, kPageSize,
@@ -65,6 +66,22 @@ Machine::Machine(MachineConfig config, Vendor& vendor, Bytes boot_rom_image)
   const std::size_t rom_len =
       std::min<std::size_t>(boot_rom_.image().size(), kPageSize);
   memory_.load(0, boot_rom_.image().subspan(0, rom_len));
+}
+
+Cycles Machine::note_shared_access(std::uint64_t resource) {
+  if (clocks_.size() < 2) return 0;
+  const Cycles here = clocks_[active_core_];
+  Touch& touch = touches_[resource];
+  const bool contended = touch.stamp != 0 && touch.core != active_core_ &&
+                         here < touch.stamp + costs_.contention_window;
+  touch.core = active_core_;
+  // Stamps start at 1 so a default-constructed Touch never reads as a
+  // prior access at cycle 0.
+  touch.stamp = here + 1;
+  if (!contended) return 0;
+  ++contention_events_;
+  clocks_[active_core_] += costs_.bus_contention_penalty;
+  return costs_.bus_contention_penalty;
 }
 
 }  // namespace lateral::hw

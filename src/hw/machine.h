@@ -5,10 +5,13 @@
 // connect them through net::SimNetwork.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
@@ -77,6 +80,7 @@ struct MachineConfig {
   std::string name = "machine";
   std::size_t dram_bytes = 16 * 1024 * 1024;
   std::size_t sram_bytes = 256 * 1024;  // on-chip scratchpad
+  std::size_t cores = 1;                // symmetric cores, one clock each
 };
 
 class Machine {
@@ -98,14 +102,48 @@ class Machine {
   Range dram() const { return dram_; }
   Range sram() const { return sram_; }
 
-  /// Simulated clock.
-  Cycles now() const { return clock_; }
-  void advance(Cycles cycles) { clock_ += cycles; }
+  /// Global simulated epoch: the max over all core clocks. With one core
+  /// this is exactly the old single-clock machine.
+  Cycles now() const {
+    Cycles max = 0;
+    for (const Cycles c : clocks_)
+      if (c > max) max = c;
+    return max;
+  }
+
+  /// Per-core cycle accounting.
+  std::size_t core_count() const { return clocks_.size(); }
+  Cycles core(std::size_t i) const { return clocks_[i]; }
+
+  /// The core that subsequent advance()/charge() calls account against.
+  /// Prefer the RAII CoreLease over calling this directly.
+  std::size_t active_core() const { return active_core_; }
+  void set_active_core(std::size_t i) {
+    active_core_ = (i < clocks_.size()) ? i : 0;
+  }
+
+  void advance(Cycles cycles) { clocks_[active_core_] += cycles; }
 
   /// Charge a data-dependent cost: base + per_16B * ceil(len/16).
   void charge(Cycles base, Cycles per_16_bytes, std::size_t len) {
-    clock_ += base + per_16_bytes * ((len + 15) / 16);
+    clocks_[active_core_] += base + per_16_bytes * ((len + 15) / 16);
   }
+
+  /// Spin the active core forward to a gate another core holds (a shared
+  /// monitor, a single-threaded device). No-op if the core is already past.
+  void stall_until(Cycles gate) {
+    if (clocks_[active_core_] < gate) clocks_[active_core_] = gate;
+  }
+
+  /// Record a bus-visible touch of a shared resource (channel id, region
+  /// cache line). If a *different* core touched the same resource within
+  /// costs().contention_window simulated cycles, the active core pays
+  /// bus_contention_penalty. Returns the penalty charged (0 on a single
+  /// core, so N=1 runs are bit-exact with the old machine).
+  Cycles note_shared_access(std::uint64_t resource);
+
+  /// Total contention penalties charged so far (all cores).
+  std::uint64_t contention_events() const { return contention_events_; }
 
   /// On-chip monotonic counter (TPM NV counter analogue). Trusted wrappers
   /// use it to detect rollback of sealed state: a physical attacker can
@@ -114,6 +152,11 @@ class Machine {
   std::uint64_t nv_counter_increment() { return ++nv_counter_; }
 
  private:
+  struct Touch {
+    std::size_t core = 0;
+    Cycles stamp = 0;
+  };
+
   MachineConfig config_;
   CostModel costs_;
   PhysicalMemory memory_;
@@ -121,8 +164,30 @@ class Machine {
   BootRom boot_rom_;
   Range dram_{};
   Range sram_{};
-  Cycles clock_ = 0;
+  std::vector<Cycles> clocks_;
+  std::size_t active_core_ = 0;
+  std::unordered_map<std::uint64_t, Touch> touches_;
+  std::uint64_t contention_events_ = 0;
   std::uint64_t nv_counter_ = 0;
+};
+
+/// Scoped "this work runs on core i": sets the machine's active core and
+/// restores the previous one on destruction. The executor takes a lease
+/// inside its striped substrate lock, so per-core accounting composes with
+/// the existing serialization of simulated-machine access.
+class CoreLease {
+ public:
+  CoreLease(Machine& machine, std::size_t core)
+      : machine_(machine), prev_(machine.active_core()) {
+    machine_.set_active_core(core);
+  }
+  ~CoreLease() { machine_.set_active_core(prev_); }
+  CoreLease(const CoreLease&) = delete;
+  CoreLease& operator=(const CoreLease&) = delete;
+
+ private:
+  Machine& machine_;
+  std::size_t prev_;
 };
 
 }  // namespace lateral::hw

@@ -11,7 +11,7 @@ Microkernel::Microkernel(hw::Machine& machine,
                          SchedulingPolicy policy)
     : IsolationSubstrate(machine, std::move(config)),
       frames_(machine.dram()),
-      scheduler_(policy),
+      scheduler_(policy, machine.core_count()),
       iommu_(hw::Iommu::Mode::enforcing) {
   info_.name = "microkernel";
   info_.features = Feature::spatial_isolation | Feature::temporal_isolation |
@@ -271,6 +271,14 @@ Status Microkernel::write_granted(DomainId grantee, DomainId owner,
 Cycles Microkernel::message_cost(std::size_t len) const {
   return machine_.costs().ipc_one_way +
          machine_.costs().ipc_per_16_bytes * ((len + 15) / 16);
+}
+
+substrate::ConcurrencyLaw Microkernel::concurrency_law() const {
+  // seL4-class kernels run one kernel image on every core with per-core
+  // run queues; IPC between domains scheduled on different cores proceeds
+  // independently (a cross-core notify costs an IPI, charged by the
+  // scheduler, not a shared lock on the IPC path).
+  return substrate::ConcurrencyLaw::parallel;
 }
 
 Cycles Microkernel::attest_cost() const { return machine_.costs().syscall; }

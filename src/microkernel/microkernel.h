@@ -75,6 +75,7 @@ class Microkernel final : public substrate::IsolationSubstrate {
   Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
+  substrate::ConcurrencyLaw concurrency_law() const override;
   Cycles attest_cost() const override;
   /// Grant regions are L4 map items: one syscall establishes the mapping,
   /// then both tasks address the same frames directly.

@@ -1,72 +1,168 @@
 #include "microkernel/scheduler.h"
 
+#include <algorithm>
+
 namespace lateral::microkernel {
 
 Status Scheduler::add_domain(substrate::DomainId id,
                              std::uint32_t share_permille) {
   if (share_permille == 0) return Errc::invalid_argument;
-  const auto [it, inserted] = entries_.emplace(id, Entry{share_permille, 0});
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.share_permille = share_permille;
+  entry.core = next_core_;
+  const auto [it, inserted] = entries_.emplace(id, entry);
   (void)it;
-  return inserted ? Status::success() : Status(Errc::invalid_argument);
+  if (!inserted) return Errc::invalid_argument;
+  next_core_ = (next_core_ + 1) % core_time_.size();
+  return Status::success();
 }
 
 Status Scheduler::remove_domain(substrate::DomainId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   return entries_.erase(id) ? Status::success()
                             : Status(Errc::no_such_domain);
 }
 
+Status Scheduler::set_affinity(substrate::DomainId id, std::size_t core) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return Errc::no_such_domain;
+  if (core >= core_time_.size()) return Errc::invalid_argument;
+  it->second.core = core;
+  it->second.pinned = true;
+  return Status::success();
+}
+
+Result<std::size_t> Scheduler::core_of(substrate::DomainId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return Errc::no_such_domain;
+  return it->second.core;
+}
+
 Status Scheduler::set_demand(substrate::DomainId id, Cycles demand) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(id);
   if (it == entries_.end()) return Errc::no_such_domain;
   it->second.demand = demand;
   return Status::success();
 }
 
+Cycles Scheduler::core_time(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return i < core_time_.size() ? core_time_[i] : 0;
+}
+
+Scheduler::SmpStats Scheduler::smp_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
 std::map<substrate::DomainId, Cycles> Scheduler::run_epoch(
     Cycles epoch_cycles) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::map<substrate::DomainId, Cycles> granted;
   if (entries_.empty()) return granted;
 
-  std::uint64_t total_share = 0;
-  for (const auto& [id, entry] : entries_) total_share += entry.share_permille;
-
-  // First pass: everyone gets min(slice, demand).
-  Cycles leftover = 0;
+  const std::size_t cores = core_time_.size();
+  std::vector<Cycles> leftover(cores, 0);
+  std::vector<Cycles> busy(cores, 0);
+  // Demand still unmet after each core's local pass — the candidates for
+  // idle balancing.
   std::map<substrate::DomainId, Cycles> unmet;
-  for (const auto& [id, entry] : entries_) {
-    const Cycles slice = epoch_cycles * entry.share_permille / total_share;
-    const Cycles grant = std::min(slice, entry.demand);
-    granted[id] = grant;
-    leftover += slice - grant;
-    if (entry.demand > slice) unmet[id] = entry.demand - slice;
-  }
 
-  if (policy_ == SchedulingPolicy::fixed_partition) {
-    // Strict partitions: yielded time idles; nothing is redistributed, so
-    // one domain's behaviour is invisible in another's grant.
-    return granted;
-  }
-
-  // Work-conserving: redistribute leftover to unmet demand, share-weighted.
-  // Iterate because a grant may be capped by its domain's remaining demand.
-  while (leftover > 0 && !unmet.empty()) {
-    std::uint64_t unmet_share = 0;
-    for (const auto& [id, want] : unmet)
-      unmet_share += entries_[id].share_permille;
-    Cycles distributed = 0;
-    for (auto it = unmet.begin(); it != unmet.end();) {
-      const Cycles offer = std::max<Cycles>(
-          1, leftover * entries_[it->first].share_permille / unmet_share);
-      const Cycles take = std::min(offer, it->second);
-      granted[it->first] += take;
-      it->second -= take;
-      distributed += take;
-      it = (it->second == 0) ? unmet.erase(it) : std::next(it);
-      if (distributed >= leftover) break;
+  // Per-core pass: each core runs the single-core algorithm over the
+  // domains homed on it. With one core this is exactly the pre-SMP
+  // scheduler, grant for grant.
+  for (std::size_t c = 0; c < cores; ++c) {
+    std::uint64_t total_share = 0;
+    for (const auto& [id, entry] : entries_)
+      if (entry.core == c) total_share += entry.share_permille;
+    if (total_share == 0) {
+      leftover[c] = epoch_cycles;  // an empty core is fully idle
+      continue;
     }
-    if (distributed == 0) break;  // cannot place any more
-    leftover -= std::min(leftover, distributed);
+
+    // First pass: everyone gets min(slice, demand).
+    std::map<substrate::DomainId, Cycles> core_unmet;
+    for (const auto& [id, entry] : entries_) {
+      if (entry.core != c) continue;
+      const Cycles slice = epoch_cycles * entry.share_permille / total_share;
+      const Cycles grant = std::min(slice, entry.demand);
+      granted[id] = grant;
+      busy[c] += grant;
+      leftover[c] += slice - grant;
+      if (entry.demand > slice) core_unmet[id] = entry.demand - slice;
+    }
+
+    if (policy_ == SchedulingPolicy::fixed_partition) {
+      // Strict partitions: yielded time idles; nothing is redistributed, so
+      // one domain's behaviour is invisible in another's grant.
+      continue;
+    }
+
+    // Work-conserving: redistribute leftover to unmet demand, share-weighted.
+    // Iterate because a grant may be capped by its domain's remaining demand.
+    while (leftover[c] > 0 && !core_unmet.empty()) {
+      std::uint64_t unmet_share = 0;
+      for (const auto& [id, want] : core_unmet)
+        unmet_share += entries_[id].share_permille;
+      Cycles distributed = 0;
+      for (auto it = core_unmet.begin(); it != core_unmet.end();) {
+        const Cycles offer = std::max<Cycles>(
+            1, leftover[c] * entries_[it->first].share_permille / unmet_share);
+        const Cycles take = std::min(offer, it->second);
+        granted[it->first] += take;
+        busy[c] += take;
+        it->second -= take;
+        distributed += take;
+        it = (it->second == 0) ? core_unmet.erase(it) : std::next(it);
+        if (distributed >= leftover[c]) break;
+      }
+      if (distributed == 0) break;  // cannot place any more
+      leftover[c] -= std::min(leftover[c], distributed);
+    }
+    for (const auto& [id, want] : core_unmet) unmet[id] = want;
   }
+
+  // Idle balancing: a core with leftover budget pulls the hungriest
+  // unpinned domain from another core. The pull is a migration — the
+  // domain's home moves, and the move is an IPI kick to the idle core
+  // (Zephyr SMP idiom). fixed_partition never donates, locally or across
+  // cores: cross-core donation would reopen the covert channel.
+  if (policy_ == SchedulingPolicy::work_conserving) {
+    while (true) {
+      std::size_t idle = cores;
+      for (std::size_t c = 0; c < cores; ++c)
+        if (leftover[c] > 0) {
+          idle = c;
+          break;
+        }
+      if (idle == cores) break;
+      substrate::DomainId best = substrate::kInvalidDomain;
+      Cycles best_want = 0;
+      for (const auto& [id, want] : unmet) {
+        const Entry& entry = entries_[id];
+        if (entry.core == idle || entry.pinned) continue;
+        if (want > best_want) {
+          best = id;
+          best_want = want;
+        }
+      }
+      if (best_want == 0) break;
+      entries_[best].core = idle;
+      ++stats_.migrations;
+      ++stats_.ipi_kicks;
+      const Cycles take = std::min(leftover[idle], best_want);
+      granted[best] += take;
+      busy[idle] += take;
+      leftover[idle] -= take;
+      if ((unmet[best] -= take) == 0) unmet.erase(best);
+    }
+  }
+
+  for (std::size_t c = 0; c < cores; ++c) core_time_[c] += busy[c];
   return granted;
 }
 

@@ -7,10 +7,21 @@
 //  * fixed_partition — strict time partitioning ("interference-free
 //    scheduling"): each domain gets exactly its slice; unused time idles.
 //    The covert channel's bandwidth drops to zero (bench_fig7_covert).
+//
+// SMP (FIG13): the scheduler keeps one run queue per core. Domains are
+// placed round-robin at registration and stay put (cache affinity) unless
+// idle balancing moves them: under work_conserving, a core whose domains
+// left budget unused pulls the hungriest unpinned domain from another core
+// — Zephyr-style, the migration is an IPI kick to the idle core, and the
+// domain's home moves with it. fixed_partition never migrates: partitions
+// are per-core, and donation across cores would reopen the covert channel
+// the policy exists to close.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <vector>
 
 #include "substrate/isolation.h"
 #include "util/result.h"
@@ -25,30 +36,58 @@ enum class SchedulingPolicy : std::uint8_t {
 
 class Scheduler {
  public:
-  explicit Scheduler(SchedulingPolicy policy) : policy_(policy) {}
+  explicit Scheduler(SchedulingPolicy policy, std::size_t cores = 1)
+      : policy_(policy),
+        core_time_(cores ? cores : 1, 0) {}
 
   SchedulingPolicy policy() const { return policy_; }
   void set_policy(SchedulingPolicy policy) { policy_ = policy; }
+  std::size_t core_count() const { return core_time_.size(); }
 
-  /// Register a domain with a share (permille of each epoch).
+  /// Register a domain with a share (permille of each epoch). Home core is
+  /// assigned round-robin in registration order (deterministic).
   Status add_domain(substrate::DomainId id, std::uint32_t share_permille);
   Status remove_domain(substrate::DomainId id);
+
+  /// Pin the domain to `core`: it schedules there and idle balancing will
+  /// never migrate it.
+  Status set_affinity(substrate::DomainId id, std::size_t core);
+  /// The core the domain currently schedules on.
+  Result<std::size_t> core_of(substrate::DomainId id) const;
 
   /// How many cycles the domain wants in the next epoch. A domain that
   /// yields sets a demand below its slice.
   Status set_demand(substrate::DomainId id, Cycles demand);
 
-  /// Run one scheduling epoch of `epoch_cycles`; returns cycles granted per
-  /// domain. Deterministic: same shares + demands => same grants.
+  /// Run one scheduling epoch of `epoch_cycles` *per core*; returns cycles
+  /// granted per domain. Deterministic: same shares + demands + placement
+  /// => same grants, same migrations.
   std::map<substrate::DomainId, Cycles> run_epoch(Cycles epoch_cycles);
+
+  /// Cumulative busy cycles granted on core `i` across epochs. Monotone
+  /// non-decreasing by construction — pinned by the TSan scheduler test.
+  Cycles core_time(std::size_t i) const;
+
+  struct SmpStats {
+    std::uint64_t migrations = 0;  // domains moved by idle balancing
+    std::uint64_t ipi_kicks = 0;   // cross-core kicks those moves sent
+  };
+  SmpStats smp_stats() const;
 
  private:
   struct Entry {
     std::uint32_t share_permille = 0;
     Cycles demand = 0;
+    std::size_t core = 0;
+    bool pinned = false;
   };
+
   SchedulingPolicy policy_;
+  mutable std::mutex mu_;
   std::map<substrate::DomainId, Entry> entries_;
+  std::vector<Cycles> core_time_;
+  std::size_t next_core_ = 0;  // round-robin placement cursor
+  SmpStats stats_;
 };
 
 }  // namespace lateral::microkernel

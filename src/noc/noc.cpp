@@ -142,6 +142,12 @@ Cycles NocFabric::message_cost(std::size_t len) const {
   return kDtuSetup + kAvgRoute + 4 * ((len + 15) / 16);
 }
 
+substrate::ConcurrencyLaw NocFabric::concurrency_law() const {
+  // Every domain owns a tile and its DTU; messages are routed by the mesh
+  // with no shared software on the path at all. Parallelism is structural.
+  return substrate::ConcurrencyLaw::parallel;
+}
+
 Cycles NocFabric::attest_cost() const {
   return message_cost(64);  // a message to the kernel tile
 }

@@ -68,6 +68,7 @@ class NocFabric final : public substrate::IsolationSubstrate {
   Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
+  substrate::ConcurrencyLaw concurrency_law() const override;
   Cycles attest_cost() const override;
   /// Regions are DTU *memory* endpoints (M3's remote-memory EPs): each side
   /// spends one slot of its fixed EP table, so region creation competes

@@ -77,12 +77,77 @@ std::mutex& Executor::stripe_for(
   return substrate_stripes_[std::hash<const void*>{}(substrate) % kStripes];
 }
 
-Result<Future> Executor::enqueue_locked(const DomainKey& key, Item item) {
+std::size_t Executor::core_for_locked(const DomainKey& key) const {
+  if (const auto it = affinity_.find(key); it != affinity_.end())
+    return it->second;
+  if (!key.substrate) return 0;
+  const std::size_t cores = key.substrate->machine().core_count();
+  return cores > 1 ? key_hash(key) % cores : 0;
+}
+
+std::shared_ptr<Executor::DomainQueue>& Executor::queue_for_locked(
+    const DomainKey& key) {
   std::shared_ptr<DomainQueue>& queue = domains_[key];
   if (!queue) {
     queue = std::make_shared<DomainQueue>();
     queue->key = key;
+    queue->core = core_for_locked(key);
   }
+  return queue;
+}
+
+Status Executor::set_affinity(const DomainKey& key, std::size_t core) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (key.substrate && core >= key.substrate->machine().core_count())
+    return Errc::invalid_argument;
+  affinity_[key] = core;
+  queue_for_locked(key)->core = core;
+  return Status::success();
+}
+
+std::size_t Executor::core_of(const DomainKey& key) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (const auto it = domains_.find(key); it != domains_.end())
+    return it->second->core;
+  return core_for_locked(key);
+}
+
+void Executor::publish_sched_locked() {
+  if (!config_.hub) return;
+  std::size_t cores = 1;
+  for (const auto& [key, queue] : domains_)
+    if (key.substrate)
+      cores = std::max(cores, key.substrate->machine().core_count());
+  std::vector<std::uint64_t> depth(cores, 0);
+  std::uint64_t contention = 0;
+  std::uint64_t stalls = 0;
+  Cycles stall_cycles = 0;
+  // One machine/substrate may appear under many keys; sum each once.
+  std::map<const void*, bool> seen_machine, seen_substrate;
+  for (const auto& [key, queue] : domains_) {
+    depth[queue->core < cores ? queue->core : 0] += queue->items.size();
+    if (!key.substrate) continue;
+    if (!seen_machine[&key.substrate->machine()]) {
+      seen_machine[&key.substrate->machine()] = true;
+      contention += key.substrate->machine().contention_events();
+    }
+    if (!seen_substrate[key.substrate]) {
+      seen_substrate[key.substrate] = true;
+      stalls += key.substrate->serial_stalls();
+      stall_cycles += key.substrate->serial_stall_cycles();
+    }
+  }
+  auto ref = config_.hub->sched(config_.label);
+  ref->steals = stats_.steals;
+  ref->migrations = stats_.migrations;
+  ref->contention_events = contention;
+  ref->serial_stalls = stalls;
+  ref->serial_stall_cycles = stall_cycles;
+  ref->run_queue_depth = std::move(depth);
+}
+
+Result<Future> Executor::enqueue_locked(const DomainKey& key, Item item) {
+  std::shared_ptr<DomainQueue>& queue = queue_for_locked(key);
   if (queue->items.size() >= config_.queue_depth) {
     ++stats_.counters.rejected;
     return Errc::exhausted;
@@ -122,7 +187,8 @@ Result<Future> Executor::submit_cq(const core::Endpoint& endpoint, CqPrep prep,
   std::lock_guard<std::mutex> guard(mu_);
   if (stopping_) return Errc::cancelled;
   const CqKey cq_key{endpoint.substrate(), endpoint.actor(),
-                     endpoint.channel(), endpoint.epoch()};
+                     endpoint.channel(), endpoint.epoch(),
+                     core_for_locked(key)};
   std::shared_ptr<CompletionQueue>& cq = cqs_[cq_key];
   if (!cq) {
     // The ring must be able to hold everything one coalesced run can stage
@@ -223,6 +289,10 @@ void Executor::run_cq_batch(
   // Everything touching the queue (and through it the simulated machine)
   // is serialized per substrate, same as the single-task path.
   std::lock_guard<std::mutex> stripe(stripe_for(queue->key.substrate));
+  // This domain's cycles account to its home core for the whole run.
+  std::optional<hw::CoreLease> lease;
+  if (queue->key.substrate)
+    lease.emplace(queue->key.substrate->machine(), queue->core);
   for (std::size_t i = 0; i < run.size(); ++i) {
     Item& item = run[i];
     bool cancelled = false;
@@ -285,6 +355,10 @@ void Executor::worker_loop(std::size_t index) {
       work_cv_.wait(lock);
       continue;
     }
+    if (queue->last_worker != static_cast<std::size_t>(-1) &&
+        queue->last_worker != index)
+      ++stats_.migrations;
+    queue->last_worker = index;
     Item item = std::move(queue->items.front());
     queue->items.pop_front();
 
@@ -309,6 +383,7 @@ void Executor::worker_loop(std::size_t index) {
       for (const auto counter : outcomes) ++(stats_.counters.*counter);
       ++stats_.cq_batches;
       stats_.cq_calls += run.size();
+      publish_sched_locked();
       if (!queue->items.empty() && !queue->in_run_deck && !stopping_) {
         decks_[index].push_back(queue);
         queue->in_run_deck = true;
@@ -346,6 +421,7 @@ void Executor::worker_loop(std::size_t index) {
         // task must be serialized per substrate: the machine is
         // single-threaded hardware.
         std::lock_guard<std::mutex> stripe(stripe_for(queue->key.substrate));
+        hw::CoreLease lease(queue->key.substrate->machine(), queue->core);
         if (item.deadline != 0 &&
             queue->key.substrate->machine().now() > item.deadline) {
           counter = &InvocationCounters::timed_out;
@@ -372,6 +448,7 @@ void Executor::worker_loop(std::size_t index) {
     lock.lock();
     queue->running = false;
     ++(stats_.counters.*counter);
+    publish_sched_locked();
     if (!queue->items.empty() && !queue->in_run_deck && !stopping_) {
       decks_[index].push_back(queue);
       queue->in_run_deck = true;

@@ -77,11 +77,20 @@ struct ExecutorConfig {
   std::size_t threads = 2;
   /// Per-domain run-queue bound (backpressure).
   std::size_t queue_depth = 256;
+  /// Publish SchedStats (steals, migrations, per-core run-queue depth
+  /// gauges) under `label` after every queue run. Optional: a null hub
+  /// keeps the pre-FIG13 behaviour of stats() being the only export.
+  MetricsHub* hub = nullptr;
+  std::string label = "executor";
 };
 
 struct ExecutorStats {
   InvocationCounters counters;
   std::uint64_t steals = 0;  // domain queues migrated to an idle worker
+  /// Domain queues observed running on a different worker than their last
+  /// run — the cross-worker moves FIG13 attributes (a steal moves a queue;
+  /// a migration is that move actually landing somewhere new).
+  std::uint64_t migrations = 0;
   /// Completion-queue path: cq_calls invocations were carried by
   /// cq_batches doorbells, i.e. consecutive submit_call* tasks bound for
   /// the same endpoint crossed together instead of future-by-future.
@@ -126,6 +135,14 @@ class Executor {
                                 Bytes header, Bytes payload,
                                 SubmitOptions opts = {});
 
+  /// Pin `key`'s tasks to simulated core `core` of its substrate's machine.
+  /// Without an explicit affinity a domain's home core is its key hash
+  /// modulo the machine's core count — the executor-side half of shard
+  /// routing (one shard per core). Takes effect for tasks not yet running.
+  Status set_affinity(const DomainKey& key, std::size_t core);
+  /// The simulated core `key`'s tasks account to.
+  std::size_t core_of(const DomainKey& key) const;
+
   /// Block until every task submitted so far is terminal.
   void wait_all();
 
@@ -156,6 +173,13 @@ class Executor {
     std::deque<Item> items;
     bool in_run_deck = false;  // scheduled on some worker's deck
     bool running = false;      // a worker is executing its head task
+    /// Simulated core this domain's work accounts to (CoreLease around the
+    /// task under the stripe lock). Hash-resolved at creation; overridden
+    /// by set_affinity.
+    std::size_t core = 0;
+    /// Last worker that ran this queue (npos before the first run); a
+    /// different worker picking it up is a migration.
+    std::size_t last_worker = static_cast<std::size_t>(-1);
   };
 
   /// Cache key for per-endpoint CompletionQueues. The channel epoch is part
@@ -167,12 +191,23 @@ class Executor {
     substrate::DomainId actor = substrate::kInvalidDomain;
     substrate::ChannelId channel = 0;
     std::uint64_t epoch = 0;
+    /// Sharded components get one cached queue per (substrate, shard,
+    /// core): a shard re-pinned to another core must not share a ring —
+    /// rings carry per-core cycle stamps.
+    std::size_t core = 0;
 
     auto operator<=>(const CqKey&) const = default;
   };
 
   void worker_loop(std::size_t index);
   std::shared_ptr<DomainQueue> next_queue_locked(std::size_t index);
+  /// Resolve `key`'s home core (mu_ held): explicit affinity, else key hash
+  /// modulo the substrate machine's core count.
+  std::size_t core_for_locked(const DomainKey& key) const;
+  /// Find-or-create `key`'s queue (mu_ held) with its core resolved.
+  std::shared_ptr<DomainQueue>& queue_for_locked(const DomainKey& key);
+  /// Push current SchedStats to the configured hub (mu_ held).
+  void publish_sched_locked();
   void finish(const std::shared_ptr<Future::State>& state, Result<Bytes> r);
   std::mutex& stripe_for(const substrate::IsolationSubstrate* substrate);
   /// Enqueue a completion-queue item (shared plumbing of submit_call*).
@@ -202,6 +237,8 @@ class Executor {
   std::uint64_t outstanding_ = 0;
   bool stopping_ = false;
   ExecutorStats stats_;
+  /// Explicit core pins (set_affinity) consulted before the hash fallback.
+  std::map<DomainKey, std::size_t> affinity_;
   /// Striped locks serializing access to each substrate's machine.
   static constexpr std::size_t kStripes = 16;
   std::array<std::mutex, kStripes> substrate_stripes_;

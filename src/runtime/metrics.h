@@ -18,6 +18,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "util/types.h"
 
@@ -228,6 +229,24 @@ struct UpdateStats {
   }
 };
 
+/// Multi-core scheduling observability (FIG13). Published per label by the
+/// Executor (steals/migrations + per-core run-queue depth gauges) and by
+/// whoever drives a microkernel Scheduler (ipi_kicks), plus the machine's
+/// contention counter and the substrate's serialization-gate stalls — the
+/// four signals that attribute a flattened scaling curve: work moved
+/// (migrations), work bounced (contention), work queued behind the
+/// architecture (serial_stalls).
+struct SchedStats {
+  std::uint64_t steals = 0;       // domain queues taken by an idle worker
+  std::uint64_t migrations = 0;   // domains that changed home core/worker
+  std::uint64_t ipi_kicks = 0;    // cross-core kicks those moves sent
+  std::uint64_t contention_events = 0;  // shared-bus/cache penalties charged
+  std::uint64_t serial_stalls = 0;      // crossings queued at a serial gate
+  Cycles serial_stall_cycles = 0;       // cycles spent in those queues
+  /// Current run-queue depth per core (a gauge: last published value).
+  std::vector<std::uint64_t> run_queue_depth;
+};
+
 /// Aggregates counters per domain label ("mail.ui->imap", "fig9.sgx", ...).
 /// Channels configured with the same hub+label share one counter block, so
 /// a component's traffic is queryable in one place regardless of how many
@@ -355,12 +374,31 @@ class MetricsHub {
     return out;
   }
 
+  using SchedSlot = Slot<SchedStats>;
+  using SchedRef = Ref<SchedStats>;
+
+  SchedRef sched(const std::string& label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return SchedRef(&sched_[label]);
+  }
+
+  std::map<std::string, SchedStats> all_sched() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, SchedStats> out;
+    for (const auto& [label, slot] : sched_) {
+      std::lock_guard<std::mutex> slot_lock(slot.mu);
+      out.emplace(label, slot.value);
+    }
+    return out;
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, CounterSlot> counters_;
   std::map<std::string, RecoverySlot> recovery_;
   std::map<std::string, FleetSlot> fleet_;
   std::map<std::string, UpdateSlot> update_;
+  std::map<std::string, SchedSlot> sched_;
 };
 
 }  // namespace lateral::runtime

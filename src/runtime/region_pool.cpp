@@ -5,43 +5,92 @@ namespace lateral::runtime {
 RegionPool::RegionPool(substrate::IsolationSubstrate& substrate,
                        substrate::DomainId actor,
                        substrate::RegionId region, std::size_t region_size,
-                       std::size_t slot_bytes)
+                       std::size_t slot_bytes, std::size_t shards)
     : substrate_(substrate),
       actor_(actor),
       region_(region),
       slot_bytes_(slot_bytes),
-      slots_total_(slot_bytes == 0 ? 0 : region_size / slot_bytes),
-      leased_(slots_total_, false) {
-  free_.reserve(slots_total_);
-  // Push in reverse so the first acquire() hands out offset 0.
-  for (std::size_t i = slots_total_; i > 0; --i)
-    free_.push_back(static_cast<std::uint64_t>((i - 1) * slot_bytes_));
+      stride_(slot_bytes) {
+  if (shards == 0) shards = 1;
+  // Pad slots to the cache-line stride whenever the contention model is
+  // live (multi-core machine): distinct slots must never share a simulated
+  // line, or the penalty would charge allocator layout, not true sharing.
+  // Single-core machines keep the dense legacy layout bit-exact.
+  const std::size_t line = substrate.machine().costs().cache_line_bytes;
+  if (substrate.machine().core_count() > 1 && slot_bytes_ != 0 && line != 0)
+    stride_ = ((slot_bytes_ + line - 1) / line) * line;
+
+  // Arena spans are stride-aligned by construction (a whole number of
+  // strides), so every shard's first slot — its free-list head in the
+  // simulated memory — starts on its own cache line.
+  arena_span_ =
+      stride_ == 0 ? 0 : ((region_size / shards) / stride_) * stride_;
+  const std::size_t slots_per_shard =
+      stride_ == 0 ? 0 : arena_span_ / stride_;
+
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->base = static_cast<std::uint64_t>(s) * arena_span_;
+    shard->slots = slots_per_shard;
+    shard->leased.assign(slots_per_shard, false);
+    shard->free.reserve(slots_per_shard);
+    // Push in reverse so the first acquire() hands out the arena base.
+    for (std::size_t i = slots_per_shard; i > 0; --i)
+      shard->free.push_back(shard->base +
+                            static_cast<std::uint64_t>(i - 1) * stride_);
+    slots_total_ += slots_per_shard;
+    shards_.push_back(std::move(shard));
+  }
 }
 
 Result<RegionPool::Slot> RegionPool::acquire() {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (free_.empty()) return Errc::exhausted;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto slot = acquire(s);
+    if (slot || slot.error() != Errc::exhausted) return slot;
+  }
+  return Errc::exhausted;
+}
+
+Result<RegionPool::Slot> RegionPool::acquire(std::size_t shard) {
+  if (shard >= shards_.size()) return Errc::invalid_argument;
+  Shard& arena = *shards_[shard];
+  std::lock_guard<std::mutex> guard(arena.mu);
+  if (arena.free.empty()) return Errc::exhausted;
   Slot slot;
-  slot.offset = free_.back();
+  slot.offset = arena.free.back();
   slot.bytes = slot_bytes_;
-  free_.pop_back();
-  leased_[slot.offset / slot_bytes_] = true;
+  arena.free.pop_back();
+  arena.leased[(slot.offset - arena.base) / stride_] = true;
   return slot;
 }
 
 void RegionPool::release(const Slot& slot) {
-  if (slot.bytes != slot_bytes_ || slot.offset % slot_bytes_ != 0) return;
-  const std::size_t index = slot.offset / slot_bytes_;
-  if (index >= slots_total_) return;
-  std::lock_guard<std::mutex> guard(mu_);
-  if (!leased_[index]) return;  // double release: the slot is already free
-  leased_[index] = false;
-  free_.push_back(slot.offset);
+  if (slot.bytes != slot_bytes_ || stride_ == 0 || arena_span_ == 0) return;
+  const std::size_t shard = static_cast<std::size_t>(slot.offset / arena_span_);
+  if (shard >= shards_.size()) return;
+  Shard& arena = *shards_[shard];
+  const std::uint64_t local = slot.offset - arena.base;
+  if (local % stride_ != 0) return;
+  const std::size_t index = static_cast<std::size_t>(local / stride_);
+  if (index >= arena.slots) return;
+  std::lock_guard<std::mutex> guard(arena.mu);
+  if (!arena.leased[index]) return;  // double release: already free
+  arena.leased[index] = false;
+  arena.free.push_back(slot.offset);
 }
 
 std::size_t RegionPool::slots_free() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return free_.size();
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) total += slots_free(s);
+  return total;
+}
+
+std::size_t RegionPool::slots_free(std::size_t shard) const {
+  if (shard >= shards_.size()) return 0;
+  const Shard& arena = *shards_[shard];
+  std::lock_guard<std::mutex> guard(arena.mu);
+  return arena.free.size();
 }
 
 Result<substrate::RegionDescriptor> RegionPool::stage(const Slot& slot,

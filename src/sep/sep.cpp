@@ -263,6 +263,12 @@ Cycles Sep::message_cost(std::size_t len) const {
          machine_.costs().memcpy_per_16_bytes * ((len + 15) / 16);
 }
 
+substrate::ConcurrencyLaw Sep::concurrency_law() const {
+  // The SEP is a single coprocessor behind one mailbox; round trips from
+  // any core queue on the same mailbox doorbell.
+  return substrate::ConcurrencyLaw::device_serialized;
+}
+
 Cycles Sep::attest_cost() const {
   return machine_.costs().sep_mailbox_round_trip;
 }

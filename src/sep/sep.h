@@ -49,6 +49,7 @@ class Sep final : public substrate::IsolationSubstrate {
   Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
+  substrate::ConcurrencyLaw concurrency_law() const override;
   Cycles attest_cost() const override;
   /// Regions are a DMA window between the application processor and the
   /// coprocessor: the mailbox programs the window once; the SEP's inline

@@ -354,6 +354,15 @@ Cycles Sgx::message_cost(std::size_t len) const {
          machine_.costs().memcpy_per_16_bytes * ((len + 15) / 16);
 }
 
+substrate::ConcurrencyLaw Sgx::concurrency_law() const {
+  // EENTER/EEXIT update shared enclave bookkeeping (EPCM/TCS state walks,
+  // the measured-launch serialization the SGX microbenchmark literature
+  // reports); the data-dependent EPC crypt work runs on the entering
+  // core's MEE pipeline. So the fixed transition serializes, the per-byte
+  // share scales.
+  return substrate::ConcurrencyLaw::transition_serialized;
+}
+
 Cycles Sgx::attest_cost() const { return machine_.costs().sgx_ereport; }
 
 Cycles Sgx::region_map_cost(std::size_t pages) const {

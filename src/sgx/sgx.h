@@ -82,6 +82,7 @@ class Sgx final : public substrate::IsolationSubstrate {
   Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
+  substrate::ConcurrencyLaw concurrency_law() const override;
   Cycles attest_cost() const override;
   /// Regions are untrusted buffers *outside* the EPC (the standard SGX
   /// zero-copy idiom): the enclave reaches them directly, so accesses pay

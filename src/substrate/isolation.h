@@ -84,6 +84,34 @@ constexpr bool has_feature(Features set, Feature f) {
 
 std::string features_to_string(Features set);
 
+/// How a substrate's crossings compose across cores (paper §II-B: the
+/// architecture, not the workload, caps scalability). Pinned per backend by
+/// the conformance suite and measured by the FIG13 scaling curve.
+enum class ConcurrencyLaw : std::uint8_t {
+  /// Crossings on different cores proceed independently (microkernel IPC,
+  /// NoC tiles, CHERI in-address-space domain switches).
+  parallel,
+  /// The enclave transition (EENTER/EEXIT world state) serializes, but the
+  /// data-dependent EPC work proceeds per-core (SGX).
+  transition_serialized,
+  /// Every crossing funnels through one secure-world monitor/secure OS
+  /// (TrustZone SMC path; fTPM commands dispatched into the secure world).
+  monitor_serialized,
+  /// A single-threaded device processes one command at a time end to end
+  /// (discrete TPM on its bus, SEP mailbox).
+  device_serialized,
+};
+
+constexpr std::string_view concurrency_law_name(ConcurrencyLaw law) {
+  switch (law) {
+    case ConcurrencyLaw::parallel: return "parallel";
+    case ConcurrencyLaw::transition_serialized: return "transition_serialized";
+    case ConcurrencyLaw::monitor_serialized: return "monitor_serialized";
+    case ConcurrencyLaw::device_serialized: return "device_serialized";
+  }
+  return "unknown";
+}
+
 /// Static description of a substrate implementation.
 struct SubstrateInfo {
   std::string name;

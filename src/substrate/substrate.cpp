@@ -13,6 +13,59 @@ IsolationSubstrate::IsolationSubstrate(hw::Machine& machine,
     throw Error("secure_boot requires an owner code-signing key");
 }
 
+Cycles IsolationSubstrate::serialized_share(Cycles direction) const {
+  switch (concurrency_law()) {
+    case ConcurrencyLaw::parallel:
+      return 0;
+    case ConcurrencyLaw::transition_serialized:
+      // The fixed transition (EENTER/EEXIT world state) holds the gate;
+      // data-dependent EPC work proceeds on the entering core.
+      return std::min(direction, message_cost(0));
+    case ConcurrencyLaw::monitor_serialized:
+    case ConcurrencyLaw::device_serialized:
+      return direction;
+  }
+  return direction;
+}
+
+void IsolationSubstrate::charge_crossing(Cycles direction) {
+  // Single core: bit-exact with the old single-clock machine — the gate
+  // logic must not perturb committed FIG9/11/12 numbers.
+  if (machine_.core_count() < 2) {
+    machine_.advance(direction);
+    return;
+  }
+  const Cycles serial = serialized_share(direction);
+  if (serial == 0) {
+    machine_.advance(direction);
+    return;
+  }
+  const Cycles arrive = machine_.core(machine_.active_core());
+  if (arrive < serial_free_) {
+    ++serial_stalls_;
+    serial_stall_cycles_ += serial_free_ - arrive;
+    machine_.stall_until(serial_free_);
+  }
+  machine_.advance(serial);
+  serial_free_ = machine_.core(machine_.active_core());
+  machine_.advance(direction - serial);
+}
+
+namespace {
+// Disjoint key spaces for the machine's shared-access contention tracker.
+constexpr std::uint64_t kChannelKeyTag = 0x8000'0000'0000'0000ull;
+constexpr std::uint64_t kRegionKeyTag = 0x4000'0000'0000'0000ull;
+}  // namespace
+
+void IsolationSubstrate::note_channel_touch(ChannelId id) {
+  machine_.note_shared_access(kChannelKeyTag | id);
+}
+
+void IsolationSubstrate::note_region_touch(RegionId id, std::uint64_t offset) {
+  const std::uint64_t line = offset / machine_.costs().cache_line_bytes;
+  machine_.note_shared_access(kRegionKeyTag | (id << 24) | (line & 0xFFFFFF));
+}
+
 IsolationSubstrate::DomainRecord* IsolationSubstrate::find_domain(DomainId id) {
   const auto it = domains_.find(id);
   return it == domains_.end() ? nullptr : &it->second;
@@ -299,7 +352,8 @@ Status IsolationSubstrate::send(DomainId actor, ChannelId channel,
   if (data.size() > chan->spec.max_message_bytes)
     return Errc::invalid_argument;
 
-  machine_.advance(message_cost(data.size()));
+  note_channel_touch(channel);
+  charge_crossing(message_cost(data.size()));
   const bool from_a = (actor == chan->a);
   Message msg;
   msg.badge = from_a ? chan->badge_a : chan->badge_b;
@@ -322,7 +376,8 @@ Result<Message> IsolationSubstrate::receive(DomainId actor, ChannelId channel) {
   if (queue.empty()) return Errc::would_block;
   Message msg = std::move(queue.front());
   queue.pop_front();  // O(1) on the deque; erase() on a vector was O(n)
-  machine_.advance(message_cost(msg.data.size()));
+  note_channel_touch(channel);
+  charge_crossing(message_cost(msg.data.size()));
   return msg;
 }
 
@@ -348,7 +403,8 @@ Result<Bytes> IsolationSubstrate::call(DomainId actor, ChannelId channel,
   // Request transfer: a traced crossing additionally carries the 16-byte
   // context. The reply carries nothing extra (the caller correlates by
   // span id), so only the request direction pays trace_cost.
-  machine_.advance(message_cost(data.size()) + trace_cost);
+  note_channel_touch(channel);
+  charge_crossing(message_cost(data.size()) + trace_cost);
   Invocation invocation;
   invocation.channel = channel;
   invocation.badge = (actor == chan->a) ? chan->badge_a : chan->badge_b;
@@ -369,7 +425,7 @@ Result<Bytes> IsolationSubstrate::call(DomainId actor, ChannelId channel,
   } else {
     reply = callee_record->handler(invocation);
   }
-  machine_.advance(message_cost(reply.ok() ? reply.value().size() : 0));
+  charge_crossing(message_cost(reply.ok() ? reply.value().size() : 0));
   return reply;
 }
 
@@ -410,7 +466,8 @@ Result<BatchReply> IsolationSubstrate::call_batch(
   Cycles crossing = fixed + trace_cost;
   for (const Bytes& request : requests)
     crossing += message_cost(request.size()) - fixed;
-  machine_.advance(crossing);
+  note_channel_touch(channel);
+  charge_crossing(crossing);
 
   const std::uint64_t badge =
       (actor == chan->a) ? chan->badge_a : chan->badge_b;
@@ -441,7 +498,7 @@ Result<BatchReply> IsolationSubstrate::call_batch(
   Cycles reply_crossing = fixed;
   for (const Result<Bytes>& reply : out.replies)
     reply_crossing += message_cost(reply.ok() ? reply->size() : 0) - fixed;
-  machine_.advance(reply_crossing);
+  charge_crossing(reply_crossing);
   out.crossing_cycles = crossing + reply_crossing;
   return out;
 }
@@ -482,7 +539,8 @@ Result<Bytes> IsolationSubstrate::call_sg(
 
   // The crossing carries the header plus 16 bytes per descriptor — never
   // the payload. This is the whole economics of the plane.
-  machine_.advance(message_cost(wire) + trace_cost);
+  note_channel_touch(channel);
+  charge_crossing(message_cost(wire) + trace_cost);
   Invocation invocation;
   invocation.channel = channel;
   invocation.badge = (actor == chan->a) ? chan->badge_a : chan->badge_b;
@@ -503,7 +561,7 @@ Result<Bytes> IsolationSubstrate::call_sg(
   } else {
     reply = callee_record->handler(invocation);
   }
-  machine_.advance(message_cost(reply.ok() ? reply.value().size() : 0));
+  charge_crossing(message_cost(reply.ok() ? reply.value().size() : 0));
   return reply;
 }
 
@@ -564,7 +622,8 @@ Result<BatchReply> IsolationSubstrate::call_batch_sg(
                                  requests[i].segments.size()) -
                 fixed;
   }
-  machine_.advance(crossing);
+  note_channel_touch(channel);
+  charge_crossing(crossing);
 
   const std::uint64_t badge =
       (actor == chan->a) ? chan->badge_a : chan->badge_b;
@@ -600,7 +659,7 @@ Result<BatchReply> IsolationSubstrate::call_batch_sg(
   Cycles reply_crossing = fixed;
   for (const Result<Bytes>& reply : out.replies)
     reply_crossing += message_cost(reply.ok() ? reply->size() : 0) - fixed;
-  machine_.advance(reply_crossing);
+  charge_crossing(reply_crossing);
   out.crossing_cycles = crossing + reply_crossing;
   return out;
 }
@@ -780,6 +839,7 @@ Status IsolationSubstrate::region_write(DomainId actor, RegionId region,
   // The producer's single copy — no crossing. What one byte costs depends
   // on where the backing lives relative to the actor (region_copy_cost);
   // every other stage of the zero-copy path is O(1).
+  note_region_touch(region, offset);
   machine_.advance(region_copy_cost(*record, actor, data.size()));
   std::copy(data.begin(), data.end(), record->backing.begin() + offset);
   return Status::success();
@@ -798,6 +858,7 @@ Result<Bytes> IsolationSubstrate::region_read(DomainId actor, RegionId region,
   if (!mapped) return Errc::access_denied;
   if (len > record->backing.size() || offset > record->backing.size() - len)
     return Errc::invalid_argument;
+  note_region_touch(region, offset);
   machine_.advance(region_copy_cost(*record, actor, len));
   return Bytes(record->backing.begin() + offset,
                record->backing.begin() + offset + len);
@@ -809,6 +870,7 @@ Result<BytesView> IsolationSubstrate::region_view(
     return s.error();
   const RegionRecord* record = find_region(desc.region);
   // In-place access: constant cost per descriptor, zero bytes moved.
+  note_region_touch(desc.region, desc.offset);
   machine_.advance(region_access_cost(*record, actor));
   return BytesView(record->backing.data() + desc.offset, desc.length);
 }

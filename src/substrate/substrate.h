@@ -269,6 +269,25 @@ class IsolationSubstrate {
   /// (public so composition layers can charge bridged channels honestly).
   virtual Cycles message_cost(std::size_t len) const = 0;
 
+  // --- Concurrency law (multi-core composition, FIG13) --------------------
+  /// How crossings on *different cores* compose: independently, or queued
+  /// behind a shared serialization point (enclave transition hardware, the
+  /// secure-world monitor, a single-threaded device). Pinned per backend by
+  /// the conformance suite; measured by bench_fig13_scaling.
+  virtual ConcurrencyLaw concurrency_law() const {
+    return ConcurrencyLaw::parallel;
+  }
+  /// The cycles of a `direction`-cost crossing that must hold the shared
+  /// serialization point: none (parallel), the fixed transition
+  /// (transition_serialized — per-byte EPC work proceeds per-core), or the
+  /// whole direction (monitor/device serialized).
+  Cycles serialized_share(Cycles direction) const;
+  /// Cross-core crossings that arrived while the serialization point was
+  /// held, and the total cycles they spent stalled on it. Always zero on a
+  /// single-core machine.
+  std::uint64_t serial_stalls() const { return serial_stalls_; }
+  Cycles serial_stall_cycles() const { return serial_stall_cycles_; }
+
   // --- Experiment hooks ---------------------------------------------------
   /// Flag a domain as attacker-controlled. The substrate keeps enforcing
   /// its isolation; the flag drives containment analysis and lets tests
@@ -373,6 +392,17 @@ class IsolationSubstrate {
   /// Consult the fault hook for `callee`; on a scripted crash, kill the
   /// domain and report true (the caller must then fail with domain_dead).
   bool fault_fires(DomainId callee, std::string_view op);
+  /// Charge one crossing direction on the machine's active core, applying
+  /// this substrate's concurrency law: the serialized share of the cost
+  /// queues behind the shared gate (stalling the core until the gate frees),
+  /// the rest proceeds per-core. Exactly machine_.advance(direction) on a
+  /// single-core machine. Every crossing site must use this, never a bare
+  /// advance, or the conformance suite's law pins fail.
+  void charge_crossing(Cycles direction);
+  /// Contention-model touch of a channel / a region cache line (see
+  /// hw::Machine::note_shared_access). Key spaces are disjoint.
+  void note_channel_touch(ChannelId id);
+  void note_region_touch(RegionId id, std::uint64_t offset);
   /// Sealing key bound to device + code identity.
   crypto::Aead sealing_aead(const crypto::Digest& measurement) const;
 
@@ -389,6 +419,11 @@ class IsolationSubstrate {
   std::uint64_t seal_nonce_ = 1;
   FaultHook fault_hook_;
   trace::Tracer* tracer_ = nullptr;
+  /// Cycle stamp at which the shared serialization point frees (the gate a
+  /// serialized crossing's core must stall to before holding it).
+  Cycles serial_free_ = 0;
+  std::uint64_t serial_stalls_ = 0;
+  Cycles serial_stall_cycles_ = 0;
 };
 
 }  // namespace lateral::substrate

@@ -230,6 +230,12 @@ Cycles Tpm::message_cost(std::size_t len) const {
          machine_.costs().tpm_per_byte * len;
 }
 
+substrate::ConcurrencyLaw Tpm::concurrency_law() const {
+  // A discrete chip on a slow bus executes one command at a time, end to
+  // end; a second core's command waits for the bus and the firmware.
+  return substrate::ConcurrencyLaw::device_serialized;
+}
+
 Cycles Tpm::attest_cost() const {
   return machine_.costs().tpm_command_base + machine_.costs().tpm_sign_extra;
 }

@@ -74,6 +74,7 @@ class Tpm final : public substrate::IsolationSubstrate {
   Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
+  substrate::ConcurrencyLaw concurrency_law() const override;
   Cycles attest_cost() const override;
   /// Flicker semantics: switching the invoked component performs a full
   /// late launch (stop everything, reset the DRTM PCR, measure, start).

@@ -228,6 +228,17 @@ std::string TraceExporter::text_snapshot() const {
           << " mean_update=" << u.mean_update_cycles()
           << " mean_revert=" << u.mean_revert_cycles() << "\n";
     }
+    for (const auto& [label, s] : hub_->all_sched()) {
+      out << "-- " << label << " (sched): steals=" << s.steals
+          << " migrations=" << s.migrations << " ipi_kicks=" << s.ipi_kicks
+          << " contention_events=" << s.contention_events
+          << " serial_stalls=" << s.serial_stalls
+          << " serial_stall_cycles=" << s.serial_stall_cycles
+          << " run_queue_depth=[";
+      for (std::size_t i = 0; i < s.run_queue_depth.size(); ++i)
+        out << (i ? " " : "") << "core" << i << ":" << s.run_queue_depth[i];
+      out << "]\n";
+    }
   }
   return out.str();
 }
@@ -265,6 +276,10 @@ std::string Assembly::dump_observability(const trace::Tracer* tracer,
       out << "-- " << label << " (update): staged=" << u.staged
           << " committed=" << u.committed << " reverted=" << u.reverted
           << " rollback_refused=" << u.rollback_refused << "\n";
+    for (const auto& [label, s] : hub->all_sched())
+      out << "-- " << label << " (sched): steals=" << s.steals
+          << " migrations=" << s.migrations
+          << " serial_stalls=" << s.serial_stalls << "\n";
   }
   return out.str();
 }

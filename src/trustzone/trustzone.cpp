@@ -342,6 +342,14 @@ Cycles TrustZone::message_cost(std::size_t len) const {
   return cost;
 }
 
+substrate::ConcurrencyLaw TrustZone::concurrency_law() const {
+  // There is ONE secure world: every SMC funnels through the single
+  // monitor/secure-OS instance, which takes its big lock for the whole
+  // dispatch (paper §II-B — the architecture, not the workload, caps
+  // scaling). Whole crossings serialize.
+  return substrate::ConcurrencyLaw::monitor_serialized;
+}
+
 Cycles TrustZone::attest_cost() const {
   return machine_.costs().smc_world_switch * 2;
 }

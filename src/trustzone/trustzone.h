@@ -87,6 +87,7 @@ class TrustZone final : public substrate::IsolationSubstrate {
   Status attach_memory(substrate::DomainId id, DomainRecord& record) override;
   void release_memory(substrate::DomainId id, DomainRecord& record) override;
   Cycles message_cost(std::size_t len) const override;
+  substrate::ConcurrencyLaw concurrency_law() const override;
   Cycles attest_cost() const override;
   /// Regions are world-shared buffers in normal-world (NS) memory: the
   /// secure monitor programs the TZASC once; afterwards both worlds

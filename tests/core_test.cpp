@@ -985,6 +985,153 @@ TEST_F(ComposerTest, RestartRebindsRegionAndFencesStaleDescriptors) {
   EXPECT_EQ(std::string(view->begin(), view->end()), "newlife");
 }
 
+// ---------------------------------------------------------------------------
+// Shard stanza + expansion (FIG13): `shard N` splits a hot component into
+// one domain per core at compose time.
+
+TEST(ManifestParser, ParsesShardStanzaAndRoundTrips) {
+  auto manifests = parse_manifests(
+      "component anonymizer {\n"
+      "  channel meter\n"
+      "  shard 4\n"
+      "}\n"
+      "component meter {\n  channel anonymizer\n}\n");
+  ASSERT_TRUE(manifests.ok());
+  EXPECT_EQ((*manifests)[0].shards, 4u);
+  EXPECT_EQ((*manifests)[1].shards, 1u);  // default: an ordinary domain
+
+  const std::string text = to_text(*manifests);
+  EXPECT_NE(text.find("shard 4"), std::string::npos);
+  auto reparsed = parse_manifests(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)[0].shards, 4u);
+  // `shard 1` is the default and is not emitted — the round trip stays
+  // textually stable for unsharded manifests.
+  EXPECT_EQ(to_text(*reparsed), text);
+}
+
+TEST(ManifestParser, RejectsMalformedShardStanza) {
+  EXPECT_FALSE(parse_manifests("component x {\n shard\n}\n").ok());
+  EXPECT_FALSE(parse_manifests("component x {\n shard four\n}\n").ok());
+}
+
+TEST(ManifestValidate, FlagsShardProblems) {
+  // '#' is the expansion's namespace separator — user manifests must not
+  // squat on it, or expanded names could collide with declared ones.
+  std::vector<Manifest> bundle(2);
+  bundle[0].name = "worker#0";
+  bundle[1].name = "front";
+  bundle[1].channels = {"worker#0"};
+  const auto reserved = validate(bundle);
+  ASSERT_GE(reserved.size(), 1u);
+  EXPECT_NE(reserved[0].find("#"), std::string::npos);
+
+  std::vector<Manifest> zero(1);
+  zero[0].name = "w";
+  zero[0].shards = 0;
+  const auto flagged = validate(zero);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_NE(flagged[0].find("shard"), std::string::npos);
+}
+
+TEST(ShardExpansion, FansOutEveryPeerReference) {
+  std::vector<Manifest> m(2);
+  m[0].name = "worker";
+  m[0].shards = 3;
+  m[0].channels = {"front"};
+  m[1].name = "front";
+  m[1].channels = {"worker"};
+  m[1].trusts = {"worker"};
+  m[1].regions = {{"worker", 4096, substrate::RegionPerms::read_write}};
+  m[1].trace.emplace();
+  m[1].trace->observers = {"worker"};
+
+  const std::vector<Manifest> out = expand_shards(m);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i].name, "worker#" + std::to_string(i));
+    EXPECT_EQ(out[i].shards, 1u);  // expansion is not re-entrant
+    EXPECT_EQ(out[i].channels, std::vector<std::string>{"front"});
+  }
+  // Every reference to the sharded name fans out to all N shards: the
+  // unsharded peer can reach (and trust, and share regions with, and be
+  // observed by) each one.
+  const Manifest& front = out[3];
+  const std::vector<std::string> fanned{"worker#0", "worker#1", "worker#2"};
+  EXPECT_EQ(front.channels, fanned);
+  EXPECT_EQ(front.trusts, fanned);
+  ASSERT_EQ(front.regions.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(front.regions[i].peer, fanned[i]);
+    EXPECT_EQ(front.regions[i].bytes, 4096u);
+  }
+  ASSERT_TRUE(front.trace.has_value());
+  EXPECT_EQ(front.trace->observers, fanned);
+
+  // No shard declarations -> byte-identical pass-through.
+  std::vector<Manifest> plain(1);
+  plain[0].name = "solo";
+  plain[0].channels = {"solo-peer"};
+  const auto untouched = expand_shards(plain);
+  ASSERT_EQ(untouched.size(), 1u);
+  EXPECT_EQ(untouched[0].name, "solo");
+  EXPECT_EQ(untouched[0].channels, plain[0].channels);
+}
+
+TEST_F(ComposerTest, ShardedComposeRoutesByKey) {
+  std::vector<Manifest> m(2);
+  m[0].name = "shardy";
+  m[0].shards = 2;
+  m[0].channels = {"gate"};
+  m[1].name = "gate";
+  m[1].channels = {"shardy"};
+  auto assembly = composer_->compose(m);
+  ASSERT_TRUE(assembly.ok()) << composer_->diagnostics().size();
+
+  // The expansion made real domains: shardy#0, shardy#1, gate.
+  EXPECT_EQ((*assembly)->component_names().size(), 3u);
+  EXPECT_EQ((*assembly)->shard_count("shardy"), 2u);
+  EXPECT_EQ((*assembly)->shard_count("gate"), 1u);
+  EXPECT_EQ((*assembly)->shard_count("ghost"), 0u);
+
+  // shard_ref routes a key to its shard (mod N) and falls back to ref()
+  // for unsharded names — callers need not know which kind they hold.
+  auto s0 = (*assembly)->shard_ref("shardy", 0);
+  auto s1 = (*assembly)->shard_ref("shardy", 1);
+  auto wrapped = (*assembly)->shard_ref("shardy", 2);
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ((*assembly)->name_of(*s0), "shardy#0");
+  EXPECT_EQ((*assembly)->name_of(*s1), "shardy#1");
+  EXPECT_EQ((*assembly)->name_of(*wrapped), "shardy#0");
+  auto gate = (*assembly)->shard_ref("gate", 7);
+  ASSERT_TRUE(gate.ok());
+  EXPECT_EQ((*assembly)->name_of(*gate), "gate");
+  EXPECT_EQ((*assembly)->shard_ref("ghost", 0).error(), Errc::no_such_domain);
+
+  // Each shard is an independent domain on its own channel to the peer.
+  for (const std::string name : {"shardy#0", "shardy#1"}) {
+    ASSERT_TRUE((*assembly)
+                    ->set_behavior(name,
+                                   [name](const substrate::Invocation&)
+                                       -> Result<Bytes> {
+                                     return to_bytes("from-" + name);
+                                   })
+                    .ok());
+  }
+  auto r0 = (*assembly)->invoke("gate", "shardy#0", to_bytes("k"));
+  auto r1 = (*assembly)->invoke("gate", "shardy#1", to_bytes("k"));
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(to_string(*r0), "from-shardy#0");
+  EXPECT_EQ(to_string(*r1), "from-shardy#1");
+  // POLA still holds between sibling shards: no channel was declared.
+  EXPECT_EQ(
+      (*assembly)->invoke("shardy#0", "shardy#1", to_bytes("x")).error(),
+      Errc::policy_violation);
+}
+
 TEST(SessionDemux, BadgeKeyedSessionsAreIsolated) {
   SessionDemux<int> demux;
   substrate::Invocation alice{1, 0xA11CE, {}};

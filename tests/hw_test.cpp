@@ -160,6 +160,100 @@ TEST(Machine, ClockAdvances) {
   EXPECT_EQ(machine->now(), start + 100 + 14);
 }
 
+TEST(Machine, MultiCoreClocksAreIndependent) {
+  auto machine = test::make_smp_machine(4);
+  EXPECT_EQ(machine->core_count(), 4u);
+  {
+    CoreLease lease(*machine, 2);
+    machine->advance(500);
+  }
+  EXPECT_EQ(machine->core(2), 500u);
+  EXPECT_EQ(machine->core(0), 0u);
+  EXPECT_EQ(machine->core(1), 0u);
+  // The global epoch is the max over core clocks.
+  EXPECT_EQ(machine->now(), 500u);
+  {
+    CoreLease lease(*machine, 0);
+    machine->advance(900);
+  }
+  EXPECT_EQ(machine->now(), 900u);
+}
+
+TEST(Machine, CoreLeaseRestoresPreviousCore) {
+  auto machine = test::make_smp_machine(2);
+  EXPECT_EQ(machine->active_core(), 0u);
+  {
+    CoreLease outer(*machine, 1);
+    EXPECT_EQ(machine->active_core(), 1u);
+    {
+      CoreLease inner(*machine, 0);
+      EXPECT_EQ(machine->active_core(), 0u);
+    }
+    EXPECT_EQ(machine->active_core(), 1u);
+  }
+  EXPECT_EQ(machine->active_core(), 0u);
+}
+
+TEST(Machine, SingleCoreNeverPaysContention) {
+  // N=1 bit-exactness: the contention model must be invisible on the
+  // machines every committed FIG9/11/12 number was measured on.
+  auto machine = test::make_machine();
+  EXPECT_EQ(machine->note_shared_access(42), 0u);
+  EXPECT_EQ(machine->note_shared_access(42), 0u);
+  EXPECT_EQ(machine->contention_events(), 0u);
+}
+
+TEST(Machine, CrossCoreTouchWithinWindowPaysPenalty) {
+  auto machine = test::make_smp_machine(2);
+  const Cycles penalty = machine->costs().bus_contention_penalty;
+  {
+    CoreLease lease(*machine, 0);
+    EXPECT_EQ(machine->note_shared_access(7), 0u);  // first touch is free
+  }
+  {
+    CoreLease lease(*machine, 1);
+    EXPECT_EQ(machine->note_shared_access(7), penalty);
+    EXPECT_EQ(machine->core(1), penalty);
+  }
+  EXPECT_EQ(machine->contention_events(), 1u);
+  // Same core re-touching its own line stays free.
+  {
+    CoreLease lease(*machine, 1);
+    EXPECT_EQ(machine->note_shared_access(7), 0u);
+  }
+  // Distinct resources never interfere.
+  {
+    CoreLease lease(*machine, 0);
+    EXPECT_EQ(machine->note_shared_access(8), 0u);
+  }
+}
+
+TEST(Machine, ContentionWindowExpires) {
+  auto machine = test::make_smp_machine(2);
+  {
+    CoreLease lease(*machine, 0);
+    machine->note_shared_access(7);
+  }
+  {
+    CoreLease lease(*machine, 1);
+    machine->advance(machine->costs().contention_window + 10);
+    // The other core's touch has aged out of the window: no penalty.
+    EXPECT_EQ(machine->note_shared_access(7), 0u);
+  }
+  EXPECT_EQ(machine->contention_events(), 0u);
+}
+
+TEST(Machine, StallUntilOnlyMovesForward) {
+  auto machine = test::make_smp_machine(2);
+  {
+    CoreLease lease(*machine, 1);
+    machine->stall_until(300);
+    EXPECT_EQ(machine->core(1), 300u);
+    machine->stall_until(100);  // already past the gate: no-op
+    EXPECT_EQ(machine->core(1), 300u);
+  }
+}
+
 TEST(Machine, NvCounterMonotonic) {
   auto machine = test::make_machine();
   const std::uint64_t v = machine->nv_counter();

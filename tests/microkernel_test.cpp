@@ -4,6 +4,9 @@
 // limit).
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "hw/attacker.h"
 #include "microkernel/microkernel.h"
 #include "test_support.h"
@@ -275,6 +278,115 @@ TEST(Scheduler, RemoveDomainStopsScheduling) {
 TEST(Scheduler, ZeroShareRejected) {
   Scheduler sched(SchedulingPolicy::work_conserving);
   EXPECT_FALSE(sched.add_domain(1, 0).ok());
+}
+
+TEST(Scheduler, RoundRobinPlacementAndAffinity) {
+  Scheduler sched(SchedulingPolicy::work_conserving, 2);
+  EXPECT_EQ(sched.core_count(), 2u);
+  ASSERT_TRUE(sched.add_domain(1, 100).ok());
+  ASSERT_TRUE(sched.add_domain(2, 100).ok());
+  ASSERT_TRUE(sched.add_domain(3, 100).ok());
+  EXPECT_EQ(*sched.core_of(1), 0u);  // deterministic round-robin homes
+  EXPECT_EQ(*sched.core_of(2), 1u);
+  EXPECT_EQ(*sched.core_of(3), 0u);
+  ASSERT_TRUE(sched.set_affinity(3, 1).ok());
+  EXPECT_EQ(*sched.core_of(3), 1u);
+  EXPECT_FALSE(sched.set_affinity(3, 2).ok());  // no such core
+  EXPECT_FALSE(sched.set_affinity(9, 0).ok());  // no such domain
+}
+
+TEST(Scheduler, IdleBalanceMigratesHungriestDomain) {
+  Scheduler sched(SchedulingPolicy::work_conserving, 2);
+  ASSERT_TRUE(sched.add_domain(1, 500).ok());  // core 0, mostly idle
+  ASSERT_TRUE(sched.add_domain(2, 500).ok());  // core 1, greedy
+  ASSERT_TRUE(sched.set_demand(1, 10'000).ok());
+  ASSERT_TRUE(sched.set_demand(2, 1'000'000).ok());
+  const auto grants = sched.run_epoch(100'000);
+  // Domain 2 exhausted its own core's epoch, then idle balancing pulled it
+  // to core 0 and granted it the slack there too (an IPI kick).
+  EXPECT_EQ(grants.at(1), 10'000u);
+  EXPECT_EQ(grants.at(2), 190'000u);
+  EXPECT_EQ(*sched.core_of(2), 0u);  // the migration moved its home
+  EXPECT_EQ(sched.smp_stats().migrations, 1u);
+  EXPECT_EQ(sched.smp_stats().ipi_kicks, 1u);
+}
+
+TEST(Scheduler, PinnedDomainIsNeverMigrated) {
+  Scheduler sched(SchedulingPolicy::work_conserving, 2);
+  ASSERT_TRUE(sched.add_domain(1, 500).ok());
+  ASSERT_TRUE(sched.add_domain(2, 500).ok());
+  ASSERT_TRUE(sched.set_affinity(2, 1).ok());
+  ASSERT_TRUE(sched.set_demand(1, 10'000).ok());
+  ASSERT_TRUE(sched.set_demand(2, 1'000'000).ok());
+  const auto grants = sched.run_epoch(100'000);
+  EXPECT_EQ(grants.at(2), 100'000u);  // capped at its own core's epoch
+  EXPECT_EQ(*sched.core_of(2), 1u);
+  EXPECT_EQ(sched.smp_stats().migrations, 0u);
+}
+
+TEST(Scheduler, FixedPartitionNeverMigratesAcrossCores) {
+  // Cross-core donation would reopen the covert channel the policy closes:
+  // a sender could signal by yielding its core's time to a receiver homed
+  // elsewhere. Partitions are strictly per-core.
+  Scheduler sched(SchedulingPolicy::fixed_partition, 2);
+  ASSERT_TRUE(sched.add_domain(1, 500).ok());
+  ASSERT_TRUE(sched.add_domain(2, 500).ok());
+  ASSERT_TRUE(sched.set_demand(1, 0).ok());  // core 0 fully idle
+  ASSERT_TRUE(sched.set_demand(2, 1'000'000).ok());
+  const auto grants = sched.run_epoch(100'000);
+  EXPECT_EQ(grants.at(2), 100'000u);
+  EXPECT_EQ(*sched.core_of(2), 1u);
+  EXPECT_EQ(sched.smp_stats().migrations, 0u);
+  EXPECT_EQ(sched.smp_stats().ipi_kicks, 0u);
+}
+
+TEST(Scheduler, CoreTimeIsMonotone) {
+  Scheduler sched(SchedulingPolicy::work_conserving, 2);
+  ASSERT_TRUE(sched.add_domain(1, 500).ok());
+  ASSERT_TRUE(sched.add_domain(2, 500).ok());
+  Cycles last0 = 0;
+  Cycles last1 = 0;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(sched.set_demand(1, i % 3 == 0 ? 0 : 50'000).ok());
+    ASSERT_TRUE(sched.set_demand(2, 1'000'000).ok());
+    (void)sched.run_epoch(100'000);
+    EXPECT_GE(sched.core_time(0), last0);
+    EXPECT_GE(sched.core_time(1), last1);
+    last0 = sched.core_time(0);
+    last1 = sched.core_time(1);
+  }
+  EXPECT_GT(last0 + last1, 0u);
+}
+
+TEST(Scheduler, ThreadSafeUnderConcurrentEpochs) {
+  // TSan pin: demands, epochs and stat reads race from worker threads the
+  // way executor workers and a supervisor would drive one kernel instance.
+  Scheduler sched(SchedulingPolicy::work_conserving, 4);
+  for (DomainId d = 1; d <= 8; ++d)
+    ASSERT_TRUE(sched.add_domain(d, 100).ok());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&sched, t] {
+      Cycles last = 0;
+      for (int i = 0; i < 50; ++i) {
+        (void)sched.set_demand(1 + (t + i) % 8, 1'000 * (i + 1));
+        (void)sched.run_epoch(10'000);
+        (void)sched.core_of(1 + i % 8);
+        (void)sched.smp_stats();
+        const Cycles seen = sched.core_time(static_cast<std::size_t>(t));
+        EXPECT_GE(seen, last);  // monotone even under the races
+        last = seen;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+TEST_F(MicrokernelTest, SchedulerSizedToMachineCores) {
+  auto machine = test::make_smp_machine(4, "mk-smp");
+  Microkernel kernel(*machine, substrate::SubstrateConfig{});
+  EXPECT_EQ(kernel.scheduler().core_count(), 4u);
+  EXPECT_EQ(kernel_->scheduler().core_count(), 1u);  // default machine
 }
 
 TEST(Scheduler, CovertMitigationReflectedInFeatures) {

@@ -578,6 +578,115 @@ TEST_F(ZeroCopyBatchTest, RegionPoolIgnoresDoubleRelease) {
   EXPECT_NE(x->offset, y->offset);
 }
 
+// ---------------------------------------------------------------------------
+// RegionPool sharding (FIG13): per-shard arenas, cache-line-strided slots
+
+TEST(RegionPoolSharded, PerShardArenasWithCacheLineStride) {
+  auto machine = test::make_smp_machine(4, "pool-smp");
+  auto sub = *test::shared_registry().create("microkernel", *machine);
+  const auto client = *sub->create_domain(tc_spec("client"));
+  const auto server = *sub->create_domain(tc_spec("server"));
+  const auto region = *sub->create_region(client, server, 1 << 16);
+  ASSERT_TRUE(sub->map_region(client, region).ok());
+  ASSERT_TRUE(sub->map_region(server, region).ok());
+
+  // 100-byte slots on a multi-core machine pad to the cache-line stride:
+  // two slots (and two shards' free-list heads) never share a line.
+  RegionPool pool(*sub, client, region, 1 << 16, 100, 4);
+  EXPECT_EQ(pool.shard_count(), 4u);
+  EXPECT_EQ(pool.slot_bytes(), 100u);
+  const std::size_t line = machine->costs().cache_line_bytes;
+  EXPECT_EQ(pool.slot_stride() % line, 0u);
+  EXPECT_GE(pool.slot_stride(), 100u);
+  EXPECT_LT(pool.slot_stride(), 100u + line);
+  ASSERT_GT(pool.slots_total(), 0u);
+  EXPECT_EQ(pool.slots_total() % 4, 0u);  // symmetric arenas
+
+  // Arena bases are one whole span apart; the first lease from each shard
+  // is that shard's base, stride-aligned.
+  const std::size_t per_shard = pool.slots_total() / 4;
+  const std::uint64_t span = per_shard * pool.slot_stride();
+  for (std::size_t s = 0; s < 4; ++s) {
+    auto slot = pool.acquire(s);
+    ASSERT_TRUE(slot.ok());
+    EXPECT_EQ(slot->offset, s * span);
+    EXPECT_EQ(slot->offset % pool.slot_stride(), 0u);
+    pool.release(*slot);
+  }
+}
+
+TEST(RegionPoolSharded, StrictShardAcquireAndOwnerRouting) {
+  auto machine = test::make_smp_machine(2, "pool-strict");
+  auto sub = *test::shared_registry().create("microkernel", *machine);
+  const auto client = *sub->create_domain(tc_spec("client"));
+  const auto server = *sub->create_domain(tc_spec("server"));
+  const auto region = *sub->create_region(client, server, 4096);
+  ASSERT_TRUE(sub->map_region(client, region).ok());
+  ASSERT_TRUE(sub->map_region(server, region).ok());
+
+  RegionPool pool(*sub, client, region, 4096, 256, 2);
+  const std::size_t per_shard = pool.slots_total() / 2;
+  ASSERT_GT(per_shard, 0u);
+
+  // acquire(shard) never borrows from another arena: draining shard 0
+  // exhausts it even though shard 1 is untouched.
+  std::vector<RegionPool::Slot> held;
+  for (std::size_t i = 0; i < per_shard; ++i) {
+    auto slot = pool.acquire(0);
+    ASSERT_TRUE(slot.ok());
+    held.push_back(*slot);
+  }
+  EXPECT_EQ(pool.acquire(0).error(), Errc::exhausted);
+  EXPECT_EQ(pool.slots_free(0), 0u);
+  EXPECT_EQ(pool.slots_free(1), per_shard);
+  EXPECT_EQ(pool.acquire(2).error(), Errc::invalid_argument);
+
+  // The shard-blind acquire() still finds shard 1's slots (pre-FIG13
+  // behaviour for unsharded callers).
+  auto spill = pool.acquire();
+  ASSERT_TRUE(spill.ok());
+  EXPECT_GE(spill->offset, per_shard * pool.slot_stride());
+  pool.release(*spill);
+
+  // release() routes by offset to the owning arena, not round-robin.
+  pool.release(held.back());
+  EXPECT_EQ(pool.slots_free(0), 1u);
+  EXPECT_EQ(pool.slots_free(1), per_shard);
+  for (std::size_t i = 0; i + 1 < held.size(); ++i) pool.release(held[i]);
+  EXPECT_EQ(pool.slots_free(), pool.slots_total());
+}
+
+TEST(RegionPoolSharded, SingleCoreMachineKeepsDenseLayout) {
+  // N=1 bit-exactness: without a live contention model there is nothing to
+  // pad against, so offsets are dense — byte for byte the pre-FIG13 layout,
+  // even when the pool itself is sharded.
+  auto machine = test::make_machine("pool-dense");
+  auto sub = *test::shared_registry().create("microkernel", *machine);
+  const auto client = *sub->create_domain(tc_spec("client"));
+  const auto server = *sub->create_domain(tc_spec("server"));
+  const auto region = *sub->create_region(client, server, 4096);
+  ASSERT_TRUE(sub->map_region(client, region).ok());
+  ASSERT_TRUE(sub->map_region(server, region).ok());
+
+  RegionPool pool(*sub, client, region, 4096, 100, 2);
+  EXPECT_EQ(pool.slot_stride(), 100u);  // no cache-line padding
+  EXPECT_EQ(pool.shard_count(), 2u);
+  auto first = pool.acquire(0);
+  auto second = pool.acquire(0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->offset - first->offset, 100u);
+
+  // Staging through a shard-1 slot still goes through the monitor and
+  // mints a descriptor for exactly the staged bytes.
+  auto slot = pool.acquire(1);
+  ASSERT_TRUE(slot.ok());
+  auto desc = pool.stage(*slot, to_bytes("sharded-payload"));
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->offset, slot->offset);
+  EXPECT_EQ(desc->length, std::string("sharded-payload").size());
+}
+
 TEST(Executor, RunsTasksAndDeliversResults) {
   Executor executor({.threads = 4});
   std::vector<Future> futures;
@@ -821,6 +930,84 @@ TEST(Executor, ParallelismAcrossSubstratesWithSerializedMachines) {
       sub_a->message_cost(4) + sub_a->message_cost(4);
   EXPECT_EQ(sub_a->machine().now() - start_a, 25 * per_call);
   EXPECT_EQ(sub_b->machine().now() - start_b, 25 * per_call);
+}
+
+TEST(Executor, CoreRoutingHashFallbackAndAffinity) {
+  auto machine = test::make_smp_machine(4, "exec-smp");
+  auto sub = *test::shared_registry().create("microkernel", *machine);
+  const auto worker = *sub->create_domain(tc_spec("worker"));
+  const auto helper = *sub->create_domain(tc_spec("helper"));
+  Executor executor({.threads = 2});
+
+  // Without an explicit pin a domain's home core is its key hash modulo the
+  // machine's core count — stable across queries, and always on-machine.
+  const DomainKey kw{sub.get(), worker};
+  const std::size_t home = executor.core_of(kw);
+  EXPECT_LT(home, 4u);
+  EXPECT_EQ(executor.core_of(kw), home);
+  // Keys without simulated hardware have no cores to route across.
+  EXPECT_EQ(executor.core_of(DomainKey{}), 0u);
+
+  // set_affinity overrides the hash; off-machine cores are refused and the
+  // previous pin survives the refusal.
+  ASSERT_TRUE(executor.set_affinity(kw, 3).ok());
+  EXPECT_EQ(executor.core_of(kw), 3u);
+  EXPECT_EQ(executor.set_affinity(kw, 4).error(), Errc::invalid_argument);
+  EXPECT_EQ(executor.core_of(kw), 3u);
+
+  // The pin is real accounting, not a label: a task submitted on a pinned
+  // key runs under a CoreLease, so its cycles land on that core's clock.
+  const DomainKey kh{sub.get(), helper};
+  ASSERT_TRUE(executor.set_affinity(kh, 2).ok());
+  const Cycles before1 = machine->core(1);
+  const Cycles before2 = machine->core(2);
+  auto future = executor.submit(kh, [&]() -> Result<Bytes> {
+    sub->machine().advance(700);
+    return Bytes{};
+  });
+  ASSERT_TRUE(future.ok());
+  ASSERT_TRUE(future->wait().ok());
+  executor.wait_all();
+  EXPECT_EQ(machine->core(2) - before2, 700u);
+  EXPECT_EQ(machine->core(1), before1);
+}
+
+TEST(Executor, PublishesSchedStatsThroughMetricsHub) {
+  // The FIG13 observability satellite: an executor configured with a hub
+  // publishes SchedStats under its label — steals/migrations counters plus
+  // a per-core run-queue depth gauge sized to the widest machine it serves.
+  MetricsHub hub;
+  auto machine = test::make_smp_machine(4, "exec-hub");
+  auto sub = *test::shared_registry().create("microkernel", *machine);
+  const auto domain = *sub->create_domain(tc_spec("d"));
+  Executor executor({.threads = 3, .hub = &hub, .label = "fig13.exec"});
+
+  const DomainKey key{sub.get(), domain};
+  ASSERT_TRUE(executor.set_affinity(key, 1).ok());
+  for (int i = 0; i < 24; ++i) {
+    // Spread across several domains (some hardware-free) so queues migrate
+    // between workers; all of it must fold into one labelled block.
+    const DomainKey k = (i % 3 == 0)
+                            ? key
+                            : DomainKey{nullptr,
+                                        static_cast<substrate::DomainId>(
+                                            100 + i % 5)};
+    ASSERT_TRUE(
+        executor.submit(k, []() -> Result<Bytes> { return Bytes{}; }).ok());
+  }
+  executor.wait_all();
+
+  const SchedStats sched = hub.sched("fig13.exec").snapshot();
+  ASSERT_EQ(sched.run_queue_depth.size(), 4u);  // sized to the machine
+  for (const std::uint64_t depth : sched.run_queue_depth)
+    EXPECT_EQ(depth, 0u);  // drained: the gauge reads empty queues
+  const ExecutorStats stats = executor.stats();
+  EXPECT_EQ(sched.steals, stats.steals);
+  EXPECT_EQ(sched.migrations, stats.migrations);
+  // A microkernel machine with one busy domain neither stalls at a serial
+  // gate nor bounces cache lines; the published signals agree.
+  EXPECT_EQ(sched.serial_stalls, sub->serial_stalls());
+  EXPECT_EQ(sched.contention_events, machine->contention_events());
 }
 
 // ---------------------------------------------------------------------------

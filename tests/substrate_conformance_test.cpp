@@ -1250,6 +1250,128 @@ TEST_P(ConformanceTest, FlightRecorderSurvivesKillDomain) {
   substrate_->set_tracer(nullptr);
 }
 
+/// The published concurrency law per substrate (like info().name, this is
+/// part of each backend's contract and pinned by name on purpose): how
+/// crossings from different cores of one machine compose.
+ConcurrencyLaw expected_law(const std::string& name) {
+  if (name == "sgx") return ConcurrencyLaw::transition_serialized;
+  if (name == "trustzone" || name == "ftpm")
+    return ConcurrencyLaw::monitor_serialized;
+  if (name == "tpm" || name == "sep")
+    return ConcurrencyLaw::device_serialized;
+  return ConcurrencyLaw::parallel;  // microkernel, noc, cheri
+}
+
+TEST_P(ConformanceTest, ConcurrencyLawPinned) {
+  EXPECT_EQ(substrate_->concurrency_law(), expected_law(GetParam()));
+}
+
+TEST_P(ConformanceTest, SingleCoreSerializationInvisible) {
+  // N=1 exactness: on the single-core machines every committed FIG9/11/12
+  // number was measured on, the concurrency law must change nothing — no
+  // stalls, no contention, per-call cost constant.
+  auto [a, b] = make_pair();
+  auto channel = substrate_->create_channel(a, b, {});
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(substrate_
+                  ->set_handler(b, [](const Invocation& inv) -> Result<Bytes> {
+                    return Bytes(inv.data.begin(), inv.data.end());
+                  })
+                  .ok());
+  (void)substrate_->call(a, *channel, to_bytes("warm-up!"));
+  const Cycles before_one = machine_->now();
+  ASSERT_TRUE(substrate_->call(a, *channel, to_bytes("workload")).ok());
+  const Cycles per_call = machine_->now() - before_one;
+  ASSERT_GT(per_call, 0u);
+  const Cycles before = machine_->now();
+  for (int i = 0; i < 8; ++i)
+    ASSERT_TRUE(substrate_->call(a, *channel, to_bytes("workload")).ok());
+  EXPECT_EQ(machine_->now() - before, 8 * per_call);
+  EXPECT_EQ(substrate_->serial_stalls(), 0u);
+  EXPECT_EQ(machine_->contention_events(), 0u);
+}
+
+TEST_P(ConformanceTest, TwoCoreScalingFollowsConcurrencyLaw) {
+  // The FIG13 mechanism in miniature: the same offered work from two cores
+  // (one client/server lane per core where the substrate can host it)
+  // finishes in one core's time on a parallel substrate and approaches the
+  // serialized sum behind a monitor/transition/device gate.
+  auto machine = test::make_smp_machine(2, "conformance-smp-" + GetParam());
+  auto created = test::shared_registry().create(GetParam(), *machine);
+  ASSERT_TRUE(created.ok());
+  auto& sub = *created;
+  const auto echo = [](const Invocation& inv) -> Result<Bytes> {
+    return Bytes(inv.data.begin(), inv.data.end());
+  };
+
+  struct Lane {
+    DomainId client = kInvalidDomain;
+    ChannelId channel = 0;
+  };
+  std::array<Lane, 2> lanes{};
+  for (std::size_t i = 0; i < 2; ++i) {
+    hw::CoreLease lease(*machine, i);
+    const std::string suffix = std::to_string(i);
+    auto server = sub->create_domain(tc_spec("server" + suffix));
+    if (!server.ok()) {
+      // Two-environment devices (SEP): both cores share the one mailbox.
+      lanes[i] = lanes[0];
+      continue;
+    }
+    auto client = sub->create_domain(tc_spec("client" + suffix));
+    if (!client.ok())
+      client = sub->create_domain(legacy_spec("client" + suffix));
+    ASSERT_TRUE(client.ok());
+    auto channel = sub->create_channel(*client, *server, {});
+    ASSERT_TRUE(channel.ok());
+    ASSERT_TRUE(sub->set_handler(*server, echo).ok());
+    lanes[i] = {*client, *channel};
+    (void)sub->call(lanes[i].client, lanes[i].channel, to_bytes("warm-up!"));
+  }
+
+  // Per-call cost on core 0 with the gate already synchronized to it.
+  const Cycles per_call = [&] {
+    hw::CoreLease lease(*machine, 0);
+    (void)sub->call(lanes[0].client, lanes[0].channel, to_bytes("workload"));
+    const Cycles before = machine->core(0);
+    (void)sub->call(lanes[0].client, lanes[0].channel, to_bytes("workload"));
+    return machine->core(0) - before;
+  }();
+  ASSERT_GT(per_call, 0u);
+
+  constexpr Cycles kCalls = 8;
+  const std::array<Cycles, 2> start{machine->core(0), machine->core(1)};
+  for (Cycles i = 0; i < kCalls; ++i) {
+    for (std::size_t core = 0; core < 2; ++core) {
+      hw::CoreLease lease(*machine, core);
+      (void)sub->call(lanes[core].client, lanes[core].channel,
+                      to_bytes("workload"));
+    }
+  }
+  Cycles elapsed = 0;
+  for (std::size_t core = 0; core < 2; ++core) {
+    const Cycles busy = machine->core(core) - start[core];
+    if (busy > elapsed) elapsed = busy;
+  }
+
+  switch (sub->concurrency_law()) {
+    case ConcurrencyLaw::parallel:
+      // Both cores cross concurrently: wall time is one core's work.
+      EXPECT_LE(elapsed, kCalls * per_call + per_call / 2);
+      EXPECT_EQ(sub->serial_stalls(), 0u);
+      break;
+    case ConcurrencyLaw::transition_serialized:
+    case ConcurrencyLaw::monitor_serialized:
+    case ConcurrencyLaw::device_serialized:
+      // The gate serializes (nearly all of) both cores' crossings: wall
+      // time approaches the two-core sum and the stalls are observable.
+      EXPECT_GE(elapsed, 3 * kCalls * per_call / 2);
+      EXPECT_GT(sub->serial_stalls(), 0u);
+      EXPECT_GT(sub->serial_stall_cycles(), 0u);
+      break;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllSubstrates, ConformanceTest,
                          ::testing::Values("microkernel", "trustzone", "sgx",
                                            "tpm", "ftpm", "sep", "cheri",

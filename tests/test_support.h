@@ -26,6 +26,16 @@ inline std::unique_ptr<hw::Machine> make_machine(
                                        to_bytes("boot-rom-v1"));
 }
 
+/// A machine with N symmetric cores (FIG13 scaling tests).
+inline std::unique_ptr<hw::Machine> make_smp_machine(
+    std::size_t cores, const std::string& name = "test-smp-machine") {
+  hw::MachineConfig config;
+  config.name = name;
+  config.cores = cores;
+  return std::make_unique<hw::Machine>(config, shared_vendor(),
+                                       to_bytes("boot-rom-v1"));
+}
+
 inline substrate::SubstrateRegistry& shared_registry() {
   static substrate::SubstrateRegistry registry =
       core::make_standard_registry();
