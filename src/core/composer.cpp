@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/policy.h"
+#include "health/audit.h"
 
 namespace lateral::core {
 namespace {
@@ -142,6 +143,12 @@ Result<Bytes> Assembly::invoke(ComponentRef from, ComponentRef to,
   if (enforce_manifest_ && !chan) {
     // POLA at the framework level: the manifests declared no such channel,
     // so the composer never created one.
+    if (audit_)
+      audit_->append(health::AuditKind::policy_violation,
+                     from_node->component.manifest.name,
+                     Errc::policy_violation,
+                     from_node->component.manifest.name + "->" +
+                         node_of(to)->component.manifest.name);
     return Errc::policy_violation;
   }
   if (!chan) return Errc::no_such_channel;
@@ -163,7 +170,15 @@ Status Assembly::send(ComponentRef from, ComponentRef to, BytesView data) {
   const Node* from_node = node_of(from);
   if (!from_node || !node_of(to)) return Errc::no_such_domain;
   auto chan = channel_between(from, to);
-  if (enforce_manifest_ && !chan) return Errc::policy_violation;
+  if (enforce_manifest_ && !chan) {
+    if (audit_)
+      audit_->append(health::AuditKind::policy_violation,
+                     from_node->component.manifest.name,
+                     Errc::policy_violation,
+                     from_node->component.manifest.name + "->" +
+                         node_of(to)->component.manifest.name);
+    return Errc::policy_violation;
+  }
   if (!chan) return Errc::no_such_channel;
   return (*chan)->substrate->send(from_node->component.domain, (*chan)->id,
                                   data);

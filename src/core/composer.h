@@ -35,6 +35,9 @@ class Tracer;
 namespace lateral::runtime {
 class MetricsHub;
 }  // namespace lateral::runtime
+namespace lateral::health {
+class AuditLog;
+}  // namespace lateral::health
 
 namespace lateral::core {
 
@@ -189,6 +192,11 @@ class Assembly {
   /// rely on the substrate alone (ablation hook; default true).
   void set_manifest_enforcement(bool on) { enforce_manifest_ = on; }
 
+  /// Audit sink: a manifest-level POLA refusal (invoke/send/endpoint over a
+  /// channel the manifests never declared) is a security-relevant event and
+  /// lands in the log as evidence, not just a returned Errc.
+  void set_audit(health::AuditLog* audit) { audit_ = audit; }
+
   /// Plain-text observability snapshot of this assembly: per-component
   /// flight-recorder contents from `tracer` plus per-label counters from
   /// `hub` (either may be null). Defined in trace/exporter.cpp — the
@@ -248,6 +256,7 @@ class Assembly {
   /// N > 1); shard_ref routes through this before falling back to ref().
   std::map<std::string, std::uint32_t, std::less<>> shard_counts_;
   bool enforce_manifest_ = true;
+  health::AuditLog* audit_ = nullptr;
 };
 
 /// Expand `shard N` declarations: each sharded manifest becomes N copies

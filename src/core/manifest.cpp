@@ -51,6 +51,7 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text,
   bool in_trace = false;    // inside a nested `trace { ... }` stanza
   bool in_fleet = false;    // inside a nested `fleet { ... }` stanza
   bool in_update = false;   // inside a nested `update { ... }` stanza
+  bool in_slo = false;      // inside a nested `slo { ... }` stanza
 
   std::istringstream stream{std::string(text)};
   std::string line;
@@ -174,6 +175,41 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text,
       continue;
     }
 
+    if (in_slo) {
+      SloPolicy& policy = *current->slo;
+      const std::string& key = tokens[0];
+      if (key == "}") {
+        if (tokens.size() != 1) return Errc::invalid_argument;
+        in_slo = false;
+      } else if (key == "p99") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        const auto p99 = parse_u64(tokens[1]);
+        if (!p99) return Errc::invalid_argument;
+        policy.p99_cycles = *p99;
+      } else if (key == "error_rate") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        const auto permille = parse_u64(tokens[1]);
+        if (!permille || *permille > 1000) return Errc::invalid_argument;
+        policy.error_permille = static_cast<std::uint32_t>(*permille);
+      } else if (key == "window") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        const auto window = parse_u64(tokens[1]);
+        if (!window) return Errc::invalid_argument;
+        policy.window_cycles = *window;
+      } else if (key == "burn_windows") {
+        if (tokens.size() != 2) return Errc::invalid_argument;
+        const auto burn = parse_u64(tokens[1]);
+        if (!burn) return Errc::invalid_argument;
+        policy.burn_windows = static_cast<std::uint32_t>(*burn);
+      } else if (key == "restart") {
+        if (tokens.size() != 1) return Errc::invalid_argument;
+        policy.restart = true;
+      } else {
+        return Errc::invalid_argument;  // unknown slo directive
+      }
+      continue;
+    }
+
     if (tokens[0] == "component") {
       if (current) return Errc::invalid_argument;  // nested component
       if (tokens.size() != 3 || tokens[2] != "{")
@@ -287,6 +323,12 @@ Result<std::vector<Manifest>> parse_manifests(std::string_view text,
       if (current->update) return duplicate("update");
       current->update.emplace();  // defaults apply until overridden
       in_update = true;
+    } else if (key == "slo") {
+      if (tokens.size() != 2 || tokens[1] != "{")
+        return Errc::invalid_argument;
+      if (current->slo) return duplicate("slo");
+      current->slo.emplace();  // unchecked defaults until overridden
+      in_slo = true;
     } else {
       return Errc::invalid_argument;  // unknown directive
     }
@@ -350,6 +392,15 @@ std::string to_text(const std::vector<Manifest>& manifests) {
       out << "    probation " << m.update->probation_ticks << "\n";
       out << "  }\n";
     }
+    if (m.slo) {
+      out << "  slo {\n";
+      out << "    p99 " << m.slo->p99_cycles << "\n";
+      out << "    error_rate " << m.slo->error_permille << "\n";
+      out << "    window " << m.slo->window_cycles << "\n";
+      out << "    burn_windows " << m.slo->burn_windows << "\n";
+      if (m.slo->restart) out << "    restart\n";
+      out << "  }\n";
+    }
     out << "}\n";
   }
   return out.str();
@@ -390,6 +441,21 @@ std::vector<std::string> validate(const std::vector<Manifest>& manifests) {
       // component without a restart stanza cannot be swapped or reverted.
       if (!m.restart)
         problems.push_back(m.name + ": update stanza without restart stanza");
+    }
+    if (m.slo) {
+      if (m.slo->window_cycles == 0)
+        problems.push_back(m.name + ": slo window of zero cycles");
+      if (m.slo->burn_windows == 0)
+        problems.push_back(m.name + ": slo burn_windows of zero");
+      // An slo stanza that checks nothing is a misconfiguration, not a
+      // policy: the watchdog would tick forever and never say anything.
+      if (m.slo->p99_cycles == 0 && m.slo->error_permille >= 1000)
+        problems.push_back(m.name + ": slo stanza with no objective (set p99 "
+                                    "and/or error_rate)");
+      // The watchdog only pulls triggers the recovery plan owns: escalation
+      // is a kill_component that the restart stanza's machinery must catch.
+      if (m.slo->restart && !m.restart)
+        problems.push_back(m.name + ": slo restart without restart stanza");
     }
     // Programmatically-built manifests bypass the parser's duplicate-region
     // rejection; catch them here with the same component+stanza naming.

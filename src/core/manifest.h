@@ -108,6 +108,31 @@ struct UpdatePolicy {
   friend bool operator==(const UpdatePolicy&, const UpdatePolicy&) = default;
 };
 
+/// Service-level objective (the manifest `slo` stanza). Presence marks a
+/// component as health-watched: a health::HealthMonitor evaluates its
+/// MetricsHub counters every tick against these objectives using
+/// multi-window burn-rate confirmation (both the short `window` and the
+/// long `window * burn_windows` must be in breach before an event fires —
+/// a transient spike burns the short window only and stays quiet).
+struct SloPolicy {
+  /// p99 submit->complete latency objective in simulated cycles
+  /// (0 = latency unchecked).
+  Cycles p99_cycles = 0;
+  /// Error-rate objective in permille of offered load — rejected, timed-out
+  /// and cancelled invocations over offered (1000 = errors unchecked).
+  std::uint32_t error_permille = 1000;
+  /// Short evaluation window, simulated cycles.
+  Cycles window_cycles = 1'000'000;
+  /// Long window = window_cycles * burn_windows (the burn-rate guard).
+  std::uint32_t burn_windows = 8;
+  /// Escalate a confirmed breach into the supervisor's restart machinery
+  /// (requires a `restart` stanza — the watchdog only pulls triggers the
+  /// recovery plan already owns).
+  bool restart = false;
+
+  friend bool operator==(const SloPolicy&, const SloPolicy&) = default;
+};
+
 /// A declared shared grant region to a peer (the manifest `region` stanza,
 /// part of the channels block of the component's needs). Like channels,
 /// regions exist only when declared — the composer wires exactly these and
@@ -168,6 +193,10 @@ struct Manifest {
   /// `update { ... }` stanza, meaning: this component may be re-imaged in
   /// the field under rollback protection.
   std::optional<UpdatePolicy> update;
+  /// Service-level objectives; set when the manifest carries an
+  /// `slo { ... }` stanza, meaning: a health watchdog evaluates this
+  /// component's metrics and (optionally) escalates confirmed breaches.
+  std::optional<SloPolicy> slo;
 };
 
 /// Parse a manifest bundle from the text DSL. Format:
@@ -207,12 +236,20 @@ struct Manifest {
 ///       slots 2            # A/B image slots (>= 2)
 ///       probation 4        # heartbeat ticks before an update commits
 ///     }
+///     slo {                # optional: health-watchdog objectives
+///       p99 40000          # p99 latency objective, cycles (0 = unchecked)
+///       error_rate 50      # max errors, permille of offered load
+///       window 1000000     # short evaluation window, cycles
+///       burn_windows 8     # long window = window * this (burn-rate guard)
+///       restart            # flag: escalate confirmed breaches into the
+///     }                    #   restart stanza's recovery machinery
 ///   }
 ///
-/// At most one `restart`/`trace`/`fleet`/`update` stanza per component, and
-/// at most one `region` declaration per peer — duplicates are rejected, not
-/// last-wins. Errc::invalid_argument on malformed input; when `error` is
-/// non-null it receives a diagnostic naming the line, component and stanza.
+/// At most one `restart`/`trace`/`fleet`/`update`/`slo` stanza per
+/// component, and at most one `region` declaration per peer — duplicates
+/// are rejected, not last-wins. Errc::invalid_argument on malformed input;
+/// when `error` is non-null it receives a diagnostic naming the line,
+/// component and stanza.
 Result<std::vector<Manifest>> parse_manifests(std::string_view text,
                                               std::string* error = nullptr);
 

@@ -60,7 +60,8 @@ Cycles FleetServer::now() const {
 
 Status FleetServer::register_method(const std::string& name,
                                     net::RemoteDispatcher::Method handler) {
-  if (name.empty() || !handler || name == config_.batched_method)
+  if (name.empty() || !handler || name == config_.batched_method ||
+      name == "scrape" || name == "audit_pull")  // built-ins (FIG16)
     return Errc::invalid_argument;
   const auto [it, inserted] = inline_methods_.emplace(name,
                                                       std::move(handler));
@@ -128,6 +129,9 @@ void FleetServer::handle_full_msg3(const std::string& peer,
   Session session = std::move(it->second);
   pending_.erase(it);
   if (const Status s = session.channel->handle_msg3(payload); !s.ok()) {
+    if (config_.audit)
+      config_.audit->append(health::AuditKind::attestation_failed, peer,
+                            s.error(), "handshake_msg3");
     send_reject(peer, s.error());
     return;
   }
@@ -163,6 +167,9 @@ void FleetServer::handle_resume(const std::string& peer, BytesView payload) {
   auto claims = tickets_.redeem(request->ticket_wire, now());
   if (!claims) {
     fleet_->tickets_rejected++;
+    if (config_.audit)
+      config_.audit->append(health::AuditKind::ticket_rejected, peer,
+                            claims.error(), "redeem");
     send_reject(peer, claims.error());
     return;
   }
@@ -173,6 +180,9 @@ void FleetServer::handle_resume(const std::string& peer, BytesView payload) {
                               request->client_nonce),
                 request->binder)) {
     fleet_->tickets_rejected++;
+    if (config_.audit)
+      config_.audit->append(health::AuditKind::ticket_rejected, peer,
+                            Errc::verification_failed, "binder");
     send_reject(peer, Errc::verification_failed);
     return;
   }
@@ -186,6 +196,9 @@ void FleetServer::handle_resume(const std::string& peer, BytesView payload) {
         !ct_equal(crypto::digest_view(claims->measurement),
                   crypto::digest_view(*expected))) {
       fleet_->tickets_rejected++;
+      if (config_.audit)
+        config_.audit->append(health::AuditKind::ticket_rejected, peer,
+                              Errc::access_denied, "identity");
       send_reject(peer, Errc::access_denied);
       return;
     }
@@ -214,6 +227,9 @@ void FleetServer::handle_record(const std::string& peer, BytesView payload) {
   if (!plain) {
     // Channel authentication failed: tampering or a desynced peer. Fail
     // closed — drop the session; the client reconnects (ticket intact).
+    if (config_.audit)
+      config_.audit->append(health::AuditKind::session_tamper, peer,
+                            Errc::verification_failed, "open_record");
     sessions_.erase(it);
     send_reject(peer, Errc::verification_failed);
     return;
@@ -241,6 +257,27 @@ void FleetServer::handle_record(const std::string& peer, BytesView payload) {
     return;
   }
 
+  // Built-in health-plane methods (FIG16), resolved before the inline
+  // table so applications cannot shadow them. Both ride the established
+  // sealed session: the scrape/audit consumer is exactly as attested as
+  // any meter submitting a record.
+  if (request->method == "scrape") {
+    Bytes reply_plain;
+    if (!config_.scrape_source) {
+      reply_plain = net::encode_rpc_reply(Errc::not_supported, {});
+    } else {
+      fleet_->scrapes++;
+      reply_plain = net::encode_rpc_reply(Errc::ok,
+                                          to_bytes(config_.scrape_source()));
+    }
+    send_sealed(peer, FrameKind::reply, reply_plain);
+    return;
+  }
+  if (request->method == "audit_pull") {
+    send_sealed(peer, FrameKind::reply, serve_audit_pull(request->payload));
+    return;
+  }
+
   const auto method = inline_methods_.find(request->method);
   Bytes reply_plain;
   if (method == inline_methods_.end()) {
@@ -251,6 +288,21 @@ void FleetServer::handle_record(const std::string& peer, BytesView payload) {
                          : net::encode_rpc_reply(result.error(), {});
   }
   send_sealed(peer, FrameKind::reply, reply_plain);
+}
+
+Bytes FleetServer::serve_audit_pull(BytesView payload) {
+  if (!config_.audit) return net::encode_rpc_reply(Errc::not_supported, {});
+  std::uint64_t from_seq = 0;
+  if (payload.size() == 8) {
+    for (const std::uint8_t b : payload) from_seq = (from_seq << 8) | b;
+  } else if (!payload.empty()) {
+    return net::encode_rpc_reply(Errc::invalid_argument, {});
+  }
+  auto segment = config_.audit->segment(from_seq, *config_.substrate,
+                                        config_.service_domain);
+  if (!segment) return net::encode_rpc_reply(segment.error(), {});
+  fleet_->audit_pulls++;
+  return net::encode_rpc_reply(Errc::ok, segment->serialize());
 }
 
 Status FleetServer::serve_backlog(std::size_t max_batched) {

@@ -29,12 +29,14 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "core/attestation.h"
 #include "core/manifest.h"
+#include "health/audit.h"
 #include "fleet/admission.h"
 #include "fleet/protocol.h"
 #include "fleet/ticket.h"
@@ -84,6 +86,19 @@ struct FleetServerConfig {
   runtime::MetricsHub* hub = nullptr;  // optional; label below
   std::string label = "fleet";
   trace::Tracer* tracer = nullptr;     // optional: handshake spans
+
+  // --- Health plane (FIG16) ------------------------------------------------
+  /// When set, the built-in `scrape` method answers with this text (wire the
+  /// assembly's dump_observability / render_metrics_text here). Served only
+  /// over an established sealed session — the same attestation gate every
+  /// record passes — so metrics never leave the box to an unattested peer.
+  std::function<std::string()> scrape_source;
+  /// When set: (a) the built-in `audit_pull` method serves sealed, attested
+  /// AuditSegments from this log (payload = optional 8-byte big-endian
+  /// from_seq), and (b) security-relevant rejections on this server (ticket
+  /// replay/expiry, record tamper, failed client attestation) are appended
+  /// to it as evidence.
+  health::AuditLog* audit = nullptr;
 };
 
 /// Size a server config from a manifest `fleet { ... }` stanza (ticket TTL
@@ -147,6 +162,11 @@ class FleetServer {
   void handle_full_msg3(const std::string& peer, BytesView payload);
   void handle_resume(const std::string& peer, BytesView payload);
   void handle_record(const std::string& peer, BytesView payload);
+  /// The `audit_pull` built-in: seal the log through the current epoch,
+  /// attest the seal with the service domain, answer with the serialized
+  /// AuditSegment. `payload` is empty (from the chain genesis) or an 8-byte
+  /// big-endian starting sequence number.
+  Bytes serve_audit_pull(BytesView payload);
   Status serve_backlog(std::size_t max_batched);
   void drain_completions();
   void send_frame(const std::string& peer, FrameKind kind, BytesView payload);

@@ -1,0 +1,288 @@
+#include "health/audit.h"
+
+#include <utility>
+
+namespace lateral::health {
+namespace {
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_bytes(Bytes& out, BytesView v) {
+  out.insert(out.end(), v.begin(), v.end());
+}
+
+bool get_u64(BytesView wire, std::size_t* offset, std::uint64_t* v) {
+  if (*offset > wire.size() || wire.size() - *offset < 8) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v = (*v << 8) | wire[*offset + i];
+  *offset += 8;
+  return true;
+}
+
+bool get_u16(BytesView wire, std::size_t* offset, std::uint16_t* v) {
+  if (*offset > wire.size() || wire.size() - *offset < 2) return false;
+  *v = static_cast<std::uint16_t>((wire[*offset] << 8) | wire[*offset + 1]);
+  *offset += 2;
+  return true;
+}
+
+bool get_string(BytesView wire, std::size_t* offset, std::string* s) {
+  std::uint16_t len = 0;
+  if (!get_u16(wire, offset, &len)) return false;
+  if (wire.size() - *offset < len) return false;
+  s->assign(reinterpret_cast<const char*>(wire.data() + *offset), len);
+  *offset += len;
+  return true;
+}
+
+bool get_digest(BytesView wire, std::size_t* offset, crypto::Digest* d) {
+  if (wire.size() - *offset < d->size()) return false;
+  std::copy_n(wire.begin() + static_cast<std::ptrdiff_t>(*offset), d->size(),
+              d->begin());
+  *offset += d->size();
+  return true;
+}
+
+constexpr crypto::Digest kGenesis{};  // head before the first record
+
+}  // namespace
+
+// --- Wire formats ---------------------------------------------------------
+
+Bytes AuditRecord::encode() const {
+  Bytes out;
+  out.reserve(20 + component.size() + detail.size());
+  put_u64(out, seq);
+  put_u64(out, at);
+  out.push_back(static_cast<std::uint8_t>(kind));
+  out.push_back(static_cast<std::uint8_t>(errc));
+  put_u16(out, static_cast<std::uint16_t>(component.size()));
+  put_bytes(out, to_bytes(component));
+  put_u16(out, static_cast<std::uint16_t>(detail.size()));
+  put_bytes(out, to_bytes(detail));
+  return out;
+}
+
+Result<AuditRecord> AuditRecord::decode(BytesView wire, std::size_t* offset) {
+  AuditRecord rec;
+  if (!get_u64(wire, offset, &rec.seq)) return Errc::invalid_argument;
+  std::uint64_t at = 0;
+  if (!get_u64(wire, offset, &at)) return Errc::invalid_argument;
+  rec.at = at;
+  if (wire.size() - *offset < 2) return Errc::invalid_argument;
+  rec.kind = static_cast<AuditKind>(wire[*offset]);
+  rec.errc = static_cast<Errc>(wire[*offset + 1]);
+  *offset += 2;
+  if (!get_string(wire, offset, &rec.component)) return Errc::invalid_argument;
+  if (!get_string(wire, offset, &rec.detail)) return Errc::invalid_argument;
+  return rec;
+}
+
+Bytes AuditSeal::encode() const {
+  Bytes out;
+  out.reserve(24 + head.size());
+  put_u64(out, epoch);
+  put_u64(out, first_seq);
+  put_u64(out, last_seq);
+  put_bytes(out, crypto::digest_view(head));
+  return out;
+}
+
+Result<AuditSeal> AuditSeal::decode(BytesView wire) {
+  AuditSeal seal;
+  std::size_t offset = 0;
+  if (!get_u64(wire, &offset, &seal.epoch) ||
+      !get_u64(wire, &offset, &seal.first_seq) ||
+      !get_u64(wire, &offset, &seal.last_seq) ||
+      !get_digest(wire, &offset, &seal.head) || offset != wire.size())
+    return Errc::invalid_argument;
+  return seal;
+}
+
+Bytes AuditSegment::serialize() const {
+  Bytes out;
+  put_bytes(out, crypto::digest_view(prev_head));
+  put_u64(out, records.size());
+  for (const AuditRecord& rec : records) put_bytes(out, rec.encode());
+  const Bytes seal_wire = seal.encode();
+  put_u64(out, seal_wire.size());
+  put_bytes(out, seal_wire);
+  const Bytes quote_wire = quote.serialize();
+  put_u64(out, quote_wire.size());
+  put_bytes(out, quote_wire);
+  return out;
+}
+
+Result<AuditSegment> AuditSegment::deserialize(BytesView wire) {
+  AuditSegment seg;
+  std::size_t offset = 0;
+  if (!get_digest(wire, &offset, &seg.prev_head))
+    return Errc::invalid_argument;
+  std::uint64_t count = 0;
+  if (!get_u64(wire, &offset, &count)) return Errc::invalid_argument;
+  if (count > wire.size()) return Errc::invalid_argument;  // length bomb
+  seg.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto rec = AuditRecord::decode(wire, &offset);
+    if (!rec) return rec.error();
+    seg.records.push_back(*std::move(rec));
+  }
+  std::uint64_t seal_len = 0;
+  if (!get_u64(wire, &offset, &seal_len) || wire.size() - offset < seal_len)
+    return Errc::invalid_argument;
+  auto seal = AuditSeal::decode(wire.subspan(offset, seal_len));
+  if (!seal) return seal.error();
+  seg.seal = *seal;
+  offset += seal_len;
+  std::uint64_t quote_len = 0;
+  if (!get_u64(wire, &offset, &quote_len) || wire.size() - offset < quote_len)
+    return Errc::invalid_argument;
+  auto quote = substrate::Quote::deserialize(wire.subspan(offset, quote_len));
+  if (!quote) return quote.error();
+  seg.quote = *std::move(quote);
+  offset += quote_len;
+  if (offset != wire.size()) return Errc::invalid_argument;
+  return seg;
+}
+
+// --- Verification ---------------------------------------------------------
+
+Status verify_segment(const AuditSegment& segment,
+                      const AuditVerifyConfig& config) {
+  // 1. Authenticity: the quote chain must hold, name the expected code
+  // identity, and bind exactly this seal. Any failure here means the seal
+  // was forged, re-signed, or detached from the device — verification_failed,
+  // not tamper, because nothing trustworthy was ever established.
+  if (Status s = segment.quote.verify(config.vendor_root); !s)
+    return Errc::verification_failed;
+  if (config.expected_measurement &&
+      segment.quote.measurement != *config.expected_measurement)
+    return Errc::verification_failed;
+  if (segment.quote.user_data != segment.seal.encode())
+    return Errc::verification_failed;
+
+  // 2. Freshness: a validly sealed but older log is a replay.
+  if (config.min_epoch != 0 && segment.seal.epoch <= config.min_epoch)
+    return Errc::tamper_detected;
+
+  // 3. Integrity: the records must continue the verifier's chain densely and
+  // hash to exactly the sealed head. Every tamper primitive lands here —
+  // truncating the tail moves the recomputed head off the seal, dropping the
+  // front breaks expected_first_seq, reordering breaks seq density, and
+  // mutating any byte of any record breaks the chain recomputation.
+  if (segment.records.empty()) return Errc::tamper_detected;
+  if (segment.prev_head != config.expected_prev_head)
+    return Errc::tamper_detected;
+  if (segment.records.front().seq != config.expected_first_seq)
+    return Errc::tamper_detected;
+  crypto::Digest head = segment.prev_head;
+  for (std::size_t i = 0; i < segment.records.size(); ++i) {
+    const AuditRecord& rec = segment.records[i];
+    if (rec.seq != config.expected_first_seq + i) return Errc::tamper_detected;
+    head = crypto::Sha256::hash2(crypto::digest_view(head), rec.encode());
+  }
+  if (segment.seal.last_seq != segment.records.back().seq)
+    return Errc::tamper_detected;
+  if (segment.seal.first_seq > segment.seal.last_seq)
+    return Errc::tamper_detected;
+  if (head != segment.seal.head) return Errc::tamper_detected;
+  return Status::success();
+}
+
+// --- Device-side log ------------------------------------------------------
+
+std::uint64_t AuditLog::append(AuditKind kind, std::string_view component,
+                               Errc errc, std::string_view detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AuditRecord rec;
+  rec.seq = records_.size();
+  rec.at = machine_ ? machine_->now() : Cycles{0};
+  rec.kind = kind;
+  rec.errc = errc;
+  rec.component = std::string(component);
+  rec.detail = std::string(detail);
+  const crypto::Digest& prev = heads_.empty() ? kGenesis : heads_.back();
+  heads_.push_back(
+      crypto::Sha256::hash2(crypto::digest_view(prev), rec.encode()));
+  records_.push_back(std::move(rec));
+  return records_.back().seq;
+}
+
+std::size_t AuditLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<AuditRecord> AuditLog::records(std::uint64_t from_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from_seq >= records_.size()) return {};
+  return std::vector<AuditRecord>(
+      records_.begin() + static_cast<std::ptrdiff_t>(from_seq),
+      records_.end());
+}
+
+crypto::Digest AuditLog::head() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heads_.empty() ? kGenesis : heads_.back();
+}
+
+std::uint64_t AuditLog::next_epoch_locked() {
+  return machine_ ? machine_->nv_counter_increment() : ++local_epoch_;
+}
+
+Result<AuditSeal> AuditLog::seal_epoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sealed_through_ >= records_.size()) return Errc::would_block;
+  AuditSeal seal;
+  seal.epoch = next_epoch_locked();
+  seal.first_seq = sealed_through_;
+  seal.last_seq = records_.size() - 1;
+  seal.head = heads_.back();
+  sealed_through_ = records_.size();
+  seals_.push_back(seal);
+  return seal;
+}
+
+Result<AuditSegment> AuditLog::segment(
+    std::uint64_t from_seq, substrate::IsolationSubstrate& substrate,
+    substrate::DomainId domain) {
+  AuditSegment seg;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (records_.empty() || from_seq >= records_.size())
+      return records_.empty() || from_seq == records_.size()
+                 ? Errc::would_block
+                 : Errc::invalid_argument;
+    // Seal anything unsealed so the pulled range ends on a sealed head.
+    if (sealed_through_ < records_.size()) {
+      AuditSeal seal;
+      seal.epoch = next_epoch_locked();
+      seal.first_seq = sealed_through_;
+      seal.last_seq = records_.size() - 1;
+      seal.head = heads_.back();
+      sealed_through_ = records_.size();
+      seals_.push_back(seal);
+    }
+    seg.prev_head = from_seq == 0 ? kGenesis : heads_[from_seq - 1];
+    seg.records.assign(
+        records_.begin() + static_cast<std::ptrdiff_t>(from_seq),
+        records_.end());
+    seg.seal = seals_.back();
+  }
+  // Attest outside the lock: the quote costs simulated cycles and must not
+  // serialize against concurrent appends.
+  auto quote = substrate.attest(domain, seg.seal.encode());
+  if (!quote) return quote.error();
+  seg.quote = *std::move(quote);
+  return seg;
+}
+
+}  // namespace lateral::health

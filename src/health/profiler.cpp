@@ -1,0 +1,37 @@
+#include "health/profiler.h"
+
+#include <map>
+#include <sstream>
+
+namespace lateral::health {
+
+std::string CycleProfiler::collapsed_stacks() const {
+  // Aggregate (stack -> estimated cycles) across every ring, then emit in
+  // deterministic (sorted) order — the format flamegraph.pl expects.
+  std::map<std::string, std::uint64_t> stacks;
+  for (const RingRef& ref : rings()) {
+    std::string component =
+        ref.label.empty() ? "domain#" + std::to_string(ref.domain) : ref.label;
+    // A shard name "imap#2" becomes two frames ("imap;shard#2") so every
+    // shard of a hot component folds under one flame root.
+    std::string shard_frame;
+    if (const std::size_t hash = component.find('#');
+        hash != std::string::npos && hash > 0) {
+      shard_frame = "shard" + component.substr(hash);
+      component.resize(hash);
+    }
+    for (const ProfileSample& sample : ref.ring->snapshot()) {
+      std::string stack = component;
+      if (!shard_frame.empty()) stack += ";" + shard_frame;
+      stack += ";";
+      stack += profile_phase_name(sample.phase);
+      stacks[stack] += sample.cycles * config_.sample_every;
+    }
+  }
+  std::ostringstream out;
+  for (const auto& [stack, cycles] : stacks)
+    out << stack << " " << cycles << "\n";
+  return out.str();
+}
+
+}  // namespace lateral::health

@@ -1,0 +1,177 @@
+#include "health/slo.h"
+
+#include <utility>
+
+namespace lateral::health {
+namespace {
+
+/// Windowed delta between two counter snapshots (newer - older). Counters
+/// are monotonic, so field-wise subtraction is exact.
+struct Delta {
+  std::uint64_t offered = 0;  // submitted + rejected (denominator)
+  std::uint64_t errors = 0;   // rejected + timed_out + cancelled
+  std::uint64_t latency_count = 0;
+  std::array<std::uint64_t, 32> latency_histogram{};
+};
+
+Delta delta_between(const runtime::InvocationCounters& newer,
+                    const runtime::InvocationCounters& older) {
+  Delta d;
+  d.offered = (newer.submitted - older.submitted) +
+              (newer.rejected - older.rejected);
+  d.errors = (newer.rejected - older.rejected) +
+             (newer.timed_out - older.timed_out) +
+             (newer.cancelled - older.cancelled);
+  d.latency_count = newer.latency_count - older.latency_count;
+  for (std::size_t i = 0; i < d.latency_histogram.size(); ++i)
+    d.latency_histogram[i] =
+        newer.latency_histogram[i] - older.latency_histogram[i];
+  return d;
+}
+
+/// p99 over a delta histogram — same conservative bucket-upper-bound
+/// estimate as InvocationCounters::latency_percentile, but windowed.
+Cycles delta_p99(const Delta& d) {
+  if (d.latency_count == 0) return 0;
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      0.99 * static_cast<double>(d.latency_count - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < d.latency_histogram.size(); ++i) {
+    seen += d.latency_histogram[i];
+    if (seen > rank) return (Cycles{2} << i) - 1;
+  }
+  return 0;
+}
+
+std::uint64_t delta_error_permille(const Delta& d) {
+  return d.offered == 0 ? 0 : d.errors * 1000 / d.offered;
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(Config config) : config_(config) {
+  stats_ = config_.hub ? config_.hub->health(config_.label)
+                       : runtime::MetricsHub::HealthRef(&own_stats_);
+}
+
+void HealthMonitor::watch(std::string component, core::SloPolicy policy,
+                          std::string metrics_label) {
+  Watch watch;
+  watch.component = std::move(component);
+  watch.label = metrics_label.empty() ? watch.component
+                                      : std::move(metrics_label);
+  watch.policy = policy;
+  watches_.push_back(std::move(watch));
+}
+
+void HealthMonitor::watch_all(const core::Assembly& assembly) {
+  for (const core::Manifest& manifest : assembly.manifests())
+    if (manifest.slo) watch(manifest.name, *manifest.slo);
+}
+
+std::vector<HealthEvent> HealthMonitor::tick() {
+  std::vector<HealthEvent> events;
+  const Cycles now = config_.clock ? config_.clock->now() : Cycles{0};
+  for (Watch& watch : watches_) {
+    stats_->evaluations++;
+    evaluate(watch, now, events);
+  }
+  return events;
+}
+
+void HealthMonitor::evaluate(Watch& watch, Cycles now,
+                             std::vector<HealthEvent>& events) {
+  if (!config_.hub) return;
+  const core::SloPolicy& policy = watch.policy;
+  watch.history.push_back(
+      Checkpoint{now, config_.hub->counters(watch.label).snapshot()});
+
+  const Cycles long_window = policy.window_cycles * policy.burn_windows;
+  // Keep the newest checkpoint older than the long window and drop the
+  // rest: one baseline per window bound is all evaluation ever reads.
+  while (watch.history.size() >= 2 &&
+         now - watch.history[1].at >= long_window)
+    watch.history.pop_front();
+
+  // Baseline for a window = the newest checkpoint at least that old. While
+  // the window is still filling there is no verdict — a watchdog that
+  // alarms off a half-empty window would fire on every cold start.
+  const runtime::InvocationCounters* short_base = nullptr;
+  const runtime::InvocationCounters* long_base = nullptr;
+  for (const Checkpoint& cp : watch.history) {
+    if (now - cp.at >= long_window) long_base = &cp.counters;
+    if (now - cp.at >= policy.window_cycles) short_base = &cp.counters;
+  }
+  if (!short_base || !long_base) return;
+
+  const runtime::InvocationCounters& current = watch.history.back().counters;
+  const Delta short_delta = delta_between(current, *short_base);
+  const Delta long_delta = delta_between(current, *long_base);
+
+  bool breached = false;
+
+  if (policy.p99_cycles > 0) {
+    const Cycles short_p99 = delta_p99(short_delta);
+    const bool short_bad = short_p99 > policy.p99_cycles;
+    if (short_bad && watch.p99_onset == 0) watch.p99_onset = now;
+    if (!short_bad) watch.p99_onset = 0;
+    if (short_bad && delta_p99(long_delta) > policy.p99_cycles) {
+      stats_->p99_breaches++;
+      stats_->record_detection(now - watch.p99_onset);
+      events.push_back(HealthEvent{HealthEvent::Kind::p99_breach,
+                                   watch.component, now, short_p99,
+                                   policy.p99_cycles});
+      if (config_.audit)
+        config_.audit->append(AuditKind::slo_breach, watch.component,
+                              Errc::ok, "p99_breach");
+      breached = true;
+    }
+  }
+
+  if (policy.error_permille < 1000) {
+    const std::uint64_t short_rate = delta_error_permille(short_delta);
+    const bool short_bad = short_delta.offered > 0 &&
+                           short_rate > policy.error_permille;
+    if (short_bad && watch.error_onset == 0) watch.error_onset = now;
+    if (!short_bad) watch.error_onset = 0;
+    if (short_bad &&
+        delta_error_permille(long_delta) > policy.error_permille) {
+      stats_->error_breaches++;
+      stats_->record_detection(now - watch.error_onset);
+      events.push_back(HealthEvent{HealthEvent::Kind::error_rate_breach,
+                                   watch.component, now, short_rate,
+                                   policy.error_permille});
+      if (config_.audit)
+        config_.audit->append(AuditKind::slo_breach, watch.component,
+                              Errc::ok, "error_rate_breach");
+      breached = true;
+    }
+  }
+
+  if (breached && policy.restart && config_.assembly &&
+      now >= watch.cooled_until)
+    escalate(watch, now, events);
+}
+
+void HealthMonitor::escalate(Watch& watch, Cycles now,
+                             std::vector<HealthEvent>& events) {
+  // The kill is the entire escalation: the Supervisor's heartbeat detects
+  // the corpse and runs the component's own restart/backoff/re-attestation
+  // plan. Ignore the (already-dead etc.) status — the heartbeat owns truth.
+  (void)config_.assembly->kill_component(watch.component);
+  stats_->escalations++;
+  events.push_back(HealthEvent{HealthEvent::Kind::escalated, watch.component,
+                               now, 0, 0});
+  if (config_.audit)
+    config_.audit->append(AuditKind::escalation, watch.component,
+                          Errc::policy_violation, "slo_restart");
+  // The relaunched incarnation starts from a clean slate: stale history
+  // would re-confirm the old incarnation's breach and kill-loop it.
+  watch.history.clear();
+  watch.p99_onset = 0;
+  watch.error_onset = 0;
+  watch.cooled_until =
+      now + watch.policy.window_cycles * watch.policy.burn_windows;
+}
+
+}  // namespace lateral::health

@@ -1,0 +1,126 @@
+// SLO watchdogs (lateral::health, FIG16).
+//
+// The manifest's `slo { p99 N / error_rate R / window W }` stanza turns the
+// MetricsHub's passive counters into an *objective*: a HealthMonitor ticks
+// alongside the Supervisor, snapshots each watched component's
+// InvocationCounters, and evaluates windowed deltas — not lifetime
+// aggregates, which average incidents away — against the declared limits.
+//
+// Breaches are confirmed with the standard multi-window burn-rate rule:
+// both the short window (W) and the long window (W * burn_windows) must be
+// over the objective before an event fires. A transient spike burns the
+// short window only and stays quiet; a sustained regression trips both,
+// within roughly one short window of onset (the detection latency
+// bench_fig16 measures).
+//
+// A confirmed breach emits a typed HealthEvent, lands in the audit log, and
+// — when the stanza says `slo ... restart` — escalates into the recovery
+// machinery the component's `restart` stanza already owns: the monitor
+// kills the domain and the Supervisor's heartbeat/backoff/re-attestation
+// state machine takes it from there. The watchdog pulls triggers; it does
+// not grow its own restart logic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/composer.h"
+#include "core/manifest.h"
+#include "health/audit.h"
+#include "hw/machine.h"
+#include "runtime/metrics.h"
+#include "util/types.h"
+
+namespace lateral::health {
+
+/// One confirmed observation from a watchdog tick.
+struct HealthEvent {
+  enum class Kind : std::uint8_t {
+    p99_breach,         // tail latency over objective in both windows
+    error_rate_breach,  // error permille over objective in both windows
+    escalated,          // breach forwarded into the supervisor's machinery
+  };
+
+  Kind kind = Kind::p99_breach;
+  std::string component;
+  Cycles at = 0;        // machine clock when confirmed
+  std::uint64_t observed = 0;  // short-window p99 cycles / error permille
+  std::uint64_t limit = 0;     // the objective it broke
+};
+
+constexpr std::string_view health_event_name(HealthEvent::Kind k) {
+  switch (k) {
+    case HealthEvent::Kind::p99_breach: return "p99_breach";
+    case HealthEvent::Kind::error_rate_breach: return "error_rate_breach";
+    case HealthEvent::Kind::escalated: return "escalated";
+  }
+  return "unknown";
+}
+
+class HealthMonitor {
+ public:
+  struct Config {
+    /// Where the watched components publish their InvocationCounters.
+    runtime::MetricsHub* hub = nullptr;
+    /// Clock the windows are measured against (the assembly's machine).
+    const hw::Machine* clock = nullptr;
+    /// Escalation target: `slo ... restart` breaches call
+    /// assembly->kill_component() here. Null = observe-only.
+    core::Assembly* assembly = nullptr;
+    /// Confirmed breaches and escalations are appended here (optional).
+    AuditLog* audit = nullptr;
+    /// HealthStats label in the hub ("health" shows up in snapshots).
+    std::string label = "health";
+  };
+
+  explicit HealthMonitor(Config config);
+
+  /// Watch one component. `metrics_label` names its counter block in the
+  /// hub; empty = the component name (the composer's convention).
+  void watch(std::string component, core::SloPolicy policy,
+             std::string metrics_label = {});
+
+  /// Watch every component whose manifest carries an `slo` stanza.
+  void watch_all(const core::Assembly& assembly);
+
+  /// Evaluate every watch against the current counters; returns the events
+  /// confirmed this tick (possibly none). Call at supervisor-tick cadence.
+  std::vector<HealthEvent> tick();
+
+  std::size_t watched() const { return watches_.size(); }
+  runtime::HealthStats stats() const { return stats_.snapshot(); }
+
+ private:
+  struct Checkpoint {
+    Cycles at = 0;
+    runtime::InvocationCounters counters;
+  };
+
+  struct Watch {
+    std::string component;
+    std::string label;
+    core::SloPolicy policy;
+    std::deque<Checkpoint> history;
+    /// Machine clock when the short window first went over each objective
+    /// (0 = currently healthy); confirmed-breach detection latency is
+    /// `now - onset`, the FIG16 metric.
+    Cycles p99_onset = 0;
+    Cycles error_onset = 0;
+    /// No re-escalation before this clock: the restarted incarnation gets a
+    /// full long window to prove itself.
+    Cycles cooled_until = 0;
+  };
+
+  void evaluate(Watch& watch, Cycles now, std::vector<HealthEvent>& events);
+  void escalate(Watch& watch, Cycles now, std::vector<HealthEvent>& events);
+
+  Config config_;
+  std::vector<Watch> watches_;
+  runtime::MetricsHub::HealthSlot own_stats_;  // fallback when no hub
+  runtime::MetricsHub::HealthRef stats_;
+};
+
+}  // namespace lateral::health

@@ -62,6 +62,14 @@ struct CostModel {
   // event, so tracing amortizes with batching exactly like the crossing.
   Cycles trace_stamp = 4;                // recorder stamp per crossing
 
+  // --- Health plane (lateral::health) ---
+  // A *sampled* crossing (1 in sample_every) attributes its cycle charge to
+  // (domain, phase, shard) in the profiler's ring: a counter tick plus two
+  // stores. Unsampled crossings pay nothing — the sampling decision itself
+  // is ordinary instruction flow, already inside the crossing constants —
+  // and a disabled profiler is conformance-pinned to exactly zero.
+  Cycles profile_stamp = 6;              // profiler ring store per sample
+
   // --- Software crypto (used when a substrate lacks an engine) ---
   Cycles sw_aes_per_16_bytes = 160;
   Cycles sw_sha_per_64_bytes = 600;

@@ -18,11 +18,18 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/types.h"
 
 namespace lateral::runtime {
+
+/// One stats block flattened to (snake_case name, value) pairs — the single
+/// registration point every exporter renders from. Each *Stats struct
+/// exposes `fields()` returning this; adding a counter there is all it
+/// takes to appear in text snapshots and dump_observability.
+using MetricFields = std::vector<std::pair<std::string, std::uint64_t>>;
 
 struct InvocationCounters {
   // --- Invocation lifecycle (lossless accounting) ---
@@ -123,6 +130,24 @@ struct InvocationCounters {
     }
     return latency_total_cycles;  // unreachable with consistent counters
   }
+
+  MetricFields fields() const {
+    return {{"submitted", submitted},
+            {"completed", completed},
+            {"rejected", rejected},
+            {"cancelled", cancelled},
+            {"timed_out", timed_out},
+            {"in_flight", in_flight()},
+            {"batches", batches},
+            {"queue_depth_hwm", queue_depth_hwm},
+            {"doorbells", doorbells},
+            {"adaptive_depth", adaptive_depth},
+            {"crossing_cycles", crossing_cycles},
+            {"cycles_saved", cycles_saved()},
+            {"zero_copy_bytes", zero_copy_bytes},
+            {"mean_latency_cycles", mean_latency_cycles()},
+            {"p99_latency_cycles", latency_percentile(0.99)}};
+  }
 };
 
 /// Crash-recovery observability (lateral::supervisor). Same philosophy as
@@ -158,6 +183,16 @@ struct RecoveryStats {
   Cycles mean_mttr_cycles() const {
     return restarts == 0 ? 0 : mttr_total_cycles / restarts;
   }
+
+  MetricFields fields() const {
+    return {{"kills_detected", kills_detected},
+            {"restarts", restarts},
+            {"restart_failures", restart_failures},
+            {"escalations", escalations},
+            {"update_reverts", update_reverts},
+            {"probe_cycles", probe_cycles},
+            {"mean_mttr_cycles", mean_mttr_cycles()}};
+  }
 };
 
 /// Fleet connectivity observability (lateral::fleet). The full/resumed
@@ -175,6 +210,20 @@ struct FleetStats {
   std::uint64_t admission_shed = 0;      // requests refused by the token bucket
   std::uint64_t verify_cache_hits = 0;   // quote verifications skipped
   std::uint64_t verify_cache_misses = 0; // full verifications performed
+  std::uint64_t scrapes = 0;             // metrics snapshots served (sealed)
+  std::uint64_t audit_pulls = 0;         // audit segments served (sealed)
+
+  MetricFields fields() const {
+    return {{"handshakes_full", handshakes_full},
+            {"handshakes_resumed", handshakes_resumed},
+            {"tickets_issued", tickets_issued},
+            {"tickets_rejected", tickets_rejected},
+            {"admission_shed", admission_shed},
+            {"verify_cache_hits", verify_cache_hits},
+            {"verify_cache_misses", verify_cache_misses},
+            {"scrapes", scrapes},
+            {"audit_pulls", audit_pulls}};
+  }
 };
 
 /// Over-the-air update observability (lateral::update). Every accepted
@@ -227,6 +276,19 @@ struct UpdateStats {
   Cycles mean_revert_cycles() const {
     return reverted == 0 ? 0 : revert_total_cycles / reverted;
   }
+
+  MetricFields fields() const {
+    return {{"staged", staged},
+            {"verified", verified},
+            {"committed", committed},
+            {"reverted", reverted},
+            {"signature_refused", signature_refused},
+            {"rollback_refused", rollback_refused},
+            {"image_refused", image_refused},
+            {"bytes_streamed", bytes_streamed},
+            {"mean_update_cycles", mean_update_cycles()},
+            {"mean_revert_cycles", mean_revert_cycles()}};
+  }
 };
 
 /// Multi-core scheduling observability (FIG13). Published per label by the
@@ -245,6 +307,51 @@ struct SchedStats {
   Cycles serial_stall_cycles = 0;       // cycles spent in those queues
   /// Current run-queue depth per core (a gauge: last published value).
   std::vector<std::uint64_t> run_queue_depth;
+
+  MetricFields fields() const {
+    MetricFields out{{"steals", steals},
+                     {"migrations", migrations},
+                     {"ipi_kicks", ipi_kicks},
+                     {"contention_events", contention_events},
+                     {"serial_stalls", serial_stalls},
+                     {"serial_stall_cycles", serial_stall_cycles}};
+    for (std::size_t core = 0; core < run_queue_depth.size(); ++core)
+      out.emplace_back("run_queue_depth_core" + std::to_string(core),
+                       run_queue_depth[core]);
+    return out;
+  }
+};
+
+/// Health-plane observability (lateral::health, FIG16). Every watchdog
+/// tick bumps evaluations; a confirmed multi-window breach lands in exactly
+/// one of p99_breaches / error_breaches, and escalations counts the ones
+/// that crossed into the supervisor's restart machinery. Detection latency
+/// (first bad sample -> confirmed breach, simulated cycles) is recorded per
+/// breach so bench_fig16 can tabulate it like MTTR.
+struct HealthStats {
+  std::uint64_t evaluations = 0;     // watchdog ticks that checked anyone
+  std::uint64_t p99_breaches = 0;    // confirmed tail-latency breaches
+  std::uint64_t error_breaches = 0;  // confirmed error-rate breaches
+  std::uint64_t escalations = 0;     // breaches escalated to a restart
+  Cycles detect_total_cycles = 0;    // sum over breaches (onset -> confirm)
+  std::uint64_t detect_count = 0;
+
+  void record_detection(Cycles onset_to_confirm) {
+    detect_total_cycles += onset_to_confirm;
+    ++detect_count;
+  }
+
+  Cycles mean_detect_cycles() const {
+    return detect_count == 0 ? 0 : detect_total_cycles / detect_count;
+  }
+
+  MetricFields fields() const {
+    return {{"evaluations", evaluations},
+            {"p99_breaches", p99_breaches},
+            {"error_breaches", error_breaches},
+            {"escalations", escalations},
+            {"mean_detect_cycles", mean_detect_cycles()}};
+  }
 };
 
 /// Aggregates counters per domain label ("mail.ui->imap", "fig9.sgx", ...).
@@ -392,6 +499,24 @@ class MetricsHub {
     return out;
   }
 
+  using HealthSlot = Slot<HealthStats>;
+  using HealthRef = Ref<HealthStats>;
+
+  HealthRef health(const std::string& label) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return HealthRef(&health_[label]);
+  }
+
+  std::map<std::string, HealthStats> all_health() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, HealthStats> out;
+    for (const auto& [label, slot] : health_) {
+      std::lock_guard<std::mutex> slot_lock(slot.mu);
+      out.emplace(label, slot.value);
+    }
+    return out;
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, CounterSlot> counters_;
@@ -399,6 +524,7 @@ class MetricsHub {
   std::map<std::string, FleetSlot> fleet_;
   std::map<std::string, UpdateSlot> update_;
   std::map<std::string, SchedSlot> sched_;
+  std::map<std::string, HealthSlot> health_;
 };
 
 }  // namespace lateral::runtime

@@ -353,8 +353,18 @@ Status IsolationSubstrate::send(DomainId actor, ChannelId channel,
     return Errc::invalid_argument;
 
   note_channel_touch(channel);
-  charge_crossing(message_cost(data.size()));
+  const bool profiled = profiling_active() && profiler_->should_sample();
+  const Cycles cost = message_cost(data.size()) +
+                      (profiled ? machine_.costs().profile_stamp : Cycles{0});
+  charge_crossing(cost);
   const bool from_a = (actor == chan->a);
+  if (profiled) {
+    // Attribute the enqueue to the destination: that is whose inbound load
+    // the flamegraph should show.
+    const DomainId peer = from_a ? chan->b : chan->a;
+    profiler_->sample(this, peer, find_domain(peer)->spec.name,
+                      health::ProfilePhase::send, cost, machine_.now());
+  }
   Message msg;
   msg.badge = from_a ? chan->badge_a : chan->badge_b;
   msg.data = std::move(data);
@@ -377,7 +387,13 @@ Result<Message> IsolationSubstrate::receive(DomainId actor, ChannelId channel) {
   Message msg = std::move(queue.front());
   queue.pop_front();  // O(1) on the deque; erase() on a vector was O(n)
   note_channel_touch(channel);
-  charge_crossing(message_cost(msg.data.size()));
+  const bool profiled = profiling_active() && profiler_->should_sample();
+  const Cycles cost = message_cost(msg.data.size()) +
+                      (profiled ? machine_.costs().profile_stamp : Cycles{0});
+  charge_crossing(cost);
+  if (profiled)
+    profiler_->sample(this, actor, find_domain(actor)->spec.name,
+                      health::ProfilePhase::receive, cost, machine_.now());
   return msg;
 }
 
@@ -400,11 +416,27 @@ Result<Bytes> IsolationSubstrate::call(DomainId actor, ChannelId channel,
   const bool traced = tracing_active() && ctx.sampled();
   const Cycles trace_cost = traced ? trace_crossing_cost() : Cycles{0};
 
+  // One sampling decision covers both directions of this crossing, so a
+  // sampled call records exactly one request/reply pair.
+  const bool profiled = profiling_active() && profiler_->should_sample();
+  const Cycles profile_cost =
+      profiled ? machine_.costs().profile_stamp : Cycles{0};
+  // The handler may destroy the callee; keep the label for the reply sample.
+  const std::string profile_label =
+      profiled ? callee_record->spec.name : std::string();
+
   // Request transfer: a traced crossing additionally carries the 16-byte
   // context. The reply carries nothing extra (the caller correlates by
-  // span id), so only the request direction pays trace_cost.
+  // span id), so only the request direction pays trace_cost (and a sampled
+  // one the profiler's ring store).
   note_channel_touch(channel);
-  charge_crossing(message_cost(data.size()) + trace_cost);
+  const Cycles request_cost = message_cost(data.size()) + trace_cost +
+                              profile_cost;
+  charge_crossing(request_cost);
+  if (profiled)
+    profiler_->sample(this, callee, profile_label,
+                      health::ProfilePhase::request, request_cost,
+                      machine_.now());
   Invocation invocation;
   invocation.channel = channel;
   invocation.badge = (actor == chan->a) ? chan->badge_a : chan->badge_b;
@@ -425,7 +457,13 @@ Result<Bytes> IsolationSubstrate::call(DomainId actor, ChannelId channel,
   } else {
     reply = callee_record->handler(invocation);
   }
-  charge_crossing(message_cost(reply.ok() ? reply.value().size() : 0));
+  const Cycles reply_cost =
+      message_cost(reply.ok() ? reply.value().size() : 0);
+  charge_crossing(reply_cost);
+  if (profiled)
+    profiler_->sample(this, callee, profile_label,
+                      health::ProfilePhase::reply, reply_cost,
+                      machine_.now());
   return reply;
 }
 
@@ -458,16 +496,28 @@ Result<BatchReply> IsolationSubstrate::call_batch(
   const bool traced = tracing_active() && ctx.sampled();
   const Cycles trace_cost = traced ? trace_crossing_cost() : Cycles{0};
 
+  // A batch is one crossing, so it makes one sampling decision — which is
+  // exactly why profiling (like tracing) amortizes with batching.
+  const bool profiled = profiling_active() && profiler_->should_sample();
+  const Cycles profile_cost =
+      profiled ? machine_.costs().profile_stamp : Cycles{0};
+  const std::string profile_label =
+      profiled ? callee_record->spec.name : std::string();
+
   // Request direction: one fixed boundary crossing, then per-byte copy
   // cost for every queued request. message_cost(0) is exactly the fixed
   // part of a substrate's message cost, so the marginal cost of the 2nd..
   // Nth request is copy-only.
   const Cycles fixed = message_cost(0);
-  Cycles crossing = fixed + trace_cost;
+  Cycles crossing = fixed + trace_cost + profile_cost;
   for (const Bytes& request : requests)
     crossing += message_cost(request.size()) - fixed;
   note_channel_touch(channel);
   charge_crossing(crossing);
+  if (profiled)
+    profiler_->sample(this, callee, profile_label,
+                      health::ProfilePhase::request, crossing,
+                      machine_.now());
 
   const std::uint64_t badge =
       (actor == chan->a) ? chan->badge_a : chan->badge_b;
@@ -499,6 +549,10 @@ Result<BatchReply> IsolationSubstrate::call_batch(
   for (const Result<Bytes>& reply : out.replies)
     reply_crossing += message_cost(reply.ok() ? reply->size() : 0) - fixed;
   charge_crossing(reply_crossing);
+  if (profiled)
+    profiler_->sample(this, callee, profile_label,
+                      health::ProfilePhase::reply, reply_crossing,
+                      machine_.now());
   out.crossing_cycles = crossing + reply_crossing;
   return out;
 }
@@ -537,10 +591,21 @@ Result<Bytes> IsolationSubstrate::call_sg(
   const bool traced = tracing_active() && ctx.sampled();
   const Cycles trace_cost = traced ? trace_crossing_cost() : Cycles{0};
 
+  const bool profiled = profiling_active() && profiler_->should_sample();
+  const Cycles profile_cost =
+      profiled ? machine_.costs().profile_stamp : Cycles{0};
+  const std::string profile_label =
+      profiled ? callee_record->spec.name : std::string();
+
   // The crossing carries the header plus 16 bytes per descriptor — never
   // the payload. This is the whole economics of the plane.
   note_channel_touch(channel);
-  charge_crossing(message_cost(wire) + trace_cost);
+  const Cycles request_cost = message_cost(wire) + trace_cost + profile_cost;
+  charge_crossing(request_cost);
+  if (profiled)
+    profiler_->sample(this, callee, profile_label,
+                      health::ProfilePhase::request, request_cost,
+                      machine_.now());
   Invocation invocation;
   invocation.channel = channel;
   invocation.badge = (actor == chan->a) ? chan->badge_a : chan->badge_b;
@@ -561,7 +626,13 @@ Result<Bytes> IsolationSubstrate::call_sg(
   } else {
     reply = callee_record->handler(invocation);
   }
-  charge_crossing(message_cost(reply.ok() ? reply.value().size() : 0));
+  const Cycles reply_cost =
+      message_cost(reply.ok() ? reply.value().size() : 0);
+  charge_crossing(reply_cost);
+  if (profiled)
+    profiler_->sample(this, callee, profile_label,
+                      health::ProfilePhase::reply, reply_cost,
+                      machine_.now());
   return reply;
 }
 
@@ -611,10 +682,16 @@ Result<BatchReply> IsolationSubstrate::call_batch_sg(
   const bool traced = tracing_active() && ctx.sampled();
   const Cycles trace_cost = traced ? trace_crossing_cost() : Cycles{0};
 
+  const bool profiled = profiling_active() && profiler_->should_sample();
+  const Cycles profile_cost =
+      profiled ? machine_.costs().profile_stamp : Cycles{0};
+  const std::string profile_label =
+      profiled ? callee_record->spec.name : std::string();
+
   // One fixed crossing per direction for the whole batch; each request's
   // marginal wire cost is its header + descriptors, O(1) in payload bytes.
   const Cycles fixed = message_cost(0);
-  Cycles crossing = fixed + trace_cost;
+  Cycles crossing = fixed + trace_cost + profile_cost;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     if (veto[i] != Errc::ok) continue;
     crossing += message_cost(requests[i].header.size() +
@@ -624,6 +701,10 @@ Result<BatchReply> IsolationSubstrate::call_batch_sg(
   }
   note_channel_touch(channel);
   charge_crossing(crossing);
+  if (profiled)
+    profiler_->sample(this, callee, profile_label,
+                      health::ProfilePhase::request, crossing,
+                      machine_.now());
 
   const std::uint64_t badge =
       (actor == chan->a) ? chan->badge_a : chan->badge_b;
@@ -660,6 +741,10 @@ Result<BatchReply> IsolationSubstrate::call_batch_sg(
   for (const Result<Bytes>& reply : out.replies)
     reply_crossing += message_cost(reply.ok() ? reply->size() : 0) - fixed;
   charge_crossing(reply_crossing);
+  if (profiled)
+    profiler_->sample(this, callee, profile_label,
+                      health::ProfilePhase::reply, reply_crossing,
+                      machine_.now());
   out.crossing_cycles = crossing + reply_crossing;
   return out;
 }

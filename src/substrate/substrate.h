@@ -23,6 +23,7 @@
 
 #include "crypto/aes.h"
 #include "crypto/rsa.h"
+#include "health/profiler.h"
 #include "hw/machine.h"
 #include "substrate/isolation.h"
 #include "substrate/quote.h"
@@ -111,6 +112,19 @@ class IsolationSubstrate {
   void stamp_span(DomainId domain, const trace::TraceContext& ctx,
                   std::uint32_t span_id, trace::SpanPhase phase,
                   BytesView data, std::uint64_t size);
+
+  // --- Cycle profiling (lateral::health) ----------------------------------
+  /// Attach a sampling cycle-profiler: every crossing makes one sampling
+  /// decision (1 in sample_every) and, when sampled, attributes its cycle
+  /// charge to the *callee* domain per crossing phase. Like the tracer, the
+  /// profiler owns the rings, so a profile survives kill_domain. Pass
+  /// nullptr to detach. A sampled crossing is charged
+  /// CostModel::profile_stamp, folded into the request-direction crossing
+  /// charge like the trace stamp; disabled costs exactly zero cycles
+  /// (conformance-pinned, bench_fig16's zero-when-off column).
+  void set_profiler(health::CycleProfiler* profiler) { profiler_ = profiler; }
+  health::CycleProfiler* profiler() const { return profiler_; }
+  bool profiling_active() const { return profiler_ && profiler_->enabled(); }
 
   // --- Fault injection (experiment hook) ---------------------------------
   /// Consulted at every synchronous delivery (call / call_batch) with the
@@ -419,6 +433,7 @@ class IsolationSubstrate {
   std::uint64_t seal_nonce_ = 1;
   FaultHook fault_hook_;
   trace::Tracer* tracer_ = nullptr;
+  health::CycleProfiler* profiler_ = nullptr;
   /// Cycle stamp at which the shared serialization point frees (the gate a
   /// serialized crossing's core must stall to before holding it).
   Cycles serial_free_ = 0;

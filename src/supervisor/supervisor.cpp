@@ -189,6 +189,10 @@ void Supervisor::escalate(Watch& watch, TickReport& report) {
   if (watch.state == Health::halted) halted_ = true;
   ++stats_->escalations;
   ++report.escalations;
+  if (config_.audit)
+    config_.audit->append(health::AuditKind::escalation, watch.name,
+                          Errc::exhausted,
+                          std::string(health_name(watch.state)));
 }
 
 void Supervisor::attempt_restart(Watch& watch, TickReport& report) {
@@ -219,6 +223,9 @@ void Supervisor::attempt_restart(Watch& watch, TickReport& report) {
     // Came back with the wrong identity: treat as still down. The corpse
     // is gone, but the heartbeat now points at the impostor; kill it so
     // the next attempt starts from a clean death.
+    if (config_.audit)
+      config_.audit->append(health::AuditKind::attestation_failed, watch.name,
+                            s.error(), "relaunch");
     (void)assembly_.kill_component(watch.ref);
     fail();
     return;

@@ -41,6 +41,7 @@
 
 #include "core/attestation.h"
 #include "core/composer.h"
+#include "health/audit.h"
 #include "runtime/metrics.h"
 #include "substrate/substrate.h"
 #include "trace/trace.h"
@@ -96,6 +97,11 @@ struct SupervisorConfig {
   /// component is declared running (the verifier needs the substrate's
   /// endorsement root among its trusted roots).
   core::AttestationVerifier* verifier = nullptr;
+  /// Optional tamper-evident audit sink: a relaunch that fails attestation
+  /// and a budget-exhausted escalation are security-relevant events, and an
+  /// operator reading the sealed log should see them even if the supervisor
+  /// (or the host around it) is later compromised.
+  health::AuditLog* audit = nullptr;
 };
 
 class Supervisor {

@@ -70,7 +70,32 @@ void append_counters_json(std::ostringstream& out,
       << ",\"latency_p99\":" << c.latency_percentile(0.99) << "}";
 }
 
+void render_family(std::ostream& out, const std::string& label,
+                   std::string_view family,
+                   const runtime::MetricFields& fields) {
+  out << "-- " << label;
+  if (!family.empty()) out << " (" << family << ")";
+  out << ":";
+  for (const auto& [name, value] : fields) out << " " << name << "=" << value;
+  out << "\n";
+}
+
 }  // namespace
+
+void render_metrics_text(std::ostream& out, const runtime::MetricsHub& hub) {
+  for (const auto& [label, c] : hub.all())
+    render_family(out, label, {}, c.fields());
+  for (const auto& [label, r] : hub.all_recovery())
+    render_family(out, label, "recovery", r.fields());
+  for (const auto& [label, f] : hub.all_fleet())
+    render_family(out, label, "fleet", f.fields());
+  for (const auto& [label, u] : hub.all_update())
+    render_family(out, label, "update", u.fields());
+  for (const auto& [label, s] : hub.all_sched())
+    render_family(out, label, "sched", s.fields());
+  for (const auto& [label, h] : hub.all_health())
+    render_family(out, label, "health", h.fields());
+}
 
 Result<std::string> TraceExporter::chrome_trace_json(
     const ExportOptions& opts) const {
@@ -97,6 +122,9 @@ Result<std::string> TraceExporter::chrome_trace_json(
         // A payload-bearing ring the observer may not see: refuse the whole
         // export rather than silently thinning it — the caller asked for
         // this observer's view, and this observer has none.
+        if (audit_)
+          audit_->append(health::AuditKind::redaction_denied, opts.observer,
+                         Errc::redaction_denied, dump.label);
         return Errc::redaction_denied;
       }
       // invalid_argument: the ring is not a composed component (bench/test
@@ -189,57 +217,7 @@ std::string TraceExporter::text_snapshot() const {
       out << "\n";
     }
   }
-  if (hub_) {
-    for (const auto& [label, c] : hub_->all()) {
-      out << "-- " << label << ": submitted=" << c.submitted
-          << " completed=" << c.completed << " rejected=" << c.rejected
-          << " cancelled=" << c.cancelled << " timed_out=" << c.timed_out
-          << " batches=" << c.batches
-          << " crossing_cycles=" << c.crossing_cycles
-          << " cycles_saved=" << c.cycles_saved()
-          << " zero_copy_bytes=" << c.zero_copy_bytes
-          << " latency_p50=" << c.latency_percentile(0.5)
-          << " latency_p99=" << c.latency_percentile(0.99) << "\n";
-    }
-    for (const auto& [label, r] : hub_->all_recovery()) {
-      out << "-- " << label << " (recovery): detected=" << r.kills_detected
-          << " restarts=" << r.restarts << " failures=" << r.restart_failures
-          << " escalations=" << r.escalations
-          << " update_reverts=" << r.update_reverts
-          << " mean_mttr=" << r.mean_mttr_cycles() << "\n";
-    }
-    for (const auto& [label, f] : hub_->all_fleet()) {
-      out << "-- " << label
-          << " (fleet): handshakes_full=" << f.handshakes_full
-          << " handshakes_resumed=" << f.handshakes_resumed
-          << " tickets_issued=" << f.tickets_issued
-          << " tickets_rejected=" << f.tickets_rejected
-          << " admission_shed=" << f.admission_shed
-          << " verify_cache_hits=" << f.verify_cache_hits
-          << " verify_cache_misses=" << f.verify_cache_misses << "\n";
-    }
-    for (const auto& [label, u] : hub_->all_update()) {
-      out << "-- " << label << " (update): staged=" << u.staged
-          << " committed=" << u.committed << " reverted=" << u.reverted
-          << " signature_refused=" << u.signature_refused
-          << " rollback_refused=" << u.rollback_refused
-          << " image_refused=" << u.image_refused
-          << " bytes_streamed=" << u.bytes_streamed
-          << " mean_update=" << u.mean_update_cycles()
-          << " mean_revert=" << u.mean_revert_cycles() << "\n";
-    }
-    for (const auto& [label, s] : hub_->all_sched()) {
-      out << "-- " << label << " (sched): steals=" << s.steals
-          << " migrations=" << s.migrations << " ipi_kicks=" << s.ipi_kicks
-          << " contention_events=" << s.contention_events
-          << " serial_stalls=" << s.serial_stalls
-          << " serial_stall_cycles=" << s.serial_stall_cycles
-          << " run_queue_depth=[";
-      for (std::size_t i = 0; i < s.run_queue_depth.size(); ++i)
-        out << (i ? " " : "") << "core" << i << ":" << s.run_queue_depth[i];
-      out << "]\n";
-    }
-  }
+  if (hub_) render_metrics_text(out, *hub_);
   return out.str();
 }
 
@@ -263,23 +241,9 @@ std::string Assembly::dump_observability(const trace::Tracer* tracer,
     trace::TraceExporter exporter(*tracer, hub);
     out << exporter.text_snapshot();
   } else if (hub) {
-    // No tracer attached: still report the counters.
-    for (const auto& [label, c] : hub->all())
-      out << "-- " << label << ": submitted=" << c.submitted
-          << " completed=" << c.completed
-          << " crossing_cycles=" << c.crossing_cycles << "\n";
-    for (const auto& [label, r] : hub->all_recovery())
-      out << "-- " << label << " (recovery): restarts=" << r.restarts
-          << " escalations=" << r.escalations
-          << " update_reverts=" << r.update_reverts << "\n";
-    for (const auto& [label, u] : hub->all_update())
-      out << "-- " << label << " (update): staged=" << u.staged
-          << " committed=" << u.committed << " reverted=" << u.reverted
-          << " rollback_refused=" << u.rollback_refused << "\n";
-    for (const auto& [label, s] : hub->all_sched())
-      out << "-- " << label << " (sched): steals=" << s.steals
-          << " migrations=" << s.migrations
-          << " serial_stalls=" << s.serial_stalls << "\n";
+    // No tracer attached: still report the counters, through the same
+    // renderer the exporter uses (one registration point per stats family).
+    trace::render_metrics_text(out, *hub);
   }
   return out.str();
 }

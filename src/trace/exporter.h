@@ -21,16 +21,26 @@
 // degraded export, it is a policy violation.
 #pragma once
 
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/manifest.h"
+#include "health/audit.h"
 #include "runtime/metrics.h"
 #include "trace/trace.h"
 #include "util/result.h"
 #include "util/types.h"
 
 namespace lateral::trace {
+
+/// Render every family in a MetricsHub as `-- label (family): k=v ...`
+/// lines (invocation counters omit the family tag), with the field names
+/// and order each *Stats struct declares in fields(). This is THE text
+/// renderer: TraceExporter::text_snapshot and Assembly::dump_observability
+/// both call it, so a new stats family registers once — in fields() — and
+/// appears everywhere.
+void render_metrics_text(std::ostream& out, const runtime::MetricsHub& hub);
 
 struct ExportOptions {
   /// Component receiving the export. Empty = anonymous observer: the export
@@ -61,9 +71,15 @@ class TraceExporter {
   /// Always fully redacted (no payload bytes) — safe for logs.
   std::string text_snapshot() const;
 
+  /// Audit sink: a refused export (redaction_denied) is a security-relevant
+  /// event — the observer asked for payload spans the trust graph does not
+  /// authorize — and lands in the log as evidence, not just an Errc.
+  void set_audit(health::AuditLog* audit) { audit_ = audit; }
+
  private:
   const Tracer& tracer_;
   const runtime::MetricsHub* hub_;
+  health::AuditLog* audit_ = nullptr;
 };
 
 }  // namespace lateral::trace

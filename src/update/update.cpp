@@ -232,12 +232,19 @@ Status UpdateOrchestrator::stage(const UpdateManifest& manifest,
   // 1. Signature, before anything else touches the payload.
   if (const Status s = verify_manifest(manifest, vendor_key_); !s.ok()) {
     ++stats_->signature_refused;
+    if (config_.audit)
+      config_.audit->append(health::AuditKind::update_refused,
+                            manifest.component, s.error(), "signature");
     return s;
   }
   // A signed manifest whose measurement does not match its own image hash
   // can never attest after the swap; refuse it as malformed.
   if (manifest.new_measurement != manifest.image_hash) {
     ++stats_->image_refused;
+    if (config_.audit)
+      config_.audit->append(health::AuditKind::update_refused,
+                            manifest.component, Errc::invalid_argument,
+                            "measurement/image mismatch");
     return Errc::invalid_argument;
   }
 
@@ -250,6 +257,11 @@ Status UpdateOrchestrator::stage(const UpdateManifest& manifest,
   if (!current) return current.error();
   if (manifest.version <= *current) {
     ++stats_->rollback_refused;
+    if (config_.audit)
+      config_.audit->append(health::AuditKind::rollback_refused,
+                            manifest.component, Errc::rollback_refused,
+                            "version " + std::to_string(manifest.version) +
+                                " <= nv " + std::to_string(*current));
     return Errc::rollback_refused;
   }
 
@@ -286,6 +298,10 @@ Status UpdateOrchestrator::stage(const UpdateManifest& manifest,
       bank.staged_image().size() != manifest.image_size) {
     bank.abort_staging();
     ++stats_->image_refused;
+    if (config_.audit)
+      config_.audit->append(health::AuditKind::update_refused,
+                            manifest.component, Errc::tamper_detected,
+                            "staged bytes != signed hash");
     return Errc::tamper_detected;
   }
   if (const Status s = bank.finish_staging(); !s.ok()) return s;

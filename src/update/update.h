@@ -206,6 +206,10 @@ struct UpdateOrchestratorConfig {
   /// Bound on the supervisor-driving loop at commit (ticks + backoff
   /// advances before the swap restart is declared failed).
   std::uint32_t restart_spins = 64;
+  /// Optional tamper-evident audit sink: refused updates (bad signature,
+  /// image mismatch, rollback attempt) are exactly the events a post-
+  /// compromise investigation needs sealed evidence of.
+  health::AuditLog* audit = nullptr;
 };
 
 /// Drives the update state machine for every updatable component of one

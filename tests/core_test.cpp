@@ -152,6 +152,99 @@ TEST(ManifestParser, RejectsMalformedRestartStanza) {
                    .ok());  // one stanza per component
 }
 
+TEST(ManifestParser, ParsesSloStanza) {
+  auto manifests = parse_manifests(
+      "component svc {\n"
+      "  restart {\n"
+      "  }\n"
+      "  slo {\n"
+      "    p99 5000\n"
+      "    error_rate 50\n"
+      "    window 10000\n"
+      "    burn_windows 4\n"
+      "    restart\n"
+      "  }\n"
+      "}\n");
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_TRUE((*manifests)[0].slo.has_value());
+  EXPECT_EQ((*manifests)[0].slo->p99_cycles, 5000u);
+  EXPECT_EQ((*manifests)[0].slo->error_permille, 50u);
+  EXPECT_EQ((*manifests)[0].slo->window_cycles, 10'000u);
+  EXPECT_EQ((*manifests)[0].slo->burn_windows, 4u);
+  EXPECT_TRUE((*manifests)[0].slo->restart);
+}
+
+TEST(ManifestParser, EmptySloStanzaMeansDefaultsAndAbsenceMeansUnwatched) {
+  auto manifests = parse_manifests("component x {\n  slo {\n  }\n}\n");
+  ASSERT_TRUE(manifests.ok());
+  ASSERT_TRUE((*manifests)[0].slo.has_value());
+  EXPECT_EQ(*(*manifests)[0].slo, SloPolicy{});
+  auto plain = parse_manifests("component y {\n}\n");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE((*plain)[0].slo.has_value());
+}
+
+TEST(ManifestParser, SloStanzaRoundTrips) {
+  auto original = parse_manifests(
+      "component svc {\n  restart {\n  }\n  slo {\n    p99 777\n"
+      "    error_rate 10\n    window 4096\n    burn_windows 6\n"
+      "    restart\n  }\n}\n");
+  ASSERT_TRUE(original.ok());
+  auto reparsed = parse_manifests(to_text(*original));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ((*reparsed)[0].slo, (*original)[0].slo);
+}
+
+TEST(ManifestParser, RejectsMalformedSloStanza) {
+  EXPECT_FALSE(parse_manifests("component x {\n slo {\n").ok());
+  EXPECT_FALSE(parse_manifests("component x {\n slo\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n slo {\n bogus 1\n}\n}\n").ok());
+  // error_rate is permille of offered load: 1001 cannot be an objective.
+  EXPECT_FALSE(
+      parse_manifests("component x {\n slo {\n error_rate 1001\n}\n}\n").ok());
+  // `restart` inside slo is a bare flag, not a key-value.
+  EXPECT_FALSE(
+      parse_manifests("component x {\n slo {\n restart now\n}\n}\n").ok());
+  EXPECT_FALSE(
+      parse_manifests("component x {\n slo {\n}\n slo {\n}\n}\n").ok());
+}
+
+TEST(ManifestValidate, FlagsSloPolicyProblems) {
+  const auto make = [] {
+    auto manifests = parse_manifests(
+        "component svc {\n  restart {\n  }\n  slo {\n    error_rate 50\n"
+        "    window 10000\n    burn_windows 4\n    restart\n  }\n}\n");
+    EXPECT_TRUE(manifests.ok());
+    return (*manifests)[0];
+  };
+  EXPECT_TRUE(validate({make()}).empty());
+
+  Manifest zero_window = make();
+  zero_window.slo->window_cycles = 0;
+  EXPECT_FALSE(validate({zero_window}).empty());
+
+  Manifest zero_burn = make();
+  zero_burn.slo->burn_windows = 0;
+  EXPECT_FALSE(validate({zero_burn}).empty());
+
+  // An slo stanza with every objective disabled checks nothing.
+  Manifest no_objective = make();
+  no_objective.slo->p99_cycles = 0;
+  no_objective.slo->error_permille = 1000;
+  const auto problems = validate({no_objective});
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("no objective"), std::string::npos);
+
+  // The watchdog only pulls triggers the recovery plan owns.
+  Manifest unsupervised = make();
+  unsupervised.restart.reset();
+  const auto restart_problems = validate({unsupervised});
+  ASSERT_EQ(restart_problems.size(), 1u);
+  EXPECT_NE(restart_problems[0].find("slo restart without restart stanza"),
+            std::string::npos);
+}
+
 TEST(ManifestParser, ParsesFleetStanzaAndRoundTrips) {
   auto manifests = parse_manifests(
       "component utility {\n"

@@ -1,0 +1,705 @@
+// lateral::health — SLO watchdogs, sampling cycle-profiler, tamper-evident
+// attested audit log (FIG16).
+//
+// The tamper matrix here is the contract: truncation, reordering, record
+// mutation and a forged seal must each yield a *typed* rejection from
+// verify_segment, on both attestation-bearing substrate families (SGX and
+// TPM). The profiler's off position is pinned to cost exactly zero
+// simulated cycles, and the SLO watchdog is driven end to end: a breach
+// declared in the manifest measurably restarts the component through the
+// Supervisor's existing machinery.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/attestation.h"
+#include "core/composer.h"
+#include "fleet/fleet_client.h"
+#include "fleet/fleet_server.h"
+#include "fleet/protocol.h"
+#include "fleet/verification_cache.h"
+#include "health/audit.h"
+#include "health/profiler.h"
+#include "health/slo.h"
+#include "net/network.h"
+#include "runtime/metrics.h"
+#include "supervisor/supervisor.h"
+#include "test_support.h"
+#include "trace/exporter.h"
+
+namespace lateral::health {
+namespace {
+
+// --- Audit chain: append, seal, pull, verify -------------------------------
+
+struct AuditRig {
+  std::unique_ptr<hw::Machine> machine;
+  std::unique_ptr<substrate::IsolationSubstrate> substrate;
+  substrate::DomainId auditor = 0;
+
+  explicit AuditRig(const std::string& substrate_name) {
+    machine = test::make_machine("audit-" + substrate_name);
+    substrate = *test::shared_registry().create(substrate_name, *machine);
+    auditor = *substrate->create_domain(test::tc_spec("auditor"));
+  }
+
+  AuditVerifyConfig verify_config() const {
+    AuditVerifyConfig config;
+    config.vendor_root = test::shared_vendor().root_public_key();
+    config.expected_measurement = test::tc_spec("auditor").image.measurement();
+    return config;
+  }
+};
+
+AuditSegment pulled_segment(AuditRig& rig, AuditLog& log,
+                            std::uint64_t from_seq = 0) {
+  auto segment = log.segment(from_seq, *rig.substrate, rig.auditor);
+  EXPECT_TRUE(segment.ok());
+  return *segment;
+}
+
+void fill(AuditLog& log, int n) {
+  for (int i = 0; i < n; ++i)
+    log.append(AuditKind::ticket_rejected, "meter-" + std::to_string(i),
+               Errc::ticket_replayed, "resume");
+}
+
+TEST(AuditChain, AppendExtendsChainAndSequencesDensely) {
+  AuditLog log;
+  EXPECT_EQ(log.append(AuditKind::policy_violation, "ui", Errc::ok, "a"), 0u);
+  EXPECT_EQ(log.append(AuditKind::redaction_denied, "ui", Errc::ok, "b"), 1u);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records(1).size(), 1u);
+  EXPECT_EQ(log.records(1).front().seq, 1u);
+  EXPECT_NE(log.head(), crypto::Digest{});  // genesis left behind
+}
+
+TEST(AuditChain, SealEpochsAreMonotonicAndEmptySealWouldBlock) {
+  auto machine = test::make_machine("audit-epochs");
+  AuditLog log(machine.get());
+  EXPECT_EQ(log.seal_epoch().error(), Errc::would_block);  // nothing to seal
+  fill(log, 2);
+  const auto first = log.seal_epoch();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(log.seal_epoch().error(), Errc::would_block);  // nothing new
+  fill(log, 1);
+  const auto second = log.seal_epoch();
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second->epoch, first->epoch);
+  EXPECT_EQ(second->first_seq, 2u);
+  EXPECT_EQ(second->last_seq, 2u);
+}
+
+TEST(AuditChain, SegmentSerializationRoundTrips) {
+  AuditRig rig("sgx");
+  AuditLog log(rig.machine.get());
+  fill(log, 4);
+  const AuditSegment segment = pulled_segment(rig, log);
+  const Bytes wire = segment.serialize();
+  auto back = AuditSegment::deserialize(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->records, segment.records);
+  EXPECT_EQ(back->seal, segment.seal);
+  EXPECT_EQ(back->prev_head, segment.prev_head);
+  EXPECT_TRUE(verify_segment(*back, rig.verify_config()).ok());
+
+  // A truncated or padded wire is malformed, not silently accepted.
+  const BytesView head(wire.data(), wire.size() - 1);
+  EXPECT_FALSE(AuditSegment::deserialize(head).ok());
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(AuditSegment::deserialize(padded).ok());
+}
+
+/// The FIG16 tamper matrix, run per substrate family: each manipulation an
+/// attacker with full control of the stored log (but not the endorsement
+/// key) could attempt, and the typed verdict it must earn.
+void run_tamper_matrix(const std::string& substrate_name) {
+  AuditRig rig(substrate_name);
+  AuditLog log(rig.machine.get());
+  fill(log, 6);
+  const AuditSegment honest = pulled_segment(rig, log);
+  const AuditVerifyConfig config = rig.verify_config();
+  ASSERT_TRUE(verify_segment(honest, config).ok()) << substrate_name;
+
+  {  // Truncation: drop the tail; the seal still claims the full range.
+    AuditSegment tampered = honest;
+    tampered.records.pop_back();
+    EXPECT_EQ(verify_segment(tampered, config).error(), Errc::tamper_detected)
+        << substrate_name << ": truncation";
+  }
+  {  // Reordering: swap two records; the sequence run breaks.
+    AuditSegment tampered = honest;
+    std::swap(tampered.records[1], tampered.records[2]);
+    EXPECT_EQ(verify_segment(tampered, config).error(), Errc::tamper_detected)
+        << substrate_name << ": reorder";
+  }
+  {  // Mutation: rewrite one record's content; the chain head diverges.
+    AuditSegment tampered = honest;
+    tampered.records[3].detail = "nothing happened here";
+    EXPECT_EQ(verify_segment(tampered, config).error(), Errc::tamper_detected)
+        << substrate_name << ": mutation";
+  }
+  {  // Forged seal: rewrite history AND recompute a consistent seal — the
+     // chain now checks out, but the quote still binds the honest seal.
+    AuditSegment tampered = honest;
+    tampered.records[3].detail = "nothing happened here";
+    crypto::Digest head = tampered.prev_head;
+    for (const AuditRecord& record : tampered.records)
+      head = crypto::Sha256::hash2(crypto::digest_view(head), record.encode());
+    tampered.seal.head = head;
+    EXPECT_EQ(verify_segment(tampered, config).error(),
+              Errc::verification_failed)
+        << substrate_name << ": forged seal";
+  }
+  {  // Replay: a validly sealed log from an epoch the verifier already saw.
+    AuditVerifyConfig replay = config;
+    replay.min_epoch = honest.seal.epoch;
+    EXPECT_EQ(verify_segment(honest, replay).error(), Errc::tamper_detected)
+        << substrate_name << ": epoch replay";
+  }
+  {  // Wrong device/code identity behind an otherwise valid quote.
+    AuditVerifyConfig wrong = config;
+    wrong.expected_measurement = test::tc_spec("impostor").image.measurement();
+    EXPECT_EQ(verify_segment(honest, wrong).error(),
+              Errc::verification_failed)
+        << substrate_name << ": wrong measurement";
+  }
+}
+
+TEST(AuditChain, TamperMatrixOnSgx) { run_tamper_matrix("sgx"); }
+TEST(AuditChain, TamperMatrixOnTpm) { run_tamper_matrix("tpm"); }
+
+TEST(AuditChain, IncrementalPullsChainAcrossSegments) {
+  AuditRig rig("sgx");
+  AuditLog log(rig.machine.get());
+  fill(log, 3);
+  const AuditSegment first = pulled_segment(rig, log);
+  AuditVerifyConfig config = rig.verify_config();
+  ASSERT_TRUE(verify_segment(first, config).ok());
+
+  fill(log, 2);
+  const AuditSegment second =
+      pulled_segment(rig, log, first.seal.last_seq + 1);
+  // The verifier resumes from its recorded high-water mark: next seq, last
+  // chain head, last epoch. Anything the device dropped or rewound in
+  // between becomes a typed failure.
+  config.expected_first_seq = first.seal.last_seq + 1;
+  config.expected_prev_head = first.seal.head;
+  config.min_epoch = first.seal.epoch;
+  EXPECT_TRUE(verify_segment(second, config).ok());
+  EXPECT_EQ(second.records.size(), 2u);
+
+  // A second pull that rewinds (replays already-verified records) fails the
+  // first-seq check.
+  const AuditSegment rewind = pulled_segment(rig, log, 0);
+  EXPECT_EQ(verify_segment(rewind, config).error(), Errc::tamper_detected);
+}
+
+TEST(AuditChain, EmptyLogAndOutOfRangePullsAreTyped) {
+  AuditRig rig("sgx");
+  AuditLog log(rig.machine.get());
+  EXPECT_EQ(log.segment(0, *rig.substrate, rig.auditor).error(),
+            Errc::would_block);
+  fill(log, 2);
+  EXPECT_EQ(log.segment(7, *rig.substrate, rig.auditor).error(),
+            Errc::invalid_argument);
+}
+
+// --- Sampling cycle-profiler ------------------------------------------------
+
+struct ProfiledRig {
+  std::unique_ptr<hw::Machine> machine;
+  std::unique_ptr<substrate::IsolationSubstrate> substrate;
+  substrate::DomainId client = 0, server = 0;
+  substrate::ChannelId channel = 0;
+
+  explicit ProfiledRig(const std::string& name) {
+    machine = test::make_machine("prof-" + name);
+    substrate = *test::shared_registry().create("microkernel", *machine);
+    server = *substrate->create_domain(test::tc_spec("server"));
+    client = *substrate->create_domain(test::tc_spec("client"));
+    channel = *substrate->create_channel(client, server);
+    (void)substrate->set_handler(
+        server, [](const substrate::Invocation& inv) -> Result<Bytes> {
+          return Bytes(inv.data.begin(), inv.data.end());
+        });
+  }
+
+  Cycles run(int calls) {
+    const Bytes data = to_bytes("ping");
+    const Cycles before = machine->now();
+    for (int i = 0; i < calls; ++i)
+      (void)substrate->call(client, channel, data);
+    return machine->now() - before;
+  }
+};
+
+TEST(CycleProfiler, AttachedButDisabledChargesExactlyZero) {
+  ProfiledRig plain("baseline");
+  ProfiledRig profiled("attached");
+  CycleProfiler profiler;  // default-off
+  profiled.substrate->set_profiler(&profiler);
+
+  EXPECT_EQ(plain.run(16), profiled.run(16));  // bit-exact, conformance pin
+  EXPECT_EQ(profiler.samples_taken(), 0u);
+}
+
+TEST(CycleProfiler, SampledCrossingChargesOneStampBothPhasesRecorded) {
+  ProfiledRig plain("baseline");
+  ProfiledRig profiled("sampled");
+  CycleProfiler profiler({.ring_capacity = 64, .sample_every = 1});
+  profiler.set_enabled(true);
+  profiled.substrate->set_profiler(&profiler);
+
+  const int kCalls = 8;
+  const Cycles baseline = plain.run(kCalls);
+  const Cycles sampled = profiled.run(kCalls);
+  // One sampling decision per crossing covers both directions; the stamp is
+  // folded into the request-direction charge.
+  EXPECT_EQ(sampled, baseline + kCalls * profiled.machine->costs().profile_stamp);
+
+  const auto samples =
+      profiler.snapshot(profiled.substrate.get(), profiled.server);
+  ASSERT_EQ(samples.size(), static_cast<std::size_t>(2 * kCalls));
+  EXPECT_EQ(samples[0].phase, ProfilePhase::request);
+  EXPECT_EQ(samples[1].phase, ProfilePhase::reply);
+  EXPECT_GT(samples[0].cycles, 0u);
+}
+
+TEST(CycleProfiler, ProfileSurvivesKillDomainUntilScrubbed) {
+  ProfiledRig rig("postmortem");
+  CycleProfiler profiler({.ring_capacity = 64, .sample_every = 1});
+  profiler.set_enabled(true);
+  rig.substrate->set_profiler(&profiler);
+  rig.run(4);
+  ASSERT_TRUE(rig.substrate->kill_domain(rig.server).ok());
+
+  // The corpse's profile is still attributable: where the final cycles went.
+  const auto samples = profiler.snapshot(rig.substrate.get(), rig.server);
+  EXPECT_FALSE(samples.empty());
+  const std::string collapsed = profiler.collapsed_stacks();
+  EXPECT_NE(collapsed.find("server;request"), std::string::npos);
+  EXPECT_NE(collapsed.find("server;reply"), std::string::npos);
+
+  profiler.scrub(rig.substrate.get(), rig.server);
+  EXPECT_TRUE(profiler.snapshot(rig.substrate.get(), rig.server).empty());
+}
+
+TEST(CycleProfiler, CollapsedStacksSplitShardsAndScaleBySamplingStride) {
+  CycleProfiler profiler({.ring_capacity = 16, .sample_every = 4});
+  const int owner = 0;
+  profiler.sample(&owner, 1, "imap#2", ProfilePhase::request, 100, 0);
+  profiler.sample(&owner, 1, "imap#2", ProfilePhase::request, 50, 10);
+  const std::string collapsed = profiler.collapsed_stacks();
+  // Shard labels split into component;shard frames so a flame view groups
+  // the sharded domain under one root; cycles scale by the stride (the
+  // sampling estimate of the true total): (100 + 50) * 4.
+  EXPECT_NE(collapsed.find("imap;shard#2;request 600"), std::string::npos);
+}
+
+// --- SLO watchdogs ----------------------------------------------------------
+
+struct SloHarness {
+  std::unique_ptr<hw::Machine> machine = test::make_machine("slo");
+  runtime::MetricsHub hub;
+  AuditLog audit;
+  HealthMonitor monitor{{.hub = &hub,
+                         .clock = machine.get(),
+                         .assembly = nullptr,
+                         .audit = &audit,
+                         .label = "health"}};
+
+  /// One watchdog tick after `advance` cycles of traffic: `good` completed
+  /// calls, `bad` rejections, each completed call at `latency` cycles.
+  std::vector<HealthEvent> drive(Cycles advance, std::uint64_t good,
+                                 std::uint64_t bad, Cycles latency = 10) {
+    machine->advance(advance);
+    auto svc = hub.counters("svc");
+    svc->submitted += good;
+    svc->completed += good;
+    svc->rejected += bad;
+    for (std::uint64_t i = 0; i < good; ++i) svc->record_latency(latency);
+    return monitor.tick();
+  }
+};
+
+TEST(HealthMonitor, SustainedErrorRateBreachIsConfirmedOnce) {
+  SloHarness harness;
+  core::SloPolicy policy;
+  policy.error_permille = 50;
+  policy.window_cycles = 10'000;
+  policy.burn_windows = 4;
+  harness.monitor.watch("svc", policy);
+
+  for (int i = 0; i < 64; ++i)
+    EXPECT_TRUE(harness.drive(1'000, 100, 0).empty());  // healthy warm-up
+
+  std::vector<HealthEvent> confirmed;
+  for (int i = 0; i < 64 && confirmed.empty(); ++i) {
+    auto events = harness.drive(1'000, 90, 10);  // ~9% > the 5% objective
+    confirmed.insert(confirmed.end(), events.begin(), events.end());
+  }
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_EQ(confirmed[0].kind, HealthEvent::Kind::error_rate_breach);
+  EXPECT_EQ(confirmed[0].component, "svc");
+  EXPECT_GT(confirmed[0].observed, 50u);
+  EXPECT_EQ(confirmed[0].limit, 50u);
+
+  const auto stats = harness.monitor.stats();
+  EXPECT_EQ(stats.error_breaches, 1u);
+  EXPECT_GT(stats.mean_detect_cycles(), 0u);
+  // The breach is evidence: it landed in the audit log, typed.
+  ASSERT_EQ(harness.audit.size(), 1u);
+  EXPECT_EQ(harness.audit.records()[0].kind, AuditKind::slo_breach);
+  EXPECT_EQ(harness.audit.records()[0].component, "svc");
+}
+
+TEST(HealthMonitor, TransientSpikeBurnsShortWindowOnlyAndStaysQuiet) {
+  SloHarness harness;
+  core::SloPolicy policy;
+  policy.error_permille = 50;
+  policy.window_cycles = 10'000;
+  policy.burn_windows = 8;  // long window: 80k cycles
+  harness.monitor.watch("svc", policy);
+
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(harness.drive(1'000, 100, 0).empty());
+  // A 5-tick blip (half the short window) then recovery: the long window
+  // never goes bad, so the multi-window rule keeps the pager quiet.
+  for (int i = 0; i < 5; ++i)
+    EXPECT_TRUE(harness.drive(1'000, 50, 50).empty());
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(harness.drive(1'000, 100, 0).empty());
+  EXPECT_EQ(harness.monitor.stats().error_breaches, 0u);
+  EXPECT_EQ(harness.audit.size(), 0u);
+}
+
+TEST(HealthMonitor, P99RegressionBreachesLatencyObjective) {
+  SloHarness harness;
+  core::SloPolicy policy;
+  policy.p99_cycles = 100;       // objective: p99 under 100 cycles
+  policy.error_permille = 1000;  // error objective disabled
+  policy.window_cycles = 10'000;
+  policy.burn_windows = 4;
+  harness.monitor.watch("svc", policy);
+
+  for (int i = 0; i < 64; ++i)
+    EXPECT_TRUE(harness.drive(1'000, 100, 0, /*latency=*/20).empty());
+
+  std::vector<HealthEvent> confirmed;
+  for (int i = 0; i < 64 && confirmed.empty(); ++i) {
+    auto events = harness.drive(1'000, 100, 0, /*latency=*/500);
+    confirmed.insert(confirmed.end(), events.begin(), events.end());
+  }
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_EQ(confirmed[0].kind, HealthEvent::Kind::p99_breach);
+  EXPECT_GT(confirmed[0].observed, 100u);
+  EXPECT_EQ(harness.monitor.stats().p99_breaches, 1u);
+}
+
+// --- SLO breach -> supervised restart, end to end ---------------------------
+
+constexpr const char* kSloManifest = R"(
+component front {
+  substrate microkernel
+  channel worker
+}
+component worker {
+  substrate microkernel
+  channel front
+  restart {
+    max 4
+    backoff 512
+    escalate degraded
+  }
+  slo {
+    error_rate 50
+    window 10000
+    burn_windows 4
+    restart
+  }
+}
+)";
+
+TEST(HealthMonitor, ManifestSloBreachRestartsComponentThroughSupervisor) {
+  auto machine = test::make_machine("slo-e2e");
+  auto mk = *test::shared_registry().create("microkernel", *machine);
+  core::SystemComposer composer({{"microkernel", mk.get()}});
+  auto manifests = core::parse_manifests(kSloManifest);
+  ASSERT_TRUE(manifests.ok());
+  auto assembly = composer.compose(*manifests);
+  ASSERT_TRUE(assembly.ok());
+  (void)(*assembly)->set_behavior(
+      "worker", [](const substrate::Invocation& inv) -> Result<Bytes> {
+        return Bytes(inv.data.begin(), inv.data.end());
+      });
+
+  supervisor::Supervisor sup(**assembly);
+  ASSERT_TRUE(sup.watch_all().ok());
+
+  runtime::MetricsHub hub;
+  AuditLog audit(machine.get());
+  HealthMonitor monitor({.hub = &hub,
+                         .clock = machine.get(),
+                         .assembly = assembly->get(),
+                         .audit = &audit,
+                         .label = "health"});
+  monitor.watch_all(**assembly);
+  ASSERT_EQ(monitor.watched(), 1u);  // only worker declared an slo stanza
+
+  // The watchdog reads the counters the component publishes under its own
+  // name; drive a sustained error-rate violation through them.
+  auto worker = hub.counters("worker");
+  bool escalated = false;
+  for (int i = 0; i < 200 && !escalated; ++i) {
+    machine->advance(1'000);
+    worker->submitted += 90;
+    worker->completed += 90;
+    worker->rejected += 10;
+    for (const HealthEvent& event : monitor.tick())
+      escalated = escalated || event.kind == HealthEvent::Kind::escalated;
+    (void)sup.tick();
+  }
+  ASSERT_TRUE(escalated);
+
+  // The monitor killed the domain; the supervisor's heartbeat/backoff
+  // machinery owns everything from there: detect, relaunch, re-measure.
+  for (int i = 0; i < 32; ++i) {
+    machine->advance(1'024);
+    (void)sup.tick();
+    if (*sup.health("worker") == supervisor::Health::running &&
+        *sup.restarts_of("worker") >= 1)
+      break;
+  }
+  EXPECT_GE(*sup.restarts_of("worker"), 1u);
+  EXPECT_EQ(*sup.health("worker"), supervisor::Health::running);
+  EXPECT_GE(monitor.stats().escalations, 1u);
+
+  // The incident reads back from the audit log: breach, then escalation.
+  const auto records = audit.records();
+  ASSERT_GE(records.size(), 2u);
+  EXPECT_EQ(records[0].kind, AuditKind::slo_breach);
+  EXPECT_EQ(records[1].kind, AuditKind::escalation);
+  EXPECT_EQ(records[1].component, "worker");
+
+  // The restarted incarnation is in cooldown: the still-bad counters must
+  // not instantly re-kill it before a full long window elapses.
+  const auto escalations = monitor.stats().escalations;
+  machine->advance(1'000);
+  worker->rejected += 100;
+  (void)monitor.tick();
+  EXPECT_EQ(monitor.stats().escalations, escalations);
+}
+
+TEST(HealthMonitor, HealthStatsRenderInObservabilityDump) {
+  SloHarness harness;
+  core::SloPolicy policy;
+  policy.error_permille = 50;
+  harness.monitor.watch("svc", policy);
+  (void)harness.drive(1'000, 10, 0);
+
+  std::ostringstream out;
+  trace::render_metrics_text(out, harness.hub);
+  EXPECT_NE(out.str().find("health (health): evaluations=1"),
+            std::string::npos);
+}
+
+TEST(AuditIntegration, UndeclaredInvokeIsRefusedAndAudited) {
+  auto machine = test::make_machine("pola-audit");
+  auto mk = *test::shared_registry().create("microkernel", *machine);
+  core::SystemComposer composer({{"microkernel", mk.get()}});
+  auto manifests = core::parse_manifests(
+      "component a {\n  substrate microkernel\n}\n"
+      "component b {\n  substrate microkernel\n}\n");
+  ASSERT_TRUE(manifests.ok());
+  auto assembly = composer.compose(*manifests);
+  ASSERT_TRUE(assembly.ok());
+
+  // The POLA refusal itself predates this PR; what is new is that the
+  // refusal leaves evidence.
+  AuditLog audit;
+  (*assembly)->set_audit(&audit);
+  EXPECT_EQ((*assembly)->invoke("a", "b", to_bytes("x")).error(),
+            Errc::policy_violation);
+  ASSERT_EQ(audit.size(), 1u);
+  EXPECT_EQ(audit.records()[0].kind, AuditKind::policy_violation);
+  EXPECT_EQ(audit.records()[0].component, "a");
+  EXPECT_EQ(audit.records()[0].detail, "a->b");
+}
+
+// --- Fleet integration: attested scrape and audit pull ----------------------
+
+class FleetHealthTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_machine_ = test::make_machine("health-utility");
+    sgx_ = *test::shared_registry().create("sgx", *server_machine_);
+    anonymizer_ = *sgx_->create_domain(test::tc_spec("anonymizer"));
+    frontend_ = *sgx_->create_domain(test::tc_spec("frontend"));
+    channel_ = *sgx_->create_channel(frontend_, anonymizer_);
+    ASSERT_TRUE(sgx_
+                    ->set_handler(anonymizer_,
+                                  [](const substrate::Invocation& inv)
+                                      -> Result<Bytes> {
+                                    return Bytes(inv.data.begin(),
+                                                 inv.data.end());
+                                  })
+                    .ok());
+    meter_machine_ = test::make_machine("health-meter");
+    tz_ = *test::shared_registry().create("trustzone", *meter_machine_);
+    metering_ = *tz_->create_domain(test::tc_spec("metering"));
+    meter_verifier_ =
+        std::make_unique<core::AttestationVerifier>(to_bytes("mv"));
+    meter_verifier_->add_trusted_root(test::shared_vendor().root_public_key());
+    meter_verifier_->expect_measurement(
+        "anonymizer", test::tc_spec("anonymizer").image.measurement());
+    utility_verifier_ = std::make_unique<fleet::CachedVerifier>(
+        to_bytes("uv"), fleet::CacheConfig{.capacity = 16,
+                                           .ttl = 100'000'000,
+                                           .clock = server_machine_.get()});
+    utility_verifier_->add_trusted_root(
+        test::shared_vendor().root_public_key());
+    utility_verifier_->expect_measurement(
+        "metering", test::tc_spec("metering").image.measurement());
+    ASSERT_TRUE(network_.register_endpoint("utility").ok());
+    audit_ = std::make_unique<AuditLog>(server_machine_.get());
+  }
+
+  fleet::FleetServerConfig server_config() {
+    fleet::FleetServerConfig config;
+    config.endpoint = "utility";
+    config.network = &network_;
+    config.substrate = sgx_.get();
+    config.service_domain = anonymizer_;
+    config.frontend_domain = frontend_;
+    config.service_channel = channel_;
+    config.verifier = utility_verifier_.get();
+    config.expected_client = "metering";
+    config.hub = &hub_;
+    config.label = "fleet.utility";
+    config.audit = audit_.get();
+    config.scrape_source = [this] {
+      std::ostringstream out;
+      trace::render_metrics_text(out, hub_);
+      return out.str();
+    };
+    return config;
+  }
+
+  fleet::FleetClient make_client(const std::string& name,
+                                 fleet::FleetServer& server) {
+    fleet::FleetClientConfig config;
+    config.endpoint = name;
+    config.server_endpoint = "utility";
+    config.network = &network_;
+    config.prover = net::ProverConfig{tz_.get(), metering_};
+    config.verifier = net::VerifierConfig{meter_verifier_.get(), "anonymizer"};
+    config.drive = [&server] { (void)server.pump(); };
+    return fleet::FleetClient(std::move(config));
+  }
+
+  std::unique_ptr<hw::Machine> server_machine_, meter_machine_;
+  std::unique_ptr<substrate::IsolationSubstrate> sgx_, tz_;
+  substrate::DomainId anonymizer_ = 0, frontend_ = 0, metering_ = 0;
+  substrate::ChannelId channel_ = 0;
+  std::unique_ptr<core::AttestationVerifier> meter_verifier_;
+  std::unique_ptr<fleet::CachedVerifier> utility_verifier_;
+  std::unique_ptr<AuditLog> audit_;
+  net::SimNetwork network_;
+  runtime::MetricsHub hub_;
+};
+
+TEST_F(FleetHealthTest, ScrapeServesMetricsOverSealedSessionOnly) {
+  fleet::FleetServer server(server_config());
+  fleet::FleetClient meter = make_client("operator-1", server);
+  ASSERT_TRUE(meter.connect().ok());
+
+  auto text = meter.call("scrape", {});
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(to_string(*text).find("fleet.utility (fleet):"),
+            std::string::npos);
+  EXPECT_EQ(server.stats().scrapes, 1u);
+
+  // The built-in names are reserved; applications cannot shadow them.
+  EXPECT_EQ(server
+                .register_method("scrape",
+                                 [](BytesView) -> Result<Bytes> {
+                                   return Bytes{};
+                                 })
+                .error(),
+            Errc::invalid_argument);
+  EXPECT_EQ(server
+                .register_method("audit_pull",
+                                 [](BytesView) -> Result<Bytes> {
+                                   return Bytes{};
+                                 })
+                .error(),
+            Errc::invalid_argument);
+}
+
+TEST_F(FleetHealthTest, AuditPullReturnsVerifiableSegment) {
+  fleet::FleetServer server(server_config());
+  fleet::FleetClient meter = make_client("operator-1", server);
+  ASSERT_TRUE(meter.connect().ok());
+
+  audit_->append(AuditKind::rollback_refused, "worker", Errc::rollback_refused,
+                 "version 1 <= nv 3");
+  audit_->append(AuditKind::ticket_rejected, "meter-7", Errc::ticket_expired,
+                 "redeem");
+
+  auto wire = meter.call("audit_pull", {});
+  ASSERT_TRUE(wire.ok());
+  auto segment = AuditSegment::deserialize(*wire);
+  ASSERT_TRUE(segment.ok());
+  EXPECT_EQ(segment->records.size(), 2u);
+  EXPECT_EQ(server.stats().audit_pulls, 1u);
+
+  // The pull verifies against nothing but the vendor root and the service's
+  // expected identity: the device attested its own audit history.
+  AuditVerifyConfig config;
+  config.vendor_root = test::shared_vendor().root_public_key();
+  config.expected_measurement =
+      test::tc_spec("anonymizer").image.measurement();
+  EXPECT_TRUE(verify_segment(*segment, config).ok());
+
+  // Incremental pull: 8-byte big-endian from_seq skips verified history.
+  audit_->append(AuditKind::session_tamper, "meter-9",
+                 Errc::verification_failed, "open_record");
+  Bytes from_seq(8, 0);
+  from_seq[7] = 2;
+  auto next = meter.call("audit_pull", from_seq);
+  ASSERT_TRUE(next.ok());
+  auto tail = AuditSegment::deserialize(*next);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->records.size(), 1u);
+  EXPECT_EQ(tail->records[0].kind, AuditKind::session_tamper);
+  config.expected_first_seq = 2;
+  config.expected_prev_head = segment->seal.head;
+  config.min_epoch = segment->seal.epoch;
+  EXPECT_TRUE(verify_segment(*tail, config).ok());
+}
+
+TEST_F(FleetHealthTest, TamperedRecordLandsInAuditLog) {
+  fleet::FleetServer server(server_config());
+  fleet::FleetClient meter = make_client("operator-1", server);
+  ASSERT_TRUE(meter.connect().ok());
+
+  // A garbage record frame from the session's peer: open_record fails, the
+  // session drops, and the incident is written down as evidence.
+  (void)network_.send("operator-1", "utility",
+                      fleet::frame(fleet::FrameKind::record,
+                                   to_bytes("not a sealed record")));
+  (void)server.pump();
+  EXPECT_EQ(server.sessions(), 0u);
+  const auto records = audit_->records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].kind, AuditKind::session_tamper);
+  EXPECT_EQ(records[0].component, "operator-1");
+  EXPECT_EQ(records[0].errc, Errc::verification_failed);
+}
+
+}  // namespace
+}  // namespace lateral::health

@@ -164,6 +164,51 @@ TEST(FlightRecorderTest, ConcurrentWritersAndReadersStayConsistent) {
   EXPECT_LE(ring.snapshot().size(), ring.capacity());
 }
 
+TEST(FlightRecorderTest, WriterLappingASnapshotNeverTearsRecords) {
+  // Wraparound regression for the seqlock: one fast writer laps a tiny ring
+  // thousands of times while a reader snapshots mid-lap. The dangerous
+  // interleaving is a slot rewritten a FULL LAP (or several) after the
+  // reader's acquire — the per-slot sequence has moved to a different
+  // stable value, and the post-copy recheck must still notice. A stale
+  // recheck would splice words from lap N and lap N+k into one event, which
+  // the derived-field invariant below catches: every field of an event is a
+  // function of one counter, so any cross-lap mix is visible.
+  FlightRecorder ring(4);
+  static constexpr std::uint64_t kEvents = 200'000;  // 50k laps of 4 slots
+  std::thread writer([&ring] {
+    for (std::uint64_t i = 1; i <= kEvents; ++i) {
+      SpanEvent event;
+      event.trace_id = i;
+      event.span_id = static_cast<std::uint32_t>(i);
+      event.at = i;
+      event.size = i * 3;
+      ring.record(event);
+    }
+  });
+  std::atomic<bool> done{false};
+  std::thread reader([&ring, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      for (const SpanEvent& event : ring.snapshot()) {
+        EXPECT_EQ(event.span_id, static_cast<std::uint32_t>(event.trace_id));
+        EXPECT_EQ(event.at, event.trace_id);
+        EXPECT_EQ(event.size, event.trace_id * 3);
+      }
+    }
+  });
+  writer.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(ring.recorded() + ring.dropped(), kEvents);
+  // Single writer: nothing ever contends a slot, so nothing was dropped and
+  // the final snapshot is exactly the last lap, in order.
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto tail = ring.snapshot();
+  ASSERT_EQ(tail.size(), ring.capacity());
+  EXPECT_EQ(tail.back().trace_id, kEvents);
+  for (std::size_t i = 1; i < tail.size(); ++i)
+    EXPECT_EQ(tail[i].trace_id, tail[i - 1].trace_id + 1);
+}
+
 // --- Tracer ---
 
 TEST(TracerTest, MintsDistinctSampledTraces) {
